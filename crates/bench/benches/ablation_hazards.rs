@@ -1,0 +1,21 @@
+//! Ablation — LAEC look-ahead blocking breakdown (data hazard vs resource
+//! hazard vs operand-not-ready), supporting the paper's §IV.A observation
+//! that data hazards dominate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laec_bench::{bench_shape, report_shape};
+use laec_core::{hazard_breakdown, render_hazard_breakdown};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_hazard_breakdown(&hazard_breakdown(&report_shape())));
+    let mut group = c.benchmark_group("hazard_breakdown");
+    group.sample_size(10);
+    group.bench_function("laec_sweep", |b| {
+        b.iter(|| black_box(hazard_breakdown(&bench_shape()).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

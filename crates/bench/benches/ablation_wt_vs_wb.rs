@@ -1,0 +1,17 @@
+//! Ablation — write-through vs write-back DL1 bus traffic and execution time
+//! (the §II.A motivation for needing ECC in a write-back DL1 at all).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laec_core::{render_wt_vs_wb, wt_vs_wb};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_wt_vs_wb(&wt_vs_wb()));
+    let mut group = c.benchmark_group("wt_vs_wb");
+    group.sample_size(10);
+    group.bench_function("kernel_sweep", |b| b.iter(|| black_box(wt_vs_wb().len())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

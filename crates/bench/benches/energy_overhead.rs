@@ -1,0 +1,21 @@
+//! §IV.A energy discussion — dynamic-power impact of LAEC (<1 %) and leakage
+//! energy growing with execution time (≈17 % / ≈10 % / <4 %).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laec_bench::{bench_shape, report_shape};
+use laec_core::{energy_overheads, render_energy, EnergyModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = EnergyModel::default_65nm();
+    println!("{}", render_energy(&energy_overheads(&report_shape(), &model)));
+    let mut group = c.benchmark_group("energy");
+    group.sample_size(10);
+    group.bench_function("overhead_sweep", |b| {
+        b.iter(|| black_box(energy_overheads(&bench_shape(), &model).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fault-injection campaign — the §I–II safety argument: a write-back DL1
+//! needs SECDED, a write-through DL1 survives on parity + L2 refetch, and an
+//! unprotected DL1 corrupts silently.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laec_core::{fault_campaign, render_fault_campaign};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_fault_campaign(&fault_campaign(40, 0x5EED)));
+    let mut group = c.benchmark_group("fault_campaign");
+    group.sample_size(10);
+    group.bench_function("three_designs", |b| {
+        b.iter(|| black_box(fault_campaign(60, 0xBEEF).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

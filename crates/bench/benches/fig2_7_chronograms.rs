@@ -1,0 +1,60 @@
+//! Figures 2–5 and 7 — pipeline chronograms of the load / dependent-consumer
+//! example under every scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laec_isa::Program;
+use laec_pipeline::{EccScheme, PipelineConfig, Simulator};
+use std::hint::black_box;
+
+const FIGURE_SOURCE: &str = r#"
+    addi r1, r0, 0x100
+    nop
+    nop
+    add  r9, r4, r6     # unrelated producer (Figs. 2-5, 7a)
+    ld   r3, [r1 + 0]
+    add  r5, r3, r4     # distance-1 consumer
+    halt
+"#;
+
+const FIGURE_7B_SOURCE: &str = r#"
+    addi r1, r0, 0x100
+    nop
+    nop
+    addi r1, r1, 0      # the load's address producer (Fig. 7b)
+    ld   r3, [r1 + 0]
+    add  r5, r3, r4
+    halt
+"#;
+
+fn chronogram(scheme: EccScheme, source: &str) -> String {
+    let program = Program::assemble(source)
+        .expect("figure program assembles")
+        .with_data_word(0x100, 7);
+    let mut simulator = Simulator::new(program, PipelineConfig::for_scheme(scheme).with_trace(8));
+    simulator.prefill_dl1(&[0x100]);
+    simulator.execute().chronogram.render()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("Figure 2 (no-ECC baseline):\n{}", chronogram(EccScheme::NoEcc, FIGURE_SOURCE));
+    println!("Figure 3 (Extra Cycle):\n{}", chronogram(EccScheme::ExtraCycle, FIGURE_SOURCE));
+    println!("Figure 4 (Extra Stage):\n{}", chronogram(EccScheme::ExtraStage, FIGURE_SOURCE));
+    println!("Figure 7a (LAEC, look-ahead):\n{}", chronogram(EccScheme::Laec, FIGURE_SOURCE));
+    println!(
+        "Figure 7b (LAEC, blocked by address producer):\n{}",
+        chronogram(EccScheme::Laec, FIGURE_7B_SOURCE)
+    );
+
+    let mut group = c.benchmark_group("fig2_7");
+    group.bench_function("trace_all_schemes", |b| {
+        b.iter(|| {
+            for scheme in EccScheme::figure8_set() {
+                black_box(chronogram(scheme, FIGURE_SOURCE).len());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

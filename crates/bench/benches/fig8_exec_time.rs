@@ -1,0 +1,22 @@
+//! Figure 8 — execution-time increase of Extra-Cycle, Extra-Stage and LAEC
+//! versus the no-ECC baseline, per EEMBC-like benchmark plus the average,
+//! including the §IV.A summary claims (6 % vs Extra-Stage, 13 % vs
+//! Extra-Cycle, <4 % vs the ideal design).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laec_bench::{bench_shape, report_shape};
+use laec_core::{figure8, render_figure8};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_figure8(&figure8(&report_shape())));
+    let mut group = c.benchmark_group("figure8");
+    group.sample_size(10);
+    group.bench_function("sweep_suite_all_schemes", |b| {
+        b.iter(|| black_box(figure8(&bench_shape()).average.laec))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

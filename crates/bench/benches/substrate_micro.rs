@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the substrates themselves: ECC encode/decode, cache
+//! accesses, and raw simulator throughput.  These are not paper artefacts;
+//! they document the cost of the reproduction's own building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laec_ecc::{EccCode, Hsiao39_32, Hsiao72_64, Parity};
+use laec_mem::{Cache, CacheConfig};
+use laec_pipeline::{EccScheme, PipelineConfig, Simulator};
+use laec_workloads::kernels;
+use std::hint::black_box;
+
+fn ecc_codes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc");
+    let hsiao32 = Hsiao39_32::new();
+    let hsiao64 = Hsiao72_64::new();
+    let parity = Parity::even32();
+    group.bench_function("hsiao39_32_encode", |b| {
+        b.iter(|| black_box(hsiao32.encode(black_box(0xDEAD_BEEF))))
+    });
+    group.bench_function("hsiao39_32_decode_corrupted", |b| {
+        let check = hsiao32.encode(0xDEAD_BEEF);
+        b.iter(|| black_box(hsiao32.decode(black_box(0xDEAD_BEEF ^ 0x40), check).data))
+    });
+    group.bench_function("hsiao72_64_encode", |b| {
+        b.iter(|| black_box(hsiao64.encode(black_box(0x0123_4567_89AB_CDEF))))
+    });
+    group.bench_function("parity32_encode", |b| {
+        b.iter(|| black_box(parity.encode(black_box(0xDEAD_BEEF))))
+    });
+    group.finish();
+}
+
+fn cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    let mut cache = Cache::new(CacheConfig::dl1_write_back());
+    let line: Vec<u32> = (0..8).collect();
+    for base in (0..4096u32).step_by(32) {
+        cache.fill(base, &line);
+    }
+    group.bench_function("read_hit_secded", |b| {
+        let mut address = 0u32;
+        b.iter(|| {
+            address = (address + 4) & 0xFFF;
+            black_box(cache.read_word(address).map(|h| h.value))
+        })
+    });
+    group.bench_function("write_hit_secded", |b| {
+        let mut address = 0u32;
+        b.iter(|| {
+            address = (address + 4) & 0xFFF;
+            black_box(cache.write_word(address, address))
+        })
+    });
+    group.finish();
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let program = kernels::vector_sum(&(0..256).collect::<Vec<u32>>());
+    for scheme in EccScheme::figure8_set() {
+        group.bench_function(format!("vector_sum_{scheme}"), |b| {
+            b.iter(|| {
+                black_box(
+                    Simulator::run(program.clone(), PipelineConfig::for_scheme(scheme))
+                        .stats
+                        .cycles,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ecc_codes, cache_access, simulator_throughput);
+criterion_main!(benches);

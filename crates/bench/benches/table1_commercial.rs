@@ -1,0 +1,20 @@
+//! Table I — commercial processors and their L1 protection (static data).
+//!
+//! There is nothing to simulate for Table I; the bench prints the table and
+//! measures the (trivial) construction and rendering path so the target
+//! exists for completeness in the table-per-bench mapping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", laec_core::render_table1());
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("render", |b| {
+        b.iter(|| black_box(laec_core::render_table1().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

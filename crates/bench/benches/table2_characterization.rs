@@ -1,0 +1,20 @@
+//! Table II — workload characterisation (% hit loads, % dependent loads,
+//! % loads) over the EEMBC-Automotive-like suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laec_bench::{bench_shape, report_shape};
+use laec_core::{characterization, render_table2};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_table2(&characterization(&report_shape())));
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("characterize_suite", |b| {
+        b.iter(|| black_box(characterization(&bench_shape()).average.loads_pct))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of the
+//! paper (printing it once) and then measures a scaled-down version of the
+//! underlying computation so `cargo bench` stays fast.  The mapping from
+//! paper artefact to bench target lives in `DESIGN.md` §3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use laec_workloads::GeneratorConfig;
+
+/// The workload shape used inside measured benchmark loops (small, so each
+/// Criterion sample stays in the tens of milliseconds).
+#[must_use]
+pub fn bench_shape() -> GeneratorConfig {
+    GeneratorConfig {
+        body_instructions: 120,
+        iterations: 6,
+        seed: 0x1AEC,
+    }
+}
+
+/// The workload shape used for the one-off printed reproduction (the same
+/// shape the integration tests validate against the paper's numbers).
+#[must_use]
+pub fn report_shape() -> GeneratorConfig {
+    GeneratorConfig::evaluation()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_distinct_and_small_enough() {
+        assert!(bench_shape().iterations < report_shape().iterations);
+        assert_eq!(bench_shape().seed, report_shape().seed);
+    }
+}

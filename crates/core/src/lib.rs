@@ -1,0 +1,52 @@
+//! Experiment harness for the LAEC reproduction.
+//!
+//! This crate ties the substrates together — ECC codes ([`laec_ecc`]), the
+//! ISA ([`laec_isa`]), the memory hierarchy ([`laec_mem`]), the pipeline
+//! model ([`laec_pipeline`]) and the workloads ([`laec_workloads`]) — and
+//! exposes one function per table/figure of the paper's evaluation:
+//!
+//! * [`experiment::characterization`] — Table II,
+//! * [`experiment::figure8`] — Figure 8 (execution-time increase of
+//!   Extra-Cycle, Extra-Stage and LAEC versus the no-ECC baseline),
+//! * [`experiment::energy_overheads`] — the §IV.A power/energy discussion,
+//! * [`experiment::hazard_breakdown`] — the §IV.A look-ahead blocking
+//!   analysis (ablation),
+//! * [`experiment::wt_vs_wb`] — the §II.A write-through vs write-back
+//!   motivation (ablation),
+//! * [`experiment::fault_campaign`] — the §I–II safety argument,
+//! * [`report::table1_commercial_processors`] — Table I (static data).
+//!
+//! [`report`] renders each artefact as aligned text; the `laec-bench` crate
+//! wraps each experiment in a Criterion benchmark; `EXPERIMENTS.md` records
+//! measured-vs-paper numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use laec_core::experiment::figure8_over;
+//! use laec_workloads::kernel_suite;
+//!
+//! let kernels: Vec<_> = kernel_suite().into_iter().take(2).collect();
+//! let figure = figure8_over(&kernels);
+//! assert!(figure.average.laec <= figure.average.extra_stage + 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod experiment;
+pub mod report;
+pub mod runner;
+
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use experiment::{
+    characterization, energy_overheads, fault_campaign, figure8, figure8_over, hazard_breakdown,
+    wt_vs_wb, CharacterizationRow, CharacterizationTable, EnergyRow, FaultCampaignRow, Figure8,
+    Figure8Row, HazardBreakdownRow, WtVsWbRow,
+};
+pub use report::{
+    render_energy, render_fault_campaign, render_figure8, render_hazard_breakdown, render_table1,
+    render_table2, render_wt_vs_wb, table1_commercial_processors, CommercialProcessor,
+};
+pub use runner::{compare_schemes, run_scheme, run_with_config, SchemeComparison};

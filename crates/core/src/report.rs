@@ -1,0 +1,282 @@
+//! Text rendering of the paper's tables and figure, plus the static Table I.
+
+use std::fmt::Write as _;
+
+use crate::experiment::{
+    CharacterizationTable, EnergyRow, FaultCampaignRow, Figure8, HazardBreakdownRow, WtVsWbRow,
+};
+
+/// One row of the paper's Table I (commercial processors and their L1
+/// protection choices) — static, informational data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommercialProcessor {
+    /// Processor name.
+    pub name: &'static str,
+    /// Nominal operating frequency.
+    pub frequency_mhz: u32,
+    /// Write-through L1 support and its protection.
+    pub l1_write_through: &'static str,
+    /// Write-back L1 support and its protection.
+    pub l1_write_back: &'static str,
+}
+
+/// The contents of Table I.
+#[must_use]
+pub fn table1_commercial_processors() -> Vec<CommercialProcessor> {
+    vec![
+        CommercialProcessor {
+            name: "ARM Cortex R5",
+            frequency_mhz: 160,
+            l1_write_through: "Yes, ECC/parity",
+            l1_write_back: "Yes, ECC/parity",
+        },
+        CommercialProcessor {
+            name: "ARM Cortex M7",
+            frequency_mhz: 200,
+            l1_write_through: "Yes, ECC",
+            l1_write_back: "Yes, ECC",
+        },
+        CommercialProcessor {
+            name: "Freescale PowerQUICC",
+            frequency_mhz: 250,
+            l1_write_through: "Yes, Parity",
+            l1_write_back: "Yes, parity",
+        },
+        CommercialProcessor {
+            name: "Cobham LEON 3",
+            frequency_mhz: 100,
+            l1_write_through: "Yes, parity",
+            l1_write_back: "No",
+        },
+        CommercialProcessor {
+            name: "Cobham LEON 4",
+            frequency_mhz: 150,
+            l1_write_through: "Yes, parity",
+            l1_write_back: "No",
+        },
+    ]
+}
+
+/// Renders Table I.
+#[must_use]
+pub fn render_table1() -> String {
+    let mut out = String::from("Table I: Commercial processors and their characteristics\n");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10}  {:<18} {:<18}",
+        "Processor", "Frequency", "L1 WT", "L1 WB"
+    );
+    for row in table1_commercial_processors() {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>7}MHz  {:<18} {:<18}",
+            row.name, row.frequency_mhz, row.l1_write_through, row.l1_write_back
+        );
+    }
+    out
+}
+
+/// Renders the Table II reproduction.
+#[must_use]
+pub fn render_table2(table: &CharacterizationTable) -> String {
+    let mut out =
+        String::from("Table II: Workload characterisation (measured on the no-ECC baseline)\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>10}",
+        "benchmark", "% hit loads", "% dep loads", "% loads"
+    );
+    for row in table.rows.iter().chain(std::iter::once(&table.average)) {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12.1} {:>12.1} {:>10.1}",
+            row.name, row.hit_loads_pct, row.dependent_loads_pct, row.loads_pct
+        );
+    }
+    out
+}
+
+/// Renders the Figure 8 reproduction as a table of normalised execution
+/// times (the paper plots the same data as bars).
+#[must_use]
+pub fn render_figure8(figure: &Figure8) -> String {
+    let mut out = String::from(
+        "Figure 8: Execution time increase vs the no-ECC baseline (1.10 = +10 %)\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>8} {:>12}",
+        "benchmark", "Extra Cycle", "Extra Stage", "LAEC", "% lookahead"
+    );
+    for row in figure.rows.iter().chain(std::iter::once(&figure.average)) {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12.3} {:>12.3} {:>8.3} {:>12.1}",
+            row.name,
+            row.extra_cycle,
+            row.extra_stage,
+            row.laec,
+            100.0 * row.lookahead_rate
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nsummary: Extra-Cycle +{:.1}%, Extra-Stage +{:.1}%, LAEC +{:.1}% \
+         (LAEC gains {:.1} points over Extra-Stage, {:.1} over Extra-Cycle)",
+        100.0 * (figure.average.extra_cycle - 1.0),
+        100.0 * (figure.average.extra_stage - 1.0),
+        100.0 * (figure.average.laec - 1.0),
+        figure.laec_gain_over_extra_stage_pct(),
+        figure.laec_gain_over_extra_cycle_pct(),
+    );
+    out
+}
+
+/// Renders the energy-overhead rows (§IV.A discussion).
+#[must_use]
+pub fn render_energy(rows: &[EnergyRow]) -> String {
+    let mut out = String::from("Energy overheads vs the no-ECC baseline (§IV.A)\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>16} {:>16} {:>12}",
+        "benchmark", "LAEC dyn %", "ExtraCycle leak %", "ExtraStage leak %", "LAEC leak %"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14.2} {:>16.1} {:>16.1} {:>12.1}",
+            row.name,
+            100.0 * row.laec_dynamic_overhead,
+            100.0 * row.extra_cycle_leakage_overhead,
+            100.0 * row.extra_stage_leakage_overhead,
+            100.0 * row.laec_leakage_overhead
+        );
+    }
+    out
+}
+
+/// Renders the LAEC hazard-breakdown ablation.
+#[must_use]
+pub fn render_hazard_breakdown(rows: &[HazardBreakdownRow]) -> String {
+    let mut out = String::from("LAEC look-ahead breakdown (ablation)\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>14} {:>16} {:>16}",
+        "benchmark", "anticipated", "data hazard", "resource hazard", "operand not rdy"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>14} {:>16} {:>16}",
+            row.name, row.anticipated, row.blocked_data, row.blocked_resource, row.blocked_operand
+        );
+    }
+    out
+}
+
+/// Renders the WT-vs-WB motivation ablation.
+#[must_use]
+pub fn render_wt_vs_wb(rows: &[WtVsWbRow]) -> String {
+    let mut out = String::from("Write-through vs write-back DL1 (motivation, §II.A)\n");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>10} {:>10} {:>14}",
+        "kernel", "WT bus", "WB bus", "WT/WB time", "contended"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>10} {:>10.2} {:>14.2}",
+            row.name,
+            row.wt_bus_transactions,
+            row.wb_bus_transactions,
+            row.wt_over_wb_time,
+            row.wt_over_wb_time_contended
+        );
+    }
+    out
+}
+
+/// Renders the fault-campaign comparison.
+#[must_use]
+pub fn render_fault_campaign(rows: &[FaultCampaignRow]) -> String {
+    let mut out = String::from("Single-bit-upset campaign\n");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>9} {:>10} {:>12} {:>14} {:>8}",
+        "configuration", "injected", "corrected", "detected UC", "unrecoverable", "intact"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9} {:>10} {:>12} {:>14} {:>8}",
+            row.scheme,
+            row.injected,
+            row.corrected,
+            row.detected_uncorrectable,
+            row.unrecoverable,
+            row.results_intact
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{CharacterizationRow, Figure8Row};
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let rows = table1_commercial_processors();
+        assert_eq!(rows.len(), 5);
+        let leon4 = rows.iter().find(|r| r.name.contains("LEON 4")).unwrap();
+        assert_eq!(leon4.frequency_mhz, 150);
+        assert_eq!(leon4.l1_write_back, "No");
+        let rendered = render_table1();
+        assert!(rendered.contains("Cortex R5"));
+        assert!(rendered.contains("150MHz"));
+    }
+
+    #[test]
+    fn renderers_produce_aligned_rows() {
+        let table = CharacterizationTable {
+            rows: vec![CharacterizationRow {
+                name: "a2time".into(),
+                hit_loads_pct: 89.0,
+                dependent_loads_pct: 68.0,
+                loads_pct: 23.0,
+            }],
+            average: CharacterizationRow {
+                name: "average".into(),
+                hit_loads_pct: 89.0,
+                dependent_loads_pct: 60.0,
+                loads_pct: 25.0,
+            },
+        };
+        let rendered = render_table2(&table);
+        assert!(rendered.contains("a2time"));
+        assert!(rendered.contains("average"));
+
+        let figure = Figure8 {
+            rows: vec![Figure8Row {
+                name: "matrix".into(),
+                extra_cycle: 1.20,
+                extra_stage: 1.10,
+                laec: 1.09,
+                lookahead_rate: 0.2,
+            }],
+            average: Figure8Row {
+                name: "average".into(),
+                extra_cycle: 1.17,
+                extra_stage: 1.10,
+                laec: 1.04,
+                lookahead_rate: 0.7,
+            },
+        };
+        let rendered = render_figure8(&figure);
+        assert!(rendered.contains("matrix"));
+        assert!(rendered.contains("summary"));
+        assert!(rendered.contains("+17.0%"));
+    }
+}

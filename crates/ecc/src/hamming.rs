@@ -1,0 +1,302 @@
+//! Extended Hamming SEC-DED codes.
+//!
+//! The classic construction: check bits sit at power-of-two codeword
+//! positions, each covering the positions whose index has the corresponding
+//! bit set, plus one overall parity bit that turns the SEC code into SEC-DED.
+//! Included mainly as an independent reference implementation to cross-check
+//! the [`crate::hsiao`] codes (the two families have identical correction
+//! power; Hsiao merely has better logic balance), and because some of the
+//! commercial parts of Table I ship plain extended Hamming.
+
+use crate::code::{CodeError, CodeKind, Decoded, EccCode, Outcome};
+
+/// An extended Hamming SEC-DED code over up to 57 data bits.
+///
+/// For 32 data bits this is a (39,32) code: 6 Hamming check bits plus one
+/// overall parity bit.
+///
+/// ```
+/// use laec_ecc::{EccCode, Hamming, Outcome};
+///
+/// let code = Hamming::new(32).expect("32-bit geometry is valid");
+/// let check = code.encode(0x0000_FFFF);
+/// let decoded = code.decode(0x0000_FFFF ^ (1 << 30), check);
+/// assert_eq!(decoded.outcome, Outcome::CorrectedSingle { bit: 30 });
+/// assert_eq!(decoded.data, 0x0000_FFFF);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hamming {
+    data_bits: u32,
+    hamming_bits: u32,
+    /// Codeword position (1-based, parity positions included) of each data bit.
+    data_positions: Vec<u32>,
+    /// Reverse map: codeword position -> data bit index (or `None` for check positions).
+    position_to_data: Vec<Option<u32>>,
+}
+
+impl Hamming {
+    /// Builds an extended Hamming code over `data_bits` data bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::UnconstructibleGeometry`] if `data_bits` is 0 or
+    /// larger than 57 (6 Hamming bits + overall parity caps the payload).
+    pub fn new(data_bits: u32) -> Result<Self, CodeError> {
+        if data_bits == 0 || data_bits > 57 {
+            return Err(CodeError::UnconstructibleGeometry {
+                data_bits,
+                check_bits: 0,
+            });
+        }
+        // Smallest r with 2^r >= r + data_bits + 1.
+        let mut hamming_bits = 1u32;
+        while (1u64 << hamming_bits) < u64::from(hamming_bits) + u64::from(data_bits) + 1 {
+            hamming_bits += 1;
+        }
+        let codeword_len = hamming_bits + data_bits;
+        let mut data_positions = Vec::with_capacity(data_bits as usize);
+        let mut position_to_data = vec![None; (codeword_len + 1) as usize];
+        let mut next_data = 0u32;
+        for pos in 1..=codeword_len {
+            if pos.is_power_of_two() {
+                continue;
+            }
+            data_positions.push(pos);
+            position_to_data[pos as usize] = Some(next_data);
+            next_data += 1;
+        }
+        debug_assert_eq!(next_data, data_bits);
+        Ok(Hamming {
+            data_bits,
+            hamming_bits,
+            data_positions,
+            position_to_data,
+        })
+    }
+
+    /// Number of Hamming check bits (excluding the overall parity bit).
+    #[must_use]
+    pub fn hamming_bits(&self) -> u32 {
+        self.hamming_bits
+    }
+
+    /// Computes the Hamming syndrome and overall parity of a full codeword.
+    fn syndrome_and_parity(&self, data: u64, check: u64) -> (u32, u32) {
+        let mut syndrome = 0u32;
+        let mut overall = 0u32;
+        for (i, &pos) in self.data_positions.iter().enumerate() {
+            if data & (1u64 << i) != 0 {
+                syndrome ^= pos;
+                overall ^= 1;
+            }
+        }
+        for j in 0..self.hamming_bits {
+            if check & (1u64 << j) != 0 {
+                syndrome ^= 1u32 << j;
+                overall ^= 1;
+            }
+        }
+        // Overall parity bit is stored as the top check bit.
+        if check & (1u64 << self.hamming_bits) != 0 {
+            overall ^= 1;
+        }
+        (syndrome, overall)
+    }
+}
+
+impl EccCode for Hamming {
+    fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> u32 {
+        self.hamming_bits + 1
+    }
+
+    fn encode(&self, data: u64) -> u64 {
+        let data = data & self.data_mask();
+        // Hamming bits: parity over covered data positions.
+        let mut check = 0u64;
+        for (i, &pos) in self.data_positions.iter().enumerate() {
+            if data & (1u64 << i) != 0 {
+                check ^= u64::from(pos);
+            }
+        }
+        check &= (1u64 << self.hamming_bits) - 1;
+        // Overall even parity over data + hamming bits.
+        let ones = (data.count_ones() + (check as u32).count_ones()) & 1;
+        check | (u64::from(ones) << self.hamming_bits)
+    }
+
+    fn decode(&self, data: u64, check: u64) -> Decoded {
+        let data = data & self.data_mask();
+        let check = check & self.check_mask();
+        let (syndrome, overall) = self.syndrome_and_parity(data, check);
+        if syndrome == 0 && overall == 0 {
+            return Decoded {
+                data,
+                outcome: Outcome::Clean,
+            };
+        }
+        if overall == 1 {
+            // Odd number of flips: assume single (SEC guarantee).
+            if syndrome == 0 {
+                // The overall parity bit itself flipped.
+                return Decoded {
+                    data,
+                    outcome: Outcome::CorrectedCheckBit {
+                        bit: self.hamming_bits,
+                    },
+                };
+            }
+            if syndrome.is_power_of_two() && u64::from(syndrome) <= (1u64 << (self.hamming_bits - 1))
+            {
+                return Decoded {
+                    data,
+                    outcome: Outcome::CorrectedCheckBit {
+                        bit: syndrome.trailing_zeros(),
+                    },
+                };
+            }
+            if let Some(Some(bit)) = self.position_to_data.get(syndrome as usize).copied() {
+                return Decoded {
+                    data: data ^ (1u64 << bit),
+                    outcome: Outcome::CorrectedSingle { bit },
+                };
+            }
+            // Syndrome points outside the codeword: ≥ 3 flips.
+            return Decoded {
+                data,
+                outcome: Outcome::DetectedUncorrectable,
+            };
+        }
+        // Even parity, non-zero syndrome: double error.
+        Decoded {
+            data,
+            outcome: Outcome::DetectedDouble,
+        }
+    }
+
+    fn kind(&self) -> CodeKind {
+        CodeKind::Hamming39_32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_for_32_bits_is_39_32() {
+        let code = Hamming::new(32).unwrap();
+        assert_eq!(code.hamming_bits(), 6);
+        assert_eq!(code.check_bits(), 7);
+        assert_eq!(code.data_bits(), 32);
+    }
+
+    #[test]
+    fn rejects_invalid_geometry() {
+        assert!(Hamming::new(0).is_err());
+        assert!(Hamming::new(58).is_err());
+        assert!(Hamming::new(57).is_ok());
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = Hamming::new(32).unwrap();
+        for word in [0u64, 1, 0xFFFF_FFFF, 0x8000_0000, 0xDEAD_BEEF, 0x5555_AAAA] {
+            let check = code.encode(word);
+            let decoded = code.decode(word, check);
+            assert_eq!(decoded.outcome, Outcome::Clean, "word {word:#x}");
+            assert_eq!(decoded.data, word);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit_flip() {
+        let code = Hamming::new(32).unwrap();
+        for word in [0u64, 0xFFFF_FFFF, 0xC001_D00D] {
+            let check = code.encode(word);
+            for bit in 0..32 {
+                let decoded = code.decode(word ^ (1 << bit), check);
+                assert_eq!(decoded.outcome, Outcome::CorrectedSingle { bit });
+                assert_eq!(decoded.data, word);
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_check_bit_flip() {
+        let code = Hamming::new(32).unwrap();
+        let word = 0x7E57_AB1Eu64;
+        let check = code.encode(word);
+        for bit in 0..7 {
+            let decoded = code.decode(word, check ^ (1 << bit));
+            assert_eq!(decoded.outcome, Outcome::CorrectedCheckBit { bit });
+            assert_eq!(decoded.data, word);
+        }
+    }
+
+    #[test]
+    fn detects_every_double_data_bit_flip() {
+        let code = Hamming::new(32).unwrap();
+        let word = 0x2468_ACE0u64;
+        let check = code.encode(word);
+        for a in 0..32 {
+            for b in (a + 1)..32 {
+                let decoded = code.decode(word ^ (1 << a) ^ (1 << b), check);
+                assert_eq!(decoded.outcome, Outcome::DetectedDouble, "bits {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_mixed_data_check_double_flips() {
+        let code = Hamming::new(32).unwrap();
+        let word = 0x0000_00FFu64;
+        let check = code.encode(word);
+        for d in 0..32 {
+            for c in 0..7 {
+                let decoded = code.decode(word ^ (1 << d), check ^ (1 << c));
+                assert_ne!(decoded.outcome, Outcome::Clean, "data {d} / check {c}");
+                assert!(
+                    !decoded.outcome.is_usable() || decoded.data == word,
+                    "usable decode must have restored the original data"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_hsiao_on_correction_power() {
+        // Both families must correct the same single-bit faults; only the
+        // internal check-bit values differ.
+        let hamming = Hamming::new(32).unwrap();
+        let hsiao = crate::Hsiao39_32::new();
+        let word = 0x89AB_CDEFu64;
+        let hc = hamming.encode(word);
+        let sc = hsiao.encode(word);
+        for bit in 0..32 {
+            let corrupted = word ^ (1 << bit);
+            assert_eq!(
+                hamming.decode(corrupted, hc).data,
+                hsiao.decode(corrupted, sc).data
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_geometries_work() {
+        for bits in [4u32, 8, 11, 16, 26, 57] {
+            let code = Hamming::new(bits).unwrap();
+            let word = 0x5A5A_5A5A_5A5A_5A5Au64 & code.data_mask();
+            let check = code.encode(word);
+            assert_eq!(code.decode(word, check).outcome, Outcome::Clean);
+            for bit in 0..bits {
+                let decoded = code.decode(word ^ (1 << bit), check);
+                assert_eq!(decoded.outcome, Outcome::CorrectedSingle { bit });
+                assert_eq!(decoded.data, word);
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Timing and area model for ECC logic.
+//!
+//! The paper's architectural argument rests on a handful of circuit-level
+//! facts (its §II and §III.E):
+//!
+//! * a SECDED encode/correct path is *slower than a parity check* but *faster
+//!   than a full DL1 access*, so it fits in one extra cache cycle or one extra
+//!   pipeline stage (refs \[13\], \[18\]),
+//! * the spare time between a register-file read and a DL1 access (CACTI,
+//!   65 nm, 1088-bit RF vs 16 KB DL1) is enough to hide a 32-bit adder, which
+//!   is what allows LAEC to compute the address in the RA stage,
+//! * register-file energy is negligible versus cache energy, so the two extra
+//!   RF read ports LAEC needs are cheap.
+//!
+//! This module encodes those facts as an explicit, documented parameter set so
+//! the rest of the workspace (and the benches) can assert them instead of
+//! assuming them silently.
+
+use crate::code::CodeKind;
+
+/// Logic technology node used to scale gate delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LogicTechnology {
+    /// 65 nm planar CMOS — the node of the paper's CACTI evaluation.
+    #[default]
+    Nm65,
+    /// 40 nm planar CMOS.
+    Nm40,
+    /// 28 nm planar CMOS.
+    Nm28,
+}
+
+impl LogicTechnology {
+    /// Approximate delay of one FO4 inverter at this node, in picoseconds.
+    #[must_use]
+    pub fn fo4_ps(self) -> f64 {
+        match self {
+            LogicTechnology::Nm65 => 25.0,
+            LogicTechnology::Nm40 => 18.0,
+            LogicTechnology::Nm28 => 13.0,
+        }
+    }
+}
+
+/// Delay / area / energy model for encoders, syndrome generators and the
+/// structures LAEC adds to the pipeline front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EccLatencyModel {
+    technology: LogicTechnology,
+    /// Target clock period in picoseconds (the NGMP/LEON4 runs at 150–250 MHz
+    /// in Table I; the default models a 200 MHz part: 5000 ps).
+    clock_period_ps: f64,
+    /// Access time of the modelled 16 KB, 4-way DL1 in picoseconds.
+    dl1_access_ps: f64,
+    /// Access time of the 1088-bit register file in picoseconds.
+    register_file_access_ps: f64,
+    /// Delay of a 32-bit carry-lookahead adder in picoseconds.
+    adder32_ps: f64,
+}
+
+impl EccLatencyModel {
+    /// Model with the default 65 nm / 200 MHz parameters used by the paper's
+    /// discussion (CACTI-class numbers, see module docs).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_technology(LogicTechnology::Nm65, 5_000.0)
+    }
+
+    /// Model for a given technology node and clock period (ps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_period_ps` is not strictly positive.
+    #[must_use]
+    pub fn with_technology(technology: LogicTechnology, clock_period_ps: f64) -> Self {
+        assert!(clock_period_ps > 0.0, "clock period must be positive");
+        let fo4 = technology.fo4_ps();
+        EccLatencyModel {
+            technology,
+            clock_period_ps,
+            // A 16 KB 4-way SRAM read is on the order of 60 FO4 at 65 nm.
+            dl1_access_ps: 60.0 * fo4,
+            // A small multiported RF reads in roughly 20 FO4.
+            register_file_access_ps: 20.0 * fo4,
+            // A 32-bit CLA adder is about 12 FO4.
+            adder32_ps: 12.0 * fo4,
+        }
+    }
+
+    /// Technology node of the model.
+    #[must_use]
+    pub fn technology(&self) -> LogicTechnology {
+        self.technology
+    }
+
+    /// Clock period in picoseconds.
+    #[must_use]
+    pub fn clock_period_ps(&self) -> f64 {
+        self.clock_period_ps
+    }
+
+    /// DL1 access time in picoseconds.
+    #[must_use]
+    pub fn dl1_access_ps(&self) -> f64 {
+        self.dl1_access_ps
+    }
+
+    /// Register-file access time in picoseconds.
+    #[must_use]
+    pub fn register_file_access_ps(&self) -> f64 {
+        self.register_file_access_ps
+    }
+
+    /// Delay of the check/correct logic for a code, in picoseconds.
+    ///
+    /// The dominant term is the syndrome XOR tree (`log2(fan-in)` XOR levels)
+    /// plus, for correcting codes, the decode-and-flip stage.
+    #[must_use]
+    pub fn check_delay_ps(&self, code: CodeKind) -> f64 {
+        let fo4 = self.technology.fo4_ps();
+        let xor_levels = match code {
+            CodeKind::None => 0.0,
+            CodeKind::EvenParity32 => 5.0,  // 32-input XOR tree
+            CodeKind::ByteParity32 => 3.0,  // 8-input XOR trees
+            CodeKind::Hamming39_32 | CodeKind::Hsiao39_32 => 5.0,
+            CodeKind::Hsiao72_64 => 6.0,
+        };
+        let correct_levels = if code.corrects_single() { 4.0 } else { 0.0 };
+        // ~2 FO4 per XOR level, plus decode/mux for correction.
+        (xor_levels * 2.0 + correct_levels * 2.0) * fo4
+    }
+
+    /// `true` if the check logic for `code` fits in the slack left after a
+    /// DL1 access within one clock period (i.e. no extra cycle is needed at
+    /// all at this frequency).
+    #[must_use]
+    pub fn check_fits_in_cache_cycle(&self, code: CodeKind) -> bool {
+        self.dl1_access_ps + self.check_delay_ps(code) <= self.clock_period_ps
+    }
+
+    /// `true` if the check logic fits within a full clock period on its own,
+    /// which is what the Extra-Cycle / Extra-Stage / LAEC designs require
+    /// (paper §II.B: the SECDED latency "fits in a single additional cache
+    /// cycle or stage").
+    #[must_use]
+    pub fn check_fits_in_own_stage(&self, code: CodeKind) -> bool {
+        self.check_delay_ps(code) <= self.clock_period_ps
+    }
+
+    /// `true` if an extra 32-bit adder fits in the register-access stage,
+    /// i.e. `RF access + adder ≤ DL1 access` (paper §III.E: the RA stage has
+    /// at least as much slack as the memory stage needs for the DL1).
+    #[must_use]
+    pub fn laec_adder_fits_in_ra_stage(&self) -> bool {
+        self.register_file_access_ps + self.adder32_ps <= self.dl1_access_ps
+    }
+
+    /// Maximum operating frequency (MHz) if the ECC check is folded into the
+    /// DL1 access cycle — the "decrease the operating frequency" design point
+    /// the paper discards (§II.B option 1).
+    #[must_use]
+    pub fn max_frequency_with_inline_check_mhz(&self, code: CodeKind) -> f64 {
+        1e6 / (self.dl1_access_ps + self.check_delay_ps(code))
+    }
+
+    /// Maximum operating frequency (MHz) of the unmodified design (DL1 access
+    /// limits the cycle).
+    #[must_use]
+    pub fn max_frequency_baseline_mhz(&self) -> f64 {
+        1e6 / self.dl1_access_ps
+    }
+
+    /// Frequency loss (fraction in `[0,1)`) of folding the check into the
+    /// cache access cycle instead of adding a cycle/stage.
+    #[must_use]
+    pub fn inline_check_frequency_loss(&self, code: CodeKind) -> f64 {
+        1.0 - self.max_frequency_with_inline_check_mhz(code) / self.max_frequency_baseline_mhz()
+    }
+
+    /// Extra register-file read ports LAEC requires (paper §III.A/E).
+    #[must_use]
+    pub fn laec_extra_rf_read_ports(&self) -> u32 {
+        2
+    }
+
+    /// Extra 32-bit adders LAEC requires.
+    #[must_use]
+    pub fn laec_extra_adders(&self) -> u32 {
+        1
+    }
+}
+
+impl Default for EccLatencyModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_assumptions_hold_at_default_node() {
+        let model = EccLatencyModel::new();
+        // SECDED check fits in its own cycle/stage at 200 MHz...
+        assert!(model.check_fits_in_own_stage(CodeKind::Hsiao39_32));
+        // ...and the LAEC adder fits in the RA stage slack.
+        assert!(model.laec_adder_fits_in_ra_stage());
+        // Parity is cheap enough to fold into the cache access cycle.
+        assert!(model.check_fits_in_cache_cycle(CodeKind::EvenParity32));
+    }
+
+    #[test]
+    fn secded_is_slower_than_parity_but_faster_than_dl1() {
+        let model = EccLatencyModel::new();
+        let parity = model.check_delay_ps(CodeKind::EvenParity32);
+        let secded = model.check_delay_ps(CodeKind::Hsiao39_32);
+        assert!(secded > parity);
+        assert!(secded < model.dl1_access_ps());
+        assert_eq!(model.check_delay_ps(CodeKind::None), 0.0);
+    }
+
+    #[test]
+    fn inline_check_costs_frequency() {
+        let model = EccLatencyModel::new();
+        let loss = model.inline_check_frequency_loss(CodeKind::Hsiao39_32);
+        assert!(loss > 0.15 && loss < 0.45, "unexpected frequency loss {loss}");
+        assert!(
+            model.max_frequency_with_inline_check_mhz(CodeKind::Hsiao39_32)
+                < model.max_frequency_baseline_mhz()
+        );
+    }
+
+    #[test]
+    fn technology_scaling_is_monotonic() {
+        assert!(LogicTechnology::Nm65.fo4_ps() > LogicTechnology::Nm40.fo4_ps());
+        assert!(LogicTechnology::Nm40.fo4_ps() > LogicTechnology::Nm28.fo4_ps());
+        let m65 = EccLatencyModel::with_technology(LogicTechnology::Nm65, 5_000.0);
+        let m28 = EccLatencyModel::with_technology(LogicTechnology::Nm28, 5_000.0);
+        assert!(m28.check_delay_ps(CodeKind::Hsiao39_32) < m65.check_delay_ps(CodeKind::Hsiao39_32));
+        assert!(m28.dl1_access_ps() < m65.dl1_access_ps());
+    }
+
+    #[test]
+    fn laec_hardware_cost_is_small() {
+        let model = EccLatencyModel::default();
+        assert_eq!(model.laec_extra_rf_read_ports(), 2);
+        assert_eq!(model.laec_extra_adders(), 1);
+        assert_eq!(model.technology(), LogicTechnology::Nm65);
+        assert_eq!(model.clock_period_ps(), 5_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_clock() {
+        let _ = EccLatencyModel::with_technology(LogicTechnology::Nm65, 0.0);
+    }
+
+    #[test]
+    fn wider_codes_are_slower() {
+        let model = EccLatencyModel::new();
+        assert!(
+            model.check_delay_ps(CodeKind::Hsiao72_64) > model.check_delay_ps(CodeKind::Hsiao39_32)
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Error detection and correction codes for cache and memory arrays.
+//!
+//! This crate provides the protection substrate used by the LAEC study
+//! (*Look-Ahead Error Correction Codes in Embedded Processors L1 Data Cache*,
+//! DATE 2019): parity for write-through / read-only caches, and
+//! single-error-correction double-error-detection (SECDED) codes for
+//! write-back caches that may hold dirty data.
+//!
+//! Three code families are implemented:
+//!
+//! * [`parity`] — even/odd single-bit and per-byte parity (detection only),
+//! * [`hamming`] — extended Hamming SEC-DED codes,
+//! * [`hsiao`] — odd-weight-column Hsiao SEC-DED codes, the construction used
+//!   in real cache controllers because every column of the parity-check
+//!   matrix has odd weight, which makes double-error detection a simple
+//!   parity test on the syndrome.
+//!
+//! All codes implement the [`EccCode`] trait and report decode results through
+//! [`Decoded`] / [`Outcome`], so the cache model in `laec-mem` can swap codes
+//! freely. [`inject`] provides deterministic and random bit-flip injection for
+//! fault campaigns, and [`latency`] captures the timing/area model arguments
+//! the paper makes (SECDED check fits within one extra cycle or one extra
+//! pipeline stage).
+//!
+//! # Example
+//!
+//! ```
+//! use laec_ecc::{EccCode, Hsiao39_32, Outcome};
+//!
+//! let code = Hsiao39_32::new();
+//! let word = 0xDEAD_BEEFu64;
+//! let check = code.encode(word);
+//!
+//! // A single flipped data bit is corrected.
+//! let corrupted = word ^ (1 << 13);
+//! let decoded = code.decode(corrupted, check);
+//! assert_eq!(decoded.outcome, Outcome::CorrectedSingle { bit: 13 });
+//! assert_eq!(decoded.data, word);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod code;
+pub mod hamming;
+pub mod hsiao;
+pub mod inject;
+pub mod interleave;
+pub mod latency;
+pub mod parity;
+pub mod stats;
+
+pub use code::{CodeError, CodeKind, Codeword, Decoded, EccCode, NoCode, Outcome};
+pub use hamming::Hamming;
+pub use hsiao::{Hsiao, Hsiao39_32, Hsiao72_64};
+pub use inject::{ErrorInjector, FlipPlan, InjectionTarget};
+pub use interleave::Interleaved;
+pub use latency::{EccLatencyModel, LogicTechnology};
+pub use parity::{ByteParity, Parity, ParityKind};
+pub use stats::EccStats;

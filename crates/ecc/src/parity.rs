@@ -1,0 +1,276 @@
+//! Parity codes: single-bit and per-byte even/odd parity.
+//!
+//! Parity detects any odd number of bit flips but cannot correct anything.
+//! It is the protection the LEON3/LEON4 (NGMP) family uses for instruction
+//! caches and write-through data caches, where a clean copy of the data
+//! always exists in the SECDED-protected L2 (paper §II.A): on a detected
+//! parity error the line is simply invalidated and refetched.
+
+use crate::code::{mask, parity64, CodeKind, Decoded, EccCode, Outcome};
+
+/// Even or odd parity convention.
+///
+/// Even parity stores the XOR of all data bits; odd parity stores its
+/// complement, which has the nice hardware property that an all-zero
+/// (stuck-at-0) word+check readout is flagged as erroneous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParityKind {
+    /// Check bit makes the total number of ones even.
+    #[default]
+    Even,
+    /// Check bit makes the total number of ones odd.
+    Odd,
+}
+
+/// A single parity bit covering a whole data word.
+///
+/// ```
+/// use laec_ecc::{EccCode, Outcome, Parity, ParityKind};
+///
+/// let code = Parity::new(32, ParityKind::Even);
+/// let check = code.encode(0xFFFF_0000);
+/// assert_eq!(check, 0); // 16 ones -> even already
+/// let decoded = code.decode(0xFFFF_0001, check);
+/// assert_eq!(decoded.outcome, Outcome::DetectedUncorrectable);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parity {
+    data_bits: u32,
+    kind: ParityKind,
+}
+
+impl Parity {
+    /// Creates a parity code over `data_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits` is zero or greater than 64.
+    #[must_use]
+    pub fn new(data_bits: u32, kind: ParityKind) -> Self {
+        assert!(data_bits > 0 && data_bits <= 64, "data width must be 1..=64");
+        Parity { data_bits, kind }
+    }
+
+    /// Convenience constructor for the 32-bit even-parity code used in the
+    /// LEON4 DL1/IL1 model.
+    #[must_use]
+    pub fn even32() -> Self {
+        Parity::new(32, ParityKind::Even)
+    }
+
+    /// Parity convention of this code.
+    #[must_use]
+    pub fn parity_kind(&self) -> ParityKind {
+        self.kind
+    }
+}
+
+impl EccCode for Parity {
+    fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> u32 {
+        1
+    }
+
+    fn encode(&self, data: u64) -> u64 {
+        let p = parity64(data & self.data_mask());
+        match self.kind {
+            ParityKind::Even => p,
+            ParityKind::Odd => p ^ 1,
+        }
+    }
+
+    fn decode(&self, data: u64, check: u64) -> Decoded {
+        let data = data & self.data_mask();
+        let expected = self.encode(data);
+        let outcome = if expected == (check & 1) {
+            Outcome::Clean
+        } else {
+            Outcome::DetectedUncorrectable
+        };
+        Decoded { data, outcome }
+    }
+
+    fn kind(&self) -> CodeKind {
+        CodeKind::EvenParity32
+    }
+}
+
+/// One even/odd parity bit per byte of the data word.
+///
+/// Byte parity is what several commercial parts (e.g. the Freescale
+/// PowerQUICC of Table I) implement: it localises the error to a byte and,
+/// unlike word parity, still detects many 2-bit errors as long as the flips
+/// fall in different bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteParity {
+    data_bits: u32,
+    kind: ParityKind,
+}
+
+impl ByteParity {
+    /// Creates a per-byte parity code over `data_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits` is zero, greater than 64 or not a multiple of 8.
+    #[must_use]
+    pub fn new(data_bits: u32, kind: ParityKind) -> Self {
+        assert!(
+            data_bits > 0 && data_bits <= 64 && data_bits.is_multiple_of(8),
+            "data width must be a multiple of 8 in 8..=64"
+        );
+        ByteParity { data_bits, kind }
+    }
+
+    /// Convenience constructor for the 32-bit word / 4-check-bit geometry.
+    #[must_use]
+    pub fn even32() -> Self {
+        ByteParity::new(32, ParityKind::Even)
+    }
+
+    fn bytes(&self) -> u32 {
+        self.data_bits / 8
+    }
+}
+
+impl EccCode for ByteParity {
+    fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> u32 {
+        self.bytes()
+    }
+
+    fn encode(&self, data: u64) -> u64 {
+        let data = data & self.data_mask();
+        let mut check = 0u64;
+        for byte in 0..self.bytes() {
+            let b = (data >> (byte * 8)) & 0xFF;
+            let mut p = parity64(b);
+            if self.kind == ParityKind::Odd {
+                p ^= 1;
+            }
+            check |= p << byte;
+        }
+        check
+    }
+
+    fn decode(&self, data: u64, check: u64) -> Decoded {
+        let data = data & self.data_mask();
+        let expected = self.encode(data);
+        let diff = (expected ^ check) & mask(self.bytes());
+        let outcome = if diff == 0 {
+            Outcome::Clean
+        } else {
+            Outcome::DetectedUncorrectable
+        };
+        Decoded { data, outcome }
+    }
+
+    fn kind(&self) -> CodeKind {
+        CodeKind::ByteParity32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_parity_roundtrip_clean() {
+        let code = Parity::even32();
+        for word in [0u64, 1, 0xFFFF_FFFF, 0x8000_0001, 0x1234_5678] {
+            let check = code.encode(word);
+            let decoded = code.decode(word, check);
+            assert_eq!(decoded.outcome, Outcome::Clean, "word {word:#x}");
+            assert_eq!(decoded.data, word & 0xFFFF_FFFF);
+        }
+    }
+
+    #[test]
+    fn even_parity_detects_every_single_flip() {
+        let code = Parity::even32();
+        let word = 0xA5A5_5A5Au64;
+        let check = code.encode(word);
+        for bit in 0..32 {
+            let decoded = code.decode(word ^ (1 << bit), check);
+            assert_eq!(decoded.outcome, Outcome::DetectedUncorrectable);
+        }
+        // A flipped check bit is detected too.
+        let decoded = code.decode(word, check ^ 1);
+        assert_eq!(decoded.outcome, Outcome::DetectedUncorrectable);
+    }
+
+    #[test]
+    fn even_parity_misses_double_flip() {
+        // A word-parity code is blind to an even number of flips — exactly the
+        // limitation the paper works around by using SECDED for dirty data.
+        let code = Parity::even32();
+        let word = 0x0F0F_F0F0u64;
+        let check = code.encode(word);
+        let decoded = code.decode(word ^ 0b11, check);
+        assert_eq!(decoded.outcome, Outcome::Clean);
+    }
+
+    #[test]
+    fn odd_parity_complement_of_even() {
+        let even = Parity::new(32, ParityKind::Even);
+        let odd = Parity::new(32, ParityKind::Odd);
+        for word in [0u64, 3, 0xFFFF_FFFE, 0xDEAD_BEEF] {
+            assert_eq!(even.encode(word) ^ 1, odd.encode(word));
+        }
+        assert_eq!(odd.parity_kind(), ParityKind::Odd);
+    }
+
+    #[test]
+    fn odd_parity_flags_all_zero_readout() {
+        let odd = Parity::new(32, ParityKind::Odd);
+        // All-zero data with all-zero check (typical stuck-at / power-on
+        // pattern) must be flagged under odd parity.
+        assert_eq!(odd.decode(0, 0).outcome, Outcome::DetectedUncorrectable);
+    }
+
+    #[test]
+    fn byte_parity_roundtrip_and_detection() {
+        let code = ByteParity::even32();
+        assert_eq!(code.check_bits(), 4);
+        let word = 0x1234_5678u64;
+        let check = code.encode(word);
+        assert_eq!(code.decode(word, check).outcome, Outcome::Clean);
+        for bit in 0..32 {
+            let decoded = code.decode(word ^ (1 << bit), check);
+            assert_eq!(decoded.outcome, Outcome::DetectedUncorrectable);
+        }
+    }
+
+    #[test]
+    fn byte_parity_detects_cross_byte_double_error() {
+        let code = ByteParity::even32();
+        let word = 0x0000_0000u64;
+        let check = code.encode(word);
+        // Two flips in different bytes are detected …
+        let decoded = code.decode(word ^ (1 | 1 << 8), check);
+        assert_eq!(decoded.outcome, Outcome::DetectedUncorrectable);
+        // … but two flips in the same byte are not.
+        let decoded = code.decode(word ^ 0b11, check);
+        assert_eq!(decoded.outcome, Outcome::Clean);
+    }
+
+    #[test]
+    fn parity_ignores_bits_above_width() {
+        let code = Parity::new(16, ParityKind::Even);
+        let check = code.encode(0xFFFF_0001);
+        // Only the low 16 bits count: a single one -> parity 1.
+        assert_eq!(check, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn byte_parity_rejects_unaligned_width() {
+        let _ = ByteParity::new(20, ParityKind::Even);
+    }
+}

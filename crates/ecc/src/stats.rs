@@ -1,0 +1,174 @@
+//! Error-event accounting.
+//!
+//! Caches and the fault-campaign harness accumulate [`EccStats`] so runs can
+//! report how many words were checked, how many errors were corrected, and
+//! whether anything uncorrectable slipped through (which, for a safety
+//! argument, must be surfaced and never silently dropped).
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use crate::code::Outcome;
+
+/// Counters describing the outcomes of every ECC check performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EccStats {
+    /// Words checked with a zero syndrome.
+    pub clean: u64,
+    /// Single-bit data errors corrected.
+    pub corrected_data: u64,
+    /// Single-bit check errors corrected (data was already fine).
+    pub corrected_check: u64,
+    /// Double errors detected (uncorrectable).
+    pub detected_double: u64,
+    /// Other uncorrectable errors detected.
+    pub detected_uncorrectable: u64,
+}
+
+impl EccStats {
+    /// A zeroed counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        EccStats::default()
+    }
+
+    /// Records one decode outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Clean => self.clean += 1,
+            Outcome::CorrectedSingle { .. } => self.corrected_data += 1,
+            Outcome::CorrectedCheckBit { .. } => self.corrected_check += 1,
+            Outcome::DetectedDouble => self.detected_double += 1,
+            Outcome::DetectedUncorrectable => self.detected_uncorrectable += 1,
+        }
+    }
+
+    /// Total number of checks performed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.clean
+            + self.corrected_data
+            + self.corrected_check
+            + self.detected_double
+            + self.detected_uncorrectable
+    }
+
+    /// Total corrected events (data + check).
+    #[must_use]
+    pub fn corrected(&self) -> u64 {
+        self.corrected_data + self.corrected_check
+    }
+
+    /// Total uncorrectable events.
+    #[must_use]
+    pub fn uncorrectable(&self) -> u64 {
+        self.detected_double + self.detected_uncorrectable
+    }
+
+    /// `true` if no uncorrectable event was ever observed.
+    #[must_use]
+    pub fn is_safe(&self) -> bool {
+        self.uncorrectable() == 0
+    }
+
+    /// Fraction of checks that found any error.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (total - self.clean) as f64 / total as f64
+        }
+    }
+}
+
+impl Add for EccStats {
+    type Output = EccStats;
+
+    fn add(self, rhs: EccStats) -> EccStats {
+        EccStats {
+            clean: self.clean + rhs.clean,
+            corrected_data: self.corrected_data + rhs.corrected_data,
+            corrected_check: self.corrected_check + rhs.corrected_check,
+            detected_double: self.detected_double + rhs.detected_double,
+            detected_uncorrectable: self.detected_uncorrectable + rhs.detected_uncorrectable,
+        }
+    }
+}
+
+impl AddAssign for EccStats {
+    fn add_assign(&mut self, rhs: EccStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for EccStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "checks={} clean={} corrected(data={}, check={}) uncorrectable(double={}, other={})",
+            self.total(),
+            self.clean,
+            self.corrected_data,
+            self.corrected_check,
+            self.detected_double,
+            self.detected_uncorrectable
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut stats = EccStats::new();
+        stats.record(Outcome::Clean);
+        stats.record(Outcome::Clean);
+        stats.record(Outcome::CorrectedSingle { bit: 3 });
+        stats.record(Outcome::CorrectedCheckBit { bit: 1 });
+        stats.record(Outcome::DetectedDouble);
+        stats.record(Outcome::DetectedUncorrectable);
+        assert_eq!(stats.total(), 6);
+        assert_eq!(stats.corrected(), 2);
+        assert_eq!(stats.uncorrectable(), 2);
+        assert!(!stats.is_safe());
+        assert!((stats.error_rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let stats = EccStats::default();
+        assert_eq!(stats.total(), 0);
+        assert_eq!(stats.error_rate(), 0.0);
+        assert!(stats.is_safe());
+    }
+
+    #[test]
+    fn addition_is_component_wise() {
+        let mut a = EccStats::new();
+        a.record(Outcome::Clean);
+        a.record(Outcome::CorrectedSingle { bit: 0 });
+        let mut b = EccStats::new();
+        b.record(Outcome::DetectedDouble);
+        let sum = a + b;
+        assert_eq!(sum.total(), 3);
+        assert_eq!(sum.clean, 1);
+        assert_eq!(sum.corrected_data, 1);
+        assert_eq!(sum.detected_double, 1);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, sum);
+    }
+
+    #[test]
+    fn display_is_not_empty() {
+        let mut stats = EccStats::new();
+        stats.record(Outcome::Clean);
+        let text = stats.to_string();
+        assert!(text.contains("checks=1"));
+        assert!(text.contains("clean=1"));
+    }
+}

@@ -1,0 +1,419 @@
+//! A small two-pass text assembler.
+//!
+//! Syntax (one instruction per line, `#` or `;` start a comment):
+//!
+//! ```text
+//! # ALU, register and immediate forms
+//! add  r3, r1, r2         sub  r3, r1, r2      mul r3, r1, r2
+//! addi r3, r1, -5         xori r3, r1, 0xF     slli r3, r1, 2
+//! # memory
+//! ld   r3, [r1 + 8]       st  r3, [r1 - 4]     ldb r2, [r5]
+//! # control flow
+//! loop:
+//! bne  r1, r0, loop       beq r1, r2, done     jmp loop
+//! call func, r31          jr  r31
+//! nop                     halt
+//! ```
+//!
+//! Branch/jump/call targets are labels; labels are `name:` on their own line
+//! or before an instruction.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::instruction::{AluOp, Cond, Instruction, MemWidth, Operand};
+use crate::reg::Reg;
+
+/// Error produced while assembling a source string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AssembleError {}
+
+fn err(line: usize, message: impl Into<String>) -> AssembleError {
+    AssembleError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Assembles a source string into a list of instructions.
+///
+/// # Errors
+///
+/// Returns an [`AssembleError`] naming the first offending line for syntax
+/// errors, unknown mnemonics/registers, out-of-range immediates or undefined
+/// labels.
+pub fn assemble(source: &str) -> Result<Vec<Instruction>, AssembleError> {
+    // Pass 1: strip comments, record labels, collect (line number, tokens).
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    for (line_index, raw) in source.lines().enumerate() {
+        let line_no = line_index + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find(['#', ';']) {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        // Possibly several labels before the instruction.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(line_no, format!("invalid label name {label:?}")));
+            }
+            if labels.insert(label.to_string(), lines.len() as u32).is_some() {
+                return Err(err(line_no, format!("label `{label}` defined twice")));
+            }
+            text = rest[1..].trim();
+        }
+        if !text.is_empty() {
+            lines.push((line_no, text.to_string()));
+        }
+    }
+
+    // Pass 2: parse instructions, resolving label references.
+    let mut code = Vec::with_capacity(lines.len());
+    for (line_no, text) in &lines {
+        code.push(parse_line(*line_no, text, &labels)?);
+    }
+    Ok(code)
+}
+
+fn parse_line(
+    line: usize,
+    text: &str,
+    labels: &HashMap<String, u32>,
+) -> Result<Instruction, AssembleError> {
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+
+    match mnemonic.as_str() {
+        "nop" => expect_count(line, &operands, 0).map(|_| Instruction::Nop),
+        "halt" => expect_count(line, &operands, 0).map(|_| Instruction::Halt),
+        "jmp" => {
+            expect_count(line, &operands, 1)?;
+            Ok(Instruction::Jump {
+                target: parse_label(line, operands[0], labels)?,
+            })
+        }
+        "call" => {
+            if operands.len() != 1 && operands.len() != 2 {
+                return Err(err(line, "call expects `call label[, linkreg]`"));
+            }
+            let link = if operands.len() == 2 {
+                parse_reg(line, operands[1])?
+            } else {
+                Reg::new(31)
+            };
+            Ok(Instruction::Call {
+                target: parse_label(line, operands[0], labels)?,
+                link,
+            })
+        }
+        "jr" => {
+            expect_count(line, &operands, 1)?;
+            Ok(Instruction::JumpReg {
+                target: parse_reg(line, operands[0])?,
+            })
+        }
+        "ld" | "ldh" | "ldb" => {
+            expect_count(line, &operands, 2)?;
+            let (base, offset) = parse_mem_operand(line, operands[1])?;
+            Ok(Instruction::Load {
+                width: width_of(&mnemonic),
+                rd: parse_reg(line, operands[0])?,
+                base,
+                offset,
+            })
+        }
+        "st" | "sth" | "stb" => {
+            expect_count(line, &operands, 2)?;
+            let (base, offset) = parse_mem_operand(line, operands[1])?;
+            Ok(Instruction::Store {
+                width: width_of(&mnemonic),
+                src: parse_reg(line, operands[0])?,
+                base,
+                offset,
+            })
+        }
+        m if Cond::all().iter().any(|c| c.mnemonic() == m) => {
+            expect_count(line, &operands, 3)?;
+            let cond = *Cond::all().iter().find(|c| c.mnemonic() == m).expect("checked");
+            Ok(Instruction::Branch {
+                cond,
+                rs1: parse_reg(line, operands[0])?,
+                rs2: parse_reg(line, operands[1])?,
+                target: parse_label(line, operands[2], labels)?,
+            })
+        }
+        m => {
+            // ALU: register form `add` or immediate form `addi`.
+            let (base_mnemonic, immediate_form) = match m.strip_suffix('i') {
+                Some(stripped)
+                    if AluOp::all().iter().any(|op| op.mnemonic() == stripped) =>
+                {
+                    (stripped, true)
+                }
+                _ => (m, false),
+            };
+            let op = AluOp::all()
+                .iter()
+                .copied()
+                .find(|op| op.mnemonic() == base_mnemonic)
+                .ok_or_else(|| err(line, format!("unknown mnemonic `{m}`")))?;
+            expect_count(line, &operands, 3)?;
+            let rd = parse_reg(line, operands[0])?;
+            let rs1 = parse_reg(line, operands[1])?;
+            let operand = if immediate_form {
+                Operand::Imm(parse_imm(line, operands[2])?)
+            } else {
+                Operand::Reg(parse_reg(line, operands[2])?)
+            };
+            Ok(Instruction::Alu {
+                op,
+                rd,
+                rs1,
+                operand,
+            })
+        }
+    }
+}
+
+fn width_of(mnemonic: &str) -> MemWidth {
+    match mnemonic.as_bytes().last() {
+        Some(b'h') => MemWidth::Half,
+        Some(b'b') => MemWidth::Byte,
+        _ => MemWidth::Word,
+    }
+}
+
+fn expect_count(line: usize, operands: &[&str], count: usize) -> Result<(), AssembleError> {
+    if operands.len() == count {
+        Ok(())
+    } else {
+        Err(err(
+            line,
+            format!("expected {count} operand(s), found {}", operands.len()),
+        ))
+    }
+}
+
+fn parse_reg(line: usize, text: &str) -> Result<Reg, AssembleError> {
+    let text = text.trim();
+    let index = text
+        .strip_prefix(['r', 'R'])
+        .and_then(|s| s.parse::<u8>().ok())
+        .ok_or_else(|| err(line, format!("invalid register `{text}`")))?;
+    Reg::try_new(index).ok_or_else(|| err(line, format!("register `{text}` out of range")))
+}
+
+fn parse_imm(line: usize, text: &str) -> Result<i32, AssembleError> {
+    let text = text.trim();
+    let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| err(line, format!("invalid immediate `{text}`")))
+    } else if let Some(hex) = text.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16)
+            .map(|v| -v)
+            .map_err(|_| err(line, format!("invalid immediate `{text}`")))
+    } else {
+        text.parse::<i64>()
+            .map_err(|_| err(line, format!("invalid immediate `{text}`")))
+    }?;
+    if !(-32768..=32767).contains(&value) {
+        return Err(err(line, format!("immediate `{text}` does not fit in 16 bits")));
+    }
+    Ok(value as i32)
+}
+
+fn parse_label(
+    line: usize,
+    text: &str,
+    labels: &HashMap<String, u32>,
+) -> Result<u32, AssembleError> {
+    let text = text.trim();
+    labels
+        .get(text)
+        .copied()
+        .ok_or_else(|| err(line, format!("undefined label `{text}`")))
+}
+
+/// Parses `[rN]`, `[rN + 8]` or `[rN - 8]`.
+fn parse_mem_operand(line: usize, text: &str) -> Result<(Reg, i16), AssembleError> {
+    let text = text.trim();
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("memory operand `{text}` must be `[reg +/- offset]`")))?
+        .trim();
+    let (reg_text, offset) = if let Some(pos) = inner.find(['+', '-']) {
+        let (reg_text, rest) = inner.split_at(pos);
+        let sign = if rest.starts_with('-') { -1i32 } else { 1 };
+        let magnitude = parse_imm(line, rest[1..].trim())?;
+        (reg_text.trim(), sign * magnitude)
+    } else {
+        (inner, 0)
+    };
+    let offset = i16::try_from(offset)
+        .map_err(|_| err(line, format!("offset in `{text}` does not fit in 16 bits")))?;
+    Ok((parse_reg(line, reg_text)?, offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_all_instruction_forms() {
+        let code = assemble(
+            r#"
+            # a small program exercising every form
+            start:
+                addi r1, r0, 16       ; immediate ALU
+                add  r2, r1, r1
+                slti r3, r1, 100      ; hmm, not a real mnemonic? use slt
+            "#,
+        );
+        // `slti` is valid: base mnemonic `slt` + immediate suffix.
+        let code = code.expect("assembles");
+        assert_eq!(code.len(), 3);
+        assert!(matches!(
+            code[2],
+            Instruction::Alu {
+                op: AluOp::Slt,
+                operand: Operand::Imm(100),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn memory_and_branches_resolve_labels() {
+        let code = assemble(
+            r#"
+            init:
+                addi r1, r0, 0x100
+            loop:
+                ld   r2, [r1 + 4]
+                st   r2, [r1 - 4]
+                ldb  r3, [r1]
+                subi r1, r1, 8
+                bne  r1, r0, loop
+                beq  r0, r0, init
+                jmp  end
+            end:
+                halt
+            "#,
+        )
+        .expect("assembles");
+        assert_eq!(code.len(), 9);
+        assert_eq!(
+            code[1],
+            Instruction::Load {
+                width: MemWidth::Word,
+                rd: Reg::new(2),
+                base: Reg::new(1),
+                offset: 4
+            }
+        );
+        assert_eq!(
+            code[2],
+            Instruction::Store {
+                width: MemWidth::Word,
+                src: Reg::new(2),
+                base: Reg::new(1),
+                offset: -4
+            }
+        );
+        assert!(matches!(code[5], Instruction::Branch { cond: Cond::Ne, target: 1, .. }));
+        assert!(matches!(code[6], Instruction::Branch { cond: Cond::Eq, target: 0, .. }));
+        assert_eq!(code[7], Instruction::Jump { target: 8 });
+        assert_eq!(code[8], Instruction::Halt);
+    }
+
+    #[test]
+    fn call_with_and_without_link() {
+        let code = assemble(
+            r#"
+            main:
+                call func
+                call func, r30
+                halt
+            func:
+                jr r31
+            "#,
+        )
+        .expect("assembles");
+        assert_eq!(
+            code[0],
+            Instruction::Call {
+                target: 3,
+                link: Reg::new(31)
+            }
+        );
+        assert_eq!(
+            code[1],
+            Instruction::Call {
+                target: 3,
+                link: Reg::new(30)
+            }
+        );
+        assert_eq!(code[3], Instruction::JumpReg { target: Reg::new(31) });
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let code = assemble("addi r1, r0, 0x7F\n addi r2, r0, -42\n").unwrap();
+        assert!(matches!(code[0], Instruction::Alu { operand: Operand::Imm(127), .. }));
+        assert!(matches!(code[1], Instruction::Alu { operand: Operand::Imm(-42), .. }));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let result = assemble("nop\nbogus r1, r2, r3\n");
+        let error = result.unwrap_err();
+        assert_eq!(error.line, 2);
+        assert!(error.to_string().contains("unknown mnemonic"));
+
+        assert!(assemble("addi r1, r0, 99999").is_err());
+        assert!(assemble("add r1, r0").is_err());
+        assert!(assemble("ld r1, r2").is_err());
+        assert!(assemble("add r99, r0, r0").is_err());
+        assert!(assemble("jmp nowhere").is_err());
+        assert!(assemble("x: nop\nx: nop").is_err());
+    }
+
+    #[test]
+    fn labels_on_their_own_line_and_inline() {
+        let code = assemble("a:\nnop\nb: halt\n").unwrap();
+        assert_eq!(code.len(), 2);
+        let code = assemble("first: second: nop\njmp second\n").unwrap();
+        assert_eq!(code[1], Instruction::Jump { target: 0 });
+    }
+
+    #[test]
+    fn empty_source_is_empty_program() {
+        assert!(assemble("").unwrap().is_empty());
+        assert!(assemble("   \n# only a comment\n").unwrap().is_empty());
+    }
+}

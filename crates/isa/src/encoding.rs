@@ -1,0 +1,371 @@
+//! Fixed 32-bit binary encoding of the instruction set.
+//!
+//! The simulator's instruction cache stores real encoded words, and the
+//! workload generators can measure static code size.  The format is a simple
+//! fixed-field layout:
+//!
+//! ```text
+//!  31      26 25   21 20   16 15    11 15            0
+//! +----------+-------+-------+--------+---------------+
+//! |  opcode  |  rd   |  rs1  |  rs2   |    imm16      |   (fields overlap by format)
+//! +----------+-------+-------+--------+---------------+
+//! ```
+//!
+//! * ALU register form: `rd`, `rs1`, `rs2`
+//! * ALU immediate form / loads / stores: `rd`(or `src`), `rs1`(base), `imm16`
+//! * branches: `rs1` in the `rd` slot, `rs2` in the `rs1` slot, 16-bit target
+//! * `jmp`: 26-bit target; `call`: link in the `rd` slot, 21-bit target
+//!
+//! Branch and jump targets are absolute instruction indices.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instruction::{AluOp, Cond, Instruction, MemWidth, Operand};
+use crate::reg::Reg;
+
+const OP_NOP: u32 = 0;
+const OP_HALT: u32 = 1;
+const OP_ALU_REG_BASE: u32 = 2; // 2..=12
+const OP_ALU_IMM_BASE: u32 = 13; // 13..=23
+const OP_LD_WORD: u32 = 24;
+const OP_LD_HALF: u32 = 25;
+const OP_LD_BYTE: u32 = 26;
+const OP_ST_WORD: u32 = 27;
+const OP_ST_HALF: u32 = 28;
+const OP_ST_BYTE: u32 = 29;
+const OP_BRANCH_BASE: u32 = 30; // 30..=35
+const OP_JMP: u32 = 36;
+const OP_CALL: u32 = 37;
+const OP_JR: u32 = 38;
+
+/// Error produced when decoding an invalid instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+    /// Its (unknown) opcode field.
+    pub opcode: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot decode instruction word {:#010x} (opcode {})",
+            self.word, self.opcode
+        )
+    }
+}
+
+impl Error for DecodeError {}
+
+fn alu_index(op: AluOp) -> u32 {
+    AluOp::all().iter().position(|&o| o == op).expect("op in table") as u32
+}
+
+fn cond_index(cond: Cond) -> u32 {
+    Cond::all().iter().position(|&c| c == cond).expect("cond in table") as u32
+}
+
+fn field_rd(reg: Reg) -> u32 {
+    u32::from(reg.index()) << 21
+}
+
+fn field_rs1(reg: Reg) -> u32 {
+    u32::from(reg.index()) << 16
+}
+
+fn field_rs2(reg: Reg) -> u32 {
+    u32::from(reg.index()) << 11
+}
+
+fn take_rd(word: u32) -> Reg {
+    Reg::new(((word >> 21) & 0x1F) as u8)
+}
+
+fn take_rs1(word: u32) -> Reg {
+    Reg::new(((word >> 16) & 0x1F) as u8)
+}
+
+fn take_rs2(word: u32) -> Reg {
+    Reg::new(((word >> 11) & 0x1F) as u8)
+}
+
+fn take_imm16(word: u32) -> i16 {
+    (word & 0xFFFF) as u16 as i16
+}
+
+/// Encodes an instruction into its 32-bit machine word.
+///
+/// # Panics
+///
+/// Panics if a branch target does not fit in 16 bits, a jump target in 26
+/// bits, or a call target in 21 bits.  Programs produced by
+/// [`ProgramBuilder`](crate::ProgramBuilder) and the assembler are always in
+/// range.
+#[must_use]
+pub fn encode(instruction: &Instruction) -> u32 {
+    match *instruction {
+        Instruction::Nop => OP_NOP << 26,
+        Instruction::Halt => OP_HALT << 26,
+        Instruction::Alu {
+            op,
+            rd,
+            rs1,
+            operand,
+        } => match operand {
+            Operand::Reg(rs2) => {
+                ((OP_ALU_REG_BASE + alu_index(op)) << 26)
+                    | field_rd(rd)
+                    | field_rs1(rs1)
+                    | field_rs2(rs2)
+            }
+            Operand::Imm(imm) => {
+                let imm16 = i16::try_from(imm).expect("ALU immediate must fit in 16 bits");
+                ((OP_ALU_IMM_BASE + alu_index(op)) << 26)
+                    | field_rd(rd)
+                    | field_rs1(rs1)
+                    | (imm16 as u16 as u32)
+            }
+        },
+        Instruction::Load {
+            width,
+            rd,
+            base,
+            offset,
+        } => {
+            let opcode = match width {
+                MemWidth::Word => OP_LD_WORD,
+                MemWidth::Half => OP_LD_HALF,
+                MemWidth::Byte => OP_LD_BYTE,
+            };
+            (opcode << 26) | field_rd(rd) | field_rs1(base) | (offset as u16 as u32)
+        }
+        Instruction::Store {
+            width,
+            src,
+            base,
+            offset,
+        } => {
+            let opcode = match width {
+                MemWidth::Word => OP_ST_WORD,
+                MemWidth::Half => OP_ST_HALF,
+                MemWidth::Byte => OP_ST_BYTE,
+            };
+            (opcode << 26) | field_rd(src) | field_rs1(base) | (offset as u16 as u32)
+        }
+        Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            assert!(target < (1 << 16), "branch target {target} does not fit in 16 bits");
+            ((OP_BRANCH_BASE + cond_index(cond)) << 26)
+                | field_rd(rs1)
+                | field_rs1(rs2)
+                | target
+        }
+        Instruction::Jump { target } => {
+            assert!(target < (1 << 26), "jump target {target} does not fit in 26 bits");
+            (OP_JMP << 26) | target
+        }
+        Instruction::Call { target, link } => {
+            assert!(target < (1 << 21), "call target {target} does not fit in 21 bits");
+            (OP_CALL << 26) | field_rd(link) | target
+        }
+        Instruction::JumpReg { target } => (OP_JR << 26) | field_rd(target),
+    }
+}
+
+/// Decodes a 32-bit machine word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode field is not a valid instruction.
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    let opcode = word >> 26;
+    let instruction = match opcode {
+        OP_NOP => Instruction::Nop,
+        OP_HALT => Instruction::Halt,
+        op if (OP_ALU_REG_BASE..OP_ALU_IMM_BASE).contains(&op) => Instruction::Alu {
+            op: AluOp::all()[(op - OP_ALU_REG_BASE) as usize],
+            rd: take_rd(word),
+            rs1: take_rs1(word),
+            operand: Operand::Reg(take_rs2(word)),
+        },
+        op if (OP_ALU_IMM_BASE..OP_LD_WORD).contains(&op) => Instruction::Alu {
+            op: AluOp::all()[(op - OP_ALU_IMM_BASE) as usize],
+            rd: take_rd(word),
+            rs1: take_rs1(word),
+            operand: Operand::Imm(i32::from(take_imm16(word))),
+        },
+        OP_LD_WORD | OP_LD_HALF | OP_LD_BYTE => Instruction::Load {
+            width: match opcode {
+                OP_LD_WORD => MemWidth::Word,
+                OP_LD_HALF => MemWidth::Half,
+                _ => MemWidth::Byte,
+            },
+            rd: take_rd(word),
+            base: take_rs1(word),
+            offset: take_imm16(word),
+        },
+        OP_ST_WORD | OP_ST_HALF | OP_ST_BYTE => Instruction::Store {
+            width: match opcode {
+                OP_ST_WORD => MemWidth::Word,
+                OP_ST_HALF => MemWidth::Half,
+                _ => MemWidth::Byte,
+            },
+            src: take_rd(word),
+            base: take_rs1(word),
+            offset: take_imm16(word),
+        },
+        op if (OP_BRANCH_BASE..OP_JMP).contains(&op) => Instruction::Branch {
+            cond: Cond::all()[(op - OP_BRANCH_BASE) as usize],
+            rs1: take_rd(word),
+            rs2: take_rs1(word),
+            target: word & 0xFFFF,
+        },
+        OP_JMP => Instruction::Jump {
+            target: word & 0x03FF_FFFF,
+        },
+        OP_CALL => Instruction::Call {
+            target: word & 0x001F_FFFF,
+            link: take_rd(word),
+        },
+        OP_JR => Instruction::JumpReg {
+            target: take_rd(word),
+        },
+        _ => return Err(DecodeError { word, opcode }),
+    };
+    Ok(instruction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn samples() -> Vec<Instruction> {
+        let mut out = vec![
+            Instruction::Nop,
+            Instruction::Halt,
+            Instruction::Jump { target: 1234 },
+            Instruction::Call {
+                target: 77,
+                link: reg(31),
+            },
+            Instruction::JumpReg { target: reg(31) },
+        ];
+        for &op in AluOp::all() {
+            out.push(Instruction::Alu {
+                op,
+                rd: reg(3),
+                rs1: reg(4),
+                operand: Operand::Reg(reg(5)),
+            });
+            out.push(Instruction::Alu {
+                op,
+                rd: reg(6),
+                rs1: reg(7),
+                operand: Operand::Imm(-42),
+            });
+        }
+        for width in [MemWidth::Byte, MemWidth::Half, MemWidth::Word] {
+            out.push(Instruction::Load {
+                width,
+                rd: reg(8),
+                base: reg(9),
+                offset: -16,
+            });
+            out.push(Instruction::Store {
+                width,
+                src: reg(10),
+                base: reg(11),
+                offset: 4096,
+            });
+        }
+        for &cond in Cond::all() {
+            out.push(Instruction::Branch {
+                cond,
+                rs1: reg(12),
+                rs2: reg(13),
+                target: 500,
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for instruction in samples() {
+            let word = encode(&instruction);
+            let decoded = decode(word).expect("valid encoding");
+            assert_eq!(decoded, instruction, "round trip for {instruction}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        let words: Vec<u32> = samples().iter().map(encode).collect();
+        for (i, a) in words.iter().enumerate() {
+            for (j, b) in words.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "instructions {i} and {j} collide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_offsets_and_immediates_survive() {
+        let ld = Instruction::Load {
+            width: MemWidth::Word,
+            rd: reg(1),
+            base: reg(2),
+            offset: -32768,
+        };
+        assert_eq!(decode(encode(&ld)).unwrap(), ld);
+        let addi = Instruction::Alu {
+            op: AluOp::Add,
+            rd: reg(1),
+            rs1: reg(2),
+            operand: Operand::Imm(-32768),
+        };
+        assert_eq!(decode(encode(&addi)).unwrap(), addi);
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_error() {
+        let word = 63u32 << 26;
+        let err = decode(word).unwrap_err();
+        assert_eq!(err.opcode, 63);
+        assert!(err.to_string().contains("cannot decode"));
+    }
+
+    #[test]
+    #[should_panic(expected = "16 bits")]
+    fn oversized_branch_target_panics() {
+        let _ = encode(&Instruction::Branch {
+            cond: Cond::Eq,
+            rs1: reg(1),
+            rs2: reg(2),
+            target: 1 << 16,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "16 bits")]
+    fn oversized_alu_immediate_panics() {
+        let _ = encode(&Instruction::Alu {
+            op: AluOp::Add,
+            rd: reg(1),
+            rs1: reg(2),
+            operand: Operand::Imm(40_000),
+        });
+    }
+}

@@ -1,0 +1,571 @@
+//! Programs and the typed program builder.
+//!
+//! A [`Program`] is an ordered list of instructions addressed by instruction
+//! index (instruction `i` lives at byte address `4 * i` as far as the
+//! instruction cache is concerned) plus an optional block of initialised
+//! data the simulator copies into memory before execution.
+
+use std::fmt;
+
+use crate::assembler::{self, AssembleError};
+use crate::encoding;
+use crate::instruction::{AluOp, Cond, Instruction, MemWidth, Operand};
+use crate::reg::Reg;
+
+/// A fully resolved program: code, name and initial data image.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    name: String,
+    code: Vec<Instruction>,
+    /// `(byte address, value)` pairs of words to initialise in data memory.
+    data: Vec<(u32, u32)>,
+}
+
+impl Program {
+    /// Creates a program from a list of instructions.
+    #[must_use]
+    pub fn new(name: impl Into<String>, code: Vec<Instruction>) -> Self {
+        Program {
+            name: name.into(),
+            code,
+            data: Vec::new(),
+        }
+    }
+
+    /// Assembles a program from textual assembly (see [`crate::assembler`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AssembleError`] describing the offending line on a parse
+    /// failure or undefined label.
+    pub fn assemble(source: &str) -> Result<Self, AssembleError> {
+        assembler::assemble(source).map(|code| Program::new("assembled", code))
+    }
+
+    /// Renames the program (builder-style).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds an initialised data word at `address` (builder-style).
+    #[must_use]
+    pub fn with_data_word(mut self, address: u32, value: u32) -> Self {
+        self.data.push((address, value));
+        self
+    }
+
+    /// Adds a block of initialised words starting at `base`, 4 bytes apart.
+    #[must_use]
+    pub fn with_data_block(mut self, base: u32, values: &[u32]) -> Self {
+        for (i, &value) in values.iter().enumerate() {
+            self.data.push((base + 4 * i as u32, value));
+        }
+        self
+    }
+
+    /// The program's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` for an empty program.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The instruction at index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn instruction(&self, index: usize) -> &Instruction {
+        &self.code[index]
+    }
+
+    /// The instruction at `index`, or `None` past the end of the program.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&Instruction> {
+        self.code.get(index)
+    }
+
+    /// All instructions.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.code
+    }
+
+    /// Initial data image as `(byte address, word)` pairs.
+    #[must_use]
+    pub fn data(&self) -> &[(u32, u32)] {
+        &self.data
+    }
+
+    /// Encodes the whole program to machine words (what the instruction
+    /// cache holds).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u32> {
+        self.code.iter().map(encoding::encode).collect()
+    }
+
+    /// Decodes a program from machine words.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`encoding::DecodeError`] encountered.
+    pub fn decode(name: impl Into<String>, words: &[u32]) -> Result<Self, encoding::DecodeError> {
+        let code = words.iter().map(|&w| encoding::decode(w)).collect::<Result<_, _>>()?;
+        Ok(Program::new(name, code))
+    }
+
+    /// Textual disassembly, one instruction per line with indices.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, instruction) in self.code.iter().enumerate() {
+            out.push_str(&format!("{i:4}: {instruction}\n"));
+        }
+        out
+    }
+
+    /// Static instruction-mix summary: `(loads, stores, branches, total)`.
+    #[must_use]
+    pub fn static_mix(&self) -> (usize, usize, usize, usize) {
+        let loads = self.code.iter().filter(|i| i.is_load()).count();
+        let stores = self.code.iter().filter(|i| i.is_store()).count();
+        let branches = self.code.iter().filter(|i| i.is_control()).count();
+        (loads, stores, branches, self.code.len())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program \"{}\" ({} instructions)", self.name, self.code.len())?;
+        f.write_str(&self.disassemble())
+    }
+}
+
+/// A handle to a not-yet-bound label inside a [`ProgramBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Typed builder for constructing programs directly from Rust (the workload
+/// kernels use this rather than text assembly).
+///
+/// ```
+/// use laec_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new("count");
+/// let r1 = Reg::new(1);
+/// b.addi(r1, Reg::ZERO, 10);
+/// let top = b.bind_label();
+/// b.subi(r1, r1, 1);
+/// b.bne(r1, Reg::ZERO, top);
+/// b.halt();
+/// let program = b.build();
+/// assert_eq!(program.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    code: Vec<Instruction>,
+    data: Vec<(u32, u32)>,
+    /// Forward-referenced labels: `labels[i]` is the bound instruction index.
+    labels: Vec<Option<u32>>,
+    /// Patch list: `(instruction index, label)` pairs to resolve at build.
+    patches: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Current instruction index (where the next pushed instruction lands).
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Declares a label to be bound later with [`ProgramBuilder::bind`].
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let here = self.here();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(here);
+    }
+
+    /// Declares and immediately binds a label at the current position.
+    pub fn bind_label(&mut self) -> Label {
+        let label = self.label();
+        self.bind(label);
+        label
+    }
+
+    /// Pushes a raw instruction.
+    pub fn push(&mut self, instruction: Instruction) -> &mut Self {
+        self.code.push(instruction);
+        self
+    }
+
+    /// Adds an initialised data word.
+    pub fn data_word(&mut self, address: u32, value: u32) -> &mut Self {
+        self.data.push((address, value));
+        self
+    }
+
+    /// Adds a block of initialised words starting at `base`.
+    pub fn data_block(&mut self, base: u32, values: &[u32]) -> &mut Self {
+        for (i, &value) in values.iter().enumerate() {
+            self.data.push((base + 4 * i as u32, value));
+        }
+        self
+    }
+
+    // --- ALU helpers -----------------------------------------------------
+
+    /// `rd = rs1 op rs2`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Instruction::Alu {
+            op,
+            rd,
+            rs1,
+            operand: Operand::Reg(rs2),
+        })
+    }
+
+    /// `rd = rs1 op imm`.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.push(Instruction::Alu {
+            op,
+            rd,
+            rs1,
+            operand: Operand::Imm(imm),
+        })
+    }
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 - imm`.
+    pub fn subi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Sub, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 * rs2` (low 32 bits).
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Mul, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 ^ rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Xor, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::And, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Sll, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 >> imm` (logical).
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Srl, rd, rs1, imm)
+    }
+
+    /// Loads a 32-bit constant using a shift+or pair (or a single `addi` when
+    /// the constant fits in 16 bits).
+    pub fn load_const(&mut self, rd: Reg, value: u32) -> &mut Self {
+        let value_i = value as i32;
+        if (-32768..32768).contains(&value_i) {
+            return self.addi(rd, Reg::ZERO, value_i);
+        }
+        let high = (value >> 16) as i32;
+        let low = (value & 0xFFFF) as i32;
+        self.addi(rd, Reg::ZERO, high);
+        self.slli(rd, rd, 16);
+        if low != 0 {
+            self.alui(AluOp::Or, rd, rd, low);
+        }
+        self
+    }
+
+    // --- memory helpers --------------------------------------------------
+
+    /// `rd = mem32[base + offset]`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut Self {
+        self.push(Instruction::Load {
+            width: MemWidth::Word,
+            rd,
+            base,
+            offset,
+        })
+    }
+
+    /// `mem32[base + offset] = src`.
+    pub fn st(&mut self, src: Reg, base: Reg, offset: i16) -> &mut Self {
+        self.push(Instruction::Store {
+            width: MemWidth::Word,
+            src,
+            base,
+            offset,
+        })
+    }
+
+    /// Byte load.
+    pub fn ldb(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut Self {
+        self.push(Instruction::Load {
+            width: MemWidth::Byte,
+            rd,
+            base,
+            offset,
+        })
+    }
+
+    /// Byte store.
+    pub fn stb(&mut self, src: Reg, base: Reg, offset: i16) -> &mut Self {
+        self.push(Instruction::Store {
+            width: MemWidth::Byte,
+            src,
+            base,
+            offset,
+        })
+    }
+
+    // --- control flow helpers ---------------------------------------------
+
+    fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.patches.push((self.code.len(), label));
+        self.push(Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: u32::MAX, // patched at build time
+        })
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Eq, rs1, rs2, label)
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Ne, rs1, rs2, label)
+    }
+
+    /// Branch if signed less-than.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Lt, rs1, rs2, label)
+    }
+
+    /// Branch if signed greater-or-equal.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Ge, rs1, rs2, label)
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.patches.push((self.code.len(), label));
+        self.push(Instruction::Jump { target: u32::MAX })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instruction::Nop)
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instruction::Halt)
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    #[must_use]
+    pub fn build(mut self) -> Program {
+        for (index, label) in &self.patches {
+            let target = self.labels[label.0].expect("label referenced but never bound");
+            match &mut self.code[*index] {
+                Instruction::Branch { target: t, .. }
+                | Instruction::Jump { target: t }
+                | Instruction::Call { target: t, .. } => *t = target,
+                other => panic!("patch points at a non-control instruction {other}"),
+            }
+        }
+        let mut program = Program::new(self.name, self.code);
+        program.data = self.data;
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_accessors_and_mix() {
+        let program = Program::new(
+            "p",
+            vec![
+                Instruction::Load {
+                    width: MemWidth::Word,
+                    rd: Reg::new(1),
+                    base: Reg::new(2),
+                    offset: 0,
+                },
+                Instruction::Store {
+                    width: MemWidth::Word,
+                    src: Reg::new(1),
+                    base: Reg::new(2),
+                    offset: 4,
+                },
+                Instruction::Jump { target: 0 },
+                Instruction::Halt,
+            ],
+        )
+        .with_data_word(0x100, 7)
+        .with_data_block(0x200, &[1, 2, 3]);
+        assert_eq!(program.name(), "p");
+        assert_eq!(program.len(), 4);
+        assert!(!program.is_empty());
+        assert!(program.get(4).is_none());
+        assert_eq!(program.data().len(), 4);
+        assert_eq!(program.data()[3], (0x208, 3));
+        assert_eq!(program.static_mix(), (1, 1, 1, 4));
+        assert!(program.disassemble().contains("ld r1"));
+        assert!(program.to_string().contains("4 instructions"));
+    }
+
+    #[test]
+    fn encode_decode_whole_program() {
+        let program = Program::new(
+            "roundtrip",
+            vec![
+                Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::new(1),
+                    rs1: Reg::new(2),
+                    operand: Operand::Imm(3),
+                },
+                Instruction::Halt,
+            ],
+        );
+        let words = program.encode();
+        let back = Program::decode("roundtrip", &words).unwrap();
+        assert_eq!(back.instructions(), program.instructions());
+    }
+
+    #[test]
+    fn builder_resolves_forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new("labels");
+        let r1 = Reg::new(1);
+        let exit = b.label();
+        b.addi(r1, Reg::ZERO, 2);
+        let top = b.bind_label();
+        b.subi(r1, r1, 1);
+        b.beq(r1, Reg::ZERO, exit);
+        b.jmp(top);
+        b.bind(exit);
+        b.halt();
+        let program = b.build();
+        assert_eq!(
+            *program.instruction(2),
+            Instruction::Branch {
+                cond: Cond::Eq,
+                rs1: r1,
+                rs2: Reg::ZERO,
+                target: 4
+            }
+        );
+        assert_eq!(*program.instruction(3), Instruction::Jump { target: 1 });
+    }
+
+    #[test]
+    fn builder_load_const_small_and_large() {
+        let mut b = ProgramBuilder::new("const");
+        b.load_const(Reg::new(1), 100);
+        assert_eq!(b.here(), 1);
+        b.load_const(Reg::new(2), 0xDEAD_BEEF);
+        b.halt();
+        let program = b.build();
+        // 1 (small) + 3 (large) + halt
+        assert_eq!(program.len(), 5);
+    }
+
+    #[test]
+    fn builder_data_and_memory_helpers() {
+        let mut b = ProgramBuilder::new("mem");
+        b.data_block(0x1000, &[10, 20]);
+        b.ld(Reg::new(1), Reg::new(2), 4);
+        b.st(Reg::new(1), Reg::new(2), 8);
+        b.ldb(Reg::new(3), Reg::new(2), 1);
+        b.stb(Reg::new(3), Reg::new(2), 2);
+        b.nop();
+        b.halt();
+        let program = b.build();
+        assert_eq!(program.static_mix(), (2, 2, 0, 6));
+        assert_eq!(program.data(), &[(0x1000, 10), (0x1004, 20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics_at_build() {
+        let mut b = ProgramBuilder::new("bad");
+        let label = b.label();
+        b.jmp(label);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("bad");
+        let label = b.bind_label();
+        b.bind(label);
+    }
+}

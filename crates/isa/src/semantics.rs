@@ -1,0 +1,210 @@
+//! Functional semantics of the ISA: pure helpers the simulator uses to
+//! compute architectural results.
+//!
+//! Keeping the semantics here (rather than inside the pipeline) guarantees
+//! that every timing model in `laec-pipeline` — no-ECC, Extra-Cycle,
+//! Extra-Stage, Speculate-and-Flush and LAEC — produces *identical*
+//! architectural state, which the cross-scheme equivalence tests rely on.
+
+use crate::instruction::{AluOp, Cond, MemWidth};
+
+/// Evaluates an ALU operation over two 32-bit operands.
+///
+/// All arithmetic wraps (two's complement), shifts use the low 5 bits of the
+/// second operand, and the set-if-less-than operations produce 0 or 1.
+///
+/// ```
+/// use laec_isa::{eval_alu, AluOp};
+/// assert_eq!(eval_alu(AluOp::Add, u32::MAX, 1), 0);
+/// assert_eq!(eval_alu(AluOp::Slt, (-1i32) as u32, 0), 1);
+/// assert_eq!(eval_alu(AluOp::Sltu, u32::MAX, 0), 0);
+/// ```
+#[must_use]
+pub fn eval_alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b & 0x1F),
+        AluOp::Srl => a.wrapping_shr(b & 0x1F),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1F)) as u32,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+    }
+}
+
+/// Evaluates a branch condition over two 32-bit operands.
+///
+/// ```
+/// use laec_isa::{eval_cond, Cond};
+/// assert!(eval_cond(Cond::Lt, (-5i32) as u32, 3));
+/// assert!(!eval_cond(Cond::Ltu, (-5i32) as u32, 3));
+/// ```
+#[must_use]
+pub fn eval_cond(cond: Cond, a: u32, b: u32) -> bool {
+    match cond {
+        Cond::Eq => a == b,
+        Cond::Ne => a != b,
+        Cond::Lt => (a as i32) < (b as i32),
+        Cond::Ge => (a as i32) >= (b as i32),
+        Cond::Ltu => a < b,
+        Cond::Geu => a >= b,
+    }
+}
+
+/// Sign-extends the low `bits` bits of `value` to 32 bits.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or greater than 32.
+#[must_use]
+pub fn sign_extend(value: u32, bits: u32) -> u32 {
+    assert!(bits > 0 && bits <= 32, "bit width must be in 1..=32");
+    if bits == 32 {
+        return value;
+    }
+    let shift = 32 - bits;
+    (((value << shift) as i32) >> shift) as u32
+}
+
+/// Computes the effective byte address of a load/store.
+#[must_use]
+pub fn effective_address(base: u32, offset: i16) -> u32 {
+    base.wrapping_add(offset as i32 as u32)
+}
+
+/// Extracts the loaded value of `width` from a naturally aligned 32-bit
+/// memory word, sign-extending sub-word loads (the only flavour the kernels
+/// use).
+#[must_use]
+pub fn extract_loaded(word: u32, address: u32, width: MemWidth) -> u32 {
+    match width {
+        MemWidth::Word => word,
+        MemWidth::Half => {
+            let shift = (address & 0x2) * 8;
+            sign_extend((word >> shift) & 0xFFFF, 16)
+        }
+        MemWidth::Byte => {
+            let shift = (address & 0x3) * 8;
+            sign_extend((word >> shift) & 0xFF, 8)
+        }
+    }
+}
+
+/// Merges a stored value of `width` into an existing 32-bit memory word.
+#[must_use]
+pub fn merge_stored(old_word: u32, address: u32, width: MemWidth, value: u32) -> u32 {
+    match width {
+        MemWidth::Word => value,
+        MemWidth::Half => {
+            let shift = (address & 0x2) * 8;
+            let mask = 0xFFFFu32 << shift;
+            (old_word & !mask) | ((value & 0xFFFF) << shift)
+        }
+        MemWidth::Byte => {
+            let shift = (address & 0x3) * 8;
+            let mask = 0xFFu32 << shift;
+            (old_word & !mask) | ((value & 0xFF) << shift)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_arithmetic_wraps() {
+        assert_eq!(eval_alu(AluOp::Add, 3, 4), 7);
+        assert_eq!(eval_alu(AluOp::Add, u32::MAX, 2), 1);
+        assert_eq!(eval_alu(AluOp::Sub, 0, 1), u32::MAX);
+        assert_eq!(eval_alu(AluOp::Mul, 0x1_0000, 0x1_0000), 0);
+    }
+
+    #[test]
+    fn alu_logic_and_shifts() {
+        assert_eq!(eval_alu(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(eval_alu(AluOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(eval_alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(eval_alu(AluOp::Sll, 1, 4), 16);
+        assert_eq!(eval_alu(AluOp::Sll, 1, 36), 16, "shift amounts use low 5 bits");
+        assert_eq!(eval_alu(AluOp::Srl, 0x8000_0000, 31), 1);
+        assert_eq!(eval_alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
+    }
+
+    #[test]
+    fn alu_comparisons() {
+        assert_eq!(eval_alu(AluOp::Slt, (-1i32) as u32, 1), 1);
+        assert_eq!(eval_alu(AluOp::Slt, 1, (-1i32) as u32), 0);
+        assert_eq!(eval_alu(AluOp::Sltu, 1, (-1i32) as u32), 1);
+        assert_eq!(eval_alu(AluOp::Sltu, (-1i32) as u32, 1), 0);
+    }
+
+    #[test]
+    fn conditions_signed_vs_unsigned() {
+        assert!(eval_cond(Cond::Eq, 5, 5));
+        assert!(eval_cond(Cond::Ne, 5, 6));
+        assert!(eval_cond(Cond::Lt, (-2i32) as u32, 1));
+        assert!(!eval_cond(Cond::Ltu, (-2i32) as u32, 1));
+        assert!(eval_cond(Cond::Ge, 1, (-2i32) as u32));
+        assert!(!eval_cond(Cond::Geu, 1, (-2i32) as u32));
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0xFF, 8), 0xFFFF_FFFF);
+        assert_eq!(sign_extend(0x7F, 8), 0x7F);
+        assert_eq!(sign_extend(0x8000, 16), 0xFFFF_8000);
+        assert_eq!(sign_extend(0x1234, 16), 0x1234);
+        assert_eq!(sign_extend(0xDEAD_BEEF, 32), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width")]
+    fn sign_extend_rejects_zero_width() {
+        let _ = sign_extend(1, 0);
+    }
+
+    #[test]
+    fn effective_addresses() {
+        assert_eq!(effective_address(100, 4), 104);
+        assert_eq!(effective_address(100, -4), 96);
+        assert_eq!(effective_address(0, -1), u32::MAX);
+    }
+
+    #[test]
+    fn sub_word_extract_and_merge() {
+        let word = 0x8899_AABBu32;
+        assert_eq!(extract_loaded(word, 0x1000, MemWidth::Word), word);
+        assert_eq!(extract_loaded(word, 0x1000, MemWidth::Byte), 0xFFFF_FFBB);
+        assert_eq!(extract_loaded(word, 0x1001, MemWidth::Byte), 0xFFFF_FFAA);
+        assert_eq!(extract_loaded(word, 0x1003, MemWidth::Byte), 0xFFFF_FF88);
+        assert_eq!(extract_loaded(word, 0x1000, MemWidth::Half), 0xFFFF_AABB);
+        assert_eq!(extract_loaded(word, 0x1002, MemWidth::Half), 0xFFFF_8899);
+
+        assert_eq!(merge_stored(word, 0x1000, MemWidth::Word, 0x11223344), 0x1122_3344);
+        assert_eq!(merge_stored(word, 0x1001, MemWidth::Byte, 0xCC), 0x8899_CCBB);
+        assert_eq!(merge_stored(word, 0x1002, MemWidth::Half, 0x1234), 0x1234_AABB);
+    }
+
+    #[test]
+    fn extract_merge_round_trip() {
+        let word = 0x1234_5678u32;
+        for addr in [0u32, 1, 2, 3] {
+            for width in [MemWidth::Byte, MemWidth::Half, MemWidth::Word] {
+                if width == MemWidth::Half && addr % 2 != 0 {
+                    continue;
+                }
+                if width == MemWidth::Word && addr != 0 {
+                    continue;
+                }
+                let value = extract_loaded(word, addr, width);
+                let merged = merge_stored(word, addr, width, value);
+                assert_eq!(merged, word, "addr {addr} width {width:?}");
+            }
+        }
+    }
+}

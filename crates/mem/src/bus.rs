@@ -1,0 +1,201 @@
+//! The shared on-chip bus connecting the private L1 caches to the L2.
+//!
+//! The NGMP connects its four cores to the shared L2 through a single bus;
+//! contention on that bus is exactly why write-through DL1 caches hurt
+//! guaranteed performance (every store travels over it — paper §I and §II.A).
+//! The model is an occupancy tracker with round-robin-equivalent behaviour
+//! for a single requesting core plus an optional *interference generator*
+//! standing in for the other cores' traffic, which is how the WT-vs-WB
+//! motivation experiment exercises contention without simulating four full
+//! cores.
+
+/// Result of one bus request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusGrant {
+    /// Cycle at which the transfer starts (≥ the request cycle).
+    pub start: u64,
+    /// Cycle at which the transfer completes and the bus frees up.
+    pub completion: u64,
+    /// Cycles spent waiting for the bus before the transfer started.
+    pub wait_cycles: u64,
+}
+
+/// Deterministic interference model for the non-observed cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interference {
+    /// Extra occupied cycles inserted ahead of every Nth request.
+    pub extra_cycles: u32,
+    /// Apply the interference every `period` requests (0 disables it).
+    pub period: u32,
+}
+
+impl Interference {
+    /// No interference: the observed core has the bus to itself (the paper's
+    /// single-active-core evaluation setup).
+    #[must_use]
+    pub fn none() -> Self {
+        Interference::default()
+    }
+
+    /// Worst-case style interference: every request waits an extra
+    /// `extra_cycles` (as if every other core issued a conflicting request).
+    #[must_use]
+    pub fn every_request(extra_cycles: u32) -> Self {
+        Interference {
+            extra_cycles,
+            period: 1,
+        }
+    }
+}
+
+/// The shared bus.
+///
+/// ```
+/// use laec_mem::Bus;
+/// let mut bus = Bus::new(2);
+/// let first = bus.request(0, 4);
+/// assert_eq!(first.start, 0);
+/// assert_eq!(first.completion, 4);
+/// // A request issued while the bus is busy waits.
+/// let second = bus.request(1, 4);
+/// assert_eq!(second.start, 4);
+/// assert_eq!(second.wait_cycles, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus {
+    latency_per_direction: u32,
+    busy_until: u64,
+    interference: Interference,
+    transactions: u64,
+    total_wait_cycles: u64,
+    requests_seen: u64,
+}
+
+impl Bus {
+    /// Creates a bus with the given per-direction transfer latency.
+    #[must_use]
+    pub fn new(latency_per_direction: u32) -> Self {
+        Bus {
+            latency_per_direction,
+            busy_until: 0,
+            interference: Interference::none(),
+            transactions: 0,
+            total_wait_cycles: 0,
+            requests_seen: 0,
+        }
+    }
+
+    /// Installs an interference model for the unobserved cores.
+    pub fn set_interference(&mut self, interference: Interference) {
+        self.interference = interference;
+    }
+
+    /// Latency of one transfer direction in cycles.
+    #[must_use]
+    pub fn latency_per_direction(&self) -> u32 {
+        self.latency_per_direction
+    }
+
+    /// Requests the bus at cycle `now` for a transfer of `cycles` bus cycles,
+    /// returning when the transfer starts and completes.
+    pub fn request(&mut self, now: u64, cycles: u32) -> BusGrant {
+        self.requests_seen += 1;
+        let mut earliest = self.busy_until.max(now);
+        if self.interference.period > 0 && self.requests_seen.is_multiple_of(u64::from(self.interference.period))
+        {
+            earliest += u64::from(self.interference.extra_cycles);
+        }
+        let start = earliest;
+        let completion = start + u64::from(cycles);
+        self.busy_until = completion;
+        self.transactions += 1;
+        let wait_cycles = start - now;
+        self.total_wait_cycles += wait_cycles;
+        BusGrant {
+            start,
+            completion,
+            wait_cycles,
+        }
+    }
+
+    /// A round-trip request (request + response direction) of the default
+    /// width.
+    pub fn round_trip(&mut self, now: u64) -> BusGrant {
+        self.request(now, 2 * self.latency_per_direction)
+    }
+
+    /// A one-way transfer (e.g. a posted write).
+    pub fn one_way(&mut self, now: u64) -> BusGrant {
+        self.request(now, self.latency_per_direction)
+    }
+
+    /// Total transactions granted.
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Total cycles requests spent waiting for the bus.
+    #[must_use]
+    pub fn total_wait_cycles(&self) -> u64 {
+        self.total_wait_cycles
+    }
+
+    /// Cycle until which the bus is currently occupied.
+    #[must_use]
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_requests_serialise() {
+        let mut bus = Bus::new(2);
+        let a = bus.round_trip(0);
+        assert_eq!((a.start, a.completion, a.wait_cycles), (0, 4, 0));
+        let b = bus.round_trip(1);
+        assert_eq!((b.start, b.completion, b.wait_cycles), (4, 8, 3));
+        let c = bus.round_trip(20);
+        assert_eq!((c.start, c.completion, c.wait_cycles), (20, 24, 0));
+        assert_eq!(bus.transactions(), 3);
+        assert_eq!(bus.total_wait_cycles(), 3);
+        assert_eq!(bus.busy_until(), 24);
+    }
+
+    #[test]
+    fn one_way_is_half_a_round_trip() {
+        let mut bus = Bus::new(3);
+        assert_eq!(bus.one_way(0).completion, 3);
+        assert_eq!(bus.round_trip(10).completion, 16);
+        assert_eq!(bus.latency_per_direction(), 3);
+    }
+
+    #[test]
+    fn interference_delays_requests_periodically() {
+        let mut quiet = Bus::new(2);
+        let mut noisy = Bus::new(2);
+        noisy.set_interference(Interference::every_request(6));
+        let q = quiet.round_trip(0);
+        let n = noisy.round_trip(0);
+        assert_eq!(q.completion, 4);
+        assert_eq!(n.completion, 10);
+        assert_eq!(n.wait_cycles, 6);
+
+        let mut sometimes = Bus::new(2);
+        sometimes.set_interference(Interference { extra_cycles: 6, period: 2 });
+        let first = sometimes.round_trip(0);
+        assert_eq!(first.wait_cycles, 0, "first request not hit (period 2)");
+        let second = sometimes.round_trip(first.completion);
+        assert_eq!(second.wait_cycles, 6, "second request hit");
+    }
+
+    #[test]
+    fn no_interference_by_default() {
+        assert_eq!(Interference::none(), Interference::default());
+        assert_eq!(Interference::every_request(4).period, 1);
+    }
+}

@@ -1,0 +1,645 @@
+//! Set-associative cache with per-word ECC protection.
+//!
+//! The cache stores real data: every 32-bit word is kept as a
+//! [`Codeword`](laec_ecc::Codeword) (data + check bits of the configured
+//! code), exactly like the data array + ECC array pair of a hardware cache.
+//! Reads run the decoder, record the outcome, and scrub correctable errors in
+//! place.  The timing of *when* the check happens (same cycle, extra cycle,
+//! extra stage, or LAEC's anticipated check) is the pipeline's business; the
+//! cache only answers hit/miss and value/outcome questions.
+
+use laec_ecc::{Codeword, EccCode, FlipPlan, Outcome};
+
+use crate::config::{CacheConfig, WritePolicy};
+use crate::stats::CacheStats;
+
+/// One cache line: tag, state and the protected words.
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u32,
+    words: Vec<Codeword>,
+    last_used: u64,
+}
+
+impl Line {
+    fn empty(words_per_line: u32) -> Self {
+        Line {
+            valid: false,
+            dirty: false,
+            tag: 0,
+            words: vec![Codeword::default(); words_per_line as usize],
+            last_used: 0,
+        }
+    }
+}
+
+/// Result of a cache word read that hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadHit {
+    /// The (corrected, when possible) word value.
+    pub value: u32,
+    /// ECC decode outcome for this word.
+    pub outcome: Outcome,
+    /// `true` if the line holding the word is dirty.
+    pub dirty: bool,
+}
+
+/// A line evicted to make room for a fill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line-aligned base address of the evicted line.
+    pub base_address: u32,
+    /// The line's words (after ECC correction where possible).
+    pub words: Vec<u32>,
+    /// `true` if the line was dirty and must be written back.
+    pub dirty: bool,
+    /// `true` if any word of the line held an uncorrectable error (the
+    /// written-back data cannot be trusted).
+    pub uncorrectable: bool,
+}
+
+/// A set-associative, LRU-replacement cache with ECC-protected words.
+///
+/// ```
+/// use laec_mem::{Cache, CacheConfig};
+///
+/// let mut cache = Cache::new(CacheConfig::dl1_write_back());
+/// assert!(cache.read_word(0x1000).is_none(), "cold cache misses");
+/// cache.fill(0x1000, &[1, 2, 3, 4, 5, 6, 7, 8]);
+/// let hit = cache.read_word(0x1004).expect("now resident");
+/// assert_eq!(hit.value, 2);
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    code: Box<dyn EccCode + Send + Sync>,
+    stats: CacheStats,
+    access_counter: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CacheConfig::validate`].
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate().expect("invalid cache geometry");
+        let sets = (0..config.sets())
+            .map(|_| (0..config.ways).map(|_| Line::empty(config.words_per_line())).collect())
+            .collect();
+        Cache {
+            config,
+            sets,
+            code: config.protection.instantiate(),
+            stats: CacheStats::new(),
+            access_counter: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    fn offset_bits(&self) -> u32 {
+        self.config.line_bytes.trailing_zeros()
+    }
+
+    fn index_bits(&self) -> u32 {
+        self.config.sets().trailing_zeros()
+    }
+
+    /// Line-aligned base address of the line containing `address`.
+    #[must_use]
+    pub fn line_base(&self, address: u32) -> u32 {
+        address & !(self.config.line_bytes - 1)
+    }
+
+    fn set_index(&self, address: u32) -> usize {
+        ((address >> self.offset_bits()) & (self.config.sets() - 1)) as usize
+    }
+
+    fn tag(&self, address: u32) -> u32 {
+        address >> (self.offset_bits() + self.index_bits())
+    }
+
+    fn word_index(&self, address: u32) -> usize {
+        ((address & (self.config.line_bytes - 1)) >> 2) as usize
+    }
+
+    fn find_way(&self, address: u32) -> Option<usize> {
+        let set = self.set_index(address);
+        let tag = self.tag(address);
+        self.sets[set].iter().position(|line| line.valid && line.tag == tag)
+    }
+
+    /// `true` if the word at `address` is resident, without disturbing LRU or
+    /// statistics.
+    #[must_use]
+    pub fn probe(&self, address: u32) -> bool {
+        self.find_way(address).is_some()
+    }
+
+    /// Reads the (decoded) word at `address` without updating LRU state,
+    /// statistics or scrubbing — a debug/result-checking view.
+    #[must_use]
+    pub fn peek_word(&self, address: u32) -> Option<u32> {
+        let way = self.find_way(address)?;
+        let set = self.set_index(address);
+        let word = self.word_index(address);
+        let decoded = self.sets[set][way].words[word].decode(self.code.as_ref());
+        Some(decoded.data as u32)
+    }
+
+    /// Reads the aligned 32-bit word at `address`.
+    ///
+    /// Returns `None` on a miss (recorded).  On a hit the stored codeword is
+    /// decoded with the configured code; correctable errors are scrubbed in
+    /// place and the outcome is recorded in the statistics.
+    pub fn read_word(&mut self, address: u32) -> Option<ReadHit> {
+        self.access_counter += 1;
+        let Some(way) = self.find_way(address) else {
+            self.stats.read_misses += 1;
+            return None;
+        };
+        self.stats.read_hits += 1;
+        let set = self.set_index(address);
+        let word = self.word_index(address);
+        let counter = self.access_counter;
+        let line = &mut self.sets[set][way];
+        line.last_used = counter;
+        let decoded = line.words[word].decode(self.code.as_ref());
+        self.stats.ecc.record(decoded.outcome);
+        if decoded.outcome.is_usable() && decoded.outcome.is_error() {
+            // Scrub: rewrite the corrected word so the error does not linger.
+            line.words[word] = Codeword::encode(self.code.as_ref(), decoded.data);
+        }
+        Some(ReadHit {
+            value: decoded.data as u32,
+            outcome: decoded.outcome,
+            dirty: line.dirty,
+        })
+    }
+
+    /// Writes bytes of the aligned word at `address` selected by `byte_mask`
+    /// (bit *i* of the mask enables byte *i*).  Returns `false` on a miss
+    /// (recorded); the caller decides whether to allocate
+    /// ([`Cache::fill`]) or forward the write, according to the policy.
+    ///
+    /// Write-back caches mark the line dirty; write-through caches leave the
+    /// dirty bit clear because the caller forwards the store to the next
+    /// level.
+    pub fn write_word_masked(&mut self, address: u32, value: u32, byte_mask: u8) -> bool {
+        self.access_counter += 1;
+        let Some(way) = self.find_way(address) else {
+            self.stats.write_misses += 1;
+            return false;
+        };
+        self.stats.write_hits += 1;
+        let set = self.set_index(address);
+        let word = self.word_index(address);
+        let counter = self.access_counter;
+        let dirty_on_write = self.config.write_policy == WritePolicy::WriteBack;
+        let mask = expand_byte_mask(byte_mask);
+        let line = &mut self.sets[set][way];
+        line.last_used = counter;
+        let decoded = line.words[word].decode(self.code.as_ref());
+        self.stats.ecc.record(decoded.outcome);
+        let old = decoded.data as u32;
+        let merged = (old & !mask) | (value & mask);
+        line.words[word] = Codeword::encode(self.code.as_ref(), u64::from(merged));
+        if dirty_on_write {
+            line.dirty = true;
+        }
+        true
+    }
+
+    /// Writes a full aligned word (all bytes enabled).
+    pub fn write_word(&mut self, address: u32, value: u32) -> bool {
+        self.write_word_masked(address, value, 0xF)
+    }
+
+    /// Fills the line containing `address` with `line_words` (one entry per
+    /// 32-bit word of the line), evicting the LRU way if necessary.
+    ///
+    /// Returns the evicted line when one had to be displaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_words` does not match the configured line size.
+    pub fn fill(&mut self, address: u32, line_words: &[u32]) -> Option<EvictedLine> {
+        assert_eq!(
+            line_words.len(),
+            self.config.words_per_line() as usize,
+            "fill data must cover exactly one line"
+        );
+        self.access_counter += 1;
+        self.stats.fills += 1;
+        let set = self.set_index(address);
+        let tag = self.tag(address);
+        let counter = self.access_counter;
+
+        // Prefer an invalid way; otherwise evict the LRU way.
+        let way = {
+            let lines = &self.sets[set];
+            lines
+                .iter()
+                .position(|line| !line.valid)
+                .unwrap_or_else(|| {
+                    lines
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, line)| line.last_used)
+                        .map(|(w, _)| w)
+                        .expect("at least one way")
+                })
+        };
+
+        let evicted = {
+            let line = &self.sets[set][way];
+            if line.valid {
+                let base = self.reconstruct_base(set, line.tag);
+                let mut words = Vec::with_capacity(line.words.len());
+                let mut uncorrectable = false;
+                for codeword in &line.words {
+                    let decoded = codeword.decode(self.code.as_ref());
+                    if !decoded.outcome.is_usable() {
+                        uncorrectable = true;
+                    }
+                    words.push(decoded.data as u32);
+                }
+                Some(EvictedLine {
+                    base_address: base,
+                    words,
+                    dirty: line.dirty,
+                    uncorrectable,
+                })
+            } else {
+                None
+            }
+        };
+        if let Some(evicted) = &evicted {
+            self.stats.evictions += 1;
+            if evicted.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+
+        let code = self.code.as_ref();
+        let line = &mut self.sets[set][way];
+        line.valid = true;
+        line.dirty = false;
+        line.tag = tag;
+        line.last_used = counter;
+        for (slot, &value) in line.words.iter_mut().zip(line_words) {
+            *slot = Codeword::encode(code, u64::from(value));
+        }
+        evicted.filter(|e| e.dirty || e.uncorrectable)
+    }
+
+    /// Invalidates the line containing `address` (no writeback), returning
+    /// `true` if it was resident.  Used by the WT+parity recovery path: a
+    /// detected parity error simply drops the line and refetches it.
+    pub fn invalidate(&mut self, address: u32) -> bool {
+        if let Some(way) = self.find_way(address) {
+            let set = self.set_index(address);
+            self.sets[set][way].valid = false;
+            self.sets[set][way].dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks the line containing `address` clean (after an explicit
+    /// writeback), returning `true` if it was resident.
+    pub fn clean(&mut self, address: u32) -> bool {
+        if let Some(way) = self.find_way(address) {
+            let set = self.set_index(address);
+            self.sets[set][way].dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applies a bit-flip plan to the stored codeword at `address`,
+    /// returning `true` if the word was resident (faults cannot be injected
+    /// into non-resident lines).
+    pub fn inject_fault(&mut self, address: u32, plan: &FlipPlan) -> bool {
+        let Some(way) = self.find_way(address) else {
+            return false;
+        };
+        let set = self.set_index(address);
+        let word = self.word_index(address);
+        plan.apply(&mut self.sets[set][way].words[word]);
+        true
+    }
+
+    /// Addresses of all currently resident words (used by fault campaigns to
+    /// pick a strike location among live data).
+    #[must_use]
+    pub fn resident_word_addresses(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (set_index, set) in self.sets.iter().enumerate() {
+            for line in set {
+                if line.valid {
+                    let base = self.reconstruct_base(set_index, line.tag);
+                    for word in 0..self.config.words_per_line() {
+                        out.push(base + 4 * word);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of dirty lines currently resident.
+    #[must_use]
+    pub fn dirty_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|line| line.valid && line.dirty).count()
+    }
+
+    /// Number of valid lines currently resident.
+    #[must_use]
+    pub fn valid_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|line| line.valid).count()
+    }
+
+    /// Writes back and returns every dirty line (used at program end so the
+    /// memory image can be compared across schemes).
+    pub fn flush_dirty(&mut self) -> Vec<EvictedLine> {
+        let mut out = Vec::new();
+        for set_index in 0..self.sets.len() {
+            for way in 0..self.sets[set_index].len() {
+                let (valid, dirty, tag) = {
+                    let line = &self.sets[set_index][way];
+                    (line.valid, line.dirty, line.tag)
+                };
+                if valid && dirty {
+                    let base = self.reconstruct_base(set_index, tag);
+                    let mut words = Vec::with_capacity(self.config.words_per_line() as usize);
+                    let mut uncorrectable = false;
+                    for codeword in &self.sets[set_index][way].words {
+                        let decoded = codeword.decode(self.code.as_ref());
+                        if !decoded.outcome.is_usable() {
+                            uncorrectable = true;
+                        }
+                        words.push(decoded.data as u32);
+                    }
+                    self.sets[set_index][way].dirty = false;
+                    self.stats.writebacks += 1;
+                    out.push(EvictedLine {
+                        base_address: base,
+                        words,
+                        dirty: true,
+                        uncorrectable,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn reconstruct_base(&self, set_index: usize, tag: u32) -> u32 {
+        (tag << (self.offset_bits() + self.index_bits())) | ((set_index as u32) << self.offset_bits())
+    }
+}
+
+/// Expands a 4-bit byte mask into a 32-bit bit mask.
+fn expand_byte_mask(byte_mask: u8) -> u32 {
+    let mut mask = 0u32;
+    for byte in 0..4 {
+        if byte_mask & (1 << byte) != 0 {
+            mask |= 0xFFu32 << (8 * byte);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AllocatePolicy;
+    use laec_ecc::CodeKind;
+
+    fn small_config() -> CacheConfig {
+        // 2 sets x 2 ways x 16 B lines = 64 B: easy to force evictions.
+        CacheConfig {
+            size_bytes: 64,
+            ways: 2,
+            line_bytes: 16,
+            write_policy: WritePolicy::WriteBack,
+            allocate_policy: AllocatePolicy::WriteAllocate,
+            protection: CodeKind::Hsiao39_32,
+        }
+    }
+
+    fn line(start: u32) -> Vec<u32> {
+        (0..4).map(|i| start + i).collect()
+    }
+
+    #[test]
+    fn address_decomposition() {
+        let cache = Cache::new(CacheConfig::dl1_write_back());
+        // 32 B lines -> 5 offset bits; 128 sets -> 7 index bits.
+        assert_eq!(cache.line_base(0x0000_1234), 0x0000_1220);
+        assert_eq!(cache.set_index(0x0000_1234), (0x1234 >> 5) & 127);
+        assert_eq!(cache.tag(0x0000_1234), 0x1234 >> 12);
+        assert_eq!(cache.word_index(0x0000_1234), 5);
+    }
+
+    #[test]
+    fn cold_miss_then_hit_after_fill() {
+        let mut cache = Cache::new(small_config());
+        assert!(!cache.probe(0x100));
+        assert!(cache.read_word(0x100).is_none());
+        assert_eq!(cache.stats().read_misses, 1);
+        cache.fill(0x100, &line(10));
+        assert!(cache.probe(0x100));
+        let hit = cache.read_word(0x108).unwrap();
+        assert_eq!(hit.value, 12);
+        assert_eq!(hit.outcome, Outcome::Clean);
+        assert!(!hit.dirty);
+        assert_eq!(cache.stats().read_hits, 1);
+        assert_eq!(cache.valid_lines(), 1);
+    }
+
+    #[test]
+    fn writes_set_dirty_only_for_write_back() {
+        let mut wb = Cache::new(small_config());
+        wb.fill(0x100, &line(0));
+        assert!(wb.write_word(0x104, 99));
+        assert_eq!(wb.read_word(0x104).unwrap().value, 99);
+        assert_eq!(wb.dirty_lines(), 1);
+
+        let mut wt = Cache::new(CacheConfig {
+            write_policy: WritePolicy::WriteThrough,
+            allocate_policy: AllocatePolicy::NoWriteAllocate,
+            protection: CodeKind::EvenParity32,
+            ..small_config()
+        });
+        wt.fill(0x100, &line(0));
+        assert!(wt.write_word(0x104, 99));
+        assert_eq!(wt.dirty_lines(), 0);
+    }
+
+    #[test]
+    fn masked_writes_merge_bytes() {
+        let mut cache = Cache::new(small_config());
+        cache.fill(0x100, &[0x1111_1111; 4]);
+        assert!(cache.write_word_masked(0x100, 0x0000_00AA, 0b0001));
+        assert_eq!(cache.read_word(0x100).unwrap().value, 0x1111_11AA);
+        assert!(cache.write_word_masked(0x100, 0xBBBB_0000, 0b1100));
+        assert_eq!(cache.read_word(0x100).unwrap().value, 0xBBBB_11AA);
+    }
+
+    #[test]
+    fn write_miss_is_recorded_and_not_allocated() {
+        let mut cache = Cache::new(small_config());
+        assert!(!cache.write_word(0x500, 1));
+        assert_eq!(cache.stats().write_misses, 1);
+        assert!(!cache.probe(0x500));
+    }
+
+    #[test]
+    fn lru_eviction_returns_dirty_victim() {
+        let mut cache = Cache::new(small_config());
+        // Set 0 holds lines with base addresses that are multiples of 32 (16 B
+        // lines, 2 sets): 0x00, 0x20, 0x40 all map to set 0.
+        cache.fill(0x00, &line(1));
+        cache.fill(0x20, &line(2));
+        cache.write_word(0x00, 0xAB); // make way-0 line dirty and MRU
+        let evicted = cache.fill(0x40, &line(3));
+        // LRU is the 0x20 line (clean): eviction returns None for clean lines.
+        assert!(evicted.is_none());
+        assert!(cache.probe(0x00) && cache.probe(0x40) && !cache.probe(0x20));
+        // Touch 0x40 so 0x00 becomes LRU, then evict it: dirty writeback.
+        cache.read_word(0x40).unwrap();
+        let evicted = cache.fill(0x20, &line(4)).expect("dirty victim");
+        assert_eq!(evicted.base_address, 0x00);
+        assert!(evicted.dirty);
+        assert_eq!(evicted.words[0], 0xAB);
+        assert_eq!(cache.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_and_clean() {
+        let mut cache = Cache::new(small_config());
+        cache.fill(0x100, &line(5));
+        cache.write_word(0x100, 7);
+        assert_eq!(cache.dirty_lines(), 1);
+        assert!(cache.clean(0x100));
+        assert_eq!(cache.dirty_lines(), 0);
+        assert!(cache.invalidate(0x100));
+        assert!(!cache.probe(0x100));
+        assert!(!cache.invalidate(0x100));
+        assert!(!cache.clean(0x100));
+    }
+
+    #[test]
+    fn injected_single_bit_fault_is_corrected_and_scrubbed() {
+        let mut cache = Cache::new(small_config());
+        cache.fill(0x100, &[0xCAFE_F00D; 4]);
+        assert!(cache.inject_fault(0x104, &FlipPlan::single_data(9)));
+        let hit = cache.read_word(0x104).unwrap();
+        assert_eq!(hit.outcome, Outcome::CorrectedSingle { bit: 9 });
+        assert_eq!(hit.value, 0xCAFE_F00D);
+        // The scrub rewrote the word: a second read is clean.
+        let hit = cache.read_word(0x104).unwrap();
+        assert_eq!(hit.outcome, Outcome::Clean);
+        assert_eq!(cache.stats().ecc.corrected_data, 1);
+    }
+
+    #[test]
+    fn injected_double_fault_is_flagged_uncorrectable() {
+        let mut cache = Cache::new(small_config());
+        cache.fill(0x100, &[0x0101_0101; 4]);
+        cache.inject_fault(0x100, &FlipPlan::double_data(3, 17));
+        let hit = cache.read_word(0x100).unwrap();
+        assert_eq!(hit.outcome, Outcome::DetectedDouble);
+        assert!(!cache.stats().ecc.is_safe());
+    }
+
+    #[test]
+    fn fault_injection_needs_resident_data() {
+        let mut cache = Cache::new(small_config());
+        assert!(!cache.inject_fault(0x100, &FlipPlan::single_data(0)));
+        cache.fill(0x100, &line(0));
+        assert_eq!(cache.resident_word_addresses(), vec![0x100, 0x104, 0x108, 0x10C]);
+    }
+
+    #[test]
+    fn parity_cache_detects_but_does_not_correct() {
+        let mut cache = Cache::new(CacheConfig {
+            protection: CodeKind::EvenParity32,
+            ..small_config()
+        });
+        cache.fill(0x100, &[7; 4]);
+        cache.inject_fault(0x100, &FlipPlan::single_data(0));
+        let hit = cache.read_word(0x100).unwrap();
+        assert_eq!(hit.outcome, Outcome::DetectedUncorrectable);
+    }
+
+    #[test]
+    fn flush_dirty_writes_back_everything() {
+        let mut cache = Cache::new(small_config());
+        cache.fill(0x00, &line(0));
+        cache.fill(0x10, &line(4));
+        cache.write_word(0x00, 100);
+        cache.write_word(0x10, 200);
+        let flushed = cache.flush_dirty();
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(cache.dirty_lines(), 0);
+        let bases: Vec<u32> = flushed.iter().map(|e| e.base_address).collect();
+        assert!(bases.contains(&0x00) && bases.contains(&0x10));
+    }
+
+    #[test]
+    fn unprotected_cache_works_without_check_bits() {
+        let mut cache = Cache::new(CacheConfig {
+            protection: CodeKind::None,
+            ..small_config()
+        });
+        cache.fill(0x100, &[42; 4]);
+        // An injected flip goes completely unnoticed: silent data corruption,
+        // the failure mode the paper's ECC schemes exist to prevent.
+        cache.inject_fault(0x100, &FlipPlan::single_data(0));
+        let hit = cache.read_word(0x100).unwrap();
+        assert_eq!(hit.outcome, Outcome::Clean);
+        assert_eq!(hit.value, 43);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut cache = Cache::new(small_config());
+        cache.read_word(0x0);
+        assert_eq!(cache.stats().read_misses, 1);
+        cache.reset_stats();
+        assert_eq!(cache.stats().read_misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one line")]
+    fn fill_with_wrong_word_count_panics() {
+        let mut cache = Cache::new(small_config());
+        cache.fill(0x100, &[1, 2]);
+    }
+}

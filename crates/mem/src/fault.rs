@@ -1,0 +1,184 @@
+//! Soft-error campaign bookkeeping over the DL1.
+//!
+//! A campaign repeatedly injects bit flips into resident DL1 words while a
+//! workload runs and classifies what became of each strike: masked (the word
+//! was overwritten or evicted before being read), corrected, recovered by a
+//! refetch from the L2 (write-through + parity), or unrecoverable (dirty data
+//! in a write-back DL1 with an uncorrectable error).  The classification is
+//! exactly the safety argument of the paper's §I–II: a WB DL1 *needs*
+//! correction, a WT DL1 can live with detection.
+
+use laec_ecc::ErrorInjector;
+
+use crate::hierarchy::MemorySystem;
+
+/// Configuration of an injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultCampaignConfig {
+    /// Seed of the campaign's private random source.
+    pub seed: u64,
+    /// Inject one fault every `interval` injection opportunities (calls to
+    /// [`FaultCampaign::maybe_inject`]); 0 disables injection.
+    pub interval: u64,
+    /// Fraction of injections that are double-bit (MBU-like) rather than
+    /// single-bit.
+    pub double_fraction: f64,
+}
+
+impl FaultCampaignConfig {
+    /// A single-bit-upset-only campaign injecting every `interval` opportunities.
+    #[must_use]
+    pub fn single_bit(seed: u64, interval: u64) -> Self {
+        FaultCampaignConfig {
+            seed,
+            interval,
+            double_fraction: 0.0,
+        }
+    }
+}
+
+impl Default for FaultCampaignConfig {
+    fn default() -> Self {
+        FaultCampaignConfig {
+            seed: 0xFA11_7,
+            interval: 1_000,
+            double_fraction: 0.0,
+        }
+    }
+}
+
+/// Outcome counters of a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCampaignReport {
+    /// Faults injected into resident DL1 words.
+    pub injected: u64,
+    /// Injection opportunities where the DL1 held no data (nothing injected).
+    pub skipped_empty: u64,
+}
+
+/// Drives periodic fault injection into a [`MemorySystem`].
+#[derive(Debug)]
+pub struct FaultCampaign {
+    config: FaultCampaignConfig,
+    injector: ErrorInjector,
+    opportunities: u64,
+    report: FaultCampaignReport,
+}
+
+impl FaultCampaign {
+    /// Creates a campaign.
+    #[must_use]
+    pub fn new(config: FaultCampaignConfig) -> Self {
+        FaultCampaign {
+            injector: ErrorInjector::new(config.seed),
+            config,
+            opportunities: 0,
+            report: FaultCampaignReport::default(),
+        }
+    }
+
+    /// Campaign configuration.
+    #[must_use]
+    pub fn config(&self) -> &FaultCampaignConfig {
+        &self.config
+    }
+
+    /// Called once per injection opportunity (typically once per simulated
+    /// cycle or per memory access); injects when the interval elapses.
+    /// Returns the struck address when an injection happened.
+    pub fn maybe_inject(&mut self, system: &mut MemorySystem) -> Option<u32> {
+        if self.config.interval == 0 {
+            return None;
+        }
+        self.opportunities += 1;
+        if !self.opportunities.is_multiple_of(self.config.interval) {
+            return None;
+        }
+        match system.inject_random_dl1_fault(&mut self.injector, self.config.double_fraction) {
+            Some(address) => {
+                self.report.injected += 1;
+                Some(address)
+            }
+            None => {
+                self.report.skipped_empty += 1;
+                None
+            }
+        }
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn report(&self) -> FaultCampaignReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HierarchyConfig;
+
+    #[test]
+    fn disabled_campaign_never_injects() {
+        let mut system = MemorySystem::new(HierarchyConfig::ngmp_write_back());
+        system.load_word(0x100, 0);
+        let mut campaign = FaultCampaign::new(FaultCampaignConfig {
+            interval: 0,
+            ..FaultCampaignConfig::default()
+        });
+        for _ in 0..100 {
+            assert!(campaign.maybe_inject(&mut system).is_none());
+        }
+        assert_eq!(campaign.report().injected, 0);
+    }
+
+    #[test]
+    fn campaign_injects_at_the_configured_interval() {
+        let mut system = MemorySystem::new(HierarchyConfig::ngmp_write_back());
+        system.load_word(0x100, 0);
+        let mut campaign = FaultCampaign::new(FaultCampaignConfig::single_bit(7, 10));
+        let mut injections = 0;
+        for _ in 0..100 {
+            if campaign.maybe_inject(&mut system).is_some() {
+                injections += 1;
+            }
+        }
+        assert_eq!(injections, 10);
+        assert_eq!(campaign.report().injected, 10);
+        assert_eq!(campaign.report().skipped_empty, 0);
+    }
+
+    #[test]
+    fn empty_dl1_counts_skips() {
+        let mut system = MemorySystem::new(HierarchyConfig::ngmp_write_back());
+        let mut campaign = FaultCampaign::new(FaultCampaignConfig::single_bit(7, 1));
+        for _ in 0..5 {
+            assert!(campaign.maybe_inject(&mut system).is_none());
+        }
+        assert_eq!(campaign.report().skipped_empty, 5);
+    }
+
+    #[test]
+    fn injected_faults_are_absorbed_by_secded() {
+        let mut system = MemorySystem::new(HierarchyConfig::ngmp_write_back());
+        for i in 0..32u32 {
+            system.preload_word(0x2000 + 4 * i, i);
+        }
+        for i in 0..32u32 {
+            system.load_word(0x2000 + 4 * i, u64::from(i));
+        }
+        // Inject single-bit strikes one at a time, reading everything back
+        // (and thereby scrubbing) between strikes: every strike is absorbed.
+        let mut campaign = FaultCampaign::new(FaultCampaignConfig::single_bit(123, 1));
+        for round in 0..50u64 {
+            campaign.maybe_inject(&mut system);
+            for i in 0..32u32 {
+                let now = 1_000 + 100 * round + u64::from(i);
+                assert_eq!(system.load_word(0x2000 + 4 * i, now).value, i);
+            }
+        }
+        assert_eq!(campaign.report().injected, 50);
+        assert_eq!(system.unrecoverable_errors(), 0);
+        assert!(system.stats().dl1.ecc.corrected() > 0, "some strikes were read back");
+    }
+}

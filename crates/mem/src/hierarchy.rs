@@ -1,0 +1,638 @@
+//! The full memory system seen by one core: private DL1, shared bus, shared
+//! L2 and main memory.
+//!
+//! The model is functional *and* timed: every access returns both the correct
+//! architectural value and the number of extra stall cycles beyond a 1-cycle
+//! DL1 hit.  The paper's DL1 is blocking (a miss stalls the pipeline), which
+//! keeps the timing interface simple: the pipeline adds `extra_cycles` stall
+//! cycles to the memory stage.
+//!
+//! Only one core executes a task in the paper's evaluation (§IV); the other
+//! cores' bus traffic can be represented with
+//! [`Interference`](crate::bus::Interference) for the contention-oriented
+//! ablation.
+
+use laec_ecc::{ErrorInjector, FlipPlan, Outcome};
+
+use crate::bus::{Bus, Interference};
+use crate::cache::{Cache, EvictedLine};
+use crate::config::{AllocatePolicy, HierarchyConfig, WritePolicy};
+use crate::memory::MainMemory;
+use crate::stats::MemStats;
+
+/// Result of a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadResponse {
+    /// The loaded (aligned) 32-bit word.
+    pub value: u32,
+    /// `true` if the access hit in the DL1.
+    pub dl1_hit: bool,
+    /// Stall cycles beyond the 1-cycle DL1 hit access.
+    pub extra_cycles: u32,
+    /// ECC outcome observed at the DL1 (Clean for misses: refilled data is
+    /// freshly encoded).
+    pub outcome: Outcome,
+}
+
+/// Result of a store (as seen by the write-buffer drain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreResponse {
+    /// `true` if the store hit in the DL1.
+    pub dl1_hit: bool,
+    /// Cycles the store occupies the DL1/bus beyond a single-cycle DL1 write.
+    pub extra_cycles: u32,
+}
+
+/// The per-core memory system.
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: HierarchyConfig,
+    dl1: Cache,
+    l2: Cache,
+    bus: Bus,
+    memory: MainMemory,
+    stats: MemStats,
+    /// Uncorrectable DL1 errors on dirty data (unrecoverable in a WB DL1).
+    unrecoverable_errors: u64,
+    /// Uncorrectable DL1 errors recovered by refetching from L2 (WT DL1).
+    recovered_by_refetch: u64,
+}
+
+impl MemorySystem {
+    /// Builds an empty memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cache configuration is invalid.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> Self {
+        MemorySystem {
+            dl1: Cache::new(config.dl1),
+            l2: Cache::new(config.l2),
+            bus: Bus::new(config.bus_latency),
+            memory: MainMemory::new(config.memory_latency),
+            stats: MemStats::new(),
+            unrecoverable_errors: 0,
+            recovered_by_refetch: 0,
+            config,
+        }
+    }
+
+    /// The hierarchy configuration.
+    #[must_use]
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Installs bus interference standing in for the other cores' traffic.
+    pub fn set_bus_interference(&mut self, interference: Interference) {
+        self.bus.set_interference(interference);
+    }
+
+    /// Pre-loads a word into main memory (program data image).
+    pub fn preload_word(&mut self, address: u32, value: u32) {
+        self.memory.poke_word(address, value);
+    }
+
+    /// Reads a word from main memory without touching caches or counters
+    /// (for checking final results).
+    #[must_use]
+    pub fn peek_memory(&self, address: u32) -> u32 {
+        self.memory.peek_word(address)
+    }
+
+    /// Reads the architecturally current value of the aligned word at
+    /// `address` — DL1 first, then L2, then memory — without updating any
+    /// statistics or timing state.  Used by result-checking code.
+    #[must_use]
+    pub fn peek_coherent(&self, address: u32) -> u32 {
+        if let Some(value) = self.dl1.peek_word(address) {
+            return value;
+        }
+        if let Some(value) = self.l2.peek_word(address) {
+            return value;
+        }
+        self.memory.peek_word(address)
+    }
+
+    /// Performs a load of the aligned word containing `address` at cycle
+    /// `now`.
+    pub fn load_word(&mut self, address: u32, now: u64) -> LoadResponse {
+        if let Some(hit) = self.dl1.read_word(address) {
+            if hit.outcome.is_usable() {
+                return LoadResponse {
+                    value: hit.value,
+                    dl1_hit: true,
+                    extra_cycles: 0,
+                    outcome: hit.outcome,
+                };
+            }
+            // Uncorrectable error in the DL1.  Clean lines (always the case in
+            // a write-through DL1, and any unmodified line in a write-back
+            // one) still have a valid copy below: invalidate and refetch.
+            if !hit.dirty {
+                self.recovered_by_refetch += 1;
+                self.dl1.invalidate(address);
+                let (line, extra) = self.fetch_line(self.dl1.line_base(address), now);
+                let word_index = ((address & (self.config.dl1.line_bytes - 1)) >> 2) as usize;
+                let value = line[word_index];
+                self.fill_dl1(address, &line, now);
+                return LoadResponse {
+                    value,
+                    dl1_hit: false,
+                    extra_cycles: extra,
+                    outcome: hit.outcome,
+                };
+            }
+            // A dirty write-back line holds the only copy: data is lost.
+            self.unrecoverable_errors += 1;
+            return LoadResponse {
+                value: hit.value,
+                dl1_hit: true,
+                extra_cycles: 0,
+                outcome: hit.outcome,
+            };
+        }
+        // DL1 miss: blocking refill from L2 (or memory).
+        let base = self.dl1.line_base(address);
+        let (line, extra) = self.fetch_line(base, now);
+        let word_index = ((address & (self.config.dl1.line_bytes - 1)) >> 2) as usize;
+        let value = line[word_index];
+        self.fill_dl1(address, &line, now);
+        LoadResponse {
+            value,
+            dl1_hit: false,
+            extra_cycles: extra,
+            outcome: Outcome::Clean,
+        }
+    }
+
+    /// Performs a store of `value` (bytes selected by `byte_mask`) to the
+    /// aligned word containing `address` at cycle `now`.
+    pub fn store_word_masked(
+        &mut self,
+        address: u32,
+        value: u32,
+        byte_mask: u8,
+        now: u64,
+    ) -> StoreResponse {
+        match self.config.dl1.write_policy {
+            WritePolicy::WriteBack => {
+                if self.dl1.write_word_masked(address, value, byte_mask) {
+                    return StoreResponse {
+                        dl1_hit: true,
+                        extra_cycles: 0,
+                    };
+                }
+                // Write miss.
+                match self.config.dl1.allocate_policy {
+                    AllocatePolicy::WriteAllocate => {
+                        let base = self.dl1.line_base(address);
+                        let (line, extra) = self.fetch_line(base, now);
+                        self.fill_dl1(address, &line, now);
+                        let wrote = self.dl1.write_word_masked(address, value, byte_mask);
+                        debug_assert!(wrote, "line was just filled");
+                        StoreResponse {
+                            dl1_hit: false,
+                            extra_cycles: extra,
+                        }
+                    }
+                    AllocatePolicy::NoWriteAllocate => {
+                        let extra = self.store_to_l2(address, value, byte_mask, now);
+                        StoreResponse {
+                            dl1_hit: false,
+                            extra_cycles: extra,
+                        }
+                    }
+                }
+            }
+            WritePolicy::WriteThrough => {
+                // Update the DL1 copy if present (stays clean), and always
+                // propagate over the bus to the L2.
+                let dl1_hit = self.dl1.write_word_masked(address, value, byte_mask);
+                let extra = self.store_to_l2(address, value, byte_mask, now);
+                StoreResponse {
+                    dl1_hit,
+                    extra_cycles: extra,
+                }
+            }
+        }
+    }
+
+    /// Full-word store convenience wrapper.
+    pub fn store_word(&mut self, address: u32, value: u32, now: u64) -> StoreResponse {
+        self.store_word_masked(address, value, 0xF, now)
+    }
+
+    /// Fetches a whole DL1 line from the L2 (refilling the L2 from memory if
+    /// needed), returning the line data and the stall penalty.
+    fn fetch_line(&mut self, base: u32, now: u64) -> (Vec<u32>, u32) {
+        let words = self.config.dl1.words_per_line();
+        let grant = self.bus.round_trip(now);
+        self.stats.bus_transactions += 1;
+        self.stats.bus_wait_cycles += grant.wait_cycles;
+
+        let mut extra = 2 * self.config.bus_latency + self.config.l2_latency;
+        extra += u32::try_from(grant.wait_cycles).unwrap_or(u32::MAX);
+
+        if !self.l2.probe(base) {
+            // L2 miss: refill the L2 line from main memory first.
+            extra += self.config.memory_latency;
+            self.stats.memory_accesses += 1;
+            let l2_base = self.l2.line_base(base);
+            let l2_words = self.config.l2.words_per_line();
+            let line = self.memory.read_line(l2_base, l2_words);
+            if let Some(evicted) = self.l2.fill(l2_base, &line) {
+                if evicted.dirty {
+                    self.memory.write_line(evicted.base_address, &evicted.words);
+                }
+            }
+        }
+
+        let mut line = Vec::with_capacity(words as usize);
+        for i in 0..words {
+            let word_address = base + 4 * i;
+            let value = match self.l2.read_word(word_address) {
+                Some(hit) => hit.value,
+                None => {
+                    // The DL1 line straddles an L2 line boundary only if the
+                    // DL1 line is larger than the L2 line, which the
+                    // configurations forbid; fall back to memory defensively.
+                    self.stats.memory_accesses += 1;
+                    self.memory.read_word(word_address)
+                }
+            };
+            line.push(value);
+        }
+        self.stats.l2 = *self.l2.stats();
+        (line, extra)
+    }
+
+    /// Installs a fetched line in the DL1, writing back any dirty victim to
+    /// the L2 (posted, so it does not add to the requesting load's latency).
+    fn fill_dl1(&mut self, address: u32, line: &[u32], now: u64) {
+        if let Some(evicted) = self.dl1.fill(address, line) {
+            if evicted.dirty {
+                self.writeback_to_l2(&evicted, now);
+            }
+        }
+        self.stats.dl1 = *self.dl1.stats();
+    }
+
+    fn writeback_to_l2(&mut self, evicted: &EvictedLine, now: u64) {
+        let grant = self.bus.one_way(now);
+        self.stats.bus_transactions += 1;
+        self.stats.bus_wait_cycles += grant.wait_cycles;
+        // Ensure the line is present in the L2 (inclusive-style allocate).
+        if !self.l2.probe(evicted.base_address) {
+            let l2_base = self.l2.line_base(evicted.base_address);
+            let l2_words = self.config.l2.words_per_line();
+            self.stats.memory_accesses += 1;
+            let line = self.memory.read_line(l2_base, l2_words);
+            if let Some(victim) = self.l2.fill(l2_base, &line) {
+                if victim.dirty {
+                    self.memory.write_line(victim.base_address, &victim.words);
+                }
+            }
+        }
+        for (i, &word) in evicted.words.iter().enumerate() {
+            self.l2.write_word(evicted.base_address + 4 * i as u32, word);
+        }
+        self.stats.l2 = *self.l2.stats();
+    }
+
+    /// Propagates a write-through / no-allocate store to the L2, returning
+    /// the occupancy cost in cycles.
+    fn store_to_l2(&mut self, address: u32, value: u32, byte_mask: u8, now: u64) -> u32 {
+        let grant = self.bus.one_way(now);
+        self.stats.bus_transactions += 1;
+        self.stats.bus_wait_cycles += grant.wait_cycles;
+        let mut extra = self.config.bus_latency + self.config.l2_latency;
+        extra += u32::try_from(grant.wait_cycles).unwrap_or(u32::MAX);
+        if !self.l2.write_word_masked(address, value, byte_mask) {
+            // L2 write miss: allocate (the L2 is write-back/write-allocate).
+            extra += self.config.memory_latency;
+            self.stats.memory_accesses += 1;
+            let l2_base = self.l2.line_base(address);
+            let l2_words = self.config.l2.words_per_line();
+            let line = self.memory.read_line(l2_base, l2_words);
+            if let Some(victim) = self.l2.fill(l2_base, &line) {
+                if victim.dirty {
+                    self.memory.write_line(victim.base_address, &victim.words);
+                }
+            }
+            let wrote = self.l2.write_word_masked(address, value, byte_mask);
+            debug_assert!(wrote, "L2 line was just filled");
+        }
+        self.stats.l2 = *self.l2.stats();
+        extra
+    }
+
+    /// Flushes all dirty state (DL1 → L2 → memory) so the memory image holds
+    /// the final architectural values, and returns that image's checksum.
+    pub fn drain_to_memory(&mut self) -> u64 {
+        let dirty_dl1 = self.dl1.flush_dirty();
+        for line in &dirty_dl1 {
+            self.writeback_to_l2(line, 0);
+        }
+        for line in self.l2.flush_dirty() {
+            self.memory.write_line(line.base_address, &line.words);
+        }
+        self.stats.dl1 = *self.dl1.stats();
+        self.stats.l2 = *self.l2.stats();
+        self.memory.checksum()
+    }
+
+    /// Injects a bit-flip plan into the DL1 word at `address`, if resident.
+    pub fn inject_dl1_fault_at(&mut self, address: u32, plan: &FlipPlan) -> bool {
+        self.dl1.inject_fault(address, plan)
+    }
+
+    /// Injects a random fault into a random *resident* DL1 word, returning
+    /// the struck address (or `None` if the DL1 is empty).
+    pub fn inject_random_dl1_fault(
+        &mut self,
+        injector: &mut ErrorInjector,
+        double_fraction: f64,
+    ) -> Option<u32> {
+        let resident = self.dl1.resident_word_addresses();
+        if resident.is_empty() {
+            return None;
+        }
+        let address = resident[injector.next_below(resident.len() as u64) as usize];
+        let check_bits = self.config.dl1.protection.check_bits();
+        let plan = injector.random_event(32, check_bits.max(1), double_fraction);
+        self.dl1.inject_fault(address, &plan);
+        Some(address)
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        let mut stats = self.stats;
+        stats.dl1 = *self.dl1.stats();
+        stats.l2 = *self.l2.stats();
+        stats
+    }
+
+    /// Direct access to the DL1 (inspection in tests / campaigns).
+    #[must_use]
+    pub fn dl1(&self) -> &Cache {
+        &self.dl1
+    }
+
+    /// Direct access to the L2.
+    #[must_use]
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Uncorrectable DL1 errors that hit dirty data (unrecoverable).
+    #[must_use]
+    pub fn unrecoverable_errors(&self) -> u64 {
+        self.unrecoverable_errors
+    }
+
+    /// Uncorrectable DL1 errors recovered by refetching from the L2.
+    #[must_use]
+    pub fn recovered_by_refetch(&self) -> u64 {
+        self.recovered_by_refetch
+    }
+
+    /// Total bus transactions issued so far.
+    #[must_use]
+    pub fn bus_transactions(&self) -> u64 {
+        self.bus.transactions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use laec_ecc::CodeKind;
+
+    fn wb_system() -> MemorySystem {
+        MemorySystem::new(HierarchyConfig::ngmp_write_back())
+    }
+
+    fn wt_system() -> MemorySystem {
+        MemorySystem::new(HierarchyConfig::ngmp_write_through())
+    }
+
+    #[test]
+    fn cold_load_misses_then_hits() {
+        let mut system = wb_system();
+        system.preload_word(0x1000, 0xAABB_CCDD);
+        let miss = system.load_word(0x1000, 0);
+        assert!(!miss.dl1_hit);
+        assert_eq!(miss.value, 0xAABB_CCDD);
+        assert_eq!(miss.extra_cycles, system.config().memory_penalty());
+        let hit = system.load_word(0x1000, 100);
+        assert!(hit.dl1_hit);
+        assert_eq!(hit.extra_cycles, 0);
+        assert_eq!(hit.value, 0xAABB_CCDD);
+        // Second access to the same line, different word: spatial locality.
+        let hit = system.load_word(0x1004, 101);
+        assert!(hit.dl1_hit);
+    }
+
+    #[test]
+    fn l2_hit_is_cheaper_than_memory() {
+        let mut system = wb_system();
+        system.preload_word(0x2000, 7);
+        let first = system.load_word(0x2000, 0);
+        assert_eq!(first.extra_cycles, system.config().memory_penalty());
+        // Evict the DL1 line by touching enough conflicting lines (DL1 has
+        // 128 sets * 32 B = 4 KB per way; 4 ways -> 5 conflicting lines).
+        for i in 1..=4 {
+            system.load_word(0x2000 + i * 4096, 10 * u64::from(i));
+        }
+        assert!(!system.dl1().probe(0x2000));
+        let refetch = system.load_word(0x2000, 1000);
+        assert!(!refetch.dl1_hit);
+        assert_eq!(refetch.value, 7);
+        assert_eq!(refetch.extra_cycles, system.config().l2_hit_penalty());
+    }
+
+    #[test]
+    fn write_back_store_hits_are_local_and_dirty() {
+        let mut system = wb_system();
+        system.preload_word(0x3000, 1);
+        system.load_word(0x3000, 0);
+        let bus_before = system.bus_transactions();
+        let response = system.store_word(0x3000, 99, 10);
+        assert!(response.dl1_hit);
+        assert_eq!(response.extra_cycles, 0);
+        assert_eq!(system.bus_transactions(), bus_before, "WB store hit stays on-core");
+        assert_eq!(system.dl1().dirty_lines(), 1);
+        assert_eq!(system.load_word(0x3000, 20).value, 99);
+    }
+
+    #[test]
+    fn write_back_store_miss_allocates() {
+        let mut system = wb_system();
+        let response = system.store_word(0x4000, 5, 0);
+        assert!(!response.dl1_hit);
+        assert!(response.extra_cycles >= system.config().l2_hit_penalty());
+        assert!(system.dl1().probe(0x4000));
+        assert_eq!(system.load_word(0x4000, 50).value, 5);
+    }
+
+    #[test]
+    fn write_through_store_always_uses_the_bus() {
+        let mut system = wt_system();
+        system.preload_word(0x5000, 0);
+        system.load_word(0x5000, 0);
+        let bus_before = system.bus_transactions();
+        let response = system.store_word(0x5000, 42, 10);
+        assert!(response.dl1_hit, "the DL1 copy is updated");
+        assert!(response.extra_cycles > 0, "and the store still travels to the L2");
+        assert_eq!(system.bus_transactions(), bus_before + 1);
+        assert_eq!(system.dl1().dirty_lines(), 0, "WT lines are never dirty");
+        // The L2 received the store.
+        assert!(system.l2().probe(0x5000));
+    }
+
+    #[test]
+    fn wt_traffic_exceeds_wb_traffic_for_store_loops() {
+        let mut wb = wb_system();
+        let mut wt = wt_system();
+        for i in 0..64u32 {
+            let address = 0x6000 + 4 * (i % 16);
+            wb.store_word(address, i, u64::from(i));
+            wt.store_word(address, i, u64::from(i));
+        }
+        assert!(
+            wt.bus_transactions() > 4 * wb.bus_transactions(),
+            "every WT store crosses the bus ({} vs {})",
+            wt.bus_transactions(),
+            wb.bus_transactions()
+        );
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_and_preserves_data() {
+        let mut system = wb_system();
+        system.store_word(0x7000, 0xDEAD, 0);
+        // Evict by filling the set with conflicting lines.
+        for i in 1..=4u32 {
+            system.load_word(0x7000 + i * 4096, u64::from(i) * 10);
+        }
+        assert!(!system.dl1().probe(0x7000));
+        // The dirty value survived in the L2.
+        assert_eq!(system.load_word(0x7000, 1000).value, 0xDEAD);
+    }
+
+    #[test]
+    fn sub_word_stores_merge() {
+        let mut system = wb_system();
+        system.preload_word(0x8000, 0x1122_3344);
+        system.load_word(0x8000, 0);
+        system.store_word_masked(0x8000, 0x0000_00FF, 0b0001, 1);
+        assert_eq!(system.load_word(0x8000, 2).value, 0x1122_33FF);
+        system.store_word_masked(0x8000, 0xAA00_0000, 0b1000, 3);
+        assert_eq!(system.load_word(0x8000, 4).value, 0xAA22_33FF);
+    }
+
+    #[test]
+    fn drain_to_memory_reaches_main_memory() {
+        let mut system = wb_system();
+        system.store_word(0x9000, 77, 0);
+        assert_eq!(system.peek_memory(0x9000), 0, "still only in the DL1");
+        let checksum = system.drain_to_memory();
+        assert_eq!(system.peek_memory(0x9000), 77);
+        assert_ne!(checksum, MainMemory::new(0).checksum());
+    }
+
+    #[test]
+    fn peek_coherent_sees_newest_copy_without_stats_noise() {
+        let mut system = wb_system();
+        system.preload_word(0xA000, 5);
+        assert_eq!(system.peek_coherent(0xA000), 5);
+        system.store_word(0xA000, 6, 0);
+        let stats_before = system.stats();
+        assert_eq!(system.peek_coherent(0xA000), 6);
+        let stats_after = system.stats();
+        assert_eq!(stats_before.dl1.read_hits, stats_after.dl1.read_hits);
+    }
+
+    #[test]
+    fn injected_single_fault_in_wb_dl1_is_corrected() {
+        let mut system = wb_system();
+        system.preload_word(0xB000, 0x1234_5678);
+        system.load_word(0xB000, 0);
+        assert!(system.inject_dl1_fault_at(0xB000, &FlipPlan::single_data(7)));
+        let hit = system.load_word(0xB000, 10);
+        assert_eq!(hit.value, 0x1234_5678);
+        assert!(hit.outcome.is_error() && hit.outcome.is_usable());
+        assert_eq!(system.unrecoverable_errors(), 0);
+    }
+
+    #[test]
+    fn double_fault_on_dirty_wb_data_is_unrecoverable() {
+        let mut system = wb_system();
+        system.store_word(0xC000, 1, 0);
+        assert!(system.inject_dl1_fault_at(0xC000, &FlipPlan::double_data(0, 1)));
+        let hit = system.load_word(0xC000, 10);
+        assert!(hit.outcome.is_uncorrectable());
+        assert_eq!(system.unrecoverable_errors(), 1);
+    }
+
+    #[test]
+    fn parity_error_in_wt_dl1_recovers_from_l2() {
+        let mut system = wt_system();
+        system.preload_word(0xD000, 0xFEED);
+        system.load_word(0xD000, 0);
+        // Parity detects but cannot correct; the WT DL1 refetches from L2.
+        assert!(system.inject_dl1_fault_at(0xD000, &FlipPlan::single_data(3)));
+        let reload = system.load_word(0xD000, 10);
+        assert_eq!(reload.value, 0xFEED, "clean copy restored from the L2");
+        assert!(!reload.dl1_hit);
+        assert!(reload.extra_cycles > 0, "recovery costs a refetch");
+        assert_eq!(system.recovered_by_refetch(), 1);
+        assert_eq!(system.unrecoverable_errors(), 0);
+        // And the refetched line is clean again.
+        assert_eq!(system.load_word(0xD000, 20).outcome, Outcome::Clean);
+    }
+
+    #[test]
+    fn random_fault_injection_targets_resident_words() {
+        let mut system = wb_system();
+        let mut injector = ErrorInjector::new(1);
+        assert!(system.inject_random_dl1_fault(&mut injector, 0.0).is_none());
+        system.load_word(0xE000, 0);
+        let address = system
+            .inject_random_dl1_fault(&mut injector, 0.0)
+            .expect("a resident word exists");
+        assert_eq!(address & !31, 0xE000 & !31, "strike lands in the resident line");
+    }
+
+    #[test]
+    fn unprotected_dl1_lets_faults_through_silently() {
+        let mut config = HierarchyConfig::ngmp_write_back();
+        config.dl1 = CacheConfig {
+            protection: CodeKind::None,
+            ..config.dl1
+        };
+        let mut system = MemorySystem::new(config);
+        system.preload_word(0xF000, 100);
+        system.load_word(0xF000, 0);
+        system.inject_dl1_fault_at(0xF000, &FlipPlan::single_data(0));
+        let hit = system.load_word(0xF000, 10);
+        assert_eq!(hit.outcome, Outcome::Clean, "no code, no detection");
+        assert_eq!(hit.value, 101, "silent corruption");
+    }
+
+    #[test]
+    fn bus_interference_inflates_miss_latency() {
+        let mut quiet = wb_system();
+        let mut noisy = wb_system();
+        noisy.set_bus_interference(Interference::every_request(8));
+        quiet.preload_word(0x1_0000, 1);
+        noisy.preload_word(0x1_0000, 1);
+        let q = quiet.load_word(0x1_0000, 0);
+        let n = noisy.load_word(0x1_0000, 0);
+        assert_eq!(n.extra_cycles, q.extra_cycles + 8);
+    }
+}

@@ -1,0 +1,57 @@
+//! NGMP-like memory hierarchy for the LAEC study.
+//!
+//! This crate models the memory system of the paper's evaluation platform
+//! (§III.B, §IV): per-core private L1 data caches (4-way, 32 B lines, 16 KB),
+//! a store (write) buffer, a shared bus, a shared write-back L2 and main
+//! memory.  The model is both *functional* (caches hold real, ECC-protected
+//! data and every access returns architecturally correct values) and *timed*
+//! (every access reports the stall cycles a blocking in-order pipeline would
+//! observe).
+//!
+//! Modules:
+//!
+//! * [`config`] — cache and hierarchy geometry/latency/protection parameters,
+//! * [`cache`] — the set-associative, LRU, ECC-protected cache array,
+//! * [`write_buffer`] — the NGMP store buffer with its
+//!   "stall until completely empty" backpressure,
+//! * [`bus`] — the shared bus with an interference model for unobserved cores,
+//! * [`memory`] — flat main memory,
+//! * [`hierarchy`] — [`MemorySystem`], the per-core façade the pipeline talks to,
+//! * [`fault`] — periodic soft-error injection campaigns,
+//! * [`stats`] — hit/miss/traffic counters.
+//!
+//! # Example
+//!
+//! ```
+//! use laec_mem::{HierarchyConfig, MemorySystem};
+//!
+//! let mut system = MemorySystem::new(HierarchyConfig::ngmp_write_back());
+//! system.preload_word(0x1000, 42);
+//! let miss = system.load_word(0x1000, 0);
+//! assert_eq!(miss.value, 42);
+//! assert!(!miss.dl1_hit);
+//! let hit = system.load_word(0x1000, 50);
+//! assert!(hit.dl1_hit);
+//! assert_eq!(hit.extra_cycles, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cache;
+pub mod config;
+pub mod fault;
+pub mod hierarchy;
+pub mod memory;
+pub mod stats;
+pub mod write_buffer;
+
+pub use bus::{Bus, BusGrant, Interference};
+pub use cache::{Cache, EvictedLine, ReadHit};
+pub use config::{AllocatePolicy, CacheConfig, HierarchyConfig, WritePolicy};
+pub use fault::{FaultCampaign, FaultCampaignConfig, FaultCampaignReport};
+pub use hierarchy::{LoadResponse, MemorySystem, StoreResponse};
+pub use memory::MainMemory;
+pub use stats::{CacheStats, MemStats};
+pub use write_buffer::{PendingStore, WriteBuffer};

@@ -1,0 +1,166 @@
+//! Flat main memory backing the cache hierarchy.
+//!
+//! A sparse word-addressed store with a fixed access latency.  Main memory is
+//! assumed ECC-protected and error free (the paper's fault model only injects
+//! into the DL1, where dirty data is vulnerable).
+
+use std::collections::HashMap;
+
+/// Sparse 32-bit-word main memory.
+///
+/// ```
+/// use laec_mem::MainMemory;
+/// let mut memory = MainMemory::new(20);
+/// memory.write_word(0x1000, 0xAABB_CCDD);
+/// assert_eq!(memory.read_word(0x1000), 0xAABB_CCDD);
+/// assert_eq!(memory.read_word(0x2000), 0, "uninitialised memory reads zero");
+/// assert_eq!(memory.latency(), 20);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MainMemory {
+    words: HashMap<u32, u32>,
+    latency: u32,
+    reads: u64,
+    writes: u64,
+}
+
+impl MainMemory {
+    /// Creates an empty memory with the given access latency (cycles).
+    #[must_use]
+    pub fn new(latency: u32) -> Self {
+        MainMemory {
+            words: HashMap::new(),
+            latency,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Access latency in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Reads the aligned 32-bit word containing `address` (uninitialised
+    /// locations read as zero).
+    pub fn read_word(&mut self, address: u32) -> u32 {
+        self.reads += 1;
+        self.peek_word(address)
+    }
+
+    /// Reads without counting an access (for result checking / dumps).
+    #[must_use]
+    pub fn peek_word(&self, address: u32) -> u32 {
+        self.words.get(&(address & !3)).copied().unwrap_or(0)
+    }
+
+    /// Writes the aligned 32-bit word containing `address`.
+    pub fn write_word(&mut self, address: u32, value: u32) {
+        self.writes += 1;
+        self.poke_word(address, value);
+    }
+
+    /// Writes without counting an access (used for program loading).
+    pub fn poke_word(&mut self, address: u32, value: u32) {
+        self.words.insert(address & !3, value);
+    }
+
+    /// Reads a whole cache line of `words` 32-bit words starting at the
+    /// line-aligned `base` address.
+    pub fn read_line(&mut self, base: u32, words: u32) -> Vec<u32> {
+        (0..words).map(|i| self.read_word(base + 4 * i)).collect()
+    }
+
+    /// Writes a whole cache line starting at the line-aligned `base`.
+    pub fn write_line(&mut self, base: u32, values: &[u32]) {
+        for (i, &value) in values.iter().enumerate() {
+            self.write_word(base + 4 * i as u32, value);
+        }
+    }
+
+    /// Number of word reads served.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of word writes served.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of distinct words ever written.
+    #[must_use]
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// A deterministic checksum over the whole memory image, used by the
+    /// cross-scheme equivalence and fault-injection tests.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        let mut entries: Vec<(u32, u32)> = self.words.iter().map(|(&a, &v)| (a, v)).collect();
+        entries.sort_unstable();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for (address, value) in entries {
+            // Zero-valued words are equivalent to absent words.
+            if value == 0 {
+                continue;
+            }
+            for byte in address.to_le_bytes().into_iter().chain(value.to_le_bytes()) {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_and_alignment() {
+        let mut memory = MainMemory::new(10);
+        memory.write_word(0x103, 7);
+        assert_eq!(memory.read_word(0x100), 7, "sub-word addresses alias the aligned word");
+        assert_eq!(memory.reads(), 1);
+        assert_eq!(memory.writes(), 1);
+        assert_eq!(memory.footprint_words(), 1);
+    }
+
+    #[test]
+    fn lines_round_trip() {
+        let mut memory = MainMemory::new(10);
+        let line = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        memory.write_line(0x200, &line);
+        assert_eq!(memory.read_line(0x200, 8), line);
+    }
+
+    #[test]
+    fn peek_and_poke_do_not_count() {
+        let mut memory = MainMemory::new(10);
+        memory.poke_word(0x40, 9);
+        assert_eq!(memory.peek_word(0x40), 9);
+        assert_eq!(memory.reads(), 0);
+        assert_eq!(memory.writes(), 0);
+    }
+
+    #[test]
+    fn checksum_ignores_zero_words_and_is_order_independent() {
+        let mut a = MainMemory::new(1);
+        a.poke_word(0x10, 5);
+        a.poke_word(0x20, 6);
+        let mut b = MainMemory::new(1);
+        b.poke_word(0x20, 6);
+        b.poke_word(0x10, 5);
+        b.poke_word(0x30, 0);
+        assert_eq!(a.checksum(), b.checksum());
+        let mut c = MainMemory::new(1);
+        c.poke_word(0x10, 5);
+        assert_ne!(a.checksum(), c.checksum());
+    }
+}

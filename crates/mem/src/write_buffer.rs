@@ -1,0 +1,213 @@
+//! The store (write) buffer sitting between the memory stage and the DL1.
+//!
+//! Paper §III.B: *"The memory stage uses a write buffer where all writes are
+//! stored until they can access DL1.  A load that misses in DL1 blocks the
+//! pipeline.  All loads stall the memory stage until the write buffer is
+//! empty to avoid consistency issues.  Writes also stall the pipeline with
+//! backpressure when the write buffer is full, until it gets completely
+//! empty."*  This module models exactly that structure; the pipeline decides
+//! when to drain it (one entry per cycle when the DL1 port is otherwise
+//! idle).
+
+use std::collections::VecDeque;
+
+/// One store waiting to access the DL1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingStore {
+    /// Word-aligned target address.
+    pub address: u32,
+    /// Value to merge.
+    pub value: u32,
+    /// Byte-enable mask (bit *i* enables byte *i* of the aligned word).
+    pub byte_mask: u8,
+}
+
+/// A FIFO store buffer with "stall until completely empty" backpressure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteBuffer {
+    entries: VecDeque<PendingStore>,
+    capacity: usize,
+    /// When the buffer fills, stores stall until it fully drains.
+    draining: bool,
+    enqueues: u64,
+    full_stalls: u64,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "write buffer needs at least one entry");
+        WriteBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            draining: false,
+            enqueues: 0,
+            full_stalls: 0,
+        }
+    }
+
+    /// Number of queued stores.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no stores are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when the buffer cannot accept another store this cycle, either
+    /// because it is full or because it is in backpressure drain mode.
+    #[must_use]
+    pub fn must_stall_store(&self) -> bool {
+        self.draining || self.entries.len() >= self.capacity
+    }
+
+    /// Capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tries to accept a store.  Returns `true` if accepted; `false` means
+    /// the pipeline must stall (backpressure) and retry next cycle.
+    pub fn push(&mut self, store: PendingStore) -> bool {
+        if self.must_stall_store() {
+            self.full_stalls += 1;
+            if self.entries.len() >= self.capacity {
+                self.draining = true;
+            }
+            return false;
+        }
+        self.entries.push_back(store);
+        self.enqueues += 1;
+        if self.entries.len() >= self.capacity {
+            // Hitting capacity triggers the "until it gets completely empty"
+            // backpressure mode of the NGMP write buffer.
+            self.draining = true;
+        }
+        true
+    }
+
+    /// Pops the oldest store for the DL1 to consume (called by the pipeline
+    /// when the DL1 port is free).
+    pub fn pop(&mut self) -> Option<PendingStore> {
+        let store = self.entries.pop_front();
+        if self.entries.is_empty() {
+            self.draining = false;
+        }
+        store
+    }
+
+    /// Oldest entry without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&PendingStore> {
+        self.entries.front()
+    }
+
+    /// `true` if a queued store targets the aligned word at `address`
+    /// (loads conservatively wait for the buffer to drain instead of
+    /// forwarding, matching the modelled NGMP).
+    #[must_use]
+    pub fn has_store_to(&self, address: u32) -> bool {
+        let target = address & !3;
+        self.entries.iter().any(|s| s.address & !3 == target)
+    }
+
+    /// Total stores accepted.
+    #[must_use]
+    pub fn enqueues(&self) -> u64 {
+        self.enqueues
+    }
+
+    /// Total rejected pushes (full-buffer stalls).
+    #[must_use]
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+}
+
+impl Default for WriteBuffer {
+    fn default() -> Self {
+        WriteBuffer::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(address: u32) -> PendingStore {
+        PendingStore {
+            address,
+            value: address ^ 0xFFFF_FFFF,
+            byte_mask: 0xF,
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut buffer = WriteBuffer::new(4);
+        assert!(buffer.is_empty());
+        for i in 0..3 {
+            assert!(buffer.push(store(i * 4)));
+        }
+        assert_eq!(buffer.len(), 3);
+        assert_eq!(buffer.peek().unwrap().address, 0);
+        assert_eq!(buffer.pop().unwrap().address, 0);
+        assert_eq!(buffer.pop().unwrap().address, 4);
+        assert_eq!(buffer.pop().unwrap().address, 8);
+        assert!(buffer.pop().is_none());
+        assert_eq!(buffer.enqueues(), 3);
+    }
+
+    #[test]
+    fn backpressure_lasts_until_completely_empty() {
+        let mut buffer = WriteBuffer::new(2);
+        assert!(buffer.push(store(0)));
+        assert!(buffer.push(store(4)));
+        // Full: further stores stall.
+        assert!(buffer.must_stall_store());
+        assert!(!buffer.push(store(8)));
+        assert_eq!(buffer.full_stalls(), 1);
+        // Draining one entry is not enough: the NGMP drains completely.
+        buffer.pop();
+        assert!(buffer.must_stall_store());
+        assert!(!buffer.push(store(8)));
+        buffer.pop();
+        // Now empty: stores flow again.
+        assert!(!buffer.must_stall_store());
+        assert!(buffer.push(store(8)));
+    }
+
+    #[test]
+    fn load_conflict_detection_uses_word_addresses() {
+        let mut buffer = WriteBuffer::new(4);
+        buffer.push(PendingStore {
+            address: 0x1004,
+            value: 1,
+            byte_mask: 0b0010,
+        });
+        assert!(buffer.has_store_to(0x1004));
+        assert!(buffer.has_store_to(0x1006), "same aligned word");
+        assert!(!buffer.has_store_to(0x1008));
+    }
+
+    #[test]
+    fn default_capacity_matches_ngmp_model() {
+        assert_eq!(WriteBuffer::default().capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_is_rejected() {
+        let _ = WriteBuffer::new(0);
+    }
+}

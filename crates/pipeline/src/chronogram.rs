@@ -1,0 +1,268 @@
+//! Chronograms: per-instruction stage-occupancy traces rendered like the
+//! paper's Figures 2–5 and 7.
+//!
+//! Each traced instruction records the cycle it entered every stage; the
+//! renderer prints one row per instruction with the stage label repeated for
+//! every cycle the instruction occupied it, e.g.
+//!
+//! ```text
+//! r3 = load(r1+r2)   F D RA Exe M   Exc WB
+//! r5 = r3 + r4         F D  RA  Exe Exe M  Exc WB
+//! ```
+
+use std::fmt;
+
+use crate::stage::Stage;
+
+/// Stage occupancy of one traced instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Static instruction index in the program.
+    pub index: u32,
+    /// Disassembled text of the instruction.
+    pub text: String,
+    /// `(stage, entry cycle)` pairs in pipeline order.
+    pub stages: Vec<(Stage, u64)>,
+    /// Cycle at which the instruction left the last stage (retired).
+    pub retired: u64,
+    /// `true` if this load was executed with the LAEC look-ahead.
+    pub lookahead: bool,
+}
+
+impl TraceEntry {
+    /// Number of cycles spent in `stage` (0 if the stage was not traversed).
+    #[must_use]
+    pub fn cycles_in(&self, stage: Stage) -> u64 {
+        for (i, &(s, entry)) in self.stages.iter().enumerate() {
+            if s == stage {
+                let leave = self
+                    .stages
+                    .get(i + 1)
+                    .map_or(self.retired, |&(_, next_entry)| next_entry);
+                return leave.saturating_sub(entry);
+            }
+        }
+        0
+    }
+
+    /// Entry cycle into `stage`, if traversed.
+    #[must_use]
+    pub fn entry_cycle(&self, stage: Stage) -> Option<u64> {
+        self.stages.iter().find(|&&(s, _)| s == stage).map(|&(_, c)| c)
+    }
+}
+
+/// A bounded trace of the first N dynamic instructions of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Chronogram {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+}
+
+impl Chronogram {
+    /// Creates a chronogram holding at most `capacity` instructions.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Chronogram {
+            entries: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+        }
+    }
+
+    /// `true` once the trace has filled up.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Adds an entry (ignored once full).
+    pub fn push(&mut self, entry: TraceEntry) {
+        if !self.is_full() {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Traced instructions in dynamic order.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of traced instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing was traced.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the trace as an aligned cycle-by-cycle diagram in the style of
+    /// the paper's chronogram figures.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.entries.is_empty() {
+            return String::from("(empty chronogram)\n");
+        }
+        let first_cycle = self
+            .entries
+            .iter()
+            .filter_map(|e| e.stages.first().map(|&(_, c)| c))
+            .min()
+            .unwrap_or(0);
+        let last_cycle = self.entries.iter().map(|e| e.retired).max().unwrap_or(first_cycle);
+        let columns = (last_cycle - first_cycle) as usize;
+        let text_width = self.entries.iter().map(|e| e.text.len()).max().unwrap_or(0).max(16);
+        const CELL: usize = 4;
+
+        let mut out = String::new();
+        // Header with cycle numbers.
+        out.push_str(&format!("{:width$}  ", "cycle", width = text_width));
+        for c in 0..columns {
+            out.push_str(&format!("{:<CELL$}", first_cycle + c as u64));
+        }
+        out.push('\n');
+        for entry in &self.entries {
+            let mut cells: Vec<String> = vec![String::new(); columns];
+            for (i, &(stage, entry_cycle)) in entry.stages.iter().enumerate() {
+                let leave = entry
+                    .stages
+                    .get(i + 1)
+                    .map_or(entry.retired, |&(_, next)| next);
+                for cycle in entry_cycle..leave {
+                    let column = (cycle - first_cycle) as usize;
+                    if column < columns {
+                        cells[column] = stage.label().to_string();
+                    }
+                }
+            }
+            let marker = if entry.lookahead { "*" } else { " " };
+            out.push_str(&format!("{:width$}{} ", entry.text, marker, width = text_width));
+            for cell in cells {
+                out.push_str(&format!("{cell:<CELL$}"));
+            }
+            out.push('\n');
+        }
+        if self.entries.iter().any(|e| e.lookahead) {
+            out.push_str("(* = load executed with LAEC look-ahead)\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Chronogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64, text: &str, stages: &[(Stage, u64)], retired: u64) -> TraceEntry {
+        TraceEntry {
+            seq,
+            index: seq as u32,
+            text: text.to_string(),
+            stages: stages.to_vec(),
+            retired,
+            lookahead: false,
+        }
+    }
+
+    fn two_instruction_trace() -> Chronogram {
+        // Mirrors the paper's Fig. 2: the consumer stalls one cycle in Exe.
+        let mut chronogram = Chronogram::new(4);
+        chronogram.push(entry(
+            0,
+            "r3 = load(r1+r2)",
+            &[
+                (Stage::Fetch, 1),
+                (Stage::Decode, 2),
+                (Stage::RegisterAccess, 3),
+                (Stage::Execute, 4),
+                (Stage::Memory, 5),
+                (Stage::Exception, 6),
+                (Stage::WriteBack, 7),
+            ],
+            8,
+        ));
+        chronogram.push(entry(
+            1,
+            "r5 = r3 + r4",
+            &[
+                (Stage::Fetch, 2),
+                (Stage::Decode, 3),
+                (Stage::RegisterAccess, 4),
+                (Stage::Execute, 5),
+                (Stage::Memory, 7),
+                (Stage::Exception, 8),
+                (Stage::WriteBack, 9),
+            ],
+            10,
+        ));
+        chronogram
+    }
+
+    #[test]
+    fn cycles_in_counts_stall_cycles() {
+        let chronogram = two_instruction_trace();
+        let consumer = &chronogram.entries()[1];
+        assert_eq!(consumer.cycles_in(Stage::Execute), 2, "one stall cycle");
+        assert_eq!(consumer.cycles_in(Stage::Memory), 1);
+        assert_eq!(consumer.cycles_in(Stage::EccCheck), 0, "stage not traversed");
+        assert_eq!(consumer.entry_cycle(Stage::Memory), Some(7));
+        assert_eq!(consumer.entry_cycle(Stage::EccCheck), None);
+    }
+
+    #[test]
+    fn render_repeats_stalled_stage_labels() {
+        let chronogram = two_instruction_trace();
+        let rendered = chronogram.render();
+        let consumer_row = rendered
+            .lines()
+            .find(|l| l.contains("r5 = r3 + r4"))
+            .expect("consumer row");
+        let exe_count = consumer_row.matches("Exe").count();
+        assert_eq!(exe_count, 2, "stall renders as a repeated Exe: {consumer_row}");
+        assert!(rendered.lines().next().unwrap().contains("cycle"));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut chronogram = Chronogram::new(1);
+        chronogram.push(entry(0, "a", &[(Stage::Fetch, 1)], 2));
+        assert!(chronogram.is_full());
+        chronogram.push(entry(1, "b", &[(Stage::Fetch, 2)], 3));
+        assert_eq!(chronogram.len(), 1);
+        assert!(!chronogram.is_empty());
+    }
+
+    #[test]
+    fn empty_chronogram_renders_placeholder() {
+        let chronogram = Chronogram::new(0);
+        assert!(chronogram.render().contains("empty"));
+        assert_eq!(chronogram.to_string(), chronogram.render());
+    }
+
+    #[test]
+    fn lookahead_marker_is_rendered() {
+        let mut chronogram = Chronogram::new(2);
+        let mut load = entry(0, "ld r1, [r2]", &[(Stage::Fetch, 1), (Stage::Execute, 4)], 5);
+        load.lookahead = true;
+        chronogram.push(load);
+        let rendered = chronogram.render();
+        let row = rendered
+            .lines()
+            .find(|l| l.contains("ld r1, [r2]"))
+            .expect("load row");
+        assert!(row.contains('*'), "look-ahead marker missing: {row}");
+        assert!(rendered.contains("look-ahead"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Simulator configuration.
+
+use laec_mem::{FaultCampaignConfig, HierarchyConfig, Interference};
+
+use crate::scheme::EccScheme;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// DL1 ECC deployment scheme under test.
+    pub scheme: EccScheme,
+    /// Memory hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// How much of a taken branch's redirect is hidden by the front-end
+    /// (delay-slot / early-resolution overlap, in cycles).  The next fetch
+    /// after a taken branch may start no earlier than the branch's Memory-
+    /// entry cycle minus this overlap.  The default of 2 yields an effective
+    /// one-cycle taken-branch bubble in the unstalled case, matching the
+    /// LEON's static-prediction-plus-delay-slot behaviour; the value is
+    /// identical across ECC schemes so it does not bias their comparison.
+    pub branch_overlap: u32,
+    /// Hard cap on executed (retired) instructions; the run stops with
+    /// `hit_instruction_limit = true` if reached before `halt`.
+    pub max_instructions: u64,
+    /// Record a chronogram of at most this many dynamic instructions
+    /// (0 disables tracing).
+    pub trace_instructions: usize,
+    /// Optional periodic soft-error injection.
+    pub fault_campaign: Option<FaultCampaignConfig>,
+    /// Optional bus interference standing in for the other NGMP cores.
+    pub bus_interference: Option<Interference>,
+}
+
+impl PipelineConfig {
+    /// Configuration for one scheme with the paper's default platform
+    /// (write-back SECDED DL1 for the protected schemes, the same geometry
+    /// without protection for the no-ECC baseline).
+    #[must_use]
+    pub fn for_scheme(scheme: EccScheme) -> Self {
+        let mut hierarchy = HierarchyConfig::ngmp_write_back();
+        if !scheme.protects_dirty_data() {
+            hierarchy.dl1.protection = laec_ecc::CodeKind::None;
+        }
+        PipelineConfig {
+            scheme,
+            hierarchy,
+            branch_overlap: 2,
+            max_instructions: 50_000_000,
+            trace_instructions: 0,
+            fault_campaign: None,
+            bus_interference: None,
+        }
+    }
+
+    /// The proposal's configuration (LAEC over a write-back SECDED DL1).
+    #[must_use]
+    pub fn laec() -> Self {
+        Self::for_scheme(EccScheme::Laec)
+    }
+
+    /// The ideal no-ECC baseline configuration.
+    #[must_use]
+    pub fn no_ecc() -> Self {
+        Self::for_scheme(EccScheme::NoEcc)
+    }
+
+    /// Enables chronogram tracing of the first `instructions` dynamic
+    /// instructions (builder style).
+    #[must_use]
+    pub fn with_trace(mut self, instructions: usize) -> Self {
+        self.trace_instructions = instructions;
+        self
+    }
+
+    /// Installs a fault campaign (builder style).
+    #[must_use]
+    pub fn with_fault_campaign(mut self, campaign: FaultCampaignConfig) -> Self {
+        self.fault_campaign = Some(campaign);
+        self
+    }
+
+    /// Caps the number of retired instructions (builder style).
+    #[must_use]
+    pub fn with_max_instructions(mut self, max_instructions: u64) -> Self {
+        self.max_instructions = max_instructions;
+        self
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::laec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laec_ecc::CodeKind;
+    use laec_mem::WritePolicy;
+
+    #[test]
+    fn protected_schemes_keep_secded_dl1() {
+        for scheme in [EccScheme::ExtraCycle, EccScheme::ExtraStage, EccScheme::Laec] {
+            let config = PipelineConfig::for_scheme(scheme);
+            assert_eq!(config.hierarchy.dl1.protection, CodeKind::Hsiao39_32);
+            assert_eq!(config.hierarchy.dl1.write_policy, WritePolicy::WriteBack);
+        }
+    }
+
+    #[test]
+    fn no_ecc_baseline_removes_protection_only() {
+        let config = PipelineConfig::no_ecc();
+        assert_eq!(config.hierarchy.dl1.protection, CodeKind::None);
+        assert_eq!(
+            config.hierarchy.dl1.size_bytes,
+            PipelineConfig::laec().hierarchy.dl1.size_bytes
+        );
+    }
+
+    #[test]
+    fn builders_compose() {
+        let config = PipelineConfig::laec()
+            .with_trace(16)
+            .with_max_instructions(1_000)
+            .with_fault_campaign(FaultCampaignConfig::single_bit(1, 10));
+        assert_eq!(config.trace_instructions, 16);
+        assert_eq!(config.max_instructions, 1_000);
+        assert!(config.fault_campaign.is_some());
+        assert_eq!(PipelineConfig::default().scheme, EccScheme::Laec);
+    }
+}

@@ -1,0 +1,106 @@
+//! Pipeline stages of the NGMP-like core.
+//!
+//! The baseline LEON4/NGMP pipeline has seven stages (paper Fig. 1):
+//! Fetch, Decode, Register Access, Execute, Memory, Exception, Write-back.
+//! The Extra-Stage and LAEC designs insert an ECC stage between Memory and
+//! Exception, growing the pipeline to eight stages (paper §III.D/E).
+
+use std::fmt;
+
+/// One pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Instruction fetch.
+    Fetch,
+    /// Decode.
+    Decode,
+    /// Register access (operand read; LAEC also computes load addresses here).
+    RegisterAccess,
+    /// Execute (ALU; LAEC accesses the DL1 here for anticipated loads).
+    Execute,
+    /// Memory (DL1 access; LAEC computes the ECC here for anticipated loads).
+    Memory,
+    /// ECC check stage (only present in Extra-Stage and LAEC pipelines).
+    EccCheck,
+    /// Exception resolution.
+    Exception,
+    /// Write-back.
+    WriteBack,
+}
+
+impl Stage {
+    /// The seven-stage baseline pipeline (no-ECC, Extra-Cycle,
+    /// Speculate-and-Flush).
+    pub const BASELINE: [Stage; 7] = [
+        Stage::Fetch,
+        Stage::Decode,
+        Stage::RegisterAccess,
+        Stage::Execute,
+        Stage::Memory,
+        Stage::Exception,
+        Stage::WriteBack,
+    ];
+
+    /// The eight-stage pipeline with a dedicated ECC stage (Extra-Stage and
+    /// LAEC).
+    pub const WITH_ECC_STAGE: [Stage; 8] = [
+        Stage::Fetch,
+        Stage::Decode,
+        Stage::RegisterAccess,
+        Stage::Execute,
+        Stage::Memory,
+        Stage::EccCheck,
+        Stage::Exception,
+        Stage::WriteBack,
+    ];
+
+    /// Short label used in chronograms (mirrors the paper's figures).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Fetch => "F",
+            Stage::Decode => "D",
+            Stage::RegisterAccess => "RA",
+            Stage::Execute => "Exe",
+            Stage::Memory => "M",
+            Stage::EccCheck => "ECC",
+            Stage::Exception => "Exc",
+            Stage::WriteBack => "WB",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_figure_1() {
+        let labels: Vec<&str> = Stage::BASELINE.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["F", "D", "RA", "Exe", "M", "Exc", "WB"]);
+    }
+
+    #[test]
+    fn ecc_pipeline_adds_one_stage_after_memory() {
+        assert_eq!(Stage::WITH_ECC_STAGE.len(), Stage::BASELINE.len() + 1);
+        let position = Stage::WITH_ECC_STAGE
+            .iter()
+            .position(|&s| s == Stage::EccCheck)
+            .unwrap();
+        assert_eq!(Stage::WITH_ECC_STAGE[position - 1], Stage::Memory);
+        assert_eq!(Stage::WITH_ECC_STAGE[position + 1], Stage::Exception);
+    }
+
+    #[test]
+    fn stages_are_ordered() {
+        assert!(Stage::Fetch < Stage::Memory);
+        assert!(Stage::Memory < Stage::WriteBack);
+        assert_eq!(Stage::Execute.to_string(), "Exe");
+    }
+}

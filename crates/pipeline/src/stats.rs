@@ -1,0 +1,228 @@
+//! Per-run performance counters.
+
+use std::fmt;
+
+use laec_mem::MemStats;
+
+/// Counters collected by one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Total elapsed cycles (fetch of the first instruction to retirement of
+    /// the last).
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+    /// Loads that hit in the DL1.
+    pub load_hits: u64,
+    /// Loads that missed in the DL1.
+    pub load_misses: u64,
+    /// Loads whose value is consumed by an instruction at dynamic distance
+    /// 1 or 2 (the paper's "% of dep. loads", Table II).
+    pub dependent_loads: u64,
+    /// Retired conditional branches.
+    pub branches: u64,
+    /// Taken conditional branches plus unconditional jumps/calls/returns.
+    pub taken_control: u64,
+    /// Cycles lost to front-end redirects after taken control flow.
+    pub control_bubble_cycles: u64,
+    /// Cycles instructions spent stalled waiting for source operands
+    /// (includes load-use and ECC-induced stalls).
+    pub operand_stall_cycles: u64,
+    /// Cycles lost to structural Memory-stage occupancy (Extra-Cycle's second
+    /// memory cycle and DL1 miss service).
+    pub memory_occupancy_stall_cycles: u64,
+    /// Cycles loads waited for the write buffer to drain.
+    pub write_buffer_drain_stall_cycles: u64,
+    /// Cycles stores waited because the write buffer was full.
+    pub write_buffer_full_stall_cycles: u64,
+    /// Cycles lost to pipeline flushes (speculate-and-flush scheme only).
+    pub flush_cycles: u64,
+    /// Loads executed with the LAEC look-ahead.
+    pub lookahead_loads: u64,
+    /// Look-aheads blocked because the previous instruction produces an
+    /// address register of the load (paper §III.A condition 2).
+    pub lookahead_blocked_data_hazard: u64,
+    /// Look-aheads blocked because the previous instruction is a
+    /// non-anticipated load occupying the DL1 port (condition 1).
+    pub lookahead_blocked_resource_hazard: u64,
+    /// Look-aheads blocked because an address register was produced by an
+    /// older instruction whose result is not yet bypassable at RA time.
+    pub lookahead_blocked_operand_not_ready: u64,
+    /// Faults injected during the run.
+    pub faults_injected: u64,
+    /// Memory-system counters.
+    pub mem: MemStats,
+}
+
+impl PipelineStats {
+    /// A zeroed counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        PipelineStats::default()
+    }
+
+    /// Cycles per instruction.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of retired instructions that are loads (Table II row 3).
+    #[must_use]
+    pub fn load_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.loads as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of loads that hit in the DL1 (Table II row 1).
+    #[must_use]
+    pub fn load_hit_rate(&self) -> f64 {
+        if self.loads == 0 {
+            1.0
+        } else {
+            self.load_hits as f64 / self.loads as f64
+        }
+    }
+
+    /// Fraction of loads consumed at distance 1 or 2 (Table II row 2).
+    #[must_use]
+    pub fn dependent_load_fraction(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.dependent_loads as f64 / self.loads as f64
+        }
+    }
+
+    /// Fraction of loads executed with the look-ahead (LAEC only).
+    #[must_use]
+    pub fn lookahead_rate(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.lookahead_loads as f64 / self.loads as f64
+        }
+    }
+
+    /// Execution-time ratio of this run versus a baseline run of the same
+    /// program (the y-axis of the paper's Fig. 8 when the baseline is the
+    /// no-ECC scheme).
+    #[must_use]
+    pub fn slowdown_versus(&self, baseline: &PipelineStats) -> f64 {
+        if baseline.cycles == 0 {
+            1.0
+        } else {
+            self.cycles as f64 / baseline.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles {}  instructions {}  CPI {:.3}",
+            self.cycles,
+            self.instructions,
+            self.cpi()
+        )?;
+        writeln!(
+            f,
+            "loads {} ({:.1}% of instructions, {:.1}% hit, {:.1}% dependent), stores {}",
+            self.loads,
+            100.0 * self.load_fraction(),
+            100.0 * self.load_hit_rate(),
+            100.0 * self.dependent_load_fraction(),
+            self.stores
+        )?;
+        writeln!(
+            f,
+            "stalls: operand {}  memory-occupancy {}  wb-drain {}  wb-full {}  control {}  flush {}",
+            self.operand_stall_cycles,
+            self.memory_occupancy_stall_cycles,
+            self.write_buffer_drain_stall_cycles,
+            self.write_buffer_full_stall_cycles,
+            self.control_bubble_cycles,
+            self.flush_cycles
+        )?;
+        write!(
+            f,
+            "look-ahead: {} performed, blocked {} data / {} resource / {} operand-not-ready",
+            self.lookahead_loads,
+            self.lookahead_blocked_data_hazard,
+            self.lookahead_blocked_resource_hazard,
+            self.lookahead_blocked_operand_not_ready
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let stats = PipelineStats {
+            cycles: 1_500,
+            instructions: 1_000,
+            loads: 250,
+            load_hits: 225,
+            load_misses: 25,
+            dependent_loads: 150,
+            lookahead_loads: 200,
+            ..PipelineStats::default()
+        };
+        assert!((stats.cpi() - 1.5).abs() < 1e-12);
+        assert!((stats.load_fraction() - 0.25).abs() < 1e-12);
+        assert!((stats.load_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((stats.dependent_load_fraction() - 0.6).abs() < 1e-12);
+        assert!((stats.lookahead_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_guarded() {
+        let stats = PipelineStats::new();
+        assert_eq!(stats.cpi(), 0.0);
+        assert_eq!(stats.load_fraction(), 0.0);
+        assert_eq!(stats.load_hit_rate(), 1.0);
+        assert_eq!(stats.dependent_load_fraction(), 0.0);
+        assert_eq!(stats.lookahead_rate(), 0.0);
+        assert_eq!(stats.slowdown_versus(&stats), 1.0);
+    }
+
+    #[test]
+    fn slowdown_ratio() {
+        let baseline = PipelineStats {
+            cycles: 1_000,
+            ..PipelineStats::default()
+        };
+        let slower = PipelineStats {
+            cycles: 1_100,
+            ..PipelineStats::default()
+        };
+        assert!((slower.slowdown_versus(&baseline) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let stats = PipelineStats {
+            cycles: 10,
+            instructions: 5,
+            ..PipelineStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("cycles 10"));
+        assert!(text.contains("look-ahead"));
+    }
+}

@@ -1,0 +1,384 @@
+//! Hand-written kernels in the spirit of the EEMBC Automotive families.
+//!
+//! These are real algorithms (not statistical mimics): they compute checkable
+//! results, exercise genuine control/data flow on the simulator, and are used
+//! by the examples, the integration tests and the fault-injection campaign.
+//! The Figure 8 / Table II reproduction uses the profile-calibrated suite in
+//! [`crate::generator`] instead, because only the published Table II
+//! statistics of the proprietary EEMBC binaries are available.
+
+use laec_isa::{AluOp, Program, ProgramBuilder, Reg};
+
+/// Base address used for kernel input arrays.
+pub const INPUT_BASE: u32 = 0x0004_0000;
+/// Base address used for kernel output arrays.
+pub const OUTPUT_BASE: u32 = 0x0006_0000;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Sums `values` into `r4` and stores the total at [`OUTPUT_BASE`].
+///
+/// The inner loop is load → accumulate, i.e. every load has a distance-1
+/// consumer — the worst case for Extra-Stage and the best showcase for LAEC.
+#[must_use]
+pub fn vector_sum(values: &[u32]) -> Program {
+    let mut b = ProgramBuilder::new("vector_sum");
+    b.data_block(INPUT_BASE, values);
+    b.load_const(r(1), INPUT_BASE);
+    b.addi(r(2), Reg::ZERO, values.len() as i32);
+    b.addi(r(4), Reg::ZERO, 0);
+    let top = b.bind_label();
+    b.ld(r(3), r(1), 0);
+    b.add(r(4), r(4), r(3));
+    b.addi(r(1), r(1), 4);
+    b.subi(r(2), r(2), 1);
+    b.bne(r(2), Reg::ZERO, top);
+    b.load_const(r(5), OUTPUT_BASE);
+    b.st(r(4), r(5), 0);
+    b.halt();
+    b.build()
+}
+
+/// Expected result of [`vector_sum`].
+#[must_use]
+pub fn vector_sum_expected(values: &[u32]) -> u32 {
+    values.iter().fold(0u32, |a, &v| a.wrapping_add(v))
+}
+
+/// Dense `n × n` integer matrix multiply (`matrix`-like), row-major inputs at
+/// [`INPUT_BASE`] (A) and `INPUT_BASE + n*n*4` (B), product written to
+/// [`OUTPUT_BASE`].
+///
+/// The inner-product loop computes the element address right before each
+/// load, which is exactly the pattern the paper reports for `matrix`: the
+/// LAEC look-ahead is blocked by the address producer.
+#[must_use]
+pub fn matrix_multiply(n: u32, a: &[u32], b: &[u32]) -> Program {
+    assert_eq!(a.len() as u32, n * n, "A must be n*n");
+    assert_eq!(b.len() as u32, n * n, "B must be n*n");
+    let b_base = INPUT_BASE + n * n * 4;
+    let mut builder = ProgramBuilder::new("matrix_multiply");
+    builder.data_block(INPUT_BASE, a);
+    builder.data_block(b_base, b);
+    // r1 = i, r2 = j, r3 = k, r4 = acc, r5/r6 = addresses, r7/r8 = operands.
+    builder.addi(r(1), Reg::ZERO, 0);
+    let loop_i = builder.bind_label();
+    builder.addi(r(2), Reg::ZERO, 0);
+    let loop_j = builder.bind_label();
+    builder.addi(r(3), Reg::ZERO, 0);
+    builder.addi(r(4), Reg::ZERO, 0);
+    let loop_k = builder.bind_label();
+    // r5 = &A[i][k] = INPUT_BASE + (i*n + k) * 4
+    builder.load_const(r(9), n);
+    builder.mul(r(5), r(1), r(9));
+    builder.add(r(5), r(5), r(3));
+    builder.slli(r(5), r(5), 2);
+    builder.load_const(r(10), INPUT_BASE);
+    builder.add(r(5), r(5), r(10));
+    builder.ld(r(7), r(5), 0);
+    // r6 = &B[k][j]
+    builder.mul(r(6), r(3), r(9));
+    builder.add(r(6), r(6), r(2));
+    builder.slli(r(6), r(6), 2);
+    builder.load_const(r(11), b_base);
+    builder.add(r(6), r(6), r(11));
+    builder.ld(r(8), r(6), 0);
+    builder.mul(r(7), r(7), r(8));
+    builder.add(r(4), r(4), r(7));
+    builder.addi(r(3), r(3), 1);
+    builder.blt(r(3), r(9), loop_k);
+    // C[i][j] = acc
+    builder.mul(r(12), r(1), r(9));
+    builder.add(r(12), r(12), r(2));
+    builder.slli(r(12), r(12), 2);
+    builder.load_const(r(13), OUTPUT_BASE);
+    builder.add(r(12), r(12), r(13));
+    builder.st(r(4), r(12), 0);
+    builder.addi(r(2), r(2), 1);
+    builder.blt(r(2), r(9), loop_j);
+    builder.addi(r(1), r(1), 1);
+    builder.blt(r(1), r(9), loop_i);
+    builder.halt();
+    builder.build()
+}
+
+/// Expected row-major product of [`matrix_multiply`].
+#[must_use]
+pub fn matrix_multiply_expected(n: u32, a: &[u32], b: &[u32]) -> Vec<u32> {
+    let n = n as usize;
+    let mut c = vec![0u32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0u32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// FIR filter (`aifirf`-like): `out[i] = Σ coeff[t] * sample[i + t]`, outputs
+/// stored at [`OUTPUT_BASE`].
+#[must_use]
+pub fn fir_filter(coefficients: &[u32], samples: &[u32]) -> Program {
+    assert!(samples.len() >= coefficients.len(), "need at least one output");
+    let outputs = samples.len() - coefficients.len() + 1;
+    let coeff_base = INPUT_BASE;
+    let sample_base = INPUT_BASE + (coefficients.len() as u32) * 4;
+    let mut b = ProgramBuilder::new("fir_filter");
+    b.data_block(coeff_base, coefficients);
+    b.data_block(sample_base, samples);
+    // r1 = i (output index), r2 = t (tap), r4 = acc.
+    b.addi(r(1), Reg::ZERO, 0);
+    b.load_const(r(14), outputs as u32);
+    b.load_const(r(15), coefficients.len() as u32);
+    let loop_i = b.bind_label();
+    b.addi(r(2), Reg::ZERO, 0);
+    b.addi(r(4), Reg::ZERO, 0);
+    let loop_t = b.bind_label();
+    // coeff[t]
+    b.slli(r(5), r(2), 2);
+    b.load_const(r(6), coeff_base);
+    b.add(r(5), r(5), r(6));
+    b.ld(r(7), r(5), 0);
+    // sample[i + t]
+    b.add(r(8), r(1), r(2));
+    b.slli(r(8), r(8), 2);
+    b.load_const(r(9), sample_base);
+    b.add(r(8), r(8), r(9));
+    b.ld(r(10), r(8), 0);
+    b.mul(r(7), r(7), r(10));
+    b.add(r(4), r(4), r(7));
+    b.addi(r(2), r(2), 1);
+    b.blt(r(2), r(15), loop_t);
+    b.slli(r(11), r(1), 2);
+    b.load_const(r(12), OUTPUT_BASE);
+    b.add(r(11), r(11), r(12));
+    b.st(r(4), r(11), 0);
+    b.addi(r(1), r(1), 1);
+    b.blt(r(1), r(14), loop_i);
+    b.halt();
+    b.build()
+}
+
+/// Expected outputs of [`fir_filter`].
+#[must_use]
+pub fn fir_filter_expected(coefficients: &[u32], samples: &[u32]) -> Vec<u32> {
+    let outputs = samples.len() - coefficients.len() + 1;
+    (0..outputs)
+        .map(|i| {
+            coefficients
+                .iter()
+                .enumerate()
+                .fold(0u32, |acc, (t, &c)| acc.wrapping_add(c.wrapping_mul(samples[i + t])))
+        })
+        .collect()
+}
+
+/// Table lookup with interpolation-free indexing (`tblook`-like): for each
+/// query, load `table[query % entries]` and accumulate.
+#[must_use]
+pub fn table_lookup(table: &[u32], queries: &[u32]) -> Program {
+    assert!(table.len().is_power_of_two(), "table length must be a power of two");
+    let query_base = INPUT_BASE + (table.len() as u32) * 4;
+    let mut b = ProgramBuilder::new("table_lookup");
+    b.data_block(INPUT_BASE, table);
+    b.data_block(query_base, queries);
+    b.load_const(r(1), query_base);
+    b.addi(r(2), Reg::ZERO, queries.len() as i32);
+    b.addi(r(4), Reg::ZERO, 0);
+    b.load_const(r(5), INPUT_BASE);
+    b.addi(r(6), Reg::ZERO, (table.len() - 1) as i32);
+    let top = b.bind_label();
+    b.ld(r(3), r(1), 0);
+    // index = query & (entries - 1); address = table + index*4 (the address
+    // is produced immediately before the dependent load, like tblook's
+    // interpolation tables).
+    b.alu(AluOp::And, r(7), r(3), r(6));
+    b.slli(r(7), r(7), 2);
+    b.add(r(7), r(7), r(5));
+    b.ld(r(8), r(7), 0);
+    b.add(r(4), r(4), r(8));
+    b.addi(r(1), r(1), 4);
+    b.subi(r(2), r(2), 1);
+    b.bne(r(2), Reg::ZERO, top);
+    b.load_const(r(9), OUTPUT_BASE);
+    b.st(r(4), r(9), 0);
+    b.halt();
+    b.build()
+}
+
+/// Expected accumulated value of [`table_lookup`].
+#[must_use]
+pub fn table_lookup_expected(table: &[u32], queries: &[u32]) -> u32 {
+    queries.iter().fold(0u32, |acc, &q| {
+        acc.wrapping_add(table[(q as usize) & (table.len() - 1)])
+    })
+}
+
+/// Pointer chase (`pntrch`-like): follows a linked list laid out at
+/// [`INPUT_BASE`] for `steps` hops and returns the final node's payload in
+/// `r4`.  Every load's address *is* the previously loaded value — the
+/// pathological case for any scheme that delays load results.
+#[must_use]
+pub fn pointer_chase(nodes: u32, steps: u32) -> Program {
+    assert!(nodes >= 2, "need at least two nodes");
+    // Node layout: [next pointer, payload], 8 bytes per node; a fixed stride
+    // permutation that visits every node.
+    let mut next_of = vec![0u32; nodes as usize];
+    let stride = (nodes / 2) | 1;
+    for i in 0..nodes {
+        next_of[i as usize] = (i + stride) % nodes;
+    }
+    let mut image = Vec::with_capacity(2 * nodes as usize);
+    for i in 0..nodes {
+        image.push(INPUT_BASE + next_of[i as usize] * 8);
+        image.push(i + 1);
+    }
+    let mut b = ProgramBuilder::new("pointer_chase");
+    b.data_block(INPUT_BASE, &image);
+    b.load_const(r(1), INPUT_BASE);
+    b.addi(r(2), Reg::ZERO, steps as i32);
+    let top = b.bind_label();
+    b.ld(r(3), r(1), 4); // payload
+    b.add(r(4), r(4), r(3));
+    b.ld(r(1), r(1), 0); // next pointer -> becomes the next address
+    b.subi(r(2), r(2), 1);
+    b.bne(r(2), Reg::ZERO, top);
+    b.load_const(r(9), OUTPUT_BASE);
+    b.st(r(4), r(9), 0);
+    b.halt();
+    b.build()
+}
+
+/// Expected accumulated payload of [`pointer_chase`].
+#[must_use]
+pub fn pointer_chase_expected(nodes: u32, steps: u32) -> u32 {
+    let stride = (nodes / 2) | 1;
+    let mut node = 0u32;
+    let mut acc = 0u32;
+    for _ in 0..steps {
+        acc = acc.wrapping_add(node + 1);
+        node = (node + stride) % nodes;
+    }
+    acc
+}
+
+/// Bit manipulation (`bitmnp`-like): population count over an array using
+/// shift/mask loops, result in `r4`.
+#[must_use]
+pub fn bit_count(values: &[u32]) -> Program {
+    let mut b = ProgramBuilder::new("bit_count");
+    b.data_block(INPUT_BASE, values);
+    b.load_const(r(1), INPUT_BASE);
+    b.addi(r(2), Reg::ZERO, values.len() as i32);
+    b.addi(r(4), Reg::ZERO, 0);
+    let outer = b.bind_label();
+    b.ld(r(3), r(1), 0);
+    b.addi(r(5), Reg::ZERO, 32);
+    let inner = b.bind_label();
+    b.andi(r(6), r(3), 1);
+    b.add(r(4), r(4), r(6));
+    b.srli(r(3), r(3), 1);
+    b.subi(r(5), r(5), 1);
+    b.bne(r(5), Reg::ZERO, inner);
+    b.addi(r(1), r(1), 4);
+    b.subi(r(2), r(2), 1);
+    b.bne(r(2), Reg::ZERO, outer);
+    b.load_const(r(9), OUTPUT_BASE);
+    b.st(r(4), r(9), 0);
+    b.halt();
+    b.build()
+}
+
+/// Expected population count of [`bit_count`].
+#[must_use]
+pub fn bit_count_expected(values: &[u32]) -> u32 {
+    values.iter().map(|v| v.count_ones()).sum()
+}
+
+/// Cache buster (`cacheb`-like): strided stores then strided loads over a
+/// region larger than the DL1, producing the suite's lowest hit rate and
+/// fewest dependent loads.
+#[must_use]
+pub fn cache_buster(lines: u32) -> Program {
+    let mut b = ProgramBuilder::new("cache_buster");
+    b.load_const(r(1), INPUT_BASE);
+    b.addi(r(2), Reg::ZERO, lines as i32);
+    b.addi(r(4), Reg::ZERO, 0);
+    let write = b.bind_label();
+    b.st(r(2), r(1), 0);
+    b.addi(r(1), r(1), 32);
+    b.subi(r(2), r(2), 1);
+    b.bne(r(2), Reg::ZERO, write);
+    b.load_const(r(1), INPUT_BASE);
+    b.addi(r(2), Reg::ZERO, lines as i32);
+    let read = b.bind_label();
+    b.ld(r(3), r(1), 0);
+    b.addi(r(1), r(1), 32);
+    b.add(r(4), r(4), r(3));
+    b.subi(r(2), r(2), 1);
+    b.bne(r(2), Reg::ZERO, read);
+    b.load_const(r(9), OUTPUT_BASE);
+    b.st(r(4), r(9), 0);
+    b.halt();
+    b.build()
+}
+
+/// Expected accumulated value of [`cache_buster`]: the store loop writes the
+/// countdown value `lines..1` one per line, the read loop sums them.
+#[must_use]
+pub fn cache_buster_expected(lines: u32) -> u32 {
+    (1..=lines).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_build_and_have_sensible_shapes() {
+        let programs = [
+            vector_sum(&[1, 2, 3]),
+            matrix_multiply(3, &[1; 9], &[2; 9]),
+            fir_filter(&[1, 2], &[1, 2, 3, 4]),
+            table_lookup(&[5, 6, 7, 8], &[0, 1, 2, 3]),
+            pointer_chase(16, 32),
+            bit_count(&[0xFF, 0x0F]),
+            cache_buster(64),
+        ];
+        for program in &programs {
+            assert!(program.instructions().last().unwrap().is_halt(), "{}", program.name());
+            let (loads, stores, branches, total) = program.static_mix();
+            assert!(total > 10, "{}", program.name());
+            assert!(loads + stores > 0, "{}", program.name());
+            assert!(branches > 0, "{}", program.name());
+        }
+    }
+
+    #[test]
+    fn expected_value_helpers_are_consistent() {
+        assert_eq!(vector_sum_expected(&[1, 2, 3, 4]), 10);
+        assert_eq!(
+            matrix_multiply_expected(2, &[1, 2, 3, 4], &[5, 6, 7, 8]),
+            vec![19, 22, 43, 50]
+        );
+        assert_eq!(fir_filter_expected(&[1, 1], &[1, 2, 3]), vec![3, 5]);
+        assert_eq!(table_lookup_expected(&[10, 20, 30, 40], &[1, 5, 2]), 20 + 20 + 30);
+        assert_eq!(bit_count_expected(&[0b1011, 0b1]), 4);
+        assert_eq!(cache_buster_expected(4), 10);
+        // Pointer chase visits node 0 first, then strides through the ring.
+        assert_eq!(pointer_chase_expected(4, 1), 1);
+        assert_eq!(pointer_chase_expected(4, 2), 1 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn table_lookup_requires_power_of_two_table() {
+        let _ = table_lookup(&[1, 2, 3], &[0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Workload profiles calibrated to the paper's Table II.
+//!
+//! The EEMBC Automotive 1.1 suite is proprietary, so the evaluation workloads
+//! are regenerated from their *published sufficient statistics*: Table II of
+//! the paper gives, per benchmark, the fraction of instructions that are
+//! loads, the DL1 hit rate of those loads, and the fraction of loads whose
+//! value is consumed within the next two instructions.  One further statistic
+//! controls how much LAEC can help — the fraction of loads whose address
+//! register is produced by the *immediately preceding* instruction — which
+//! the paper reports qualitatively in §IV.A: `aifftr`, `aiifft`, `bitmnp`
+//! and `matrix` show almost no LAEC improvement over Extra-Stage because
+//! their dependent loads also have their address produced right before the
+//! load, while six benchmarks (`basefp`, `cacheb`, `canrdr`, `puwmod`,
+//! `rspeed`, `ttsprk`) stay below 1 % overhead.  Those qualitative statements
+//! fix the last knob.
+
+/// Statistical profile of one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name (EEMBC Automotive naming).
+    pub name: &'static str,
+    /// Fraction of dynamic instructions that are loads (Table II row 3).
+    pub load_fraction: f64,
+    /// DL1 hit rate of loads (Table II row 1).
+    pub dl1_hit_rate: f64,
+    /// Fraction of loads consumed at dynamic distance 1 or 2 (Table II row 2).
+    pub dependent_load_fraction: f64,
+    /// Fraction of loads whose address register is produced by the
+    /// immediately preceding instruction (blocks the LAEC look-ahead).
+    pub address_producer_fraction: f64,
+    /// Fraction of dynamic instructions that are stores (EEMBC Automotive
+    /// kernels store roughly a third as often as they load).
+    pub store_fraction: f64,
+}
+
+impl WorkloadProfile {
+    /// Validates that every fraction lies in `[0, 1]` and the instruction-mix
+    /// fractions sum below 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("load_fraction", self.load_fraction),
+            ("dl1_hit_rate", self.dl1_hit_rate),
+            ("dependent_load_fraction", self.dependent_load_fraction),
+            ("address_producer_fraction", self.address_producer_fraction),
+            ("store_fraction", self.store_fraction),
+        ];
+        for (name, value) in fields {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(format!("{name} = {value} is outside [0, 1]"));
+            }
+        }
+        if self.load_fraction + self.store_fraction > 0.9 {
+            return Err("loads + stores leave no room for other instructions".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The 16 EEMBC-Automotive-like profiles of Table II, in the table's order.
+#[must_use]
+pub fn eembc_profiles() -> Vec<WorkloadProfile> {
+    // (name, hit %, dependent %, load %, address-producer %)
+    const TABLE: [(&str, f64, f64, f64, f64); 16] = [
+        ("a2time", 89.0, 68.0, 23.0, 25.0),
+        ("aifftr", 97.0, 53.0, 21.0, 80.0),
+        ("aifirf", 90.0, 66.0, 26.0, 30.0),
+        ("aiifft", 97.0, 54.0, 21.0, 80.0),
+        ("basefp", 84.0, 80.0, 24.0, 5.0),
+        ("bitmnp", 98.0, 65.0, 20.0, 75.0),
+        ("cacheb", 77.0, 13.0, 18.0, 10.0),
+        ("canrdr", 86.0, 67.0, 29.0, 8.0),
+        ("idctrn", 92.0, 59.0, 21.0, 35.0),
+        ("iirflt", 86.0, 63.0, 26.0, 30.0),
+        ("matrix", 99.0, 64.0, 20.0, 85.0),
+        ("pntrch", 90.0, 61.0, 25.0, 30.0),
+        ("puwmod", 85.0, 66.0, 31.0, 6.0),
+        ("rspeed", 84.0, 66.0, 29.0, 6.0),
+        ("tblook", 88.0, 68.0, 29.0, 20.0),
+        ("ttsprk", 84.0, 61.0, 31.0, 6.0),
+    ];
+    TABLE
+        .iter()
+        .map(|&(name, hit, dependent, loads, producer)| WorkloadProfile {
+            name,
+            load_fraction: loads / 100.0,
+            dl1_hit_rate: hit / 100.0,
+            dependent_load_fraction: dependent / 100.0,
+            address_producer_fraction: producer / 100.0,
+            store_fraction: (loads / 100.0) * 0.35,
+        })
+        .collect()
+}
+
+/// The profile of one named EEMBC-like benchmark.
+#[must_use]
+pub fn profile_by_name(name: &str) -> Option<WorkloadProfile> {
+    eembc_profiles().into_iter().find(|p| p.name == name)
+}
+
+/// Average of the Table II rows, used for the "average" column of the
+/// paper's table and figure.
+#[must_use]
+pub fn average_profile(profiles: &[WorkloadProfile]) -> WorkloadProfile {
+    let n = profiles.len().max(1) as f64;
+    WorkloadProfile {
+        name: "average",
+        load_fraction: profiles.iter().map(|p| p.load_fraction).sum::<f64>() / n,
+        dl1_hit_rate: profiles.iter().map(|p| p.dl1_hit_rate).sum::<f64>() / n,
+        dependent_load_fraction: profiles.iter().map(|p| p.dependent_load_fraction).sum::<f64>()
+            / n,
+        address_producer_fraction: profiles
+            .iter()
+            .map(|p| p.address_producer_fraction)
+            .sum::<f64>()
+            / n,
+        store_fraction: profiles.iter().map(|p| p.store_fraction).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_benchmarks_in_table_order() {
+        let profiles = eembc_profiles();
+        assert_eq!(profiles.len(), 16);
+        assert_eq!(profiles[0].name, "a2time");
+        assert_eq!(profiles[15].name, "ttsprk");
+        for profile in &profiles {
+            profile.validate().expect("table profiles are valid");
+        }
+    }
+
+    #[test]
+    fn table2_averages_match_the_paper() {
+        // Paper Table II "average" column: 89 % hits, 60 % dependent, 25 % loads.
+        let average = average_profile(&eembc_profiles());
+        assert!((average.dl1_hit_rate - 0.89).abs() < 0.01, "{}", average.dl1_hit_rate);
+        assert!(
+            (average.dependent_load_fraction - 0.60).abs() < 0.015,
+            "{}",
+            average.dependent_load_fraction
+        );
+        assert!((average.load_fraction - 0.25).abs() < 0.01, "{}", average.load_fraction);
+    }
+
+    #[test]
+    fn cacheb_is_the_outlier() {
+        let cacheb = profile_by_name("cacheb").unwrap();
+        assert!(cacheb.dependent_load_fraction < 0.2, "only 13 % dependent loads");
+        assert!(cacheb.dl1_hit_rate < 0.8, "worst hit rate of the suite");
+        assert!(profile_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn fft_like_benchmarks_block_the_look_ahead() {
+        for name in ["aifftr", "aiifft", "bitmnp", "matrix"] {
+            let profile = profile_by_name(name).unwrap();
+            assert!(
+                profile.address_producer_fraction >= 0.7,
+                "{name} must have address producers right before its loads"
+            );
+        }
+        for name in ["basefp", "cacheb", "canrdr", "puwmod", "rspeed", "ttsprk"] {
+            let profile = profile_by_name(name).unwrap();
+            assert!(profile.address_producer_fraction <= 0.1, "{name}");
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_profiles() {
+        let mut profile = profile_by_name("matrix").unwrap();
+        profile.load_fraction = 1.4;
+        assert!(profile.validate().is_err());
+        profile.load_fraction = 0.6;
+        profile.store_fraction = 0.5;
+        assert!(profile.validate().is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! The evaluation suite: named workloads ready to run on the simulator.
+
+use laec_isa::Program;
+
+use crate::generator::{generate, GeneratorConfig};
+use crate::kernels;
+use crate::profile::{eembc_profiles, WorkloadProfile};
+
+/// A named workload: a program plus (when it comes from Table II) the profile
+/// it was calibrated against.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name.
+    pub name: String,
+    /// The runnable program.
+    pub program: Program,
+    /// Calibration profile, for the EEMBC-like suite.
+    pub profile: Option<WorkloadProfile>,
+}
+
+impl Workload {
+    /// Builds a workload from a hand-written kernel program.
+    #[must_use]
+    pub fn from_kernel(program: Program) -> Self {
+        Workload {
+            name: program.name().to_string(),
+            program,
+            profile: None,
+        }
+    }
+}
+
+/// The 16 EEMBC-Automotive-like workloads of the paper's evaluation
+/// (Table II order), generated from their calibrated profiles.
+#[must_use]
+pub fn eembc_suite(config: &GeneratorConfig) -> Vec<Workload> {
+    eembc_profiles()
+        .into_iter()
+        .map(|profile| Workload {
+            name: profile.name.to_string(),
+            program: generate(&profile, config),
+            profile: Some(profile),
+        })
+        .collect()
+}
+
+/// The hand-written kernels (real algorithms with checkable results).
+#[must_use]
+pub fn kernel_suite() -> Vec<Workload> {
+    let a: Vec<u32> = (0..64).map(|i| i * 3 + 1).collect();
+    let b: Vec<u32> = (0..64).map(|i| 1000 - i * 7).collect();
+    vec![
+        Workload::from_kernel(kernels::vector_sum(&(0..512).collect::<Vec<u32>>())),
+        Workload::from_kernel(kernels::matrix_multiply(8, &a, &b)),
+        Workload::from_kernel(kernels::fir_filter(&[3, 1, 4, 1, 5, 9, 2, 6], &(0..200).collect::<Vec<u32>>())),
+        Workload::from_kernel(kernels::table_lookup(
+            &(0..256).map(|i| i * 17).collect::<Vec<u32>>(),
+            &(0..300).map(|i| i * 13 + 7).collect::<Vec<u32>>(),
+        )),
+        Workload::from_kernel(kernels::pointer_chase(128, 512)),
+        Workload::from_kernel(kernels::bit_count(&(0..128).map(|i| i * 0x0101_0101).collect::<Vec<u32>>())),
+        Workload::from_kernel(kernels::cache_buster(1024)),
+    ]
+}
+
+/// Finds one workload of the EEMBC-like suite by name.
+#[must_use]
+pub fn eembc_workload(name: &str, config: &GeneratorConfig) -> Option<Workload> {
+    eembc_suite(config).into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_table2_in_order() {
+        let suite = eembc_suite(&GeneratorConfig::smoke());
+        assert_eq!(suite.len(), 16);
+        assert_eq!(suite[0].name, "a2time");
+        assert_eq!(suite[6].name, "cacheb");
+        assert!(suite.iter().all(|w| w.profile.is_some()));
+        assert!(suite.iter().all(|w| !w.program.is_empty()));
+    }
+
+    #[test]
+    fn kernel_suite_has_named_real_algorithms() {
+        let suite = kernel_suite();
+        assert!(suite.len() >= 7);
+        assert!(suite.iter().any(|w| w.name == "matrix_multiply"));
+        assert!(suite.iter().any(|w| w.name == "pointer_chase"));
+        assert!(suite.iter().all(|w| w.profile.is_none()));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let config = GeneratorConfig::smoke();
+        assert!(eembc_workload("matrix", &config).is_some());
+        assert!(eembc_workload("bogus", &config).is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! Prints the pipeline chronograms of the paper's Figures 2–5 and 7:
+//! the same two-instruction load / consumer example under every DL1 ECC
+//! deployment scheme.
+//!
+//! Run with `cargo run --example chronograms`.
+
+use laec::isa::Program;
+use laec::pipeline::{EccScheme, PipelineConfig, Simulator};
+
+fn trace(title: &str, scheme: EccScheme, source: &str) {
+    let program = Program::assemble(source)
+        .expect("figure program assembles")
+        .with_data_word(0x100, 7);
+    let mut simulator = Simulator::new(program, PipelineConfig::for_scheme(scheme).with_trace(8));
+    simulator.prefill_dl1(&[0x100]);
+    let result = simulator.execute();
+    println!("== {title} ==\n{}", result.chronogram.render());
+}
+
+fn main() {
+    let dependent = r#"
+        addi r1, r0, 0x100
+        nop
+        nop
+        add  r9, r4, r6      # unrelated instruction before the load
+        ld   r3, [r1 + 0]    # r3 = load(r1)
+        add  r5, r3, r4      # r5 = r3 + r4 (distance-1 consumer)
+        halt
+    "#;
+    let independent = r#"
+        addi r1, r0, 0x100
+        nop
+        nop
+        add  r9, r4, r6
+        ld   r3, [r1 + 0]
+        add  r5, r6, r4      # independent instruction after the load
+        halt
+    "#;
+    let producer_before = r#"
+        addi r1, r0, 0x100
+        nop
+        nop
+        addi r1, r1, 0       # r1 = r4 + r6 in the paper: the address producer
+        ld   r3, [r1 + 0]
+        add  r5, r3, r4
+        halt
+    "#;
+
+    trace("Figure 2: no-ECC baseline, dependent consumer", EccScheme::NoEcc, dependent);
+    trace("Figure 3: Extra Cycle, dependent consumer", EccScheme::ExtraCycle, dependent);
+    trace("Figure 4: Extra Stage, dependent consumer", EccScheme::ExtraStage, dependent);
+    trace("Figure 5: Extra Stage, no dependency", EccScheme::ExtraStage, independent);
+    trace("Figure 7a: LAEC, look-ahead performed", EccScheme::Laec, dependent);
+    trace("Figure 7b: LAEC, blocked by the address producer", EccScheme::Laec, producer_before);
+}

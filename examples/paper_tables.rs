@@ -1,0 +1,20 @@
+//! Prints Table I (commercial processors), Table II (workload
+//! characterisation), the energy discussion, the LAEC hazard breakdown and
+//! the WT-vs-WB motivation ablation.
+//!
+//! Run with `cargo run --release --example paper_tables`.
+
+use laec::core::{
+    characterization, energy_overheads, hazard_breakdown, render_energy, render_hazard_breakdown,
+    render_table1, render_table2, render_wt_vs_wb, wt_vs_wb, EnergyModel,
+};
+use laec::workloads::GeneratorConfig;
+
+fn main() {
+    let shape = GeneratorConfig::evaluation();
+    println!("{}", render_table1());
+    println!("{}", render_table2(&characterization(&shape)));
+    println!("{}", render_energy(&energy_overheads(&shape, &EnergyModel::default_65nm())));
+    println!("{}", render_hazard_breakdown(&hazard_breakdown(&shape)));
+    println!("{}", render_wt_vs_wb(&wt_vs_wb()));
+}

@@ -1,0 +1,58 @@
+//! Quickstart: assemble a tiny program, run it under LAEC and the ideal
+//! no-ECC baseline, and print what the DL1 ECC deployment cost.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use laec::isa::Program;
+use laec::pipeline::{EccScheme, PipelineConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A dot product over two 64-element vectors kept in the DL1.
+    let program = Program::assemble(
+        r#"
+            addi r1, r0, 0x1000     # &a
+            addi r2, r0, 0x2000     # &b
+            addi r3, r0, 64         # length
+            addi r4, r0, 0          # accumulator
+        loop:
+            ld   r5, [r1 + 0]
+            ld   r6, [r2 + 0]
+            mul  r5, r5, r6
+            add  r4, r4, r5
+            addi r1, r1, 4
+            addi r2, r2, 4
+            subi r3, r3, 1
+            bne  r3, r0, loop
+            addi r7, r0, 0x3000
+            st   r4, [r7 + 0]
+            halt
+        "#,
+    )?
+    .with_data_block(0x1000, &(1..=64).collect::<Vec<u32>>())
+    .with_data_block(0x2000, &(1..=64).map(|i| 2 * i).collect::<Vec<u32>>());
+
+    println!("== program ==\n{program}");
+
+    let mut results = Vec::new();
+    for scheme in EccScheme::figure8_set() {
+        let result = Simulator::run(program.clone(), PipelineConfig::for_scheme(scheme));
+        println!(
+            "{scheme:<12} cycles {:>6}  CPI {:.3}  dot-product = {}",
+            result.stats.cycles,
+            result.stats.cpi(),
+            result.registers[4]
+        );
+        results.push((scheme, result));
+    }
+
+    let baseline = results[0].1.stats.cycles as f64;
+    println!("\nexecution-time increase vs the no-ECC baseline:");
+    for (scheme, result) in &results[1..] {
+        println!(
+            "  {scheme:<12} +{:.2}%  (look-ahead covered {:.0}% of loads)",
+            100.0 * (result.stats.cycles as f64 / baseline - 1.0),
+            100.0 * result.stats.lookahead_rate()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Reproduces Table II and Figure 8 of the paper over the EEMBC-Automotive-
+//! like suite and prints the §IV.A summary claims.
+//!
+//! Run with `cargo run --release --example reproduce_figure8`.
+
+use laec::core::{characterization, figure8, render_figure8, render_table2};
+use laec::pipeline::EccScheme;
+use laec::workloads::GeneratorConfig;
+
+fn main() {
+    let shape = GeneratorConfig::evaluation();
+
+    println!("{}", render_table2(&characterization(&shape)));
+    let figure = figure8(&shape);
+    println!("{}", render_figure8(&figure));
+
+    println!("paper vs measured (average execution-time increase):");
+    println!(
+        "  Extra Cycle : paper ~17%   measured {:>5.1}%",
+        figure.average_increase_pct(EccScheme::ExtraCycle)
+    );
+    println!(
+        "  Extra Stage : paper ~10%   measured {:>5.1}%",
+        figure.average_increase_pct(EccScheme::ExtraStage)
+    );
+    println!(
+        "  LAEC        : paper <4%    measured {:>5.1}%",
+        figure.average_increase_pct(EccScheme::Laec)
+    );
+    println!(
+        "  LAEC gain   : paper ~6% vs Extra Stage, ~13% vs Extra Cycle; measured {:.1}% / {:.1}%",
+        figure.laec_gain_over_extra_stage_pct(),
+        figure.laec_gain_over_extra_cycle_pct()
+    );
+    println!(
+        "  benchmarks where LAEC ~= Extra Stage (paper: aifftr, aiifft, bitmnp, matrix): {:?}",
+        figure.benchmarks_where_laec_matches_extra_stage(0.015)
+    );
+}

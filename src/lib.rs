@@ -1,0 +1,33 @@
+//! Facade crate for the LAEC reproduction.
+//!
+//! Re-exports the whole workspace under one roof so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`ecc`] — parity / Hamming / Hsiao SEC-DED codes and fault injection,
+//! * [`isa`] — the embedded RISC instruction set, assembler and programs,
+//! * [`mem`] — the NGMP-like memory hierarchy (DL1, write buffer, bus, L2),
+//! * [`pipeline`] — the cycle-accurate in-order pipeline with the No-ECC,
+//!   Extra-Cycle, Extra-Stage, Speculate-and-Flush and LAEC schemes,
+//! * [`workloads`] — EEMBC-Automotive-like workloads and hand-written kernels,
+//! * [`core`] — experiment harness reproducing every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use laec::pipeline::{EccScheme, PipelineConfig, Simulator};
+//! use laec::workloads::kernels;
+//!
+//! let program = kernels::vector_sum(&[1, 2, 3, 4, 5]);
+//! let result = Simulator::run(program, PipelineConfig::for_scheme(EccScheme::Laec));
+//! assert_eq!(result.registers[4], 15);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use laec_core as core;
+pub use laec_ecc as ecc;
+pub use laec_isa as isa;
+pub use laec_mem as mem;
+pub use laec_pipeline as pipeline;
+pub use laec_workloads as workloads;

