@@ -8,7 +8,10 @@ use laec_core::{hazard_breakdown, render_hazard_breakdown};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", render_hazard_breakdown(&hazard_breakdown(&report_shape())));
+    println!(
+        "{}",
+        render_hazard_breakdown(&hazard_breakdown(&report_shape()))
+    );
     let mut group = c.benchmark_group("hazard_breakdown");
     group.sample_size(10);
     group.bench_function("laec_sweep", |b| {

@@ -8,7 +8,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let model = EnergyModel::default_65nm();
-    println!("{}", render_energy(&energy_overheads(&report_shape(), &model)));
+    println!(
+        "{}",
+        render_energy(&energy_overheads(&report_shape(), &model))
+    );
     let mut group = c.benchmark_group("energy");
     group.sample_size(10);
     group.bench_function("overhead_sweep", |b| {

@@ -36,10 +36,22 @@ fn chronogram(scheme: EccScheme, source: &str) -> String {
 }
 
 fn bench(c: &mut Criterion) {
-    println!("Figure 2 (no-ECC baseline):\n{}", chronogram(EccScheme::NoEcc, FIGURE_SOURCE));
-    println!("Figure 3 (Extra Cycle):\n{}", chronogram(EccScheme::ExtraCycle, FIGURE_SOURCE));
-    println!("Figure 4 (Extra Stage):\n{}", chronogram(EccScheme::ExtraStage, FIGURE_SOURCE));
-    println!("Figure 7a (LAEC, look-ahead):\n{}", chronogram(EccScheme::Laec, FIGURE_SOURCE));
+    println!(
+        "Figure 2 (no-ECC baseline):\n{}",
+        chronogram(EccScheme::NoEcc, FIGURE_SOURCE)
+    );
+    println!(
+        "Figure 3 (Extra Cycle):\n{}",
+        chronogram(EccScheme::ExtraCycle, FIGURE_SOURCE)
+    );
+    println!(
+        "Figure 4 (Extra Stage):\n{}",
+        chronogram(EccScheme::ExtraStage, FIGURE_SOURCE)
+    );
+    println!(
+        "Figure 7a (LAEC, look-ahead):\n{}",
+        chronogram(EccScheme::Laec, FIGURE_SOURCE)
+    );
     println!(
         "Figure 7b (LAEC, blocked by address producer):\n{}",
         chronogram(EccScheme::Laec, FIGURE_7B_SOURCE)

@@ -1,0 +1,334 @@
+//! `laec-cli` — reproduce every artefact of the LAEC (DATE'19) paper from
+//! one command.
+//!
+//! Subcommands:
+//!
+//! * `tables`   — Table I (commercial processors) and Table II (workload
+//!   characterisation), optionally the §IV.A ablations,
+//! * `figure8`  — the Figure 8 execution-time sweep plus the §IV.A summary
+//!   claims,
+//! * `campaign` — a parallel workload × scheme × platform × fault grid (see
+//!   `laec_core::campaign`),
+//! * `faults`   — the §I–II single-bit-upset safety campaign.
+//!
+//! Every subcommand accepts `--json` (machine-readable output), `--seed N`
+//! and `--smoke` (small workload shape for quick runs); `campaign` also
+//! accepts `--threads N` and the grid-axis flags documented in `--help`.
+
+use std::process::ExitCode;
+
+use laec_core::campaign::{
+    render_campaign, run_campaign, scheme_from_label, CampaignSpec, PlatformVariant, WorkloadSet,
+};
+use laec_core::experiment::{
+    characterization, fault_campaign, figure8, hazard_breakdown, wt_vs_wb,
+};
+use laec_core::{
+    render_fault_campaign, render_figure8, render_hazard_breakdown, render_table1, render_table2,
+    render_wt_vs_wb, table1_commercial_processors,
+};
+use laec_pipeline::EccScheme;
+use laec_workloads::GeneratorConfig;
+
+const USAGE: &str = "\
+laec-cli — reproduce the LAEC (DATE'19) paper artefacts
+
+USAGE:
+    laec-cli <SUBCOMMAND> [FLAGS]
+
+SUBCOMMANDS:
+    tables      Table I and the Table II workload characterisation
+    figure8     Figure 8: execution-time increase per DL1 ECC scheme
+    campaign    Parallel workload x scheme x platform x fault grid
+    faults      Single-bit-upset campaign over the three DL1 designs
+    help        Print this message
+
+COMMON FLAGS:
+    --json            Emit machine-readable JSON instead of aligned text
+    --seed <N>        Master seed (decimal or 0x-hex; default 0x1AEC)
+    --smoke           Small workload shape (quick); default is the paper
+                      shape.  For `campaign` this selects the kernel-suite
+                      smoke grid (fault interval 1000) unless overridden by
+                      the grid flags below
+
+tables FLAGS:
+    --ablations       Also print the hazard-breakdown and WT-vs-WB ablations
+
+campaign FLAGS:
+    --threads <N>     Worker threads (default 0 = all available cores)
+    --workloads <csv> Workload names (default: the 16 EEMBC-like workloads;
+                      the entry 'kernels' expands to the hand-written kernel
+                      suite and may be mixed with named workloads)
+    --schemes <csv>   no-ecc, extra-cycle, extra-stage, laec,
+                      speculate-flushN (default: the four Figure 8 schemes)
+    --platforms <csv> wb, wt, contendedN (default: wb)
+    --fault-seeds <csv>
+                      Fault-axis seeds; one faulty run per seed per cell
+                      (default: none, fault-free grid only)
+    --fault-interval <N>
+                      Mean cycles between injected upsets (default 5000)
+
+faults FLAGS:
+    --interval <N>    Mean cycles between injected upsets (default 40)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("Run `laec-cli help` for usage.");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(subcommand) = args.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match subcommand.as_str() {
+        "tables" => cmd_tables(&flags),
+        "figure8" => cmd_figure8(&flags),
+        "campaign" => cmd_campaign(&flags),
+        "faults" => cmd_faults(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Parsed command-line flags (a superset across subcommands; each subcommand
+/// reads the ones it documents and rejects none, matching common CLI
+/// behaviour for shared flag sets).
+struct Flags {
+    json: bool,
+    smoke: bool,
+    ablations: bool,
+    seed: u64,
+    threads: usize,
+    interval: Option<u64>,
+    workloads: Option<Vec<String>>,
+    schemes: Option<Vec<EccScheme>>,
+    platforms: Option<Vec<PlatformVariant>>,
+    fault_seeds: Vec<u64>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut flags = Flags {
+            json: false,
+            smoke: false,
+            ablations: false,
+            seed: 0x1AEC,
+            threads: 0,
+            interval: None,
+            workloads: None,
+            schemes: None,
+            platforms: None,
+            fault_seeds: Vec::new(),
+        };
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("flag `{name}` requires a value"))
+            };
+            match flag.as_str() {
+                "--json" => flags.json = true,
+                "--smoke" => flags.smoke = true,
+                "--ablations" => flags.ablations = true,
+                "--seed" => flags.seed = parse_u64(value("--seed")?)?,
+                "--threads" => {
+                    flags.threads = parse_u64(value("--threads")?)? as usize;
+                }
+                "--interval" | "--fault-interval" => {
+                    flags.interval = Some(parse_u64(value(flag)?)?);
+                }
+                "--workloads" => {
+                    let list = value("--workloads")?;
+                    flags.workloads = Some(list.split(',').map(str::to_string).collect());
+                }
+                "--schemes" => {
+                    let mut schemes = Vec::new();
+                    for label in value("--schemes")?.split(',') {
+                        schemes.push(
+                            scheme_from_label(label)
+                                .ok_or_else(|| format!("unknown scheme `{label}`"))?,
+                        );
+                    }
+                    flags.schemes = Some(schemes);
+                }
+                "--platforms" => {
+                    let mut platforms = Vec::new();
+                    for label in value("--platforms")?.split(',') {
+                        platforms.push(
+                            PlatformVariant::from_label(label)
+                                .ok_or_else(|| format!("unknown platform `{label}`"))?,
+                        );
+                    }
+                    flags.platforms = Some(platforms);
+                }
+                "--fault-seeds" => {
+                    for seed in value("--fault-seeds")?.split(',') {
+                        flags.fault_seeds.push(parse_u64(seed)?);
+                    }
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(flags)
+    }
+
+    fn generator(&self) -> GeneratorConfig {
+        let mut config = if self.smoke {
+            GeneratorConfig::smoke()
+        } else {
+            GeneratorConfig::evaluation()
+        };
+        config.seed = self.seed;
+        config
+    }
+}
+
+fn parse_u64(text: &str) -> Result<u64, String> {
+    let parsed = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    };
+    parsed.map_err(|_| format!("`{text}` is not a valid number"))
+}
+
+fn cmd_tables(flags: &Flags) -> Result<(), String> {
+    let table2 = characterization(&flags.generator());
+    if flags.json {
+        let table1 =
+            serde_json::to_string(&table1_commercial_processors()).map_err(|e| e.to_string())?;
+        let table2 = serde_json::to_string(&table2).map_err(|e| e.to_string())?;
+        let mut out = format!("{{\"table1\":{table1},\"table2\":{table2}");
+        if flags.ablations {
+            let hazards = serde_json::to_string(&hazard_breakdown(&flags.generator()))
+                .map_err(|e| e.to_string())?;
+            let wt_wb = serde_json::to_string(&wt_vs_wb()).map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                ",\"hazard_breakdown\":{hazards},\"wt_vs_wb\":{wt_wb}"
+            ));
+        }
+        out.push('}');
+        println!("{out}");
+    } else {
+        println!("{}", render_table1());
+        println!("{}", render_table2(&table2));
+        if flags.ablations {
+            println!(
+                "{}",
+                render_hazard_breakdown(&hazard_breakdown(&flags.generator()))
+            );
+            println!("{}", render_wt_vs_wb(&wt_vs_wb()));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_figure8(flags: &Flags) -> Result<(), String> {
+    let figure = figure8(&flags.generator());
+    if flags.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&figure).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{}", render_figure8(&figure));
+        println!(
+            "Average execution-time increase: extra-cycle +{:.2}%, extra-stage +{:.2}%, laec +{:.2}%",
+            figure.average_increase_pct(EccScheme::ExtraCycle),
+            figure.average_increase_pct(EccScheme::ExtraStage),
+            figure.average_increase_pct(EccScheme::Laec),
+        );
+        println!(
+            "LAEC gains: {:.2} points vs extra-stage, {:.2} points vs extra-cycle",
+            figure.laec_gain_over_extra_stage_pct(),
+            figure.laec_gain_over_extra_cycle_pct(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_campaign(flags: &Flags) -> Result<(), String> {
+    let mut spec = if flags.smoke {
+        CampaignSpec::smoke()
+    } else {
+        CampaignSpec::paper_grid()
+    };
+    spec.seed = flags.seed;
+    spec.generator = flags.generator();
+    if let Some(workloads) = &flags.workloads {
+        // The 'kernels' entry expands to the whole kernel suite and may be
+        // mixed with named workloads.
+        spec.workloads = if workloads.as_slice() == ["kernels".to_string()] {
+            WorkloadSet::Kernels
+        } else {
+            let expanded: Vec<String> = workloads
+                .iter()
+                .flat_map(|name| {
+                    if name == "kernels" {
+                        laec_workloads::KERNEL_NAMES.map(str::to_string).to_vec()
+                    } else {
+                        vec![name.clone()]
+                    }
+                })
+                .collect();
+            WorkloadSet::Named(expanded)
+        };
+    }
+    if let Some(schemes) = &flags.schemes {
+        spec.schemes = schemes.clone();
+    }
+    if let Some(platforms) = &flags.platforms {
+        spec.platforms = platforms.clone();
+    }
+    spec.fault_seeds = flags.fault_seeds.clone();
+    if let Some(interval) = flags.interval {
+        spec.fault_interval = interval;
+    }
+
+    // Reject typo'd workload names with a clean error up front
+    // (materialization would panic on them).
+    if let WorkloadSet::Named(requested) = &spec.workloads {
+        let known = CampaignSpec::available_workload_names();
+        if let Some(missing) = requested.iter().find(|name| !known.contains(name)) {
+            return Err(format!("unknown workload `{missing}`"));
+        }
+    }
+
+    let report = run_campaign(&spec, flags.threads);
+    if flags.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", render_campaign(&report));
+    }
+    if report.architecturally_equivalent() {
+        Ok(())
+    } else {
+        Err("architectural equivalence FAILED for at least one grid cell".to_string())
+    }
+}
+
+fn cmd_faults(flags: &Flags) -> Result<(), String> {
+    let rows = fault_campaign(flags.interval.unwrap_or(40), flags.seed);
+    if flags.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{}", render_fault_campaign(&rows));
+    }
+    Ok(())
+}

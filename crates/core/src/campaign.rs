@@ -1,0 +1,858 @@
+//! Parallel experiment campaigns: workload × scheme × platform × fault grids.
+//!
+//! The per-artefact functions in [`crate::experiment`] each reproduce one
+//! table or figure serially.  This module generalises them into a single
+//! engine: a [`CampaignSpec`] names the axes of an experiment grid
+//! (workloads, [`EccScheme`]s, platform configurations, fault-injection
+//! seeds), [`run_campaign`] expands the grid into jobs and executes them on
+//! a [`std::thread::scope`]-based worker pool, and the result is aggregated
+//! into a [`CampaignReport`] with per-cell statistics, slowdown matrices and
+//! architectural-equivalence checks, renderable as aligned text
+//! ([`render_campaign`]) or JSON ([`CampaignReport::to_json`]).
+//!
+//! # Determinism
+//!
+//! Reports are *byte-identical* regardless of worker count: the job grid is
+//! expanded in a fixed order, each job's fault-injection seed is derived
+//! only from the spec seed and the job's grid coordinates (never from
+//! thread identity or scheduling), and every job writes its result into its
+//! own pre-allocated slot.  `run_campaign(&spec, 1)` and
+//! `run_campaign(&spec, 8)` therefore serialize to the same JSON — the
+//! integration tests assert exactly that.
+//!
+//! # Example
+//!
+//! ```
+//! use laec_core::campaign::{CampaignSpec, run_campaign};
+//!
+//! let spec = CampaignSpec::smoke();
+//! let report = run_campaign(&spec, 2);
+//! assert!(report.architecturally_equivalent());
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use laec_mem::{FaultCampaignConfig, HierarchyConfig, Interference};
+use laec_pipeline::{EccScheme, PipelineConfig};
+use laec_workloads::{eembc_suite, kernel_suite, GeneratorConfig, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::runner::run_with_config;
+
+// ---------------------------------------------------------------------------
+// Spec: the axes of the grid
+// ---------------------------------------------------------------------------
+
+/// Which workloads form the workload axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadSet {
+    /// The sixteen EEMBC-Automotive-like synthetic workloads.
+    Eembc,
+    /// The hand-written kernels (vector sum, FIR, pointer chase, …).
+    Kernels,
+    /// EEMBC-like workloads *and* kernels.
+    Both,
+    /// An explicit subset, by name, drawn from either suite.
+    Named(Vec<String>),
+}
+
+/// One platform (cache/pipeline) configuration on the platform axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformVariant {
+    /// The paper's evaluation platform: write-back DL1 + SECDED.
+    WriteBack,
+    /// The production NGMP configuration: write-through DL1 + parity.
+    WriteThrough,
+    /// Write-back DL1 with heavy bus interference from the unobserved cores
+    /// (the §II.A contention scenario); the payload is the per-request extra
+    /// bus cycles.
+    ContendedBus(u32),
+}
+
+impl PlatformVariant {
+    /// Stable label used in reports and on the CLI.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            PlatformVariant::WriteBack => "wb".to_string(),
+            PlatformVariant::WriteThrough => "wt".to_string(),
+            PlatformVariant::ContendedBus(extra) => format!("contended{extra}"),
+        }
+    }
+
+    /// Parses a CLI label; `contendedN` selects N extra cycles per request.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "wb" => Some(PlatformVariant::WriteBack),
+            "wt" => Some(PlatformVariant::WriteThrough),
+            _ => label
+                .strip_prefix("contended")
+                .and_then(|n| n.parse().ok())
+                .map(PlatformVariant::ContendedBus),
+        }
+    }
+
+    fn apply(self, mut config: PipelineConfig) -> PipelineConfig {
+        match self {
+            PlatformVariant::WriteBack => {}
+            PlatformVariant::WriteThrough => {
+                config.hierarchy = HierarchyConfig::ngmp_write_through();
+            }
+            PlatformVariant::ContendedBus(extra) => {
+                config.bus_interference = Some(Interference::every_request(extra));
+            }
+        }
+        config
+    }
+}
+
+/// Stable label for a scheme, used in reports and on the CLI.
+#[must_use]
+pub fn scheme_label(scheme: EccScheme) -> String {
+    match scheme {
+        EccScheme::NoEcc => "no-ecc".to_string(),
+        EccScheme::ExtraCycle => "extra-cycle".to_string(),
+        EccScheme::ExtraStage => "extra-stage".to_string(),
+        EccScheme::Laec => "laec".to_string(),
+        EccScheme::SpeculateFlush { flush_penalty } => format!("speculate-flush{flush_penalty}"),
+    }
+}
+
+/// Parses a CLI scheme label; `speculate-flushN` selects an N-cycle penalty.
+#[must_use]
+pub fn scheme_from_label(label: &str) -> Option<EccScheme> {
+    match label {
+        "no-ecc" | "noecc" => Some(EccScheme::NoEcc),
+        "extra-cycle" => Some(EccScheme::ExtraCycle),
+        "extra-stage" => Some(EccScheme::ExtraStage),
+        "laec" => Some(EccScheme::Laec),
+        _ => label
+            .strip_prefix("speculate-flush")
+            .and_then(|n| n.parse().ok())
+            .map(|flush_penalty| EccScheme::SpeculateFlush { flush_penalty }),
+    }
+}
+
+/// The full description of one campaign: every axis of the grid plus the
+/// master seed it is expanded under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// The workload axis.
+    pub workloads: WorkloadSet,
+    /// Shape of the synthetic EEMBC-like workloads (ignored for kernels).
+    pub generator: GeneratorConfig,
+    /// The scheme axis.
+    pub schemes: Vec<EccScheme>,
+    /// The platform axis.
+    pub platforms: Vec<PlatformVariant>,
+    /// The fault axis: one extra (faulty) run per seed per cell, in addition
+    /// to the always-present fault-free run.  Empty means fault-free only.
+    pub fault_seeds: Vec<u64>,
+    /// Mean cycles between injected single-bit upsets on faulty runs.
+    pub fault_interval: u64,
+    /// Master seed; every per-job injection seed derives from it and the
+    /// job's grid coordinates only.
+    pub seed: u64,
+}
+
+impl CampaignSpec {
+    /// The paper's Figure 8 grid: EEMBC-like suite × the four Figure 8
+    /// schemes on the write-back platform, fault-free.
+    #[must_use]
+    pub fn paper_grid() -> Self {
+        CampaignSpec {
+            workloads: WorkloadSet::Eembc,
+            generator: GeneratorConfig::evaluation(),
+            schemes: EccScheme::figure8_set().to_vec(),
+            platforms: vec![PlatformVariant::WriteBack],
+            fault_seeds: Vec::new(),
+            fault_interval: 5_000,
+            seed: 0x1AEC,
+        }
+    }
+
+    /// A quick grid over the hand-written kernels (used by tests/examples).
+    #[must_use]
+    pub fn smoke() -> Self {
+        CampaignSpec {
+            workloads: WorkloadSet::Kernels,
+            generator: GeneratorConfig::smoke(),
+            schemes: EccScheme::figure8_set().to_vec(),
+            platforms: vec![PlatformVariant::WriteBack],
+            fault_seeds: Vec::new(),
+            fault_interval: 1_000,
+            seed: 0x1AEC,
+        }
+    }
+
+    /// Names accepted by [`WorkloadSet::Named`]: every EEMBC-like workload
+    /// plus every hand-written kernel.  Cheap — no programs are generated.
+    #[must_use]
+    pub fn available_workload_names() -> Vec<String> {
+        let mut names: Vec<String> = laec_workloads::eembc_profiles()
+            .iter()
+            .map(|profile| profile.name.to_string())
+            .collect();
+        names.extend(
+            laec_workloads::KERNEL_NAMES
+                .iter()
+                .map(|name| name.to_string()),
+        );
+        names
+    }
+
+    /// Materialises the workload axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`WorkloadSet::Named`] entry names no known workload — a
+    /// typo'd spec must fail loudly, not run a silently empty grid whose
+    /// equivalence check is vacuously true.  Callers taking untrusted names
+    /// should pre-validate against [`CampaignSpec::available_workload_names`].
+    #[must_use]
+    pub fn materialize_workloads(&self) -> Vec<Workload> {
+        let mut generator = self.generator;
+        generator.seed = self.seed;
+        match &self.workloads {
+            WorkloadSet::Eembc => eembc_suite(&generator),
+            WorkloadSet::Kernels => kernel_suite(),
+            WorkloadSet::Both => {
+                let mut all = eembc_suite(&generator);
+                all.extend(kernel_suite());
+                all
+            }
+            WorkloadSet::Named(names) => {
+                // Generate only what was asked for: kernels are cheap, and
+                // each EEMBC-like workload is synthesized individually
+                // instead of materialising the whole 16-entry suite.
+                let kernels = kernel_suite();
+                names
+                    .iter()
+                    .map(|name| {
+                        kernels
+                            .iter()
+                            .find(|w| &w.name == name)
+                            .cloned()
+                            .or_else(|| laec_workloads::eembc_workload(name, &generator))
+                            .unwrap_or_else(|| {
+                                panic!("unknown workload `{name}` in WorkloadSet::Named")
+                            })
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report types
+// ---------------------------------------------------------------------------
+
+/// One grid cell: one workload under one scheme on one platform, either
+/// fault-free (`fault_seed == None`) or under one fault-injection seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCell {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label (see [`scheme_label`]).
+    pub scheme: String,
+    /// Platform label (see [`PlatformVariant::label`]).
+    pub platform: String,
+    /// Grid-axis fault seed, `None` for the fault-free run.
+    pub fault_seed: Option<u64>,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// DL1 load hit rate.
+    pub load_hit_rate: f64,
+    /// Fraction of load hits LAEC anticipated (0 for other schemes).
+    pub lookahead_rate: f64,
+    /// Shared-bus transactions.
+    pub bus_transactions: u64,
+    /// Faults injected into the DL1 during the run.
+    pub faults_injected: u64,
+    /// Faults corrected by the DL1's code.
+    pub faults_corrected: u64,
+    /// Detected-but-uncorrectable DL1 events.
+    pub faults_detected_uncorrectable: u64,
+    /// Unrecoverable events (dirty data lost).
+    pub unrecoverable_errors: u64,
+    /// FNV-1a fingerprint of the final register file.
+    pub registers_fingerprint: u64,
+    /// Checksum of the final memory image.
+    pub memory_checksum: u64,
+    /// Execution time normalised to the fault-free no-ECC cell of the same
+    /// workload and platform; `None` when that baseline is not in the grid.
+    pub slowdown: Option<f64>,
+}
+
+/// Execution-time slowdown of every scheme, one row per workload × platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowdownRow {
+    /// Workload name.
+    pub workload: String,
+    /// Platform label.
+    pub platform: String,
+    /// One entry per scheme, aligned with [`SlowdownMatrix::schemes`].
+    pub slowdowns: Vec<Option<f64>>,
+}
+
+/// The slowdown matrix of the fault-free grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowdownMatrix {
+    /// Column labels (scheme labels).
+    pub schemes: Vec<String>,
+    /// Per-workload × platform rows.
+    pub rows: Vec<SlowdownRow>,
+    /// Column averages, aligned with `schemes`.
+    pub averages: Vec<Option<f64>>,
+}
+
+/// Architectural-equivalence verdict for one workload × platform group: all
+/// fault-free schemes must agree on registers and memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalenceCheck {
+    /// Workload name.
+    pub workload: String,
+    /// Platform label.
+    pub platform: String,
+    /// `true` if every fault-free scheme produced identical state.
+    pub equivalent: bool,
+}
+
+/// The aggregated result of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Master seed the grid ran under.
+    pub seed: u64,
+    /// Workload axis, in grid order.
+    pub workloads: Vec<String>,
+    /// Scheme axis labels, in grid order.
+    pub schemes: Vec<String>,
+    /// Platform axis labels, in grid order.
+    pub platforms: Vec<String>,
+    /// Fault axis, in grid order (empty = fault-free only).
+    pub fault_seeds: Vec<u64>,
+    /// Total jobs executed.
+    pub total_jobs: u64,
+    /// Every grid cell, in deterministic grid order.
+    pub cells: Vec<CampaignCell>,
+    /// The fault-free slowdown matrix.
+    pub slowdowns: SlowdownMatrix,
+    /// Per-group equivalence verdicts.
+    pub equivalence: Vec<EquivalenceCheck>,
+}
+
+impl CampaignReport {
+    /// `true` if every workload × platform group passed the architectural-
+    /// equivalence check across its fault-free schemes.
+    #[must_use]
+    pub fn architecturally_equivalent(&self) -> bool {
+        self.equivalence.iter().all(|check| check.equivalent)
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    ///
+    /// Byte-identical across runs with the same spec, regardless of the
+    /// worker count used to produce the report.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign report serializes")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    workload: usize,
+    scheme: usize,
+    platform: usize,
+    /// Index into `spec.fault_seeds`; `None` is the fault-free run.
+    fault: Option<usize>,
+}
+
+/// SplitMix64 finaliser, used to decorrelate per-job injection seeds.
+fn mix64(mut value: u64) -> u64 {
+    value = value.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    value = (value ^ (value >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    value = (value ^ (value >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    value ^ (value >> 31)
+}
+
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    bytes
+        .into_iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |hash, byte| {
+            (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3)
+        })
+}
+
+fn registers_fingerprint(registers: &[u32]) -> u64 {
+    fnv1a(registers.iter().flat_map(|r| r.to_le_bytes()))
+}
+
+/// The seed a faulty job injects under: a pure function of the spec seed,
+/// the grid-axis fault seed and the job's coordinates — never of scheduling.
+fn job_injection_seed(spec: &CampaignSpec, job: Job, axis_seed: u64) -> u64 {
+    mix64(
+        spec.seed
+            ^ axis_seed.rotate_left(17)
+            ^ ((job.workload as u64) << 40)
+            ^ ((job.scheme as u64) << 20)
+            ^ (job.platform as u64),
+    )
+}
+
+/// The number of worker threads [`run_campaign`] uses when the caller passes
+/// `0`: the machine's available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Expands `spec` into its job grid and executes it on `threads` workers
+/// (`0` = [`default_threads`]).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the underlying simulator is panic-free
+/// on valid programs; a panic indicates a bug, not bad input).
+#[must_use]
+pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignReport {
+    let workloads = spec.materialize_workloads();
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+
+    // Deterministic grid order: workload-major, then platform, scheme, fault.
+    let mut jobs = Vec::new();
+    for workload in 0..workloads.len() {
+        for platform in 0..spec.platforms.len() {
+            for scheme in 0..spec.schemes.len() {
+                jobs.push(Job {
+                    workload,
+                    scheme,
+                    platform,
+                    fault: None,
+                });
+                for fault in 0..spec.fault_seeds.len() {
+                    jobs.push(Job {
+                        workload,
+                        scheme,
+                        platform,
+                        fault: Some(fault),
+                    });
+                }
+            }
+        }
+    }
+
+    // Work-stealing-free worker pool: one shared cursor, one slot per job.
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CampaignCell>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()).max(1) {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(index).copied() else {
+                    break;
+                };
+                let cell = run_job(spec, &workloads, job);
+                *slots[index].lock().expect("unpoisoned slot") = Some(cell);
+            });
+        }
+    });
+    let mut cells: Vec<CampaignCell> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("unpoisoned slot")
+                .expect("job ran")
+        })
+        .collect();
+
+    fill_slowdowns(spec, &mut cells);
+    let slowdowns = slowdown_matrix(spec, &workloads, &cells);
+    let equivalence = equivalence_checks(spec, &workloads, &cells);
+
+    CampaignReport {
+        seed: spec.seed,
+        workloads: workloads.iter().map(|w| w.name.clone()).collect(),
+        schemes: spec.schemes.iter().map(|s| scheme_label(*s)).collect(),
+        platforms: spec.platforms.iter().map(|p| p.label()).collect(),
+        fault_seeds: spec.fault_seeds.clone(),
+        total_jobs: cells.len() as u64,
+        cells,
+        slowdowns,
+        equivalence,
+    }
+}
+
+fn run_job(spec: &CampaignSpec, workloads: &[Workload], job: Job) -> CampaignCell {
+    let workload = &workloads[job.workload];
+    let scheme = spec.schemes[job.scheme];
+    let platform = spec.platforms[job.platform];
+
+    let mut config = platform.apply(PipelineConfig::for_scheme(scheme));
+    let fault_seed = job.fault.map(|index| spec.fault_seeds[index]);
+    if let Some(axis_seed) = fault_seed {
+        let injection_seed = job_injection_seed(spec, job, axis_seed);
+        config = config.with_fault_campaign(FaultCampaignConfig::single_bit(
+            injection_seed,
+            spec.fault_interval,
+        ));
+    }
+
+    let result = run_with_config(workload, config);
+    CampaignCell {
+        workload: workload.name.clone(),
+        scheme: scheme_label(scheme),
+        platform: platform.label(),
+        fault_seed,
+        cycles: result.stats.cycles,
+        instructions: result.stats.instructions,
+        cpi: result.stats.cpi(),
+        load_hit_rate: result.stats.load_hit_rate(),
+        lookahead_rate: result.stats.lookahead_rate(),
+        bus_transactions: result.stats.mem.bus_transactions,
+        faults_injected: result.stats.faults_injected,
+        faults_corrected: result.stats.mem.dl1.ecc.corrected(),
+        faults_detected_uncorrectable: result.stats.mem.dl1.ecc.uncorrectable(),
+        unrecoverable_errors: result.unrecoverable_errors,
+        registers_fingerprint: registers_fingerprint(&result.registers),
+        memory_checksum: result.memory_checksum,
+        slowdown: None, // filled once every cell (incl. the baseline) exists
+    }
+}
+
+fn fill_slowdowns(spec: &CampaignSpec, cells: &mut [CampaignCell]) {
+    if !spec.schemes.contains(&EccScheme::NoEcc) {
+        return;
+    }
+    // One pass to index every group's fault-free no-ECC baseline, rather
+    // than rescanning all cells per cell (O(n^2) on big grids).
+    let baseline = scheme_label(EccScheme::NoEcc);
+    let baselines: HashMap<(&str, &str), u64> = cells
+        .iter()
+        .filter(|c| c.scheme == baseline && c.fault_seed.is_none())
+        .map(|c| ((c.workload.as_str(), c.platform.as_str()), c.cycles))
+        .collect();
+    // Keys borrow from `cells`, so resolve each cell's baseline first.
+    let resolved: Vec<Option<u64>> = cells
+        .iter()
+        .map(|c| {
+            baselines
+                .get(&(c.workload.as_str(), c.platform.as_str()))
+                .copied()
+        })
+        .collect();
+    for (cell, base) in cells.iter_mut().zip(resolved) {
+        cell.slowdown = base.map(|base| cell.cycles as f64 / base.max(1) as f64);
+    }
+}
+
+fn slowdown_matrix(
+    spec: &CampaignSpec,
+    workloads: &[Workload],
+    cells: &[CampaignCell],
+) -> SlowdownMatrix {
+    let schemes: Vec<String> = spec.schemes.iter().map(|s| scheme_label(*s)).collect();
+    // Index the fault-free cells once; row assembly below is then a pure
+    // lookup per (workload, platform, scheme).
+    let by_coordinates: HashMap<(&str, &str, &str), Option<f64>> = cells
+        .iter()
+        .filter(|c| c.fault_seed.is_none())
+        .map(|c| {
+            (
+                (c.workload.as_str(), c.platform.as_str(), c.scheme.as_str()),
+                c.slowdown,
+            )
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for workload in workloads {
+        for platform in &spec.platforms {
+            let platform = platform.label();
+            let slowdowns: Vec<Option<f64>> = schemes
+                .iter()
+                .map(|scheme| {
+                    by_coordinates
+                        .get(&(workload.name.as_str(), platform.as_str(), scheme.as_str()))
+                        .copied()
+                        .flatten()
+                })
+                .collect();
+            rows.push(SlowdownRow {
+                workload: workload.name.clone(),
+                platform,
+                slowdowns,
+            });
+        }
+    }
+    let averages: Vec<Option<f64>> = (0..schemes.len())
+        .map(|column| {
+            let values: Vec<f64> = rows
+                .iter()
+                .filter_map(|row| row.slowdowns[column])
+                .collect();
+            if values.is_empty() {
+                None
+            } else {
+                Some(values.iter().sum::<f64>() / values.len() as f64)
+            }
+        })
+        .collect();
+    SlowdownMatrix {
+        schemes,
+        rows,
+        averages,
+    }
+}
+
+fn equivalence_checks(
+    spec: &CampaignSpec,
+    workloads: &[Workload],
+    cells: &[CampaignCell],
+) -> Vec<EquivalenceCheck> {
+    // One pass over the cells: per group, remember the first fingerprint and
+    // whether every later fault-free cell matched it.
+    type Fingerprint = (u64, u64);
+    let mut groups: HashMap<(&str, &str), (Fingerprint, bool)> = HashMap::new();
+    for cell in cells.iter().filter(|c| c.fault_seed.is_none()) {
+        let fingerprint = (cell.registers_fingerprint, cell.memory_checksum);
+        groups
+            .entry((cell.workload.as_str(), cell.platform.as_str()))
+            .and_modify(|(reference, equivalent)| *equivalent &= fingerprint == *reference)
+            .or_insert((fingerprint, true));
+    }
+    let mut checks = Vec::new();
+    for workload in workloads {
+        for platform in &spec.platforms {
+            let platform = platform.label();
+            let equivalent = groups
+                .get(&(workload.name.as_str(), platform.as_str()))
+                .is_none_or(|(_, equivalent)| *equivalent);
+            checks.push(EquivalenceCheck {
+                workload: workload.name.clone(),
+                platform,
+                equivalent,
+            });
+        }
+    }
+    checks
+}
+
+// ---------------------------------------------------------------------------
+// Text rendering
+// ---------------------------------------------------------------------------
+
+/// Renders the campaign's slowdown matrix, fault summary and equivalence
+/// verdicts as aligned text.
+#[must_use]
+pub fn render_campaign(report: &CampaignReport) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Campaign: {} workloads x {} schemes x {} platforms, {} fault seed(s), seed {:#x}, {} jobs",
+        report.workloads.len(),
+        report.schemes.len(),
+        report.platforms.len(),
+        report.fault_seeds.len(),
+        report.seed,
+        report.total_jobs,
+    );
+
+    // Slowdown matrix (fault-free grid), normalised to no-ECC.
+    let _ = write!(out, "\n{:<16} {:<12}", "workload", "platform");
+    for scheme in &report.slowdowns.schemes {
+        let _ = write!(out, " {scheme:>16}");
+    }
+    out.push('\n');
+    for row in &report.slowdowns.rows {
+        let _ = write!(out, "{:<16} {:<12}", row.workload, row.platform);
+        for slowdown in &row.slowdowns {
+            match slowdown {
+                Some(value) => {
+                    let _ = write!(out, " {value:>16.4}");
+                }
+                None => {
+                    let _ = write!(out, " {:>16}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "{:<16} {:<12}", "average", "");
+    for average in &report.slowdowns.averages {
+        match average {
+            Some(value) => {
+                let _ = write!(out, " {value:>16.4}");
+            }
+            None => {
+                let _ = write!(out, " {:>16}", "-");
+            }
+        }
+    }
+    out.push('\n');
+
+    // Fault summary, if the grid had a fault axis.
+    if !report.fault_seeds.is_empty() {
+        let faulty: Vec<&CampaignCell> = report
+            .cells
+            .iter()
+            .filter(|c| c.fault_seed.is_some())
+            .collect();
+        let injected: u64 = faulty.iter().map(|c| c.faults_injected).sum();
+        let corrected: u64 = faulty.iter().map(|c| c.faults_corrected).sum();
+        let detected: u64 = faulty.iter().map(|c| c.faults_detected_uncorrectable).sum();
+        let unrecoverable: u64 = faulty.iter().map(|c| c.unrecoverable_errors).sum();
+        let _ = writeln!(
+            out,
+            "\nFaults: {injected} injected, {corrected} corrected, \
+             {detected} detected-uncorrectable, {unrecoverable} unrecoverable \
+             across {} faulty runs",
+            faulty.len(),
+        );
+    }
+
+    let failing: Vec<&EquivalenceCheck> = report
+        .equivalence
+        .iter()
+        .filter(|c| !c.equivalent)
+        .collect();
+    if failing.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nArchitectural equivalence: OK ({} workload x platform groups)",
+            report.equivalence.len(),
+        );
+    } else {
+        let _ = writeln!(out, "\nArchitectural equivalence: FAILED for:");
+        for check in failing {
+            let _ = writeln!(out, "  {} on {}", check.workload, check.platform);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expansion_covers_every_axis_combination() {
+        let mut spec = CampaignSpec::smoke();
+        spec.workloads = WorkloadSet::Named(vec!["vector_sum".into(), "fir_filter".into()]);
+        spec.fault_seeds = vec![1, 2];
+        let report = run_campaign(&spec, 2);
+        // 2 workloads x 1 platform x 4 schemes x (1 fault-free + 2 faulty).
+        assert_eq!(report.total_jobs, 2 * 4 * 3);
+        assert_eq!(report.cells.len(), 24);
+        assert_eq!(report.workloads, vec!["vector_sum", "fir_filter"]);
+        assert!(report.architecturally_equivalent());
+    }
+
+    #[test]
+    fn slowdowns_are_normalised_to_no_ecc() {
+        let mut spec = CampaignSpec::smoke();
+        spec.workloads = WorkloadSet::Named(vec!["vector_sum".into()]);
+        let report = run_campaign(&spec, 1);
+        let no_ecc = report
+            .cells
+            .iter()
+            .find(|c| c.scheme == "no-ecc")
+            .expect("baseline cell");
+        assert_eq!(no_ecc.slowdown, Some(1.0));
+        for cell in &report.cells {
+            let slowdown = cell.slowdown.expect("baseline present");
+            assert!(slowdown >= 1.0 - 1e-9, "{}: {slowdown}", cell.scheme);
+        }
+    }
+
+    #[test]
+    fn without_a_baseline_slowdowns_are_absent() {
+        let mut spec = CampaignSpec::smoke();
+        spec.workloads = WorkloadSet::Named(vec!["vector_sum".into()]);
+        spec.schemes = vec![EccScheme::Laec, EccScheme::ExtraStage];
+        let report = run_campaign(&spec, 1);
+        assert!(report.cells.iter().all(|c| c.slowdown.is_none()));
+        assert!(report.slowdowns.averages.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn faulty_runs_inject_and_are_reported() {
+        let mut spec = CampaignSpec::smoke();
+        spec.workloads = WorkloadSet::Named(vec!["vector_sum".into()]);
+        spec.schemes = vec![EccScheme::Laec];
+        spec.fault_seeds = vec![0xBEEF];
+        spec.fault_interval = 50;
+        let report = run_campaign(&spec, 2);
+        let faulty = report
+            .cells
+            .iter()
+            .find(|c| c.fault_seed == Some(0xBEEF))
+            .expect("faulty cell");
+        assert!(faulty.faults_injected > 0);
+        // Only faults on lines that are read back before eviction get
+        // corrected; the SECDED write-back DL1 must lose nothing either way.
+        assert!(faulty.faults_corrected <= faulty.faults_injected);
+        assert_eq!(faulty.unrecoverable_errors, 0);
+        let text = render_campaign(&report);
+        assert!(text.contains("Faults:"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload `vectorsum`")]
+    fn named_set_panics_on_unknown_workload() {
+        let mut spec = CampaignSpec::smoke();
+        spec.workloads = WorkloadSet::Named(vec!["vectorsum".into()]);
+        let _ = spec.materialize_workloads();
+    }
+
+    #[test]
+    fn available_names_cover_both_suites() {
+        let names = CampaignSpec::available_workload_names();
+        assert_eq!(names.len(), 16 + 7);
+        assert!(names.contains(&"a2time".to_string()));
+        assert!(names.contains(&"vector_sum".to_string()));
+    }
+
+    #[test]
+    fn scheme_and_platform_labels_round_trip() {
+        for scheme in [
+            EccScheme::NoEcc,
+            EccScheme::ExtraCycle,
+            EccScheme::ExtraStage,
+            EccScheme::Laec,
+            EccScheme::SpeculateFlush { flush_penalty: 6 },
+        ] {
+            assert_eq!(scheme_from_label(&scheme_label(scheme)), Some(scheme));
+        }
+        for platform in [
+            PlatformVariant::WriteBack,
+            PlatformVariant::WriteThrough,
+            PlatformVariant::ContendedBus(8),
+        ] {
+            assert_eq!(
+                PlatformVariant::from_label(&platform.label()),
+                Some(platform)
+            );
+        }
+        assert_eq!(scheme_from_label("bogus"), None);
+        assert_eq!(PlatformVariant::from_label("bogus"), None);
+    }
+}

@@ -196,7 +196,10 @@ mod tests {
         let overhead =
             model.dynamic_overhead(EccScheme::Laec, &laec, EccScheme::ExtraStage, &extra_stage);
         assert!(overhead > 0.0, "the extra read ports must cost something");
-        assert!(overhead < 0.01, "dynamic overhead {overhead} must stay below 1 %");
+        assert!(
+            overhead < 0.01,
+            "dynamic overhead {overhead} must stay below 1 %"
+        );
         let power = model
             .evaluate(EccScheme::Laec, &laec)
             .dynamic_power_mw(laec.cycles, model.frequency_mhz);

@@ -403,13 +403,21 @@ mod tests {
         let table = characterization(&GeneratorConfig::evaluation());
         assert_eq!(table.rows.len(), 16);
         // Average column within a few points of the paper's 89 / 60 / 25.
-        assert!((table.average.hit_loads_pct - 89.0).abs() < 8.0, "{}", table.average.hit_loads_pct);
+        assert!(
+            (table.average.hit_loads_pct - 89.0).abs() < 8.0,
+            "{}",
+            table.average.hit_loads_pct
+        );
         assert!(
             (table.average.dependent_loads_pct - 60.0).abs() < 10.0,
             "{}",
             table.average.dependent_loads_pct
         );
-        assert!((table.average.loads_pct - 25.0).abs() < 5.0, "{}", table.average.loads_pct);
+        assert!(
+            (table.average.loads_pct - 25.0).abs() < 5.0,
+            "{}",
+            table.average.loads_pct
+        );
         // cacheb is the dependent-load outlier, as in the paper.
         let cacheb = table.rows.iter().find(|r| r.name == "cacheb").unwrap();
         assert!(cacheb.dependent_loads_pct < 30.0);
@@ -424,8 +432,14 @@ mod tests {
             assert!(row.extra_stage <= row.extra_cycle + 1e-9, "{}", row.name);
             assert!(row.laec >= 0.999, "{}", row.name);
         }
-        assert!(figure.average_increase_pct(EccScheme::ExtraCycle) > figure.average_increase_pct(EccScheme::ExtraStage));
-        assert!(figure.average_increase_pct(EccScheme::ExtraStage) > figure.average_increase_pct(EccScheme::Laec));
+        assert!(
+            figure.average_increase_pct(EccScheme::ExtraCycle)
+                > figure.average_increase_pct(EccScheme::ExtraStage)
+        );
+        assert!(
+            figure.average_increase_pct(EccScheme::ExtraStage)
+                > figure.average_increase_pct(EccScheme::Laec)
+        );
         assert!(figure.laec_gain_over_extra_cycle_pct() > figure.laec_gain_over_extra_stage_pct());
     }
 
@@ -468,6 +482,9 @@ mod tests {
         assert_eq!(parity.corrected, 0, "parity cannot correct");
         let unprotected = &rows[2];
         assert_eq!(unprotected.corrected, 0);
-        assert_eq!(unprotected.detected_uncorrectable, 0, "nothing is even detected");
+        assert_eq!(
+            unprotected.detected_uncorrectable, 0,
+            "nothing is even detected"
+        );
     }
 }

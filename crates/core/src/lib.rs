@@ -20,6 +20,14 @@
 //! wraps each experiment in a Criterion benchmark; `EXPERIMENTS.md` records
 //! measured-vs-paper numbers.
 //!
+//! Beyond the per-artefact functions, [`campaign`] generalises the harness
+//! into a parallel experiment engine: a [`campaign::CampaignSpec`] describes
+//! a workload × scheme × platform × fault grid, [`campaign::run_campaign`]
+//! executes it on a scoped worker pool with deterministic per-job seeding,
+//! and the resulting [`campaign::CampaignReport`] renders as text or JSON
+//! (byte-identical regardless of worker count).  The `laec-cli` binary
+//! drives both layers from the command line.
+//!
 //! # Example
 //!
 //! ```
@@ -34,10 +42,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod energy;
 pub mod experiment;
 pub mod report;
 pub mod runner;
+
+pub use campaign::{
+    render_campaign, run_campaign, CampaignCell, CampaignReport, CampaignSpec, EquivalenceCheck,
+    PlatformVariant, SlowdownMatrix, SlowdownRow, WorkloadSet,
+};
 
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use experiment::{

@@ -2,13 +2,15 @@
 
 use std::fmt::Write as _;
 
+use serde::{Deserialize, Serialize};
+
 use crate::experiment::{
     CharacterizationTable, EnergyRow, FaultCampaignRow, Figure8, HazardBreakdownRow, WtVsWbRow,
 };
 
 /// One row of the paper's Table I (commercial processors and their L1
 /// protection choices) — static, informational data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommercialProcessor {
     /// Processor name.
     pub name: &'static str,
@@ -100,9 +102,8 @@ pub fn render_table2(table: &CharacterizationTable) -> String {
 /// times (the paper plots the same data as bars).
 #[must_use]
 pub fn render_figure8(figure: &Figure8) -> String {
-    let mut out = String::from(
-        "Figure 8: Execution time increase vs the no-ECC baseline (1.10 = +10 %)\n",
-    );
+    let mut out =
+        String::from("Figure 8: Execution time increase vs the no-ECC baseline (1.10 = +10 %)\n");
     let _ = writeln!(
         out,
         "{:<10} {:>12} {:>12} {:>8} {:>12}",

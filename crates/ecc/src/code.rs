@@ -226,7 +226,10 @@ impl Outcome {
     /// `true` when the error is detected but not correctable.
     #[must_use]
     pub fn is_uncorrectable(self) -> bool {
-        matches!(self, Outcome::DetectedDouble | Outcome::DetectedUncorrectable)
+        matches!(
+            self,
+            Outcome::DetectedDouble | Outcome::DetectedUncorrectable
+        )
     }
 }
 
@@ -379,7 +382,10 @@ impl NoCode {
     /// Panics if `data_bits` is zero or greater than 64.
     #[must_use]
     pub fn new(data_bits: u32) -> Self {
-        assert!(data_bits > 0 && data_bits <= 64, "data width must be 1..=64");
+        assert!(
+            data_bits > 0 && data_bits <= 64,
+            "data width must be 1..=64"
+        );
         NoCode { data_bits }
     }
 }

@@ -149,7 +149,8 @@ impl EccCode for Hamming {
                     },
                 };
             }
-            if syndrome.is_power_of_two() && u64::from(syndrome) <= (1u64 << (self.hamming_bits - 1))
+            if syndrome.is_power_of_two()
+                && u64::from(syndrome) <= (1u64 << (self.hamming_bits - 1))
             {
                 return Decoded {
                     data,

@@ -73,8 +73,9 @@ impl Hsiao {
         let mut candidates: Vec<u64> = Vec::new();
         let mut weight = 3u32;
         while candidates.len() < data_bits as usize && weight <= check_bits {
-            let mut this_weight: Vec<u64> =
-                (0..(1u64 << check_bits)).filter(|c| c.count_ones() == weight).collect();
+            let mut this_weight: Vec<u64> = (0..(1u64 << check_bits))
+                .filter(|c| c.count_ones() == weight)
+                .collect();
             // Within a weight class, prefer columns that keep the per-row
             // (check-bit) load balanced: sort by rotating bit significance so
             // consecutive picks hit different rows first.
@@ -111,12 +112,7 @@ impl Hsiao {
     #[must_use]
     pub fn fan_in(&self) -> Vec<u32> {
         (0..self.check_bits)
-            .map(|j| {
-                self.columns
-                    .iter()
-                    .filter(|&&c| c & (1 << j) != 0)
-                    .count() as u32
-            })
+            .map(|j| self.columns.iter().filter(|&&c| c & (1 << j) != 0).count() as u32)
             .collect()
     }
 
@@ -329,7 +325,10 @@ mod tests {
             for bit in 0..d {
                 let col = code.column(bit);
                 assert!(col.count_ones() % 2 == 1, "column {col:#b} not odd weight");
-                assert!(col.count_ones() >= 3, "column {col:#b} collides with check unit vector");
+                assert!(
+                    col.count_ones() >= 3,
+                    "column {col:#b} collides with check unit vector"
+                );
                 assert!(seen.insert(col), "duplicate column {col:#b}");
                 assert!(col < (1 << c));
             }

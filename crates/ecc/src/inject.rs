@@ -51,7 +51,10 @@ impl FlipPlan {
     #[must_use]
     pub fn double_data(bit_a: u32, bit_b: u32) -> Self {
         FlipPlan {
-            flips: vec![(InjectionTarget::Data, bit_a), (InjectionTarget::Data, bit_b)],
+            flips: vec![
+                (InjectionTarget::Data, bit_a),
+                (InjectionTarget::Data, bit_b),
+            ],
         }
     }
 
@@ -137,7 +140,11 @@ impl ErrorInjector {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         ErrorInjector {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -344,6 +351,9 @@ mod tests {
                 n => panic!("unexpected plan size {n}"),
             }
         }
-        assert!(singles > 550 && doubles > 180, "mix off: {singles}/{doubles}");
+        assert!(
+            singles > 550 && doubles > 180,
+            "mix off: {singles}/{doubles}"
+        );
     }
 }

@@ -45,7 +45,10 @@ impl Interleaved {
     /// Panics if `data` is empty.
     #[must_use]
     pub fn encode<C: EccCode>(code: &C, data: &[u64]) -> Self {
-        assert!(!data.is_empty(), "an interleaved group needs at least one word");
+        assert!(
+            !data.is_empty(),
+            "an interleaved group needs at least one word"
+        );
         Interleaved {
             words: data.iter().map(|&d| Codeword::encode(code, d)).collect(),
             data_bits: code.data_bits(),
@@ -72,7 +75,10 @@ impl Interleaved {
     /// Panics if `physical_bit` is out of range.
     #[must_use]
     pub fn map_physical(&self, physical_bit: u32) -> (usize, u32) {
-        assert!(physical_bit < self.physical_data_bits(), "physical bit out of range");
+        assert!(
+            physical_bit < self.physical_data_bits(),
+            "physical bit out of range"
+        );
         let degree = self.degree() as u32;
         ((physical_bit % degree) as usize, physical_bit / degree)
     }
@@ -140,7 +146,11 @@ mod tests {
             group.flip_adjacent_run(start, 4);
             let decoded = group.decode(&code);
             for (i, d) in decoded.iter().enumerate() {
-                assert!(d.outcome.is_usable(), "start {start} word {i}: {:?}", d.outcome);
+                assert!(
+                    d.outcome.is_usable(),
+                    "start {start} word {i}: {:?}",
+                    d.outcome
+                );
                 assert_eq!(d.data, data[i]);
             }
         }

@@ -120,8 +120,8 @@ impl EccLatencyModel {
         let fo4 = self.technology.fo4_ps();
         let xor_levels = match code {
             CodeKind::None => 0.0,
-            CodeKind::EvenParity32 => 5.0,  // 32-input XOR tree
-            CodeKind::ByteParity32 => 3.0,  // 8-input XOR trees
+            CodeKind::EvenParity32 => 5.0, // 32-input XOR tree
+            CodeKind::ByteParity32 => 3.0, // 8-input XOR trees
             CodeKind::Hamming39_32 | CodeKind::Hsiao39_32 => 5.0,
             CodeKind::Hsiao72_64 => 6.0,
         };
@@ -225,7 +225,10 @@ mod tests {
     fn inline_check_costs_frequency() {
         let model = EccLatencyModel::new();
         let loss = model.inline_check_frequency_loss(CodeKind::Hsiao39_32);
-        assert!(loss > 0.15 && loss < 0.45, "unexpected frequency loss {loss}");
+        assert!(
+            loss > 0.15 && loss < 0.45,
+            "unexpected frequency loss {loss}"
+        );
         assert!(
             model.max_frequency_with_inline_check_mhz(CodeKind::Hsiao39_32)
                 < model.max_frequency_baseline_mhz()
@@ -238,7 +241,9 @@ mod tests {
         assert!(LogicTechnology::Nm40.fo4_ps() > LogicTechnology::Nm28.fo4_ps());
         let m65 = EccLatencyModel::with_technology(LogicTechnology::Nm65, 5_000.0);
         let m28 = EccLatencyModel::with_technology(LogicTechnology::Nm28, 5_000.0);
-        assert!(m28.check_delay_ps(CodeKind::Hsiao39_32) < m65.check_delay_ps(CodeKind::Hsiao39_32));
+        assert!(
+            m28.check_delay_ps(CodeKind::Hsiao39_32) < m65.check_delay_ps(CodeKind::Hsiao39_32)
+        );
         assert!(m28.dl1_access_ps() < m65.dl1_access_ps());
     }
 

@@ -47,7 +47,10 @@ impl Parity {
     /// Panics if `data_bits` is zero or greater than 64.
     #[must_use]
     pub fn new(data_bits: u32, kind: ParityKind) -> Self {
-        assert!(data_bits > 0 && data_bits <= 64, "data width must be 1..=64");
+        assert!(
+            data_bits > 0 && data_bits <= 64,
+            "data width must be 1..=64"
+        );
         Parity { data_bits, kind }
     }
 

@@ -74,7 +74,10 @@ pub fn assemble(source: &str) -> Result<Vec<Instruction>, AssembleError> {
             if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
                 return Err(err(line_no, format!("invalid label name {label:?}")));
             }
-            if labels.insert(label.to_string(), lines.len() as u32).is_some() {
+            if labels
+                .insert(label.to_string(), lines.len() as u32)
+                .is_some()
+            {
                 return Err(err(line_no, format!("label `{label}` defined twice")));
             }
             text = rest[1..].trim();
@@ -159,7 +162,10 @@ fn parse_line(
         }
         m if Cond::all().iter().any(|c| c.mnemonic() == m) => {
             expect_count(line, &operands, 3)?;
-            let cond = *Cond::all().iter().find(|c| c.mnemonic() == m).expect("checked");
+            let cond = *Cond::all()
+                .iter()
+                .find(|c| c.mnemonic() == m)
+                .expect("checked");
             Ok(Instruction::Branch {
                 cond,
                 rs1: parse_reg(line, operands[0])?,
@@ -170,9 +176,7 @@ fn parse_line(
         m => {
             // ALU: register form `add` or immediate form `addi`.
             let (base_mnemonic, immediate_form) = match m.strip_suffix('i') {
-                Some(stripped)
-                    if AluOp::all().iter().any(|op| op.mnemonic() == stripped) =>
-                {
+                Some(stripped) if AluOp::all().iter().any(|op| op.mnemonic() == stripped) => {
                     (stripped, true)
                 }
                 _ => (m, false),
@@ -241,7 +245,10 @@ fn parse_imm(line: usize, text: &str) -> Result<i32, AssembleError> {
             .map_err(|_| err(line, format!("invalid immediate `{text}`")))
     }?;
     if !(-32768..=32767).contains(&value) {
-        return Err(err(line, format!("immediate `{text}` does not fit in 16 bits")));
+        return Err(err(
+            line,
+            format!("immediate `{text}` does not fit in 16 bits"),
+        ));
     }
     Ok(value as i32)
 }
@@ -264,7 +271,12 @@ fn parse_mem_operand(line: usize, text: &str) -> Result<(Reg, i16), AssembleErro
     let inner = text
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
-        .ok_or_else(|| err(line, format!("memory operand `{text}` must be `[reg +/- offset]`")))?
+        .ok_or_else(|| {
+            err(
+                line,
+                format!("memory operand `{text}` must be `[reg +/- offset]`"),
+            )
+        })?
         .trim();
     let (reg_text, offset) = if let Some(pos) = inner.find(['+', '-']) {
         let (reg_text, rest) = inner.split_at(pos);
@@ -345,8 +357,22 @@ mod tests {
                 offset: -4
             }
         );
-        assert!(matches!(code[5], Instruction::Branch { cond: Cond::Ne, target: 1, .. }));
-        assert!(matches!(code[6], Instruction::Branch { cond: Cond::Eq, target: 0, .. }));
+        assert!(matches!(
+            code[5],
+            Instruction::Branch {
+                cond: Cond::Ne,
+                target: 1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            code[6],
+            Instruction::Branch {
+                cond: Cond::Eq,
+                target: 0,
+                ..
+            }
+        ));
         assert_eq!(code[7], Instruction::Jump { target: 8 });
         assert_eq!(code[8], Instruction::Halt);
     }
@@ -378,14 +404,31 @@ mod tests {
                 link: Reg::new(30)
             }
         );
-        assert_eq!(code[3], Instruction::JumpReg { target: Reg::new(31) });
+        assert_eq!(
+            code[3],
+            Instruction::JumpReg {
+                target: Reg::new(31)
+            }
+        );
     }
 
     #[test]
     fn hex_and_negative_immediates() {
         let code = assemble("addi r1, r0, 0x7F\n addi r2, r0, -42\n").unwrap();
-        assert!(matches!(code[0], Instruction::Alu { operand: Operand::Imm(127), .. }));
-        assert!(matches!(code[1], Instruction::Alu { operand: Operand::Imm(-42), .. }));
+        assert!(matches!(
+            code[0],
+            Instruction::Alu {
+                operand: Operand::Imm(127),
+                ..
+            }
+        ));
+        assert!(matches!(
+            code[1],
+            Instruction::Alu {
+                operand: Operand::Imm(-42),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -61,11 +61,17 @@ impl fmt::Display for DecodeError {
 impl Error for DecodeError {}
 
 fn alu_index(op: AluOp) -> u32 {
-    AluOp::all().iter().position(|&o| o == op).expect("op in table") as u32
+    AluOp::all()
+        .iter()
+        .position(|&o| o == op)
+        .expect("op in table") as u32
 }
 
 fn cond_index(cond: Cond) -> u32 {
-    Cond::all().iter().position(|&c| c == cond).expect("cond in table") as u32
+    Cond::all()
+        .iter()
+        .position(|&c| c == cond)
+        .expect("cond in table") as u32
 }
 
 fn field_rd(reg: Reg) -> u32 {
@@ -161,18 +167,24 @@ pub fn encode(instruction: &Instruction) -> u32 {
             rs2,
             target,
         } => {
-            assert!(target < (1 << 16), "branch target {target} does not fit in 16 bits");
-            ((OP_BRANCH_BASE + cond_index(cond)) << 26)
-                | field_rd(rs1)
-                | field_rs1(rs2)
-                | target
+            assert!(
+                target < (1 << 16),
+                "branch target {target} does not fit in 16 bits"
+            );
+            ((OP_BRANCH_BASE + cond_index(cond)) << 26) | field_rd(rs1) | field_rs1(rs2) | target
         }
         Instruction::Jump { target } => {
-            assert!(target < (1 << 26), "jump target {target} does not fit in 26 bits");
+            assert!(
+                target < (1 << 26),
+                "jump target {target} does not fit in 26 bits"
+            );
             (OP_JMP << 26) | target
         }
         Instruction::Call { target, link } => {
-            assert!(target < (1 << 21), "call target {target} does not fit in 21 bits");
+            assert!(
+                target < (1 << 21),
+                "call target {target} does not fit in 21 bits"
+            );
             (OP_CALL << 26) | field_rd(link) | target
         }
         Instruction::JumpReg { target } => (OP_JR << 26) | field_rd(target),

@@ -124,7 +124,10 @@ impl Program {
     ///
     /// Returns the first [`encoding::DecodeError`] encountered.
     pub fn decode(name: impl Into<String>, words: &[u32]) -> Result<Self, encoding::DecodeError> {
-        let code = words.iter().map(|&w| encoding::decode(w)).collect::<Result<_, _>>()?;
+        let code = words
+            .iter()
+            .map(|&w| encoding::decode(w))
+            .collect::<Result<_, _>>()?;
         Ok(Program::new(name, code))
     }
 
@@ -150,7 +153,12 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "program \"{}\" ({} instructions)", self.name, self.code.len())?;
+        writeln!(
+            f,
+            "program \"{}\" ({} instructions)",
+            self.name,
+            self.code.len()
+        )?;
         f.write_str(&self.disassemble())
     }
 }

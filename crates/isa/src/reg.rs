@@ -34,7 +34,10 @@ impl Reg {
     /// Panics if `index >= 32`.
     #[must_use]
     pub fn new(index: u8) -> Self {
-        assert!((index as usize) < NUM_REGS, "register index {index} out of range");
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range"
+        );
         Reg(index)
     }
 

@@ -130,7 +130,11 @@ mod tests {
         assert_eq!(eval_alu(AluOp::Or, 0b1100, 0b1010), 0b1110);
         assert_eq!(eval_alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
         assert_eq!(eval_alu(AluOp::Sll, 1, 4), 16);
-        assert_eq!(eval_alu(AluOp::Sll, 1, 36), 16, "shift amounts use low 5 bits");
+        assert_eq!(
+            eval_alu(AluOp::Sll, 1, 36),
+            16,
+            "shift amounts use low 5 bits"
+        );
         assert_eq!(eval_alu(AluOp::Srl, 0x8000_0000, 31), 1);
         assert_eq!(eval_alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
     }
@@ -185,9 +189,18 @@ mod tests {
         assert_eq!(extract_loaded(word, 0x1000, MemWidth::Half), 0xFFFF_AABB);
         assert_eq!(extract_loaded(word, 0x1002, MemWidth::Half), 0xFFFF_8899);
 
-        assert_eq!(merge_stored(word, 0x1000, MemWidth::Word, 0x11223344), 0x1122_3344);
-        assert_eq!(merge_stored(word, 0x1001, MemWidth::Byte, 0xCC), 0x8899_CCBB);
-        assert_eq!(merge_stored(word, 0x1002, MemWidth::Half, 0x1234), 0x1234_AABB);
+        assert_eq!(
+            merge_stored(word, 0x1000, MemWidth::Word, 0x11223344),
+            0x1122_3344
+        );
+        assert_eq!(
+            merge_stored(word, 0x1001, MemWidth::Byte, 0xCC),
+            0x8899_CCBB
+        );
+        assert_eq!(
+            merge_stored(word, 0x1002, MemWidth::Half, 0x1234),
+            0x1234_AABB
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl Bus {
     pub fn request(&mut self, now: u64, cycles: u32) -> BusGrant {
         self.requests_seen += 1;
         let mut earliest = self.busy_until.max(now);
-        if self.interference.period > 0 && self.requests_seen.is_multiple_of(u64::from(self.interference.period))
+        if self.interference.period > 0
+            && self
+                .requests_seen
+                .is_multiple_of(u64::from(self.interference.period))
         {
             earliest += u64::from(self.interference.extra_cycles);
         }
@@ -186,7 +189,10 @@ mod tests {
         assert_eq!(n.wait_cycles, 6);
 
         let mut sometimes = Bus::new(2);
-        sometimes.set_interference(Interference { extra_cycles: 6, period: 2 });
+        sometimes.set_interference(Interference {
+            extra_cycles: 6,
+            period: 2,
+        });
         let first = sometimes.round_trip(0);
         assert_eq!(first.wait_cycles, 0, "first request not hit (period 2)");
         let second = sometimes.round_trip(first.completion);

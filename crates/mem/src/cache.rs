@@ -90,7 +90,11 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         config.validate().expect("invalid cache geometry");
         let sets = (0..config.sets())
-            .map(|_| (0..config.ways).map(|_| Line::empty(config.words_per_line())).collect())
+            .map(|_| {
+                (0..config.ways)
+                    .map(|_| Line::empty(config.words_per_line()))
+                    .collect()
+            })
             .collect();
         Cache {
             config,
@@ -147,7 +151,9 @@ impl Cache {
     fn find_way(&self, address: u32) -> Option<usize> {
         let set = self.set_index(address);
         let tag = self.tag(address);
-        self.sets[set].iter().position(|line| line.valid && line.tag == tag)
+        self.sets[set]
+            .iter()
+            .position(|line| line.valid && line.tag == tag)
     }
 
     /// `true` if the word at `address` is resident, without disturbing LRU or
@@ -374,7 +380,11 @@ impl Cache {
     /// Number of dirty lines currently resident.
     #[must_use]
     pub fn dirty_lines(&self) -> usize {
-        self.sets.iter().flatten().filter(|line| line.valid && line.dirty).count()
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|line| line.valid && line.dirty)
+            .count()
     }
 
     /// Number of valid lines currently resident.
@@ -419,7 +429,8 @@ impl Cache {
     }
 
     fn reconstruct_base(&self, set_index: usize, tag: u32) -> u32 {
-        (tag << (self.offset_bits() + self.index_bits())) | ((set_index as u32) << self.offset_bits())
+        (tag << (self.offset_bits() + self.index_bits()))
+            | ((set_index as u32) << self.offset_bits())
     }
 }
 
@@ -583,7 +594,10 @@ mod tests {
         let mut cache = Cache::new(small_config());
         assert!(!cache.inject_fault(0x100, &FlipPlan::single_data(0)));
         cache.fill(0x100, &line(0));
-        assert_eq!(cache.resident_word_addresses(), vec![0x100, 0x104, 0x108, 0x10C]);
+        assert_eq!(
+            cache.resident_word_addresses(),
+            vec![0x100, 0x104, 0x108, 0x10C]
+        );
     }
 
     #[test]

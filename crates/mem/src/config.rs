@@ -119,7 +119,10 @@ impl CacheConfig {
     /// Returns a human-readable description of the first inconsistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.line_bytes < 4 || !self.line_bytes.is_power_of_two() {
-            return Err(format!("line size {} must be a power of two ≥ 4", self.line_bytes));
+            return Err(format!(
+                "line size {} must be a power of two ≥ 4",
+                self.line_bytes
+            ));
         }
         if self.ways == 0 {
             return Err("associativity must be at least 1".to_string());
@@ -242,7 +245,10 @@ mod tests {
         assert!(config.validate().is_err());
         config.ways = 3;
         config.size_bytes = 16 * 1024;
-        assert!(config.validate().is_err(), "set count must be a power of two");
+        assert!(
+            config.validate().is_err(),
+            "set count must be a power of two"
+        );
         config.ways = 4;
         config.size_bytes = 1000;
         assert!(config.validate().is_err());

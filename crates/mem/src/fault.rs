@@ -40,7 +40,7 @@ impl FaultCampaignConfig {
 impl Default for FaultCampaignConfig {
     fn default() -> Self {
         FaultCampaignConfig {
-            seed: 0xFA11_7,
+            seed: 0x000F_A117,
             interval: 1_000,
             double_fraction: 0.0,
         }
@@ -179,6 +179,9 @@ mod tests {
         }
         assert_eq!(campaign.report().injected, 50);
         assert_eq!(system.unrecoverable_errors(), 0);
-        assert!(system.stats().dl1.ecc.corrected() > 0, "some strikes were read back");
+        assert!(
+            system.stats().dl1.ecc.corrected() > 0,
+            "some strikes were read back"
+        );
     }
 }

@@ -296,7 +296,8 @@ impl MemorySystem {
             }
         }
         for (i, &word) in evicted.words.iter().enumerate() {
-            self.l2.write_word(evicted.base_address + 4 * i as u32, word);
+            self.l2
+                .write_word(evicted.base_address + 4 * i as u32, word);
         }
         self.stats.l2 = *self.l2.stats();
     }
@@ -464,7 +465,11 @@ mod tests {
         let response = system.store_word(0x3000, 99, 10);
         assert!(response.dl1_hit);
         assert_eq!(response.extra_cycles, 0);
-        assert_eq!(system.bus_transactions(), bus_before, "WB store hit stays on-core");
+        assert_eq!(
+            system.bus_transactions(),
+            bus_before,
+            "WB store hit stays on-core"
+        );
         assert_eq!(system.dl1().dirty_lines(), 1);
         assert_eq!(system.load_word(0x3000, 20).value, 99);
     }
@@ -487,7 +492,10 @@ mod tests {
         let bus_before = system.bus_transactions();
         let response = system.store_word(0x5000, 42, 10);
         assert!(response.dl1_hit, "the DL1 copy is updated");
-        assert!(response.extra_cycles > 0, "and the store still travels to the L2");
+        assert!(
+            response.extra_cycles > 0,
+            "and the store still travels to the L2"
+        );
         assert_eq!(system.bus_transactions(), bus_before + 1);
         assert_eq!(system.dl1().dirty_lines(), 0, "WT lines are never dirty");
         // The L2 received the store.
@@ -605,7 +613,11 @@ mod tests {
         let address = system
             .inject_random_dl1_fault(&mut injector, 0.0)
             .expect("a resident word exists");
-        assert_eq!(address & !31, 0xE000 & !31, "strike lands in the resident line");
+        assert_eq!(
+            address & !31,
+            0xE000 & !31,
+            "strike lands in the resident line"
+        );
     }
 
     #[test]

@@ -126,7 +126,11 @@ mod tests {
     fn read_write_and_alignment() {
         let mut memory = MainMemory::new(10);
         memory.write_word(0x103, 7);
-        assert_eq!(memory.read_word(0x100), 7, "sub-word addresses alias the aligned word");
+        assert_eq!(
+            memory.read_word(0x100),
+            7,
+            "sub-word addresses alias the aligned word"
+        );
         assert_eq!(memory.reads(), 1);
         assert_eq!(memory.writes(), 1);
         assert_eq!(memory.footprint_words(), 1);

@@ -50,7 +50,10 @@ impl TraceEntry {
     /// Entry cycle into `stage`, if traversed.
     #[must_use]
     pub fn entry_cycle(&self, stage: Stage) -> Option<u64> {
-        self.stages.iter().find(|&&(s, _)| s == stage).map(|&(_, c)| c)
+        self.stages
+            .iter()
+            .find(|&&(s, _)| s == stage)
+            .map(|&(_, c)| c)
     }
 }
 
@@ -115,9 +118,20 @@ impl Chronogram {
             .filter_map(|e| e.stages.first().map(|&(_, c)| c))
             .min()
             .unwrap_or(0);
-        let last_cycle = self.entries.iter().map(|e| e.retired).max().unwrap_or(first_cycle);
+        let last_cycle = self
+            .entries
+            .iter()
+            .map(|e| e.retired)
+            .max()
+            .unwrap_or(first_cycle);
         let columns = (last_cycle - first_cycle) as usize;
-        let text_width = self.entries.iter().map(|e| e.text.len()).max().unwrap_or(0).max(16);
+        let text_width = self
+            .entries
+            .iter()
+            .map(|e| e.text.len())
+            .max()
+            .unwrap_or(0)
+            .max(16);
         const CELL: usize = 4;
 
         let mut out = String::new();
@@ -142,7 +156,12 @@ impl Chronogram {
                 }
             }
             let marker = if entry.lookahead { "*" } else { " " };
-            out.push_str(&format!("{:width$}{} ", entry.text, marker, width = text_width));
+            out.push_str(&format!(
+                "{:width$}{} ",
+                entry.text,
+                marker,
+                width = text_width
+            ));
             for cell in cells {
                 out.push_str(&format!("{cell:<CELL$}"));
             }
@@ -216,7 +235,11 @@ mod tests {
         let consumer = &chronogram.entries()[1];
         assert_eq!(consumer.cycles_in(Stage::Execute), 2, "one stall cycle");
         assert_eq!(consumer.cycles_in(Stage::Memory), 1);
-        assert_eq!(consumer.cycles_in(Stage::EccCheck), 0, "stage not traversed");
+        assert_eq!(
+            consumer.cycles_in(Stage::EccCheck),
+            0,
+            "stage not traversed"
+        );
         assert_eq!(consumer.entry_cycle(Stage::Memory), Some(7));
         assert_eq!(consumer.entry_cycle(Stage::EccCheck), None);
     }
@@ -230,7 +253,10 @@ mod tests {
             .find(|l| l.contains("r5 = r3 + r4"))
             .expect("consumer row");
         let exe_count = consumer_row.matches("Exe").count();
-        assert_eq!(exe_count, 2, "stall renders as a repeated Exe: {consumer_row}");
+        assert_eq!(
+            exe_count, 2,
+            "stall renders as a repeated Exe: {consumer_row}"
+        );
         assert!(rendered.lines().next().unwrap().contains("cycle"));
     }
 
@@ -254,7 +280,12 @@ mod tests {
     #[test]
     fn lookahead_marker_is_rendered() {
         let mut chronogram = Chronogram::new(2);
-        let mut load = entry(0, "ld r1, [r2]", &[(Stage::Fetch, 1), (Stage::Execute, 4)], 5);
+        let mut load = entry(
+            0,
+            "ld r1, [r2]",
+            &[(Stage::Fetch, 1), (Stage::Execute, 4)],
+            5,
+        );
         load.lookahead = true;
         chronogram.push(load);
         let rendered = chronogram.render();

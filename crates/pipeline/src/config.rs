@@ -101,7 +101,11 @@ mod tests {
 
     #[test]
     fn protected_schemes_keep_secded_dl1() {
-        for scheme in [EccScheme::ExtraCycle, EccScheme::ExtraStage, EccScheme::Laec] {
+        for scheme in [
+            EccScheme::ExtraCycle,
+            EccScheme::ExtraStage,
+            EccScheme::Laec,
+        ] {
             let config = PipelineConfig::for_scheme(scheme);
             assert_eq!(config.hierarchy.dl1.protection, CodeKind::Hsiao39_32);
             assert_eq!(config.hierarchy.dl1.write_policy, WritePolicy::WriteBack);

@@ -128,7 +128,12 @@ mod tests {
         assert_eq!(EccScheme::ExtraCycle.stages().len(), 7);
         assert_eq!(EccScheme::ExtraStage.stages().len(), 8);
         assert_eq!(EccScheme::Laec.stages().len(), 8);
-        assert_eq!(EccScheme::SpeculateFlush { flush_penalty: 5 }.stages().len(), 7);
+        assert_eq!(
+            EccScheme::SpeculateFlush { flush_penalty: 5 }
+                .stages()
+                .len(),
+            7
+        );
     }
 
     #[test]

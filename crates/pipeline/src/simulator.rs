@@ -275,7 +275,12 @@ impl Simulator {
         let mut load_hit = false;
 
         match instruction {
-            Instruction::Load { width, base, offset, .. } => {
+            Instruction::Load {
+                width,
+                base,
+                offset,
+                ..
+            } => {
                 self.stats.loads += 1;
                 let address = semantics::effective_address(self.regs.read(base), offset);
                 let response = self.mem.load_word(address & !3, entry[idx_m]);
@@ -297,13 +302,21 @@ impl Simulator {
                 }
                 loaded_value = Some(semantics::extract_loaded(response.value, address, width));
             }
-            Instruction::Store { width, src, base, offset, .. } => {
+            Instruction::Store {
+                width,
+                src,
+                base,
+                offset,
+                ..
+            } => {
                 self.stats.stores += 1;
                 let address = semantics::effective_address(self.regs.read(base), offset);
                 let value = self.regs.read(src);
                 let (merged, mask) = store_word_and_mask(address, width, value);
                 let drain_start = self.wb_free_at.max(entry[idx_m]);
-                let response = self.mem.store_word_masked(address & !3, merged, mask, drain_start);
+                let response = self
+                    .mem
+                    .store_word_masked(address & !3, merged, mask, drain_start);
                 let occupancy = 1 + u64::from(response.extra_cycles);
                 self.wb_free_at = drain_start + occupancy;
                 self.wb_completions.push_back(self.wb_free_at);
@@ -335,7 +348,12 @@ impl Simulator {
         // --- control flow and architectural update ----------------------------
         let mut next_pc = self.pc + 1;
         match instruction {
-            Instruction::Alu { op, rd, rs1, operand } => {
+            Instruction::Alu {
+                op,
+                rd,
+                rs1,
+                operand,
+            } => {
                 let a = self.regs.read(rs1);
                 let b = match operand {
                     laec_isa::Operand::Reg(rs2) => self.regs.read(rs2),
@@ -347,7 +365,12 @@ impl Simulator {
                 self.regs.write(rd, loaded_value.unwrap_or(0));
             }
             Instruction::Store { .. } | Instruction::Nop => {}
-            Instruction::Branch { cond, rs1, rs2, target } => {
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 self.stats.branches += 1;
                 let taken = semantics::eval_cond(cond, self.regs.read(rs1), self.regs.read(rs2));
                 if taken {
@@ -507,7 +530,10 @@ fn store_word_and_mask(address: u32, width: laec_isa::MemWidth, value: u32) -> (
         MemWidth::Word => (value, 0xF),
         MemWidth::Half => {
             let shift = (address & 0x2) * 8;
-            ((value & 0xFFFF) << shift, 0b0011 << ((address & 0x2) / 2 * 2))
+            (
+                (value & 0xFFFF) << shift,
+                0b0011 << ((address & 0x2) / 2 * 2),
+            )
         }
         MemWidth::Byte => {
             let shift = (address & 0x3) * 8;
@@ -675,7 +701,11 @@ mod tests {
     #[test]
     fn figure7a_laec_lookahead_matches_baseline() {
         let result = run_figure(EccScheme::Laec, false);
-        assert_eq!(consumer_exe_cycles(&result), 2, "Fig. 7(a): Exe Exe, like no-ECC");
+        assert_eq!(
+            consumer_exe_cycles(&result),
+            2,
+            "Fig. 7(a): Exe Exe, like no-ECC"
+        );
         assert!(load_entry(&result).lookahead, "the load was anticipated");
         assert_eq!(result.stats.lookahead_loads, 1);
         assert_eq!(result.registers[5], 77);
@@ -722,7 +752,10 @@ mod tests {
                 None => reference = Some((result.registers, result.memory_checksum)),
                 Some((regs, checksum)) => {
                     assert_eq!(&result.registers, regs, "{scheme} diverged architecturally");
-                    assert_eq!(result.memory_checksum, *checksum, "{scheme} memory diverged");
+                    assert_eq!(
+                        result.memory_checksum, *checksum,
+                        "{scheme} memory diverged"
+                    );
                 }
             }
         }
@@ -763,12 +796,18 @@ mod tests {
         let extra_stage = cycles(EccScheme::ExtraStage);
         let extra_cycle = cycles(EccScheme::ExtraCycle);
         assert!(no_ecc <= laec, "no-ECC {no_ecc} vs LAEC {laec}");
-        assert!(laec < extra_stage, "LAEC {laec} vs Extra-Stage {extra_stage}");
+        assert!(
+            laec < extra_stage,
+            "LAEC {laec} vs Extra-Stage {extra_stage}"
+        );
         assert!(
             extra_stage < extra_cycle,
             "Extra-Stage {extra_stage} vs Extra-Cycle {extra_cycle}"
         );
-        assert!(extra_cycle > no_ecc, "ECC protection must cost something here");
+        assert!(
+            extra_cycle > no_ecc,
+            "ECC protection must cost something here"
+        );
     }
 
     #[test]
@@ -794,7 +833,10 @@ mod tests {
         config.hierarchy.dl1.protection = laec_ecc::CodeKind::None;
         let wt = Simulator::run(program.clone(), config);
         let wb = Simulator::run(program, PipelineConfig::for_scheme(EccScheme::NoEcc));
-        assert!(wt.stats.write_buffer_full_stall_cycles > 0, "WT stores overwhelm the buffer");
+        assert!(
+            wt.stats.write_buffer_full_stall_cycles > 0,
+            "WT stores overwhelm the buffer"
+        );
         assert!(
             wt.stats.cycles > wb.stats.cycles,
             "write-through is slower on store-heavy code ({} vs {})",
@@ -816,7 +858,10 @@ mod tests {
         )
         .unwrap();
         let result = Simulator::run(program, PipelineConfig::for_scheme(EccScheme::NoEcc));
-        assert_eq!(result.registers[2], 0x300, "the load sees the store's value");
+        assert_eq!(
+            result.registers[2], 0x300,
+            "the load sees the store's value"
+        );
     }
 
     #[test]
@@ -887,7 +932,10 @@ mod tests {
         // back, SEC-DED must still *detect* the resulting double error — it is
         // never allowed to pass silently.
         if faulty.unrecoverable_errors == 0 {
-            assert_eq!(faulty.registers, clean.registers, "SECDED absorbed every strike");
+            assert_eq!(
+                faulty.registers, clean.registers,
+                "SECDED absorbed every strike"
+            );
             assert_eq!(faulty.memory_checksum, clean.memory_checksum);
         } else {
             assert!(faulty.stats.mem.dl1.ecc.uncorrectable() > 0);

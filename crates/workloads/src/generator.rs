@@ -268,7 +268,10 @@ mod tests {
         let a = generate(&profile, &GeneratorConfig::smoke());
         let b = generate(&profile, &GeneratorConfig::smoke());
         assert_eq!(a.instructions(), b.instructions());
-        let other = generate(&profile_by_name("matrix").unwrap(), &GeneratorConfig::smoke());
+        let other = generate(
+            &profile_by_name("matrix").unwrap(),
+            &GeneratorConfig::smoke(),
+        );
         assert_ne!(a.instructions(), other.instructions());
         let reseeded = generate(
             &profile,

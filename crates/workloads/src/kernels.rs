@@ -125,7 +125,10 @@ pub fn matrix_multiply_expected(n: u32, a: &[u32], b: &[u32]) -> Vec<u32> {
 /// stored at [`OUTPUT_BASE`].
 #[must_use]
 pub fn fir_filter(coefficients: &[u32], samples: &[u32]) -> Program {
-    assert!(samples.len() >= coefficients.len(), "need at least one output");
+    assert!(
+        samples.len() >= coefficients.len(),
+        "need at least one output"
+    );
     let outputs = samples.len() - coefficients.len() + 1;
     let coeff_base = INPUT_BASE;
     let sample_base = INPUT_BASE + (coefficients.len() as u32) * 4;
@@ -171,10 +174,9 @@ pub fn fir_filter_expected(coefficients: &[u32], samples: &[u32]) -> Vec<u32> {
     let outputs = samples.len() - coefficients.len() + 1;
     (0..outputs)
         .map(|i| {
-            coefficients
-                .iter()
-                .enumerate()
-                .fold(0u32, |acc, (t, &c)| acc.wrapping_add(c.wrapping_mul(samples[i + t])))
+            coefficients.iter().enumerate().fold(0u32, |acc, (t, &c)| {
+                acc.wrapping_add(c.wrapping_mul(samples[i + t]))
+            })
         })
         .collect()
 }
@@ -183,7 +185,10 @@ pub fn fir_filter_expected(coefficients: &[u32], samples: &[u32]) -> Vec<u32> {
 /// query, load `table[query % entries]` and accumulate.
 #[must_use]
 pub fn table_lookup(table: &[u32], queries: &[u32]) -> Program {
-    assert!(table.len().is_power_of_two(), "table length must be a power of two");
+    assert!(
+        table.len().is_power_of_two(),
+        "table length must be a power of two"
+    );
     let query_base = INPUT_BASE + (table.len() as u32) * 4;
     let mut b = ProgramBuilder::new("table_lookup");
     b.data_block(INPUT_BASE, table);
@@ -352,7 +357,11 @@ mod tests {
             cache_buster(64),
         ];
         for program in &programs {
-            assert!(program.instructions().last().unwrap().is_halt(), "{}", program.name());
+            assert!(
+                program.instructions().last().unwrap().is_halt(),
+                "{}",
+                program.name()
+            );
             let (loads, stores, branches, total) = program.static_mix();
             assert!(total > 10, "{}", program.name());
             assert!(loads + stores > 0, "{}", program.name());
@@ -368,7 +377,10 @@ mod tests {
             vec![19, 22, 43, 50]
         );
         assert_eq!(fir_filter_expected(&[1, 1], &[1, 2, 3]), vec![3, 5]);
-        assert_eq!(table_lookup_expected(&[10, 20, 30, 40], &[1, 5, 2]), 20 + 20 + 30);
+        assert_eq!(
+            table_lookup_expected(&[10, 20, 30, 40], &[1, 5, 2]),
+            20 + 20 + 30
+        );
         assert_eq!(bit_count_expected(&[0b1011, 0b1]), 4);
         assert_eq!(cache_buster_expected(4), 10);
         // Pointer chase visits node 0 first, then strides through the ring.

@@ -35,4 +35,4 @@ pub mod suite;
 
 pub use generator::{generate, GeneratorConfig, HIT_REGION_BASE, MISS_REGION_BASE};
 pub use profile::{average_profile, eembc_profiles, profile_by_name, WorkloadProfile};
-pub use suite::{eembc_suite, eembc_workload, kernel_suite, Workload};
+pub use suite::{eembc_suite, eembc_workload, kernel_suite, Workload, KERNEL_NAMES};

@@ -110,7 +110,10 @@ pub fn average_profile(profiles: &[WorkloadProfile]) -> WorkloadProfile {
         name: "average",
         load_fraction: profiles.iter().map(|p| p.load_fraction).sum::<f64>() / n,
         dl1_hit_rate: profiles.iter().map(|p| p.dl1_hit_rate).sum::<f64>() / n,
-        dependent_load_fraction: profiles.iter().map(|p| p.dependent_load_fraction).sum::<f64>()
+        dependent_load_fraction: profiles
+            .iter()
+            .map(|p| p.dependent_load_fraction)
+            .sum::<f64>()
             / n,
         address_producer_fraction: profiles
             .iter()
@@ -140,19 +143,30 @@ mod tests {
     fn table2_averages_match_the_paper() {
         // Paper Table II "average" column: 89 % hits, 60 % dependent, 25 % loads.
         let average = average_profile(&eembc_profiles());
-        assert!((average.dl1_hit_rate - 0.89).abs() < 0.01, "{}", average.dl1_hit_rate);
+        assert!(
+            (average.dl1_hit_rate - 0.89).abs() < 0.01,
+            "{}",
+            average.dl1_hit_rate
+        );
         assert!(
             (average.dependent_load_fraction - 0.60).abs() < 0.015,
             "{}",
             average.dependent_load_fraction
         );
-        assert!((average.load_fraction - 0.25).abs() < 0.01, "{}", average.load_fraction);
+        assert!(
+            (average.load_fraction - 0.25).abs() < 0.01,
+            "{}",
+            average.load_fraction
+        );
     }
 
     #[test]
     fn cacheb_is_the_outlier() {
         let cacheb = profile_by_name("cacheb").unwrap();
-        assert!(cacheb.dependent_load_fraction < 0.2, "only 13 % dependent loads");
+        assert!(
+            cacheb.dependent_load_fraction < 0.2,
+            "only 13 % dependent loads"
+        );
         assert!(cacheb.dl1_hit_rate < 0.8, "worst hit rate of the suite");
         assert!(profile_by_name("nonexistent").is_none());
     }

@@ -44,6 +44,18 @@ pub fn eembc_suite(config: &GeneratorConfig) -> Vec<Workload> {
         .collect()
 }
 
+/// The kernel names, in [`kernel_suite`] order (kept in sync by a test) —
+/// for callers that need the names without assembling any programs.
+pub const KERNEL_NAMES: [&str; 7] = [
+    "vector_sum",
+    "matrix_multiply",
+    "fir_filter",
+    "table_lookup",
+    "pointer_chase",
+    "bit_count",
+    "cache_buster",
+];
+
 /// The hand-written kernels (real algorithms with checkable results).
 #[must_use]
 pub fn kernel_suite() -> Vec<Workload> {
@@ -52,21 +64,31 @@ pub fn kernel_suite() -> Vec<Workload> {
     vec![
         Workload::from_kernel(kernels::vector_sum(&(0..512).collect::<Vec<u32>>())),
         Workload::from_kernel(kernels::matrix_multiply(8, &a, &b)),
-        Workload::from_kernel(kernels::fir_filter(&[3, 1, 4, 1, 5, 9, 2, 6], &(0..200).collect::<Vec<u32>>())),
+        Workload::from_kernel(kernels::fir_filter(
+            &[3, 1, 4, 1, 5, 9, 2, 6],
+            &(0..200).collect::<Vec<u32>>(),
+        )),
         Workload::from_kernel(kernels::table_lookup(
             &(0..256).map(|i| i * 17).collect::<Vec<u32>>(),
             &(0..300).map(|i| i * 13 + 7).collect::<Vec<u32>>(),
         )),
         Workload::from_kernel(kernels::pointer_chase(128, 512)),
-        Workload::from_kernel(kernels::bit_count(&(0..128).map(|i| i * 0x0101_0101).collect::<Vec<u32>>())),
+        Workload::from_kernel(kernels::bit_count(
+            &(0..128).map(|i| i * 0x0101_0101).collect::<Vec<u32>>(),
+        )),
         Workload::from_kernel(kernels::cache_buster(1024)),
     ]
 }
 
-/// Finds one workload of the EEMBC-like suite by name.
+/// Finds one workload of the EEMBC-like suite by name, generating only that
+/// workload's program (not the whole 16-entry suite).
 #[must_use]
 pub fn eembc_workload(name: &str, config: &GeneratorConfig) -> Option<Workload> {
-    eembc_suite(config).into_iter().find(|w| w.name == name)
+    crate::profile::profile_by_name(name).map(|profile| Workload {
+        name: profile.name.to_string(),
+        program: generate(&profile, config),
+        profile: Some(profile),
+    })
 }
 
 #[cfg(test)]
@@ -95,7 +117,23 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         let config = GeneratorConfig::smoke();
-        assert!(eembc_workload("matrix", &config).is_some());
         assert!(eembc_workload("bogus", &config).is_none());
+        // The single-workload path must produce the same program as the
+        // full-suite path (same profile, same seed derivation).
+        let single = eembc_workload("matrix", &config).unwrap();
+        let from_suite = eembc_suite(&config)
+            .into_iter()
+            .find(|w| w.name == "matrix")
+            .unwrap();
+        assert_eq!(
+            single.program.instructions(),
+            from_suite.program.instructions()
+        );
+    }
+
+    #[test]
+    fn kernel_names_match_the_suite() {
+        let names: Vec<String> = kernel_suite().into_iter().map(|w| w.name).collect();
+        assert_eq!(names, KERNEL_NAMES.map(str::to_string).to_vec());
     }
 }

@@ -46,10 +46,34 @@ fn main() {
         halt
     "#;
 
-    trace("Figure 2: no-ECC baseline, dependent consumer", EccScheme::NoEcc, dependent);
-    trace("Figure 3: Extra Cycle, dependent consumer", EccScheme::ExtraCycle, dependent);
-    trace("Figure 4: Extra Stage, dependent consumer", EccScheme::ExtraStage, dependent);
-    trace("Figure 5: Extra Stage, no dependency", EccScheme::ExtraStage, independent);
-    trace("Figure 7a: LAEC, look-ahead performed", EccScheme::Laec, dependent);
-    trace("Figure 7b: LAEC, blocked by the address producer", EccScheme::Laec, producer_before);
+    trace(
+        "Figure 2: no-ECC baseline, dependent consumer",
+        EccScheme::NoEcc,
+        dependent,
+    );
+    trace(
+        "Figure 3: Extra Cycle, dependent consumer",
+        EccScheme::ExtraCycle,
+        dependent,
+    );
+    trace(
+        "Figure 4: Extra Stage, dependent consumer",
+        EccScheme::ExtraStage,
+        dependent,
+    );
+    trace(
+        "Figure 5: Extra Stage, no dependency",
+        EccScheme::ExtraStage,
+        independent,
+    );
+    trace(
+        "Figure 7a: LAEC, look-ahead performed",
+        EccScheme::Laec,
+        dependent,
+    );
+    trace(
+        "Figure 7b: LAEC, blocked by the address producer",
+        EccScheme::Laec,
+        producer_before,
+    );
 }

@@ -30,17 +30,23 @@ fn main() {
 
     println!("matrix multiply under injection:");
     println!("  faults injected      : {}", faulty.stats.faults_injected);
-    println!("  corrected by SECDED  : {}", faulty.stats.mem.dl1.ecc.corrected());
+    println!(
+        "  corrected by SECDED  : {}",
+        faulty.stats.mem.dl1.ecc.corrected()
+    );
     println!("  unrecoverable        : {}", faulty.unrecoverable_errors);
     println!(
         "  product intact       : {}",
         faulty.memory_checksum == clean.memory_checksum
     );
-    println!("  C[0][0] expected {} (clean run reproduces the reference: {})",
+    println!(
+        "  C[0][0] expected {} (clean run reproduces the reference: {})",
         expected[0],
-        clean.memory_checksum == Simulator::run(
-            kernels::matrix_multiply(n, &a, &b),
-            PipelineConfig::no_ecc()
-        ).memory_checksum
+        clean.memory_checksum
+            == Simulator::run(
+                kernels::matrix_multiply(n, &a, &b),
+                PipelineConfig::no_ecc()
+            )
+            .memory_checksum
     );
 }

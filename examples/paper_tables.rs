@@ -14,7 +14,10 @@ fn main() {
     let shape = GeneratorConfig::evaluation();
     println!("{}", render_table1());
     println!("{}", render_table2(&characterization(&shape)));
-    println!("{}", render_energy(&energy_overheads(&shape, &EnergyModel::default_65nm())));
+    println!(
+        "{}",
+        render_energy(&energy_overheads(&shape, &EnergyModel::default_65nm()))
+    );
     println!("{}", render_hazard_breakdown(&hazard_breakdown(&shape)));
     println!("{}", render_wt_vs_wb(&wt_vs_wb()));
 }

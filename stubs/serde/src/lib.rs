@@ -1,0 +1,296 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal serialization framework under the `serde`
+//! name: a [`Serialize`] trait driving a streaming JSON writer
+//! ([`Serializer`]), plus derive macros for structs with named fields and
+//! fieldless enums.  The sibling `serde_json` stub exposes
+//! `to_string`/`to_string_pretty` on top of it.
+//!
+//! [`Deserialize`] is a marker trait only: nothing in this workspace parses
+//! JSON back, and keeping the derive accepted lets the experiment structs
+//! stay source-compatible with upstream serde.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can be written to the JSON [`Serializer`].
+pub trait Serialize {
+    /// Writes `self` as one JSON value.
+    fn serialize(&self, serializer: &mut Serializer);
+}
+
+/// Marker for types whose upstream-serde derive requested `Deserialize`.
+///
+/// No decoding support is provided (or needed) in this offline subset.
+pub trait Deserialize: Sized {}
+
+/// A streaming JSON writer with optional pretty-printing.
+#[derive(Debug)]
+pub struct Serializer {
+    out: String,
+    /// One entry per open container: `true` once the container has a child
+    /// (so the next child needs a `,` separator).
+    stack: Vec<bool>,
+    /// Set between an object key and its value so the value emits no comma.
+    after_key: bool,
+    pretty: bool,
+}
+
+impl Serializer {
+    /// A compact (single-line) serializer.
+    #[must_use]
+    pub fn compact() -> Self {
+        Serializer {
+            out: String::new(),
+            stack: Vec::new(),
+            after_key: false,
+            pretty: false,
+        }
+    }
+
+    /// A pretty-printing serializer (two-space indent).
+    #[must_use]
+    pub fn pretty() -> Self {
+        Serializer {
+            pretty: true,
+            ..Serializer::compact()
+        }
+    }
+
+    /// Consumes the serializer and returns the accumulated JSON text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Emits the separator/indentation owed before any new value.
+    fn prelude(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        let had_child = match self.stack.last_mut() {
+            Some(top) => std::mem::replace(top, true),
+            None => return,
+        };
+        if had_child {
+            self.out.push(',');
+        }
+        if self.pretty {
+            self.newline_indent();
+        }
+    }
+
+    fn close(&mut self, delimiter: char) {
+        let had_child = self.stack.pop().unwrap_or(false);
+        if self.pretty && had_child {
+            self.newline_indent();
+        }
+        self.out.push(delimiter);
+    }
+
+    /// Opens a JSON object.
+    pub fn begin_object(&mut self) {
+        self.prelude();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost JSON object.
+    pub fn end_object(&mut self) {
+        self.close('}');
+    }
+
+    /// Opens a JSON array.
+    pub fn begin_array(&mut self) {
+        self.prelude();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost JSON array.
+    pub fn end_array(&mut self) {
+        self.close(']');
+    }
+
+    /// Writes one `"key": value` object member.
+    pub fn field<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) {
+        self.prelude();
+        write_escaped(&mut self.out, key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        self.after_key = true;
+        value.serialize(self);
+    }
+
+    /// Writes one array element.
+    pub fn element<T: Serialize + ?Sized>(&mut self, value: &T) {
+        value.serialize(self);
+    }
+
+    /// Writes a raw literal token (already valid JSON).
+    fn literal(&mut self, text: &str) {
+        self.prelude();
+        self.out.push_str(text);
+    }
+
+    /// Writes a JSON string value.
+    pub fn write_str(&mut self, value: &str) {
+        self.prelude();
+        write_escaped(&mut self.out, value);
+    }
+}
+
+fn write_escaped(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, serializer: &mut Serializer) {
+                serializer.literal(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, serializer: &mut Serializer) {
+                if self.is_finite() {
+                    // Shortest round-trip formatting; deterministic for a
+                    // given bit pattern, which the campaign determinism
+                    // tests rely on.
+                    let mut text = self.to_string();
+                    if !text.contains('.') && !text.contains('e') {
+                        text.push_str(".0");
+                    }
+                    serializer.literal(&text);
+                } else {
+                    serializer.literal("null");
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_str(self);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        self.as_slice().serialize(serializer);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_array();
+        for element in self {
+            serializer.element(element);
+        }
+        serializer.end_array();
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, serializer: &mut Serializer) {
+        self.as_slice().serialize(serializer);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        match self {
+            Some(value) => value.serialize(serializer),
+            None => serializer.literal("null"),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, serializer: &mut Serializer) {
+        (**self).serialize(serializer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_arrays_and_escapes() {
+        let mut s = Serializer::compact();
+        vec![1u32, 2, 3].serialize(&mut s);
+        assert_eq!(s.finish(), "[1,2,3]");
+
+        let mut s = Serializer::compact();
+        "a\"b\nc".serialize(&mut s);
+        assert_eq!(s.finish(), "\"a\\\"b\\nc\"");
+
+        let mut s = Serializer::compact();
+        1.5f64.serialize(&mut s);
+        assert_eq!(s.finish(), "1.5");
+
+        let mut s = Serializer::compact();
+        2.0f64.serialize(&mut s);
+        assert_eq!(s.finish(), "2.0");
+    }
+
+    #[test]
+    fn objects_nest_and_separate() {
+        let mut s = Serializer::compact();
+        s.begin_object();
+        s.field("a", &1u32);
+        s.field("b", &vec![true, false]);
+        s.end_object();
+        assert_eq!(s.finish(), "{\"a\":1,\"b\":[true,false]}");
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let mut s = Serializer::pretty();
+        s.begin_object();
+        s.field("a", &1u32);
+        s.end_object();
+        assert_eq!(s.finish(), "{\n  \"a\": 1\n}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline).  Supports the two shapes this workspace
+//! uses: non-generic structs with named fields, and fieldless enums
+//! (serialized as the variant name).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (JSON object of the named fields, or variant
+/// name for a fieldless enum).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match item.shape {
+        Shape::Struct(fields) => {
+            let mut lines = String::from("serializer.begin_object();\n");
+            for field in fields {
+                lines.push_str(&format!("serializer.field(\"{field}\", &self.{field});\n"));
+            }
+            lines.push_str("serializer.end_object();");
+            lines
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in &variants {
+                arms.push_str(&format!("{0}::{1} => \"{1}\",\n", item.name, variant));
+            }
+            format!("let name = match self {{ {arms} }};\nserializer.write_str(name);")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn serialize(&self, serializer: &mut ::serde::Serializer) {{\n{body}\n}}\n}}",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives the marker trait `serde::Deserialize` (decoding is not supported
+/// in the offline subset; the derive keeps upstream-serde source compatible).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+enum Shape {
+    /// Named field idents, in declaration order.
+    Struct(Vec<String>),
+    /// Fieldless variant idents, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility; find `struct`/`enum` + name.
+    let (name, is_enum) = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group that follows.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(ident)) => {
+                let text = ident.to_string();
+                match text.as_str() {
+                    "pub" => {
+                        // Consume a `(crate)`-style restriction if present.
+                        if matches!(
+                            tokens.peek(),
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                        ) {
+                            tokens.next();
+                        }
+                    }
+                    "struct" | "enum" => match tokens.next() {
+                        Some(TokenTree::Ident(name)) => break (name.to_string(), text == "enum"),
+                        other => panic!("expected item name after `{text}`, found {other:?}"),
+                    },
+                    other => panic!("unsupported token before item keyword: `{other}`"),
+                }
+            }
+            other => panic!("unsupported derive input shape: {other:?}"),
+        }
+    };
+
+    // Find the brace-delimited body; generics are unsupported.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("the offline serde_derive stub does not support generic items")
+            }
+            Some(_) => continue,
+            None => panic!("expected a braced item body"),
+        }
+    };
+
+    let shape = if is_enum {
+        Shape::Enum(parse_enum_variants(body))
+    } else {
+        Shape::Struct(parse_struct_fields(body))
+    };
+    Item { name, shape }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        let field = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    if matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        tokens.next();
+                    }
+                }
+                Some(TokenTree::Ident(ident)) => break ident.to_string(),
+                Some(other) => panic!("unsupported token in struct body: `{other}`"),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        fields.push(field);
+        // Consume the type, honouring angle-bracket nesting so commas inside
+        // e.g. `HashMap<K, V>` do not end the field early.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+fn parse_enum_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            Some(TokenTree::Ident(ident)) => {
+                if matches!(tokens.peek(), Some(TokenTree::Group(_))) {
+                    panic!(
+                        "the offline serde_derive stub only supports fieldless enum variants \
+                         (variant `{ident}` has fields)"
+                    );
+                }
+                variants.push(ident.to_string());
+                // Skip an optional `= discriminant` and the trailing comma.
+                loop {
+                    match tokens.next() {
+                        None => return variants,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => {}
+                    }
+                }
+            }
+            Some(other) => panic!("unsupported token in enum body: `{other}`"),
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Offline stand-in for `serde_json`: serialization only.
+//!
+//! Backed by the streaming JSON writer in the vendored `serde` subset.
+//! Parsing (`from_str`) is intentionally absent — nothing in this workspace
+//! decodes JSON, and the offline `serde::Deserialize` is a marker trait.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Serializer};
+
+/// Serialization error.
+///
+/// The offline writer is infallible (it writes to a `String`), so this type
+/// exists only to keep call sites source-compatible with upstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in the offline subset; the `Result` mirrors upstream.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut serializer = Serializer::compact();
+    value.serialize(&mut serializer);
+    Ok(serializer.finish())
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails in the offline subset; the `Result` mirrors upstream.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut serializer = Serializer::pretty();
+    value.serialize(&mut serializer);
+    Ok(serializer.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Sample {
+        name: String,
+        values: Vec<f64>,
+        flag: bool,
+        count: Option<u64>,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq, Eq)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    #[test]
+    fn derived_struct_round_trips_to_expected_text() {
+        let sample = Sample {
+            name: "laec".to_string(),
+            values: vec![1.0, 2.5],
+            flag: true,
+            count: None,
+        };
+        assert_eq!(
+            super::to_string(&sample).unwrap(),
+            "{\"name\":\"laec\",\"values\":[1.0,2.5],\"flag\":true,\"count\":null}"
+        );
+    }
+
+    #[test]
+    fn derived_enum_serializes_as_variant_name() {
+        assert_eq!(super::to_string(&Kind::Alpha).unwrap(), "\"Alpha\"");
+        assert_eq!(super::to_string(&Kind::Beta).unwrap(), "\"Beta\"");
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let sample = Sample {
+            name: "x".to_string(),
+            values: vec![],
+            flag: false,
+            count: Some(3),
+        };
+        let pretty = super::to_string_pretty(&sample).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"x\""), "{pretty}");
+    }
+}

@@ -114,7 +114,11 @@ fn laec_never_loses_to_extra_stage_on_any_kernel() {
         let no_ecc = comparison.no_ecc.stats.cycles;
         let laec = comparison.laec.stats.cycles;
         let extra_stage = comparison.extra_stage.stats.cycles;
-        assert!(no_ecc <= laec, "{}: ideal {no_ecc} vs LAEC {laec}", workload.name);
+        assert!(
+            no_ecc <= laec,
+            "{}: ideal {no_ecc} vs LAEC {laec}",
+            workload.name
+        );
         assert!(
             laec <= extra_stage,
             "{}: LAEC {laec} must not exceed Extra-Stage {extra_stage}",

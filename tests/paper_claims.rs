@@ -43,7 +43,12 @@ fn table2_averages_are_reproduced() {
         table.average.hit_loads_pct
     );
     for row in &table.rows {
-        assert!(row.loads_pct > 14.0 && row.loads_pct < 36.0, "{}: {}", row.name, row.loads_pct);
+        assert!(
+            row.loads_pct > 14.0 && row.loads_pct < 36.0,
+            "{}: {}",
+            row.name,
+            row.loads_pct
+        );
     }
 }
 
@@ -66,9 +71,18 @@ fn figure8_shape_is_reproduced() {
     let extra_stage = figure.average_increase_pct(EccScheme::ExtraStage);
     let laec = figure.average_increase_pct(EccScheme::Laec);
     assert!(extra_cycle > extra_stage && extra_stage > laec);
-    assert!((8.0..=26.0).contains(&extra_cycle), "Extra-Cycle {extra_cycle:.1}%");
-    assert!((5.0..=18.0).contains(&extra_stage), "Extra-Stage {extra_stage:.1}%");
-    assert!(laec < 6.5, "LAEC {laec:.1}% should stay close to the ideal design");
+    assert!(
+        (8.0..=26.0).contains(&extra_cycle),
+        "Extra-Cycle {extra_cycle:.1}%"
+    );
+    assert!(
+        (5.0..=18.0).contains(&extra_stage),
+        "Extra-Stage {extra_stage:.1}%"
+    );
+    assert!(
+        laec < 6.5,
+        "LAEC {laec:.1}% should stay close to the ideal design"
+    );
 
     // §IV.A: LAEC improves on Extra-Stage and Extra-Cycle by a meaningful
     // margin on average (paper: ~6 and ~13 percentage points).
@@ -89,7 +103,11 @@ fn figure8_shape_is_reproduced() {
     // ... while the six low-hazard benchmarks stay near the ideal design.
     for name in ["basefp", "cacheb", "canrdr", "puwmod", "rspeed", "ttsprk"] {
         let row = figure.rows.iter().find(|r| r.name == name).unwrap();
-        assert!(row.laec < 1.035, "{name}: LAEC {:.3} should be below ~3.5 %", row.laec);
+        assert!(
+            row.laec < 1.035,
+            "{name}: LAEC {:.3} should be below ~3.5 %",
+            row.laec
+        );
     }
 }
 
