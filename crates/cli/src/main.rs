@@ -8,26 +8,37 @@
 //! * `figure8`  — the Figure 8 execution-time sweep plus the §IV.A summary
 //!   claims,
 //! * `campaign` — a parallel workload × scheme × platform × fault grid (see
-//!   `laec_core::campaign`),
-//! * `faults`   — the §I–II single-bit-upset safety campaign.
+//!   `laec_core::campaign`), optionally trace-backed (`--trace-backed`,
+//!   `--trace-cache DIR`) for order-of-magnitude faster fault sweeps,
+//! * `faults`   — the §I–II upset safety campaign (single-bit or
+//!   adjacent-bit MBU patterns via `--pattern`),
+//! * `trace`    — record, replay and inspect access-stream traces
+//!   (`trace record|replay|info`, see `laec_trace`).
 //!
 //! Every subcommand accepts `--json` (machine-readable output), `--seed N`
 //! and `--smoke` (small workload shape for quick runs); `campaign` also
 //! accepts `--threads N` and the grid-axis flags documented in `--help`.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use laec_core::campaign::{
-    render_campaign, run_campaign, scheme_from_label, CampaignSpec, PlatformVariant, WorkloadSet,
+    render_campaign, run_campaign, scheme_from_label, scheme_label, CampaignSpec, PlatformVariant,
+    WorkloadSet,
 };
 use laec_core::experiment::{
-    characterization, fault_campaign, figure8, hazard_breakdown, wt_vs_wb,
+    characterization, fault_campaign_with_pattern, figure8, hazard_breakdown, wt_vs_wb,
+};
+use laec_core::trace_backed::{
+    record_cell, replay_cell, run_campaign_trace_backed, trace_file_name,
 };
 use laec_core::{
     render_fault_campaign, render_figure8, render_hazard_breakdown, render_table1, render_table2,
     render_wt_vs_wb, table1_commercial_processors,
 };
+use laec_mem::{FaultCampaignConfig, FaultPattern};
 use laec_pipeline::EccScheme;
+use laec_trace::{Trace, TraceDetail, TraceEvent};
 use laec_workloads::GeneratorConfig;
 
 const USAGE: &str = "\
@@ -40,7 +51,8 @@ SUBCOMMANDS:
     tables      Table I and the Table II workload characterisation
     figure8     Figure 8: execution-time increase per DL1 ECC scheme
     campaign    Parallel workload x scheme x platform x fault grid
-    faults      Single-bit-upset campaign over the three DL1 designs
+    faults      Soft-error campaign over the three DL1 designs
+    trace       record | replay | info: access-stream trace tooling
     help        Print this message
 
 COMMON FLAGS:
@@ -67,9 +79,33 @@ campaign FLAGS:
                       (default: none, fault-free grid only)
     --fault-interval <N>
                       Mean cycles between injected upsets (default 5000)
+    --trace-backed    Record each cell's fault-free run once and replay it
+                      per fault seed (byte-identical report, much faster)
+    --trace-cache <DIR>
+                      Persist/reuse recordings under DIR (implies
+                      --trace-backed)
 
 faults FLAGS:
     --interval <N>    Mean cycles between injected upsets (default 40)
+    --pattern <P>     Strike shape: single (default), mbu2, mbu4
+                      (adjacent-bit multi-bit-upset clusters)
+
+trace SUBCOMMANDS (laec-cli trace <record|replay|info> [FLAGS]):
+    record            Run one fault-free cell under a recorder
+        --workloads <name>  Workload to record (required, exactly one)
+        --schemes <label>   Scheme (default laec)
+        --platforms <label> Platform (default wb)
+        --out <FILE>        Output path (default: canonical cache name)
+        --detailed          Also record fetch/stall/fill/writeback events
+    replay            Re-execute a recording against the memory hierarchy
+        --input <FILE>      Trace to replay (required)
+        --fault-seed <N>    Inject under raw injector seed N
+        --interval <N>      Injection interval for --fault-seed (default 5000)
+    info              Decode and summarise a trace file
+        --input <FILE>      Trace to inspect (required)
+
+    record/replay print the resulting campaign cell; a fault-free replay is
+    byte-identical to the recording's cell (the determinism check CI runs).
 ";
 
 fn main() -> ExitCode {
@@ -89,6 +125,18 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     };
+    if subcommand == "trace" {
+        let Some(action) = args.get(1) else {
+            return Err("`trace` needs an action: record, replay or info".to_string());
+        };
+        let flags = Flags::parse(&args[2..])?;
+        return match action.as_str() {
+            "record" => cmd_trace_record(&flags),
+            "replay" => cmd_trace_replay(&flags),
+            "info" => cmd_trace_info(&flags),
+            other => Err(format!("unknown trace action `{other}`")),
+        };
+    }
     let flags = Flags::parse(&args[1..])?;
     match subcommand.as_str() {
         "tables" => cmd_tables(&flags),
@@ -117,6 +165,13 @@ struct Flags {
     schemes: Option<Vec<EccScheme>>,
     platforms: Option<Vec<PlatformVariant>>,
     fault_seeds: Vec<u64>,
+    pattern: FaultPattern,
+    trace_backed: bool,
+    trace_cache: Option<PathBuf>,
+    input: Option<PathBuf>,
+    out: Option<PathBuf>,
+    detailed: bool,
+    fault_seed: Option<u64>,
 }
 
 impl Flags {
@@ -132,6 +187,13 @@ impl Flags {
             schemes: None,
             platforms: None,
             fault_seeds: Vec::new(),
+            pattern: FaultPattern::SingleBit,
+            trace_backed: false,
+            trace_cache: None,
+            input: None,
+            out: None,
+            detailed: false,
+            fault_seed: None,
         };
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
@@ -180,6 +242,20 @@ impl Flags {
                         flags.fault_seeds.push(parse_u64(seed)?);
                     }
                 }
+                "--pattern" => {
+                    let label = value("--pattern")?;
+                    flags.pattern = FaultPattern::from_label(label)
+                        .ok_or_else(|| format!("unknown fault pattern `{label}`"))?;
+                }
+                "--trace-backed" => flags.trace_backed = true,
+                "--trace-cache" => {
+                    flags.trace_cache = Some(PathBuf::from(value("--trace-cache")?));
+                    flags.trace_backed = true;
+                }
+                "--input" | "--in" => flags.input = Some(PathBuf::from(value(flag)?)),
+                "--out" => flags.out = Some(PathBuf::from(value("--out")?)),
+                "--detailed" => flags.detailed = true,
+                "--fault-seed" => flags.fault_seed = Some(parse_u64(value("--fault-seed")?)?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -307,7 +383,13 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
         }
     }
 
-    let report = run_campaign(&spec, flags.threads);
+    let report = if flags.trace_backed {
+        let traced = run_campaign_trace_backed(&spec, flags.threads, flags.trace_cache.as_deref());
+        eprintln!("{}", traced.stats);
+        traced.report
+    } else {
+        run_campaign(&spec, flags.threads)
+    };
     if flags.json {
         println!("{}", report.to_json());
     } else {
@@ -321,7 +403,7 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_faults(flags: &Flags) -> Result<(), String> {
-    let rows = fault_campaign(flags.interval.unwrap_or(40), flags.seed);
+    let rows = fault_campaign_with_pattern(flags.interval.unwrap_or(40), flags.seed, flags.pattern);
     if flags.json {
         println!(
             "{}",
@@ -329,6 +411,233 @@ fn cmd_faults(flags: &Flags) -> Result<(), String> {
         );
     } else {
         println!("{}", render_fault_campaign(&rows));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// trace record | replay | info
+// ---------------------------------------------------------------------------
+
+/// The (spec, workload, scheme, platform) a trace subcommand operates on.
+/// `trace replay`/`info` take the labels from the trace header; `record`
+/// takes them from the flags.
+fn trace_cell_spec(
+    flags: &Flags,
+    workload_name: &str,
+) -> Result<(CampaignSpec, laec_workloads::Workload), String> {
+    let mut spec = if flags.smoke {
+        CampaignSpec::smoke()
+    } else {
+        CampaignSpec::paper_grid()
+    };
+    spec.seed = flags.seed;
+    spec.generator = flags.generator();
+    spec.workloads = WorkloadSet::Named(vec![workload_name.to_string()]);
+    if !CampaignSpec::available_workload_names().contains(&workload_name.to_string()) {
+        return Err(format!("unknown workload `{workload_name}`"));
+    }
+    let workload = spec
+        .materialize_workloads()
+        .into_iter()
+        .next()
+        .expect("one workload requested");
+    Ok((spec, workload))
+}
+
+fn print_cell(flags: &Flags, cell: &laec_core::CampaignCell) -> Result<(), String> {
+    if flags.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(cell).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "{} / {} / {}: {} cycles, {} instructions (CPI {:.4}), \
+             {:.1}% load hits, {} bus transactions",
+            cell.workload,
+            cell.scheme,
+            cell.platform,
+            cell.cycles,
+            cell.instructions,
+            cell.cpi,
+            100.0 * cell.load_hit_rate,
+            cell.bus_transactions,
+        );
+        if cell.fault_seed.is_some() || cell.faults_injected > 0 {
+            println!(
+                "faults: {} injected, {} corrected, {} detected-uncorrectable, {} unrecoverable",
+                cell.faults_injected,
+                cell.faults_corrected,
+                cell.faults_detected_uncorrectable,
+                cell.unrecoverable_errors,
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace_record(flags: &Flags) -> Result<(), String> {
+    let names = flags
+        .workloads
+        .clone()
+        .ok_or("trace record needs --workloads <name>")?;
+    let [name] = names.as_slice() else {
+        return Err("trace record takes exactly one workload".to_string());
+    };
+    let scheme = match flags.schemes.as_deref() {
+        None => EccScheme::Laec,
+        Some([scheme]) => *scheme,
+        Some(_) => return Err("trace record takes exactly one scheme".to_string()),
+    };
+    let platform = match flags.platforms.as_deref() {
+        None => PlatformVariant::WriteBack,
+        Some([platform]) => *platform,
+        Some(_) => return Err("trace record takes exactly one platform".to_string()),
+    };
+    let (spec, workload) = trace_cell_spec(flags, name)?;
+    let detail = if flags.detailed {
+        TraceDetail::Full
+    } else {
+        TraceDetail::Replay
+    };
+    let (cell, trace) = record_cell(&spec, &workload, scheme, platform, detail);
+    let path = flags.out.clone().unwrap_or_else(|| {
+        PathBuf::from(trace_file_name(
+            &workload.name,
+            &scheme_label(scheme),
+            &platform.label(),
+            trace.header.context_fingerprint,
+        ))
+    });
+    let encoded = trace.encode();
+    std::fs::write(&path, &encoded).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!(
+        "recorded {} event(s) ({} bytes) to {}",
+        trace.header.event_count,
+        encoded.len(),
+        path.display()
+    );
+    print_cell(flags, &cell)
+}
+
+fn load_trace(flags: &Flags) -> Result<Trace, String> {
+    let path = flags.input.as_ref().ok_or("missing --input <FILE>")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Trace::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_trace_replay(flags: &Flags) -> Result<(), String> {
+    let trace = load_trace(flags)?;
+    let (spec, workload) = trace_cell_spec(flags, &trace.header.workload.clone())?;
+    let fault = flags
+        .fault_seed
+        .map(|seed| FaultCampaignConfig::single_bit(seed, flags.interval.unwrap_or(5_000)));
+    let cell = replay_cell(&spec, &trace, &workload, fault, flags.fault_seed).map_err(|e| {
+        format!(
+            "replay diverged from the recording ({e}); the faulted run \
+             perturbs values or timing — use full simulation for this cell"
+        )
+    })?;
+    print_cell(flags, &cell)
+}
+
+/// Decoded summary of a trace file (the `trace info` output).
+#[derive(serde::Serialize)]
+struct TraceInfo {
+    workload: String,
+    scheme: String,
+    platform: String,
+    version: u64,
+    detail: TraceDetail,
+    context_fingerprint: u64,
+    cycles: u64,
+    instructions: u64,
+    loads: u64,
+    load_hits: u64,
+    stores: u64,
+    lookahead_loads: u64,
+    event_count: u64,
+    event_bytes: u64,
+    commits: u64,
+    mem_reads: u64,
+    mem_writes: u64,
+    fetches: u64,
+    stalls: u64,
+    line_fills: u64,
+    writebacks: u64,
+}
+
+fn cmd_trace_info(flags: &Flags) -> Result<(), String> {
+    let trace = load_trace(flags)?;
+    let mut info = TraceInfo {
+        workload: trace.header.workload.clone(),
+        scheme: trace.header.scheme.clone(),
+        platform: trace.header.platform.clone(),
+        version: trace.header.version,
+        detail: trace.header.detail,
+        context_fingerprint: trace.header.context_fingerprint,
+        cycles: trace.header.summary.cycles,
+        instructions: trace.header.summary.instructions,
+        loads: trace.header.summary.loads,
+        load_hits: trace.header.summary.load_hits,
+        stores: trace.header.summary.stores,
+        lookahead_loads: trace.header.summary.lookahead_loads,
+        event_count: trace.header.event_count,
+        event_bytes: trace.event_bytes_len() as u64,
+        commits: 0,
+        mem_reads: 0,
+        mem_writes: 0,
+        fetches: 0,
+        stalls: 0,
+        line_fills: 0,
+        writebacks: 0,
+    };
+    for event in trace.events() {
+        match event.map_err(|e| e.to_string())? {
+            TraceEvent::Commit { count } => info.commits += count,
+            TraceEvent::MemRead { .. } => info.mem_reads += 1,
+            TraceEvent::MemWrite { .. } => info.mem_writes += 1,
+            TraceEvent::Fetch { .. } => info.fetches += 1,
+            TraceEvent::Stall { .. } => info.stalls += 1,
+            TraceEvent::LineFill { .. } => info.line_fills += 1,
+            TraceEvent::Writeback { .. } => info.writebacks += 1,
+        }
+    }
+    if flags.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&info).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "{} / {} / {} (format v{}, {:?} detail, fingerprint {:#018x})",
+            info.workload,
+            info.scheme,
+            info.platform,
+            info.version,
+            info.detail,
+            info.context_fingerprint,
+        );
+        println!(
+            "recorded run: {} cycles, {} instructions, {} loads ({} hits), {} stores",
+            info.cycles, info.instructions, info.loads, info.load_hits, info.stores,
+        );
+        println!(
+            "{} event(s) in {} bytes ({:.2} bytes/instruction): \
+             {} commits, {} reads, {} writes, {} fetches, {} stalls, \
+             {} line fills, {} writebacks",
+            info.event_count,
+            info.event_bytes,
+            info.event_bytes as f64 / info.instructions.max(1) as f64,
+            info.commits,
+            info.mem_reads,
+            info.mem_writes,
+            info.fetches,
+            info.stalls,
+            info.line_fills,
+            info.writebacks,
+        );
     }
     Ok(())
 }

@@ -96,7 +96,9 @@ impl PlatformVariant {
         }
     }
 
-    fn apply(self, mut config: PipelineConfig) -> PipelineConfig {
+    /// Applies this platform's overrides to a scheme-derived configuration.
+    #[must_use]
+    pub fn apply_config(self, mut config: PipelineConfig) -> PipelineConfig {
         match self {
             PlatformVariant::WriteBack => {}
             PlatformVariant::WriteThrough => {
@@ -373,12 +375,12 @@ impl CampaignReport {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, Copy)]
-struct Job {
-    workload: usize,
-    scheme: usize,
-    platform: usize,
+pub(crate) struct Job {
+    pub(crate) workload: usize,
+    pub(crate) scheme: usize,
+    pub(crate) platform: usize,
     /// Index into `spec.fault_seeds`; `None` is the fault-free run.
-    fault: Option<usize>,
+    pub(crate) fault: Option<usize>,
 }
 
 /// SplitMix64 finaliser, used to decorrelate per-job injection seeds.
@@ -389,7 +391,7 @@ fn mix64(mut value: u64) -> u64 {
     value ^ (value >> 31)
 }
 
-fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     bytes
         .into_iter()
         .fold(0xcbf2_9ce4_8422_2325u64, |hash, byte| {
@@ -397,13 +399,13 @@ fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
         })
 }
 
-fn registers_fingerprint(registers: &[u32]) -> u64 {
+pub(crate) fn registers_fingerprint(registers: &[u32]) -> u64 {
     fnv1a(registers.iter().flat_map(|r| r.to_le_bytes()))
 }
 
 /// The seed a faulty job injects under: a pure function of the spec seed,
 /// the grid-axis fault seed and the job's coordinates — never of scheduling.
-fn job_injection_seed(spec: &CampaignSpec, job: Job, axis_seed: u64) -> u64 {
+pub(crate) fn job_injection_seed(spec: &CampaignSpec, job: Job, axis_seed: u64) -> u64 {
     mix64(
         spec.seed
             ^ axis_seed.rotate_left(17)
@@ -459,33 +461,54 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignReport {
         }
     }
 
-    // Work-stealing-free worker pool: one shared cursor, one slot per job.
+    let cells = run_pool(jobs.len(), threads, |index| {
+        run_job(spec, &workloads, jobs[index])
+    });
+    assemble_report(spec, &workloads, cells)
+}
+
+/// Executes `count` jobs on a scoped worker pool (one shared cursor, one
+/// pre-allocated slot per job), preserving index order in the result.
+pub(crate) fn run_pool<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<CampaignCell>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len()).max(1) {
+        for _ in 0..threads.min(count).max(1) {
             scope.spawn(|| loop {
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(index).copied() else {
+                if index >= count {
                     break;
-                };
-                let cell = run_job(spec, &workloads, job);
-                *slots[index].lock().expect("unpoisoned slot") = Some(cell);
+                }
+                let result = job(index);
+                *slots[index].lock().expect("unpoisoned slot") = Some(result);
             });
         }
     });
-    let mut cells: Vec<CampaignCell> = slots
+    slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("unpoisoned slot")
                 .expect("job ran")
         })
-        .collect();
+        .collect()
+}
 
+/// Derives the slowdown matrix and equivalence checks from grid-ordered
+/// cells and packages the report (shared by the full-simulation and the
+/// trace-backed campaign paths, which must serialize identically).
+pub(crate) fn assemble_report(
+    spec: &CampaignSpec,
+    workloads: &[Workload],
+    mut cells: Vec<CampaignCell>,
+) -> CampaignReport {
     fill_slowdowns(spec, &mut cells);
-    let slowdowns = slowdown_matrix(spec, &workloads, &cells);
-    let equivalence = equivalence_checks(spec, &workloads, &cells);
+    let slowdowns = slowdown_matrix(spec, workloads, &cells);
+    let equivalence = equivalence_checks(spec, workloads, &cells);
 
     CampaignReport {
         seed: spec.seed,
@@ -500,22 +523,32 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignReport {
     }
 }
 
-fn run_job(spec: &CampaignSpec, workloads: &[Workload], job: Job) -> CampaignCell {
-    let workload = &workloads[job.workload];
+/// The pipeline configuration one job runs under, including its derived
+/// fault-campaign configuration (if on the fault axis).
+pub(crate) fn job_config(spec: &CampaignSpec, job: Job) -> PipelineConfig {
     let scheme = spec.schemes[job.scheme];
     let platform = spec.platforms[job.platform];
-
-    let mut config = platform.apply(PipelineConfig::for_scheme(scheme));
-    let fault_seed = job.fault.map(|index| spec.fault_seeds[index]);
-    if let Some(axis_seed) = fault_seed {
+    let mut config = platform.apply_config(PipelineConfig::for_scheme(scheme));
+    if let Some(index) = job.fault {
+        let axis_seed = spec.fault_seeds[index];
         let injection_seed = job_injection_seed(spec, job, axis_seed);
         config = config.with_fault_campaign(FaultCampaignConfig::single_bit(
             injection_seed,
             spec.fault_interval,
         ));
     }
+    config
+}
 
-    let result = run_with_config(workload, config);
+/// Builds a grid cell from a finished simulation (shared by the full-sim
+/// path and the trace recorder so the two can never drift apart).
+pub(crate) fn cell_from_result(
+    workload: &Workload,
+    scheme: EccScheme,
+    platform: PlatformVariant,
+    fault_seed: Option<u64>,
+    result: &laec_pipeline::SimResult,
+) -> CampaignCell {
     CampaignCell {
         workload: workload.name.clone(),
         scheme: scheme_label(scheme),
@@ -535,6 +568,20 @@ fn run_job(spec: &CampaignSpec, workloads: &[Workload], job: Job) -> CampaignCel
         memory_checksum: result.memory_checksum,
         slowdown: None, // filled once every cell (incl. the baseline) exists
     }
+}
+
+pub(crate) fn run_job(spec: &CampaignSpec, workloads: &[Workload], job: Job) -> CampaignCell {
+    let workload = &workloads[job.workload];
+    let config = job_config(spec, job);
+    let fault_seed = job.fault.map(|index| spec.fault_seeds[index]);
+    let result = run_with_config(workload, config);
+    cell_from_result(
+        workload,
+        spec.schemes[job.scheme],
+        spec.platforms[job.platform],
+        fault_seed,
+        &result,
+    )
 }
 
 fn fill_slowdowns(spec: &CampaignSpec, cells: &mut [CampaignCell]) {

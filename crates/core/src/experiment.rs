@@ -330,6 +330,20 @@ pub struct FaultCampaignRow {
 /// baseline, demonstrating the safety argument of §I–II.
 #[must_use]
 pub fn fault_campaign(interval: u64, seed: u64) -> Vec<FaultCampaignRow> {
+    fault_campaign_with_pattern(interval, seed, laec_mem::FaultPattern::SingleBit)
+}
+
+/// Like [`fault_campaign`], but with a configurable strike pattern: the
+/// adjacent-bit MBU clusters (`mbu2`, `mbu4`) defeat SEC-DED correction —
+/// detection still holds for 2-bit clusters, while 4-bit clusters exceed
+/// the code's guarantees entirely (interleaving, `laec_ecc::interleave`,
+/// is the orthogonal mitigation).
+#[must_use]
+pub fn fault_campaign_with_pattern(
+    interval: u64,
+    seed: u64,
+    pattern: laec_mem::FaultPattern,
+) -> Vec<FaultCampaignRow> {
     use laec_mem::{FaultCampaignConfig, HierarchyConfig};
     use laec_pipeline::PipelineConfig;
 
@@ -337,7 +351,7 @@ pub fn fault_campaign(interval: u64, seed: u64) -> Vec<FaultCampaignRow> {
         .into_iter()
         .find(|w| w.name == "vector_sum")
         .expect("kernel suite contains vector_sum");
-    let campaign = FaultCampaignConfig::single_bit(seed, interval);
+    let campaign = FaultCampaignConfig::with_pattern(seed, interval, pattern);
 
     let mut rows = Vec::new();
     let reference = run_with_config(&workload, PipelineConfig::laec());
@@ -486,5 +500,28 @@ mod tests {
             unprotected.detected_uncorrectable, 0,
             "nothing is even detected"
         );
+    }
+
+    #[test]
+    fn adjacent_mbu_clusters_defeat_secded_correction_and_parity_detection() {
+        let rows = fault_campaign_with_pattern(5, 0x5EED, laec_mem::FaultPattern::Adjacent2);
+        let secded = &rows[0];
+        assert!(secded.injected > 100);
+        assert_eq!(
+            secded.corrected, 0,
+            "2-adjacent clusters are never correctable"
+        );
+        assert!(
+            secded.detected_uncorrectable > 0,
+            "strikes that are read back must at least be detected"
+        );
+        // An even number of flips leaves the word parity unchanged: the
+        // production WT+parity design is *blind* to 2-bit MBUs and silently
+        // corrupts — the strongest version of the paper's §I-II argument.
+        let parity = &rows[1];
+        assert_eq!(parity.detected_uncorrectable, 0, "parity cannot see MBU2");
+        assert!(!parity.results_intact, "silent corruption slipped through");
+        // The unprotected design notices nothing either.
+        assert_eq!(rows[2].detected_uncorrectable, 0);
     }
 }

@@ -47,17 +47,22 @@ pub mod energy;
 pub mod experiment;
 pub mod report;
 pub mod runner;
+pub mod trace_backed;
 
 pub use campaign::{
     render_campaign, run_campaign, CampaignCell, CampaignReport, CampaignSpec, EquivalenceCheck,
     PlatformVariant, SlowdownMatrix, SlowdownRow, WorkloadSet,
 };
+pub use trace_backed::{
+    cell_fingerprint, record_cell, replay_cell, replay_cell_events, run_campaign_trace_backed,
+    trace_file_name, TraceBackedStats, TracedCampaign,
+};
 
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use experiment::{
-    characterization, energy_overheads, fault_campaign, figure8, figure8_over, hazard_breakdown,
-    wt_vs_wb, CharacterizationRow, CharacterizationTable, EnergyRow, FaultCampaignRow, Figure8,
-    Figure8Row, HazardBreakdownRow, WtVsWbRow,
+    characterization, energy_overheads, fault_campaign, fault_campaign_with_pattern, figure8,
+    figure8_over, hazard_breakdown, wt_vs_wb, CharacterizationRow, CharacterizationTable,
+    EnergyRow, FaultCampaignRow, Figure8, Figure8Row, HazardBreakdownRow, WtVsWbRow,
 };
 pub use report::{
     render_energy, render_fault_campaign, render_figure8, render_hazard_breakdown, render_table1,

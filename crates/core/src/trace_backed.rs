@@ -1,0 +1,473 @@
+//! Trace-backed campaign execution: record once, replay per fault seed.
+//!
+//! [`crate::campaign::run_campaign`] simulates every grid cell from
+//! scratch, although all faulty runs of one workload × platform × scheme
+//! cell share the fault-free run's access stream — only the injected
+//! faults differ.  This module exploits that: the fault-free run of each
+//! cell (which the grid contains anyway) is executed once under a
+//! `laec_trace` recorder, and every faulty cell is then *replayed* from
+//! the recording — the memory hierarchy and the fault injector are driven
+//! through exactly the recorded calls while the pipeline model is skipped
+//! entirely.  With `--trace-cache`, recordings persist on disk and later
+//! invocations skip even the fault-free simulations.
+//!
+//! # The byte-identical guarantee
+//!
+//! [`run_campaign_trace_backed`] produces a [`CampaignReport`] that
+//! serialises *byte-identically* to [`crate::campaign::run_campaign`] for
+//! the same spec (asserted end-to-end by `tests/trace_replay.rs`):
+//!
+//! * pipeline-side cell fields (cycles, CPI, hit rates, look-ahead rate)
+//!   are taken from the recorded summary — valid because the replay driver
+//!   verifies at every load that the injected faults did not perturb
+//!   values or timing (see `laec_trace::replay`),
+//! * memory-side fields (bus traffic, ECC outcomes, unrecoverable errors,
+//!   final memory checksum) are recomputed by the replayed hierarchy,
+//!   which by construction performs the same accesses in the same order at
+//!   the same cycle stamps with the same injected faults,
+//! * any cell whose replay reports a [`Divergence`] (a fault escaped into
+//!   values or timing — silent corruption under no-ECC, parity refetches,
+//!   speculate-and-flush penalties, …) transparently falls back to full
+//!   simulation for that one cell.
+//!
+//! The win is throughput: replay touches only the memory hierarchy, so a
+//! campaign with *N* fault seeds per cell costs ~1 full simulation plus
+//! *N* cheap replays instead of *N* + 1 full simulations (see
+//! `benches/trace_replay.rs` for measured numbers).
+
+use std::fs;
+use std::path::Path;
+
+use laec_mem::{FaultCampaignConfig, ReplayMemory};
+use laec_pipeline::{EccScheme, PipelineConfig, Simulator};
+use laec_trace::{
+    replay_events, Divergence, SharedSink, Trace, TraceContext, TraceDetail, TraceError,
+    TraceEvent, TraceRecorder,
+};
+use laec_workloads::Workload;
+
+use crate::campaign::{
+    assemble_report, cell_from_result, default_threads, fnv1a, job_injection_seed,
+    registers_fingerprint, run_job, run_pool, scheme_from_label, scheme_label, CampaignCell,
+    CampaignReport, CampaignSpec, Job, PlatformVariant,
+};
+
+/// Execution counters of one trace-backed campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceBackedStats {
+    /// Fault-free cells simulated in full (and recorded).
+    pub recorded: u64,
+    /// Fault-free cells reconstructed from a cached trace.
+    pub cache_loads: u64,
+    /// Faulty cells completed by replay.
+    pub replayed: u64,
+    /// Faulty cells that diverged and fell back to full simulation.
+    pub fallbacks: u64,
+    /// Cache files that could not be written (best-effort persistence).
+    pub cache_write_failures: u64,
+}
+
+impl std::fmt::Display for TraceBackedStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "traces: {} recorded, {} from cache; faulty cells: {} replayed, {} fell back",
+            self.recorded, self.cache_loads, self.replayed, self.fallbacks
+        )
+    }
+}
+
+/// A campaign report plus how the trace engine earned it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedCampaign {
+    /// The report — byte-identical to `run_campaign` on the same spec.
+    pub report: CampaignReport,
+    /// Record/replay/fallback counters.
+    pub stats: TraceBackedStats,
+}
+
+/// Fingerprint of everything that shapes one cell's access stream: the
+/// spec seed, the workload generator shape and the platform-applied
+/// pipeline configuration (which embeds the scheme and hierarchy).
+#[must_use]
+pub fn cell_fingerprint(spec: &CampaignSpec, scheme: EccScheme, platform: PlatformVariant) -> u64 {
+    let config = platform_config(scheme, platform);
+    let description = format!("v1|{:?}|{:?}|{:?}", spec.seed, spec.generator, config);
+    fnv1a(description.bytes())
+}
+
+/// The canonical cache file name of one cell's trace.
+#[must_use]
+pub fn trace_file_name(workload: &str, scheme: &str, platform: &str, fingerprint: u64) -> String {
+    format!("{workload}__{scheme}__{platform}__{fingerprint:016x}.laectrace")
+}
+
+fn platform_config(scheme: EccScheme, platform: PlatformVariant) -> PipelineConfig {
+    platform.apply_config(PipelineConfig::for_scheme(scheme))
+}
+
+/// Runs one fault-free cell in full simulation while recording its access
+/// stream, returning the grid cell and the sealed trace.
+#[must_use]
+pub fn record_cell(
+    spec: &CampaignSpec,
+    workload: &Workload,
+    scheme: EccScheme,
+    platform: PlatformVariant,
+    detail: TraceDetail,
+) -> (CampaignCell, Trace) {
+    let config = platform_config(scheme, platform);
+    let context = TraceContext::new(
+        workload.name.clone(),
+        scheme_label(scheme),
+        platform.label(),
+        cell_fingerprint(spec, scheme, platform),
+    );
+    let shared = SharedSink::new(TraceRecorder::with_detail(context, detail));
+    let mut simulator = Simulator::new(workload.program.clone(), config);
+    simulator.attach_trace_sink(shared.boxed());
+    if detail == TraceDetail::Full {
+        simulator.attach_mem_trace_sink(shared.boxed());
+    }
+    let result = simulator.execute();
+    drop(simulator);
+    let mut summary = result.trace_summary();
+    summary.registers_fingerprint = registers_fingerprint(&result.registers);
+    let trace = shared
+        .finish(summary)
+        .expect("simulator dropped, recorder has one owner");
+    let cell = cell_from_result(workload, scheme, platform, None, &result);
+    (cell, trace)
+}
+
+/// Replays a recorded cell — fault-free (`fault: None`, reconstructing the
+/// recorded cell) or under a fault campaign (`fault_axis_seed` labels the
+/// produced cell's grid coordinate).
+///
+/// # Errors
+///
+/// Returns a [`Divergence`] when an injected fault perturbed values or
+/// timing (fall back to full simulation), or a
+/// [`Divergence::Trace`] when the trace does not belong to this
+/// spec/workload or fails its internal consistency checks.
+pub fn replay_cell(
+    spec: &CampaignSpec,
+    trace: &Trace,
+    workload: &Workload,
+    fault: Option<FaultCampaignConfig>,
+    fault_axis_seed: Option<u64>,
+) -> Result<CampaignCell, Divergence> {
+    let events = trace.decode_events().map_err(Divergence::Trace)?;
+    replay_cell_events(spec, trace, &events, workload, fault, fault_axis_seed)
+}
+
+/// [`replay_cell`] over a pre-decoded event stream — the campaign hot path,
+/// where one recording is replayed once per fault seed and should be
+/// varint-decoded only once.
+///
+/// # Errors
+///
+/// See [`replay_cell`].
+pub fn replay_cell_events(
+    spec: &CampaignSpec,
+    trace: &Trace,
+    events: &[TraceEvent],
+    workload: &Workload,
+    fault: Option<FaultCampaignConfig>,
+    fault_axis_seed: Option<u64>,
+) -> Result<CampaignCell, Divergence> {
+    let header = &trace.header;
+    let corrupt = |what: &'static str| Divergence::Trace(TraceError::Corrupt(what));
+    if header.workload != workload.name {
+        return Err(corrupt("trace belongs to a different workload"));
+    }
+    let scheme = scheme_from_label(&header.scheme).ok_or(corrupt("unknown scheme label"))?;
+    let platform =
+        PlatformVariant::from_label(&header.platform).ok_or(corrupt("unknown platform label"))?;
+    if header.context_fingerprint != cell_fingerprint(spec, scheme, platform) {
+        return Err(corrupt(
+            "trace was recorded under a different configuration",
+        ));
+    }
+
+    let config = platform_config(scheme, platform);
+    let mut target = ReplayMemory::new(config.hierarchy)
+        .with_flush_on_error(matches!(scheme, EccScheme::SpeculateFlush { .. }));
+    if let Some(interference) = config.bus_interference {
+        target = target.with_bus_interference(interference);
+    }
+    if let Some(fault) = fault {
+        target = target.with_fault_campaign(fault);
+    }
+    target.reserve_memory(workload.program.data().len());
+    for &(address, value) in workload.program.data() {
+        target.preload_word(address, value);
+    }
+
+    let progress = replay_events(events, &mut target)?;
+    let summary = header.summary;
+    if progress.commits != summary.instructions
+        || progress.loads != summary.loads
+        || progress.stores != summary.stores
+    {
+        return Err(corrupt("event counts disagree with the recorded summary"));
+    }
+
+    // Mirror the order of `Simulator::execute`: statistics snapshot first,
+    // then the dirty-state drain that produces the final memory checksum.
+    let stats = target.stats();
+    let faults_injected = target.campaign_report().injected;
+    let unrecoverable_errors = target.system().unrecoverable_errors();
+    let memory_checksum = target.drain_to_memory();
+    if fault.is_none() && memory_checksum != summary.memory_checksum {
+        return Err(corrupt("fault-free replay did not reproduce the checksum"));
+    }
+
+    Ok(CampaignCell {
+        workload: workload.name.clone(),
+        scheme: header.scheme.clone(),
+        platform: header.platform.clone(),
+        fault_seed: fault_axis_seed,
+        cycles: summary.cycles,
+        instructions: summary.instructions,
+        // Same expressions as `PipelineStats::{cpi, load_hit_rate,
+        // lookahead_rate}` so the floats are bit-identical.
+        cpi: if summary.instructions == 0 {
+            0.0
+        } else {
+            summary.cycles as f64 / summary.instructions as f64
+        },
+        load_hit_rate: if summary.loads == 0 {
+            1.0
+        } else {
+            summary.load_hits as f64 / summary.loads as f64
+        },
+        lookahead_rate: if summary.loads == 0 {
+            0.0
+        } else {
+            summary.lookahead_loads as f64 / summary.loads as f64
+        },
+        bus_transactions: stats.bus_transactions,
+        faults_injected,
+        faults_corrected: stats.dl1.ecc.corrected(),
+        faults_detected_uncorrectable: stats.dl1.ecc.uncorrectable(),
+        unrecoverable_errors,
+        registers_fingerprint: summary.registers_fingerprint,
+        memory_checksum,
+        slowdown: None,
+    })
+}
+
+/// How one fault-free cell was obtained.
+enum Origin {
+    Recorded { cache_write_failed: bool },
+    CacheHit,
+}
+
+/// Runs the campaign in trace-backed mode: fault-free cells are simulated
+/// (or loaded from `cache_dir`) once per workload × platform × scheme and
+/// recorded; faulty cells replay the recording per fault seed, falling
+/// back to full simulation on divergence.  The report is byte-identical to
+/// [`crate::campaign::run_campaign`] with the same spec.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+#[must_use]
+pub fn run_campaign_trace_backed(
+    spec: &CampaignSpec,
+    threads: usize,
+    cache_dir: Option<&Path>,
+) -> TracedCampaign {
+    let workloads = spec.materialize_workloads();
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+
+    // Phase 1: one fault-free (recording) cell per triple, in grid order.
+    let mut triples = Vec::new();
+    for workload in 0..workloads.len() {
+        for platform in 0..spec.platforms.len() {
+            for scheme in 0..spec.schemes.len() {
+                triples.push((workload, platform, scheme));
+            }
+        }
+    }
+    type RecordedCell = (CampaignCell, Trace, Vec<TraceEvent>, Origin);
+    let phase1: Vec<RecordedCell> = run_pool(triples.len(), threads, |index| {
+        let (workload, platform, scheme) = triples[index];
+        let workload = &workloads[workload];
+        let scheme = spec.schemes[scheme];
+        let platform = spec.platforms[platform];
+        let file_name = trace_file_name(
+            &workload.name,
+            &scheme_label(scheme),
+            &platform.label(),
+            cell_fingerprint(spec, scheme, platform),
+        );
+        if let Some(dir) = cache_dir {
+            if let Ok(bytes) = fs::read(dir.join(&file_name)) {
+                if let Ok(trace) = Trace::decode(&bytes) {
+                    if let Ok(events) = trace.decode_events() {
+                        if let Ok(cell) =
+                            replay_cell_events(spec, &trace, &events, workload, None, None)
+                        {
+                            return (cell, trace, events, Origin::CacheHit);
+                        }
+                    }
+                }
+            }
+        }
+        let (cell, trace) = record_cell(spec, workload, scheme, platform, TraceDetail::Replay);
+        let cache_write_failed = cache_dir.is_some_and(|dir| {
+            fs::create_dir_all(dir)
+                .and_then(|()| fs::write(dir.join(&file_name), trace.encode()))
+                .is_err()
+        });
+        let events = trace
+            .decode_events()
+            .expect("a just-recorded trace decodes");
+        (cell, trace, events, Origin::Recorded { cache_write_failed })
+    });
+
+    // Phase 2: replay every faulty cell from its triple's trace.
+    let fault_count = spec.fault_seeds.len();
+    let phase2: Vec<(CampaignCell, bool)> =
+        run_pool(triples.len() * fault_count, threads, |index| {
+            let triple = index / fault_count;
+            let fault = index % fault_count;
+            let (workload, platform, scheme) = triples[triple];
+            let job = Job {
+                workload,
+                scheme,
+                platform,
+                fault: Some(fault),
+            };
+            let axis_seed = spec.fault_seeds[fault];
+            let campaign = FaultCampaignConfig::single_bit(
+                job_injection_seed(spec, job, axis_seed),
+                spec.fault_interval,
+            );
+            let workload = &workloads[workload];
+            let (_, trace, events, _) = &phase1[triple];
+            match replay_cell_events(
+                spec,
+                trace,
+                events,
+                workload,
+                Some(campaign),
+                Some(axis_seed),
+            ) {
+                Ok(cell) => (cell, true),
+                Err(_divergence) => (run_job(spec, &workloads, job), false),
+            }
+        });
+
+    // Interleave back into the canonical grid order and aggregate counters.
+    let mut stats = TraceBackedStats::default();
+    let mut cells = Vec::with_capacity(triples.len() * (1 + fault_count));
+    let mut faulty = phase2.into_iter();
+    for (cell, _trace, _events, origin) in phase1 {
+        match origin {
+            Origin::Recorded { cache_write_failed } => {
+                stats.recorded += 1;
+                stats.cache_write_failures += u64::from(cache_write_failed);
+            }
+            Origin::CacheHit => stats.cache_loads += 1,
+        }
+        cells.push(cell);
+        for _ in 0..fault_count {
+            let (cell, replayed) = faulty.next().expect("phase-2 grid is complete");
+            if replayed {
+                stats.replayed += 1;
+            } else {
+                stats.fallbacks += 1;
+            }
+            cells.push(cell);
+        }
+    }
+
+    TracedCampaign {
+        report: assemble_report(spec, &workloads, cells),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::WorkloadSet;
+
+    fn kernel(name: &str) -> Workload {
+        laec_workloads::kernel_suite()
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("known kernel")
+    }
+
+    fn small_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::smoke();
+        spec.workloads = WorkloadSet::Named(vec!["vector_sum".into()]);
+        spec.schemes = vec![EccScheme::Laec];
+        spec
+    }
+
+    #[test]
+    fn fault_free_replay_reconstructs_the_recorded_cell_exactly() {
+        let spec = small_spec();
+        let workload = kernel("vector_sum");
+        let (recorded_cell, trace) = record_cell(
+            &spec,
+            &workload,
+            EccScheme::Laec,
+            PlatformVariant::WriteBack,
+            TraceDetail::Replay,
+        );
+        let replayed_cell =
+            replay_cell(&spec, &trace, &workload, None, None).expect("fault-free replay");
+        assert_eq!(replayed_cell, recorded_cell);
+    }
+
+    #[test]
+    fn replay_rejects_foreign_traces() {
+        let spec = small_spec();
+        let workload = kernel("vector_sum");
+        let other = kernel("fir_filter");
+        let (_, trace) = record_cell(
+            &spec,
+            &workload,
+            EccScheme::Laec,
+            PlatformVariant::WriteBack,
+            TraceDetail::Replay,
+        );
+        assert!(matches!(
+            replay_cell(&spec, &trace, &other, None, None),
+            Err(Divergence::Trace(TraceError::Corrupt(_)))
+        ));
+        let mut other_seed = spec.clone();
+        other_seed.seed ^= 1;
+        assert!(matches!(
+            replay_cell(&other_seed, &trace, &workload, None, None),
+            Err(Divergence::Trace(TraceError::Corrupt(_)))
+        ));
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_binary_container() {
+        let spec = small_spec();
+        let workload = kernel("vector_sum");
+        let (_, trace) = record_cell(
+            &spec,
+            &workload,
+            EccScheme::Laec,
+            PlatformVariant::WriteBack,
+            TraceDetail::Full,
+        );
+        let decoded = Trace::decode(&trace.encode()).expect("valid container");
+        assert_eq!(decoded, trace);
+        let replayed = replay_cell(&spec, &decoded, &workload, None, None).expect("replays");
+        assert_eq!(replayed.cycles, trace.header.summary.cycles);
+    }
+}

@@ -58,6 +58,23 @@ impl FlipPlan {
         }
     }
 
+    /// Plan flipping `length` *adjacent* data bits starting at `start` — the
+    /// footprint of a single-particle multi-bit upset (MBU) in a non-
+    /// interleaved data array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    #[must_use]
+    pub fn adjacent_data(start: u32, length: u32) -> Self {
+        assert!(length > 0, "an MBU cluster flips at least one bit");
+        FlipPlan {
+            flips: (start..start + length)
+                .map(|bit| (InjectionTarget::Data, bit))
+                .collect(),
+        }
+    }
+
     /// Adds one more flip to the plan.
     pub fn push(&mut self, target: InjectionTarget, bit: u32) {
         self.flips.push((target, bit));
@@ -206,6 +223,22 @@ impl ErrorInjector {
         [classify(first), classify(second)].into_iter().collect()
     }
 
+    /// A random adjacent-bit MBU cluster of `cluster` bits within the data
+    /// array: a uniformly placed run of flips, like one particle striking
+    /// `cluster` neighbouring cells of a non-interleaved array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is zero or wider than the data array.
+    pub fn random_adjacent(&mut self, data_bits: u32, cluster: u32) -> FlipPlan {
+        assert!(
+            cluster > 0 && cluster <= data_bits,
+            "cluster must fit the data array"
+        );
+        let start = self.next_below(u64::from(data_bits - cluster + 1)) as u32;
+        FlipPlan::adjacent_data(start, cluster)
+    }
+
     /// A random plan that is a single-bit flip with probability
     /// `1 - double_fraction` and a double-bit flip otherwise.
     pub fn random_event(
@@ -336,6 +369,58 @@ mod tests {
             inj.random_double(32, 7).apply(&mut cw);
             let decoded = cw.decode(&code);
             assert_ne!(decoded.outcome, Outcome::Clean);
+        }
+    }
+
+    #[test]
+    fn adjacent_plan_covers_a_contiguous_run() {
+        let plan = FlipPlan::adjacent_data(5, 4);
+        let flips: Vec<_> = plan.iter().collect();
+        assert_eq!(
+            flips,
+            vec![
+                (InjectionTarget::Data, 5),
+                (InjectionTarget::Data, 6),
+                (InjectionTarget::Data, 7),
+                (InjectionTarget::Data, 8),
+            ]
+        );
+        assert_eq!(plan.apply_to_word(0), 0x1E0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn empty_adjacent_cluster_is_rejected() {
+        let _ = FlipPlan::adjacent_data(0, 0);
+    }
+
+    #[test]
+    fn random_adjacent_clusters_stay_in_bounds() {
+        let mut inj = ErrorInjector::new(31);
+        for cluster in [2u32, 4] {
+            for _ in 0..500 {
+                let plan = inj.random_adjacent(32, cluster);
+                let flips: Vec<_> = plan.iter().collect();
+                assert_eq!(flips.len(), cluster as usize);
+                let bits: Vec<u32> = flips.iter().map(|&(_, bit)| bit).collect();
+                assert!(bits.iter().all(|&bit| bit < 32));
+                assert!(bits.windows(2).all(|w| w[1] == w[0] + 1), "{bits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_double_mbus_are_detected_never_corrected_by_secded() {
+        // SEC-DED corrects singles and *detects* doubles; an adjacent 2-bit
+        // MBU must therefore always surface as detected-uncorrectable.
+        let code = Hsiao39_32::new();
+        let mut inj = ErrorInjector::new(0x004D_4255);
+        let word = 0x5A5A_5A5Au64;
+        for _ in 0..500 {
+            let mut cw = code.codeword(word);
+            inj.random_adjacent(32, 2).apply(&mut cw);
+            let decoded = cw.decode(&code);
+            assert_eq!(decoded.outcome, Outcome::DetectedDouble);
         }
     }
 

@@ -8,7 +8,7 @@
 //! extra stage, or LAEC's anticipated check) is the pipeline's business; the
 //! cache only answers hit/miss and value/outcome questions.
 
-use laec_ecc::{Codeword, EccCode, FlipPlan, Outcome};
+use laec_ecc::{Codeword, Decoded, EccCode, FlipPlan, Outcome};
 
 use crate::config::{CacheConfig, WritePolicy};
 use crate::stats::CacheStats;
@@ -20,17 +20,43 @@ struct Line {
     dirty: bool,
     tag: u32,
     words: Vec<Codeword>,
+    /// Bit *i* set ⇔ `words[i]` was produced by `Codeword::encode` and has
+    /// not been fault-flipped since.  A pristine codeword provably decodes
+    /// to `(data, Clean)` for any valid code, so reads, evictions and
+    /// flushes can skip the syndrome computation — the dominant cost of the
+    /// simulated hierarchy.  Fault injection clears the bit; scrubs and
+    /// writes (which re-encode) set it again.
+    pristine: u64,
     last_used: u64,
 }
 
 impl Line {
-    fn empty(words_per_line: u32) -> Self {
+    /// An invalid line.  The word storage stays unallocated until the first
+    /// fill: a campaign constructs a fresh `MemorySystem` per grid cell, and
+    /// most L2 lines of most cells are never touched, so eager allocation
+    /// (~8k vectors per hierarchy) would dominate short runs.
+    fn empty() -> Self {
         Line {
             valid: false,
             dirty: false,
             tag: 0,
-            words: vec![Codeword::default(); words_per_line as usize],
+            words: Vec::new(),
+            pristine: 0,
             last_used: 0,
+        }
+    }
+
+    /// Decodes word `word`, taking the pristine fast path when possible.
+    fn decode_word(&self, word: usize, code: &(dyn EccCode + Send + Sync)) -> Decoded {
+        if self.pristine & (1u64 << word) != 0 {
+            let decoded = Decoded {
+                data: self.words[word].data() & code.data_mask(),
+                outcome: Outcome::Clean,
+            };
+            debug_assert_eq!(decoded, self.words[word].decode(code));
+            decoded
+        } else {
+            self.words[word].decode(code)
         }
     }
 }
@@ -74,7 +100,17 @@ pub struct EvictedLine {
 #[derive(Debug)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines, flattened set-major (`lines[set * ways + way]`): one
+    /// allocation per cache instead of one per set, which matters because
+    /// campaigns construct a fresh hierarchy per grid cell.
+    lines: Vec<Line>,
+    /// Precomputed address-decomposition geometry.  `CacheConfig::sets()`
+    /// re-validates the whole configuration on every call, which is far too
+    /// expensive for the per-access hot path.
+    offset_bits: u32,
+    index_bits: u32,
+    set_mask: u32,
+    way_count: usize,
     code: Box<dyn EccCode + Send + Sync>,
     stats: CacheStats,
     access_counter: u64,
@@ -89,16 +125,15 @@ impl Cache {
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         config.validate().expect("invalid cache geometry");
-        let sets = (0..config.sets())
-            .map(|_| {
-                (0..config.ways)
-                    .map(|_| Line::empty(config.words_per_line()))
-                    .collect()
-            })
-            .collect();
+        let sets = config.sets();
+        let lines = (0..sets * config.ways).map(|_| Line::empty()).collect();
         Cache {
             config,
-            sets,
+            lines,
+            offset_bits: config.line_bytes.trailing_zeros(),
+            index_bits: sets.trailing_zeros(),
+            set_mask: sets - 1,
+            way_count: config.ways as usize,
             code: config.protection.instantiate(),
             stats: CacheStats::new(),
             access_counter: 0,
@@ -123,11 +158,11 @@ impl Cache {
     }
 
     fn offset_bits(&self) -> u32 {
-        self.config.line_bytes.trailing_zeros()
+        self.offset_bits
     }
 
     fn index_bits(&self) -> u32 {
-        self.config.sets().trailing_zeros()
+        self.index_bits
     }
 
     /// Line-aligned base address of the line containing `address`.
@@ -137,21 +172,30 @@ impl Cache {
     }
 
     fn set_index(&self, address: u32) -> usize {
-        ((address >> self.offset_bits()) & (self.config.sets() - 1)) as usize
+        ((address >> self.offset_bits) & self.set_mask) as usize
     }
 
     fn tag(&self, address: u32) -> u32 {
-        address >> (self.offset_bits() + self.index_bits())
+        address >> (self.offset_bits + self.index_bits)
     }
 
     fn word_index(&self, address: u32) -> usize {
         ((address & (self.config.line_bytes - 1)) >> 2) as usize
     }
 
+    fn ways(&self) -> usize {
+        self.way_count
+    }
+
+    /// The lines of one set, as a flat-index range.
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways()..(set + 1) * self.ways()
+    }
+
     fn find_way(&self, address: u32) -> Option<usize> {
         let set = self.set_index(address);
         let tag = self.tag(address);
-        self.sets[set]
+        self.lines[self.set_range(set)]
             .iter()
             .position(|line| line.valid && line.tag == tag)
     }
@@ -170,7 +214,7 @@ impl Cache {
         let way = self.find_way(address)?;
         let set = self.set_index(address);
         let word = self.word_index(address);
-        let decoded = self.sets[set][way].words[word].decode(self.code.as_ref());
+        let decoded = self.lines[set * self.ways() + way].decode_word(word, self.code.as_ref());
         Some(decoded.data as u32)
     }
 
@@ -189,13 +233,15 @@ impl Cache {
         let set = self.set_index(address);
         let word = self.word_index(address);
         let counter = self.access_counter;
-        let line = &mut self.sets[set][way];
+        let index = set * self.ways() + way;
+        let line = &mut self.lines[index];
         line.last_used = counter;
-        let decoded = line.words[word].decode(self.code.as_ref());
+        let decoded = line.decode_word(word, self.code.as_ref());
         self.stats.ecc.record(decoded.outcome);
         if decoded.outcome.is_usable() && decoded.outcome.is_error() {
             // Scrub: rewrite the corrected word so the error does not linger.
             line.words[word] = Codeword::encode(self.code.as_ref(), decoded.data);
+            line.pristine |= 1u64 << word;
         }
         Some(ReadHit {
             value: decoded.data as u32,
@@ -224,13 +270,15 @@ impl Cache {
         let counter = self.access_counter;
         let dirty_on_write = self.config.write_policy == WritePolicy::WriteBack;
         let mask = expand_byte_mask(byte_mask);
-        let line = &mut self.sets[set][way];
+        let index = set * self.ways() + way;
+        let line = &mut self.lines[index];
         line.last_used = counter;
-        let decoded = line.words[word].decode(self.code.as_ref());
+        let decoded = line.decode_word(word, self.code.as_ref());
         self.stats.ecc.record(decoded.outcome);
         let old = decoded.data as u32;
         let merged = (old & !mask) | (value & mask);
         line.words[word] = Codeword::encode(self.code.as_ref(), u64::from(merged));
+        line.pristine |= 1u64 << word;
         if dirty_on_write {
             line.dirty = true;
         }
@@ -240,6 +288,40 @@ impl Cache {
     /// Writes a full aligned word (all bytes enabled).
     pub fn write_word(&mut self, address: u32, value: u32) -> bool {
         self.write_word_masked(address, value, 0xF)
+    }
+
+    /// Reads `count` consecutive words starting at the line-aligned `base`,
+    /// all within one line — the refill fast path.  Statistics, LRU state
+    /// and scrubbing end up exactly as `count` calls to
+    /// [`Cache::read_word`] would leave them, but the tag is matched once.
+    /// Returns `None` (nothing recorded) when the line is not resident or
+    /// the request extends past it (a caller line larger than ours); the
+    /// caller falls back to per-word reads.
+    pub fn read_line_words(&mut self, base: u32, count: u32) -> Option<Vec<u32>> {
+        let way = self.find_way(base)?;
+        let set = self.set_index(base);
+        let first = self.word_index(base);
+        if first + count as usize > self.config.words_per_line() as usize {
+            return None;
+        }
+        self.access_counter += u64::from(count);
+        self.stats.read_hits += u64::from(count);
+        let counter = self.access_counter;
+        let code = self.code.as_ref();
+        let index = set * self.ways() + way;
+        let line = &mut self.lines[index];
+        line.last_used = counter;
+        let mut out = Vec::with_capacity(count as usize);
+        for word in first..first + count as usize {
+            let decoded = line.decode_word(word, code);
+            self.stats.ecc.record(decoded.outcome);
+            if decoded.outcome.is_usable() && decoded.outcome.is_error() {
+                line.words[word] = Codeword::encode(code, decoded.data);
+                line.pristine |= 1u64 << word;
+            }
+            out.push(decoded.data as u32);
+        }
+        Some(out)
     }
 
     /// Fills the line containing `address` with `line_words` (one entry per
@@ -264,7 +346,7 @@ impl Cache {
 
         // Prefer an invalid way; otherwise evict the LRU way.
         let way = {
-            let lines = &self.sets[set];
+            let lines = &self.lines[self.set_range(set)];
             lines
                 .iter()
                 .position(|line| !line.valid)
@@ -279,13 +361,13 @@ impl Cache {
         };
 
         let evicted = {
-            let line = &self.sets[set][way];
+            let line = &self.lines[set * self.ways() + way];
             if line.valid {
                 let base = self.reconstruct_base(set, line.tag);
                 let mut words = Vec::with_capacity(line.words.len());
                 let mut uncorrectable = false;
-                for codeword in &line.words {
-                    let decoded = codeword.decode(self.code.as_ref());
+                for word in 0..line.words.len() {
+                    let decoded = line.decode_word(word, self.code.as_ref());
                     if !decoded.outcome.is_usable() {
                         uncorrectable = true;
                     }
@@ -309,14 +391,21 @@ impl Cache {
         }
 
         let code = self.code.as_ref();
-        let line = &mut self.sets[set][way];
+        let index = set * self.ways() + way;
+        let line = &mut self.lines[index];
         line.valid = true;
         line.dirty = false;
         line.tag = tag;
         line.last_used = counter;
-        for (slot, &value) in line.words.iter_mut().zip(line_words) {
-            *slot = Codeword::encode(code, u64::from(value));
-        }
+        // `clear` + `extend` keeps the allocation across refills (and makes
+        // the first fill the line's only allocation).
+        line.words.clear();
+        line.words.extend(
+            line_words
+                .iter()
+                .map(|&value| Codeword::encode(code, u64::from(value))),
+        );
+        line.pristine = pristine_mask(line.words.len());
         evicted.filter(|e| e.dirty || e.uncorrectable)
     }
 
@@ -326,8 +415,9 @@ impl Cache {
     pub fn invalidate(&mut self, address: u32) -> bool {
         if let Some(way) = self.find_way(address) {
             let set = self.set_index(address);
-            self.sets[set][way].valid = false;
-            self.sets[set][way].dirty = false;
+            let index = set * self.ways() + way;
+            self.lines[index].valid = false;
+            self.lines[index].dirty = false;
             true
         } else {
             false
@@ -339,7 +429,8 @@ impl Cache {
     pub fn clean(&mut self, address: u32) -> bool {
         if let Some(way) = self.find_way(address) {
             let set = self.set_index(address);
-            self.sets[set][way].dirty = false;
+            let index = set * self.ways() + way;
+            self.lines[index].dirty = false;
             true
         } else {
             false
@@ -355,7 +446,9 @@ impl Cache {
         };
         let set = self.set_index(address);
         let word = self.word_index(address);
-        plan.apply(&mut self.sets[set][way].words[word]);
+        let index = set * self.ways() + way;
+        plan.apply(&mut self.lines[index].words[word]);
+        self.lines[index].pristine &= !(1u64 << word);
         true
     }
 
@@ -364,7 +457,7 @@ impl Cache {
     #[must_use]
     pub fn resident_word_addresses(&self) -> Vec<u32> {
         let mut out = Vec::new();
-        for (set_index, set) in self.sets.iter().enumerate() {
+        for (set_index, set) in self.lines.chunks(self.ways()).enumerate() {
             for line in set {
                 if line.valid {
                     let base = self.reconstruct_base(set_index, line.tag);
@@ -380,9 +473,8 @@ impl Cache {
     /// Number of dirty lines currently resident.
     #[must_use]
     pub fn dirty_lines(&self) -> usize {
-        self.sets
+        self.lines
             .iter()
-            .flatten()
             .filter(|line| line.valid && line.dirty)
             .count()
     }
@@ -390,31 +482,33 @@ impl Cache {
     /// Number of valid lines currently resident.
     #[must_use]
     pub fn valid_lines(&self) -> usize {
-        self.sets.iter().flatten().filter(|line| line.valid).count()
+        self.lines.iter().filter(|line| line.valid).count()
     }
 
     /// Writes back and returns every dirty line (used at program end so the
     /// memory image can be compared across schemes).
     pub fn flush_dirty(&mut self) -> Vec<EvictedLine> {
         let mut out = Vec::new();
-        for set_index in 0..self.sets.len() {
-            for way in 0..self.sets[set_index].len() {
+        let ways = self.ways();
+        for index in 0..self.lines.len() {
+            let set_index = index / ways;
+            {
                 let (valid, dirty, tag) = {
-                    let line = &self.sets[set_index][way];
+                    let line = &self.lines[index];
                     (line.valid, line.dirty, line.tag)
                 };
                 if valid && dirty {
                     let base = self.reconstruct_base(set_index, tag);
                     let mut words = Vec::with_capacity(self.config.words_per_line() as usize);
                     let mut uncorrectable = false;
-                    for codeword in &self.sets[set_index][way].words {
-                        let decoded = codeword.decode(self.code.as_ref());
+                    for word in 0..self.lines[index].words.len() {
+                        let decoded = self.lines[index].decode_word(word, self.code.as_ref());
                         if !decoded.outcome.is_usable() {
                             uncorrectable = true;
                         }
                         words.push(decoded.data as u32);
                     }
-                    self.sets[set_index][way].dirty = false;
+                    self.lines[index].dirty = false;
                     self.stats.writebacks += 1;
                     out.push(EvictedLine {
                         base_address: base,
@@ -431,6 +525,17 @@ impl Cache {
     fn reconstruct_base(&self, set_index: usize, tag: u32) -> u32 {
         (tag << (self.offset_bits() + self.index_bits()))
             | ((set_index as u32) << self.offset_bits())
+    }
+}
+
+/// All-pristine mask for a line of `words` words (the `pristine` bitmask is
+/// a u64, which `CacheConfig::validate`'s line-size bounds keep sufficient).
+fn pristine_mask(words: usize) -> u64 {
+    debug_assert!(words <= 64, "pristine bitmask covers at most 64 words");
+    if words >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << words) - 1
     }
 }
 
@@ -655,5 +760,28 @@ mod tests {
     fn fill_with_wrong_word_count_panics() {
         let mut cache = Cache::new(small_config());
         cache.fill(0x100, &[1, 2]);
+    }
+
+    #[test]
+    fn read_line_words_matches_per_word_reads_and_rejects_oversized_requests() {
+        let mut batched = Cache::new(small_config());
+        let mut serial = Cache::new(small_config());
+        batched.fill(0x100, &line(7));
+        serial.fill(0x100, &line(7));
+        batched.inject_fault(0x104, &FlipPlan::single_data(3));
+        serial.inject_fault(0x104, &FlipPlan::single_data(3));
+        let words = batched.read_line_words(0x100, 4).expect("resident");
+        let per_word: Vec<u32> = (0..4)
+            .map(|i| serial.read_word(0x100 + 4 * i).unwrap().value)
+            .collect();
+        assert_eq!(words, per_word);
+        assert_eq!(batched.stats(), serial.stats(), "identical counters");
+        // A request larger than the line (a caller with bigger lines than
+        // ours) must fall back, not index out of bounds.
+        let stats_before = *batched.stats();
+        assert_eq!(batched.read_line_words(0x100, 8), None);
+        assert_eq!(batched.read_line_words(0x108, 4), None, "past the end");
+        assert_eq!(*batched.stats(), stats_before, "nothing recorded");
+        assert_eq!(batched.read_line_words(0x400, 4), None, "not resident");
     }
 }

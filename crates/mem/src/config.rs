@@ -124,6 +124,14 @@ impl CacheConfig {
                 self.line_bytes
             ));
         }
+        if self.line_bytes > 256 {
+            // The per-line pristine-word bitmask in `cache::Line` covers at
+            // most 64 words; real embedded caches stay well under this.
+            return Err(format!(
+                "line size {} exceeds the supported maximum of 256 bytes",
+                self.line_bytes
+            ));
+        }
         if self.ways == 0 {
             return Err("associativity must be at least 1".to_string());
         }
@@ -252,6 +260,14 @@ mod tests {
         config.ways = 4;
         config.size_bytes = 1000;
         assert!(config.validate().is_err());
+        // Lines wider than 64 words would overflow the per-line pristine
+        // bitmask; validation must reject them up front.
+        let mut config = CacheConfig::dl1_write_back();
+        config.line_bytes = 512;
+        config.size_bytes = 64 * 1024;
+        assert!(config.validate().is_err(), "512 B lines are out of range");
+        config.line_bytes = 256;
+        assert!(config.validate().is_ok(), "256 B (64 words) is the maximum");
     }
 
     #[test]

@@ -12,6 +12,55 @@ use laec_ecc::ErrorInjector;
 
 use crate::hierarchy::MemorySystem;
 
+/// The spatial shape of each injected strike.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultPattern {
+    /// Independent single-bit upsets over data + check arrays (a
+    /// `double_fraction` of events strike two independent positions).
+    #[default]
+    SingleBit,
+    /// One particle striking two *adjacent* data bits (small-geometry MBU).
+    /// SEC-DED detects but never corrects these.
+    Adjacent2,
+    /// One particle striking four adjacent data bits (worst-case MBU
+    /// cluster).  Beyond SEC-DED's guarantees: strikes may even alias to a
+    /// "correctable" syndrome and silently miscorrect.
+    Adjacent4,
+}
+
+impl FaultPattern {
+    /// Stable label used in reports and on the CLI.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultPattern::SingleBit => "single",
+            FaultPattern::Adjacent2 => "mbu2",
+            FaultPattern::Adjacent4 => "mbu4",
+        }
+    }
+
+    /// Parses a CLI label.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "single" | "sbu" => Some(FaultPattern::SingleBit),
+            "mbu2" | "adjacent2" => Some(FaultPattern::Adjacent2),
+            "mbu4" | "adjacent4" => Some(FaultPattern::Adjacent4),
+            _ => None,
+        }
+    }
+
+    /// Bits flipped per strike.
+    #[must_use]
+    pub fn cluster_bits(self) -> u32 {
+        match self {
+            FaultPattern::SingleBit => 1,
+            FaultPattern::Adjacent2 => 2,
+            FaultPattern::Adjacent4 => 4,
+        }
+    }
+}
+
 /// Configuration of an injection campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultCampaignConfig {
@@ -20,9 +69,11 @@ pub struct FaultCampaignConfig {
     /// Inject one fault every `interval` injection opportunities (calls to
     /// [`FaultCampaign::maybe_inject`]); 0 disables injection.
     pub interval: u64,
-    /// Fraction of injections that are double-bit (MBU-like) rather than
-    /// single-bit.
+    /// For [`FaultPattern::SingleBit`]: fraction of injections that are
+    /// double-bit (two independent positions) rather than single-bit.
     pub double_fraction: f64,
+    /// Spatial shape of each strike.
+    pub pattern: FaultPattern,
 }
 
 impl FaultCampaignConfig {
@@ -33,6 +84,18 @@ impl FaultCampaignConfig {
             seed,
             interval,
             double_fraction: 0.0,
+            pattern: FaultPattern::SingleBit,
+        }
+    }
+
+    /// An adjacent-bit MBU campaign with the given strike `pattern`.
+    #[must_use]
+    pub fn with_pattern(seed: u64, interval: u64, pattern: FaultPattern) -> Self {
+        FaultCampaignConfig {
+            seed,
+            interval,
+            double_fraction: 0.0,
+            pattern,
         }
     }
 }
@@ -43,6 +106,7 @@ impl Default for FaultCampaignConfig {
             seed: 0x000F_A117,
             interval: 1_000,
             double_fraction: 0.0,
+            pattern: FaultPattern::SingleBit,
         }
     }
 }
@@ -61,7 +125,10 @@ pub struct FaultCampaignReport {
 pub struct FaultCampaign {
     config: FaultCampaignConfig,
     injector: ErrorInjector,
-    opportunities: u64,
+    /// Opportunities left until the next injection (a countdown rather than
+    /// an opportunity counter + modulo: this runs once per simulated
+    /// instruction).  Zero means injection is disabled.
+    until_next: u64,
     report: FaultCampaignReport,
 }
 
@@ -71,8 +138,8 @@ impl FaultCampaign {
     pub fn new(config: FaultCampaignConfig) -> Self {
         FaultCampaign {
             injector: ErrorInjector::new(config.seed),
+            until_next: config.interval,
             config,
-            opportunities: 0,
             report: FaultCampaignReport::default(),
         }
     }
@@ -90,11 +157,40 @@ impl FaultCampaign {
         if self.config.interval == 0 {
             return None;
         }
-        self.opportunities += 1;
-        if !self.opportunities.is_multiple_of(self.config.interval) {
+        self.until_next -= 1;
+        if self.until_next > 0 {
             return None;
         }
-        match system.inject_random_dl1_fault(&mut self.injector, self.config.double_fraction) {
+        self.until_next = self.config.interval;
+        self.inject_now(system)
+    }
+
+    /// Advances `opportunities` injection opportunities at once, injecting
+    /// at every interval boundary exactly as the same number of serial
+    /// [`FaultCampaign::maybe_inject`] calls would — but in
+    /// O(injections) rather than O(opportunities).  Trace replay uses this
+    /// to burn through run-length-encoded commit runs.
+    ///
+    /// Returns the number of faults injected.
+    pub fn maybe_inject_many(&mut self, opportunities: u64, system: &mut MemorySystem) -> u64 {
+        if self.config.interval == 0 {
+            return 0;
+        }
+        let mut remaining = opportunities;
+        let mut injected = 0;
+        while remaining >= self.until_next {
+            remaining -= self.until_next;
+            self.until_next = self.config.interval;
+            if self.inject_now(system).is_some() {
+                injected += 1;
+            }
+        }
+        self.until_next -= remaining;
+        injected
+    }
+
+    fn inject_now(&mut self, system: &mut MemorySystem) -> Option<u32> {
+        match system.inject_random_dl1_fault(&mut self.injector, &self.config) {
             Some(address) => {
                 self.report.injected += 1;
                 Some(address)
@@ -156,6 +252,77 @@ mod tests {
             assert!(campaign.maybe_inject(&mut system).is_none());
         }
         assert_eq!(campaign.report().skipped_empty, 5);
+    }
+
+    #[test]
+    fn bulk_opportunities_match_serial_opportunities_exactly() {
+        // maybe_inject_many must be indistinguishable from the same number
+        // of serial maybe_inject calls: same injections, same RNG stream,
+        // same struck words — asserted through the systems' ECC stats after
+        // reading everything back.
+        let mut serial_system = MemorySystem::new(HierarchyConfig::ngmp_write_back());
+        let mut bulk_system = MemorySystem::new(HierarchyConfig::ngmp_write_back());
+        for i in 0..16u32 {
+            serial_system.load_word(0x4000 + 4 * i, u64::from(i));
+            bulk_system.load_word(0x4000 + 4 * i, u64::from(i));
+        }
+        let config = FaultCampaignConfig::single_bit(0xABCD, 7);
+        let mut serial = FaultCampaign::new(config);
+        let mut bulk = FaultCampaign::new(config);
+        // Odd-shaped chunks, including zero and sub-interval runs.
+        let chunks = [3u64, 0, 11, 7, 1, 29, 2, 47];
+        let total: u64 = chunks.iter().sum();
+        for _ in 0..total {
+            serial.maybe_inject(&mut serial_system);
+        }
+        let mut bulk_injected = 0;
+        for chunk in chunks {
+            bulk_injected += bulk.maybe_inject_many(chunk, &mut bulk_system);
+        }
+        assert_eq!(serial.report(), bulk.report());
+        assert_eq!(bulk_injected, bulk.report().injected);
+        assert_eq!(serial.report().injected, total / 7);
+        // Read everything back: identical ECC outcomes prove the same bits
+        // were struck in the same order.
+        for i in 0..16u32 {
+            let address = 0x4000 + 4 * i;
+            let now = 1_000 + u64::from(i);
+            assert_eq!(
+                serial_system.load_word(address, now).outcome,
+                bulk_system.load_word(address, now).outcome
+            );
+        }
+        assert_eq!(serial_system.stats().dl1.ecc, bulk_system.stats().dl1.ecc);
+    }
+
+    #[test]
+    fn mbu_pattern_campaign_defeats_secded_correction() {
+        let mut system = MemorySystem::new(HierarchyConfig::ngmp_write_back());
+        for i in 0..8u32 {
+            system.preload_word(0x5000 + 4 * i, i);
+        }
+        for i in 0..8u32 {
+            system.load_word(0x5000 + 4 * i, u64::from(i));
+        }
+        let mut campaign = FaultCampaign::new(FaultCampaignConfig::with_pattern(
+            5,
+            1,
+            FaultPattern::Adjacent2,
+        ));
+        let mut uncorrectable_reads = 0;
+        for round in 0..20u64 {
+            let struck = campaign.maybe_inject(&mut system).expect("line resident");
+            let read = system.load_word(struck, 100 * (round + 1));
+            if read.outcome.is_uncorrectable() {
+                uncorrectable_reads += 1;
+            }
+        }
+        assert_eq!(campaign.report().injected, 20);
+        assert_eq!(
+            uncorrectable_reads, 20,
+            "every adjacent double must be detected, never corrected"
+        );
+        assert_eq!(system.stats().dl1.ecc.corrected(), 0);
     }
 
     #[test]

@@ -13,10 +13,12 @@
 //! ablation.
 
 use laec_ecc::{ErrorInjector, FlipPlan, Outcome};
+use laec_trace::{MemLevel, TraceSink};
 
 use crate::bus::{Bus, Interference};
 use crate::cache::{Cache, EvictedLine};
 use crate::config::{AllocatePolicy, HierarchyConfig, WritePolicy};
+use crate::fault::{FaultCampaignConfig, FaultPattern};
 use crate::memory::MainMemory;
 use crate::stats::MemStats;
 
@@ -56,6 +58,9 @@ pub struct MemorySystem {
     unrecoverable_errors: u64,
     /// Uncorrectable DL1 errors recovered by refetching from L2 (WT DL1).
     recovered_by_refetch: u64,
+    /// Optional capture hook for hierarchy-level trace events (line fills,
+    /// writebacks).  `None` by default: emission is a single branch.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl MemorySystem {
@@ -74,8 +79,20 @@ impl MemorySystem {
             stats: MemStats::new(),
             unrecoverable_errors: 0,
             recovered_by_refetch: 0,
+            sink: None,
             config,
         }
+    }
+
+    /// Attaches a trace sink; the hierarchy emits line-fill and writeback
+    /// events into it (full-detail trace recordings).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the trace sink, if one was attached.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
     }
 
     /// The hierarchy configuration.
@@ -87,6 +104,11 @@ impl MemorySystem {
     /// Installs bus interference standing in for the other cores' traffic.
     pub fn set_bus_interference(&mut self, interference: Interference) {
         self.bus.set_interference(interference);
+    }
+
+    /// Pre-sizes main memory for a data image of about `words` words.
+    pub fn reserve_memory(&mut self, words: usize) {
+        self.memory.reserve(words);
     }
 
     /// Pre-loads a word into main memory (program data image).
@@ -240,6 +262,9 @@ impl MemorySystem {
             extra += self.config.memory_latency;
             self.stats.memory_accesses += 1;
             let l2_base = self.l2.line_base(base);
+            if let Some(sink) = &mut self.sink {
+                sink.record_line_fill(MemLevel::L2, l2_base);
+            }
             let l2_words = self.config.l2.words_per_line();
             let line = self.memory.read_line(l2_base, l2_words);
             if let Some(evicted) = self.l2.fill(l2_base, &line) {
@@ -249,21 +274,23 @@ impl MemorySystem {
             }
         }
 
-        let mut line = Vec::with_capacity(words as usize);
-        for i in 0..words {
-            let word_address = base + 4 * i;
-            let value = match self.l2.read_word(word_address) {
-                Some(hit) => hit.value,
-                None => {
-                    // The DL1 line straddles an L2 line boundary only if the
-                    // DL1 line is larger than the L2 line, which the
-                    // configurations forbid; fall back to memory defensively.
-                    self.stats.memory_accesses += 1;
-                    self.memory.read_word(word_address)
-                }
-            };
-            line.push(value);
-        }
+        let line = self.l2.read_line_words(base, words).unwrap_or_else(|| {
+            // The DL1 line straddles an L2 line boundary only if the DL1
+            // line is larger than the L2 line, which the configurations
+            // forbid; fall back to per-word reads defensively.
+            (0..words)
+                .map(|i| {
+                    let word_address = base + 4 * i;
+                    match self.l2.read_word(word_address) {
+                        Some(hit) => hit.value,
+                        None => {
+                            self.stats.memory_accesses += 1;
+                            self.memory.read_word(word_address)
+                        }
+                    }
+                })
+                .collect()
+        });
         self.stats.l2 = *self.l2.stats();
         (line, extra)
     }
@@ -271,6 +298,9 @@ impl MemorySystem {
     /// Installs a fetched line in the DL1, writing back any dirty victim to
     /// the L2 (posted, so it does not add to the requesting load's latency).
     fn fill_dl1(&mut self, address: u32, line: &[u32], now: u64) {
+        if let Some(sink) = &mut self.sink {
+            sink.record_line_fill(MemLevel::Dl1, self.dl1.line_base(address));
+        }
         if let Some(evicted) = self.dl1.fill(address, line) {
             if evicted.dirty {
                 self.writeback_to_l2(&evicted, now);
@@ -280,6 +310,9 @@ impl MemorySystem {
     }
 
     fn writeback_to_l2(&mut self, evicted: &EvictedLine, now: u64) {
+        if let Some(sink) = &mut self.sink {
+            sink.record_writeback(MemLevel::Dl1, evicted.base_address);
+        }
         let grant = self.bus.one_way(now);
         self.stats.bus_transactions += 1;
         self.stats.bus_wait_cycles += grant.wait_cycles;
@@ -337,6 +370,9 @@ impl MemorySystem {
             self.writeback_to_l2(line, 0);
         }
         for line in self.l2.flush_dirty() {
+            if let Some(sink) = &mut self.sink {
+                sink.record_writeback(MemLevel::L2, line.base_address);
+            }
             self.memory.write_line(line.base_address, &line.words);
         }
         self.stats.dl1 = *self.dl1.stats();
@@ -349,12 +385,13 @@ impl MemorySystem {
         self.dl1.inject_fault(address, plan)
     }
 
-    /// Injects a random fault into a random *resident* DL1 word, returning
-    /// the struck address (or `None` if the DL1 is empty).
+    /// Injects a random fault into a random *resident* DL1 word following
+    /// the campaign's strike pattern, returning the struck address (or
+    /// `None` if the DL1 is empty).
     pub fn inject_random_dl1_fault(
         &mut self,
         injector: &mut ErrorInjector,
-        double_fraction: f64,
+        config: &FaultCampaignConfig,
     ) -> Option<u32> {
         let resident = self.dl1.resident_word_addresses();
         if resident.is_empty() {
@@ -362,7 +399,14 @@ impl MemorySystem {
         }
         let address = resident[injector.next_below(resident.len() as u64) as usize];
         let check_bits = self.config.dl1.protection.check_bits();
-        let plan = injector.random_event(32, check_bits.max(1), double_fraction);
+        let plan = match config.pattern {
+            FaultPattern::SingleBit => {
+                injector.random_event(32, check_bits.max(1), config.double_fraction)
+            }
+            FaultPattern::Adjacent2 | FaultPattern::Adjacent4 => {
+                injector.random_adjacent(32, config.pattern.cluster_bits())
+            }
+        };
         self.dl1.inject_fault(address, &plan);
         Some(address)
     }
@@ -608,16 +652,60 @@ mod tests {
     fn random_fault_injection_targets_resident_words() {
         let mut system = wb_system();
         let mut injector = ErrorInjector::new(1);
-        assert!(system.inject_random_dl1_fault(&mut injector, 0.0).is_none());
+        let config = FaultCampaignConfig::single_bit(1, 1);
+        assert!(system
+            .inject_random_dl1_fault(&mut injector, &config)
+            .is_none());
         system.load_word(0xE000, 0);
         let address = system
-            .inject_random_dl1_fault(&mut injector, 0.0)
+            .inject_random_dl1_fault(&mut injector, &config)
             .expect("a resident word exists");
         assert_eq!(
             address & !31,
             0xE000 & !31,
             "strike lands in the resident line"
         );
+    }
+
+    #[test]
+    fn adjacent_mbu2_on_clean_secded_line_recovers_by_refetch() {
+        // A 2-adjacent MBU defeats SEC-DED *correction* (detected double),
+        // but the struck line is clean, so the hierarchy invalidates and
+        // refetches it — data survives at a latency cost.
+        let mut system = wb_system();
+        system.preload_word(0xE100, 0x0BAD_F00D);
+        system.load_word(0xE100, 0);
+        let mut injector = ErrorInjector::new(7);
+        let config = FaultCampaignConfig::with_pattern(7, 1, FaultPattern::Adjacent2);
+        for round in 0..20u64 {
+            let struck = system
+                .inject_random_dl1_fault(&mut injector, &config)
+                .expect("line is resident");
+            let read = system.load_word(struck, 10 * (round + 1));
+            assert!(read.outcome.is_uncorrectable(), "double must be detected");
+            if struck == 0xE100 {
+                assert_eq!(read.value, 0x0BAD_F00D, "refetch restores the data");
+            }
+        }
+        assert_eq!(system.recovered_by_refetch(), 20);
+        assert_eq!(system.unrecoverable_errors(), 0);
+    }
+
+    #[test]
+    fn adjacent_mbu2_on_dirty_secded_line_is_unrecoverable() {
+        let mut system = wb_system();
+        system.store_word(0xE200, 0xFACE, 0);
+        let mut injector = ErrorInjector::new(9);
+        let config = FaultCampaignConfig::with_pattern(9, 1, FaultPattern::Adjacent2);
+        // The DL1 holds exactly one (dirty) line, so the strike hits it.
+        system
+            .inject_random_dl1_fault(&mut injector, &config)
+            .expect("line is resident");
+        // The strike may land in any of the line's words; read them all.
+        for i in 0..8u32 {
+            let _ = system.load_word((0xE200 & !31) + 4 * i, 100 + u64::from(i));
+        }
+        assert_eq!(system.unrecoverable_errors(), 1, "dirty data is lost");
     }
 
     #[test]
@@ -634,6 +722,29 @@ mod tests {
         let hit = system.load_word(0xF000, 10);
         assert_eq!(hit.outcome, Outcome::Clean, "no code, no detection");
         assert_eq!(hit.value, 101, "silent corruption");
+    }
+
+    #[test]
+    fn dl1_lines_wider_than_l2_lines_refill_through_the_fallback_path() {
+        // A DL1 line that straddles two L2 lines cannot use the batched
+        // L2 line read; the refill must fall back to per-word reads (with
+        // memory backfill) instead of indexing past the L2 line.
+        let mut config = HierarchyConfig::ngmp_write_back();
+        config.dl1.line_bytes = 64;
+        config.l2.line_bytes = 32;
+        let mut system = MemorySystem::new(config);
+        for i in 0..16u32 {
+            system.preload_word(0x4000 + 4 * i, 100 + i);
+        }
+        let response = system.load_word(0x4020, 0);
+        assert!(!response.dl1_hit);
+        assert_eq!(response.value, 108, "word 8 of the 64 B DL1 line");
+        for i in 0..16u32 {
+            assert_eq!(
+                system.load_word(0x4000 + 4 * i, 10 + u64::from(i)).value,
+                100 + i
+            );
+        }
     }
 
     #[test]

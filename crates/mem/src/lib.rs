@@ -17,7 +17,10 @@
 //! * [`bus`] — the shared bus with an interference model for unobserved cores,
 //! * [`memory`] — flat main memory,
 //! * [`hierarchy`] — [`MemorySystem`], the per-core façade the pipeline talks to,
-//! * [`fault`] — periodic soft-error injection campaigns,
+//! * [`fault`] — periodic soft-error injection campaigns (single-bit and
+//!   adjacent-bit MBU patterns),
+//! * [`replay`] — the trace-replay adapter ([`ReplayMemory`]) that re-drives
+//!   the hierarchy from a recorded `laec_trace` stream,
 //! * [`stats`] — hit/miss/traffic counters.
 //!
 //! # Example
@@ -44,14 +47,16 @@ pub mod config;
 pub mod fault;
 pub mod hierarchy;
 pub mod memory;
+pub mod replay;
 pub mod stats;
 pub mod write_buffer;
 
 pub use bus::{Bus, BusGrant, Interference};
 pub use cache::{Cache, EvictedLine, ReadHit};
 pub use config::{AllocatePolicy, CacheConfig, HierarchyConfig, WritePolicy};
-pub use fault::{FaultCampaign, FaultCampaignConfig, FaultCampaignReport};
+pub use fault::{FaultCampaign, FaultCampaignConfig, FaultCampaignReport, FaultPattern};
 pub use hierarchy::{LoadResponse, MemorySystem, StoreResponse};
 pub use memory::MainMemory;
+pub use replay::ReplayMemory;
 pub use stats::{CacheStats, MemStats};
 pub use write_buffer::{PendingStore, WriteBuffer};

@@ -5,6 +5,41 @@
 //! into the DL1, where dirty data is vulnerable).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// SplitMix64-finalised hasher for word addresses.
+///
+/// The word map is on the refill path of every cache miss and is populated
+/// once per campaign cell; the default SipHash costs several times more
+/// than the lookups themselves and buys DoS resistance this simulator does
+/// not need.  The hash is a pure function of the key, so memory contents —
+/// and therefore every checksum — stay deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WordAddressHasher(u64);
+
+impl Hasher for WordAddressHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte))
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(23);
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        // SplitMix64 finaliser: full avalanche in three multiplies.
+        let mut x = u64::from(value).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = x ^ (x >> 31);
+    }
+}
+
+type WordMap = HashMap<u32, u32, BuildHasherDefault<WordAddressHasher>>;
 
 /// Sparse 32-bit-word main memory.
 ///
@@ -18,7 +53,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MainMemory {
-    words: HashMap<u32, u32>,
+    words: WordMap,
     latency: u32,
     reads: u64,
     writes: u64,
@@ -29,7 +64,7 @@ impl MainMemory {
     #[must_use]
     pub fn new(latency: u32) -> Self {
         MainMemory {
-            words: HashMap::new(),
+            words: WordMap::default(),
             latency,
             reads: 0,
             writes: 0,
@@ -40,6 +75,12 @@ impl MainMemory {
     #[must_use]
     pub fn latency(&self) -> u32 {
         self.latency
+    }
+
+    /// Pre-sizes the word map for about `words` entries (e.g. a program's
+    /// data image), avoiding rehash churn during loading.
+    pub fn reserve(&mut self, words: usize) {
+        self.words.reserve(words);
     }
 
     /// Reads the aligned 32-bit word containing `address` (uninitialised
@@ -99,22 +140,24 @@ impl MainMemory {
 
     /// A deterministic checksum over the whole memory image, used by the
     /// cross-scheme equivalence and fault-injection tests.
+    ///
+    /// Each (address, value) entry is hashed independently and the
+    /// fingerprints are combined with a wrapping sum, so the result is
+    /// iteration-order-independent without sorting — this runs once per
+    /// campaign cell at drain time.
     #[must_use]
     pub fn checksum(&self) -> u64 {
-        let mut entries: Vec<(u32, u32)> = self.words.iter().map(|(&a, &v)| (a, v)).collect();
-        entries.sort_unstable();
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for (address, value) in entries {
+        self.words
+            .iter()
             // Zero-valued words are equivalent to absent words.
-            if value == 0 {
-                continue;
-            }
-            for byte in address.to_le_bytes().into_iter().chain(value.to_le_bytes()) {
-                hash ^= u64::from(byte);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        }
-        hash
+            .filter(|(_, &value)| value != 0)
+            .fold(0u64, |hash, (&address, &value)| {
+                let mut x = (u64::from(address) << 32 | u64::from(value))
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15);
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                hash.wrapping_add(x ^ (x >> 31))
+            })
     }
 }
 

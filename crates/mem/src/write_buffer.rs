@@ -121,6 +121,15 @@ impl WriteBuffer {
         self.entries.iter().any(|s| s.address & !3 == target)
     }
 
+    /// Drains every queued store in FIFO order — the effect of a memory
+    /// fence / synchronising instruction, which stalls until the buffer has
+    /// fully emptied.  Clears full-buffer backpressure as a side effect
+    /// (the buffer *did* get completely empty).
+    pub fn drain_for_fence(&mut self) -> Vec<PendingStore> {
+        self.draining = false;
+        self.entries.drain(..).collect()
+    }
+
     /// Total stores accepted.
     #[must_use]
     pub fn enqueues(&self) -> u64 {

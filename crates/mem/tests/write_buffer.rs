@@ -1,0 +1,114 @@
+//! Direct edge-case tests of the NGMP store buffer (`laec_mem::WriteBuffer`):
+//! full-buffer backpressure accounting, drain ordering with aliasing
+//! stores, and flush-on-fence semantics.
+
+use laec_mem::{PendingStore, WriteBuffer};
+
+fn store(address: u32, value: u32) -> PendingStore {
+    PendingStore {
+        address,
+        value,
+        byte_mask: 0xF,
+    }
+}
+
+#[test]
+fn full_buffer_counts_every_rejected_push_until_fully_drained() {
+    let mut buffer = WriteBuffer::new(3);
+    for i in 0..3 {
+        assert!(buffer.push(store(4 * i, i)));
+    }
+    assert_eq!(buffer.len(), buffer.capacity());
+    assert!(buffer.must_stall_store());
+    // Every retry while full (or draining) is a counted stall.
+    for attempt in 1..=5 {
+        assert!(!buffer.push(store(0x100, attempt)));
+        assert_eq!(buffer.full_stalls(), u64::from(attempt));
+    }
+    // Partial drain is not enough: the NGMP drains *completely*.
+    buffer.pop();
+    buffer.pop();
+    assert_eq!(buffer.len(), 1);
+    assert!(buffer.must_stall_store());
+    assert!(!buffer.push(store(0x100, 9)));
+    assert_eq!(buffer.full_stalls(), 6);
+    buffer.pop();
+    assert!(buffer.is_empty());
+    assert!(!buffer.must_stall_store());
+    assert!(buffer.push(store(0x100, 9)));
+    assert_eq!(buffer.enqueues(), 4);
+}
+
+#[test]
+fn drain_preserves_program_order_for_aliasing_stores() {
+    // Two stores to the same word plus interleaved neighbours: FIFO order
+    // is what makes the later store win in the DL1, so any reordering
+    // would be an architectural bug.
+    let mut buffer = WriteBuffer::new(8);
+    buffer.push(store(0x40, 1));
+    buffer.push(store(0x44, 2));
+    buffer.push(store(0x40, 3));
+    buffer.push(PendingStore {
+        address: 0x44,
+        value: 4,
+        byte_mask: 0b0001,
+    });
+    let drained: Vec<PendingStore> = std::iter::from_fn(|| buffer.pop()).collect();
+    assert_eq!(
+        drained
+            .iter()
+            .map(|s| (s.address, s.value))
+            .collect::<Vec<_>>(),
+        vec![(0x40, 1), (0x44, 2), (0x40, 3), (0x44, 4)],
+    );
+    assert_eq!(drained[3].byte_mask, 0b0001, "masks travel with the store");
+}
+
+#[test]
+fn fence_flushes_everything_in_order_and_clears_backpressure() {
+    let mut buffer = WriteBuffer::new(2);
+    buffer.push(store(0x10, 7));
+    buffer.push(store(0x20, 8));
+    // Hitting capacity arms the drain-until-empty backpressure mode.
+    assert!(buffer.must_stall_store());
+    let flushed = buffer.drain_for_fence();
+    assert_eq!(
+        flushed.iter().map(|s| s.address).collect::<Vec<_>>(),
+        vec![0x10, 0x20],
+        "the fence drains in FIFO order"
+    );
+    assert!(buffer.is_empty());
+    assert!(
+        !buffer.must_stall_store(),
+        "the fence emptied the buffer, so backpressure must be gone"
+    );
+    assert!(buffer.push(store(0x30, 9)));
+    assert_eq!(buffer.len(), 1);
+}
+
+#[test]
+fn fence_on_an_empty_buffer_is_a_no_op() {
+    let mut buffer = WriteBuffer::new(4);
+    assert!(buffer.drain_for_fence().is_empty());
+    assert!(!buffer.must_stall_store());
+    assert_eq!(buffer.enqueues(), 0);
+    assert_eq!(buffer.full_stalls(), 0);
+}
+
+#[test]
+fn conflict_detection_after_partial_drain() {
+    let mut buffer = WriteBuffer::new(4);
+    buffer.push(store(0x100, 1));
+    buffer.push(store(0x104, 2));
+    assert!(buffer.has_store_to(0x100));
+    buffer.pop();
+    assert!(
+        !buffer.has_store_to(0x100),
+        "a drained store no longer forces loads to wait"
+    );
+    assert!(
+        buffer.has_store_to(0x106),
+        "aliased by the aligned 0x104 word"
+    );
+    assert_eq!(buffer.peek().map(|s| s.address), Some(0x104));
+}

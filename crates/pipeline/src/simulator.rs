@@ -27,6 +27,7 @@ use std::collections::VecDeque;
 
 use laec_isa::{semantics, Instruction, Program, Reg, RegisterFile, NUM_REGS};
 use laec_mem::{FaultCampaign, MemorySystem};
+use laec_trace::{StallKind, TraceSink, TraceSummary};
 
 use crate::chronogram::{Chronogram, TraceEntry};
 use crate::config::PipelineConfig;
@@ -54,6 +55,25 @@ pub struct SimResult {
     pub unrecoverable_errors: u64,
     /// Uncorrectable errors recovered by refetching from the L2 (WT/parity).
     pub recovered_by_refetch: u64,
+}
+
+impl SimResult {
+    /// The trace-header summary of this run — the pipeline-side statistics a
+    /// trace replay reuses instead of re-simulating the pipeline.
+    #[must_use]
+    pub fn trace_summary(&self) -> TraceSummary {
+        TraceSummary {
+            cycles: self.stats.cycles,
+            instructions: self.stats.instructions,
+            loads: self.stats.loads,
+            load_hits: self.stats.load_hits,
+            stores: self.stats.stores,
+            lookahead_loads: self.stats.lookahead_loads,
+            hit_instruction_limit: self.hit_instruction_limit,
+            registers_fingerprint: 0, // callers fingerprint `registers`
+            memory_checksum: self.memory_checksum,
+        }
+    }
 }
 
 /// Timing footprint of the previously processed dynamic instruction.
@@ -96,6 +116,9 @@ pub struct Simulator {
     halted: bool,
     hit_instruction_limit: bool,
     last_retire: u64,
+    /// Optional capture hook (trace recording).  `None` by default, so the
+    /// emission sites cost one branch each on untraced runs.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl Simulator {
@@ -104,6 +127,7 @@ impl Simulator {
     #[must_use]
     pub fn new(program: Program, config: PipelineConfig) -> Self {
         let mut mem = MemorySystem::new(config.hierarchy);
+        mem.reserve_memory(program.data().len());
         for &(address, value) in program.data() {
             mem.preload_word(address, value);
         }
@@ -129,8 +153,21 @@ impl Simulator {
             halted: false,
             hit_instruction_limit: false,
             last_retire: 0,
+            sink: None,
             config,
         }
+    }
+
+    /// Attaches a trace sink; the simulator emits fetch, memory-access,
+    /// stall and commit events into it (see `laec_trace`).
+    pub fn attach_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Attaches a trace sink to the memory hierarchy (line-fill / writeback
+    /// events, full-detail recordings).
+    pub fn attach_mem_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.mem.set_trace_sink(sink);
     }
 
     /// Convenience: build, run and return the result in one call.
@@ -204,6 +241,9 @@ impl Simulator {
         for s in 1..=idx_ex {
             entry[s] = (entry[s - 1] + 1).max(self.structural(s));
         }
+        if let Some(sink) = &mut self.sink {
+            sink.record_fetch(self.pc, entry[0]);
+        }
 
         // --- dependent-load statistic (Table II row 2) ----------------------
         self.update_dependent_loads(&instruction);
@@ -251,6 +291,15 @@ impl Simulator {
             }
         }
         self.stats.operand_stall_cycles += memory_entry - natural_memory_entry;
+        if memory_entry > natural_memory_entry {
+            if let Some(sink) = &mut self.sink {
+                sink.record_stall(
+                    StallKind::Operand,
+                    natural_memory_entry,
+                    memory_entry - natural_memory_entry,
+                );
+            }
+        }
 
         // Write-buffer interaction (paper §III.B).
         let before_wb = memory_entry;
@@ -258,12 +307,28 @@ impl Simulator {
             if self.wb_free_at > memory_entry {
                 memory_entry = self.wb_free_at;
                 self.stats.write_buffer_drain_stall_cycles += memory_entry - before_wb;
+                if let Some(sink) = &mut self.sink {
+                    sink.record_stall(
+                        StallKind::WriteBufferDrain,
+                        before_wb,
+                        memory_entry - before_wb,
+                    );
+                }
             }
         } else if instruction.is_store() {
             self.retire_drained_stores(memory_entry);
             if self.wb_completions.len() >= self.config.hierarchy.write_buffer_entries as usize {
                 memory_entry = memory_entry.max(self.wb_free_at);
                 self.stats.write_buffer_full_stall_cycles += memory_entry - before_wb;
+                if memory_entry > before_wb {
+                    if let Some(sink) = &mut self.sink {
+                        sink.record_stall(
+                            StallKind::WriteBufferFull,
+                            before_wb,
+                            memory_entry - before_wb,
+                        );
+                    }
+                }
                 self.wb_completions.clear();
             }
         }
@@ -284,6 +349,15 @@ impl Simulator {
                 self.stats.loads += 1;
                 let address = semantics::effective_address(self.regs.read(base), offset);
                 let response = self.mem.load_word(address & !3, entry[idx_m]);
+                if let Some(sink) = &mut self.sink {
+                    sink.record_mem_read(
+                        address & !3,
+                        entry[idx_m],
+                        response.value,
+                        response.dl1_hit,
+                        response.extra_cycles,
+                    );
+                }
                 load_hit = response.dl1_hit;
                 if load_hit {
                     self.stats.load_hits += 1;
@@ -314,6 +388,9 @@ impl Simulator {
                 let value = self.regs.read(src);
                 let (merged, mask) = store_word_and_mask(address, width, value);
                 let drain_start = self.wb_free_at.max(entry[idx_m]);
+                if let Some(sink) = &mut self.sink {
+                    sink.record_mem_write(address & !3, drain_start, merged, mask);
+                }
                 let response = self
                     .mem
                     .store_word_masked(address & !3, merged, mask, drain_start);
@@ -410,6 +487,9 @@ impl Simulator {
                 retired: leave_last,
                 lookahead,
             });
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.record_commit();
         }
         if let Some(campaign) = &mut self.fault_campaign {
             if campaign.maybe_inject(&mut self.mem).is_some() {

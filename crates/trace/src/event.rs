@@ -1,0 +1,195 @@
+//! The trace record model.
+//!
+//! A trace is a flat sequence of [`TraceEvent`]s in *pipeline program
+//! order*: for each dynamic instruction, its optional memory access is
+//! followed by its commit (commits of access-free instructions are
+//! run-length-merged into a single [`TraceEvent::Commit`]).  This ordering
+//! matters: fault campaigns get exactly one injection opportunity per
+//! commit, interleaved with the accesses precisely as the full simulator
+//! interleaves them, which is what makes replayed injection bit-identical.
+//!
+//! Fetch, stall and memory-hierarchy events (line fills, writebacks) are
+//! informational: they make `laec-cli trace info` useful for performance
+//! archaeology but are skipped by the replay engine and omitted from
+//! replay-detail recordings to keep campaign traces compact.
+
+/// Which level of the memory hierarchy an informational event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLevel {
+    /// The per-core L1 data cache.
+    Dl1,
+    /// The shared second-level cache.
+    L2,
+}
+
+impl MemLevel {
+    /// Stable wire encoding.
+    #[must_use]
+    pub fn to_wire(self) -> u8 {
+        match self {
+            MemLevel::Dl1 => 0,
+            MemLevel::L2 => 1,
+        }
+    }
+
+    /// Decodes the wire encoding.
+    #[must_use]
+    pub fn from_wire(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(MemLevel::Dl1),
+            1 => Some(MemLevel::L2),
+            _ => None,
+        }
+    }
+}
+
+/// Why the pipeline stalled (informational detail events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// Waiting for a source operand (load-use / ECC-induced).
+    Operand,
+    /// A load waiting for the write buffer to drain.
+    WriteBufferDrain,
+    /// A store stalled on a full write buffer.
+    WriteBufferFull,
+}
+
+impl StallKind {
+    /// Stable wire encoding.
+    #[must_use]
+    pub fn to_wire(self) -> u8 {
+        match self {
+            StallKind::Operand => 0,
+            StallKind::WriteBufferDrain => 1,
+            StallKind::WriteBufferFull => 2,
+        }
+    }
+
+    /// Decodes the wire encoding.
+    #[must_use]
+    pub fn from_wire(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(StallKind::Operand),
+            1 => Some(StallKind::WriteBufferDrain),
+            2 => Some(StallKind::WriteBufferFull),
+            _ => None,
+        }
+    }
+}
+
+/// One record of the captured stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `count` consecutive instruction commits with no memory access in
+    /// between — each one is an injection opportunity during replay.
+    Commit {
+        /// Number of merged commits (≥ 1).
+        count: u64,
+    },
+    /// A data-side load issued to the memory system.
+    MemRead {
+        /// Word-aligned address.
+        address: u32,
+        /// Memory-stage entry cycle the access was issued at.
+        cycle: u64,
+        /// The aligned 32-bit word the fault-free run loaded.
+        value: u32,
+        /// `true` if the access hit in the DL1.
+        hit: bool,
+        /// Stall cycles beyond a 1-cycle DL1 hit.
+        extra_cycles: u32,
+    },
+    /// A store issued to the memory system (post-merge word + byte mask).
+    MemWrite {
+        /// Word-aligned address.
+        address: u32,
+        /// Drain-start cycle the store was issued at.
+        cycle: u64,
+        /// The merged 32-bit word written.
+        value: u32,
+        /// Byte-enable mask (bit *i* enables byte *i*).
+        byte_mask: u8,
+    },
+    /// An instruction fetch (full-detail traces only).
+    Fetch {
+        /// Static program index fetched.
+        pc: u32,
+        /// Fetch-stage entry cycle.
+        cycle: u64,
+    },
+    /// A pipeline stall (full-detail traces only).
+    Stall {
+        /// What the pipeline waited for.
+        kind: StallKind,
+        /// Cycle the stall began.
+        cycle: u64,
+        /// Stalled cycles.
+        cycles: u64,
+    },
+    /// A cache line fill (full-detail traces only).
+    LineFill {
+        /// Level that was filled.
+        level: MemLevel,
+        /// Line-aligned base address.
+        address: u32,
+    },
+    /// A dirty line writeback (full-detail traces only).
+    Writeback {
+        /// Level that wrote back.
+        level: MemLevel,
+        /// Line-aligned base address.
+        address: u32,
+    },
+}
+
+impl TraceEvent {
+    /// `true` for the events the replay engine consumes (commit and memory
+    /// accesses); the rest are informational.
+    #[must_use]
+    pub fn is_replayed(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Commit { .. } | TraceEvent::MemRead { .. } | TraceEvent::MemWrite { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_encodings_round_trip() {
+        for level in [MemLevel::Dl1, MemLevel::L2] {
+            assert_eq!(MemLevel::from_wire(level.to_wire()), Some(level));
+        }
+        for kind in [
+            StallKind::Operand,
+            StallKind::WriteBufferDrain,
+            StallKind::WriteBufferFull,
+        ] {
+            assert_eq!(StallKind::from_wire(kind.to_wire()), Some(kind));
+        }
+        assert_eq!(MemLevel::from_wire(9), None);
+        assert_eq!(StallKind::from_wire(9), None);
+    }
+
+    #[test]
+    fn replayed_subset_is_the_compact_core() {
+        assert!(TraceEvent::Commit { count: 1 }.is_replayed());
+        assert!(TraceEvent::MemRead {
+            address: 0,
+            cycle: 0,
+            value: 0,
+            hit: true,
+            extra_cycles: 0
+        }
+        .is_replayed());
+        assert!(!TraceEvent::Fetch { pc: 0, cycle: 0 }.is_replayed());
+        assert!(!TraceEvent::LineFill {
+            level: MemLevel::Dl1,
+            address: 0
+        }
+        .is_replayed());
+    }
+}

@@ -1,0 +1,84 @@
+//! Trace capture & replay for the LAEC campaign engine.
+//!
+//! Every campaign cell of `laec_core::campaign` re-executes the full
+//! pipeline + memory-hierarchy simulation even though the pipeline-level
+//! access stream is identical across fault seeds — only the injected faults
+//! differ.  This crate implements the standard trace-driven-simulation
+//! technique: record the access/commit stream of the fault-free run once per
+//! workload × platform × scheme, then *replay* it directly against the
+//! memory hierarchy and fault injector for every fault seed, skipping
+//! pipeline re-simulation entirely.
+//!
+//! Modules:
+//!
+//! * [`event`] — the [`TraceEvent`] record model (fetch / mem-read /
+//!   mem-write / commit / stall / line-fill / writeback, with cycle stamps),
+//! * [`varint`] — the LEB128 + zigzag primitives of the binary format,
+//! * [`format`] — the versioned, delta-encoded binary container
+//!   ([`Trace`], [`TraceHeader`], [`TraceSummary`], iterator-based reader),
+//! * [`record`] — the capture side: the [`TraceSink`] trait that
+//!   `laec_pipeline::Simulator` and `laec_mem::MemorySystem` emit into
+//!   (no-op by default), and the [`TraceRecorder`] / [`SharedSink`]
+//!   implementations that encode events on the fly,
+//! * [`replay`] — the replay engine: a generic [`ReplayTarget`] driver with
+//!   *checked* divergence detection, the foundation of the byte-identical
+//!   guarantee of trace-backed campaigns.
+//!
+//! # Why replay can be byte-identical
+//!
+//! A replayed faulty run is indistinguishable from a fully simulated one as
+//! long as no injected fault perturbs the recorded stream: the memory
+//! hierarchy is driven through exactly the same calls (same addresses, same
+//! cycle stamps, same store values, same injection opportunities), so its
+//! internal state — and therefore every counter, checksum and ECC outcome —
+//! evolves identically.  The replay driver *checks* this invariant at every
+//! load: the moment a response's value, hit/miss status, stall cycles or
+//! timing-relevant ECC outcome differs from the recording, it reports a
+//! [`replay::Divergence`] and the caller falls back to full simulation for
+//! that one cell.  Either way the final report is byte-identical to full
+//! simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use laec_trace::{ReplayTarget, ReplayLoad, TraceContext, TraceRecorder, TraceSink,
+//!     TraceSummary, replay_trace};
+//!
+//! // Record a tiny stream: one load, two commits, one store.
+//! let mut recorder = TraceRecorder::new(TraceContext::new("demo", "laec", "wb", 7));
+//! recorder.record_mem_read(0x100, 4, 42, true, 0);
+//! recorder.record_commit();
+//! recorder.record_commit();
+//! recorder.record_mem_write(0x104, 9, 7, 0xF);
+//! recorder.record_commit();
+//! let trace = recorder.finish(TraceSummary::default());
+//!
+//! // Replay it against a toy target that answers every load with 42.
+//! struct Toy(u64);
+//! impl ReplayTarget for Toy {
+//!     fn replay_load(&mut self, _address: u32, _cycle: u64) -> ReplayLoad {
+//!         ReplayLoad { value: 42, hit: true, extra_cycles: 0, timing_error: false }
+//!     }
+//!     fn replay_store(&mut self, _address: u32, _value: u32, _mask: u8, _cycle: u64) {}
+//!     fn replay_commits(&mut self, count: u64) { self.0 += count; }
+//! }
+//! let mut toy = Toy(0);
+//! replay_trace(&trace, &mut toy).expect("faithful replay");
+//! assert_eq!(toy.0, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod format;
+pub mod record;
+pub mod replay;
+pub mod varint;
+
+pub use event::{MemLevel, StallKind, TraceEvent};
+pub use format::{Trace, TraceError, TraceHeader, TraceSummary, FORMAT_VERSION};
+pub use record::{NullSink, SharedSink, TraceContext, TraceDetail, TraceRecorder, TraceSink};
+pub use replay::{
+    replay_events, replay_trace, Divergence, ReplayLoad, ReplayProgress, ReplayTarget,
+};

@@ -1,0 +1,359 @@
+//! The capture side: the [`TraceSink`] hook trait and its recorder.
+//!
+//! `laec_pipeline::Simulator` and `laec_mem::MemorySystem` each hold an
+//! `Option<Box<dyn TraceSink>>` that is `None` by default — emission is a
+//! single branch per event site, nothing is allocated and nothing is
+//! formatted, so untraced simulation pays (almost) nothing.  Attaching a
+//! [`TraceRecorder`] (usually through a cloneable [`SharedSink`], so the
+//! pipeline and the memory system can feed one stream) turns the run into a
+//! recording: events are delta-encoded into the binary format on the fly.
+
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+use crate::event::{MemLevel, StallKind, TraceEvent};
+use crate::format::{Codec, Trace, TraceHeader, TraceSummary, FORMAT_VERSION};
+
+/// How much of the stream a recording keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TraceDetail {
+    /// Only the events replay needs: memory accesses and commits.  This is
+    /// what campaign traces use.
+    Replay,
+    /// Everything, including fetches, stalls, line fills and writebacks —
+    /// for `laec-cli trace info` style inspection.
+    Full,
+}
+
+/// Receiver of capture events.
+///
+/// All methods default to no-ops so emitters can call unconditionally
+/// through their optional sink without caring which detail level the
+/// attached recorder keeps.
+pub trait TraceSink: std::fmt::Debug + Send {
+    /// An instruction fetch entered the pipeline.
+    fn record_fetch(&mut self, _pc: u32, _cycle: u64) {}
+    /// A load was issued to the memory system.
+    fn record_mem_read(
+        &mut self,
+        _address: u32,
+        _cycle: u64,
+        _value: u32,
+        _hit: bool,
+        _extra_cycles: u32,
+    ) {
+    }
+    /// A store was issued to the memory system.
+    fn record_mem_write(&mut self, _address: u32, _cycle: u64, _value: u32, _byte_mask: u8) {}
+    /// One instruction committed (one fault-injection opportunity).
+    fn record_commit(&mut self) {}
+    /// The pipeline stalled.
+    fn record_stall(&mut self, _kind: StallKind, _cycle: u64, _cycles: u64) {}
+    /// A cache level filled a line.
+    fn record_line_fill(&mut self, _level: MemLevel, _address: u32) {}
+    /// A cache level wrote a dirty line back.
+    fn record_writeback(&mut self, _level: MemLevel, _address: u32) {}
+}
+
+/// A sink that drops everything (useful in tests and as documentation of
+/// the default behaviour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// Identity of a recording: which cell of the campaign grid the stream
+/// belongs to, and a fingerprint of everything that shaped it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Platform label.
+    pub platform: String,
+    /// Hash of the recording configuration (spec seed, generator shape,
+    /// scheme, hierarchy parameters).
+    pub fingerprint: u64,
+}
+
+impl TraceContext {
+    /// Builds a context from its parts.
+    #[must_use]
+    pub fn new(
+        workload: impl Into<String>,
+        scheme: impl Into<String>,
+        platform: impl Into<String>,
+        fingerprint: u64,
+    ) -> Self {
+        TraceContext {
+            workload: workload.into(),
+            scheme: scheme.into(),
+            platform: platform.into(),
+            fingerprint,
+        }
+    }
+}
+
+/// Encodes capture events into the binary trace format on the fly.
+///
+/// Consecutive commits are run-length-merged into one
+/// [`TraceEvent::Commit`]; in [`TraceDetail::Replay`] mode the informational
+/// events (fetch, stall, fill, writeback) are dropped at the door.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    context: TraceContext,
+    detail: TraceDetail,
+    codec: Codec,
+    bytes: Vec<u8>,
+    event_count: u64,
+    pending_commits: u64,
+}
+
+impl TraceRecorder {
+    /// A replay-detail recorder (campaign traces).
+    #[must_use]
+    pub fn new(context: TraceContext) -> Self {
+        TraceRecorder::with_detail(context, TraceDetail::Replay)
+    }
+
+    /// A full-detail recorder (inspection traces).
+    #[must_use]
+    pub fn full(context: TraceContext) -> Self {
+        TraceRecorder::with_detail(context, TraceDetail::Full)
+    }
+
+    /// A recorder with an explicit detail level.
+    #[must_use]
+    pub fn with_detail(context: TraceContext, detail: TraceDetail) -> Self {
+        TraceRecorder {
+            context,
+            detail,
+            codec: Codec::new(),
+            bytes: Vec::with_capacity(4096),
+            event_count: 0,
+            pending_commits: 0,
+        }
+    }
+
+    /// Events recorded so far (merged commits count as one).
+    #[must_use]
+    pub fn event_count(&self) -> u64 {
+        self.event_count + u64::from(self.pending_commits > 0)
+    }
+
+    fn push(&mut self, event: &TraceEvent) {
+        self.flush_commits();
+        self.codec.encode(&mut self.bytes, event);
+        self.event_count += 1;
+    }
+
+    fn flush_commits(&mut self) {
+        if self.pending_commits > 0 {
+            let count = self.pending_commits;
+            self.pending_commits = 0;
+            self.codec
+                .encode(&mut self.bytes, &TraceEvent::Commit { count });
+            self.event_count += 1;
+        }
+    }
+
+    /// Seals the recording into a [`Trace`], attaching the fault-free run's
+    /// `summary`.
+    #[must_use]
+    pub fn finish(mut self, summary: TraceSummary) -> Trace {
+        self.flush_commits();
+        Trace::from_parts(
+            TraceHeader {
+                version: FORMAT_VERSION,
+                detail: self.detail,
+                workload: self.context.workload,
+                scheme: self.context.scheme,
+                platform: self.context.platform,
+                context_fingerprint: self.context.fingerprint,
+                summary,
+                event_count: self.event_count,
+            },
+            self.bytes,
+        )
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn record_fetch(&mut self, pc: u32, cycle: u64) {
+        if self.detail == TraceDetail::Full {
+            self.push(&TraceEvent::Fetch { pc, cycle });
+        }
+    }
+
+    fn record_mem_read(&mut self, address: u32, cycle: u64, value: u32, hit: bool, extra: u32) {
+        self.push(&TraceEvent::MemRead {
+            address,
+            cycle,
+            value,
+            hit,
+            extra_cycles: extra,
+        });
+    }
+
+    fn record_mem_write(&mut self, address: u32, cycle: u64, value: u32, byte_mask: u8) {
+        self.push(&TraceEvent::MemWrite {
+            address,
+            cycle,
+            value,
+            byte_mask,
+        });
+    }
+
+    fn record_commit(&mut self) {
+        self.pending_commits += 1;
+    }
+
+    fn record_stall(&mut self, kind: StallKind, cycle: u64, cycles: u64) {
+        if self.detail == TraceDetail::Full {
+            self.push(&TraceEvent::Stall {
+                kind,
+                cycle,
+                cycles,
+            });
+        }
+    }
+
+    fn record_line_fill(&mut self, level: MemLevel, address: u32) {
+        if self.detail == TraceDetail::Full {
+            self.push(&TraceEvent::LineFill { level, address });
+        }
+    }
+
+    fn record_writeback(&mut self, level: MemLevel, address: u32) {
+        if self.detail == TraceDetail::Full {
+            self.push(&TraceEvent::Writeback { level, address });
+        }
+    }
+}
+
+/// A cloneable handle to one shared [`TraceRecorder`], so the pipeline and
+/// the memory hierarchy can both emit into a single stream, and the caller
+/// keeps a handle to recover the recording after the simulator is dropped.
+#[derive(Debug, Clone)]
+pub struct SharedSink {
+    recorder: Arc<Mutex<TraceRecorder>>,
+}
+
+impl SharedSink {
+    /// Wraps a recorder for sharing.
+    #[must_use]
+    pub fn new(recorder: TraceRecorder) -> Self {
+        SharedSink {
+            recorder: Arc::new(Mutex::new(recorder)),
+        }
+    }
+
+    /// A boxed clone suitable for attaching to an emitter.
+    #[must_use]
+    pub fn boxed(&self) -> Box<dyn TraceSink> {
+        Box::new(self.clone())
+    }
+
+    /// Seals the recording.  Returns `None` while other clones of the
+    /// handle are still alive (drop the simulator first).
+    #[must_use]
+    pub fn finish(self, summary: TraceSummary) -> Option<Trace> {
+        Arc::try_unwrap(self.recorder).ok().map(|mutex| {
+            mutex
+                .into_inner()
+                .expect("unpoisoned recorder")
+                .finish(summary)
+        })
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn record_fetch(&mut self, pc: u32, cycle: u64) {
+        self.lock().record_fetch(pc, cycle);
+    }
+
+    fn record_mem_read(&mut self, address: u32, cycle: u64, value: u32, hit: bool, extra: u32) {
+        self.lock()
+            .record_mem_read(address, cycle, value, hit, extra);
+    }
+
+    fn record_mem_write(&mut self, address: u32, cycle: u64, value: u32, byte_mask: u8) {
+        self.lock()
+            .record_mem_write(address, cycle, value, byte_mask);
+    }
+
+    fn record_commit(&mut self) {
+        self.lock().record_commit();
+    }
+
+    fn record_stall(&mut self, kind: StallKind, cycle: u64, cycles: u64) {
+        self.lock().record_stall(kind, cycle, cycles);
+    }
+
+    fn record_line_fill(&mut self, level: MemLevel, address: u32) {
+        self.lock().record_line_fill(level, address);
+    }
+
+    fn record_writeback(&mut self, level: MemLevel, address: u32) {
+        self.lock().record_writeback(level, address);
+    }
+}
+
+impl SharedSink {
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceRecorder> {
+        self.recorder.lock().expect("unpoisoned recorder")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_detail_drops_informational_events() {
+        let mut recorder = TraceRecorder::new(TraceContext::new("w", "s", "p", 0));
+        recorder.record_fetch(0, 1);
+        recorder.record_stall(StallKind::Operand, 2, 3);
+        recorder.record_line_fill(MemLevel::Dl1, 0x100);
+        recorder.record_writeback(MemLevel::L2, 0x200);
+        recorder.record_commit();
+        let trace = recorder.finish(TraceSummary::default());
+        let events: Vec<TraceEvent> = trace.events().map(Result::unwrap).collect();
+        assert_eq!(events, vec![TraceEvent::Commit { count: 1 }]);
+    }
+
+    #[test]
+    fn commit_runs_merge_and_flush_on_interleaved_accesses() {
+        let mut recorder = TraceRecorder::new(TraceContext::new("w", "s", "p", 0));
+        recorder.record_commit();
+        recorder.record_commit();
+        recorder.record_mem_read(0, 1, 2, true, 0);
+        recorder.record_commit();
+        assert_eq!(recorder.event_count(), 3);
+        let trace = recorder.finish(TraceSummary::default());
+        let events: Vec<TraceEvent> = trace.events().map(Result::unwrap).collect();
+        assert!(matches!(events[0], TraceEvent::Commit { count: 2 }));
+        assert!(matches!(events[1], TraceEvent::MemRead { .. }));
+        assert!(matches!(events[2], TraceEvent::Commit { count: 1 }));
+    }
+
+    #[test]
+    fn shared_sink_merges_two_emitters_and_unwraps_once_free() {
+        let shared = SharedSink::new(TraceRecorder::full(TraceContext::new("w", "s", "p", 0)));
+        let mut pipeline_side = shared.boxed();
+        let mut mem_side = shared.boxed();
+        pipeline_side.record_mem_read(0x10, 1, 0, false, 9);
+        mem_side.record_line_fill(MemLevel::Dl1, 0x10);
+        pipeline_side.record_commit();
+        // Clones still alive: cannot seal yet.
+        assert!(shared.clone().finish(TraceSummary::default()).is_none());
+        drop(pipeline_side);
+        drop(mem_side);
+        let trace = shared.finish(TraceSummary::default()).expect("sole owner");
+        assert_eq!(trace.header.event_count, 3);
+        let events: Vec<TraceEvent> = trace.events().map(Result::unwrap).collect();
+        assert!(matches!(events[1], TraceEvent::LineFill { .. }));
+    }
+}

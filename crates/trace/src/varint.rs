@@ -1,0 +1,126 @@
+//! LEB128 varints and zigzag deltas — the primitives of the trace format.
+//!
+//! Cycle stamps and addresses in a trace are strongly correlated between
+//! consecutive events, so the format stores *deltas* rather than absolute
+//! values; zigzag mapping keeps small negative deltas (backward jumps in the
+//! access pattern, pipelined fetch-vs-memory cycle interleaving) as small
+//! unsigned varints.
+
+/// Appends `value` as an unsigned LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `value` with the zigzag mapping (`0, -1, 1, -2, …` → `0, 1, 2,
+/// 3, …`).
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag(value));
+}
+
+/// Maps a signed value onto the zigzag unsigned encoding.
+#[must_use]
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+#[must_use]
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Reads an unsigned LEB128 varint from `bytes` starting at `*cursor`,
+/// advancing the cursor.  Returns `None` on truncation or overflow.
+#[must_use]
+pub fn read_u64(bytes: &[u8], cursor: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*cursor)?;
+        *cursor += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow 64 bits
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Reads a zigzag-encoded signed varint.
+#[must_use]
+pub fn read_i64(bytes: &[u8], cursor: &mut usize) -> Option<i64> {
+    read_u64(bytes, cursor).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_u64(value: u64) {
+        let mut buffer = Vec::new();
+        write_u64(&mut buffer, value);
+        let mut cursor = 0;
+        assert_eq!(read_u64(&buffer, &mut cursor), Some(value));
+        assert_eq!(cursor, buffer.len());
+    }
+
+    #[test]
+    fn unsigned_round_trips() {
+        for value in [0, 1, 127, 128, 300, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            round_trip_u64(value);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buffer = Vec::new();
+        write_u64(&mut buffer, 127);
+        assert_eq!(buffer.len(), 1);
+        buffer.clear();
+        write_u64(&mut buffer, 128);
+        assert_eq!(buffer.len(), 2);
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for value in [0i64, 1, -1, 4, -4, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(value)), value);
+            let mut buffer = Vec::new();
+            write_i64(&mut buffer, value);
+            let mut cursor = 0;
+            assert_eq!(read_i64(&buffer, &mut cursor), Some(value));
+        }
+    }
+
+    #[test]
+    fn truncation_and_overflow_are_detected() {
+        let mut cursor = 0;
+        assert_eq!(read_u64(&[], &mut cursor), None);
+        // A varint that never terminates within 64 bits.
+        let mut cursor = 0;
+        assert_eq!(read_u64(&[0x80; 11], &mut cursor), None);
+        // 10th byte carrying more than the single remaining bit.
+        let mut overlong = vec![0xFF; 9];
+        overlong.push(0x7F);
+        let mut cursor = 0;
+        assert_eq!(read_u64(&overlong, &mut cursor), None);
+    }
+}

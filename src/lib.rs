@@ -8,8 +8,11 @@
 //! * [`mem`] — the NGMP-like memory hierarchy (DL1, write buffer, bus, L2),
 //! * [`pipeline`] — the cycle-accurate in-order pipeline with the No-ECC,
 //!   Extra-Cycle, Extra-Stage, Speculate-and-Flush and LAEC schemes,
+//! * [`trace`] — access-stream capture & replay (record a workload once,
+//!   replay fault campaigns against the memory hierarchy only),
 //! * [`workloads`] — EEMBC-Automotive-like workloads and hand-written kernels,
-//! * [`core`] — experiment harness reproducing every table and figure.
+//! * [`core`] — experiment harness reproducing every table and figure,
+//!   including the trace-backed campaign engine.
 //!
 //! # Quickstart
 //!
@@ -30,4 +33,5 @@ pub use laec_ecc as ecc;
 pub use laec_isa as isa;
 pub use laec_mem as mem;
 pub use laec_pipeline as pipeline;
+pub use laec_trace as trace;
 pub use laec_workloads as workloads;

@@ -1,0 +1,111 @@
+//! End-to-end guarantees of the trace capture & replay subsystem: a
+//! trace-backed campaign must serialize *byte-identically* to the full-
+//! simulation campaign for the same spec — fault axis included — and the
+//! persisted trace cache must round-trip.
+
+use std::path::PathBuf;
+
+use laec::core::campaign::{run_campaign, CampaignSpec, PlatformVariant, WorkloadSet};
+use laec::core::trace_backed::run_campaign_trace_backed;
+use laec::pipeline::EccScheme;
+
+/// Two workloads × two ECC schemes × fault seeds on the paper platform:
+/// the acceptance grid of the subsystem.
+fn secded_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::smoke();
+    spec.workloads = WorkloadSet::Named(vec!["vector_sum".into(), "fir_filter".into()]);
+    spec.schemes = vec![EccScheme::Laec, EccScheme::ExtraStage];
+    spec.platforms = vec![PlatformVariant::WriteBack];
+    spec.fault_seeds = vec![0xA1, 0xB2, 0xC3];
+    spec.fault_interval = 200;
+    spec
+}
+
+/// A divergence-heavy grid: the unprotected no-ECC baseline corrupts
+/// silently and the write-through platform recovers by refetch — both
+/// force replay fallbacks, which must still be byte-identical.
+fn divergent_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::smoke();
+    spec.workloads = WorkloadSet::Named(vec!["vector_sum".into(), "table_lookup".into()]);
+    spec.schemes = vec![EccScheme::NoEcc, EccScheme::Laec];
+    spec.platforms = vec![PlatformVariant::WriteBack, PlatformVariant::WriteThrough];
+    spec.fault_seeds = vec![7, 8];
+    spec.fault_interval = 60;
+    spec
+}
+
+#[test]
+fn trace_backed_campaign_is_byte_identical_on_the_secded_grid() {
+    let spec = secded_spec();
+    let full = run_campaign(&spec, 2);
+    let traced = run_campaign_trace_backed(&spec, 2, None);
+    assert_eq!(traced.report.to_json(), full.to_json(), "byte-identical");
+    // 2 workloads x 2 schemes = 4 recordings, 4 x 3 faulty cells.
+    assert_eq!(traced.stats.recorded, 4);
+    assert_eq!(traced.stats.replayed + traced.stats.fallbacks, 12);
+    assert!(
+        traced.stats.replayed >= 10,
+        "SECDED absorbs sparse single-bit strikes; almost every faulty cell \
+         must replay without falling back ({})",
+        traced.stats
+    );
+    // The faulty cells really injected faults (the replay did real work).
+    let injected: u64 = traced
+        .report
+        .cells
+        .iter()
+        .filter(|c| c.fault_seed.is_some())
+        .map(|c| c.faults_injected)
+        .sum();
+    assert!(injected > 0, "faults were injected during replay");
+}
+
+#[test]
+fn trace_backed_campaign_is_byte_identical_when_faults_force_fallbacks() {
+    let spec = divergent_spec();
+    let full = run_campaign(&spec, 2);
+    let traced = run_campaign_trace_backed(&spec, 2, None);
+    assert_eq!(traced.report.to_json(), full.to_json(), "byte-identical");
+    assert!(
+        traced.stats.fallbacks > 0,
+        "silent no-ECC corruption / WT refetches must trip the divergence \
+         checks somewhere in this grid ({})",
+        traced.stats
+    );
+}
+
+#[test]
+fn fault_free_grids_replay_from_the_trace_cache() {
+    let mut spec = secded_spec();
+    spec.fault_seeds = vec![0xEE];
+    let cache = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("trace-cache-test");
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let first = run_campaign_trace_backed(&spec, 2, Some(&cache));
+    assert_eq!(first.stats.recorded, 4);
+    assert_eq!(first.stats.cache_loads, 0);
+    assert_eq!(first.stats.cache_write_failures, 0);
+
+    let second = run_campaign_trace_backed(&spec, 2, Some(&cache));
+    assert_eq!(second.stats.recorded, 0, "everything came from the cache");
+    assert_eq!(second.stats.cache_loads, 4);
+    assert_eq!(second.report.to_json(), first.report.to_json());
+
+    // A different master seed must invalidate the cache (fingerprints).
+    let mut reseeded = spec.clone();
+    reseeded.seed ^= 0xDEAD;
+    let third = run_campaign_trace_backed(&reseeded, 2, Some(&cache));
+    assert_eq!(third.stats.cache_loads, 0);
+    assert_eq!(third.stats.recorded, 4);
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn thread_count_does_not_change_trace_backed_reports() {
+    let spec = secded_spec();
+    let one = run_campaign_trace_backed(&spec, 1, None);
+    let eight = run_campaign_trace_backed(&spec, 8, None);
+    assert_eq!(one.report.to_json(), eight.report.to_json());
+    assert_eq!(one.stats, eight.stats);
+}
