@@ -9,7 +9,11 @@
 //!   claims,
 //! * `campaign` — a parallel workload × scheme × platform × fault grid (see
 //!   `laec_core::campaign`), optionally trace-backed (`--trace-backed`,
-//!   `--trace-cache DIR`) for order-of-magnitude faster fault sweeps,
+//!   `--trace-cache DIR`) for order-of-magnitude faster fault sweeps, and
+//!   optionally *sampled* (`--sample N --confidence 0.95 --max-rel-error
+//!   0.05 --checkpoint FILE --resume`, see `laec_core::sampling`): a
+//!   stratified Monte-Carlo estimator with per-stratum confidence
+//!   intervals, early stopping and checkpoint/resume sharding,
 //! * `faults`   — the §I–II upset safety campaign (single-bit or
 //!   adjacent-bit MBU patterns via `--pattern`),
 //! * `trace`    — record, replay and inspect access-stream traces
@@ -28,6 +32,9 @@ use laec_core::campaign::{
 };
 use laec_core::experiment::{
     characterization, fault_campaign_with_pattern, figure8, hazard_breakdown, wt_vs_wb,
+};
+use laec_core::sampling::{
+    render_sampled, SampleExecution, Sampler, SamplerCheckpoint, SamplingPlan,
 };
 use laec_core::trace_backed::{
     record_cell, replay_cell, run_campaign_trace_backed, trace_file_name,
@@ -84,6 +91,34 @@ campaign FLAGS:
     --trace-cache <DIR>
                       Persist/reuse recordings under DIR (implies
                       --trace-backed)
+    --sample <N>      Statistical mode: replace the fixed fault-seed axis
+                      with stratified Monte-Carlo sampling, budget N samples
+                      per workload x scheme x platform stratum.  Each
+                      stratum stops early once its failure-rate confidence
+                      interval is tight enough.  Composes with
+                      --trace-backed / --trace-cache.  Reports are
+                      byte-identical for any --threads value and any
+                      checkpoint/resume split
+    --confidence <C>  Confidence level of the Wilson intervals (default 0.95)
+    --max-rel-error <E>
+                      Target relative half-width of the failure-rate interval
+                      (default 0.05; applied as an absolute bound for
+                      zero-failure strata, whose relative target is
+                      unreachable at rate 0)
+    --batch <N>       Samples per stratum per round — the determinism
+                      granularity (default 16)
+    --min-samples <N> Samples before the stopping rule may end a stratum
+                      (default 32)
+    --checkpoint <FILE>
+                      Write the sampler state to FILE (atomically, via a
+                      .ck.tmp staging file) when this invocation finishes;
+                      shard huge campaigns with --shard-rounds, the safe
+                      stopping mechanism
+    --resume          Load --checkpoint FILE and continue from it (rejects
+                      checkpoints taken under a different spec or plan)
+    --shard-rounds <N>
+                      Stop this invocation after N sampling rounds (requires
+                      --checkpoint; resume later with --resume)
 
 faults FLAGS:
     --interval <N>    Mean cycles between injected upsets (default 40)
@@ -172,6 +207,14 @@ struct Flags {
     out: Option<PathBuf>,
     detailed: bool,
     fault_seed: Option<u64>,
+    sample: Option<u64>,
+    confidence: Option<f64>,
+    max_rel_error: Option<f64>,
+    batch: Option<u64>,
+    min_samples: Option<u64>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    shard_rounds: Option<u64>,
 }
 
 impl Flags {
@@ -194,6 +237,14 @@ impl Flags {
             out: None,
             detailed: false,
             fault_seed: None,
+            sample: None,
+            confidence: None,
+            max_rel_error: None,
+            batch: None,
+            min_samples: None,
+            checkpoint: None,
+            resume: false,
+            shard_rounds: None,
         };
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
@@ -256,6 +307,18 @@ impl Flags {
                 "--out" => flags.out = Some(PathBuf::from(value("--out")?)),
                 "--detailed" => flags.detailed = true,
                 "--fault-seed" => flags.fault_seed = Some(parse_u64(value("--fault-seed")?)?),
+                "--sample" => flags.sample = Some(parse_u64(value("--sample")?)?),
+                "--confidence" => flags.confidence = Some(parse_f64(value("--confidence")?)?),
+                "--max-rel-error" => {
+                    flags.max_rel_error = Some(parse_f64(value("--max-rel-error")?)?);
+                }
+                "--batch" => flags.batch = Some(parse_u64(value("--batch")?)?),
+                "--min-samples" => flags.min_samples = Some(parse_u64(value("--min-samples")?)?),
+                "--checkpoint" => flags.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+                "--resume" => flags.resume = true,
+                "--shard-rounds" => {
+                    flags.shard_rounds = Some(parse_u64(value("--shard-rounds")?)?);
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -271,6 +334,11 @@ impl Flags {
         config.seed = self.seed;
         config
     }
+}
+
+fn parse_f64(text: &str) -> Result<f64, String> {
+    text.parse()
+        .map_err(|_| format!("`{text}` is not a valid number"))
 }
 
 fn parse_u64(text: &str) -> Result<u64, String> {
@@ -383,6 +451,30 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
         }
     }
 
+    if let Some(budget) = flags.sample {
+        if !flags.fault_seeds.is_empty() {
+            return Err(
+                "--sample replaces the fixed fault-seed axis; drop --fault-seeds".to_string(),
+            );
+        }
+        return cmd_campaign_sampled(flags, &spec, budget);
+    }
+    // Sampling-only flags without --sample would be silently ignored and an
+    // exhaustive grid would run instead — reject them loudly (a forgotten
+    // --sample on a resume must not clobber downstream report files).
+    let sampling_only: [(&str, bool); 7] = [
+        ("--confidence", flags.confidence.is_some()),
+        ("--max-rel-error", flags.max_rel_error.is_some()),
+        ("--batch", flags.batch.is_some()),
+        ("--min-samples", flags.min_samples.is_some()),
+        ("--checkpoint", flags.checkpoint.is_some()),
+        ("--resume", flags.resume),
+        ("--shard-rounds", flags.shard_rounds.is_some()),
+    ];
+    if let Some((name, _)) = sampling_only.iter().find(|(_, set)| *set) {
+        return Err(format!("{name} needs --sample <N> (statistical mode)"));
+    }
+
     let report = if flags.trace_backed {
         let traced = run_campaign_trace_backed(&spec, flags.threads, flags.trace_cache.as_deref());
         eprintln!("{}", traced.stats);
@@ -400,6 +492,85 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     } else {
         Err("architectural equivalence FAILED for at least one grid cell".to_string())
     }
+}
+
+/// The statistical campaign mode: stratified Monte-Carlo sampling with
+/// online confidence intervals, optional trace-backed execution and
+/// checkpoint/resume sharding.
+fn cmd_campaign_sampled(flags: &Flags, spec: &CampaignSpec, budget: u64) -> Result<(), String> {
+    let mut plan = SamplingPlan::new(budget);
+    if let Some(confidence) = flags.confidence {
+        plan.confidence = confidence;
+    }
+    if let Some(max_rel_error) = flags.max_rel_error {
+        plan.max_rel_error = max_rel_error;
+    }
+    if let Some(batch) = flags.batch {
+        plan.batch = batch;
+    }
+    if let Some(min_samples) = flags.min_samples {
+        plan.min_samples = min_samples;
+    }
+    plan.validate()?;
+    if flags.shard_rounds.is_some() && flags.checkpoint.is_none() {
+        return Err("--shard-rounds needs --checkpoint <FILE> to save progress".to_string());
+    }
+
+    let execution = if flags.trace_backed {
+        SampleExecution::TraceBacked {
+            cache_dir: flags.trace_cache.clone(),
+        }
+    } else {
+        SampleExecution::FullSim
+    };
+
+    let mut sampler = if flags.resume {
+        let path = flags
+            .checkpoint
+            .as_ref()
+            .ok_or("--resume needs --checkpoint <FILE>")?;
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let checkpoint =
+            SamplerCheckpoint::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        Sampler::restore(spec, &plan, &execution, flags.threads, &checkpoint)
+            .map_err(|e| e.to_string())?
+    } else {
+        Sampler::new(spec, &plan, &execution, flags.threads)
+    };
+
+    let complete = sampler.run_rounds(flags.threads, flags.shard_rounds);
+    if let Some(path) = &flags.checkpoint {
+        // Write-then-rename so an interruption mid-write cannot destroy the
+        // previous checkpoint — the only copy of the campaign's progress.
+        // The staging name appends to the full file name (".tmp" via
+        // with_extension would collide for sibling checkpoints that differ
+        // only in extension).
+        let mut staging = path.clone().into_os_string();
+        staging.push(".tmp");
+        let staging = PathBuf::from(staging);
+        std::fs::write(&staging, sampler.checkpoint().encode())
+            .map_err(|e| format!("cannot write {}: {e}", staging.display()))?;
+        std::fs::rename(&staging, path)
+            .map_err(|e| format!("cannot replace {}: {e}", path.display()))?;
+    }
+    if flags.trace_backed {
+        eprintln!("{}", sampler.trace_stats());
+    }
+    if !complete {
+        eprintln!(
+            "campaign incomplete after {} round(s); checkpoint saved — continue with --resume",
+            flags.shard_rounds.unwrap_or(0),
+        );
+        return Ok(());
+    }
+    let report = sampler.report();
+    if flags.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", render_sampled(&report));
+    }
+    Ok(())
 }
 
 fn cmd_faults(flags: &Flags) -> Result<(), String> {

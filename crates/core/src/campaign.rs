@@ -313,7 +313,10 @@ pub struct SlowdownMatrix {
     pub schemes: Vec<String>,
     /// Per-workload × platform rows.
     pub rows: Vec<SlowdownRow>,
-    /// Column averages, aligned with `schemes`.
+    /// Column summaries, aligned with `schemes`: the *geometric* mean of
+    /// each column's normalized slowdown ratios (the standard aggregate for
+    /// ratios of a baseline — the arithmetic mean systematically overstates
+    /// them).
     pub averages: Vec<Option<f64>>,
 }
 
@@ -350,6 +353,11 @@ pub struct CampaignReport {
     pub slowdowns: SlowdownMatrix,
     /// Per-group equivalence verdicts.
     pub equivalence: Vec<EquivalenceCheck>,
+    /// Workload × platform groups whose fault-free no-ECC baseline retired
+    /// zero cycles: their cells carry `slowdown: None` instead of a
+    /// fabricated finite ratio.  Non-zero values deserve investigation — a
+    /// real workload never runs for zero cycles.
+    pub degenerate_baselines: u64,
 }
 
 impl CampaignReport {
@@ -384,7 +392,7 @@ pub(crate) struct Job {
 }
 
 /// SplitMix64 finaliser, used to decorrelate per-job injection seeds.
-fn mix64(mut value: u64) -> u64 {
+pub(crate) fn mix64(mut value: u64) -> u64 {
     value = value.wrapping_add(0x9E37_79B9_7F4A_7C15);
     value = (value ^ (value >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     value = (value ^ (value >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -506,7 +514,7 @@ pub(crate) fn assemble_report(
     workloads: &[Workload],
     mut cells: Vec<CampaignCell>,
 ) -> CampaignReport {
-    fill_slowdowns(spec, &mut cells);
+    let degenerate_baselines = fill_slowdowns(spec, &mut cells);
     let slowdowns = slowdown_matrix(spec, workloads, &cells);
     let equivalence = equivalence_checks(spec, workloads, &cells);
 
@@ -520,6 +528,7 @@ pub(crate) fn assemble_report(
         cells,
         slowdowns,
         equivalence,
+        degenerate_baselines,
     }
 }
 
@@ -584,9 +593,15 @@ pub(crate) fn run_job(spec: &CampaignSpec, workloads: &[Workload], job: Job) -> 
     )
 }
 
-fn fill_slowdowns(spec: &CampaignSpec, cells: &mut [CampaignCell]) {
+/// Normalizes every cell to its group's fault-free no-ECC baseline.
+///
+/// A baseline that ran zero cycles cannot normalize anything: those groups
+/// keep `slowdown: None` (no fabricated finite ratio) and are counted in
+/// the returned warning counter, surfaced as
+/// [`CampaignReport::degenerate_baselines`].
+fn fill_slowdowns(spec: &CampaignSpec, cells: &mut [CampaignCell]) -> u64 {
     if !spec.schemes.contains(&EccScheme::NoEcc) {
-        return;
+        return 0;
     }
     // One pass to index every group's fault-free no-ECC baseline, rather
     // than rescanning all cells per cell (O(n^2) on big grids).
@@ -596,6 +611,7 @@ fn fill_slowdowns(spec: &CampaignSpec, cells: &mut [CampaignCell]) {
         .filter(|c| c.scheme == baseline && c.fault_seed.is_none())
         .map(|c| ((c.workload.as_str(), c.platform.as_str()), c.cycles))
         .collect();
+    let degenerate = baselines.values().filter(|&&cycles| cycles == 0).count() as u64;
     // Keys borrow from `cells`, so resolve each cell's baseline first.
     let resolved: Vec<Option<u64>> = cells
         .iter()
@@ -606,8 +622,11 @@ fn fill_slowdowns(spec: &CampaignSpec, cells: &mut [CampaignCell]) {
         })
         .collect();
     for (cell, base) in cells.iter_mut().zip(resolved) {
-        cell.slowdown = base.map(|base| cell.cycles as f64 / base.max(1) as f64);
+        cell.slowdown = base
+            .filter(|&base| base > 0)
+            .map(|base| cell.cycles as f64 / base as f64);
     }
+    degenerate
 }
 
 fn slowdown_matrix(
@@ -654,11 +673,7 @@ fn slowdown_matrix(
                 .iter()
                 .filter_map(|row| row.slowdowns[column])
                 .collect();
-            if values.is_empty() {
-                None
-            } else {
-                Some(values.iter().sum::<f64>() / values.len() as f64)
-            }
+            geometric_mean(&values)
         })
         .collect();
     SlowdownMatrix {
@@ -666,6 +681,19 @@ fn slowdown_matrix(
         rows,
         averages,
     }
+}
+
+/// The geometric mean of a set of normalized ratios — the standard summary
+/// for slowdowns against a common baseline.  `None` for an empty set or one
+/// containing a non-positive ratio (log-space has nothing sound to say
+/// about those).
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
 }
 
 fn equivalence_checks(
@@ -743,7 +771,7 @@ pub fn render_campaign(report: &CampaignReport) -> String {
         }
         out.push('\n');
     }
-    let _ = write!(out, "{:<16} {:<12}", "average", "");
+    let _ = write!(out, "{:<16} {:<12}", "geomean", "");
     for average in &report.slowdowns.averages {
         match average {
             Some(value) => {
@@ -755,6 +783,14 @@ pub fn render_campaign(report: &CampaignReport) -> String {
         }
     }
     out.push('\n');
+    if report.degenerate_baselines > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {} workload x platform group(s) had a zero-cycle no-ECC \
+             baseline; their slowdowns are reported as '-'",
+            report.degenerate_baselines,
+        );
+    }
 
     // Fault summary, if the grid had a fault axis.
     if !report.fault_seeds.is_empty() {
@@ -860,6 +896,98 @@ mod tests {
         assert_eq!(faulty.unrecoverable_errors, 0);
         let text = render_campaign(&report);
         assert!(text.contains("Faults:"), "{text}");
+    }
+
+    /// One synthetic grid cell (only the fields the aggregation code reads
+    /// are meaningful).
+    fn synthetic_cell(workload: &str, scheme: &str, cycles: u64) -> CampaignCell {
+        CampaignCell {
+            workload: workload.to_string(),
+            scheme: scheme.to_string(),
+            platform: "wb".to_string(),
+            fault_seed: None,
+            cycles,
+            instructions: cycles,
+            cpi: 1.0,
+            load_hit_rate: 1.0,
+            lookahead_rate: 0.0,
+            bus_transactions: 0,
+            faults_injected: 0,
+            faults_corrected: 0,
+            faults_detected_uncorrectable: 0,
+            unrecoverable_errors: 0,
+            registers_fingerprint: 0,
+            memory_checksum: 0,
+            slowdown: None,
+        }
+    }
+
+    #[test]
+    fn summary_row_is_the_geometric_mean_of_the_column() {
+        // Two workloads with slowdowns 1.2 and 1.8 under one scheme: the
+        // summary must be sqrt(1.2 * 1.8), not (1.2 + 1.8) / 2.
+        let mut spec = CampaignSpec::smoke();
+        spec.schemes = vec![EccScheme::NoEcc, EccScheme::Laec];
+        let workloads = vec![
+            laec_workloads::kernel_suite().remove(0),
+            laec_workloads::kernel_suite().remove(1),
+        ];
+        let (a, b) = (workloads[0].name.clone(), workloads[1].name.clone());
+        let cells = vec![
+            synthetic_cell(&a, "no-ecc", 1_000),
+            synthetic_cell(&a, "laec", 1_200),
+            synthetic_cell(&b, "no-ecc", 1_000),
+            synthetic_cell(&b, "laec", 1_800),
+        ];
+        let report = assemble_report(&spec, &workloads, cells);
+        let laec_column = report
+            .slowdowns
+            .schemes
+            .iter()
+            .position(|s| s == "laec")
+            .expect("laec column");
+        let average = report.slowdowns.averages[laec_column].expect("two finite ratios");
+        assert!(
+            (average - (1.2f64 * 1.8).sqrt()).abs() < 1e-12,
+            "expected geometric mean {}, got {average}",
+            (1.2f64 * 1.8).sqrt()
+        );
+        assert_eq!(report.degenerate_baselines, 0);
+    }
+
+    #[test]
+    fn zero_cycle_baseline_yields_none_and_a_warning_not_a_fabricated_ratio() {
+        let mut spec = CampaignSpec::smoke();
+        spec.schemes = vec![EccScheme::NoEcc, EccScheme::Laec];
+        let workloads = vec![laec_workloads::kernel_suite().remove(0)];
+        let name = workloads[0].name.clone();
+        let cells = vec![
+            synthetic_cell(&name, "no-ecc", 0),
+            synthetic_cell(&name, "laec", 500),
+        ];
+        let report = assemble_report(&spec, &workloads, cells);
+        assert!(
+            report.cells.iter().all(|c| c.slowdown.is_none()),
+            "a 0-cycle baseline must not normalize anything"
+        );
+        assert!(report.slowdowns.averages.iter().all(Option::is_none));
+        assert_eq!(report.degenerate_baselines, 1);
+        let text = render_campaign(&report);
+        assert!(
+            text.contains("WARNING: 1 workload x platform group"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn geometric_mean_edge_cases() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[2.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[2.0, -1.0]), None);
+        let mean = geometric_mean(&[4.0, 9.0]).expect("positive inputs");
+        assert!((mean - 6.0).abs() < 1e-12);
+        let single = geometric_mean(&[1.25]).expect("single input");
+        assert!((single - 1.25).abs() < 1e-12);
     }
 
     #[test]

@@ -25,8 +25,11 @@
 //! a workload × scheme × platform × fault grid, [`campaign::run_campaign`]
 //! executes it on a scoped worker pool with deterministic per-job seeding,
 //! and the resulting [`campaign::CampaignReport`] renders as text or JSON
-//! (byte-identical regardless of worker count).  The `laec-cli` binary
-//! drives both layers from the command line.
+//! (byte-identical regardless of worker count).  [`sampling`] replaces the
+//! fixed fault-seed axis with a stratified Monte-Carlo estimator — online
+//! Wilson confidence intervals, early stopping per stratum, and
+//! checkpoint/resume for campaigns that shard across invocations.  The
+//! `laec-cli` binary drives all layers from the command line.
 //!
 //! # Example
 //!
@@ -47,11 +50,16 @@ pub mod energy;
 pub mod experiment;
 pub mod report;
 pub mod runner;
+pub mod sampling;
 pub mod trace_backed;
 
 pub use campaign::{
     render_campaign, run_campaign, CampaignCell, CampaignReport, CampaignSpec, EquivalenceCheck,
     PlatformVariant, SlowdownMatrix, SlowdownRow, WorkloadSet,
+};
+pub use sampling::{
+    render_sampled, run_campaign_sampled, CheckpointError, SampleExecution, SampledReport, Sampler,
+    SamplerCheckpoint, SamplingPlan, StratumEstimate,
 };
 pub use trace_backed::{
     cell_fingerprint, record_cell, replay_cell, replay_cell_events, run_campaign_trace_backed,

@@ -259,9 +259,52 @@ pub fn replay_cell_events(
 }
 
 /// How one fault-free cell was obtained.
-enum Origin {
+pub(crate) enum Origin {
     Recorded { cache_write_failed: bool },
     CacheHit,
+}
+
+/// Obtains one stratum's fault-free cell plus its decoded recording: from
+/// `cache_dir` when a valid, matching trace is present, otherwise by
+/// recording a fresh full simulation (persisting it back to `cache_dir`
+/// best-effort).  Shared by the trace-backed campaign's phase 1 and the
+/// sampler's baseline phase.
+pub(crate) fn obtain_recording(
+    spec: &CampaignSpec,
+    workload: &Workload,
+    scheme: EccScheme,
+    platform: PlatformVariant,
+    cache_dir: Option<&Path>,
+) -> (CampaignCell, Trace, Vec<TraceEvent>, Origin) {
+    let file_name = trace_file_name(
+        &workload.name,
+        &scheme_label(scheme),
+        &platform.label(),
+        cell_fingerprint(spec, scheme, platform),
+    );
+    if let Some(dir) = cache_dir {
+        if let Ok(bytes) = fs::read(dir.join(&file_name)) {
+            if let Ok(trace) = Trace::decode(&bytes) {
+                if let Ok(events) = trace.decode_events() {
+                    if let Ok(cell) =
+                        replay_cell_events(spec, &trace, &events, workload, None, None)
+                    {
+                        return (cell, trace, events, Origin::CacheHit);
+                    }
+                }
+            }
+        }
+    }
+    let (cell, trace) = record_cell(spec, workload, scheme, platform, TraceDetail::Replay);
+    let cache_write_failed = cache_dir.is_some_and(|dir| {
+        fs::create_dir_all(dir)
+            .and_then(|()| fs::write(dir.join(&file_name), trace.encode()))
+            .is_err()
+    });
+    let events = trace
+        .decode_events()
+        .expect("a just-recorded trace decodes");
+    (cell, trace, events, Origin::Recorded { cache_write_failed })
 }
 
 /// Runs the campaign in trace-backed mode: fault-free cells are simulated
@@ -298,38 +341,13 @@ pub fn run_campaign_trace_backed(
     type RecordedCell = (CampaignCell, Trace, Vec<TraceEvent>, Origin);
     let phase1: Vec<RecordedCell> = run_pool(triples.len(), threads, |index| {
         let (workload, platform, scheme) = triples[index];
-        let workload = &workloads[workload];
-        let scheme = spec.schemes[scheme];
-        let platform = spec.platforms[platform];
-        let file_name = trace_file_name(
-            &workload.name,
-            &scheme_label(scheme),
-            &platform.label(),
-            cell_fingerprint(spec, scheme, platform),
-        );
-        if let Some(dir) = cache_dir {
-            if let Ok(bytes) = fs::read(dir.join(&file_name)) {
-                if let Ok(trace) = Trace::decode(&bytes) {
-                    if let Ok(events) = trace.decode_events() {
-                        if let Ok(cell) =
-                            replay_cell_events(spec, &trace, &events, workload, None, None)
-                        {
-                            return (cell, trace, events, Origin::CacheHit);
-                        }
-                    }
-                }
-            }
-        }
-        let (cell, trace) = record_cell(spec, workload, scheme, platform, TraceDetail::Replay);
-        let cache_write_failed = cache_dir.is_some_and(|dir| {
-            fs::create_dir_all(dir)
-                .and_then(|()| fs::write(dir.join(&file_name), trace.encode()))
-                .is_err()
-        });
-        let events = trace
-            .decode_events()
-            .expect("a just-recorded trace decodes");
-        (cell, trace, events, Origin::Recorded { cache_write_failed })
+        obtain_recording(
+            spec,
+            &workloads[workload],
+            spec.schemes[scheme],
+            spec.platforms[platform],
+            cache_dir,
+        )
     });
 
     // Phase 2: replay every faulty cell from its triple's trace.
