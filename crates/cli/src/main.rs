@@ -43,8 +43,9 @@ use laec_core::{
     render_fault_campaign, render_figure8, render_hazard_breakdown, render_table1, render_table2,
     render_wt_vs_wb, table1_commercial_processors,
 };
-use laec_mem::{FaultCampaignConfig, FaultPattern};
-use laec_pipeline::EccScheme;
+use laec_mem::{FaultCampaignConfig, FaultPattern, FaultTarget};
+use laec_pipeline::{EccScheme, PipelineConfig};
+use laec_smp::{SmpSystem, StopPolicy};
 use laec_trace::{Trace, TraceDetail, TraceEvent};
 use laec_workloads::GeneratorConfig;
 
@@ -59,6 +60,7 @@ SUBCOMMANDS:
     figure8     Figure 8: execution-time increase per DL1 ECC scheme
     campaign    Parallel workload x scheme x platform x fault grid
     faults      Soft-error campaign over the three DL1 designs
+    smp         run | list: shared-memory kernels on the N-core system
     trace       record | replay | info: access-stream trace tooling
     help        Print this message
 
@@ -80,12 +82,23 @@ campaign FLAGS:
                       suite and may be mixed with named workloads)
     --schemes <csv>   no-ecc, extra-cycle, extra-stage, laec,
                       speculate-flushN (default: the four Figure 8 schemes)
-    --platforms <csv> wb, wt, contendedN (default: wb)
+    --platforms <csv> wb, wt, contendedN, smpN (default: wb).  smpN runs the
+                      workload on core 0 of a real N-core MESI-coherent
+                      system; the other cores stream read-only background
+                      traffic through the shared bus and L2
+    --cores <N>       Shorthand: replace every wb platform with smpN (N >= 2;
+                      N = 1 keeps the uniprocessor, which is byte-identical)
     --fault-seeds <csv>
                       Fault-axis seeds; one faulty run per seed per cell
                       (default: none, fault-free grid only)
     --fault-interval <N>
                       Mean cycles between injected upsets (default 5000)
+    --fault-target <T>
+                      Which DL1 array the strikes hit: data (default,
+                      ECC-protected), state (MESI state bits) or tag
+                      (address tags).  state/tag are unprotected metadata:
+                      their lost-writeback / stale-read outcomes are
+                      classified separately in the report
     --trace-backed    Record each cell's fault-free run once and replay it
                       per fault seed (byte-identical report, much faster)
     --trace-cache <DIR>
@@ -125,6 +138,14 @@ faults FLAGS:
     --pattern <P>     Strike shape: single (default), mbu2, mbu4
                       (adjacent-bit multi-bit-upset clusters)
 
+smp SUBCOMMANDS (laec-cli smp <run|list> [FLAGS]):
+    run               Run a shared-memory kernel on the N-core system
+        --kernel <name>     parallel_reduction | producer_consumer |
+                            false_sharing (required)
+        --cores <N>         Core count (default 2)
+        --schemes <label>   Scheme for every core (default laec)
+    list              List the shared-memory kernels
+
 trace SUBCOMMANDS (laec-cli trace <record|replay|info> [FLAGS]):
     record            Run one fault-free cell under a recorder
         --workloads <name>  Workload to record (required, exactly one)
@@ -160,6 +181,22 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     };
+    if subcommand == "smp" {
+        let Some(action) = args.get(1) else {
+            return Err("`smp` needs an action: run or list".to_string());
+        };
+        let flags = Flags::parse(&args[2..])?;
+        return match action.as_str() {
+            "run" => cmd_smp_run(&flags),
+            "list" => {
+                for name in laec_workloads::SMP_KERNEL_NAMES {
+                    println!("{name}");
+                }
+                Ok(())
+            }
+            other => Err(format!("unknown smp action `{other}`")),
+        };
+    }
     if subcommand == "trace" {
         let Some(action) = args.get(1) else {
             return Err("`trace` needs an action: record, replay or info".to_string());
@@ -201,6 +238,9 @@ struct Flags {
     platforms: Option<Vec<PlatformVariant>>,
     fault_seeds: Vec<u64>,
     pattern: FaultPattern,
+    fault_target: FaultTarget,
+    cores: Option<u32>,
+    kernel: Option<String>,
     trace_backed: bool,
     trace_cache: Option<PathBuf>,
     input: Option<PathBuf>,
@@ -231,6 +271,9 @@ impl Flags {
             platforms: None,
             fault_seeds: Vec::new(),
             pattern: FaultPattern::SingleBit,
+            fault_target: FaultTarget::Data,
+            cores: None,
+            kernel: None,
             trace_backed: false,
             trace_cache: None,
             input: None,
@@ -298,6 +341,19 @@ impl Flags {
                     flags.pattern = FaultPattern::from_label(label)
                         .ok_or_else(|| format!("unknown fault pattern `{label}`"))?;
                 }
+                "--fault-target" => {
+                    let label = value("--fault-target")?;
+                    flags.fault_target = FaultTarget::from_label(label)
+                        .ok_or_else(|| format!("unknown fault target `{label}`"))?;
+                }
+                "--cores" => {
+                    let cores = parse_u64(value("--cores")?)?;
+                    if cores == 0 || cores > 8 {
+                        return Err("--cores must be between 1 and 8".to_string());
+                    }
+                    flags.cores = Some(cores as u32);
+                }
+                "--kernel" => flags.kernel = Some(value("--kernel")?.to_string()),
                 "--trace-backed" => flags.trace_backed = true,
                 "--trace-cache" => {
                     flags.trace_cache = Some(PathBuf::from(value("--trace-cache")?));
@@ -441,6 +497,29 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     if let Some(interval) = flags.interval {
         spec.fault_interval = interval;
     }
+    spec.fault_target = flags.fault_target;
+    if let Some(cores) = flags.cores {
+        if cores > 1 {
+            for platform in &mut spec.platforms {
+                match platform {
+                    PlatformVariant::WriteBack => *platform = PlatformVariant::smp(cores),
+                    other => {
+                        return Err(format!(
+                            "--cores applies to the wb platform; `{}` has its own core model",
+                            other.label()
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    let has_smp = spec.platforms.iter().any(|p| p.cores() > 1);
+    if has_smp && (flags.trace_backed || flags.sample.is_some()) {
+        return Err(
+            "multi-core (smpN / --cores) campaigns support neither --trace-backed nor --sample yet"
+                .to_string(),
+        );
+    }
 
     // Reject typo'd workload names with a clean error up front
     // (materialization would panic on them).
@@ -569,6 +648,134 @@ fn cmd_campaign_sampled(flags: &Flags, spec: &CampaignSpec, budget: u64) -> Resu
         println!("{}", report.to_json());
     } else {
         println!("{}", render_sampled(&report));
+    }
+    Ok(())
+}
+
+/// Per-core row of the `smp run` output.
+#[derive(serde::Serialize)]
+struct SmpCoreRow {
+    core: usize,
+    program: String,
+    cycles: u64,
+    instructions: u64,
+    cpi: f64,
+    dl1_load_hit_rate: f64,
+    bus_transactions: u64,
+    invalidations_received: u64,
+}
+
+/// The `smp run` result document.
+#[derive(serde::Serialize)]
+struct SmpRunSummary {
+    kernel: String,
+    cores: usize,
+    scheme: String,
+    result_word: u32,
+    expected: Option<u32>,
+    snoop_lookups: u64,
+    invalidations: u64,
+    interventions: u64,
+    upgrades: u64,
+    per_core: Vec<SmpCoreRow>,
+}
+
+fn cmd_smp_run(flags: &Flags) -> Result<(), String> {
+    let name = flags
+        .kernel
+        .clone()
+        .ok_or("smp run needs --kernel <name> (see `laec-cli smp list`)".to_string())?;
+    let cores = flags.cores.unwrap_or(2);
+    let scheme = match flags.schemes.as_deref() {
+        None => EccScheme::Laec,
+        Some([scheme]) => *scheme,
+        Some(_) => return Err("smp run takes exactly one scheme".to_string()),
+    };
+    let workload = laec_workloads::smp_kernel(&name, cores)
+        .ok_or_else(|| format!("unknown smp kernel `{name}` (see `laec-cli smp list`)"))?;
+    let expected = laec_workloads::smp::smp_kernel_expected(&name);
+    let program_names: Vec<String> = workload
+        .programs
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    let configs = vec![PipelineConfig::for_scheme(scheme); workload.programs.len()];
+    let mut system = SmpSystem::new(workload.programs, configs);
+    let run = system.run(StopPolicy::AllHalt);
+    let result_word = system
+        .memory()
+        .peek_memory(laec_workloads::smp::RESULT_BASE);
+    let summary = SmpRunSummary {
+        kernel: name.clone(),
+        cores: run.cores.len(),
+        scheme: scheme_label(scheme),
+        result_word,
+        expected,
+        snoop_lookups: run.coherence.snoop_lookups,
+        invalidations: run.coherence.invalidations,
+        interventions: run.coherence.interventions,
+        upgrades: run.coherence.upgrades,
+        per_core: run
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(core, result)| SmpCoreRow {
+                core,
+                program: program_names[core].clone(),
+                cycles: result.stats.cycles,
+                instructions: result.stats.instructions,
+                cpi: result.stats.cpi(),
+                dl1_load_hit_rate: result.stats.load_hit_rate(),
+                bus_transactions: result.stats.mem.bus_transactions,
+                invalidations_received: result.stats.mem.invalidations_received,
+            })
+            .collect(),
+    };
+    if let Some(expected) = expected {
+        if result_word != expected {
+            return Err(format!(
+                "{name} on {cores} core(s) produced {result_word:#x}, expected {expected:#x}"
+            ));
+        }
+    }
+    if flags.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "{} on {} core(s) under {}: result {:#x}{}",
+            summary.kernel,
+            summary.cores,
+            summary.scheme,
+            summary.result_word,
+            match expected {
+                Some(value) => format!(" (expected {value:#x}, OK)"),
+                None => String::new(),
+            },
+        );
+        println!(
+            "coherence: {} snoop lookups, {} invalidations, {} interventions, {} upgrades",
+            summary.snoop_lookups, summary.invalidations, summary.interventions, summary.upgrades,
+        );
+        println!(
+            "{:>4} {:<28} {:>10} {:>12} {:>8} {:>9} {:>8} {:>8}",
+            "core", "program", "cycles", "instructions", "cpi", "ld-hit%", "bus", "inval-rx"
+        );
+        for row in &summary.per_core {
+            println!(
+                "{:>4} {:<28} {:>10} {:>12} {:>8.4} {:>8.1}% {:>8} {:>8}",
+                row.core,
+                row.program,
+                row.cycles,
+                row.instructions,
+                row.cpi,
+                100.0 * row.dl1_load_hit_rate,
+                row.bus_transactions,
+                row.invalidations_received,
+            );
+        }
     }
     Ok(())
 }
@@ -766,7 +973,7 @@ fn cmd_trace_info(flags: &Flags) -> Result<(), String> {
     };
     for event in trace.events() {
         match event.map_err(|e| e.to_string())? {
-            TraceEvent::Commit { count } => info.commits += count,
+            TraceEvent::Commit { count, .. } => info.commits += count,
             TraceEvent::MemRead { .. } => info.mem_reads += 1,
             TraceEvent::MemWrite { .. } => info.mem_writes += 1,
             TraceEvent::Fetch { .. } => info.fetches += 1,

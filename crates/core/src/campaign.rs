@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-use laec_mem::{FaultCampaignConfig, HierarchyConfig, Interference};
+use laec_mem::{FaultCampaignConfig, FaultTarget, HierarchyConfig, Interference};
 use laec_pipeline::{EccScheme, PipelineConfig};
 use laec_workloads::{eembc_suite, kernel_suite, GeneratorConfig, Workload};
 use serde::{Deserialize, Serialize};
@@ -70,9 +70,37 @@ pub enum PlatformVariant {
     /// (the §II.A contention scenario); the payload is the per-request extra
     /// bus cycles.
     ContendedBus(u32),
+    /// The write-back platform simulated as a real N-core system (payload:
+    /// core count ≥ 2): the observed workload runs on core 0 while the
+    /// other cores stream read-only background traffic through their own
+    /// MESI-coherent DL1s, the shared bus and the shared L2 — the §II.A
+    /// contention scenario with actual cores instead of the synthetic
+    /// [`Interference`] generator.  Construct via [`PlatformVariant::smp`].
+    Smp(u32),
 }
 
 impl PlatformVariant {
+    /// The N-core write-back platform; `cores <= 1` collapses to
+    /// [`PlatformVariant::WriteBack`] (a 1-core SMP system *is* the
+    /// uniprocessor — byte-identically, see `tests/smp_equivalence.rs`).
+    #[must_use]
+    pub fn smp(cores: u32) -> Self {
+        if cores <= 1 {
+            PlatformVariant::WriteBack
+        } else {
+            PlatformVariant::Smp(cores)
+        }
+    }
+
+    /// How many cores the platform simulates.
+    #[must_use]
+    pub fn cores(self) -> u32 {
+        match self {
+            PlatformVariant::Smp(cores) => cores,
+            _ => 1,
+        }
+    }
+
     /// Stable label used in reports and on the CLI.
     #[must_use]
     pub fn label(self) -> String {
@@ -80,19 +108,30 @@ impl PlatformVariant {
             PlatformVariant::WriteBack => "wb".to_string(),
             PlatformVariant::WriteThrough => "wt".to_string(),
             PlatformVariant::ContendedBus(extra) => format!("contended{extra}"),
+            PlatformVariant::Smp(cores) => format!("smp{cores}"),
         }
     }
 
-    /// Parses a CLI label; `contendedN` selects N extra cycles per request.
+    /// Parses a CLI label; `contendedN` selects N extra cycles per request,
+    /// `smpN` selects an N-core system.
     #[must_use]
     pub fn from_label(label: &str) -> Option<Self> {
         match label {
             "wb" => Some(PlatformVariant::WriteBack),
             "wt" => Some(PlatformVariant::WriteThrough),
-            _ => label
-                .strip_prefix("contended")
-                .and_then(|n| n.parse().ok())
-                .map(PlatformVariant::ContendedBus),
+            _ => {
+                if let Some(n) = label.strip_prefix("contended") {
+                    return n.parse().ok().map(PlatformVariant::ContendedBus);
+                }
+                label
+                    .strip_prefix("smp")
+                    .and_then(|n| n.parse().ok())
+                    // Every core is a full pipeline + DL1 model: keep the
+                    // count in the range real NGMP-class parts ship with
+                    // (and that the false-sharing line can hold).
+                    .filter(|&n| (2..=8).contains(&n))
+                    .map(PlatformVariant::Smp)
+            }
         }
     }
 
@@ -100,7 +139,7 @@ impl PlatformVariant {
     #[must_use]
     pub fn apply_config(self, mut config: PipelineConfig) -> PipelineConfig {
         match self {
-            PlatformVariant::WriteBack => {}
+            PlatformVariant::WriteBack | PlatformVariant::Smp(_) => {}
             PlatformVariant::WriteThrough => {
                 config.hierarchy = HierarchyConfig::ngmp_write_through();
             }
@@ -156,6 +195,10 @@ pub struct CampaignSpec {
     pub fault_seeds: Vec<u64>,
     /// Mean cycles between injected single-bit upsets on faulty runs.
     pub fault_interval: u64,
+    /// Which DL1 array faulty runs strike: the ECC-protected data array
+    /// (default) or the unprotected coherence metadata (MESI state bits or
+    /// address tags) — see [`FaultTarget`].
+    pub fault_target: FaultTarget,
     /// Master seed; every per-job injection seed derives from it and the
     /// job's grid coordinates only.
     pub seed: u64,
@@ -173,6 +216,7 @@ impl CampaignSpec {
             platforms: vec![PlatformVariant::WriteBack],
             fault_seeds: Vec::new(),
             fault_interval: 5_000,
+            fault_target: FaultTarget::Data,
             seed: 0x1AEC,
         }
     }
@@ -187,6 +231,7 @@ impl CampaignSpec {
             platforms: vec![PlatformVariant::WriteBack],
             fault_seeds: Vec::new(),
             fault_interval: 1_000,
+            fault_target: FaultTarget::Data,
             seed: 0x1AEC,
         }
     }
@@ -286,6 +331,20 @@ pub struct CampaignCell {
     pub faults_detected_uncorrectable: u64,
     /// Unrecoverable events (dirty data lost).
     pub unrecoverable_errors: u64,
+    /// Metadata (MESI state / tag bit) faults injected.
+    pub meta_faults_injected: u64,
+    /// Dirty lines silently dropped because corrupted metadata hid their
+    /// dirtiness or re-addressed them (silent data corruption, invisible to
+    /// the data array's ECC).
+    pub lost_writebacks: u64,
+    /// Loads served wrong data because of corrupted metadata (aliased tag
+    /// hits, stale refetches) — the other metadata SDC class.
+    pub stale_metadata_reads: u64,
+    /// Remote-cache snoop lookups this core's bus transactions triggered
+    /// (0 on single-core platforms).
+    pub snoop_lookups: u64,
+    /// Remote copies this core's write intents invalidated.
+    pub invalidations_sent: u64,
     /// FNV-1a fingerprint of the final register file.
     pub registers_fingerprint: u64,
     /// Checksum of the final memory image.
@@ -541,10 +600,10 @@ pub(crate) fn job_config(spec: &CampaignSpec, job: Job) -> PipelineConfig {
     if let Some(index) = job.fault {
         let axis_seed = spec.fault_seeds[index];
         let injection_seed = job_injection_seed(spec, job, axis_seed);
-        config = config.with_fault_campaign(FaultCampaignConfig::single_bit(
-            injection_seed,
-            spec.fault_interval,
-        ));
+        config = config.with_fault_campaign(
+            FaultCampaignConfig::single_bit(injection_seed, spec.fault_interval)
+                .with_target(spec.fault_target),
+        );
     }
     config
 }
@@ -573,6 +632,11 @@ pub(crate) fn cell_from_result(
         faults_corrected: result.stats.mem.dl1.ecc.corrected(),
         faults_detected_uncorrectable: result.stats.mem.dl1.ecc.uncorrectable(),
         unrecoverable_errors: result.unrecoverable_errors,
+        meta_faults_injected: result.meta_faults_injected,
+        lost_writebacks: result.lost_writebacks,
+        stale_metadata_reads: result.stale_metadata_reads,
+        snoop_lookups: result.stats.mem.snoop_lookups,
+        invalidations_sent: result.stats.mem.invalidations_sent,
         registers_fingerprint: registers_fingerprint(&result.registers),
         memory_checksum: result.memory_checksum,
         slowdown: None, // filled once every cell (incl. the baseline) exists
@@ -581,13 +645,18 @@ pub(crate) fn cell_from_result(
 
 pub(crate) fn run_job(spec: &CampaignSpec, workloads: &[Workload], job: Job) -> CampaignCell {
     let workload = &workloads[job.workload];
+    let platform = spec.platforms[job.platform];
     let config = job_config(spec, job);
     let fault_seed = job.fault.map(|index| spec.fault_seeds[index]);
-    let result = run_with_config(workload, config);
+    let result = if platform.cores() > 1 {
+        crate::smp_campaign::run_observed_core(workload, config, platform.cores())
+    } else {
+        run_with_config(workload, config)
+    };
     cell_from_result(
         workload,
         spec.schemes[job.scheme],
-        spec.platforms[job.platform],
+        platform,
         fault_seed,
         &result,
     )
@@ -810,6 +879,18 @@ pub fn render_campaign(report: &CampaignReport) -> String {
              across {} faulty runs",
             faulty.len(),
         );
+        let meta: u64 = faulty.iter().map(|c| c.meta_faults_injected).sum();
+        if meta > 0 {
+            // The metadata-strike SDC classes: invisible to the data ECC.
+            let lost: u64 = faulty.iter().map(|c| c.lost_writebacks).sum();
+            let stale: u64 = faulty.iter().map(|c| c.stale_metadata_reads).sum();
+            let _ = writeln!(
+                out,
+                "Metadata strikes: {meta} injected (state/tag bits): \
+                 {lost} lost writebacks, {stale} stale reads — silent data \
+                 corruption no data-array code detects",
+            );
+        }
     }
 
     let failing: Vec<&EquivalenceCheck> = report
@@ -916,6 +997,11 @@ mod tests {
             faults_corrected: 0,
             faults_detected_uncorrectable: 0,
             unrecoverable_errors: 0,
+            meta_faults_injected: 0,
+            lost_writebacks: 0,
+            stale_metadata_reads: 0,
+            snoop_lookups: 0,
+            invalidations_sent: 0,
             registers_fingerprint: 0,
             memory_checksum: 0,
             slowdown: None,

@@ -26,6 +26,12 @@ pub struct EnergyModel {
     pub l2_access_pj: f64,
     /// Energy of one bus transaction.
     pub bus_transaction_pj: f64,
+    /// Energy of one remote-DL1 snoop tag lookup (an SMP bus transaction
+    /// probes every other core's tag array).
+    pub snoop_probe_pj: f64,
+    /// Energy of one remote-copy invalidation (the state-array write a
+    /// successful write-intent snoop performs).
+    pub invalidation_pj: f64,
     /// Energy of one register-file read port access.
     pub register_read_pj: f64,
     /// Energy of one SECDED encode or check.
@@ -44,6 +50,10 @@ impl EnergyModel {
             dl1_access_pj: 25.0,
             l2_access_pj: 120.0,
             bus_transaction_pj: 40.0,
+            // A snoop touches only the tag array (a small CAM next to the
+            // 16 KB data array); an invalidation adds one state-bit write.
+            snoop_probe_pj: 1.8,
+            invalidation_pj: 4.0,
             register_read_pj: 0.15,
             ecc_check_pj: 2.5,
             leakage_mw: 12.0,
@@ -67,6 +77,9 @@ pub struct EnergyBreakdown {
     pub l2_pj: f64,
     /// Dynamic energy of bus transactions.
     pub bus_pj: f64,
+    /// Dynamic energy of coherence traffic: remote snoop probes plus
+    /// invalidation state writes (0 on single-core runs).
+    pub snoop_pj: f64,
     /// Dynamic energy of register-file reads (including LAEC's extra ports).
     pub register_file_pj: f64,
     /// Dynamic energy of ECC checks/encodes.
@@ -79,7 +92,7 @@ impl EnergyBreakdown {
     /// Total dynamic energy.
     #[must_use]
     pub fn dynamic_pj(&self) -> f64 {
-        self.dl1_pj + self.l2_pj + self.bus_pj + self.register_file_pj + self.ecc_pj
+        self.dl1_pj + self.l2_pj + self.bus_pj + self.snoop_pj + self.register_file_pj + self.ecc_pj
     }
 
     /// Total (dynamic + leakage) energy.
@@ -124,6 +137,10 @@ impl EnergyModel {
             dl1_pj: dl1_accesses * self.dl1_access_pj,
             l2_pj: l2_accesses * self.l2_access_pj,
             bus_pj: bus * self.bus_transaction_pj,
+            // Coherence traffic of the SMP bus: zero on single-core runs,
+            // so uniprocessor energy numbers are unchanged by construction.
+            snoop_pj: stats.mem.snoop_lookups as f64 * self.snoop_probe_pj
+                + stats.mem.invalidations_sent as f64 * self.invalidation_pj,
             register_file_pj: register_reads * self.register_read_pj,
             ecc_pj: ecc_events * self.ecc_check_pj,
             leakage_pj: self.leakage_mw * 1e-3 * seconds * 1e12,
@@ -228,10 +245,35 @@ mod tests {
             dl1_pj: 0.0,
             l2_pj: 0.0,
             bus_pj: 0.0,
+            snoop_pj: 0.0,
             register_file_pj: 0.0,
             ecc_pj: 0.0,
             leakage_pj: 0.0,
         };
         assert_eq!(zero.dynamic_power_mw(0, 200.0), 0.0);
+    }
+
+    #[test]
+    fn snoop_traffic_is_charged_only_when_it_happens() {
+        let model = EnergyModel::default_65nm();
+        let single = stats(10_000, 8_000, 2_000, 0);
+        let single_breakdown = model.evaluate(EccScheme::Laec, &single);
+        assert_eq!(
+            single_breakdown.snoop_pj, 0.0,
+            "no cores to snoop, no energy: single-core numbers unchanged"
+        );
+        let mut smp = single;
+        smp.mem.snoop_lookups = 3_000;
+        smp.mem.invalidations_sent = 400;
+        let smp_breakdown = model.evaluate(EccScheme::Laec, &smp);
+        let expected = 3_000.0 * model.snoop_probe_pj + 400.0 * model.invalidation_pj;
+        assert!((smp_breakdown.snoop_pj - expected).abs() < 1e-9);
+        assert!(
+            (smp_breakdown.dynamic_pj() - single_breakdown.dynamic_pj() - expected).abs() < 1e-9,
+            "snoop energy adds exactly its own term"
+        );
+        // And it stays small next to the cache arrays, as a tag-only probe
+        // should (the CACTI-style ratio argument).
+        assert!(smp_breakdown.snoop_pj < 0.2 * smp_breakdown.dl1_pj);
     }
 }

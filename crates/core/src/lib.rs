@@ -51,6 +51,7 @@ pub mod experiment;
 pub mod report;
 pub mod runner;
 pub mod sampling;
+pub mod smp_campaign;
 pub mod trace_backed;
 
 pub use campaign::{
@@ -61,6 +62,7 @@ pub use sampling::{
     render_sampled, run_campaign_sampled, CheckpointError, SampleExecution, SampledReport, Sampler,
     SamplerCheckpoint, SamplingPlan, StratumEstimate,
 };
+pub use smp_campaign::{run_campaign_smp, run_observed_core};
 pub use trace_backed::{
     cell_fingerprint, record_cell, replay_cell, replay_cell_events, run_campaign_trace_backed,
     trace_file_name, TraceBackedStats, TracedCampaign,

@@ -803,6 +803,10 @@ impl Sampler {
         threads: usize,
     ) -> Self {
         plan.validate().expect("valid sampling plan");
+        assert!(
+            spec.platforms.iter().all(|p| p.cores() == 1),
+            "sampled campaigns do not support multi-core (smpN) platforms yet"
+        );
         let workloads = spec.materialize_workloads();
         let threads = if threads == 0 {
             default_threads()
@@ -1014,7 +1018,8 @@ impl Sampler {
             coords.platform,
             sample,
         );
-        let fault = FaultCampaignConfig::single_bit(seed, self.spec.fault_interval);
+        let fault = FaultCampaignConfig::single_bit(seed, self.spec.fault_interval)
+            .with_target(self.spec.fault_target);
         let workload = &self.workloads[coords.workload];
         if let Some(traces) = &self.traces {
             let (trace, events) = &traces[stratum];

@@ -1,0 +1,172 @@
+//! Campaign execution on the multi-core engine.
+//!
+//! Two entry points:
+//!
+//! * [`run_observed_core`] — runs one campaign cell on an N-core
+//!   [`laec_smp::SmpSystem`]: the observed workload on core 0 (which alone
+//!   carries the cell's fault campaign), read-only background-traffic
+//!   kernels on the other cores.  The background cores contend for the
+//!   shared bus and L2 through their own MESI-coherent DL1s but never write
+//!   a byte, so the observed core's architectural results — and therefore
+//!   the campaign's cross-scheme equivalence checks — are untouched.
+//!   [`crate::campaign::run_campaign`] routes every
+//!   [`PlatformVariant::Smp`] cell through here.
+//! * [`run_campaign_smp`] — runs an *entire* spec through the SMP engine,
+//!   including the single-core platforms (as 1-core systems).  This exists
+//!   for the equivalence anchor: a 1-core SMP system must reproduce the
+//!   uniprocessor engine byte-for-byte, which `tests/smp_equivalence.rs`
+//!   asserts over the full workload × scheme grid.
+
+use laec_pipeline::{PipelineConfig, SimResult};
+use laec_smp::{SmpSystem, StopPolicy};
+use laec_workloads::{background_traffic, Workload};
+
+use crate::campaign::{
+    assemble_report, cell_from_result, default_threads, job_config, run_pool, CampaignReport,
+    CampaignSpec, Job,
+};
+
+/// Base address of the first background core's private streaming region —
+/// far above every workload data region (inputs/outputs live below 1 MiB).
+const BACKGROUND_BASE: u32 = 0x0200_0000;
+/// Address distance between consecutive background cores' regions.
+const BACKGROUND_STRIDE: u32 = 0x0010_0000;
+/// Lines each background core streams over: 4096 × 32 B = 128 KiB per
+/// core — far past the 16 KiB DL1, so the stream misses continuously and
+/// keeps the shared bus and L2 busy.
+const BACKGROUND_LINES: u32 = 4096;
+
+/// Runs one cell's workload on core 0 of a `cores`-core system, with
+/// read-only background traffic on the remaining cores, until core 0
+/// halts.  Returns core 0's result with the system-wide final memory
+/// checksum.
+///
+/// # Panics
+///
+/// Panics if `cores == 0`.
+#[must_use]
+pub fn run_observed_core(workload: &Workload, config: PipelineConfig, cores: u32) -> SimResult {
+    assert!(cores >= 1, "need at least the observed core");
+    let mut programs = vec![workload.program.clone()];
+    let mut configs = vec![config.clone()];
+    for background in 1..cores {
+        programs.push(background_traffic(
+            BACKGROUND_BASE + (background - 1) * BACKGROUND_STRIDE,
+            BACKGROUND_LINES,
+        ));
+        // Same pipeline/hierarchy, but no fault campaign and no chronogram:
+        // only the observed core is measured or struck.
+        configs.push(PipelineConfig {
+            fault_campaign: None,
+            trace_instructions: 0,
+            ..config.clone()
+        });
+    }
+    let mut system = SmpSystem::new(programs, configs);
+    let run = system.run(StopPolicy::ObservedCoreHalts);
+    let mut result = run.cores.into_iter().next().expect("core 0 always exists");
+    // The per-core checksum snapshot was taken when core 0 drained; the
+    // system-wide value is the authoritative final state.  Background cores
+    // are read-only, so the two agree — this keeps it true by construction.
+    result.memory_checksum = run.final_checksum;
+    result
+}
+
+/// Runs the whole campaign grid through the SMP engine — every cell
+/// becomes an N-core system with N = its platform's core count (1 for the
+/// single-core platforms).  Reports are byte-identical for any `threads`
+/// value, and for single-core platforms byte-identical to
+/// [`crate::campaign::run_campaign`].
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+#[must_use]
+pub fn run_campaign_smp(spec: &CampaignSpec, threads: usize) -> CampaignReport {
+    let workloads = spec.materialize_workloads();
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    let mut jobs = Vec::new();
+    for workload in 0..workloads.len() {
+        for platform in 0..spec.platforms.len() {
+            for scheme in 0..spec.schemes.len() {
+                jobs.push(Job {
+                    workload,
+                    scheme,
+                    platform,
+                    fault: None,
+                });
+                for fault in 0..spec.fault_seeds.len() {
+                    jobs.push(Job {
+                        workload,
+                        scheme,
+                        platform,
+                        fault: Some(fault),
+                    });
+                }
+            }
+        }
+    }
+    let cells = run_pool(jobs.len(), threads, |index| {
+        let job = jobs[index];
+        let workload = &workloads[job.workload];
+        let platform = spec.platforms[job.platform];
+        let config = job_config(spec, job);
+        let result = run_observed_core(workload, config, platform.cores());
+        cell_from_result(
+            workload,
+            spec.schemes[job.scheme],
+            platform,
+            job.fault.map(|f| spec.fault_seeds[f]),
+            &result,
+        )
+    });
+    assemble_report(spec, &workloads, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, PlatformVariant, WorkloadSet};
+    use laec_pipeline::EccScheme;
+
+    #[test]
+    fn smp_platform_slows_the_observed_core_down() {
+        let workload = laec_workloads::kernel_suite()
+            .into_iter()
+            .find(|w| w.name == "cache_buster")
+            .expect("miss-heavy kernel");
+        let config = PipelineConfig::laec();
+        let alone = run_observed_core(&workload, config.clone(), 1);
+        let contended = run_observed_core(&workload, config, 4);
+        assert_eq!(
+            alone.registers, contended.registers,
+            "background traffic never perturbs architecture"
+        );
+        assert!(
+            contended.stats.cycles > alone.stats.cycles,
+            "3 streaming cores must cost bus/L2 bandwidth ({} vs {})",
+            contended.stats.cycles,
+            alone.stats.cycles
+        );
+        assert!(contended.stats.mem.snoop_lookups > 0);
+    }
+
+    #[test]
+    fn smp_campaign_reports_are_thread_count_invariant() {
+        let mut spec = CampaignSpec::smoke();
+        spec.workloads = WorkloadSet::Named(vec!["vector_sum".into()]);
+        spec.schemes = vec![EccScheme::NoEcc, EccScheme::Laec];
+        spec.platforms = vec![PlatformVariant::smp(2)];
+        spec.fault_seeds = vec![7];
+        spec.fault_interval = 500;
+        let one = run_campaign(&spec, 1);
+        let four = run_campaign(&spec, 4);
+        assert_eq!(one.to_json(), four.to_json());
+        assert!(one.architecturally_equivalent());
+        assert_eq!(one.platforms, vec!["smp2"]);
+    }
+}

@@ -213,12 +213,17 @@ pub fn replay_cell_events(
         return Err(corrupt("event counts disagree with the recorded summary"));
     }
 
-    // Mirror the order of `Simulator::execute`: statistics snapshot first,
-    // then the dirty-state drain that produces the final memory checksum.
+    // Mirror the order of `Simulator::execute`/`finalize`: statistics
+    // snapshot first, then the dirty-state drain that produces the final
+    // memory checksum, then the metadata-fault counters (the drain can
+    // settle pending lost-writeback classifications).
     let stats = target.stats();
     let faults_injected = target.campaign_report().injected;
     let unrecoverable_errors = target.system().unrecoverable_errors();
     let memory_checksum = target.drain_to_memory();
+    let meta_faults_injected = target.system().dl1().meta_faults_injected();
+    let lost_writebacks = target.system().dl1().lost_writebacks();
+    let stale_metadata_reads = target.system().dl1().stale_reads();
     if fault.is_none() && memory_checksum != summary.memory_checksum {
         return Err(corrupt("fault-free replay did not reproduce the checksum"));
     }
@@ -252,6 +257,11 @@ pub fn replay_cell_events(
         faults_corrected: stats.dl1.ecc.corrected(),
         faults_detected_uncorrectable: stats.dl1.ecc.uncorrectable(),
         unrecoverable_errors,
+        meta_faults_injected,
+        lost_writebacks,
+        stale_metadata_reads,
+        snoop_lookups: stats.snoop_lookups,
+        invalidations_sent: stats.invalidations_sent,
         registers_fingerprint: summary.registers_fingerprint,
         memory_checksum,
         slowdown: None,
@@ -322,6 +332,11 @@ pub fn run_campaign_trace_backed(
     threads: usize,
     cache_dir: Option<&Path>,
 ) -> TracedCampaign {
+    assert!(
+        spec.platforms.iter().all(|p| p.cores() == 1),
+        "trace-backed campaigns do not support multi-core (smpN) platforms \
+         yet: a recording captures one core's access stream"
+    );
     let workloads = spec.materialize_workloads();
     let threads = if threads == 0 {
         default_threads()
@@ -367,7 +382,8 @@ pub fn run_campaign_trace_backed(
             let campaign = FaultCampaignConfig::single_bit(
                 job_injection_seed(spec, job, axis_seed),
                 spec.fault_interval,
-            );
+            )
+            .with_target(spec.fault_target);
             let workload = &workloads[workload];
             let (_, trace, events, _) = &phase1[triple];
             match replay_cell_events(

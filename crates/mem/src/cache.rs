@@ -8,16 +8,19 @@
 //! extra stage, or LAEC's anticipated check) is the pipeline's business; the
 //! cache only answers hit/miss and value/outcome questions.
 
-use laec_ecc::{Codeword, Decoded, EccCode, FlipPlan, Outcome};
+use laec_ecc::{Codeword, Decoded, EccCode, ErrorInjector, FlipPlan, Outcome};
 
+use crate::coherence::{MesiState, SnoopResult};
 use crate::config::{CacheConfig, WritePolicy};
+use crate::fault::FaultTarget;
 use crate::stats::CacheStats;
 
-/// One cache line: tag, state and the protected words.
+/// One cache line: tag, MESI state and the protected words.
 #[derive(Debug, Clone)]
 struct Line {
-    valid: bool,
-    dirty: bool,
+    /// Coherence state; `Invalid` ⇔ the old "not valid", `Modified` ⇔ the
+    /// old "valid + dirty".  Uniprocessor fills produce `Exclusive`.
+    mesi: MesiState,
     tag: u32,
     words: Vec<Codeword>,
     /// Bit *i* set ⇔ `words[i]` was produced by `Codeword::encode` and has
@@ -37,8 +40,7 @@ impl Line {
     /// (~8k vectors per hierarchy) would dominate short runs.
     fn empty() -> Self {
         Line {
-            valid: false,
-            dirty: false,
+            mesi: MesiState::Invalid,
             tag: 0,
             words: Vec::new(),
             pristine: 0,
@@ -86,6 +88,20 @@ pub struct EvictedLine {
     pub uncorrectable: bool,
 }
 
+/// The true (pre-corruption) metadata of a line struck by a metadata fault
+/// — a ground-truth oracle used only to *classify* the consequences, never
+/// to influence behaviour (behaviour always follows the stored, possibly
+/// corrupted bits, exactly like hardware would).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MetaCorruption {
+    /// Flat line index (`set * ways + way`).
+    index: usize,
+    /// The tag the line carried before any tag-bit strike.
+    true_tag: u32,
+    /// `true` if the line architecturally held dirty data when struck.
+    truly_dirty: bool,
+}
+
 /// A set-associative, LRU-replacement cache with ECC-protected words.
 ///
 /// ```
@@ -114,6 +130,19 @@ pub struct Cache {
     code: Box<dyn EccCode + Send + Sync>,
     stats: CacheStats,
     access_counter: u64,
+    /// Ground-truth records for lines whose metadata (MESI state or tag
+    /// bits) was fault-flipped; empty on fault-free runs, so every check is
+    /// a single `is_empty` branch.
+    corrupted: Vec<MetaCorruption>,
+    /// Metadata faults injected (state or tag bits).
+    meta_faults_injected: u64,
+    /// Dirty data dropped without a writeback because corrupted metadata
+    /// hid the dirtiness or re-addressed the line (silent data loss).
+    lost_writebacks: u64,
+    /// Reads served wrong data because of corrupted metadata: an aliased
+    /// tag-hit, or a refetch of stale lower-level data while the newest copy
+    /// was hidden by the corruption (silent data corruption).
+    stale_reads: u64,
 }
 
 impl Cache {
@@ -137,6 +166,10 @@ impl Cache {
             code: config.protection.instantiate(),
             stats: CacheStats::new(),
             access_counter: 0,
+            corrupted: Vec::new(),
+            meta_faults_injected: 0,
+            lost_writebacks: 0,
+            stale_reads: 0,
         }
     }
 
@@ -197,7 +230,7 @@ impl Cache {
         let tag = self.tag(address);
         self.lines[self.set_range(set)]
             .iter()
-            .position(|line| line.valid && line.tag == tag)
+            .position(|line| line.mesi.is_valid() && line.tag == tag)
     }
 
     /// `true` if the word at `address` is resident, without disturbing LRU or
@@ -227,10 +260,23 @@ impl Cache {
         self.access_counter += 1;
         let Some(way) = self.find_way(address) else {
             self.stats.read_misses += 1;
+            if !self.corrupted.is_empty() {
+                self.record_shadowed_miss(address);
+            }
             return None;
         };
-        self.stats.read_hits += 1;
         let set = self.set_index(address);
+        if !self.corrupted.is_empty() {
+            let index = set * self.ways() + way;
+            if let Some(record) = self.corrupted.iter().find(|r| r.index == index) {
+                if record.true_tag != self.lines[index].tag {
+                    // The hit only happened because the stored tag was
+                    // flipped onto this address: the data belongs elsewhere.
+                    self.stale_reads += 1;
+                }
+            }
+        }
+        self.stats.read_hits += 1;
         let word = self.word_index(address);
         let counter = self.access_counter;
         let index = set * self.ways() + way;
@@ -246,8 +292,28 @@ impl Cache {
         Some(ReadHit {
             value: decoded.data as u32,
             outcome: decoded.outcome,
-            dirty: line.dirty,
+            dirty: line.mesi.is_dirty(),
         })
+    }
+
+    /// Bookkeeping for a read miss while metadata corruptions are live: if
+    /// the line that *should* have matched is resident under a flipped tag
+    /// and architecturally dirty, the refetch from below returns stale data.
+    fn record_shadowed_miss(&mut self, address: u32) {
+        let set = self.set_index(address);
+        let tag = self.tag(address);
+        let range = self.set_range(set);
+        for record in &self.corrupted {
+            if range.contains(&record.index)
+                && record.true_tag == tag
+                && self.lines[record.index].tag != tag
+                && self.lines[record.index].mesi.is_valid()
+                && record.truly_dirty
+            {
+                self.stale_reads += 1;
+                return;
+            }
+        }
     }
 
     /// Writes bytes of the aligned word at `address` selected by `byte_mask`
@@ -280,7 +346,14 @@ impl Cache {
         line.words[word] = Codeword::encode(self.code.as_ref(), u64::from(merged));
         line.pristine |= 1u64 << word;
         if dirty_on_write {
-            line.dirty = true;
+            line.mesi = MesiState::Modified;
+            if !self.corrupted.is_empty() {
+                // A state-only corruption (tag intact) is healed by the
+                // write: the line is dirty again and will be written back.
+                let tag = self.lines[index].tag;
+                self.corrupted
+                    .retain(|r| r.index != index || r.true_tag != tag);
+            }
         }
         true
     }
@@ -349,7 +422,7 @@ impl Cache {
             let lines = &self.lines[self.set_range(set)];
             lines
                 .iter()
-                .position(|line| !line.valid)
+                .position(|line| !line.mesi.is_valid())
                 .unwrap_or_else(|| {
                     lines
                         .iter()
@@ -360,9 +433,10 @@ impl Cache {
                 })
         };
 
+        let index = set * self.ways() + way;
         let evicted = {
-            let line = &self.lines[set * self.ways() + way];
-            if line.valid {
+            let line = &self.lines[index];
+            if line.mesi.is_valid() {
                 let base = self.reconstruct_base(set, line.tag);
                 let mut words = Vec::with_capacity(line.words.len());
                 let mut uncorrectable = false;
@@ -376,7 +450,7 @@ impl Cache {
                 Some(EvictedLine {
                     base_address: base,
                     words,
-                    dirty: line.dirty,
+                    dirty: line.mesi.is_dirty(),
                     uncorrectable,
                 })
             } else {
@@ -389,12 +463,13 @@ impl Cache {
                 self.stats.writebacks += 1;
             }
         }
+        if !self.corrupted.is_empty() {
+            self.retire_corruption(index);
+        }
 
         let code = self.code.as_ref();
-        let index = set * self.ways() + way;
         let line = &mut self.lines[index];
-        line.valid = true;
-        line.dirty = false;
+        line.mesi = MesiState::Exclusive;
         line.tag = tag;
         line.last_used = counter;
         // `clear` + `extend` keeps the allocation across refills (and makes
@@ -416,11 +491,29 @@ impl Cache {
         if let Some(way) = self.find_way(address) {
             let set = self.set_index(address);
             let index = set * self.ways() + way;
-            self.lines[index].valid = false;
-            self.lines[index].dirty = false;
+            if !self.corrupted.is_empty() {
+                self.retire_corruption(index);
+            }
+            self.lines[index].mesi = MesiState::Invalid;
             true
         } else {
             false
+        }
+    }
+
+    /// Settles the ground-truth record of a line that is about to disappear
+    /// (replacement fill or invalidation): if the line architecturally held
+    /// the only dirty copy but its stored metadata no longer says so — the
+    /// state bits were downgraded, or the tag was flipped so the writeback
+    /// went to the wrong address — that data is silently lost.
+    fn retire_corruption(&mut self, index: usize) {
+        let stored_tag = self.lines[index].tag;
+        let stored_dirty = self.lines[index].mesi.is_dirty();
+        if let Some(position) = self.corrupted.iter().position(|r| r.index == index) {
+            let record = self.corrupted.swap_remove(position);
+            if record.truly_dirty && (!stored_dirty || record.true_tag != stored_tag) {
+                self.lost_writebacks += 1;
+            }
         }
     }
 
@@ -430,11 +523,166 @@ impl Cache {
         if let Some(way) = self.find_way(address) {
             let set = self.set_index(address);
             let index = set * self.ways() + way;
-            self.lines[index].dirty = false;
+            if self.lines[index].mesi.is_dirty() {
+                self.lines[index].mesi = MesiState::Exclusive;
+            }
             true
         } else {
             false
         }
+    }
+
+    /// The MESI state of the line containing `address` (`Invalid` when not
+    /// resident).  Does not disturb LRU state or statistics.
+    #[must_use]
+    pub fn coherence_state(&self, address: u32) -> MesiState {
+        match self.find_way(address) {
+            Some(way) => self.lines[self.set_index(address) * self.ways() + way].mesi,
+            None => MesiState::Invalid,
+        }
+    }
+
+    /// Sets the MESI state of a resident line (the SMP coherence controller
+    /// adjusts fill states and downgrades through this), returning `true`
+    /// if the line was resident.  Use [`Cache::invalidate`] to drop a line.
+    pub fn set_coherence_state(&mut self, address: u32, state: MesiState) -> bool {
+        debug_assert_ne!(state, MesiState::Invalid, "use invalidate() to drop");
+        if let Some(way) = self.find_way(address) {
+            let index = self.set_index(address) * self.ways() + way;
+            self.lines[index].mesi = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Services a remote bus transaction observed for the line containing
+    /// `address`: a remote read (`invalidate == false`) downgrades
+    /// `Modified`/`Exclusive` to `Shared`; a remote write intent
+    /// (`invalidate == true`) drops the line.  A `Modified` copy is decoded
+    /// and supplied (cache-to-cache intervention) so the requester and the
+    /// level below see the newest data.  Snoops touch neither LRU state nor
+    /// hit/miss statistics — they are not processor accesses.
+    pub fn snoop(&mut self, address: u32, invalidate: bool) -> SnoopResult {
+        // A copy hidden behind a flipped tag is missed here too: it survives
+        // the invalidation and keeps serving aliased reads (counted at read
+        // time) — exactly the coherence hole a tag strike opens.
+        let Some(way) = self.find_way(address) else {
+            return SnoopResult::default();
+        };
+        let set = self.set_index(address);
+        let index = set * self.ways() + way;
+        let was_modified = self.lines[index].mesi.is_dirty();
+        let mut supplied = None;
+        let mut uncorrectable = false;
+        if was_modified {
+            let line = &self.lines[index];
+            let mut words = Vec::with_capacity(line.words.len());
+            for word in 0..line.words.len() {
+                let decoded = line.decode_word(word, self.code.as_ref());
+                if !decoded.outcome.is_usable() {
+                    uncorrectable = true;
+                }
+                words.push(decoded.data as u32);
+            }
+            supplied = Some(words);
+        }
+        if invalidate {
+            if !self.corrupted.is_empty() {
+                self.retire_corruption(index);
+            }
+            self.lines[index].mesi = MesiState::Invalid;
+        } else if self.lines[index].mesi != MesiState::Shared {
+            self.lines[index].mesi = MesiState::Shared;
+        }
+        SnoopResult {
+            had_line: true,
+            was_modified,
+            invalidated: invalidate,
+            supplied,
+            uncorrectable,
+        }
+    }
+
+    /// Injects a metadata fault — a flipped MESI state bit or tag bit — into
+    /// a random resident line, picked with `injector`.  Returns the struck
+    /// line's architecturally correct base address, or `None` when the cache
+    /// is empty.  The flip changes only the stored metadata; a ground-truth
+    /// record is kept so the *consequences* (lost writebacks, stale reads)
+    /// can be classified without influencing behaviour.
+    pub fn inject_meta_fault(
+        &mut self,
+        injector: &mut ErrorInjector,
+        target: FaultTarget,
+    ) -> Option<u32> {
+        let resident: Vec<usize> = (0..self.lines.len())
+            .filter(|&i| self.lines[i].mesi.is_valid())
+            .collect();
+        if resident.is_empty() {
+            return None;
+        }
+        let index = resident[injector.next_below(resident.len() as u64) as usize];
+        let set_index = index / self.ways();
+        let true_tag = match self.corrupted.iter().find(|r| r.index == index) {
+            // Already-corrupted lines keep their original ground truth.
+            Some(record) => record.true_tag,
+            None => self.lines[index].tag,
+        };
+        let truly_dirty = self
+            .corrupted
+            .iter()
+            .find(|r| r.index == index)
+            .map_or_else(|| self.lines[index].mesi.is_dirty(), |r| r.truly_dirty);
+        let base = self.reconstruct_base(set_index, true_tag);
+        match target {
+            FaultTarget::Data => unreachable!("data strikes use inject_fault"),
+            FaultTarget::State => {
+                let bit = injector.next_below(2) as u8;
+                let bits = self.lines[index].mesi.to_bits() ^ (1 << bit);
+                self.lines[index].mesi = MesiState::from_bits(bits);
+            }
+            FaultTarget::Tag => {
+                let tag_bits = 32 - self.offset_bits - self.index_bits;
+                let bit = injector.next_below(u64::from(tag_bits)) as u32;
+                self.lines[index].tag ^= 1 << bit;
+            }
+        }
+        self.meta_faults_injected += 1;
+        if self.lines[index].mesi.is_valid() {
+            if !self.corrupted.iter().any(|r| r.index == index) {
+                self.corrupted.push(MetaCorruption {
+                    index,
+                    true_tag,
+                    truly_dirty,
+                });
+            }
+        } else {
+            // The state flip landed on Invalid: the line vanished outright.
+            self.corrupted.retain(|r| r.index != index);
+            if truly_dirty {
+                self.lost_writebacks += 1;
+            }
+        }
+        Some(base)
+    }
+
+    /// Metadata faults injected so far.
+    #[must_use]
+    pub fn meta_faults_injected(&self) -> u64 {
+        self.meta_faults_injected
+    }
+
+    /// Dirty lines silently dropped (or mis-addressed) because of corrupted
+    /// metadata.
+    #[must_use]
+    pub fn lost_writebacks(&self) -> u64 {
+        self.lost_writebacks
+    }
+
+    /// Reads served wrong data because of corrupted metadata.
+    #[must_use]
+    pub fn stale_reads(&self) -> u64 {
+        self.stale_reads
     }
 
     /// Applies a bit-flip plan to the stored codeword at `address`,
@@ -459,7 +707,7 @@ impl Cache {
         let mut out = Vec::new();
         for (set_index, set) in self.lines.chunks(self.ways()).enumerate() {
             for line in set {
-                if line.valid {
+                if line.mesi.is_valid() {
                     let base = self.reconstruct_base(set_index, line.tag);
                     for word in 0..self.config.words_per_line() {
                         out.push(base + 4 * word);
@@ -475,14 +723,17 @@ impl Cache {
     pub fn dirty_lines(&self) -> usize {
         self.lines
             .iter()
-            .filter(|line| line.valid && line.dirty)
+            .filter(|line| line.mesi.is_dirty())
             .count()
     }
 
     /// Number of valid lines currently resident.
     #[must_use]
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|line| line.valid).count()
+        self.lines
+            .iter()
+            .filter(|line| line.mesi.is_valid())
+            .count()
     }
 
     /// Writes back and returns every dirty line (used at program end so the
@@ -493,11 +744,11 @@ impl Cache {
         for index in 0..self.lines.len() {
             let set_index = index / ways;
             {
-                let (valid, dirty, tag) = {
+                let (dirty, tag) = {
                     let line = &self.lines[index];
-                    (line.valid, line.dirty, line.tag)
+                    (line.mesi.is_dirty(), line.tag)
                 };
-                if valid && dirty {
+                if dirty {
                     let base = self.reconstruct_base(set_index, tag);
                     let mut words = Vec::with_capacity(self.config.words_per_line() as usize);
                     let mut uncorrectable = false;
@@ -508,7 +759,7 @@ impl Cache {
                         }
                         words.push(decoded.data as u32);
                     }
-                    self.lines[index].dirty = false;
+                    self.lines[index].mesi = MesiState::Exclusive;
                     self.stats.writebacks += 1;
                     out.push(EvictedLine {
                         base_address: base,
@@ -517,6 +768,14 @@ impl Cache {
                         uncorrectable,
                     });
                 }
+            }
+        }
+        // Architecturally-dirty lines whose corrupted metadata hid them from
+        // this flush have now missed their last chance to reach memory.
+        if !self.corrupted.is_empty() {
+            let indices: Vec<usize> = self.corrupted.iter().map(|r| r.index).collect();
+            for index in indices {
+                self.retire_corruption(index);
             }
         }
         out

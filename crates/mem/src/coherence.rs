@@ -1,0 +1,125 @@
+//! MESI coherence state and the snoop interface.
+//!
+//! Every cache line carries a [`MesiState`] instead of separate valid/dirty
+//! bits: `Invalid` is the old "not valid", `Modified` is the old "valid +
+//! dirty", and the clean-valid state splits into `Exclusive` (no other cache
+//! holds the line — a later write needs no bus transaction) and `Shared`
+//! (other caches may hold it — a write must first invalidate them).  A
+//! uniprocessor hierarchy only ever sees `Invalid`/`Exclusive`/`Modified`,
+//! which is exactly the valid/dirty lattice it had before, so single-core
+//! behaviour is bit-identical.
+//!
+//! The state is *metadata*: it is stored next to the tag, and — unlike the
+//! data words — it is not covered by the DL1's ECC/parity code on the
+//! platforms the paper models.  That makes it a fault-injection surface of
+//! its own: a flipped state bit can silently drop a dirty line's writeback
+//! obligation (`Modified` read as clean) and a flipped tag bit makes the
+//! line answer for the wrong address.  See
+//! [`FaultTarget`](crate::fault::FaultTarget).
+
+/// The four MESI states, encoded in two (unprotected) metadata bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    /// Not present.
+    #[default]
+    Invalid,
+    /// Present in this cache and possibly others; clean.
+    Shared,
+    /// Present only in this cache; clean (memory below is up to date).
+    Exclusive,
+    /// Present only in this cache; dirty (this is the only current copy).
+    Modified,
+}
+
+impl MesiState {
+    /// `true` for any resident state.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self != MesiState::Invalid
+    }
+
+    /// `true` when the line holds the only up-to-date copy (must be written
+    /// back on eviction).
+    #[must_use]
+    pub fn is_dirty(self) -> bool {
+        self == MesiState::Modified
+    }
+
+    /// The two-bit hardware encoding of the state (I=00, S=01, E=10, M=11).
+    #[must_use]
+    pub fn to_bits(self) -> u8 {
+        match self {
+            MesiState::Invalid => 0b00,
+            MesiState::Shared => 0b01,
+            MesiState::Exclusive => 0b10,
+            MesiState::Modified => 0b11,
+        }
+    }
+
+    /// Decodes the two-bit encoding (the inverse of [`MesiState::to_bits`]).
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            0b01 => MesiState::Shared,
+            0b10 => MesiState::Exclusive,
+            0b11 => MesiState::Modified,
+            _ => MesiState::Invalid,
+        }
+    }
+
+    /// Stable label used in reports and tests.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MesiState::Invalid => "I",
+            MesiState::Shared => "S",
+            MesiState::Exclusive => "E",
+            MesiState::Modified => "M",
+        }
+    }
+}
+
+/// What a remote bus transaction observed in (and did to) one snooped cache.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnoopResult {
+    /// `true` if the snooped cache held the line.
+    pub had_line: bool,
+    /// `true` if the snooped copy was `Modified` — the snooped cache supplied
+    /// the line (cache-to-cache intervention) in `supplied`.
+    pub was_modified: bool,
+    /// `true` if the snoop invalidated the copy (remote write intent).
+    pub invalidated: bool,
+    /// The line's decoded words, supplied only when the copy was `Modified`
+    /// (the requester and the level below would otherwise read stale data).
+    pub supplied: Option<Vec<u32>>,
+    /// `true` if any supplied word carried an uncorrectable ECC error: the
+    /// intervention forwards data that cannot be trusted.
+    pub uncorrectable: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_encoding_round_trips() {
+        for state in [
+            MesiState::Invalid,
+            MesiState::Shared,
+            MesiState::Exclusive,
+            MesiState::Modified,
+        ] {
+            assert_eq!(MesiState::from_bits(state.to_bits()), state);
+        }
+        assert_eq!(MesiState::from_bits(0b111), MesiState::Modified);
+    }
+
+    #[test]
+    fn dirty_and_valid_follow_the_lattice() {
+        assert!(!MesiState::Invalid.is_valid());
+        assert!(MesiState::Shared.is_valid() && !MesiState::Shared.is_dirty());
+        assert!(MesiState::Exclusive.is_valid() && !MesiState::Exclusive.is_dirty());
+        assert!(MesiState::Modified.is_dirty());
+        assert_eq!(MesiState::Modified.label(), "M");
+    }
+}

@@ -10,7 +10,7 @@
 
 use laec_ecc::ErrorInjector;
 
-use crate::hierarchy::MemorySystem;
+use crate::port::MemoryPort;
 
 /// The spatial shape of each injected strike.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,6 +61,48 @@ impl FaultPattern {
     }
 }
 
+/// Which physical array of the DL1 a campaign strikes.
+///
+/// The data array is what the paper's ECC schemes protect; the metadata
+/// arrays (MESI state bits and address tags) are *not* covered by the
+/// per-word code on the modelled platforms, so strikes there open failure
+/// modes no data-array code can see: a `Modified` line whose state bits read
+/// clean silently loses its writeback, and a flipped tag bit makes the line
+/// answer for the wrong address (stale or aliased reads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The ECC-protected data (+ check bit) array.
+    #[default]
+    Data,
+    /// The per-line MESI state bits (unprotected metadata).
+    State,
+    /// The per-line address tag bits (unprotected metadata).
+    Tag,
+}
+
+impl FaultTarget {
+    /// Stable label used in reports and on the CLI.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultTarget::Data => "data",
+            FaultTarget::State => "state",
+            FaultTarget::Tag => "tag",
+        }
+    }
+
+    /// Parses a CLI label.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "data" => Some(FaultTarget::Data),
+            "state" | "mesi" => Some(FaultTarget::State),
+            "tag" => Some(FaultTarget::Tag),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of an injection campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultCampaignConfig {
@@ -72,8 +114,10 @@ pub struct FaultCampaignConfig {
     /// For [`FaultPattern::SingleBit`]: fraction of injections that are
     /// double-bit (two independent positions) rather than single-bit.
     pub double_fraction: f64,
-    /// Spatial shape of each strike.
+    /// Spatial shape of each strike (data-array campaigns).
     pub pattern: FaultPattern,
+    /// Which DL1 array the strikes land in.
+    pub target: FaultTarget,
 }
 
 impl FaultCampaignConfig {
@@ -85,6 +129,7 @@ impl FaultCampaignConfig {
             interval,
             double_fraction: 0.0,
             pattern: FaultPattern::SingleBit,
+            target: FaultTarget::Data,
         }
     }
 
@@ -96,7 +141,15 @@ impl FaultCampaignConfig {
             interval,
             double_fraction: 0.0,
             pattern,
+            target: FaultTarget::Data,
         }
+    }
+
+    /// A campaign striking the given DL1 array (builder style).
+    #[must_use]
+    pub fn with_target(mut self, target: FaultTarget) -> Self {
+        self.target = target;
+        self
     }
 }
 
@@ -107,6 +160,7 @@ impl Default for FaultCampaignConfig {
             interval: 1_000,
             double_fraction: 0.0,
             pattern: FaultPattern::SingleBit,
+            target: FaultTarget::Data,
         }
     }
 }
@@ -153,7 +207,7 @@ impl FaultCampaign {
     /// Called once per injection opportunity (typically once per simulated
     /// cycle or per memory access); injects when the interval elapses.
     /// Returns the struck address when an injection happened.
-    pub fn maybe_inject(&mut self, system: &mut MemorySystem) -> Option<u32> {
+    pub fn maybe_inject<M: MemoryPort>(&mut self, system: &mut M) -> Option<u32> {
         if self.config.interval == 0 {
             return None;
         }
@@ -172,7 +226,7 @@ impl FaultCampaign {
     /// to burn through run-length-encoded commit runs.
     ///
     /// Returns the number of faults injected.
-    pub fn maybe_inject_many(&mut self, opportunities: u64, system: &mut MemorySystem) -> u64 {
+    pub fn maybe_inject_many<M: MemoryPort>(&mut self, opportunities: u64, system: &mut M) -> u64 {
         if self.config.interval == 0 {
             return 0;
         }
@@ -189,8 +243,8 @@ impl FaultCampaign {
         injected
     }
 
-    fn inject_now(&mut self, system: &mut MemorySystem) -> Option<u32> {
-        match system.inject_random_dl1_fault(&mut self.injector, &self.config) {
+    fn inject_now<M: MemoryPort>(&mut self, system: &mut M) -> Option<u32> {
+        match system.inject_random_fault(&mut self.injector, &self.config) {
             Some(address) => {
                 self.report.injected += 1;
                 Some(address)
@@ -213,6 +267,7 @@ impl FaultCampaign {
 mod tests {
     use super::*;
     use crate::config::HierarchyConfig;
+    use crate::hierarchy::MemorySystem;
 
     #[test]
     fn disabled_campaign_never_injects() {

@@ -18,9 +18,41 @@ use laec_trace::{MemLevel, TraceSink};
 use crate::bus::{Bus, Interference};
 use crate::cache::{Cache, EvictedLine};
 use crate::config::{AllocatePolicy, HierarchyConfig, WritePolicy};
-use crate::fault::{FaultCampaignConfig, FaultPattern};
+use crate::fault::{FaultCampaignConfig, FaultPattern, FaultTarget};
 use crate::memory::MainMemory;
 use crate::stats::MemStats;
+
+/// Injects one random campaign strike into `cache` — shared by the
+/// uniprocessor [`MemorySystem`] and the coherent per-core DL1s of
+/// `laec_smp`, so both engines draw the exact same injector stream for the
+/// same configuration (a prerequisite for their byte-identical reports).
+pub fn inject_random_cache_fault(
+    cache: &mut Cache,
+    injector: &mut ErrorInjector,
+    config: &FaultCampaignConfig,
+) -> Option<u32> {
+    match config.target {
+        FaultTarget::Data => {
+            let resident = cache.resident_word_addresses();
+            if resident.is_empty() {
+                return None;
+            }
+            let address = resident[injector.next_below(resident.len() as u64) as usize];
+            let check_bits = cache.config().protection.check_bits();
+            let plan = match config.pattern {
+                FaultPattern::SingleBit => {
+                    injector.random_event(32, check_bits.max(1), config.double_fraction)
+                }
+                FaultPattern::Adjacent2 | FaultPattern::Adjacent4 => {
+                    injector.random_adjacent(32, config.pattern.cluster_bits())
+                }
+            };
+            cache.inject_fault(address, &plan);
+            Some(address)
+        }
+        FaultTarget::State | FaultTarget::Tag => cache.inject_meta_fault(injector, config.target),
+    }
+}
 
 /// Result of a load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -385,30 +417,17 @@ impl MemorySystem {
         self.dl1.inject_fault(address, plan)
     }
 
-    /// Injects a random fault into a random *resident* DL1 word following
-    /// the campaign's strike pattern, returning the struck address (or
-    /// `None` if the DL1 is empty).
+    /// Injects a random fault into the DL1 following the campaign's target
+    /// and strike pattern, returning the struck address (or `None` if the
+    /// DL1 holds nothing to strike).  Data strikes hit a random resident
+    /// word's data/check bits; metadata strikes (see [`FaultTarget`]) flip a
+    /// MESI state bit or tag bit of a random resident line.
     pub fn inject_random_dl1_fault(
         &mut self,
         injector: &mut ErrorInjector,
         config: &FaultCampaignConfig,
     ) -> Option<u32> {
-        let resident = self.dl1.resident_word_addresses();
-        if resident.is_empty() {
-            return None;
-        }
-        let address = resident[injector.next_below(resident.len() as u64) as usize];
-        let check_bits = self.config.dl1.protection.check_bits();
-        let plan = match config.pattern {
-            FaultPattern::SingleBit => {
-                injector.random_event(32, check_bits.max(1), config.double_fraction)
-            }
-            FaultPattern::Adjacent2 | FaultPattern::Adjacent4 => {
-                injector.random_adjacent(32, config.pattern.cluster_bits())
-            }
-        };
-        self.dl1.inject_fault(address, &plan);
-        Some(address)
+        inject_random_cache_fault(&mut self.dl1, injector, config)
     }
 
     /// Accumulated statistics.

@@ -43,20 +43,26 @@
 
 pub mod bus;
 pub mod cache;
+pub mod coherence;
 pub mod config;
 pub mod fault;
 pub mod hierarchy;
 pub mod memory;
+pub mod port;
 pub mod replay;
 pub mod stats;
 pub mod write_buffer;
 
 pub use bus::{Bus, BusGrant, Interference};
 pub use cache::{Cache, EvictedLine, ReadHit};
+pub use coherence::{MesiState, SnoopResult};
 pub use config::{AllocatePolicy, CacheConfig, HierarchyConfig, WritePolicy};
-pub use fault::{FaultCampaign, FaultCampaignConfig, FaultCampaignReport, FaultPattern};
-pub use hierarchy::{LoadResponse, MemorySystem, StoreResponse};
+pub use fault::{
+    FaultCampaign, FaultCampaignConfig, FaultCampaignReport, FaultPattern, FaultTarget,
+};
+pub use hierarchy::{inject_random_cache_fault, LoadResponse, MemorySystem, StoreResponse};
 pub use memory::MainMemory;
+pub use port::MemoryPort;
 pub use replay::ReplayMemory;
 pub use stats::{CacheStats, MemStats};
 pub use write_buffer::{PendingStore, WriteBuffer};

@@ -126,6 +126,16 @@ pub struct MemStats {
     pub memory_accesses: u64,
     /// Stores that were absorbed by the write buffer.
     pub write_buffer_enqueues: u64,
+    /// Remote-cache lookups this core's bus transactions triggered (every
+    /// coherent bus transaction probes the other cores' DL1 tag arrays).
+    pub snoop_lookups: u64,
+    /// Remote copies this core's write intents invalidated.
+    pub invalidations_sent: u64,
+    /// Local copies invalidated by other cores' write intents.
+    pub invalidations_received: u64,
+    /// Dirty lines supplied cache-to-cache to this core's requests
+    /// (Modified interventions).
+    pub interventions: u64,
     /// Cycles in which the write buffer was full and stalled a store.
     pub write_buffer_full_stalls: u64,
     /// Loads that had to wait for the write buffer to drain.

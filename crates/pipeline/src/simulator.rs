@@ -26,7 +26,7 @@
 use std::collections::VecDeque;
 
 use laec_isa::{semantics, Instruction, Program, Reg, RegisterFile, NUM_REGS};
-use laec_mem::{FaultCampaign, MemorySystem};
+use laec_mem::{FaultCampaign, MemoryPort, MemorySystem};
 use laec_trace::{StallKind, TraceSink, TraceSummary};
 
 use crate::chronogram::{Chronogram, TraceEntry};
@@ -55,6 +55,15 @@ pub struct SimResult {
     pub unrecoverable_errors: u64,
     /// Uncorrectable errors recovered by refetching from the L2 (WT/parity).
     pub recovered_by_refetch: u64,
+    /// Dirty DL1 lines silently dropped because a metadata strike (MESI
+    /// state / tag bits) hid their dirtiness — silent data corruption the
+    /// data array's ECC cannot see.
+    pub lost_writebacks: u64,
+    /// Loads served wrong data because of corrupted DL1 metadata (aliased
+    /// tag hits, refetches of stale lower-level copies).
+    pub stale_metadata_reads: u64,
+    /// Metadata (state/tag) faults injected during the run.
+    pub meta_faults_injected: u64,
 }
 
 impl SimResult {
@@ -93,12 +102,17 @@ struct RecentProducer {
 }
 
 /// The simulator for one program under one configuration.
+///
+/// Generic over its data-memory backend: the default
+/// [`MemorySystem`](laec_mem::MemorySystem) is the paper's uniprocessor
+/// hierarchy; `laec_smp` plugs in one core's port of a MESI-coherent
+/// multi-core hierarchy instead.
 #[derive(Debug)]
-pub struct Simulator {
+pub struct Simulator<M: MemoryPort = MemorySystem> {
     config: PipelineConfig,
     program: Program,
     regs: RegisterFile,
-    mem: MemorySystem,
+    mem: M,
     stats: PipelineStats,
     chronogram: Chronogram,
     fault_campaign: Option<FaultCampaign>,
@@ -134,12 +148,36 @@ impl Simulator {
         if let Some(interference) = config.bus_interference {
             mem.set_bus_interference(interference);
         }
+        Simulator::with_port(program, config, mem)
+    }
+
+    /// Attaches a trace sink to the memory hierarchy (line-fill / writeback
+    /// events, full-detail recordings).
+    pub fn attach_mem_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.mem.set_trace_sink(sink);
+    }
+
+    /// Convenience: build, run and return the result in one call.
+    #[must_use]
+    pub fn run(program: Program, config: PipelineConfig) -> SimResult {
+        let mut simulator = Simulator::new(program, config);
+        simulator.execute()
+    }
+}
+
+impl<M: MemoryPort> Simulator<M> {
+    /// Creates a simulator for `program` against an externally built memory
+    /// backend (the data image must already be loaded into it).  This is how
+    /// `laec_smp` attaches each core's pipeline to its port of the shared,
+    /// MESI-coherent hierarchy.
+    #[must_use]
+    pub fn with_port(program: Program, config: PipelineConfig, port: M) -> Self {
         let fault_campaign = config.fault_campaign.map(FaultCampaign::new);
         let chronogram = Chronogram::new(config.trace_instructions);
         Simulator {
             program,
             regs: RegisterFile::new(),
-            mem,
+            mem: port,
             stats: PipelineStats::new(),
             chronogram,
             fault_campaign,
@@ -164,19 +202,6 @@ impl Simulator {
         self.sink = Some(sink);
     }
 
-    /// Attaches a trace sink to the memory hierarchy (line-fill / writeback
-    /// events, full-detail recordings).
-    pub fn attach_mem_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
-        self.mem.set_trace_sink(sink);
-    }
-
-    /// Convenience: build, run and return the result in one call.
-    #[must_use]
-    pub fn run(program: Program, config: PipelineConfig) -> SimResult {
-        let mut simulator = Simulator::new(program, config);
-        simulator.execute()
-    }
-
     /// Pre-fills the DL1 with the lines containing `addresses` (without
     /// counting the accesses), so short chronogram examples start from a warm
     /// cache like the paper's figures assume.
@@ -196,17 +221,42 @@ impl Simulator {
     /// Runs the program to completion (or to the instruction cap) and
     /// produces the result.
     pub fn execute(&mut self) -> SimResult {
-        while !self.halted {
-            if self.stats.instructions >= self.config.max_instructions {
-                self.hit_instruction_limit = true;
-                break;
-            }
-            let Some(&instruction) = self.program.get(self.pc as usize) else {
-                // Fell off the end of the program: treat as an implicit halt.
-                break;
-            };
-            self.step(instruction);
+        while self.step_one() {}
+        self.finalize()
+    }
+
+    /// Executes one dynamic instruction, returning `false` once the core is
+    /// done (halted, fell off the program, or hit the instruction cap).
+    /// External schedulers — `laec_smp`'s deterministic cycle interleaver —
+    /// drive cores through this instead of [`Simulator::execute`].
+    pub fn step_one(&mut self) -> bool {
+        if self.halted {
+            return false;
         }
+        if self.stats.instructions >= self.config.max_instructions {
+            self.hit_instruction_limit = true;
+            return false;
+        }
+        let Some(&instruction) = self.program.get(self.pc as usize) else {
+            // Fell off the end of the program: treat as an implicit halt.
+            self.halted = true;
+            return false;
+        };
+        self.step(instruction);
+        !self.halted
+    }
+
+    /// The core's local clock: the retirement cycle of the newest retired
+    /// instruction.  `laec_smp` always advances the core whose clock is
+    /// furthest behind (ties broken by core id), which interleaves the
+    /// cores' cycles deterministically.
+    #[must_use]
+    pub fn local_cycle(&self) -> u64 {
+        self.last_retire
+    }
+
+    /// Seals the run: drains the memory hierarchy and packages the result.
+    pub fn finalize(&mut self) -> SimResult {
         let baseline_mem = self.stats.mem.write_buffer_enqueues;
         let mut stats = self.stats;
         stats.cycles = self.last_retire;
@@ -220,6 +270,9 @@ impl Simulator {
             hit_instruction_limit: self.hit_instruction_limit,
             unrecoverable_errors: self.mem.unrecoverable_errors(),
             recovered_by_refetch: self.mem.recovered_by_refetch(),
+            lost_writebacks: self.mem.lost_writebacks(),
+            stale_metadata_reads: self.mem.stale_metadata_reads(),
+            meta_faults_injected: self.mem.meta_faults_injected(),
         }
     }
 

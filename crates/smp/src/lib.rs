@@ -1,0 +1,53 @@
+//! `laec_smp` — the N-core system model.
+//!
+//! The paper evaluates its ECC latency-hiding schemes on a single NGMP
+//! core, representing the other cores' bus traffic with a synthetic
+//! interference generator.  This crate replaces that stand-in with the real
+//! thing: N cores, each running the existing cycle-accurate
+//! [`laec_pipeline::Simulator`] against a *private, MESI-coherent* DL1, all
+//! snooping one shared bus in front of the shared write-back L2 — the
+//! actual NGMP topology.
+//!
+//! * [`memory`] — [`CoherentMemory`]: per-core DL1s with MESI states, the
+//!   snoop machinery (downgrades, invalidations, `Modified` interventions),
+//!   per-core statistics and coherence counters.  Each core's
+//!   [`CorePort`] implements `laec_mem::MemoryPort` and mirrors the
+//!   uniprocessor `MemorySystem` exactly when no other core exists —
+//!   single-core SMP campaign reports are byte-identical to the
+//!   uniprocessor engine's.
+//! * [`system`] — [`SmpSystem`]: one pipeline per core, advanced by a
+//!   deterministic lowest-local-clock scheduler (round-robin tie-break), so
+//!   multi-core runs are exactly reproducible.
+//!
+//! Coherence metadata (MESI state bits, tags) is *not* covered by the DL1's
+//! ECC on the modelled platforms, which makes it a first-class fault
+//! surface: `laec_mem::FaultTarget::{State,Tag}` campaigns strike it, and
+//! the resulting silent-data-corruption classes (lost writebacks, stale
+//! reads) surface in campaign reports.
+//!
+//! # Example
+//!
+//! ```
+//! use laec_pipeline::PipelineConfig;
+//! use laec_smp::{SmpSystem, StopPolicy};
+//! use laec_workloads::smp::{parallel_reduction, parallel_reduction_expected, RESULT_BASE};
+//!
+//! let workload = parallel_reduction(2, 64);
+//! let configs = vec![PipelineConfig::laec(); 2];
+//! let mut system = SmpSystem::new(workload.programs, configs);
+//! let result = system.run(StopPolicy::AllHalt);
+//! assert_eq!(result.cores.len(), 2);
+//! assert_eq!(
+//!     system.memory().peek_memory(RESULT_BASE),
+//!     parallel_reduction_expected(64),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod memory;
+pub mod system;
+
+pub use memory::{CoherenceStats, CoherentMemory, CorePort};
+pub use system::{SmpRunResult, SmpSystem, StopPolicy};

@@ -1,0 +1,598 @@
+//! The MESI-coherent multi-core memory system.
+//!
+//! N private DL1s in front of one shared bus, one shared write-back L2 and
+//! one main memory.  Every bus transaction a core issues snoops the other
+//! cores' DL1 tag arrays: remote reads downgrade `Modified`/`Exclusive`
+//! copies to `Shared` (a `Modified` owner supplies the line and refreshes
+//! the L2), remote write intents invalidate.  Stores to `Shared` lines
+//! first broadcast an upgrade (BusUpgr) that invalidates the other copies.
+//!
+//! # Byte-identity with the uniprocessor hierarchy
+//!
+//! Each core's [`CorePort`] mirrors `laec_mem::MemorySystem` *exactly* —
+//! the same access flows, the same stall arithmetic, the same statistics
+//! updates in the same order, and the same fault-injection helper drawing
+//! the same RNG stream.  With one core there is nobody to snoop, so every
+//! coherence hook degenerates to a no-op and a 1-core system is
+//! indistinguishable from the uniprocessor engine; `tests/smp_equivalence.rs`
+//! at the workspace root asserts the resulting campaign reports are
+//! byte-identical across the full workload × scheme grid.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use laec_ecc::{ErrorInjector, Outcome};
+use laec_mem::{
+    inject_random_cache_fault, AllocatePolicy, Cache, EvictedLine, FaultCampaignConfig,
+    HierarchyConfig, Interference, LoadResponse, MainMemory, MemStats, MemoryPort, MesiState,
+    StoreResponse, WritePolicy,
+};
+
+/// System-wide coherence-protocol event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Remote DL1 tag lookups triggered by bus transactions.
+    pub snoop_lookups: u64,
+    /// Copies invalidated by remote write intents (BusRdX/BusUpgr and
+    /// write-through propagation).
+    pub invalidations: u64,
+    /// `Modified` lines supplied cache-to-cache (owner → requester).
+    pub interventions: u64,
+    /// Stores to `Shared` lines that had to broadcast an upgrade first.
+    pub upgrades: u64,
+}
+
+/// Per-core bookkeeping mirrored from the uniprocessor `MemorySystem`.
+#[derive(Debug, Default)]
+struct CoreCounters {
+    stats: MemStats,
+    unrecoverable_errors: u64,
+    recovered_by_refetch: u64,
+}
+
+/// The shared state behind every core's port.
+#[derive(Debug)]
+struct CoherentState {
+    config: HierarchyConfig,
+    dl1s: Vec<Cache>,
+    l2: Cache,
+    bus: laec_mem::Bus,
+    memory: MainMemory,
+    cores: Vec<CoreCounters>,
+    coherence: CoherenceStats,
+}
+
+impl CoherentState {
+    /// Snoops every DL1 except `core` for `base` (a DL1-line base address).
+    /// A `Modified` owner supplies the line, which is reflected into the L2
+    /// so the requester's refill below reads fresh data.  Returns `true` if
+    /// any remote copy survives (the requester must fill `Shared`).
+    fn snoop_remote(&mut self, core: usize, base: u32, exclusive: bool) -> bool {
+        let mut sharers = false;
+        for j in 0..self.dl1s.len() {
+            if j == core {
+                continue;
+            }
+            self.cores[core].stats.snoop_lookups += 1;
+            self.coherence.snoop_lookups += 1;
+            let result = self.dl1s[j].snoop(base, exclusive);
+            if !result.had_line {
+                continue;
+            }
+            if let Some(words) = &result.supplied {
+                // Cache-to-cache intervention: the dirty owner refreshes the
+                // L2 on the same bus transaction (no extra arbitration).
+                self.reflect_into_l2(core, base, words);
+                self.cores[core].stats.interventions += 1;
+                self.coherence.interventions += 1;
+            }
+            if exclusive {
+                self.cores[core].stats.invalidations_sent += 1;
+                self.cores[j].stats.invalidations_received += 1;
+                self.coherence.invalidations += 1;
+            } else {
+                sharers = true;
+            }
+        }
+        sharers
+    }
+
+    /// Writes an intervention-supplied DL1 line into the L2 (allocating the
+    /// enclosing L2 line from memory first if needed, like a writeback).
+    fn reflect_into_l2(&mut self, core: usize, base: u32, words: &[u32]) {
+        if !self.l2.probe(base) {
+            let l2_base = self.l2.line_base(base);
+            let l2_words = self.config.l2.words_per_line();
+            self.cores[core].stats.memory_accesses += 1;
+            let line = self.memory.read_line(l2_base, l2_words);
+            if let Some(victim) = self.l2.fill(l2_base, &line) {
+                if victim.dirty {
+                    self.memory.write_line(victim.base_address, &victim.words);
+                }
+            }
+        }
+        for (i, &word) in words.iter().enumerate() {
+            self.l2.write_word(base + 4 * i as u32, word);
+        }
+    }
+
+    /// Mirror of `MemorySystem::fetch_line`, plus the snoop phase.  Returns
+    /// the line data, the stall penalty and whether remote copies remain.
+    fn fetch_line(
+        &mut self,
+        core: usize,
+        base: u32,
+        now: u64,
+        exclusive: bool,
+    ) -> (Vec<u32>, u32, bool) {
+        let words = self.config.dl1.words_per_line();
+        let grant = self.bus.round_trip(now);
+        self.cores[core].stats.bus_transactions += 1;
+        self.cores[core].stats.bus_wait_cycles += grant.wait_cycles;
+
+        let mut extra = 2 * self.config.bus_latency + self.config.l2_latency;
+        extra += u32::try_from(grant.wait_cycles).unwrap_or(u32::MAX);
+
+        let sharers = self.snoop_remote(core, base, exclusive);
+
+        if !self.l2.probe(base) {
+            // L2 miss: refill the L2 line from main memory first.
+            extra += self.config.memory_latency;
+            self.cores[core].stats.memory_accesses += 1;
+            let l2_base = self.l2.line_base(base);
+            let l2_words = self.config.l2.words_per_line();
+            let line = self.memory.read_line(l2_base, l2_words);
+            if let Some(evicted) = self.l2.fill(l2_base, &line) {
+                if evicted.dirty {
+                    self.memory.write_line(evicted.base_address, &evicted.words);
+                }
+            }
+        }
+
+        let line = self.l2.read_line_words(base, words).unwrap_or_else(|| {
+            // DL1 lines wider than L2 lines: defensive per-word fallback,
+            // exactly like the uniprocessor hierarchy.
+            (0..words)
+                .map(|i| {
+                    let word_address = base + 4 * i;
+                    match self.l2.read_word(word_address) {
+                        Some(hit) => hit.value,
+                        None => {
+                            self.cores[core].stats.memory_accesses += 1;
+                            self.memory.read_word(word_address)
+                        }
+                    }
+                })
+                .collect()
+        });
+        self.cores[core].stats.l2 = *self.l2.stats();
+        (line, extra, sharers)
+    }
+
+    /// Mirror of `MemorySystem::fill_dl1`, with an explicit fill state.
+    fn fill_dl1(&mut self, core: usize, address: u32, line: &[u32], now: u64, state: MesiState) {
+        if let Some(evicted) = self.dl1s[core].fill(address, line) {
+            if evicted.dirty {
+                self.writeback_to_l2(core, &evicted, now);
+            }
+        }
+        if state != MesiState::Exclusive {
+            // `Cache::fill` installs Exclusive; downgrade when remote
+            // copies survive.
+            self.dl1s[core].set_coherence_state(address, state);
+        }
+        self.cores[core].stats.dl1 = *self.dl1s[core].stats();
+    }
+
+    /// Mirror of `MemorySystem::writeback_to_l2`.
+    fn writeback_to_l2(&mut self, core: usize, evicted: &EvictedLine, now: u64) {
+        let grant = self.bus.one_way(now);
+        self.cores[core].stats.bus_transactions += 1;
+        self.cores[core].stats.bus_wait_cycles += grant.wait_cycles;
+        if !self.l2.probe(evicted.base_address) {
+            let l2_base = self.l2.line_base(evicted.base_address);
+            let l2_words = self.config.l2.words_per_line();
+            self.cores[core].stats.memory_accesses += 1;
+            let line = self.memory.read_line(l2_base, l2_words);
+            if let Some(victim) = self.l2.fill(l2_base, &line) {
+                if victim.dirty {
+                    self.memory.write_line(victim.base_address, &victim.words);
+                }
+            }
+        }
+        for (i, &word) in evicted.words.iter().enumerate() {
+            self.l2
+                .write_word(evicted.base_address + 4 * i as u32, word);
+        }
+        self.cores[core].stats.l2 = *self.l2.stats();
+    }
+
+    /// Mirror of `MemorySystem::store_to_l2` (write-through / no-allocate
+    /// propagation), plus write-invalidation of remote copies.
+    fn store_to_l2(
+        &mut self,
+        core: usize,
+        address: u32,
+        value: u32,
+        byte_mask: u8,
+        now: u64,
+    ) -> u32 {
+        let grant = self.bus.one_way(now);
+        self.cores[core].stats.bus_transactions += 1;
+        self.cores[core].stats.bus_wait_cycles += grant.wait_cycles;
+        let base = self.dl1s[core].line_base(address);
+        self.snoop_remote(core, base, true);
+        let mut extra = self.config.bus_latency + self.config.l2_latency;
+        extra += u32::try_from(grant.wait_cycles).unwrap_or(u32::MAX);
+        if !self.l2.write_word_masked(address, value, byte_mask) {
+            extra += self.config.memory_latency;
+            self.cores[core].stats.memory_accesses += 1;
+            let l2_base = self.l2.line_base(address);
+            let l2_words = self.config.l2.words_per_line();
+            let line = self.memory.read_line(l2_base, l2_words);
+            if let Some(victim) = self.l2.fill(l2_base, &line) {
+                if victim.dirty {
+                    self.memory.write_line(victim.base_address, &victim.words);
+                }
+            }
+            let wrote = self.l2.write_word_masked(address, value, byte_mask);
+            debug_assert!(wrote, "L2 line was just filled");
+        }
+        self.cores[core].stats.l2 = *self.l2.stats();
+        extra
+    }
+
+    /// Mirror of `MemorySystem::load_word` for one core.
+    fn load_word(&mut self, core: usize, address: u32, now: u64) -> LoadResponse {
+        if let Some(hit) = self.dl1s[core].read_word(address) {
+            if hit.outcome.is_usable() {
+                return LoadResponse {
+                    value: hit.value,
+                    dl1_hit: true,
+                    extra_cycles: 0,
+                    outcome: hit.outcome,
+                };
+            }
+            if !hit.dirty {
+                self.cores[core].recovered_by_refetch += 1;
+                self.dl1s[core].invalidate(address);
+                let base = self.dl1s[core].line_base(address);
+                let (line, extra, sharers) = self.fetch_line(core, base, now, false);
+                let word_index = ((address & (self.config.dl1.line_bytes - 1)) >> 2) as usize;
+                let value = line[word_index];
+                let state = if sharers {
+                    MesiState::Shared
+                } else {
+                    MesiState::Exclusive
+                };
+                self.fill_dl1(core, address, &line, now, state);
+                return LoadResponse {
+                    value,
+                    dl1_hit: false,
+                    extra_cycles: extra,
+                    outcome: hit.outcome,
+                };
+            }
+            self.cores[core].unrecoverable_errors += 1;
+            return LoadResponse {
+                value: hit.value,
+                dl1_hit: true,
+                extra_cycles: 0,
+                outcome: hit.outcome,
+            };
+        }
+        let base = self.dl1s[core].line_base(address);
+        let (line, extra, sharers) = self.fetch_line(core, base, now, false);
+        let word_index = ((address & (self.config.dl1.line_bytes - 1)) >> 2) as usize;
+        let value = line[word_index];
+        let state = if sharers {
+            MesiState::Shared
+        } else {
+            MesiState::Exclusive
+        };
+        self.fill_dl1(core, address, &line, now, state);
+        LoadResponse {
+            value,
+            dl1_hit: false,
+            extra_cycles: extra,
+            outcome: Outcome::Clean,
+        }
+    }
+
+    /// Mirror of `MemorySystem::store_word_masked` for one core, plus the
+    /// MESI upgrade path for stores to `Shared` lines.
+    fn store_word_masked(
+        &mut self,
+        core: usize,
+        address: u32,
+        value: u32,
+        byte_mask: u8,
+        now: u64,
+    ) -> StoreResponse {
+        match self.config.dl1.write_policy {
+            WritePolicy::WriteBack => {
+                let mut upgrade_extra = 0u32;
+                if self.dl1s[core].coherence_state(address) == MesiState::Shared {
+                    // BusUpgr: broadcast the write intent before modifying.
+                    let grant = self.bus.one_way(now);
+                    self.cores[core].stats.bus_transactions += 1;
+                    self.cores[core].stats.bus_wait_cycles += grant.wait_cycles;
+                    upgrade_extra = self.config.bus_latency
+                        + u32::try_from(grant.wait_cycles).unwrap_or(u32::MAX);
+                    let base = self.dl1s[core].line_base(address);
+                    self.snoop_remote(core, base, true);
+                    self.coherence.upgrades += 1;
+                }
+                if self.dl1s[core].write_word_masked(address, value, byte_mask) {
+                    return StoreResponse {
+                        dl1_hit: true,
+                        extra_cycles: upgrade_extra,
+                    };
+                }
+                match self.config.dl1.allocate_policy {
+                    AllocatePolicy::WriteAllocate => {
+                        let base = self.dl1s[core].line_base(address);
+                        let (line, extra, _) = self.fetch_line(core, base, now, true);
+                        self.fill_dl1(core, address, &line, now, MesiState::Exclusive);
+                        let wrote = self.dl1s[core].write_word_masked(address, value, byte_mask);
+                        debug_assert!(wrote, "line was just filled");
+                        StoreResponse {
+                            dl1_hit: false,
+                            extra_cycles: extra,
+                        }
+                    }
+                    AllocatePolicy::NoWriteAllocate => {
+                        let extra = self.store_to_l2(core, address, value, byte_mask, now);
+                        StoreResponse {
+                            dl1_hit: false,
+                            extra_cycles: extra,
+                        }
+                    }
+                }
+            }
+            WritePolicy::WriteThrough => {
+                let dl1_hit = self.dl1s[core].write_word_masked(address, value, byte_mask);
+                let extra = self.store_to_l2(core, address, value, byte_mask, now);
+                StoreResponse {
+                    dl1_hit,
+                    extra_cycles: extra,
+                }
+            }
+        }
+    }
+
+    /// Mirror of `MemorySystem::drain_to_memory` for one core: flush this
+    /// core's DL1 into the L2, then the L2 into memory, and checksum.
+    fn drain_to_memory(&mut self, core: usize) -> u64 {
+        let dirty = self.dl1s[core].flush_dirty();
+        for line in &dirty {
+            self.writeback_to_l2(core, line, 0);
+        }
+        for line in self.l2.flush_dirty() {
+            self.memory.write_line(line.base_address, &line.words);
+        }
+        self.cores[core].stats.dl1 = *self.dl1s[core].stats();
+        self.cores[core].stats.l2 = *self.l2.stats();
+        self.memory.checksum()
+    }
+
+    fn stats(&self, core: usize) -> MemStats {
+        let mut stats = self.cores[core].stats;
+        stats.dl1 = *self.dl1s[core].stats();
+        stats.l2 = *self.l2.stats();
+        stats
+    }
+}
+
+/// The shared, coherent memory system: construction, inspection and the
+/// per-core [`CorePort`] factory.
+#[derive(Debug, Clone)]
+pub struct CoherentMemory {
+    shared: Rc<RefCell<CoherentState>>,
+}
+
+impl CoherentMemory {
+    /// Builds an empty coherent hierarchy for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or a cache configuration is invalid.
+    #[must_use]
+    pub fn new(config: HierarchyConfig, cores: usize) -> Self {
+        assert!(cores >= 1, "an SMP system needs at least one core");
+        let state = CoherentState {
+            dl1s: (0..cores).map(|_| Cache::new(config.dl1)).collect(),
+            l2: Cache::new(config.l2),
+            bus: laec_mem::Bus::new(config.bus_latency),
+            memory: MainMemory::new(config.memory_latency),
+            cores: (0..cores).map(|_| CoreCounters::default()).collect(),
+            coherence: CoherenceStats::default(),
+            config,
+        };
+        CoherentMemory {
+            shared: Rc::new(RefCell::new(state)),
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.shared.borrow().dl1s.len()
+    }
+
+    /// Installs bus interference (stand-in for off-model traffic).
+    pub fn set_bus_interference(&self, interference: Interference) {
+        self.shared.borrow_mut().bus.set_interference(interference);
+    }
+
+    /// Pre-sizes main memory for a data image of about `words` words.
+    pub fn reserve_memory(&self, words: usize) {
+        self.shared.borrow_mut().memory.reserve(words);
+    }
+
+    /// Pre-loads a word into main memory (program data images).
+    pub fn preload_word(&self, address: u32, value: u32) {
+        self.shared.borrow_mut().memory.poke_word(address, value);
+    }
+
+    /// Reads a word from main memory without touching caches or counters.
+    #[must_use]
+    pub fn peek_memory(&self, address: u32) -> u32 {
+        self.shared.borrow().memory.peek_word(address)
+    }
+
+    /// The architecturally current value of the aligned word at `address`:
+    /// any `Modified` DL1 copy wins, then the L2, then memory.
+    #[must_use]
+    pub fn peek_coherent(&self, address: u32) -> u32 {
+        let state = self.shared.borrow();
+        for dl1 in &state.dl1s {
+            if dl1.coherence_state(address).is_dirty() {
+                if let Some(value) = dl1.peek_word(address) {
+                    return value;
+                }
+            }
+        }
+        for dl1 in &state.dl1s {
+            if let Some(value) = dl1.peek_word(address) {
+                return value;
+            }
+        }
+        if let Some(value) = state.l2.peek_word(address) {
+            return value;
+        }
+        state.memory.peek_word(address)
+    }
+
+    /// The MESI state of `address` in `core`'s DL1.
+    #[must_use]
+    pub fn state(&self, core: usize, address: u32) -> MesiState {
+        self.shared.borrow().dl1s[core].coherence_state(address)
+    }
+
+    /// A timed load issued by `core` (test/inspection convenience; the
+    /// pipelines go through their [`CorePort`]s).
+    pub fn load(&self, core: usize, address: u32, now: u64) -> LoadResponse {
+        self.shared.borrow_mut().load_word(core, address, now)
+    }
+
+    /// A timed store issued by `core`.
+    pub fn store(&self, core: usize, address: u32, value: u32, now: u64) -> StoreResponse {
+        self.shared
+            .borrow_mut()
+            .store_word_masked(core, address, value, 0xF, now)
+    }
+
+    /// Forces eviction of the DL1 line holding `address` in `core`'s DL1 by
+    /// filling the set with conflicting lines (test helper).
+    pub fn evict(&self, core: usize, address: u32, now: u64) {
+        let (sets, ways, line_bytes) = {
+            let state = self.shared.borrow();
+            let config = state.config.dl1;
+            (config.sets(), config.ways, config.line_bytes)
+        };
+        let stride = sets * line_bytes;
+        for i in 1..=ways {
+            let conflicting = address.wrapping_add(i * stride);
+            self.load(core, conflicting, now + u64::from(i));
+        }
+    }
+
+    /// System-wide coherence counters.
+    #[must_use]
+    pub fn coherence_stats(&self) -> CoherenceStats {
+        self.shared.borrow().coherence
+    }
+
+    /// Per-core memory statistics.
+    #[must_use]
+    pub fn core_stats(&self, core: usize) -> MemStats {
+        self.shared.borrow().stats(core)
+    }
+
+    /// The final memory checksum (after the cores drained).
+    #[must_use]
+    pub fn memory_checksum(&self) -> u64 {
+        self.shared.borrow().memory.checksum()
+    }
+
+    /// The port core `core` plugs into its pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn port(&self, core: usize) -> CorePort {
+        assert!(core < self.cores(), "core {core} out of range");
+        CorePort {
+            shared: Rc::clone(&self.shared),
+            core,
+        }
+    }
+}
+
+/// One core's view of the coherent hierarchy — what its
+/// [`laec_pipeline::Simulator`] drives.
+#[derive(Debug)]
+pub struct CorePort {
+    shared: Rc<RefCell<CoherentState>>,
+    core: usize,
+}
+
+impl MemoryPort for CorePort {
+    fn load_word(&mut self, address: u32, now: u64) -> LoadResponse {
+        self.shared.borrow_mut().load_word(self.core, address, now)
+    }
+
+    fn store_word_masked(
+        &mut self,
+        address: u32,
+        value: u32,
+        byte_mask: u8,
+        now: u64,
+    ) -> StoreResponse {
+        self.shared
+            .borrow_mut()
+            .store_word_masked(self.core, address, value, byte_mask, now)
+    }
+
+    fn drain_to_memory(&mut self) -> u64 {
+        self.shared.borrow_mut().drain_to_memory(self.core)
+    }
+
+    fn stats(&self) -> MemStats {
+        self.shared.borrow().stats(self.core)
+    }
+
+    fn unrecoverable_errors(&self) -> u64 {
+        self.shared.borrow().cores[self.core].unrecoverable_errors
+    }
+
+    fn recovered_by_refetch(&self) -> u64 {
+        self.shared.borrow().cores[self.core].recovered_by_refetch
+    }
+
+    fn lost_writebacks(&self) -> u64 {
+        self.shared.borrow().dl1s[self.core].lost_writebacks()
+    }
+
+    fn stale_metadata_reads(&self) -> u64 {
+        self.shared.borrow().dl1s[self.core].stale_reads()
+    }
+
+    fn meta_faults_injected(&self) -> u64 {
+        self.shared.borrow().dl1s[self.core].meta_faults_injected()
+    }
+
+    fn inject_random_fault(
+        &mut self,
+        injector: &mut ErrorInjector,
+        config: &FaultCampaignConfig,
+    ) -> Option<u32> {
+        inject_random_cache_fault(
+            &mut self.shared.borrow_mut().dl1s[self.core],
+            injector,
+            config,
+        )
+    }
+}

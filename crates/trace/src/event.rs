@@ -78,6 +78,12 @@ impl StallKind {
 }
 
 /// One record of the captured stream.
+///
+/// Every event carries the id of the core that produced it.  Single-core
+/// recordings use core 0 throughout; the container encodes the core id as a
+/// run-length marker (a core-switch opcode emitted only when the id
+/// changes), so single-core streams pay zero bytes for it and format-v1
+/// recordings — which predate the field — decode with `core == 0`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// `count` consecutive instruction commits with no memory access in
@@ -85,6 +91,8 @@ pub enum TraceEvent {
     Commit {
         /// Number of merged commits (≥ 1).
         count: u64,
+        /// Core that retired the commits.
+        core: u8,
     },
     /// A data-side load issued to the memory system.
     MemRead {
@@ -98,6 +106,8 @@ pub enum TraceEvent {
         hit: bool,
         /// Stall cycles beyond a 1-cycle DL1 hit.
         extra_cycles: u32,
+        /// Core that issued the load.
+        core: u8,
     },
     /// A store issued to the memory system (post-merge word + byte mask).
     MemWrite {
@@ -109,6 +119,8 @@ pub enum TraceEvent {
         value: u32,
         /// Byte-enable mask (bit *i* enables byte *i*).
         byte_mask: u8,
+        /// Core that issued the store.
+        core: u8,
     },
     /// An instruction fetch (full-detail traces only).
     Fetch {
@@ -116,6 +128,8 @@ pub enum TraceEvent {
         pc: u32,
         /// Fetch-stage entry cycle.
         cycle: u64,
+        /// Core that fetched.
+        core: u8,
     },
     /// A pipeline stall (full-detail traces only).
     Stall {
@@ -125,6 +139,8 @@ pub enum TraceEvent {
         cycle: u64,
         /// Stalled cycles.
         cycles: u64,
+        /// Core that stalled.
+        core: u8,
     },
     /// A cache line fill (full-detail traces only).
     LineFill {
@@ -132,6 +148,8 @@ pub enum TraceEvent {
         level: MemLevel,
         /// Line-aligned base address.
         address: u32,
+        /// Core whose access caused the fill (0 for the shared L2).
+        core: u8,
     },
     /// A dirty line writeback (full-detail traces only).
     Writeback {
@@ -139,6 +157,8 @@ pub enum TraceEvent {
         level: MemLevel,
         /// Line-aligned base address.
         address: u32,
+        /// Core whose cache wrote back (0 for the shared L2).
+        core: u8,
     },
 }
 
@@ -151,6 +171,20 @@ impl TraceEvent {
             self,
             TraceEvent::Commit { .. } | TraceEvent::MemRead { .. } | TraceEvent::MemWrite { .. }
         )
+    }
+
+    /// The id of the core that produced the event.
+    #[must_use]
+    pub fn core(&self) -> u8 {
+        match *self {
+            TraceEvent::Commit { core, .. }
+            | TraceEvent::MemRead { core, .. }
+            | TraceEvent::MemWrite { core, .. }
+            | TraceEvent::Fetch { core, .. }
+            | TraceEvent::Stall { core, .. }
+            | TraceEvent::LineFill { core, .. }
+            | TraceEvent::Writeback { core, .. } => core,
+        }
     }
 }
 
@@ -176,20 +210,41 @@ mod tests {
 
     #[test]
     fn replayed_subset_is_the_compact_core() {
-        assert!(TraceEvent::Commit { count: 1 }.is_replayed());
+        assert!(TraceEvent::Commit { count: 1, core: 0 }.is_replayed());
         assert!(TraceEvent::MemRead {
             address: 0,
             cycle: 0,
             value: 0,
             hit: true,
-            extra_cycles: 0
+            extra_cycles: 0,
+            core: 2,
         }
         .is_replayed());
-        assert!(!TraceEvent::Fetch { pc: 0, cycle: 0 }.is_replayed());
+        assert!(!TraceEvent::Fetch {
+            pc: 0,
+            cycle: 0,
+            core: 0
+        }
+        .is_replayed());
         assert!(!TraceEvent::LineFill {
             level: MemLevel::Dl1,
-            address: 0
+            address: 0,
+            core: 0
         }
         .is_replayed());
+    }
+
+    #[test]
+    fn every_event_reports_its_core() {
+        assert_eq!(TraceEvent::Commit { count: 3, core: 5 }.core(), 5);
+        assert_eq!(
+            TraceEvent::Writeback {
+                level: MemLevel::L2,
+                address: 0,
+                core: 7
+            }
+            .core(),
+            7
+        );
     }
 }

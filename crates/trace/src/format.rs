@@ -30,7 +30,13 @@ use crate::record::TraceDetail;
 use crate::varint;
 
 /// Current format version; readers reject anything newer.
-pub const FORMAT_VERSION: u64 = 1;
+///
+/// * v1 — single-core recordings: no core-id markers in the stream.
+/// * v2 — events carry a core id, run-length-encoded as an [`OP_CORE`]
+///   switch marker emitted only when the id changes.  v1 containers decode
+///   unchanged with every event on core 0 (a v2 stream with no markers is
+///   byte-identical to the v1 encoding of the same single-core events).
+pub const FORMAT_VERSION: u64 = 2;
 
 const MAGIC: &[u8; 8] = b"LAECTRC\0";
 
@@ -41,6 +47,10 @@ const OP_FETCH: u8 = 3;
 const OP_STALL: u8 = 4;
 const OP_FILL: u8 = 5;
 const OP_WRITEBACK: u8 = 6;
+/// v2 core-switch marker: all following events belong to the given core.
+/// Not an event itself (not counted in `event_count`); never present in v1
+/// streams, which is exactly what keeps them decodable.
+const OP_CORE: u8 = 7;
 
 /// Why a trace could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -301,6 +311,7 @@ pub(crate) struct Codec {
     prev_address: u32,
     prev_cycle: u64,
     prev_pc: u32,
+    prev_core: u8,
 }
 
 impl Codec {
@@ -309,8 +320,14 @@ impl Codec {
     }
 
     pub(crate) fn encode(&mut self, out: &mut Vec<u8>, event: &TraceEvent) {
+        let core = event.core();
+        if core != self.prev_core {
+            out.push(OP_CORE);
+            out.push(core);
+            self.prev_core = core;
+        }
         match *event {
-            TraceEvent::Commit { count } => {
+            TraceEvent::Commit { count, .. } => {
                 out.push(OP_COMMIT);
                 varint::write_u64(out, count);
             }
@@ -320,6 +337,7 @@ impl Codec {
                 value,
                 hit,
                 extra_cycles,
+                ..
             } => {
                 out.push(OP_READ);
                 out.push(u8::from(hit));
@@ -333,6 +351,7 @@ impl Codec {
                 cycle,
                 value,
                 byte_mask,
+                ..
             } => {
                 out.push(OP_WRITE);
                 out.push(byte_mask);
@@ -340,7 +359,7 @@ impl Codec {
                 self.write_cycle(out, cycle);
                 varint::write_u64(out, u64::from(value));
             }
-            TraceEvent::Fetch { pc, cycle } => {
+            TraceEvent::Fetch { pc, cycle, .. } => {
                 out.push(OP_FETCH);
                 varint::write_i64(out, i64::from(pc) - i64::from(self.prev_pc));
                 self.prev_pc = pc;
@@ -350,18 +369,19 @@ impl Codec {
                 kind,
                 cycle,
                 cycles,
+                ..
             } => {
                 out.push(OP_STALL);
                 out.push(kind.to_wire());
                 self.write_cycle(out, cycle);
                 varint::write_u64(out, cycles);
             }
-            TraceEvent::LineFill { level, address } => {
+            TraceEvent::LineFill { level, address, .. } => {
                 out.push(OP_FILL);
                 out.push(level.to_wire());
                 self.write_address(out, address);
             }
-            TraceEvent::Writeback { level, address } => {
+            TraceEvent::Writeback { level, address, .. } => {
                 out.push(OP_WRITEBACK);
                 out.push(level.to_wire());
                 self.write_address(out, address);
@@ -374,10 +394,18 @@ impl Codec {
         bytes: &[u8],
         cursor: &mut usize,
     ) -> Result<TraceEvent, TraceError> {
-        let opcode = read_byte(bytes, cursor)?;
+        let mut opcode = read_byte(bytes, cursor)?;
+        // Core-switch markers (v2) prefix the event they apply to; v1
+        // streams never contain them, leaving every event on core 0.
+        while opcode == OP_CORE {
+            self.prev_core = read_byte(bytes, cursor)?;
+            opcode = read_byte(bytes, cursor)?;
+        }
+        let core = self.prev_core;
         match opcode {
             OP_COMMIT => Ok(TraceEvent::Commit {
                 count: read_varint(bytes, cursor)?,
+                core,
             }),
             OP_READ => {
                 let hit = read_byte(bytes, cursor)? != 0;
@@ -391,6 +419,7 @@ impl Codec {
                     value,
                     hit,
                     extra_cycles,
+                    core,
                 })
             }
             OP_WRITE => {
@@ -403,6 +432,7 @@ impl Codec {
                     cycle,
                     value,
                     byte_mask,
+                    core,
                 })
             }
             OP_FETCH => {
@@ -410,7 +440,7 @@ impl Codec {
                 let pc = apply_delta32(self.prev_pc, delta)?;
                 self.prev_pc = pc;
                 let cycle = self.read_cycle(bytes, cursor)?;
-                Ok(TraceEvent::Fetch { pc, cycle })
+                Ok(TraceEvent::Fetch { pc, cycle, core })
             }
             OP_STALL => {
                 let kind = StallKind::from_wire(read_byte(bytes, cursor)?)
@@ -421,6 +451,7 @@ impl Codec {
                     kind,
                     cycle,
                     cycles,
+                    core,
                 })
             }
             OP_FILL | OP_WRITEBACK => {
@@ -428,9 +459,17 @@ impl Codec {
                     .ok_or(TraceError::Corrupt("unknown memory level"))?;
                 let address = self.read_address(bytes, cursor)?;
                 if opcode == OP_FILL {
-                    Ok(TraceEvent::LineFill { level, address })
+                    Ok(TraceEvent::LineFill {
+                        level,
+                        address,
+                        core,
+                    })
                 } else {
-                    Ok(TraceEvent::Writeback { level, address })
+                    Ok(TraceEvent::Writeback {
+                        level,
+                        address,
+                        core,
+                    })
                 }
             }
             _ => Err(TraceError::Corrupt("unknown event opcode")),
@@ -538,35 +577,44 @@ mod tests {
 
     fn sample_events() -> Vec<TraceEvent> {
         vec![
-            TraceEvent::Fetch { pc: 0, cycle: 1 },
+            TraceEvent::Fetch {
+                pc: 0,
+                cycle: 1,
+                core: 0,
+            },
             TraceEvent::MemRead {
                 address: 0x1000,
                 cycle: 5,
                 value: 0xDEAD_BEEF,
                 hit: false,
                 extra_cycles: 14,
+                core: 0,
             },
             TraceEvent::LineFill {
                 level: MemLevel::Dl1,
                 address: 0x1000,
+                core: 0,
             },
-            TraceEvent::Commit { count: 3 },
+            TraceEvent::Commit { count: 3, core: 0 },
             TraceEvent::MemWrite {
                 address: 0x0FF8,
                 cycle: 9,
                 value: 7,
                 byte_mask: 0b0011,
+                core: 0,
             },
             TraceEvent::Stall {
                 kind: StallKind::WriteBufferFull,
                 cycle: 11,
                 cycles: 4,
+                core: 0,
             },
             TraceEvent::Writeback {
                 level: MemLevel::L2,
                 address: 0x2000,
+                core: 0,
             },
-            TraceEvent::Commit { count: 1 },
+            TraceEvent::Commit { count: 1, core: 0 },
         ]
     }
 
@@ -627,22 +675,28 @@ mod tests {
         assert_eq!(
             events,
             vec![
-                TraceEvent::Fetch { pc: 0, cycle: 1 },
+                TraceEvent::Fetch {
+                    pc: 0,
+                    cycle: 1,
+                    core: 0
+                },
                 TraceEvent::MemRead {
                     address: 0x40,
                     cycle: 4,
                     value: 11,
                     hit: true,
-                    extra_cycles: 0
+                    extra_cycles: 0,
+                    core: 0,
                 },
-                TraceEvent::Commit { count: 2 },
+                TraceEvent::Commit { count: 2, core: 0 },
                 TraceEvent::MemWrite {
                     address: 0x44,
                     cycle: 6,
                     value: 12,
-                    byte_mask: 0xF
+                    byte_mask: 0xF,
+                    core: 0,
                 },
-                TraceEvent::Commit { count: 1 },
+                TraceEvent::Commit { count: 1, core: 0 },
             ]
         );
         let round = Trace::decode(&trace.encode()).unwrap();

@@ -78,7 +78,9 @@ pub mod varint;
 
 pub use event::{MemLevel, StallKind, TraceEvent};
 pub use format::{Trace, TraceError, TraceHeader, TraceSummary, FORMAT_VERSION};
-pub use record::{NullSink, SharedSink, TraceContext, TraceDetail, TraceRecorder, TraceSink};
+pub use record::{
+    CoreTaggedSink, NullSink, SharedSink, TraceContext, TraceDetail, TraceRecorder, TraceSink,
+};
 pub use replay::{
     replay_events, replay_trace, Divergence, ReplayLoad, ReplayProgress, ReplayTarget,
 };

@@ -109,6 +109,11 @@ pub struct TraceRecorder {
     bytes: Vec<u8>,
     event_count: u64,
     pending_commits: u64,
+    /// Core the pending commit run belongs to (runs never span cores).
+    pending_core: u8,
+    /// Core stamped onto subsequently recorded events (see
+    /// [`TraceRecorder::set_core`]); single-core recordings leave it at 0.
+    current_core: u8,
 }
 
 impl TraceRecorder {
@@ -134,7 +139,17 @@ impl TraceRecorder {
             bytes: Vec::with_capacity(4096),
             event_count: 0,
             pending_commits: 0,
+            pending_core: 0,
+            current_core: 0,
         }
+    }
+
+    /// Sets the core id stamped onto subsequently recorded events.  Multi-
+    /// core recordings route every emitter through a
+    /// [`SharedSink::boxed_for_core`] wrapper that calls this before each
+    /// event; single-core recordings never touch it.
+    pub fn set_core(&mut self, core: u8) {
+        self.current_core = core;
     }
 
     /// Events recorded so far (merged commits count as one).
@@ -153,8 +168,13 @@ impl TraceRecorder {
         if self.pending_commits > 0 {
             let count = self.pending_commits;
             self.pending_commits = 0;
-            self.codec
-                .encode(&mut self.bytes, &TraceEvent::Commit { count });
+            self.codec.encode(
+                &mut self.bytes,
+                &TraceEvent::Commit {
+                    count,
+                    core: self.pending_core,
+                },
+            );
             self.event_count += 1;
         }
     }
@@ -183,7 +203,11 @@ impl TraceRecorder {
 impl TraceSink for TraceRecorder {
     fn record_fetch(&mut self, pc: u32, cycle: u64) {
         if self.detail == TraceDetail::Full {
-            self.push(&TraceEvent::Fetch { pc, cycle });
+            self.push(&TraceEvent::Fetch {
+                pc,
+                cycle,
+                core: self.current_core,
+            });
         }
     }
 
@@ -194,6 +218,7 @@ impl TraceSink for TraceRecorder {
             value,
             hit,
             extra_cycles: extra,
+            core: self.current_core,
         });
     }
 
@@ -203,10 +228,16 @@ impl TraceSink for TraceRecorder {
             cycle,
             value,
             byte_mask,
+            core: self.current_core,
         });
     }
 
     fn record_commit(&mut self) {
+        if self.pending_commits > 0 && self.pending_core != self.current_core {
+            // Commit runs never span cores: seal the other core's run first.
+            self.flush_commits();
+        }
+        self.pending_core = self.current_core;
         self.pending_commits += 1;
     }
 
@@ -216,19 +247,28 @@ impl TraceSink for TraceRecorder {
                 kind,
                 cycle,
                 cycles,
+                core: self.current_core,
             });
         }
     }
 
     fn record_line_fill(&mut self, level: MemLevel, address: u32) {
         if self.detail == TraceDetail::Full {
-            self.push(&TraceEvent::LineFill { level, address });
+            self.push(&TraceEvent::LineFill {
+                level,
+                address,
+                core: self.current_core,
+            });
         }
     }
 
     fn record_writeback(&mut self, level: MemLevel, address: u32) {
         if self.detail == TraceDetail::Full {
-            self.push(&TraceEvent::Writeback { level, address });
+            self.push(&TraceEvent::Writeback {
+                level,
+                address,
+                core: self.current_core,
+            });
         }
     }
 }
@@ -254,6 +294,16 @@ impl SharedSink {
     #[must_use]
     pub fn boxed(&self) -> Box<dyn TraceSink> {
         Box::new(self.clone())
+    }
+
+    /// A boxed handle that stamps every event it forwards with `core` —
+    /// how a multi-core system feeds all its pipelines into one stream.
+    #[must_use]
+    pub fn boxed_for_core(&self, core: u8) -> Box<dyn TraceSink> {
+        Box::new(CoreTaggedSink {
+            shared: self.clone(),
+            core,
+        })
     }
 
     /// Seals the recording.  Returns `None` while other clones of the
@@ -307,6 +357,58 @@ impl SharedSink {
     }
 }
 
+/// A [`SharedSink`] handle that stamps a fixed core id onto every event it
+/// forwards (see [`SharedSink::boxed_for_core`]).
+#[derive(Debug, Clone)]
+pub struct CoreTaggedSink {
+    shared: SharedSink,
+    core: u8,
+}
+
+impl TraceSink for CoreTaggedSink {
+    fn record_fetch(&mut self, pc: u32, cycle: u64) {
+        let mut recorder = self.shared.lock();
+        recorder.set_core(self.core);
+        recorder.record_fetch(pc, cycle);
+    }
+
+    fn record_mem_read(&mut self, address: u32, cycle: u64, value: u32, hit: bool, extra: u32) {
+        let mut recorder = self.shared.lock();
+        recorder.set_core(self.core);
+        recorder.record_mem_read(address, cycle, value, hit, extra);
+    }
+
+    fn record_mem_write(&mut self, address: u32, cycle: u64, value: u32, byte_mask: u8) {
+        let mut recorder = self.shared.lock();
+        recorder.set_core(self.core);
+        recorder.record_mem_write(address, cycle, value, byte_mask);
+    }
+
+    fn record_commit(&mut self) {
+        let mut recorder = self.shared.lock();
+        recorder.set_core(self.core);
+        recorder.record_commit();
+    }
+
+    fn record_stall(&mut self, kind: StallKind, cycle: u64, cycles: u64) {
+        let mut recorder = self.shared.lock();
+        recorder.set_core(self.core);
+        recorder.record_stall(kind, cycle, cycles);
+    }
+
+    fn record_line_fill(&mut self, level: MemLevel, address: u32) {
+        let mut recorder = self.shared.lock();
+        recorder.set_core(self.core);
+        recorder.record_line_fill(level, address);
+    }
+
+    fn record_writeback(&mut self, level: MemLevel, address: u32) {
+        let mut recorder = self.shared.lock();
+        recorder.set_core(self.core);
+        recorder.record_writeback(level, address);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,7 +423,7 @@ mod tests {
         recorder.record_commit();
         let trace = recorder.finish(TraceSummary::default());
         let events: Vec<TraceEvent> = trace.events().map(Result::unwrap).collect();
-        assert_eq!(events, vec![TraceEvent::Commit { count: 1 }]);
+        assert_eq!(events, vec![TraceEvent::Commit { count: 1, core: 0 }]);
     }
 
     #[test]
@@ -334,9 +436,15 @@ mod tests {
         assert_eq!(recorder.event_count(), 3);
         let trace = recorder.finish(TraceSummary::default());
         let events: Vec<TraceEvent> = trace.events().map(Result::unwrap).collect();
-        assert!(matches!(events[0], TraceEvent::Commit { count: 2 }));
+        assert!(matches!(
+            events[0],
+            TraceEvent::Commit { count: 2, core: 0 }
+        ));
         assert!(matches!(events[1], TraceEvent::MemRead { .. }));
-        assert!(matches!(events[2], TraceEvent::Commit { count: 1 }));
+        assert!(matches!(
+            events[2],
+            TraceEvent::Commit { count: 1, core: 0 }
+        ));
     }
 
     #[test]

@@ -189,7 +189,7 @@ fn replay_one<T: ReplayTarget>(
     {
         progress.events += 1;
         match event {
-            TraceEvent::Commit { count } => {
+            TraceEvent::Commit { count, .. } => {
                 progress.commits += count;
                 target.replay_commits(count);
             }
@@ -199,6 +199,7 @@ fn replay_one<T: ReplayTarget>(
                 value,
                 hit,
                 extra_cycles,
+                ..
             } => {
                 progress.loads += 1;
                 let response = target.replay_load(address, cycle);
@@ -228,6 +229,7 @@ fn replay_one<T: ReplayTarget>(
                 cycle,
                 value,
                 byte_mask,
+                ..
             } => {
                 progress.stores += 1;
                 target.replay_store(address, value, byte_mask, cycle);

@@ -31,8 +31,13 @@
 pub mod generator;
 pub mod kernels;
 pub mod profile;
+pub mod smp;
 pub mod suite;
 
 pub use generator::{generate, GeneratorConfig, HIT_REGION_BASE, MISS_REGION_BASE};
 pub use profile::{average_profile, eembc_profiles, profile_by_name, WorkloadProfile};
+pub use smp::{
+    background_traffic, false_sharing, parallel_reduction, producer_consumer, smp_kernel,
+    smp_suite, SmpWorkload, SMP_KERNEL_NAMES,
+};
 pub use suite::{eembc_suite, eembc_workload, kernel_suite, Workload, KERNEL_NAMES};

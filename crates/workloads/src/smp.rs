@@ -1,0 +1,397 @@
+//! Shared-memory multi-core kernels.
+//!
+//! Unlike the uniprocessor kernels in [`crate::kernels`], these are *sets*
+//! of per-core programs that genuinely communicate through memory: partial
+//! results, flags and ring indices all live in cacheable shared lines, so
+//! running them on `laec_smp` exercises every MESI path — read sharing
+//! (S states), write upgrades (S→M invalidations), cache-to-cache supplies
+//! of `Modified` lines, and — in the deliberate false-sharing kernel —
+//! invalidation ping-pong on a single hot line.
+//!
+//! Synchronisation is flag polling (the ISA has no atomics): a producer
+//! publishes data with a plain store and then raises a flag word; the
+//! consumer spins on the flag.  The simulated cores are in-order and drain
+//! their store buffers in program order, so a visible flag implies visible
+//! data — the classic release/acquire pattern without fences.
+
+use laec_isa::{Program, ProgramBuilder, Reg};
+
+/// Base address of the shared data region (input arrays, ring buffers,
+/// contended counters).
+pub const SHARED_BASE: u32 = 0x0008_0000;
+/// Base address of the synchronisation flags (one word per core).
+pub const FLAG_BASE: u32 = 0x000A_0000;
+/// Base address of per-core partial results.
+pub const PARTIAL_BASE: u32 = 0x000A_0200;
+/// Where kernels store their final, checkable result.
+pub const RESULT_BASE: u32 = 0x000C_0000;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// A named multi-core workload: one program per core, all sharing one
+/// memory image.
+#[derive(Debug, Clone)]
+pub struct SmpWorkload {
+    /// Kernel name.
+    pub name: String,
+    /// One program per core, index = core id.
+    pub programs: Vec<Program>,
+}
+
+impl SmpWorkload {
+    /// Number of cores the kernel was built for.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.programs.len()
+    }
+}
+
+/// The names of the shared-memory kernels, in [`smp_suite`] order.
+pub const SMP_KERNEL_NAMES: [&str; 3] =
+    ["parallel_reduction", "producer_consumer", "false_sharing"];
+
+/// The shared-memory kernel suite for `cores` cores (the producer–consumer
+/// ring always uses exactly two active cores; extra cores idle).
+///
+/// # Panics
+///
+/// Panics if `cores == 0`.
+#[must_use]
+pub fn smp_suite(cores: u32) -> Vec<SmpWorkload> {
+    vec![
+        parallel_reduction(cores, SUITE_REDUCTION_N),
+        producer_consumer(cores, SUITE_RING_ITEMS, 8),
+        false_sharing(cores, SUITE_FALSE_SHARING_ITERS),
+    ]
+}
+
+/// Input size of the suite's [`parallel_reduction`] instance.
+pub const SUITE_REDUCTION_N: u32 = 256;
+/// Items handed across by the suite's [`producer_consumer`] instance.
+pub const SUITE_RING_ITEMS: u32 = 64;
+/// Per-core increments of the suite's [`false_sharing`] instance.
+pub const SUITE_FALSE_SHARING_ITERS: u32 = 64;
+
+/// Finds one shared-memory kernel by name.
+#[must_use]
+pub fn smp_kernel(name: &str, cores: u32) -> Option<SmpWorkload> {
+    match name {
+        "parallel_reduction" => Some(parallel_reduction(cores, SUITE_REDUCTION_N)),
+        "producer_consumer" => Some(producer_consumer(cores, SUITE_RING_ITEMS, 8)),
+        "false_sharing" => Some(false_sharing(cores, SUITE_FALSE_SHARING_ITERS)),
+        _ => None,
+    }
+}
+
+/// The architecturally expected word at [`RESULT_BASE`] after the suite
+/// instance of `name` finishes (`None` for kernels that publish no single
+/// result word).  Defined next to [`smp_kernel`] so the sizes can never
+/// drift apart from the checks.
+#[must_use]
+pub fn smp_kernel_expected(name: &str) -> Option<u32> {
+    match name {
+        "parallel_reduction" => Some(parallel_reduction_expected(SUITE_REDUCTION_N)),
+        "producer_consumer" => Some(producer_consumer_expected(SUITE_RING_ITEMS)),
+        _ => None,
+    }
+}
+
+/// The input values of [`parallel_reduction`].
+#[must_use]
+pub fn reduction_values(n: u32) -> Vec<u32> {
+    (0..n).map(|i| i.wrapping_mul(3).wrapping_add(1)).collect()
+}
+
+/// Parallel reduction over `n` shared input words on `cores` cores.
+///
+/// Core *i* sums its contiguous chunk and publishes the partial at
+/// [`PARTIAL_BASE`]` + 4*i`, then raises its flag; core 0 additionally
+/// spins on every worker's flag, folds the partials, and stores the grand
+/// total at [`RESULT_BASE`].  The read-only input lines end up `Shared`
+/// across all cores; the flag/partial lines bounce between `Modified`
+/// owners.
+///
+/// # Panics
+///
+/// Panics if `cores == 0` or `n < cores`.
+#[must_use]
+pub fn parallel_reduction(cores: u32, n: u32) -> SmpWorkload {
+    assert!(cores >= 1, "need at least one core");
+    assert!(n >= cores, "need at least one element per core");
+    let values = reduction_values(n);
+    let chunk = n / cores;
+    let mut programs = Vec::new();
+    for core in 0..cores {
+        let first = core * chunk;
+        let count = if core == cores - 1 { n - first } else { chunk };
+        let mut b = ProgramBuilder::new(format!("parallel_reduction.core{core}"));
+        if core == 0 {
+            // One image, loaded once: the data block rides on core 0.
+            b.data_block(SHARED_BASE, &values);
+        }
+        // r1 = cursor, r2 = remaining, r4 = acc.
+        b.load_const(r(1), SHARED_BASE + 4 * first);
+        b.addi(r(2), Reg::ZERO, count as i32);
+        b.addi(r(4), Reg::ZERO, 0);
+        let top = b.bind_label();
+        b.ld(r(3), r(1), 0);
+        b.add(r(4), r(4), r(3));
+        b.addi(r(1), r(1), 4);
+        b.subi(r(2), r(2), 1);
+        b.bne(r(2), Reg::ZERO, top);
+        // Publish the partial, then raise the flag (in that order).
+        b.load_const(r(5), PARTIAL_BASE + 4 * core);
+        b.st(r(4), r(5), 0);
+        b.load_const(r(6), FLAG_BASE + 4 * core);
+        b.addi(r(7), Reg::ZERO, 1);
+        b.st(r(7), r(6), 0);
+        if core == 0 {
+            // Fold the workers' partials as their flags come up.
+            for worker in 1..cores {
+                let spin = b.bind_label();
+                b.load_const(r(8), FLAG_BASE + 4 * worker);
+                b.ld(r(9), r(8), 0);
+                b.beq(r(9), Reg::ZERO, spin);
+                b.load_const(r(10), PARTIAL_BASE + 4 * worker);
+                b.ld(r(11), r(10), 0);
+                b.add(r(4), r(4), r(11));
+            }
+            b.load_const(r(12), RESULT_BASE);
+            b.st(r(4), r(12), 0);
+        }
+        b.halt();
+        programs.push(b.build());
+    }
+    SmpWorkload {
+        name: "parallel_reduction".to_string(),
+        programs,
+    }
+}
+
+/// Expected grand total of [`parallel_reduction`].
+#[must_use]
+pub fn parallel_reduction_expected(n: u32) -> u32 {
+    reduction_values(n)
+        .iter()
+        .fold(0u32, |a, &v| a.wrapping_add(v))
+}
+
+/// A single-producer/single-consumer ring of `slots` word slots carrying
+/// `items` items from core 0 to core 1 (cores beyond the pair idle).
+///
+/// The producer publishes item *k* into slot `k % slots` and advances the
+/// shared head index; the consumer spins on the head, drains the slot,
+/// accumulates, and advances the shared tail (which the producer spins on
+/// when the ring is full).  Every handoff migrates the slot line and both
+/// index lines between the two DL1s — the canonical MESI ownership
+/// migration pattern.  The consumer stores the sum at [`RESULT_BASE`].
+///
+/// # Panics
+///
+/// Panics if `cores == 0`, `items == 0` or `slots == 0`.
+#[must_use]
+pub fn producer_consumer(cores: u32, items: u32, slots: u32) -> SmpWorkload {
+    assert!(cores >= 1, "need at least one core");
+    assert!(items > 0 && slots > 0, "need work to hand off");
+    assert!(
+        slots.is_power_of_two(),
+        "the slot index is computed with a mask: slots must be a power of two"
+    );
+    let head = FLAG_BASE; // producer-owned index
+    let tail = FLAG_BASE + 4; // consumer-owned index
+    let mut programs = Vec::new();
+
+    // Producer (core 0).
+    let mut p = ProgramBuilder::new("producer_consumer.core0");
+    // Both indices start at 0 (uninitialised memory reads as 0), but make
+    // the intent explicit in the image.
+    p.data_block(head, &[0, 0]);
+    // r1 = k, r2 = items, r3 = slots.
+    p.addi(r(1), Reg::ZERO, 0);
+    p.load_const(r(2), items);
+    p.load_const(r(3), slots);
+    let produce = p.bind_label();
+    // Wait while the ring is full: k - tail >= slots.
+    let wait_space = p.bind_label();
+    p.load_const(r(4), tail);
+    p.ld(r(5), r(4), 0);
+    p.sub(r(6), r(1), r(5));
+    p.bge(r(6), r(3), wait_space);
+    // slot address = SHARED_BASE + (k % slots) * 4; slots is a power of two
+    // in the suite but the kernel stays general with a subtract loop-free
+    // modulo: index = k - (k / slots) * slots is overkill here, so the ring
+    // capacity is required to divide the item count's wrap pattern via
+    // (k % slots) computed with a mask when slots is a power of two.
+    p.subi(r(7), r(3), 1);
+    p.alu(laec_isa::AluOp::And, r(8), r(1), r(7));
+    p.slli(r(8), r(8), 2);
+    p.load_const(r(9), SHARED_BASE);
+    p.add(r(8), r(8), r(9));
+    // value = 7k + 1.
+    p.load_const(r(10), 7);
+    p.mul(r(11), r(1), r(10));
+    p.addi(r(11), r(11), 1);
+    p.st(r(11), r(8), 0);
+    // Publish: head = k + 1.
+    p.addi(r(1), r(1), 1);
+    p.load_const(r(12), head);
+    p.st(r(1), r(12), 0);
+    p.blt(r(1), r(2), produce);
+    p.halt();
+    programs.push(p.build());
+
+    // Consumer (core 1) — on a single-core build the producer runs alone
+    // and the ring is bounded by `slots`, so clamp the workload to what a
+    // lone producer can do: nothing to consume means the kernel degenerates
+    // to the producer filling the first window.  The suite always builds it
+    // with ≥ 2 cores; the degenerate shape keeps `cores = 1` well-defined.
+    if cores >= 2 {
+        let mut c = ProgramBuilder::new("producer_consumer.core1");
+        // r1 = k, r2 = items, r3 = slots.
+        c.addi(r(1), Reg::ZERO, 0);
+        c.load_const(r(2), items);
+        c.load_const(r(3), slots);
+        c.addi(r(4), Reg::ZERO, 0); // acc
+        let consume = c.bind_label();
+        // Wait until head > k.
+        let wait_item = c.bind_label();
+        c.load_const(r(5), head);
+        c.ld(r(6), r(5), 0);
+        c.bge(r(1), r(6), wait_item);
+        c.subi(r(7), r(3), 1);
+        c.alu(laec_isa::AluOp::And, r(8), r(1), r(7));
+        c.slli(r(8), r(8), 2);
+        c.load_const(r(9), SHARED_BASE);
+        c.add(r(8), r(8), r(9));
+        c.ld(r(10), r(8), 0);
+        c.add(r(4), r(4), r(10));
+        // Free the slot: tail = k + 1.
+        c.addi(r(1), r(1), 1);
+        c.load_const(r(11), tail);
+        c.st(r(1), r(11), 0);
+        c.blt(r(1), r(2), consume);
+        c.load_const(r(12), RESULT_BASE);
+        c.st(r(4), r(12), 0);
+        c.halt();
+        programs.push(c.build());
+    }
+
+    // Any remaining cores idle.
+    for core in 2..cores {
+        let mut idle = ProgramBuilder::new(format!("producer_consumer.core{core}"));
+        idle.halt();
+        programs.push(idle.build());
+    }
+
+    SmpWorkload {
+        name: "producer_consumer".to_string(),
+        programs,
+    }
+}
+
+/// Expected accumulated value of [`producer_consumer`]: Σ (7k + 1).
+#[must_use]
+pub fn producer_consumer_expected(items: u32) -> u32 {
+    (0..items).fold(0u32, |a, k| {
+        a.wrapping_add(k.wrapping_mul(7).wrapping_add(1))
+    })
+}
+
+/// The deliberate false-sharing kernel: every core increments its own
+/// counter word `iters` times — but all the counters are packed into the
+/// *same* cache line at [`SHARED_BASE`], so logically independent writes
+/// fight over one `Modified` ownership.  Invalidation counts must grow with
+/// the core count (the conformance test asserts this) even though the
+/// final counter values are interleaving-independent.
+///
+/// # Panics
+///
+/// Panics if `cores == 0` or `cores > 8` (one 32-byte line holds 8 words).
+#[must_use]
+pub fn false_sharing(cores: u32, iters: u32) -> SmpWorkload {
+    assert!(cores >= 1, "need at least one core");
+    assert!(cores <= 8, "one 32-byte line holds at most 8 counters");
+    let mut programs = Vec::new();
+    for core in 0..cores {
+        let mut b = ProgramBuilder::new(format!("false_sharing.core{core}"));
+        // r1 = &counter, r2 = remaining.
+        b.load_const(r(1), SHARED_BASE + 4 * core);
+        b.addi(r(2), Reg::ZERO, iters as i32);
+        let top = b.bind_label();
+        b.ld(r(3), r(1), 0);
+        b.addi(r(3), r(3), 1);
+        b.st(r(3), r(1), 0);
+        b.subi(r(2), r(2), 1);
+        b.bne(r(2), Reg::ZERO, top);
+        b.halt();
+        programs.push(b.build());
+    }
+    SmpWorkload {
+        name: "false_sharing".to_string(),
+        programs,
+    }
+}
+
+/// An endless read-only traffic generator over a private `lines`-line
+/// region at `base`: strided loads that keep missing once the region
+/// exceeds the DL1, generating realistic bus and L2 contention without
+/// writing a single byte (so the observed core's architectural results are
+/// untouched — the campaign's equivalence checks stay meaningful).  The
+/// program never halts; the SMP scheduler simply stops stepping it when the
+/// observed core finishes.
+#[must_use]
+pub fn background_traffic(base: u32, lines: u32) -> Program {
+    let mut b = ProgramBuilder::new("background_traffic");
+    let restart = b.bind_label();
+    b.load_const(r(1), base);
+    b.addi(r(2), Reg::ZERO, lines as i32);
+    let top = b.bind_label();
+    b.ld(r(3), r(1), 0);
+    b.addi(r(1), r(1), 32);
+    b.subi(r(2), r(2), 1);
+    b.bne(r(2), Reg::ZERO, top);
+    b.jmp(restart);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_builds_per_core_programs() {
+        for workload in smp_suite(4) {
+            assert!(!workload.programs.is_empty(), "{}", workload.name);
+            for program in &workload.programs {
+                assert!(
+                    program.instructions().last().unwrap().is_halt(),
+                    "{} must halt",
+                    program.name()
+                );
+            }
+        }
+        assert_eq!(smp_suite(2)[1].cores(), 2);
+        assert!(smp_kernel("false_sharing", 2).is_some());
+        assert!(smp_kernel("bogus", 2).is_none());
+    }
+
+    #[test]
+    fn expected_values_are_consistent() {
+        assert_eq!(parallel_reduction_expected(4), 1 + 4 + 7 + 10);
+        assert_eq!(producer_consumer_expected(3), 1 + 8 + 15);
+    }
+
+    #[test]
+    fn background_traffic_never_halts() {
+        let program = background_traffic(0x10_0000, 64);
+        assert!(program.instructions().iter().all(|i| !i.is_halt()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 counters")]
+    fn false_sharing_rejects_too_many_cores() {
+        let _ = false_sharing(9, 1);
+    }
+}

@@ -10,9 +10,12 @@
 //!   Extra-Cycle, Extra-Stage, Speculate-and-Flush and LAEC schemes,
 //! * [`trace`] — access-stream capture & replay (record a workload once,
 //!   replay fault campaigns against the memory hierarchy only),
-//! * [`workloads`] — EEMBC-Automotive-like workloads and hand-written kernels,
+//! * [`workloads`] — EEMBC-Automotive-like workloads, hand-written kernels
+//!   and shared-memory multi-core kernels,
+//! * [`smp`] — the N-core system model: private MESI-coherent DL1s snooping
+//!   a shared bus in front of the shared L2,
 //! * [`core`] — experiment harness reproducing every table and figure,
-//!   including the trace-backed campaign engine.
+//!   including the trace-backed and multi-core campaign engines.
 //!
 //! # Quickstart
 //!
@@ -33,5 +36,6 @@ pub use laec_ecc as ecc;
 pub use laec_isa as isa;
 pub use laec_mem as mem;
 pub use laec_pipeline as pipeline;
+pub use laec_smp as smp;
 pub use laec_trace as trace;
 pub use laec_workloads as workloads;

@@ -30,6 +30,7 @@ fn test_spec() -> CampaignSpec {
         ],
         fault_seeds: vec![11, 22],
         fault_interval: 500,
+        fault_target: laec::mem::FaultTarget::Data,
         seed: 0x5EED_1AEC,
     }
 }

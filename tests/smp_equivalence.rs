@@ -1,0 +1,122 @@
+//! The SMP equivalence anchor and the coherence-metadata fault classes.
+//!
+//! 1. A 1-core SMP system must be indistinguishable from the uniprocessor
+//!    engine: `run_campaign_smp` (which builds a real `laec_smp` system for
+//!    every cell) must serialize *byte-identically* to `run_campaign` over
+//!    the full workload × scheme grid — fault-free and fault-injecting,
+//!    write-back and write-through.
+//! 2. Metadata strikes (MESI state / tag bits) must surface as their own
+//!    silent-data-corruption classes in the report.
+
+use laec::core::campaign::{run_campaign, CampaignSpec, PlatformVariant, WorkloadSet};
+use laec::core::run_campaign_smp;
+use laec::mem::FaultTarget;
+use laec::pipeline::EccScheme;
+
+fn anchor_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::smoke();
+    // The full kernel suite × the four Figure 8 schemes, on both the
+    // write-back and the write-through platform, fault-free plus one
+    // injecting seed (so the injector streams must match too).
+    spec.workloads = WorkloadSet::Kernels;
+    spec.schemes = EccScheme::figure8_set().to_vec();
+    spec.platforms = vec![PlatformVariant::WriteBack, PlatformVariant::WriteThrough];
+    spec.fault_seeds = vec![11];
+    spec.fault_interval = 400;
+    spec
+}
+
+#[test]
+fn one_core_smp_matches_the_uniprocessor_engine_byte_for_byte() {
+    let spec = anchor_spec();
+    let uniprocessor = run_campaign(&spec, 2);
+    let smp = run_campaign_smp(&spec, 2);
+    assert_eq!(
+        uniprocessor.to_json(),
+        smp.to_json(),
+        "a 1-core coherent system must be the uniprocessor, bit for bit"
+    );
+}
+
+#[test]
+fn one_core_smp_matches_under_metadata_strikes_too() {
+    let mut spec = anchor_spec();
+    spec.workloads = WorkloadSet::Named(vec!["vector_sum".into(), "cache_buster".into()]);
+    spec.fault_target = FaultTarget::Tag;
+    spec.fault_interval = 200;
+    let uniprocessor = run_campaign(&spec, 2);
+    let smp = run_campaign_smp(&spec, 1);
+    assert_eq!(uniprocessor.to_json(), smp.to_json());
+}
+
+#[test]
+fn smp_platform_cells_are_deterministic_and_architecturally_equivalent() {
+    let mut spec = CampaignSpec::smoke();
+    spec.workloads = WorkloadSet::Named(vec!["vector_sum".into(), "fir_filter".into()]);
+    spec.schemes = EccScheme::figure8_set().to_vec();
+    spec.platforms = vec![PlatformVariant::WriteBack, PlatformVariant::smp(4)];
+    let one = run_campaign(&spec, 1);
+    let eight = run_campaign(&spec, 8);
+    assert_eq!(one.to_json(), eight.to_json(), "thread-count invariance");
+    assert!(one.architecturally_equivalent());
+    // The background cores cost the observed core real bandwidth: every
+    // smp4 cell is slower than its wb sibling.
+    for cell in one.cells.iter().filter(|c| c.platform == "smp4") {
+        let sibling = one
+            .cells
+            .iter()
+            .find(|c| c.platform == "wb" && c.workload == cell.workload && c.scheme == cell.scheme)
+            .expect("wb sibling");
+        assert!(
+            cell.cycles >= sibling.cycles,
+            "{}/{}: smp4 {} vs wb {}",
+            cell.workload,
+            cell.scheme,
+            cell.cycles,
+            sibling.cycles
+        );
+        assert_eq!(
+            cell.registers_fingerprint, sibling.registers_fingerprint,
+            "read-only background traffic must not perturb results"
+        );
+        assert!(cell.snoop_lookups > 0, "real snooping happened");
+    }
+}
+
+#[test]
+fn metadata_strikes_surface_as_distinct_sdc_classes() {
+    let mut spec = CampaignSpec::smoke();
+    spec.workloads = WorkloadSet::Named(vec!["cache_buster".into()]);
+    // cache_buster writes a large footprint and reads it back later: tag
+    // and state strikes on dirty lines reliably lose writebacks and serve
+    // stale refetches.  no-ecc shows the strikes are invisible to the data
+    // array; laec shows even SECDED cannot see metadata corruption.
+    spec.schemes = vec![EccScheme::NoEcc, EccScheme::Laec];
+    spec.fault_seeds = vec![1, 2, 3];
+    spec.fault_interval = 60;
+    for target in [FaultTarget::State, FaultTarget::Tag] {
+        spec.fault_target = target;
+        let report = run_campaign(&spec, 2);
+        let faulty: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| c.fault_seed.is_some())
+            .collect();
+        let injected: u64 = faulty.iter().map(|c| c.meta_faults_injected).sum();
+        let lost: u64 = faulty.iter().map(|c| c.lost_writebacks).sum();
+        let stale: u64 = faulty.iter().map(|c| c.stale_metadata_reads).sum();
+        assert!(injected > 0, "{target:?}: strikes must land");
+        assert!(
+            lost + stale > 0,
+            "{target:?}: metadata corruption must be classified (lost {lost}, stale {stale})"
+        );
+        assert_eq!(
+            faulty.iter().map(|c| c.faults_corrected).sum::<u64>(),
+            0,
+            "{target:?}: the data array's code never even fires"
+        );
+        let text = laec::core::render_campaign(&report);
+        assert!(text.contains("Metadata strikes:"), "{text}");
+        assert!(text.contains("lost writebacks"), "{text}");
+    }
+}
