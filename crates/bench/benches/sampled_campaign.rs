@@ -10,8 +10,9 @@
 //! and interval widths next to it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use laec_core::campaign::{run_campaign, CampaignSpec, PlatformVariant, WorkloadSet};
-use laec_core::sampling::{run_campaign_sampled, SampleExecution, SamplingPlan};
+use laec_bench::{run_full as run_campaign, run_sampled as run_campaign_sampled};
+use laec_core::campaign::{CampaignSpec, PlatformVariant, WorkloadSet};
+use laec_core::sampling::{SampleExecution, SamplingPlan};
 use laec_pipeline::EccScheme;
 use laec_workloads::GeneratorConfig;
 use std::hint::black_box;

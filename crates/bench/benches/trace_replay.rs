@@ -4,9 +4,11 @@
 //! simulations, while producing a byte-identical report.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use laec_bench::{bench_shape, report_shape};
-use laec_core::campaign::{run_campaign, CampaignSpec, PlatformVariant, WorkloadSet};
-use laec_core::trace_backed::run_campaign_trace_backed;
+use laec_bench::{
+    bench_shape, report_shape, run_full as run_campaign,
+    run_trace_backed as run_campaign_trace_backed,
+};
+use laec_core::campaign::{CampaignSpec, PlatformVariant, WorkloadSet};
 use laec_pipeline::EccScheme;
 use std::hint::black_box;
 use std::time::Instant;

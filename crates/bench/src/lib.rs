@@ -8,6 +8,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::Path;
+
+use laec_core::campaign::CampaignSpec;
+use laec_core::sampling::{SampleExecution, SampledReport, SamplingPlan};
+use laec_core::trace_backed::TracedCampaign;
+use laec_core::{Campaign, CampaignOutcome, CampaignReport, ExecutionMode};
 use laec_workloads::GeneratorConfig;
 
 /// The workload shape used inside measured benchmark loops (small, so each
@@ -26,6 +32,60 @@ pub fn bench_shape() -> GeneratorConfig {
 #[must_use]
 pub fn report_shape() -> GeneratorConfig {
     GeneratorConfig::evaluation()
+}
+
+/// Runs a grid spec through the unified dispatch in the given mode.
+#[must_use]
+pub fn run_mode(spec: &CampaignSpec, mode: ExecutionMode, threads: usize) -> CampaignOutcome {
+    let spec = laec_core::spec::CampaignSpec::from_grid(spec, mode);
+    Campaign::new(spec.validate().expect("valid spec")).run(threads)
+}
+
+/// Full-simulation mode.
+#[must_use]
+pub fn run_full(spec: &CampaignSpec, threads: usize) -> CampaignReport {
+    run_mode(spec, ExecutionMode::Full, threads)
+        .into_grid()
+        .expect("grid report")
+}
+
+/// Trace-backed mode, with the record/replay counters.
+#[must_use]
+pub fn run_trace_backed(
+    spec: &CampaignSpec,
+    threads: usize,
+    cache_dir: Option<&Path>,
+) -> TracedCampaign {
+    let mode = ExecutionMode::TraceBacked {
+        cache_dir: cache_dir.map(Path::to_path_buf),
+    };
+    match run_mode(spec, mode, threads) {
+        CampaignOutcome::Grid {
+            report,
+            trace_stats,
+        } => TracedCampaign {
+            report,
+            stats: trace_stats.expect("trace-backed counters"),
+        },
+        CampaignOutcome::Sampled { .. } => unreachable!("trace-backed mode is a grid mode"),
+    }
+}
+
+/// Sampled (stratified Monte-Carlo) mode.
+#[must_use]
+pub fn run_sampled(
+    spec: &CampaignSpec,
+    plan: &SamplingPlan,
+    threads: usize,
+    execution: &SampleExecution,
+) -> SampledReport {
+    let mode = ExecutionMode::Sampled {
+        plan: *plan,
+        execution: execution.clone(),
+    };
+    run_mode(spec, mode, threads)
+        .into_sampled()
+        .expect("statistical report")
 }
 
 #[cfg(test)]

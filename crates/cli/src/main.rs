@@ -26,19 +26,13 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use laec_core::campaign::{
-    render_campaign, run_campaign, scheme_from_label, scheme_label, CampaignSpec, PlatformVariant,
-    WorkloadSet,
-};
+use laec_core::campaign::{CampaignSpec, PlatformVariant, WorkloadSet};
 use laec_core::experiment::{
     characterization, fault_campaign_with_pattern, figure8, hazard_breakdown, wt_vs_wb,
 };
-use laec_core::sampling::{
-    render_sampled, SampleExecution, Sampler, SamplerCheckpoint, SamplingPlan,
-};
-use laec_core::trace_backed::{
-    record_cell, replay_cell, run_campaign_trace_backed, trace_file_name,
-};
+use laec_core::sampling::{render_sampled, SampleExecution, Sampler, SamplerCheckpoint};
+use laec_core::spec::{Campaign, CampaignBuilder, CampaignSpec as SpecV2, ValidatedSpec};
+use laec_core::trace_backed::{record_cell, replay_cell, trace_file_name};
 use laec_core::{
     render_fault_campaign, render_figure8, render_hazard_breakdown, render_table1, render_table2,
     render_wt_vs_wb, table1_commercial_processors,
@@ -76,6 +70,14 @@ tables FLAGS:
     --ablations       Also print the hazard-breakdown and WT-vs-WB ablations
 
 campaign FLAGS:
+    --spec <FILE>     Load the complete campaign description (grid axes +
+                      execution mode) from a JSON spec file produced by
+                      --dump-spec.  The file is authoritative: grid/mode
+                      flags conflict with it; --threads, --json and the
+                      checkpoint flags still apply
+    --dump-spec       Print the campaign's JSON spec instead of running it.
+                      Commit the file and any run is reproducible bit-for-bit
+                      via --spec
     --threads <N>     Worker threads (default 0 = all available cores)
     --workloads <csv> Workload names (default: the 16 EEMBC-like workloads;
                       the entry 'kernels' expands to the hand-written kernel
@@ -85,7 +87,8 @@ campaign FLAGS:
     --platforms <csv> wb, wt, contendedN, smpN (default: wb).  smpN runs the
                       workload on core 0 of a real N-core MESI-coherent
                       system; the other cores stream read-only background
-                      traffic through the shared bus and L2
+                      traffic through the shared bus and L2.  smp1 collapses
+                      to wb (a 1-core SMP system is the uniprocessor)
     --cores <N>       Shorthand: replace every wb platform with smpN (N >= 2;
                       N = 1 keeps the uniprocessor, which is byte-identical)
     --fault-seeds <csv>
@@ -230,7 +233,7 @@ struct Flags {
     json: bool,
     smoke: bool,
     ablations: bool,
-    seed: u64,
+    seed: Option<u64>,
     threads: usize,
     interval: Option<u64>,
     workloads: Option<Vec<String>>,
@@ -238,7 +241,7 @@ struct Flags {
     platforms: Option<Vec<PlatformVariant>>,
     fault_seeds: Vec<u64>,
     pattern: FaultPattern,
-    fault_target: FaultTarget,
+    fault_target: Option<FaultTarget>,
     cores: Option<u32>,
     kernel: Option<String>,
     trace_backed: bool,
@@ -255,6 +258,8 @@ struct Flags {
     checkpoint: Option<PathBuf>,
     resume: bool,
     shard_rounds: Option<u64>,
+    spec: Option<PathBuf>,
+    dump_spec: bool,
 }
 
 impl Flags {
@@ -263,7 +268,7 @@ impl Flags {
             json: false,
             smoke: false,
             ablations: false,
-            seed: 0x1AEC,
+            seed: None,
             threads: 0,
             interval: None,
             workloads: None,
@@ -271,7 +276,7 @@ impl Flags {
             platforms: None,
             fault_seeds: Vec::new(),
             pattern: FaultPattern::SingleBit,
-            fault_target: FaultTarget::Data,
+            fault_target: None,
             cores: None,
             kernel: None,
             trace_backed: false,
@@ -288,6 +293,8 @@ impl Flags {
             checkpoint: None,
             resume: false,
             shard_rounds: None,
+            spec: None,
+            dump_spec: false,
         };
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
@@ -300,7 +307,7 @@ impl Flags {
                 "--json" => flags.json = true,
                 "--smoke" => flags.smoke = true,
                 "--ablations" => flags.ablations = true,
-                "--seed" => flags.seed = parse_u64(value("--seed")?)?,
+                "--seed" => flags.seed = Some(parse_u64(value("--seed")?)?),
                 "--threads" => {
                     flags.threads = parse_u64(value("--threads")?)? as usize;
                 }
@@ -314,10 +321,7 @@ impl Flags {
                 "--schemes" => {
                     let mut schemes = Vec::new();
                     for label in value("--schemes")?.split(',') {
-                        schemes.push(
-                            scheme_from_label(label)
-                                .ok_or_else(|| format!("unknown scheme `{label}`"))?,
-                        );
+                        schemes.push(label.parse::<EccScheme>().map_err(|e| e.to_string())?);
                     }
                     flags.schemes = Some(schemes);
                 }
@@ -325,8 +329,9 @@ impl Flags {
                     let mut platforms = Vec::new();
                     for label in value("--platforms")?.split(',') {
                         platforms.push(
-                            PlatformVariant::from_label(label)
-                                .ok_or_else(|| format!("unknown platform `{label}`"))?,
+                            label
+                                .parse::<PlatformVariant>()
+                                .map_err(|e| e.to_string())?,
                         );
                     }
                     flags.platforms = Some(platforms);
@@ -343,8 +348,8 @@ impl Flags {
                 }
                 "--fault-target" => {
                     let label = value("--fault-target")?;
-                    flags.fault_target = FaultTarget::from_label(label)
-                        .ok_or_else(|| format!("unknown fault target `{label}`"))?;
+                    flags.fault_target =
+                        Some(label.parse::<FaultTarget>().map_err(|e| e.to_string())?);
                 }
                 "--cores" => {
                     let cores = parse_u64(value("--cores")?)?;
@@ -375,10 +380,16 @@ impl Flags {
                 "--shard-rounds" => {
                     flags.shard_rounds = Some(parse_u64(value("--shard-rounds")?)?);
                 }
+                "--spec" => flags.spec = Some(PathBuf::from(value("--spec")?)),
+                "--dump-spec" => flags.dump_spec = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
         Ok(flags)
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed.unwrap_or(0x1AEC)
     }
 
     fn generator(&self) -> GeneratorConfig {
@@ -387,7 +398,7 @@ impl Flags {
         } else {
             GeneratorConfig::evaluation()
         };
-        config.seed = self.seed;
+        config.seed = self.seed();
         config
     }
 }
@@ -461,17 +472,103 @@ fn cmd_figure8(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_campaign(flags: &Flags) -> Result<(), String> {
-    let mut spec = if flags.smoke {
-        CampaignSpec::smoke()
+    let spec = if let Some(path) = &flags.spec {
+        // A spec file is the complete campaign description: combining it
+        // with grid or mode flags would silently fork the committed
+        // artifact, so every such flag is rejected.  Execution-only flags
+        // (--threads, --json, --checkpoint/--resume/--shard-rounds,
+        // --dump-spec) still apply.
+        let conflicting = [
+            ("--smoke", flags.smoke),
+            ("--seed", flags.seed.is_some()),
+            ("--workloads", flags.workloads.is_some()),
+            ("--schemes", flags.schemes.is_some()),
+            ("--platforms", flags.platforms.is_some()),
+            ("--fault-seeds", !flags.fault_seeds.is_empty()),
+            ("--fault-interval", flags.interval.is_some()),
+            ("--fault-target", flags.fault_target.is_some()),
+            ("--cores", flags.cores.is_some()),
+            ("--trace-backed", flags.trace_backed),
+            ("--trace-cache", flags.trace_cache.is_some()),
+            ("--sample", flags.sample.is_some()),
+            ("--confidence", flags.confidence.is_some()),
+            ("--max-rel-error", flags.max_rel_error.is_some()),
+            ("--batch", flags.batch.is_some()),
+            ("--min-samples", flags.min_samples.is_some()),
+        ];
+        if let Some((name, _)) = conflicting.iter().find(|(_, set)| *set) {
+            return Err(format!(
+                "{name} conflicts with --spec: the spec file is the complete campaign \
+                 description (edit the file, or re-dump it with --dump-spec)"
+            ));
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        SpecV2::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?
     } else {
-        CampaignSpec::paper_grid()
+        build_spec_from_flags(flags)?
     };
-    spec.seed = flags.seed;
-    spec.generator = flags.generator();
+
+    let validated = spec.validate().map_err(|e| e.to_string())?;
+    if flags.dump_spec {
+        // The dumped document reproduces this exact campaign via --spec;
+        // byte-stable, so it can be committed and cmp'd (CI does).
+        println!("{}", validated.spec().to_json());
+        return Ok(());
+    }
+
+    // Checkpoint/resume/sharding are invocation concerns of the sampled
+    // engine (where to park progress between shards), not part of the spec.
+    if flags.checkpoint.is_some() || flags.resume || flags.shard_rounds.is_some() {
+        if validated.plan().is_none() {
+            let flag = if flags.resume {
+                "--resume"
+            } else if flags.checkpoint.is_some() {
+                "--checkpoint"
+            } else {
+                "--shard-rounds"
+            };
+            // The actionable fix differs by how the campaign was described:
+            // flags want --sample, a spec file wants its mode changed.
+            let fix = if flags.spec.is_some() {
+                "a spec whose \"mode\" has \"kind\": \"sampled\""
+            } else {
+                "--sample <N> (statistical mode)"
+            };
+            return Err(format!("{flag} needs {fix}"));
+        }
+        return cmd_campaign_sharded(flags, &validated);
+    }
+
+    let outcome = Campaign::new(validated).run(flags.threads);
+    if let Some(stats) = outcome.trace_stats() {
+        eprintln!("{stats}");
+    }
+    if flags.json {
+        println!("{}", outcome.to_json());
+    } else {
+        println!("{}", outcome.render());
+    }
+    if outcome.architecturally_equivalent() {
+        Ok(())
+    } else {
+        Err("architectural equivalence FAILED for at least one grid cell".to_string())
+    }
+}
+
+/// Maps the grid/mode flags onto a [`CampaignBuilder`] (base grid: the
+/// paper grid, or the kernel smoke grid under `--smoke`).
+fn build_spec_from_flags(flags: &Flags) -> Result<SpecV2, String> {
+    let mut builder = if flags.smoke {
+        CampaignBuilder::smoke()
+    } else {
+        CampaignBuilder::paper()
+    };
+    builder = builder.seed(flags.seed()).generator(flags.generator());
     if let Some(workloads) = &flags.workloads {
         // The 'kernels' entry expands to the whole kernel suite and may be
         // mixed with named workloads.
-        spec.workloads = if workloads.as_slice() == ["kernels".to_string()] {
+        let set = if workloads.as_slice() == ["kernels".to_string()] {
             WorkloadSet::Kernels
         } else {
             let expanded: Vec<String> = workloads
@@ -486,122 +583,77 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
                 .collect();
             WorkloadSet::Named(expanded)
         };
+        builder = builder.workloads(set);
     }
     if let Some(schemes) = &flags.schemes {
-        spec.schemes = schemes.clone();
+        builder = builder.schemes(schemes.iter().copied());
     }
     if let Some(platforms) = &flags.platforms {
-        spec.platforms = platforms.clone();
+        builder = builder.platforms(platforms.iter().copied());
     }
-    spec.fault_seeds = flags.fault_seeds.clone();
+    builder = builder.fault_seeds(flags.fault_seeds.iter().copied());
     if let Some(interval) = flags.interval {
-        spec.fault_interval = interval;
+        builder = builder.fault_interval(interval);
     }
-    spec.fault_target = flags.fault_target;
+    if let Some(target) = flags.fault_target {
+        builder = builder.fault_target(target);
+    }
     if let Some(cores) = flags.cores {
         if cores > 1 {
-            for platform in &mut spec.platforms {
+            let mut platforms = flags
+                .platforms
+                .clone()
+                .unwrap_or_else(|| vec![PlatformVariant::WriteBack]);
+            for platform in &mut platforms {
                 match platform {
                     PlatformVariant::WriteBack => *platform = PlatformVariant::smp(cores),
                     other => {
                         return Err(format!(
-                            "--cores applies to the wb platform; `{}` has its own core model",
-                            other.label()
+                            "--cores applies to the wb platform; `{other}` has its own core model"
                         ))
                     }
                 }
             }
+            builder = builder.platforms(platforms);
         }
     }
-    let has_smp = spec.platforms.iter().any(|p| p.cores() > 1);
-    if has_smp && (flags.trace_backed || flags.sample.is_some()) {
-        return Err(
-            "multi-core (smpN / --cores) campaigns support neither --trace-backed nor --sample yet"
-                .to_string(),
-        );
+    if flags.trace_backed {
+        builder = match &flags.trace_cache {
+            Some(dir) => builder.trace_cache(dir),
+            None => builder.trace_backed(),
+        };
     }
-
-    // Reject typo'd workload names with a clean error up front
-    // (materialization would panic on them).
-    if let WorkloadSet::Named(requested) = &spec.workloads {
-        let known = CampaignSpec::available_workload_names();
-        if let Some(missing) = requested.iter().find(|name| !known.contains(name)) {
-            return Err(format!("unknown workload `{missing}`"));
-        }
-    }
-
     if let Some(budget) = flags.sample {
-        if !flags.fault_seeds.is_empty() {
-            return Err(
-                "--sample replaces the fixed fault-seed axis; drop --fault-seeds".to_string(),
-            );
-        }
-        return cmd_campaign_sampled(flags, &spec, budget);
+        builder = builder.sampled(budget);
     }
-    // Sampling-only flags without --sample would be silently ignored and an
-    // exhaustive grid would run instead — reject them loudly (a forgotten
-    // --sample on a resume must not clobber downstream report files).
-    let sampling_only: [(&str, bool); 7] = [
-        ("--confidence", flags.confidence.is_some()),
-        ("--max-rel-error", flags.max_rel_error.is_some()),
-        ("--batch", flags.batch.is_some()),
-        ("--min-samples", flags.min_samples.is_some()),
-        ("--checkpoint", flags.checkpoint.is_some()),
-        ("--resume", flags.resume),
-        ("--shard-rounds", flags.shard_rounds.is_some()),
-    ];
-    if let Some((name, _)) = sampling_only.iter().find(|(_, set)| *set) {
-        return Err(format!("{name} needs --sample <N> (statistical mode)"));
-    }
-
-    let report = if flags.trace_backed {
-        let traced = run_campaign_trace_backed(&spec, flags.threads, flags.trace_cache.as_deref());
-        eprintln!("{}", traced.stats);
-        traced.report
-    } else {
-        run_campaign(&spec, flags.threads)
-    };
-    if flags.json {
-        println!("{}", report.to_json());
-    } else {
-        println!("{}", render_campaign(&report));
-    }
-    if report.architecturally_equivalent() {
-        Ok(())
-    } else {
-        Err("architectural equivalence FAILED for at least one grid cell".to_string())
-    }
-}
-
-/// The statistical campaign mode: stratified Monte-Carlo sampling with
-/// online confidence intervals, optional trace-backed execution and
-/// checkpoint/resume sharding.
-fn cmd_campaign_sampled(flags: &Flags, spec: &CampaignSpec, budget: u64) -> Result<(), String> {
-    let mut plan = SamplingPlan::new(budget);
     if let Some(confidence) = flags.confidence {
-        plan.confidence = confidence;
+        builder = builder.confidence(confidence);
     }
     if let Some(max_rel_error) = flags.max_rel_error {
-        plan.max_rel_error = max_rel_error;
+        builder = builder.max_rel_error(max_rel_error);
     }
     if let Some(batch) = flags.batch {
-        plan.batch = batch;
+        builder = builder.batch(batch);
     }
     if let Some(min_samples) = flags.min_samples {
-        plan.min_samples = min_samples;
+        builder = builder.min_samples(min_samples);
     }
-    plan.validate()?;
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// The sampled campaign's sharded execution path: drive the [`Sampler`]
+/// directly so progress can be checkpointed between invocations.  The
+/// final report is byte-identical to an uninterrupted `Campaign::run`.
+fn cmd_campaign_sharded(flags: &Flags, validated: &ValidatedSpec) -> Result<(), String> {
+    let plan = *validated.plan().expect("caller checked: sampled mode");
+    let execution = validated
+        .sample_execution()
+        .expect("caller checked: sampled mode")
+        .clone();
+    let grid = validated.grid();
     if flags.shard_rounds.is_some() && flags.checkpoint.is_none() {
         return Err("--shard-rounds needs --checkpoint <FILE> to save progress".to_string());
     }
-
-    let execution = if flags.trace_backed {
-        SampleExecution::TraceBacked {
-            cache_dir: flags.trace_cache.clone(),
-        }
-    } else {
-        SampleExecution::FullSim
-    };
 
     let mut sampler = if flags.resume {
         let path = flags
@@ -612,10 +664,10 @@ fn cmd_campaign_sampled(flags: &Flags, spec: &CampaignSpec, budget: u64) -> Resu
             std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let checkpoint =
             SamplerCheckpoint::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
-        Sampler::restore(spec, &plan, &execution, flags.threads, &checkpoint)
+        Sampler::restore(&grid, &plan, &execution, flags.threads, &checkpoint)
             .map_err(|e| e.to_string())?
     } else {
-        Sampler::new(spec, &plan, &execution, flags.threads)
+        Sampler::new(&grid, &plan, &execution, flags.threads)
     };
 
     let complete = sampler.run_rounds(flags.threads, flags.shard_rounds);
@@ -633,7 +685,7 @@ fn cmd_campaign_sampled(flags: &Flags, spec: &CampaignSpec, budget: u64) -> Resu
         std::fs::rename(&staging, path)
             .map_err(|e| format!("cannot replace {}: {e}", path.display()))?;
     }
-    if flags.trace_backed {
+    if matches!(execution, SampleExecution::TraceBacked { .. }) {
         eprintln!("{}", sampler.trace_stats());
     }
     if !complete {
@@ -708,7 +760,7 @@ fn cmd_smp_run(flags: &Flags) -> Result<(), String> {
     let summary = SmpRunSummary {
         kernel: name.clone(),
         cores: run.cores.len(),
-        scheme: scheme_label(scheme),
+        scheme: scheme.to_string(),
         result_word,
         expected,
         snoop_lookups: run.coherence.snoop_lookups,
@@ -781,7 +833,8 @@ fn cmd_smp_run(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_faults(flags: &Flags) -> Result<(), String> {
-    let rows = fault_campaign_with_pattern(flags.interval.unwrap_or(40), flags.seed, flags.pattern);
+    let rows =
+        fault_campaign_with_pattern(flags.interval.unwrap_or(40), flags.seed(), flags.pattern);
     if flags.json {
         println!(
             "{}",
@@ -809,7 +862,7 @@ fn trace_cell_spec(
     } else {
         CampaignSpec::paper_grid()
     };
-    spec.seed = flags.seed;
+    spec.seed = flags.seed();
     spec.generator = flags.generator();
     spec.workloads = WorkloadSet::Named(vec![workload_name.to_string()]);
     if !CampaignSpec::available_workload_names().contains(&workload_name.to_string()) {
@@ -883,8 +936,8 @@ fn cmd_trace_record(flags: &Flags) -> Result<(), String> {
     let path = flags.out.clone().unwrap_or_else(|| {
         PathBuf::from(trace_file_name(
             &workload.name,
-            &scheme_label(scheme),
-            &platform.label(),
+            &scheme.to_string(),
+            &platform.to_string(),
             trace.header.context_fingerprint,
         ))
     });

@@ -4,8 +4,8 @@
 //! table or figure serially.  This module generalises them into a single
 //! engine: a [`CampaignSpec`] names the axes of an experiment grid
 //! (workloads, [`EccScheme`]s, platform configurations, fault-injection
-//! seeds), [`run_campaign`] expands the grid into jobs and executes them on
-//! a [`std::thread::scope`]-based worker pool, and the result is aggregated
+//! seeds), the engine expands the grid into jobs and executes them on a
+//! [`std::thread::scope`]-based worker pool, and the result is aggregated
 //! into a [`CampaignReport`] with per-cell statistics, slowdown matrices and
 //! architectural-equivalence checks, renderable as aligned text
 //! ([`render_campaign`]) or JSON ([`CampaignReport::to_json`]).
@@ -16,18 +16,24 @@
 //! expanded in a fixed order, each job's fault-injection seed is derived
 //! only from the spec seed and the job's grid coordinates (never from
 //! thread identity or scheduling), and every job writes its result into its
-//! own pre-allocated slot.  `run_campaign(&spec, 1)` and
-//! `run_campaign(&spec, 8)` therefore serialize to the same JSON — the
-//! integration tests assert exactly that.
+//! own pre-allocated slot.  Running the same spec on 1 and on 8 workers
+//! therefore serializes to the same JSON — the integration tests assert
+//! exactly that.
+//!
+//! This module holds the grid *description* ([`CampaignSpec`]) and the
+//! full-simulation engine.  New code should drive campaigns through the
+//! unified, serializable API in [`crate::spec`] ([`crate::spec::Campaign`]
+//! dispatches every execution mode behind one entry point); the free
+//! function [`run_campaign`] remains as a deprecated shim.
 //!
 //! # Example
 //!
 //! ```
-//! use laec_core::campaign::{CampaignSpec, run_campaign};
+//! use laec_core::spec::{Campaign, CampaignBuilder};
 //!
-//! let spec = CampaignSpec::smoke();
-//! let report = run_campaign(&spec, 2);
-//! assert!(report.architecturally_equivalent());
+//! let validated = CampaignBuilder::smoke().validate().expect("valid spec");
+//! let outcome = Campaign::new(validated).run(2);
+//! assert!(outcome.architecturally_equivalent());
 //! ```
 
 use std::collections::HashMap;
@@ -102,37 +108,35 @@ impl PlatformVariant {
     }
 
     /// Stable label used in reports and on the CLI.
+    #[deprecated(note = "use the `Display` impl (`to_string()`) instead")]
     #[must_use]
     pub fn label(self) -> String {
-        match self {
-            PlatformVariant::WriteBack => "wb".to_string(),
-            PlatformVariant::WriteThrough => "wt".to_string(),
-            PlatformVariant::ContendedBus(extra) => format!("contended{extra}"),
-            PlatformVariant::Smp(cores) => format!("smp{cores}"),
-        }
+        self.to_string()
     }
 
-    /// Parses a CLI label; `contendedN` selects N extra cycles per request,
-    /// `smpN` selects an N-core system.
+    /// Parses a CLI label.
+    #[deprecated(note = "use the `FromStr` impl (`label.parse()`) instead")]
     #[must_use]
     pub fn from_label(label: &str) -> Option<Self> {
-        match label {
-            "wb" => Some(PlatformVariant::WriteBack),
-            "wt" => Some(PlatformVariant::WriteThrough),
-            _ => {
-                if let Some(n) = label.strip_prefix("contended") {
-                    return n.parse().ok().map(PlatformVariant::ContendedBus);
-                }
-                label
-                    .strip_prefix("smp")
-                    .and_then(|n| n.parse().ok())
-                    // Every core is a full pipeline + DL1 model: keep the
-                    // count in the range real NGMP-class parts ship with
-                    // (and that the false-sharing line can hold).
-                    .filter(|&n| (2..=8).contains(&n))
-                    .map(PlatformVariant::Smp)
-            }
-        }
+        label.parse().ok()
+    }
+
+    /// Every label the [`FromStr`](std::str::FromStr) impl accepts for a distinct
+    /// platform with small payloads — used by exhaustive round-trip tests.
+    /// `contendedN` and `smpN` take any payload in range; the returned set
+    /// samples the boundaries (including the `contended0` edge and the
+    /// `smp1` collapse).
+    #[must_use]
+    pub fn label_test_set() -> Vec<PlatformVariant> {
+        vec![
+            PlatformVariant::WriteBack,
+            PlatformVariant::WriteThrough,
+            PlatformVariant::ContendedBus(0),
+            PlatformVariant::ContendedBus(8),
+            PlatformVariant::ContendedBus(u32::MAX),
+            PlatformVariant::Smp(2),
+            PlatformVariant::Smp(8),
+        ]
     }
 
     /// Applies this platform's overrides to a scheme-derived configuration.
@@ -151,31 +155,84 @@ impl PlatformVariant {
     }
 }
 
-/// Stable label for a scheme, used in reports and on the CLI.
-#[must_use]
-pub fn scheme_label(scheme: EccScheme) -> String {
-    match scheme {
-        EccScheme::NoEcc => "no-ecc".to_string(),
-        EccScheme::ExtraCycle => "extra-cycle".to_string(),
-        EccScheme::ExtraStage => "extra-stage".to_string(),
-        EccScheme::Laec => "laec".to_string(),
-        EccScheme::SpeculateFlush { flush_penalty } => format!("speculate-flush{flush_penalty}"),
+impl std::fmt::Display for PlatformVariant {
+    /// The platform's canonical label — the exact string reports, traces
+    /// and the CLI use (`wb`, `wt`, `contendedN`, `smpN`).  The
+    /// [`FromStr`](std::str::FromStr) impl parses it back.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformVariant::WriteBack => f.write_str("wb"),
+            PlatformVariant::WriteThrough => f.write_str("wt"),
+            PlatformVariant::ContendedBus(extra) => write!(f, "contended{extra}"),
+            PlatformVariant::Smp(cores) => write!(f, "smp{cores}"),
+        }
     }
 }
 
+/// The error of [`PlatformVariant`]'s `FromStr`: the offending label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlatformError {
+    /// The label that named no platform.
+    pub label: String,
+}
+
+impl std::fmt::Display for ParsePlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown platform `{}`", self.label)
+    }
+}
+
+impl std::error::Error for ParsePlatformError {}
+
+impl std::str::FromStr for PlatformVariant {
+    type Err = ParsePlatformError;
+
+    /// Parses a canonical platform label: `contendedN` selects N extra bus
+    /// cycles per request, `smpN` an N-core system.  `smp1` is accepted and
+    /// collapses to [`PlatformVariant::WriteBack`], exactly like
+    /// [`PlatformVariant::smp`] (a 1-core SMP system *is* the
+    /// uniprocessor).
+    fn from_str(label: &str) -> Result<Self, Self::Err> {
+        let unknown = || ParsePlatformError {
+            label: label.to_string(),
+        };
+        match label {
+            "wb" => Ok(PlatformVariant::WriteBack),
+            "wt" => Ok(PlatformVariant::WriteThrough),
+            _ => {
+                if let Some(n) = label.strip_prefix("contended") {
+                    return n
+                        .parse()
+                        .map(PlatformVariant::ContendedBus)
+                        .map_err(|_| unknown());
+                }
+                label
+                    .strip_prefix("smp")
+                    .and_then(|n| n.parse().ok())
+                    // Every core is a full pipeline + DL1 model: keep the
+                    // count in the range real NGMP-class parts ship with
+                    // (and that the false-sharing line can hold).  1 is the
+                    // uniprocessor and collapses through `smp()`.
+                    .filter(|&n| (1..=8).contains(&n))
+                    .map(PlatformVariant::smp)
+                    .ok_or_else(unknown)
+            }
+        }
+    }
+}
+
+/// Stable label for a scheme, used in reports and on the CLI.
+#[deprecated(note = "use `EccScheme`'s `Display` impl (`scheme.to_string()`) instead")]
+#[must_use]
+pub fn scheme_label(scheme: EccScheme) -> String {
+    scheme.to_string()
+}
+
 /// Parses a CLI scheme label; `speculate-flushN` selects an N-cycle penalty.
+#[deprecated(note = "use `EccScheme`'s `FromStr` impl (`label.parse()`) instead")]
 #[must_use]
 pub fn scheme_from_label(label: &str) -> Option<EccScheme> {
-    match label {
-        "no-ecc" | "noecc" => Some(EccScheme::NoEcc),
-        "extra-cycle" => Some(EccScheme::ExtraCycle),
-        "extra-stage" => Some(EccScheme::ExtraStage),
-        "laec" => Some(EccScheme::Laec),
-        _ => label
-            .strip_prefix("speculate-flush")
-            .and_then(|n| n.parse().ok())
-            .map(|flush_penalty| EccScheme::SpeculateFlush { flush_penalty }),
-    }
+    label.parse().ok()
 }
 
 /// The full description of one campaign: every axis of the grid plus the
@@ -305,9 +362,9 @@ impl CampaignSpec {
 pub struct CampaignCell {
     /// Workload name.
     pub workload: String,
-    /// Scheme label (see [`scheme_label`]).
+    /// Scheme label (the scheme's `Display` form).
     pub scheme: String,
-    /// Platform label (see [`PlatformVariant::label`]).
+    /// Platform label (the platform's `Display` form).
     pub platform: String,
     /// Grid-axis fault seed, `None` for the fault-free run.
     pub fault_seed: Option<u64>,
@@ -496,8 +553,19 @@ pub fn default_threads() -> usize {
 ///
 /// Panics if a worker thread panics (the underlying simulator is panic-free
 /// on valid programs; a panic indicates a bug, not bad input).
+#[deprecated(
+    note = "build a `laec_core::spec::CampaignSpec` with `ExecutionMode::Full` and use \
+            `laec_core::spec::Campaign::run` (reports are byte-identical)"
+)]
 #[must_use]
 pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignReport {
+    execute_full(spec, threads)
+}
+
+/// The full-simulation grid engine behind [`run_campaign`] and
+/// [`crate::spec::FullSimEngine`].
+#[must_use]
+pub(crate) fn execute_full(spec: &CampaignSpec, threads: usize) -> CampaignReport {
     let workloads = spec.materialize_workloads();
     let threads = if threads == 0 {
         default_threads()
@@ -580,8 +648,8 @@ pub(crate) fn assemble_report(
     CampaignReport {
         seed: spec.seed,
         workloads: workloads.iter().map(|w| w.name.clone()).collect(),
-        schemes: spec.schemes.iter().map(|s| scheme_label(*s)).collect(),
-        platforms: spec.platforms.iter().map(|p| p.label()).collect(),
+        schemes: spec.schemes.iter().map(ToString::to_string).collect(),
+        platforms: spec.platforms.iter().map(ToString::to_string).collect(),
         fault_seeds: spec.fault_seeds.clone(),
         total_jobs: cells.len() as u64,
         cells,
@@ -619,8 +687,8 @@ pub(crate) fn cell_from_result(
 ) -> CampaignCell {
     CampaignCell {
         workload: workload.name.clone(),
-        scheme: scheme_label(scheme),
-        platform: platform.label(),
+        scheme: scheme.to_string(),
+        platform: platform.to_string(),
         fault_seed,
         cycles: result.stats.cycles,
         instructions: result.stats.instructions,
@@ -674,7 +742,7 @@ fn fill_slowdowns(spec: &CampaignSpec, cells: &mut [CampaignCell]) -> u64 {
     }
     // One pass to index every group's fault-free no-ECC baseline, rather
     // than rescanning all cells per cell (O(n^2) on big grids).
-    let baseline = scheme_label(EccScheme::NoEcc);
+    let baseline = EccScheme::NoEcc.to_string();
     let baselines: HashMap<(&str, &str), u64> = cells
         .iter()
         .filter(|c| c.scheme == baseline && c.fault_seed.is_none())
@@ -703,7 +771,7 @@ fn slowdown_matrix(
     workloads: &[Workload],
     cells: &[CampaignCell],
 ) -> SlowdownMatrix {
-    let schemes: Vec<String> = spec.schemes.iter().map(|s| scheme_label(*s)).collect();
+    let schemes: Vec<String> = spec.schemes.iter().map(ToString::to_string).collect();
     // Index the fault-free cells once; row assembly below is then a pure
     // lookup per (workload, platform, scheme).
     let by_coordinates: HashMap<(&str, &str, &str), Option<f64>> = cells
@@ -719,7 +787,7 @@ fn slowdown_matrix(
     let mut rows = Vec::new();
     for workload in workloads {
         for platform in &spec.platforms {
-            let platform = platform.label();
+            let platform = platform.to_string();
             let slowdowns: Vec<Option<f64>> = schemes
                 .iter()
                 .map(|scheme| {
@@ -784,7 +852,7 @@ fn equivalence_checks(
     let mut checks = Vec::new();
     for workload in workloads {
         for platform in &spec.platforms {
-            let platform = platform.label();
+            let platform = platform.to_string();
             let equivalent = groups
                 .get(&(workload.name.as_str(), platform.as_str()))
                 .is_none_or(|(_, equivalent)| *equivalent);
@@ -922,7 +990,7 @@ mod tests {
         let mut spec = CampaignSpec::smoke();
         spec.workloads = WorkloadSet::Named(vec!["vector_sum".into(), "fir_filter".into()]);
         spec.fault_seeds = vec![1, 2];
-        let report = run_campaign(&spec, 2);
+        let report = execute_full(&spec, 2);
         // 2 workloads x 1 platform x 4 schemes x (1 fault-free + 2 faulty).
         assert_eq!(report.total_jobs, 2 * 4 * 3);
         assert_eq!(report.cells.len(), 24);
@@ -934,7 +1002,7 @@ mod tests {
     fn slowdowns_are_normalised_to_no_ecc() {
         let mut spec = CampaignSpec::smoke();
         spec.workloads = WorkloadSet::Named(vec!["vector_sum".into()]);
-        let report = run_campaign(&spec, 1);
+        let report = execute_full(&spec, 1);
         let no_ecc = report
             .cells
             .iter()
@@ -952,7 +1020,7 @@ mod tests {
         let mut spec = CampaignSpec::smoke();
         spec.workloads = WorkloadSet::Named(vec!["vector_sum".into()]);
         spec.schemes = vec![EccScheme::Laec, EccScheme::ExtraStage];
-        let report = run_campaign(&spec, 1);
+        let report = execute_full(&spec, 1);
         assert!(report.cells.iter().all(|c| c.slowdown.is_none()));
         assert!(report.slowdowns.averages.iter().all(Option::is_none));
     }
@@ -964,7 +1032,7 @@ mod tests {
         spec.schemes = vec![EccScheme::Laec];
         spec.fault_seeds = vec![0xBEEF];
         spec.fault_interval = 50;
-        let report = run_campaign(&spec, 2);
+        let report = execute_full(&spec, 2);
         let faulty = report
             .cells
             .iter()
@@ -1092,28 +1160,89 @@ mod tests {
         assert!(names.contains(&"vector_sum".to_string()));
     }
 
+    /// Display → FromStr is the identity over every scheme variant,
+    /// including the payload edge values (`speculate-flush0`, `u32::MAX`).
     #[test]
-    fn scheme_and_platform_labels_round_trip() {
-        for scheme in [
+    fn scheme_display_from_str_round_trips_exhaustively() {
+        let schemes = [
             EccScheme::NoEcc,
             EccScheme::ExtraCycle,
             EccScheme::ExtraStage,
             EccScheme::Laec,
+            EccScheme::SpeculateFlush { flush_penalty: 0 },
             EccScheme::SpeculateFlush { flush_penalty: 6 },
-        ] {
-            assert_eq!(scheme_from_label(&scheme_label(scheme)), Some(scheme));
+            EccScheme::SpeculateFlush {
+                flush_penalty: u32::MAX,
+            },
+        ];
+        for scheme in schemes {
+            assert_eq!(scheme.to_string().parse(), Ok(scheme));
         }
-        for platform in [
-            PlatformVariant::WriteBack,
-            PlatformVariant::WriteThrough,
-            PlatformVariant::ContendedBus(8),
-        ] {
-            assert_eq!(
-                PlatformVariant::from_label(&platform.label()),
-                Some(platform)
+        assert_eq!(
+            "speculate-flush0".parse::<EccScheme>(),
+            Ok(EccScheme::SpeculateFlush { flush_penalty: 0 })
+        );
+        // The alias the CLI has always accepted.
+        assert_eq!("noecc".parse::<EccScheme>(), Ok(EccScheme::NoEcc));
+        for bogus in ["bogus", "", "speculate-flush", "speculate-flush-1", "LAEC"] {
+            assert!(
+                bogus.parse::<EccScheme>().is_err(),
+                "`{bogus}` must not parse"
             );
         }
-        assert_eq!(scheme_from_label("bogus"), None);
-        assert_eq!(PlatformVariant::from_label("bogus"), None);
+        // The deprecated wrappers stay behaviourally identical.
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                scheme_from_label(&scheme_label(EccScheme::Laec)),
+                Some(EccScheme::Laec)
+            );
+            assert_eq!(scheme_from_label("bogus"), None);
+        }
+    }
+
+    /// Display → FromStr is the identity over every platform variant,
+    /// including the `contended0` payload edge.
+    #[test]
+    fn platform_display_from_str_round_trips_exhaustively() {
+        for platform in PlatformVariant::label_test_set() {
+            assert_eq!(platform.to_string().parse(), Ok(platform));
+        }
+        for bogus in ["bogus", "", "smp", "smp0", "smp9", "contended", "WB"] {
+            assert!(
+                bogus.parse::<PlatformVariant>().is_err(),
+                "`{bogus}` must not parse"
+            );
+        }
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                PlatformVariant::from_label(&PlatformVariant::ContendedBus(8).label()),
+                Some(PlatformVariant::ContendedBus(8))
+            );
+            assert_eq!(PlatformVariant::from_label("bogus"), None);
+        }
+    }
+
+    /// `--platforms smp1` must parse and collapse to the uniprocessor
+    /// exactly like `PlatformVariant::smp(1)` does (the old `from_label`
+    /// rejected it while the constructor deliberately collapsed it).
+    #[test]
+    fn smp1_label_parses_and_collapses_to_write_back() {
+        assert_eq!(
+            "smp1".parse::<PlatformVariant>(),
+            Ok(PlatformVariant::WriteBack)
+        );
+        assert_eq!(
+            "smp1".parse::<PlatformVariant>().unwrap(),
+            PlatformVariant::smp(1)
+        );
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                PlatformVariant::from_label("smp1"),
+                Some(PlatformVariant::WriteBack)
+            );
+        }
     }
 }

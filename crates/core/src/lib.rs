@@ -1,7 +1,7 @@
 //! Experiment harness for the LAEC reproduction.
 //!
 //! This crate ties the substrates together — ECC codes ([`laec_ecc`]), the
-//! ISA ([`laec_isa`]), the memory hierarchy ([`laec_mem`]), the pipeline
+//! ISA (`laec_isa`), the memory hierarchy ([`laec_mem`]), the pipeline
 //! model ([`laec_pipeline`]) and the workloads ([`laec_workloads`]) — and
 //! exposes one function per table/figure of the paper's evaluation:
 //!
@@ -21,15 +21,22 @@
 //! measured-vs-paper numbers.
 //!
 //! Beyond the per-artefact functions, [`campaign`] generalises the harness
-//! into a parallel experiment engine: a [`campaign::CampaignSpec`] describes
-//! a workload × scheme × platform × fault grid, [`campaign::run_campaign`]
-//! executes it on a scoped worker pool with deterministic per-job seeding,
-//! and the resulting [`campaign::CampaignReport`] renders as text or JSON
+//! into a parallel experiment engine: a workload × scheme × platform ×
+//! fault grid executed on a scoped worker pool with deterministic per-job
+//! seeding, whose [`campaign::CampaignReport`] renders as text or JSON
 //! (byte-identical regardless of worker count).  [`sampling`] replaces the
 //! fixed fault-seed axis with a stratified Monte-Carlo estimator — online
 //! Wilson confidence intervals, early stopping per stratum, and
-//! checkpoint/resume for campaigns that shard across invocations.  The
-//! `laec-cli` binary drives all layers from the command line.
+//! checkpoint/resume for campaigns that shard across invocations.
+//!
+//! All campaign execution is unified behind [`spec`]: a serializable,
+//! versioned [`spec::CampaignSpec`] (grid axes + [`spec::ExecutionMode`]),
+//! a fluent [`spec::CampaignBuilder`] with typed validation
+//! ([`spec::SpecError`]), and one dispatch point — [`spec::Campaign::run`]
+//! — over the four [`spec::CampaignEngine`] implementations (full
+//! simulation, trace-backed replay, stratified sampling, forced SMP).  The
+//! `laec-cli` binary drives all layers from the command line and can dump
+//! or load any campaign as a JSON spec file.
 //!
 //! # Example
 //!
@@ -52,21 +59,38 @@ pub mod report;
 pub mod runner;
 pub mod sampling;
 pub mod smp_campaign;
+pub mod spec;
 pub mod trace_backed;
 
 pub use campaign::{
-    render_campaign, run_campaign, CampaignCell, CampaignReport, CampaignSpec, EquivalenceCheck,
-    PlatformVariant, SlowdownMatrix, SlowdownRow, WorkloadSet,
+    render_campaign, CampaignCell, CampaignReport, CampaignSpec, EquivalenceCheck,
+    ParsePlatformError, PlatformVariant, SlowdownMatrix, SlowdownRow, WorkloadSet,
 };
 pub use sampling::{
-    render_sampled, run_campaign_sampled, CheckpointError, SampleExecution, SampledReport, Sampler,
-    SamplerCheckpoint, SamplingPlan, StratumEstimate,
+    render_sampled, CheckpointError, SampleExecution, SampledReport, Sampler, SamplerCheckpoint,
+    SamplingPlan, StratumEstimate,
 };
-pub use smp_campaign::{run_campaign_smp, run_observed_core};
+pub use smp_campaign::run_observed_core;
+pub use spec::{
+    engine_for, Campaign, CampaignBuilder, CampaignEngine, CampaignOutcome, EngineCaps,
+    ExecutionMode, FullSimEngine, PlanViolation, SampledEngine, SmpEngine, SpecError,
+    TraceBackedEngine, ValidatedSpec, SPEC_VERSION,
+};
 pub use trace_backed::{
-    cell_fingerprint, record_cell, replay_cell, replay_cell_events, run_campaign_trace_backed,
-    trace_file_name, TraceBackedStats, TracedCampaign,
+    cell_fingerprint, record_cell, replay_cell, replay_cell_events, trace_file_name,
+    TraceBackedStats, TracedCampaign,
 };
+
+// The four legacy entry points remain importable from the crate root; they
+// are thin shims over the engines behind `spec::Campaign::run`.
+#[allow(deprecated)]
+pub use campaign::run_campaign;
+#[allow(deprecated)]
+pub use sampling::run_campaign_sampled;
+#[allow(deprecated)]
+pub use smp_campaign::run_campaign_smp;
+#[allow(deprecated)]
+pub use trace_backed::run_campaign_trace_backed;
 
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use experiment::{

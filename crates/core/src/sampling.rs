@@ -44,16 +44,18 @@
 //! # Example
 //!
 //! ```
-//! use laec_core::campaign::CampaignSpec;
-//! use laec_core::sampling::{run_campaign_sampled, SampleExecution, SamplingPlan};
+//! use laec_core::spec::{Campaign, CampaignBuilder};
 //!
-//! let mut spec = CampaignSpec::smoke();
-//! spec.workloads = laec_core::campaign::WorkloadSet::Named(vec!["vector_sum".into()]);
-//! spec.fault_interval = 500;
-//! let mut plan = SamplingPlan::new(32);
-//! plan.min_samples = 8;
-//! plan.batch = 8;
-//! let report = run_campaign_sampled(&spec, &plan, 2, &SampleExecution::FullSim);
+//! let validated = CampaignBuilder::smoke()
+//!     .named_workloads(["vector_sum"])
+//!     .fault_interval(500)
+//!     .sampled(32)
+//!     .min_samples(8)
+//!     .batch(8)
+//!     .validate()
+//!     .expect("valid spec");
+//! let outcome = Campaign::new(validated).run(2);
+//! let report = outcome.sampled().expect("sampled mode");
 //! assert!(report.strata.iter().all(|s| s.ci_low <= s.failure_rate));
 //! ```
 
@@ -65,7 +67,7 @@ use laec_trace::{varint, Trace, TraceEvent};
 use laec_workloads::Workload;
 use serde::Serialize;
 
-use crate::campaign::{default_threads, mix64, run_pool, scheme_label, CampaignSpec};
+use crate::campaign::{default_threads, mix64, run_pool, CampaignSpec};
 use crate::runner::run_with_config;
 use crate::trace_backed::{obtain_recording, replay_cell_events, Origin, TraceBackedStats};
 
@@ -228,6 +230,38 @@ pub struct SamplingPlan {
     pub max_rel_error: f64,
 }
 
+/// A structurally invalid [`SamplingPlan`] — the typed currency shared by
+/// [`SamplingPlan::check`] (and therefore [`SamplingPlan::validate`]) and
+/// the spec layer's [`crate::spec::SpecError::InvalidPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanViolation {
+    /// `max_samples` is 0 — no stratum could ever draw a sample.
+    ZeroBudget,
+    /// `batch` is 0 — rounds would never make progress.
+    ZeroBatch,
+    /// `confidence` is not strictly between 0 and 1.
+    ConfidenceOutOfRange,
+    /// `max_rel_error` is not a positive number.
+    NonPositiveRelError,
+}
+
+impl std::fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanViolation::ZeroBudget => write!(f, "sample budget must be at least 1"),
+            PlanViolation::ZeroBatch => write!(f, "batch size must be at least 1"),
+            PlanViolation::ConfidenceOutOfRange => {
+                write!(f, "confidence must be strictly between 0 and 1")
+            }
+            PlanViolation::NonPositiveRelError => {
+                write!(f, "max relative error must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanViolation {}
+
 impl SamplingPlan {
     /// A plan with the default statistical knobs (95 % confidence, 5 %
     /// relative error, batches of 16, at least 32 samples) and the given
@@ -243,34 +277,47 @@ impl SamplingPlan {
         }
     }
 
-    /// Validates the plan's invariants, returning a human-readable
-    /// complaint for the CLI to surface.
+    /// Checks the plan's structural invariants, typed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`PlanViolation`].
+    pub fn check(&self) -> Result<(), PlanViolation> {
+        if self.max_samples == 0 {
+            return Err(PlanViolation::ZeroBudget);
+        }
+        if self.batch == 0 {
+            return Err(PlanViolation::ZeroBatch);
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(PlanViolation::ConfidenceOutOfRange);
+        }
+        // `<=` alone would wave NaN through; spell the check as the
+        // negation so NaN is rejected too.
+        if self.max_rel_error.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(PlanViolation::NonPositiveRelError);
+        }
+        Ok(())
+    }
+
+    /// [`SamplingPlan::check`], rendered as a human-readable complaint for
+    /// the CLI to surface (with the offending value appended where one
+    /// exists).  Both validators share [`SamplingPlan::check`], so they can
+    /// never drift.
     ///
     /// # Errors
     ///
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
-        if self.max_samples == 0 {
-            return Err("sample budget must be at least 1".to_string());
-        }
-        if self.batch == 0 {
-            return Err("batch size must be at least 1".to_string());
-        }
-        if !(self.confidence > 0.0 && self.confidence < 1.0) {
-            return Err(format!(
-                "confidence must be strictly between 0 and 1, got {}",
-                self.confidence
-            ));
-        }
-        // `<=` alone would wave NaN through; spell the check as the
-        // negation so NaN is rejected too.
-        if self.max_rel_error.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            return Err(format!(
-                "max relative error must be positive, got {}",
-                self.max_rel_error
-            ));
-        }
-        Ok(())
+        self.check().map_err(|violation| match violation {
+            PlanViolation::ConfidenceOutOfRange => {
+                format!("{violation}, got {}", self.confidence)
+            }
+            PlanViolation::NonPositiveRelError => {
+                format!("{violation}, got {}", self.max_rel_error)
+            }
+            other => other.to_string(),
+        })
     }
 
     /// The critical value of the plan's confidence level.
@@ -1087,8 +1134,8 @@ impl Sampler {
             converged_strata += u64::from(state.converged);
             estimates.push(StratumEstimate {
                 workload: self.workloads[coords.workload].name.clone(),
-                scheme: scheme_label(self.spec.schemes[coords.scheme]),
-                platform: self.spec.platforms[coords.platform].label(),
+                scheme: self.spec.schemes[coords.scheme].to_string(),
+                platform: self.spec.platforms[coords.platform].to_string(),
                 samples: state.taken,
                 converged: state.converged,
                 failures: state.failures,
@@ -1115,8 +1162,13 @@ impl Sampler {
             min_samples: self.plan.min_samples,
             max_samples: self.plan.max_samples,
             workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
-            schemes: self.spec.schemes.iter().map(|s| scheme_label(*s)).collect(),
-            platforms: self.spec.platforms.iter().map(|p| p.label()).collect(),
+            schemes: self.spec.schemes.iter().map(ToString::to_string).collect(),
+            platforms: self
+                .spec
+                .platforms
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
             total_samples,
             converged_strata,
             degenerate_baselines,
@@ -1130,6 +1182,10 @@ impl Sampler {
 /// # Panics
 ///
 /// As [`Sampler::new`] and [`Sampler::run_rounds`].
+#[deprecated(
+    note = "build a `laec_core::spec::CampaignSpec` with `ExecutionMode::Sampled` and use \
+            `laec_core::spec::Campaign::run` (reports are byte-identical)"
+)]
 #[must_use]
 pub fn run_campaign_sampled(
     spec: &CampaignSpec,
@@ -1137,10 +1193,24 @@ pub fn run_campaign_sampled(
     threads: usize,
     execution: &SampleExecution,
 ) -> SampledReport {
+    execute_sampled(spec, plan, threads, execution).0
+}
+
+/// The stratified-sampling engine behind [`run_campaign_sampled`] and
+/// [`crate::spec::SampledEngine`]: runs to completion and returns the
+/// report plus the trace record/replay counters (all zero in full-sim
+/// mode).
+#[must_use]
+pub(crate) fn execute_sampled(
+    spec: &CampaignSpec,
+    plan: &SamplingPlan,
+    threads: usize,
+    execution: &SampleExecution,
+) -> (SampledReport, TraceBackedStats) {
     let mut sampler = Sampler::new(spec, plan, execution, threads);
     let complete = sampler.run_rounds(threads, None);
     debug_assert!(complete, "unbounded run_rounds always completes");
-    sampler.report()
+    (sampler.report(), sampler.trace_stats())
 }
 
 #[cfg(test)]
@@ -1395,7 +1465,7 @@ mod tests {
     fn render_lists_every_stratum_and_the_totals() {
         let spec = tiny_spec();
         let plan = tiny_plan();
-        let report = run_campaign_sampled(&spec, &plan, 2, &SampleExecution::FullSim);
+        let (report, _) = execute_sampled(&spec, &plan, 2, &SampleExecution::FullSim);
         let text = render_sampled(&report);
         assert!(text.contains("vector_sum"), "{text}");
         assert!(text.contains("totals:"), "{text}");

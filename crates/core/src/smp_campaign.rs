@@ -10,7 +10,7 @@
 //!   a byte, so the observed core's architectural results — and therefore
 //!   the campaign's cross-scheme equivalence checks — are untouched.
 //!   [`crate::campaign::run_campaign`] routes every
-//!   [`PlatformVariant::Smp`] cell through here.
+//!   [`crate::campaign::PlatformVariant::Smp`] cell through here.
 //! * [`run_campaign_smp`] — runs an *entire* spec through the SMP engine,
 //!   including the single-core platforms (as 1-core systems).  This exists
 //!   for the equivalence anchor: a 1-core SMP system must reproduce the
@@ -75,14 +75,25 @@ pub fn run_observed_core(workload: &Workload, config: PipelineConfig, cores: u32
 /// Runs the whole campaign grid through the SMP engine — every cell
 /// becomes an N-core system with N = its platform's core count (1 for the
 /// single-core platforms).  Reports are byte-identical for any `threads`
-/// value, and for single-core platforms byte-identical to
-/// [`crate::campaign::run_campaign`].
+/// value, and for single-core platforms byte-identical to the
+/// full-simulation engine.
 ///
 /// # Panics
 ///
 /// Panics if a worker thread panics.
+#[deprecated(
+    note = "build a `laec_core::spec::CampaignSpec` with `ExecutionMode::Smp` and use \
+            `laec_core::spec::Campaign::run` (reports are byte-identical)"
+)]
 #[must_use]
 pub fn run_campaign_smp(spec: &CampaignSpec, threads: usize) -> CampaignReport {
+    execute_smp(spec, threads)
+}
+
+/// The forced-SMP grid engine behind [`run_campaign_smp`] and
+/// [`crate::spec::SmpEngine`].
+#[must_use]
+pub(crate) fn execute_smp(spec: &CampaignSpec, threads: usize) -> CampaignReport {
     let workloads = spec.materialize_workloads();
     let threads = if threads == 0 {
         default_threads()
@@ -130,7 +141,7 @@ pub fn run_campaign_smp(spec: &CampaignSpec, threads: usize) -> CampaignReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::{run_campaign, PlatformVariant, WorkloadSet};
+    use crate::campaign::{execute_full, PlatformVariant, WorkloadSet};
     use laec_pipeline::EccScheme;
 
     #[test]
@@ -163,8 +174,8 @@ mod tests {
         spec.platforms = vec![PlatformVariant::smp(2)];
         spec.fault_seeds = vec![7];
         spec.fault_interval = 500;
-        let one = run_campaign(&spec, 1);
-        let four = run_campaign(&spec, 4);
+        let one = execute_full(&spec, 1);
+        let four = execute_full(&spec, 4);
         assert_eq!(one.to_json(), four.to_json());
         assert!(one.architecturally_equivalent());
         assert_eq!(one.platforms, vec!["smp2"]);

@@ -1,0 +1,1582 @@
+//! The unified campaign API: one serializable, validated spec; one engine
+//! dispatch.
+//!
+//! Historically the campaign layer grew four divergent entry points —
+//! `run_campaign`, `run_campaign_trace_backed`, `run_campaign_sampled`,
+//! `run_campaign_smp` — each with its own option struct, and their mutual
+//! incompatibilities (trace-backed and sampled execution cannot drive
+//! multi-core platforms) were enforced as string checks scattered through
+//! the CLI.  This module replaces that surface with one discipline,
+//! following the single-declarative-experiment-description approach of
+//! gem5-class simulators:
+//!
+//! * [`CampaignSpec`] — a *versioned, JSON-serializable* description of an
+//!   entire campaign: every grid axis **plus** the [`ExecutionMode`] it
+//!   runs under.  [`CampaignSpec::to_json`] /
+//!   [`CampaignSpec::from_json`] round-trip it losslessly, so any run can
+//!   be reproduced from a committed artifact (`laec-cli campaign --spec
+//!   FILE.json`, `--dump-spec`).
+//! * [`CampaignBuilder`] — a fluent, typed way to assemble a spec, ending
+//!   in [`CampaignBuilder::validate`].
+//! * [`CampaignSpec::validate`] — turns a spec into a [`ValidatedSpec`] or
+//!   a **structured** [`SpecError`] (unknown workload, mode × platform
+//!   incompatibility, sampling knobs without sampling mode, …) instead of
+//!   panics or ad-hoc CLI strings.
+//! * [`CampaignEngine`] — the trait the four execution engines implement;
+//!   [`engine_for`] maps a mode to its engine, and [`Campaign::run`] is
+//!   the one dispatch point.  Each engine advertises [`EngineCaps`], which
+//!   is what validation checks modes and platforms against.
+//!
+//! Reports are **byte-identical** to the four legacy entry points for
+//! every mode (asserted end-to-end in `tests/spec.rs`): the engines are
+//! the same code the deprecated free functions shim onto.
+//!
+//! # Example
+//!
+//! ```
+//! use laec_core::spec::{Campaign, CampaignBuilder};
+//! use laec_pipeline::EccScheme;
+//!
+//! let validated = CampaignBuilder::smoke()
+//!     .named_workloads(["vector_sum"])
+//!     .schemes([EccScheme::NoEcc, EccScheme::Laec])
+//!     .fault_seeds([1, 2])
+//!     .validate()
+//!     .expect("a valid spec");
+//! let outcome = Campaign::new(validated).run(2);
+//! assert!(outcome.architecturally_equivalent());
+//! ```
+
+use std::fmt;
+use std::path::PathBuf;
+
+use laec_mem::FaultTarget;
+use laec_pipeline::EccScheme;
+use laec_workloads::GeneratorConfig;
+use serde::{Serialize, Serializer};
+use serde_json::Value;
+
+use crate::campaign::{self, CampaignReport, PlatformVariant, WorkloadSet};
+use crate::sampling::{self, SampleExecution, SampledReport, SamplingPlan};
+use crate::smp_campaign;
+use crate::trace_backed::{self, TraceBackedStats};
+
+/// The campaign-spec wire-format version this build writes and reads.
+///
+/// Version 1 is the pre-serialization era (the four free functions and
+/// their separate option structs); version 2 is the first on-disk format.
+pub const SPEC_VERSION: u64 = 2;
+
+// ---------------------------------------------------------------------------
+// Execution modes
+// ---------------------------------------------------------------------------
+
+/// How a campaign's grid is executed — the knob that used to be "which of
+/// the four entry points you call".
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecutionMode {
+    /// Every cell runs the full pipeline + memory simulation (the
+    /// reference engine; supports every platform and the fault-seed axis).
+    Full,
+    /// Each cell's fault-free run is recorded once and every faulty cell
+    /// replays the recording, falling back to full simulation on
+    /// divergence.  Byte-identical to [`ExecutionMode::Full`], much faster
+    /// on fault grids; single-core platforms only.
+    TraceBacked {
+        /// Persist/reuse recordings under this directory (`None` keeps
+        /// them in memory for the run only).
+        cache_dir: Option<PathBuf>,
+    },
+    /// The fixed fault-seed axis is replaced by stratified Monte-Carlo
+    /// sampling with per-stratum confidence intervals and early stopping;
+    /// single-core platforms only, and the spec's `fault_seeds` must be
+    /// empty.
+    Sampled {
+        /// The statistical contract (budget, confidence, batch, …).
+        plan: SamplingPlan,
+        /// How each sample executes (full simulation or trace replay).
+        execution: SampleExecution,
+    },
+    /// Every cell — including single-core platforms — runs through the
+    /// N-core SMP engine.  Exists for the equivalence anchor: a 1-core SMP
+    /// system reproduces the uniprocessor byte-for-byte.
+    Smp,
+}
+
+impl ExecutionMode {
+    /// The mode's stable kind label (the `"kind"` field of the JSON form).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecutionMode::Full => "full",
+            ExecutionMode::TraceBacked { .. } => "trace-backed",
+            ExecutionMode::Sampled { .. } => "sampled",
+            ExecutionMode::Smp => "smp",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+pub use crate::sampling::PlanViolation;
+
+/// Why a spec could not be parsed, assembled or validated.
+///
+/// Every case is a distinct variant so callers (and tests) match on
+/// structure, not on error-message substrings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document is not syntactically valid JSON.
+    Json(String),
+    /// The document's `version` is not [`SPEC_VERSION`].
+    UnsupportedVersion(u64),
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field holds a value of the wrong shape (e.g. a string where a
+    /// number belongs, a fractional seed).
+    InvalidField(&'static str),
+    /// The document carries a field this format does not define — almost
+    /// always a typo'd knob that would otherwise be silently ignored.
+    UnknownField(String),
+    /// A scheme label named no [`EccScheme`].
+    UnknownScheme(String),
+    /// A platform label named no [`PlatformVariant`].
+    UnknownPlatform(String),
+    /// A fault-target label named no [`FaultTarget`].
+    UnknownFaultTarget(String),
+    /// A workload-set `suite` tag named no [`WorkloadSet`] shape.
+    UnknownWorkloadSet(String),
+    /// A mode `kind` tag named no [`ExecutionMode`].
+    UnknownModeKind(String),
+    /// A named workload exists in neither suite.
+    UnknownWorkload(String),
+    /// A grid axis is empty (nothing to run; the vacuously-true
+    /// equivalence check would mask the mistake).
+    EmptyAxis(&'static str),
+    /// The execution mode cannot drive one of the spec's platforms (e.g.
+    /// trace-backed or sampled execution on a multi-core `smpN` platform).
+    ModeIncompatiblePlatform {
+        /// The engine's capability name ([`EngineCaps::name`]).
+        mode: &'static str,
+        /// The offending platform's label.
+        platform: String,
+    },
+    /// The spec carries fixed fault seeds *and* requests sampled
+    /// execution, which replaces the fault-seed axis.
+    FaultSeedsWithSampling,
+    /// A sampling-only knob (confidence, batch, …) was set without
+    /// selecting sampled execution — it would otherwise be silently
+    /// ignored and an exhaustive grid would run instead.
+    SamplingKnobWithoutSampling(&'static str),
+    /// The sampling plan violates a structural invariant.
+    InvalidPlan(PlanViolation),
+    /// Two mutually exclusive execution modes were requested.
+    ConflictingModes(&'static str, &'static str),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json(message) => write!(f, "spec is not valid JSON: {message}"),
+            SpecError::UnsupportedVersion(version) => write!(
+                f,
+                "unsupported spec version {version} (this build reads version {SPEC_VERSION})"
+            ),
+            SpecError::MissingField(field) => write!(f, "spec is missing field `{field}`"),
+            SpecError::InvalidField(field) => {
+                write!(f, "spec field `{field}` holds an invalid value")
+            }
+            SpecError::UnknownField(field) => write!(f, "spec has unknown field `{field}`"),
+            SpecError::UnknownScheme(label) => write!(f, "unknown scheme `{label}`"),
+            SpecError::UnknownPlatform(label) => write!(f, "unknown platform `{label}`"),
+            SpecError::UnknownFaultTarget(label) => write!(f, "unknown fault target `{label}`"),
+            SpecError::UnknownWorkloadSet(tag) => write!(f, "unknown workload suite `{tag}`"),
+            SpecError::UnknownModeKind(tag) => write!(f, "unknown execution-mode kind `{tag}`"),
+            SpecError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+            SpecError::EmptyAxis(axis) => write!(f, "the {axis} axis is empty"),
+            SpecError::ModeIncompatiblePlatform { mode, platform } => write!(
+                f,
+                "{mode} execution does not support the multi-core `{platform}` platform"
+            ),
+            SpecError::FaultSeedsWithSampling => write!(
+                f,
+                "sampled execution replaces the fixed fault-seed axis; drop the fault seeds"
+            ),
+            SpecError::SamplingKnobWithoutSampling(knob) => {
+                write!(f, "{knob} needs sampled execution (a sample budget)")
+            }
+            SpecError::InvalidPlan(violation) => write!(f, "invalid sampling plan: {violation}"),
+            SpecError::ConflictingModes(a, b) => {
+                write!(f, "conflicting execution modes: {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// ---------------------------------------------------------------------------
+// The spec
+// ---------------------------------------------------------------------------
+
+/// The complete, serializable description of one campaign (spec format v2):
+/// the grid axes of [`campaign::CampaignSpec`] *plus* the
+/// [`ExecutionMode`].
+///
+/// Assemble one with [`CampaignBuilder`], or load one from JSON with
+/// [`CampaignSpec::from_json`]; [`CampaignSpec::validate`] gates execution.
+///
+/// ```
+/// use laec_core::spec::{CampaignBuilder, CampaignSpec};
+///
+/// let spec = CampaignBuilder::smoke().build().expect("well-formed");
+/// let json = spec.to_json();
+/// assert_eq!(CampaignSpec::from_json(&json), Ok(spec));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// The workload axis.
+    pub workloads: WorkloadSet,
+    /// Shape of the synthetic EEMBC-like workloads (ignored for kernels).
+    pub generator: GeneratorConfig,
+    /// The scheme axis.
+    pub schemes: Vec<EccScheme>,
+    /// The platform axis.
+    pub platforms: Vec<PlatformVariant>,
+    /// The fixed fault axis: one faulty run per seed per cell (must be
+    /// empty under [`ExecutionMode::Sampled`]).
+    pub fault_seeds: Vec<u64>,
+    /// Mean cycles between injected upsets on faulty runs.
+    pub fault_interval: u64,
+    /// Which DL1 array faulty runs strike.
+    pub fault_target: FaultTarget,
+    /// Master seed; every derived seed is a pure function of it and grid
+    /// coordinates.
+    pub seed: u64,
+    /// How the grid executes.
+    pub mode: ExecutionMode,
+}
+
+impl CampaignSpec {
+    /// Wraps a legacy grid description in a v2 spec with the given mode.
+    #[must_use]
+    pub fn from_grid(grid: &campaign::CampaignSpec, mode: ExecutionMode) -> Self {
+        CampaignSpec {
+            workloads: grid.workloads.clone(),
+            generator: grid.generator,
+            schemes: grid.schemes.clone(),
+            platforms: grid.platforms.clone(),
+            fault_seeds: grid.fault_seeds.clone(),
+            fault_interval: grid.fault_interval,
+            fault_target: grid.fault_target,
+            seed: grid.seed,
+            mode,
+        }
+    }
+
+    /// The grid axes as the legacy description the engines consume.
+    #[must_use]
+    pub fn grid(&self) -> campaign::CampaignSpec {
+        campaign::CampaignSpec {
+            workloads: self.workloads.clone(),
+            generator: self.generator,
+            schemes: self.schemes.clone(),
+            platforms: self.platforms.clone(),
+            fault_seeds: self.fault_seeds.clone(),
+            fault_interval: self.fault_interval,
+            fault_target: self.fault_target,
+            seed: self.seed,
+        }
+    }
+
+    /// Serialises the spec as pretty-printed JSON (format version
+    /// [`SPEC_VERSION`]).  Deterministic: the same spec always produces the
+    /// same bytes, so dumped specs can be committed and `cmp`'d.
+    ///
+    /// Cache-directory paths are written as UTF-8 strings (non-UTF-8 paths
+    /// are replaced lossily — keep spec files portable).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut serializer = Serializer::pretty();
+        self.serialize(&mut serializer);
+        serializer.finish()
+    }
+
+    /// Parses a JSON document produced by [`CampaignSpec::to_json`] (or
+    /// written by hand to the same schema).
+    ///
+    /// # Errors
+    ///
+    /// Returns the structured [`SpecError`] describing the first problem:
+    /// syntax ([`SpecError::Json`]), version, missing/invalid/unknown
+    /// fields, or unknown axis labels.  Semantic validation (unknown
+    /// workloads, mode × platform rules) is **not** performed here — call
+    /// [`CampaignSpec::validate`] on the result.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let document = serde_json::parse(text).map_err(|e| SpecError::Json(e.to_string()))?;
+        decode::spec(&document)
+    }
+
+    /// Checks the spec's semantic invariants and locks it for execution.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpecError::EmptyAxis`] — an empty scheme, platform or named
+    ///   workload axis,
+    /// * [`SpecError::UnknownWorkload`] — a named workload in neither
+    ///   suite,
+    /// * [`SpecError::ModeIncompatiblePlatform`] — the mode's engine
+    ///   cannot drive a platform in the grid (see [`EngineCaps`]),
+    /// * [`SpecError::FaultSeedsWithSampling`] — fixed fault seeds under
+    ///   [`ExecutionMode::Sampled`],
+    /// * [`SpecError::InvalidPlan`] — a structurally invalid sampling
+    ///   plan.
+    pub fn validate(self) -> Result<ValidatedSpec, SpecError> {
+        if self.schemes.is_empty() {
+            return Err(SpecError::EmptyAxis("scheme"));
+        }
+        if self.platforms.is_empty() {
+            return Err(SpecError::EmptyAxis("platform"));
+        }
+        if let WorkloadSet::Named(names) = &self.workloads {
+            if names.is_empty() {
+                return Err(SpecError::EmptyAxis("workload"));
+            }
+            let known = campaign::CampaignSpec::available_workload_names();
+            if let Some(missing) = names.iter().find(|name| !known.contains(name)) {
+                return Err(SpecError::UnknownWorkload(missing.clone()));
+            }
+        }
+        let caps = engine_for(&self.mode).capabilities();
+        if !caps.multi_core {
+            if let Some(platform) = self.platforms.iter().find(|p| p.cores() > 1) {
+                return Err(SpecError::ModeIncompatiblePlatform {
+                    mode: caps.name,
+                    platform: platform.to_string(),
+                });
+            }
+        }
+        if !caps.fault_seed_axis && !self.fault_seeds.is_empty() {
+            return Err(SpecError::FaultSeedsWithSampling);
+        }
+        if let ExecutionMode::Sampled { plan, .. } = &self.mode {
+            plan.check().map_err(SpecError::InvalidPlan)?;
+        }
+        Ok(ValidatedSpec { spec: self })
+    }
+}
+
+impl Serialize for CampaignSpec {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        serializer.field("version", &SPEC_VERSION);
+        serializer.field("seed", &self.seed);
+        serializer.field("workloads", &WorkloadsJson(&self.workloads));
+        serializer.field("generator", &GeneratorJson(&self.generator));
+        let schemes: Vec<String> = self.schemes.iter().map(ToString::to_string).collect();
+        serializer.field("schemes", &schemes);
+        let platforms: Vec<String> = self.platforms.iter().map(ToString::to_string).collect();
+        serializer.field("platforms", &platforms);
+        serializer.field("fault_seeds", &self.fault_seeds);
+        serializer.field("fault_interval", &self.fault_interval);
+        serializer.field("fault_target", self.fault_target.label());
+        serializer.field("mode", &ModeJson(&self.mode));
+        serializer.end_object();
+    }
+}
+
+struct WorkloadsJson<'a>(&'a WorkloadSet);
+
+impl Serialize for WorkloadsJson<'_> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        match self.0 {
+            WorkloadSet::Eembc => serializer.field("suite", "eembc"),
+            WorkloadSet::Kernels => serializer.field("suite", "kernels"),
+            WorkloadSet::Both => serializer.field("suite", "both"),
+            WorkloadSet::Named(names) => {
+                serializer.field("suite", "named");
+                serializer.field("names", names);
+            }
+        }
+        serializer.end_object();
+    }
+}
+
+struct GeneratorJson<'a>(&'a GeneratorConfig);
+
+impl Serialize for GeneratorJson<'_> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        serializer.field("body_instructions", &self.0.body_instructions);
+        serializer.field("iterations", &self.0.iterations);
+        serializer.field("seed", &self.0.seed);
+        serializer.end_object();
+    }
+}
+
+fn path_field(serializer: &mut Serializer, key: &str, path: Option<&PathBuf>) {
+    match path {
+        Some(path) => serializer.field(key, &path.to_string_lossy().into_owned()),
+        None => serializer.field(key, &Option::<String>::None),
+    }
+}
+
+struct ModeJson<'a>(&'a ExecutionMode);
+
+impl Serialize for ModeJson<'_> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        serializer.field("kind", self.0.kind());
+        match self.0 {
+            ExecutionMode::Full | ExecutionMode::Smp => {}
+            ExecutionMode::TraceBacked { cache_dir } => {
+                path_field(serializer, "cache_dir", cache_dir.as_ref());
+            }
+            ExecutionMode::Sampled { plan, execution } => {
+                serializer.field("budget", &plan.max_samples);
+                serializer.field("min_samples", &plan.min_samples);
+                serializer.field("batch", &plan.batch);
+                serializer.field("confidence", &plan.confidence);
+                serializer.field("max_rel_error", &plan.max_rel_error);
+                let (trace_backed, cache_dir) = match execution {
+                    SampleExecution::FullSim => (false, None),
+                    SampleExecution::TraceBacked { cache_dir } => (true, cache_dir.as_ref()),
+                };
+                serializer.field("trace_backed", &trace_backed);
+                path_field(serializer, "cache_dir", cache_dir);
+            }
+        }
+        serializer.end_object();
+    }
+}
+
+/// JSON → spec decoding, with one strict helper per shape.
+mod decode {
+    use super::*;
+
+    fn object<'a>(
+        value: &'a Value,
+        field: &'static str,
+    ) -> Result<&'a [(String, Value)], SpecError> {
+        value.as_object().ok_or(SpecError::InvalidField(field))
+    }
+
+    fn require<'a>(
+        members: &'a [(String, Value)],
+        field: &'static str,
+    ) -> Result<&'a Value, SpecError> {
+        members
+            .iter()
+            .find(|(name, _)| name == field)
+            .map(|(_, value)| value)
+            .ok_or(SpecError::MissingField(field))
+    }
+
+    fn reject_unknown(members: &[(String, Value)], allowed: &[&str]) -> Result<(), SpecError> {
+        for (name, _) in members {
+            if !allowed.contains(&name.as_str()) {
+                return Err(SpecError::UnknownField(name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    fn u64_of(value: &Value, field: &'static str) -> Result<u64, SpecError> {
+        value.as_u64().ok_or(SpecError::InvalidField(field))
+    }
+
+    fn f64_of(value: &Value, field: &'static str) -> Result<f64, SpecError> {
+        value.as_f64().ok_or(SpecError::InvalidField(field))
+    }
+
+    fn str_of<'a>(value: &'a Value, field: &'static str) -> Result<&'a str, SpecError> {
+        value.as_str().ok_or(SpecError::InvalidField(field))
+    }
+
+    fn optional_path(
+        members: &[(String, Value)],
+        key: &str,
+        label: &'static str,
+    ) -> Result<Option<PathBuf>, SpecError> {
+        match members.iter().find(|(name, _)| name == key) {
+            None => Ok(None),
+            Some((_, value)) if value.is_null() => Ok(None),
+            Some((_, value)) => Ok(Some(PathBuf::from(str_of(value, label)?))),
+        }
+    }
+
+    fn workloads(value: &Value) -> Result<WorkloadSet, SpecError> {
+        let members = object(value, "workloads")?;
+        reject_unknown(members, &["suite", "names"])?;
+        let suite = str_of(require(members, "suite")?, "workloads.suite")?;
+        match suite {
+            "eembc" => Ok(WorkloadSet::Eembc),
+            "kernels" => Ok(WorkloadSet::Kernels),
+            "both" => Ok(WorkloadSet::Both),
+            "named" => {
+                let names = require(members, "names")?
+                    .as_array()
+                    .ok_or(SpecError::InvalidField("workloads.names"))?;
+                let names: Result<Vec<String>, SpecError> = names
+                    .iter()
+                    .map(|name| str_of(name, "workloads.names").map(str::to_string))
+                    .collect();
+                Ok(WorkloadSet::Named(names?))
+            }
+            other => Err(SpecError::UnknownWorkloadSet(other.to_string())),
+        }
+    }
+
+    fn generator(value: &Value) -> Result<GeneratorConfig, SpecError> {
+        let members = object(value, "generator")?;
+        reject_unknown(members, &["body_instructions", "iterations", "seed"])?;
+        let body = u64_of(
+            require(members, "body_instructions")?,
+            "generator.body_instructions",
+        )?;
+        let iterations = u64_of(require(members, "iterations")?, "generator.iterations")?;
+        Ok(GeneratorConfig {
+            body_instructions: usize::try_from(body)
+                .map_err(|_| SpecError::InvalidField("generator.body_instructions"))?,
+            iterations: u32::try_from(iterations)
+                .map_err(|_| SpecError::InvalidField("generator.iterations"))?,
+            seed: u64_of(require(members, "seed")?, "generator.seed")?,
+        })
+    }
+
+    fn mode(value: &Value) -> Result<ExecutionMode, SpecError> {
+        let members = object(value, "mode")?;
+        let kind = str_of(require(members, "kind")?, "mode.kind")?;
+        match kind {
+            "full" => {
+                reject_unknown(members, &["kind"])?;
+                Ok(ExecutionMode::Full)
+            }
+            "smp" => {
+                reject_unknown(members, &["kind"])?;
+                Ok(ExecutionMode::Smp)
+            }
+            "trace-backed" => {
+                reject_unknown(members, &["kind", "cache_dir"])?;
+                Ok(ExecutionMode::TraceBacked {
+                    cache_dir: optional_path(members, "cache_dir", "mode.cache_dir")?,
+                })
+            }
+            "sampled" => {
+                reject_unknown(
+                    members,
+                    &[
+                        "kind",
+                        "budget",
+                        "min_samples",
+                        "batch",
+                        "confidence",
+                        "max_rel_error",
+                        "trace_backed",
+                        "cache_dir",
+                    ],
+                )?;
+                let mut plan =
+                    SamplingPlan::new(u64_of(require(members, "budget")?, "mode.budget")?);
+                plan.min_samples = u64_of(require(members, "min_samples")?, "mode.min_samples")?;
+                plan.batch = u64_of(require(members, "batch")?, "mode.batch")?;
+                plan.confidence = f64_of(require(members, "confidence")?, "mode.confidence")?;
+                plan.max_rel_error =
+                    f64_of(require(members, "max_rel_error")?, "mode.max_rel_error")?;
+                let trace_backed = require(members, "trace_backed")?
+                    .as_bool()
+                    .ok_or(SpecError::InvalidField("mode.trace_backed"))?;
+                let cache_dir = optional_path(members, "cache_dir", "mode.cache_dir")?;
+                let execution = if trace_backed {
+                    SampleExecution::TraceBacked { cache_dir }
+                } else if cache_dir.is_some() {
+                    return Err(SpecError::InvalidField("mode.cache_dir"));
+                } else {
+                    SampleExecution::FullSim
+                };
+                Ok(ExecutionMode::Sampled { plan, execution })
+            }
+            other => Err(SpecError::UnknownModeKind(other.to_string())),
+        }
+    }
+
+    pub(super) fn spec(document: &Value) -> Result<CampaignSpec, SpecError> {
+        let members = object(document, "spec")?;
+        reject_unknown(
+            members,
+            &[
+                "version",
+                "seed",
+                "workloads",
+                "generator",
+                "schemes",
+                "platforms",
+                "fault_seeds",
+                "fault_interval",
+                "fault_target",
+                "mode",
+            ],
+        )?;
+        let version = u64_of(require(members, "version")?, "version")?;
+        if version != SPEC_VERSION {
+            return Err(SpecError::UnsupportedVersion(version));
+        }
+        let schemes_value = require(members, "schemes")?
+            .as_array()
+            .ok_or(SpecError::InvalidField("schemes"))?;
+        let mut schemes = Vec::with_capacity(schemes_value.len());
+        for label in schemes_value {
+            let label = str_of(label, "schemes")?;
+            schemes.push(
+                label
+                    .parse::<EccScheme>()
+                    .map_err(|_| SpecError::UnknownScheme(label.to_string()))?,
+            );
+        }
+        let platforms_value = require(members, "platforms")?
+            .as_array()
+            .ok_or(SpecError::InvalidField("platforms"))?;
+        let mut platforms = Vec::with_capacity(platforms_value.len());
+        for label in platforms_value {
+            let label = str_of(label, "platforms")?;
+            platforms.push(
+                label
+                    .parse::<PlatformVariant>()
+                    .map_err(|_| SpecError::UnknownPlatform(label.to_string()))?,
+            );
+        }
+        let fault_seeds_value = require(members, "fault_seeds")?
+            .as_array()
+            .ok_or(SpecError::InvalidField("fault_seeds"))?;
+        let fault_seeds: Result<Vec<u64>, SpecError> = fault_seeds_value
+            .iter()
+            .map(|seed| u64_of(seed, "fault_seeds"))
+            .collect();
+        let fault_target_label = str_of(require(members, "fault_target")?, "fault_target")?;
+        let fault_target = fault_target_label
+            .parse::<FaultTarget>()
+            .map_err(|_| SpecError::UnknownFaultTarget(fault_target_label.to_string()))?;
+        Ok(CampaignSpec {
+            workloads: workloads(require(members, "workloads")?)?,
+            generator: generator(require(members, "generator")?)?,
+            schemes,
+            platforms,
+            fault_seeds: fault_seeds?,
+            fault_interval: u64_of(require(members, "fault_interval")?, "fault_interval")?,
+            fault_target,
+            seed: u64_of(require(members, "seed")?, "seed")?,
+            mode: mode(require(members, "mode")?)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validated spec
+// ---------------------------------------------------------------------------
+
+/// A [`CampaignSpec`] that passed [`CampaignSpec::validate`] — the only
+/// thing [`Campaign::run`] (and the engines) accept, so an executing
+/// campaign is valid *by construction*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidatedSpec {
+    spec: CampaignSpec,
+}
+
+impl ValidatedSpec {
+    /// The underlying spec.
+    #[must_use]
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// The execution mode.
+    #[must_use]
+    pub fn mode(&self) -> &ExecutionMode {
+        &self.spec.mode
+    }
+
+    /// The grid axes as the legacy description the engines consume.
+    #[must_use]
+    pub fn grid(&self) -> campaign::CampaignSpec {
+        self.spec.grid()
+    }
+
+    /// The sampling plan, when the mode is [`ExecutionMode::Sampled`].
+    #[must_use]
+    pub fn plan(&self) -> Option<&SamplingPlan> {
+        match &self.spec.mode {
+            ExecutionMode::Sampled { plan, .. } => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// The per-sample execution strategy, when the mode is
+    /// [`ExecutionMode::Sampled`].
+    #[must_use]
+    pub fn sample_execution(&self) -> Option<&SampleExecution> {
+        match &self.spec.mode {
+            ExecutionMode::Sampled { execution, .. } => Some(execution),
+            _ => None,
+        }
+    }
+
+    /// Unwraps the spec (e.g. to mutate and re-validate).
+    #[must_use]
+    pub fn into_inner(self) -> CampaignSpec {
+        self.spec
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Fluent assembly of a [`CampaignSpec`].
+///
+/// Mirrors the CLI's flag surface: grid axes, fault knobs, and the
+/// execution-mode toggles ([`CampaignBuilder::trace_backed`],
+/// [`CampaignBuilder::sampled`], [`CampaignBuilder::smp_engine`]).
+/// Sampling knobs set without [`CampaignBuilder::sampled`] are a
+/// [`SpecError::SamplingKnobWithoutSampling`], not silently ignored.
+///
+/// ```
+/// use laec_core::spec::{Campaign, CampaignBuilder};
+/// use laec_pipeline::EccScheme;
+///
+/// let validated = CampaignBuilder::smoke()
+///     .named_workloads(["vector_sum", "fir_filter"])
+///     .schemes([EccScheme::NoEcc, EccScheme::Laec])
+///     .fault_seeds([0xBEEF])
+///     .fault_interval(500)
+///     .validate()
+///     .expect("a valid spec");
+/// let report = Campaign::new(validated).run(2).into_grid().expect("grid mode");
+/// assert_eq!(report.total_jobs, 2 * 2 * 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    base: campaign::CampaignSpec,
+    budget: Option<u64>,
+    confidence: Option<f64>,
+    max_rel_error: Option<f64>,
+    batch: Option<u64>,
+    min_samples: Option<u64>,
+    trace_backed: bool,
+    cache_dir: Option<PathBuf>,
+    smp_engine: bool,
+}
+
+impl CampaignBuilder {
+    fn from_base(base: campaign::CampaignSpec) -> Self {
+        CampaignBuilder {
+            base,
+            budget: None,
+            confidence: None,
+            max_rel_error: None,
+            batch: None,
+            min_samples: None,
+            trace_backed: false,
+            cache_dir: None,
+            smp_engine: false,
+        }
+    }
+
+    /// Starts from the paper's Figure 8 grid
+    /// ([`campaign::CampaignSpec::paper_grid`]).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::from_base(campaign::CampaignSpec::paper_grid())
+    }
+
+    /// Starts from the quick kernel-suite grid
+    /// ([`campaign::CampaignSpec::smoke`]).
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self::from_base(campaign::CampaignSpec::smoke())
+    }
+
+    /// Sets the workload axis.
+    #[must_use]
+    pub fn workloads(mut self, workloads: WorkloadSet) -> Self {
+        self.base.workloads = workloads;
+        self
+    }
+
+    /// Sets the workload axis to an explicit list of names.
+    #[must_use]
+    pub fn named_workloads<I>(self, names: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        self.workloads(WorkloadSet::Named(names))
+    }
+
+    /// Sets the synthetic-workload generator shape.
+    #[must_use]
+    pub fn generator(mut self, generator: GeneratorConfig) -> Self {
+        self.base.generator = generator;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base.seed = seed;
+        self
+    }
+
+    /// Sets the scheme axis.
+    #[must_use]
+    pub fn schemes(mut self, schemes: impl IntoIterator<Item = EccScheme>) -> Self {
+        self.base.schemes = schemes.into_iter().collect();
+        self
+    }
+
+    /// Sets the platform axis.
+    #[must_use]
+    pub fn platforms(mut self, platforms: impl IntoIterator<Item = PlatformVariant>) -> Self {
+        self.base.platforms = platforms.into_iter().collect();
+        self
+    }
+
+    /// Sets the fixed fault-seed axis.
+    #[must_use]
+    pub fn fault_seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.base.fault_seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the mean cycles between injected upsets.
+    #[must_use]
+    pub fn fault_interval(mut self, interval: u64) -> Self {
+        self.base.fault_interval = interval;
+        self
+    }
+
+    /// Sets which DL1 array faulty runs strike.
+    #[must_use]
+    pub fn fault_target(mut self, target: FaultTarget) -> Self {
+        self.base.fault_target = target;
+        self
+    }
+
+    /// Selects trace-backed execution (record once, replay per fault
+    /// seed).
+    #[must_use]
+    pub fn trace_backed(mut self) -> Self {
+        self.trace_backed = true;
+        self
+    }
+
+    /// Persists/reuses recordings under `dir` (implies
+    /// [`CampaignBuilder::trace_backed`]).
+    #[must_use]
+    pub fn trace_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self.trace_backed = true;
+        self
+    }
+
+    /// Selects sampled (stratified Monte-Carlo) execution with this
+    /// per-stratum sample budget.
+    #[must_use]
+    pub fn sampled(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Confidence level of the per-stratum Wilson intervals (sampled mode
+    /// only).
+    #[must_use]
+    pub fn confidence(mut self, confidence: f64) -> Self {
+        self.confidence = Some(confidence);
+        self
+    }
+
+    /// Target relative half-width of the failure-rate interval (sampled
+    /// mode only).
+    #[must_use]
+    pub fn max_rel_error(mut self, max_rel_error: f64) -> Self {
+        self.max_rel_error = Some(max_rel_error);
+        self
+    }
+
+    /// Samples per stratum per round — the determinism granularity
+    /// (sampled mode only).
+    #[must_use]
+    pub fn batch(mut self, batch: u64) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Samples each stratum must draw before the stopping rule applies
+    /// (sampled mode only).
+    #[must_use]
+    pub fn min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = Some(min_samples);
+        self
+    }
+
+    /// Forces every cell through the N-core SMP engine (the equivalence
+    /// anchor; see [`ExecutionMode::Smp`]).
+    #[must_use]
+    pub fn smp_engine(mut self) -> Self {
+        self.smp_engine = true;
+        self
+    }
+
+    /// Assembles the [`CampaignSpec`] without semantic validation.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpecError::SamplingKnobWithoutSampling`] — a sampling knob was
+    ///   set without [`CampaignBuilder::sampled`],
+    /// * [`SpecError::ConflictingModes`] — e.g. both
+    ///   [`CampaignBuilder::smp_engine`] and trace-backed/sampled
+    ///   execution.
+    pub fn build(self) -> Result<CampaignSpec, SpecError> {
+        let mode = match self.budget {
+            Some(budget) => {
+                if self.smp_engine {
+                    return Err(SpecError::ConflictingModes("sampled", "smp"));
+                }
+                let mut plan = SamplingPlan::new(budget);
+                if let Some(confidence) = self.confidence {
+                    plan.confidence = confidence;
+                }
+                if let Some(max_rel_error) = self.max_rel_error {
+                    plan.max_rel_error = max_rel_error;
+                }
+                if let Some(batch) = self.batch {
+                    plan.batch = batch;
+                }
+                if let Some(min_samples) = self.min_samples {
+                    plan.min_samples = min_samples;
+                }
+                let execution = if self.trace_backed {
+                    SampleExecution::TraceBacked {
+                        cache_dir: self.cache_dir,
+                    }
+                } else {
+                    SampleExecution::FullSim
+                };
+                ExecutionMode::Sampled { plan, execution }
+            }
+            None => {
+                let knobs = [
+                    ("confidence", self.confidence.is_some()),
+                    ("max relative error", self.max_rel_error.is_some()),
+                    ("batch size", self.batch.is_some()),
+                    ("minimum samples", self.min_samples.is_some()),
+                ];
+                if let Some((knob, _)) = knobs.iter().find(|(_, set)| *set) {
+                    return Err(SpecError::SamplingKnobWithoutSampling(knob));
+                }
+                if self.trace_backed {
+                    if self.smp_engine {
+                        return Err(SpecError::ConflictingModes("trace-backed", "smp"));
+                    }
+                    ExecutionMode::TraceBacked {
+                        cache_dir: self.cache_dir,
+                    }
+                } else if self.smp_engine {
+                    ExecutionMode::Smp
+                } else {
+                    ExecutionMode::Full
+                }
+            }
+        };
+        Ok(CampaignSpec::from_grid(&self.base, mode))
+    }
+
+    /// [`CampaignBuilder::build`] followed by [`CampaignSpec::validate`].
+    ///
+    /// # Errors
+    ///
+    /// As both steps.
+    pub fn validate(self) -> Result<ValidatedSpec, SpecError> {
+        self.build()?.validate()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engines
+// ---------------------------------------------------------------------------
+
+/// What an execution engine can drive — the data validation checks a
+/// spec's mode and platforms against, replacing scattered string checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// The engine's stable name (matches [`ExecutionMode::kind`]).
+    pub name: &'static str,
+    /// `true` if the engine can drive multi-core (`smpN`) platforms.
+    pub multi_core: bool,
+    /// `true` if the engine consumes the fixed fault-seed axis.
+    pub fault_seed_axis: bool,
+    /// `true` if the engine produces a statistical ([`SampledReport`])
+    /// rather than an exhaustive grid report.
+    pub statistical: bool,
+}
+
+/// One campaign execution engine.
+///
+/// The four implementations ([`FullSimEngine`], [`TraceBackedEngine`],
+/// [`SampledEngine`], [`SmpEngine`]) wrap the same code the four legacy
+/// free functions ran, so their reports are byte-identical to the
+/// pre-redesign API.  [`Campaign::run`] dispatches to the engine matching
+/// the spec's [`ExecutionMode`]; validation consults
+/// [`CampaignEngine::capabilities`] so an engine is never handed a spec it
+/// cannot drive.
+///
+/// ```
+/// use laec_core::spec::{engine_for, ExecutionMode};
+///
+/// let caps = engine_for(&ExecutionMode::Full).capabilities();
+/// assert_eq!(caps.name, "full");
+/// assert!(caps.multi_core && caps.fault_seed_axis && !caps.statistical);
+/// ```
+pub trait CampaignEngine {
+    /// What this engine can drive.
+    fn capabilities(&self) -> EngineCaps;
+
+    /// Executes a validated spec on `threads` workers (`0` = all cores).
+    fn execute(&self, spec: &ValidatedSpec, threads: usize) -> CampaignOutcome;
+}
+
+/// The reference engine: every cell is fully simulated
+/// ([`ExecutionMode::Full`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullSimEngine;
+
+impl CampaignEngine for FullSimEngine {
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps {
+            name: "full",
+            multi_core: true,
+            fault_seed_axis: true,
+            statistical: false,
+        }
+    }
+
+    fn execute(&self, spec: &ValidatedSpec, threads: usize) -> CampaignOutcome {
+        CampaignOutcome::Grid {
+            report: campaign::execute_full(&spec.grid(), threads),
+            trace_stats: None,
+        }
+    }
+}
+
+/// The record-once/replay-per-seed engine
+/// ([`ExecutionMode::TraceBacked`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceBackedEngine;
+
+impl CampaignEngine for TraceBackedEngine {
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps {
+            name: "trace-backed",
+            multi_core: false,
+            fault_seed_axis: true,
+            statistical: false,
+        }
+    }
+
+    fn execute(&self, spec: &ValidatedSpec, threads: usize) -> CampaignOutcome {
+        let cache_dir = match spec.mode() {
+            ExecutionMode::TraceBacked { cache_dir } => cache_dir.as_deref(),
+            _ => None,
+        };
+        let traced = trace_backed::execute_trace_backed(&spec.grid(), threads, cache_dir);
+        CampaignOutcome::Grid {
+            report: traced.report,
+            trace_stats: Some(traced.stats),
+        }
+    }
+}
+
+/// The stratified Monte-Carlo engine ([`ExecutionMode::Sampled`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampledEngine;
+
+impl CampaignEngine for SampledEngine {
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps {
+            name: "sampled",
+            multi_core: false,
+            fault_seed_axis: false,
+            statistical: true,
+        }
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the spec's mode is not [`ExecutionMode::Sampled`] (there
+    /// is no meaningful default budget); [`Campaign::run`] never routes
+    /// such a spec here.
+    fn execute(&self, spec: &ValidatedSpec, threads: usize) -> CampaignOutcome {
+        let ExecutionMode::Sampled { plan, execution } = spec.mode() else {
+            panic!("SampledEngine needs ExecutionMode::Sampled");
+        };
+        let (report, stats) = sampling::execute_sampled(&spec.grid(), plan, threads, execution);
+        let trace_stats = matches!(execution, SampleExecution::TraceBacked { .. }).then_some(stats);
+        CampaignOutcome::Sampled {
+            report,
+            trace_stats,
+        }
+    }
+}
+
+/// The forced-SMP engine: every cell runs as an N-core system
+/// ([`ExecutionMode::Smp`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmpEngine;
+
+impl CampaignEngine for SmpEngine {
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps {
+            name: "smp",
+            multi_core: true,
+            fault_seed_axis: true,
+            statistical: false,
+        }
+    }
+
+    fn execute(&self, spec: &ValidatedSpec, threads: usize) -> CampaignOutcome {
+        CampaignOutcome::Grid {
+            report: smp_campaign::execute_smp(&spec.grid(), threads),
+            trace_stats: None,
+        }
+    }
+}
+
+/// The engine that executes a given mode.
+#[must_use]
+pub fn engine_for(mode: &ExecutionMode) -> &'static dyn CampaignEngine {
+    match mode {
+        ExecutionMode::Full => &FullSimEngine,
+        ExecutionMode::TraceBacked { .. } => &TraceBackedEngine,
+        ExecutionMode::Sampled { .. } => &SampledEngine,
+        ExecutionMode::Smp => &SmpEngine,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcome + dispatch
+// ---------------------------------------------------------------------------
+
+/// What running a campaign produced: an exhaustive grid report or a
+/// statistical one, plus the trace record/replay counters when a
+/// trace-backed engine earned the result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignOutcome {
+    /// An exhaustive grid ([`ExecutionMode::Full`],
+    /// [`ExecutionMode::TraceBacked`] or [`ExecutionMode::Smp`]).
+    Grid {
+        /// The grid report — byte-identical to the legacy entry point of
+        /// the same mode.
+        report: CampaignReport,
+        /// Record/replay counters (trace-backed mode only).
+        trace_stats: Option<TraceBackedStats>,
+    },
+    /// A sampled campaign ([`ExecutionMode::Sampled`]).
+    Sampled {
+        /// The statistical report — byte-identical to the legacy
+        /// `run_campaign_sampled`.
+        report: SampledReport,
+        /// Record/replay counters (trace-backed sampling only).
+        trace_stats: Option<TraceBackedStats>,
+    },
+}
+
+impl CampaignOutcome {
+    /// The grid report, if this outcome is one.
+    #[must_use]
+    pub fn grid(&self) -> Option<&CampaignReport> {
+        match self {
+            CampaignOutcome::Grid { report, .. } => Some(report),
+            CampaignOutcome::Sampled { .. } => None,
+        }
+    }
+
+    /// The sampled report, if this outcome is one.
+    #[must_use]
+    pub fn sampled(&self) -> Option<&SampledReport> {
+        match self {
+            CampaignOutcome::Sampled { report, .. } => Some(report),
+            CampaignOutcome::Grid { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome into its grid report, if it is one.
+    #[must_use]
+    pub fn into_grid(self) -> Option<CampaignReport> {
+        match self {
+            CampaignOutcome::Grid { report, .. } => Some(report),
+            CampaignOutcome::Sampled { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome into its sampled report, if it is one.
+    #[must_use]
+    pub fn into_sampled(self) -> Option<SampledReport> {
+        match self {
+            CampaignOutcome::Sampled { report, .. } => Some(report),
+            CampaignOutcome::Grid { .. } => None,
+        }
+    }
+
+    /// Record/replay counters, when a trace-backed engine produced the
+    /// outcome.
+    #[must_use]
+    pub fn trace_stats(&self) -> Option<&TraceBackedStats> {
+        match self {
+            CampaignOutcome::Grid { trace_stats, .. }
+            | CampaignOutcome::Sampled { trace_stats, .. } => trace_stats.as_ref(),
+        }
+    }
+
+    /// `true` for grid outcomes whose cross-scheme equivalence checks all
+    /// passed; sampled outcomes carry no such verdict and report `true`.
+    #[must_use]
+    pub fn architecturally_equivalent(&self) -> bool {
+        match self {
+            CampaignOutcome::Grid { report, .. } => report.architecturally_equivalent(),
+            CampaignOutcome::Sampled { .. } => true,
+        }
+    }
+
+    /// The report as pretty-printed JSON — byte-identical to the legacy
+    /// entry point of the same mode.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            CampaignOutcome::Grid { report, .. } => report.to_json(),
+            CampaignOutcome::Sampled { report, .. } => report.to_json(),
+        }
+    }
+
+    /// The report as aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            CampaignOutcome::Grid { report, .. } => campaign::render_campaign(report),
+            CampaignOutcome::Sampled { report, .. } => sampling::render_sampled(report),
+        }
+    }
+}
+
+/// A validated campaign, ready to run — the single dispatch point over the
+/// four execution engines.
+///
+/// ```
+/// use laec_core::spec::{Campaign, CampaignBuilder};
+///
+/// let campaign = Campaign::new(CampaignBuilder::smoke().validate().expect("valid"));
+/// assert_eq!(campaign.engine().capabilities().name, "full");
+/// let outcome = campaign.run(2);
+/// assert!(outcome.architecturally_equivalent());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    spec: ValidatedSpec,
+}
+
+impl Campaign {
+    /// Wraps a validated spec.
+    #[must_use]
+    pub fn new(spec: ValidatedSpec) -> Self {
+        Campaign { spec }
+    }
+
+    /// The validated spec.
+    #[must_use]
+    pub fn spec(&self) -> &ValidatedSpec {
+        &self.spec
+    }
+
+    /// The engine the spec's mode dispatches to.
+    #[must_use]
+    pub fn engine(&self) -> &'static dyn CampaignEngine {
+        engine_for(self.spec.mode())
+    }
+
+    /// Runs the campaign on `threads` workers (`0` = all cores).
+    ///
+    /// One dispatch, four engines: the report is byte-identical to the
+    /// legacy entry point of the spec's mode, for any thread count.
+    #[must_use]
+    pub fn run(&self, threads: usize) -> CampaignOutcome {
+        self.engine().execute(&self.spec, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_to_full_mode_on_the_base_grid() {
+        let spec = CampaignBuilder::smoke().build().expect("well-formed");
+        assert_eq!(spec.mode, ExecutionMode::Full);
+        assert_eq!(spec.grid(), campaign::CampaignSpec::smoke());
+        let paper = CampaignBuilder::paper().build().expect("well-formed");
+        assert_eq!(paper.grid(), campaign::CampaignSpec::paper_grid());
+    }
+
+    #[test]
+    fn builder_derives_each_mode_from_its_toggles() {
+        let spec = CampaignBuilder::smoke().trace_backed().build().unwrap();
+        assert_eq!(spec.mode, ExecutionMode::TraceBacked { cache_dir: None });
+
+        let spec = CampaignBuilder::smoke()
+            .trace_cache("/tmp/t")
+            .build()
+            .unwrap();
+        assert_eq!(
+            spec.mode,
+            ExecutionMode::TraceBacked {
+                cache_dir: Some(PathBuf::from("/tmp/t")),
+            }
+        );
+
+        let spec = CampaignBuilder::smoke().smp_engine().build().unwrap();
+        assert_eq!(spec.mode, ExecutionMode::Smp);
+
+        let spec = CampaignBuilder::smoke()
+            .sampled(64)
+            .confidence(0.99)
+            .batch(8)
+            .build()
+            .unwrap();
+        let ExecutionMode::Sampled { plan, execution } = spec.mode else {
+            panic!("expected sampled mode");
+        };
+        assert_eq!(plan.max_samples, 64);
+        assert_eq!(plan.confidence, 0.99);
+        assert_eq!(plan.batch, 8);
+        assert_eq!(plan.min_samples, SamplingPlan::new(64).min_samples);
+        assert_eq!(execution, SampleExecution::FullSim);
+    }
+
+    #[test]
+    fn sampling_knobs_without_sampling_are_typed_errors() {
+        for (build, knob) in [
+            (CampaignBuilder::smoke().confidence(0.9), "confidence"),
+            (
+                CampaignBuilder::smoke().max_rel_error(0.1),
+                "max relative error",
+            ),
+            (CampaignBuilder::smoke().batch(4), "batch size"),
+            (CampaignBuilder::smoke().min_samples(4), "minimum samples"),
+        ] {
+            assert_eq!(
+                build.build(),
+                Err(SpecError::SamplingKnobWithoutSampling(knob))
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_mode_toggles_are_rejected() {
+        assert_eq!(
+            CampaignBuilder::smoke().smp_engine().sampled(8).build(),
+            Err(SpecError::ConflictingModes("sampled", "smp"))
+        );
+        assert_eq!(
+            CampaignBuilder::smoke().smp_engine().trace_backed().build(),
+            Err(SpecError::ConflictingModes("trace-backed", "smp"))
+        );
+    }
+
+    #[test]
+    fn validation_rejects_unknown_workloads_and_empty_axes() {
+        assert_eq!(
+            CampaignBuilder::smoke()
+                .named_workloads(["vectorsum"])
+                .validate()
+                .err(),
+            Some(SpecError::UnknownWorkload("vectorsum".to_string()))
+        );
+        assert_eq!(
+            CampaignBuilder::smoke()
+                .schemes(Vec::<EccScheme>::new())
+                .validate()
+                .err(),
+            Some(SpecError::EmptyAxis("scheme"))
+        );
+        assert_eq!(
+            CampaignBuilder::smoke()
+                .platforms(Vec::<PlatformVariant>::new())
+                .validate()
+                .err(),
+            Some(SpecError::EmptyAxis("platform"))
+        );
+        assert_eq!(
+            CampaignBuilder::smoke()
+                .named_workloads::<[&str; 0]>([])
+                .validate()
+                .err(),
+            Some(SpecError::EmptyAxis("workload"))
+        );
+    }
+
+    #[test]
+    fn validation_enforces_engine_capabilities() {
+        // Trace-backed and sampled engines cannot drive smpN platforms.
+        assert_eq!(
+            CampaignBuilder::smoke()
+                .platforms([PlatformVariant::smp(4)])
+                .trace_backed()
+                .validate()
+                .err(),
+            Some(SpecError::ModeIncompatiblePlatform {
+                mode: "trace-backed",
+                platform: "smp4".to_string(),
+            })
+        );
+        assert_eq!(
+            CampaignBuilder::smoke()
+                .platforms([PlatformVariant::smp(2)])
+                .sampled(8)
+                .validate()
+                .err(),
+            Some(SpecError::ModeIncompatiblePlatform {
+                mode: "sampled",
+                platform: "smp2".to_string(),
+            })
+        );
+        // The sampled engine replaces the fixed fault axis.
+        assert_eq!(
+            CampaignBuilder::smoke()
+                .fault_seeds([1])
+                .sampled(8)
+                .validate()
+                .err(),
+            Some(SpecError::FaultSeedsWithSampling)
+        );
+        // The full and SMP engines accept both.
+        assert!(CampaignBuilder::smoke()
+            .platforms([PlatformVariant::smp(2)])
+            .fault_seeds([1])
+            .validate()
+            .is_ok());
+        assert!(CampaignBuilder::smoke()
+            .platforms([PlatformVariant::smp(2)])
+            .smp_engine()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn invalid_plans_are_typed_by_violation() {
+        for (build, violation) in [
+            (
+                CampaignBuilder::smoke().sampled(0),
+                PlanViolation::ZeroBudget,
+            ),
+            (
+                CampaignBuilder::smoke().sampled(8).batch(0),
+                PlanViolation::ZeroBatch,
+            ),
+            (
+                CampaignBuilder::smoke().sampled(8).confidence(1.0),
+                PlanViolation::ConfidenceOutOfRange,
+            ),
+            (
+                CampaignBuilder::smoke().sampled(8).confidence(f64::NAN),
+                PlanViolation::ConfidenceOutOfRange,
+            ),
+            (
+                CampaignBuilder::smoke().sampled(8).max_rel_error(0.0),
+                PlanViolation::NonPositiveRelError,
+            ),
+            (
+                CampaignBuilder::smoke().sampled(8).max_rel_error(f64::NAN),
+                PlanViolation::NonPositiveRelError,
+            ),
+        ] {
+            assert_eq!(
+                build.validate().err(),
+                Some(SpecError::InvalidPlan(violation))
+            );
+        }
+    }
+
+    #[test]
+    fn engine_capabilities_match_their_modes() {
+        for (mode, multi_core, fault_axis, statistical) in [
+            (ExecutionMode::Full, true, true, false),
+            (
+                ExecutionMode::TraceBacked { cache_dir: None },
+                false,
+                true,
+                false,
+            ),
+            (
+                ExecutionMode::Sampled {
+                    plan: SamplingPlan::new(8),
+                    execution: SampleExecution::FullSim,
+                },
+                false,
+                false,
+                true,
+            ),
+            (ExecutionMode::Smp, true, true, false),
+        ] {
+            let caps = engine_for(&mode).capabilities();
+            assert_eq!(caps.name, mode.kind());
+            assert_eq!(caps.multi_core, multi_core, "{}", caps.name);
+            assert_eq!(caps.fault_seed_axis, fault_axis, "{}", caps.name);
+            assert_eq!(caps.statistical, statistical, "{}", caps.name);
+        }
+    }
+
+    #[test]
+    fn spec_json_rejects_structural_problems_by_variant() {
+        let valid = CampaignBuilder::smoke().build().unwrap().to_json();
+
+        assert!(matches!(
+            CampaignSpec::from_json("{not json"),
+            Err(SpecError::Json(_))
+        ));
+        assert_eq!(
+            CampaignSpec::from_json(&valid.replace("\"version\": 2", "\"version\": 3")),
+            Err(SpecError::UnsupportedVersion(3))
+        );
+        assert_eq!(
+            CampaignSpec::from_json(&valid.replace("\"seed\"", "\"sead\"")),
+            Err(SpecError::UnknownField("sead".to_string()))
+        );
+        assert_eq!(
+            CampaignSpec::from_json(&valid.replace("\"laec\"", "\"leac\"")),
+            Err(SpecError::UnknownScheme("leac".to_string()))
+        );
+        assert_eq!(
+            CampaignSpec::from_json(&valid.replace("\"wb\"", "\"bw\"")),
+            Err(SpecError::UnknownPlatform("bw".to_string()))
+        );
+        assert_eq!(
+            CampaignSpec::from_json(&valid.replace("\"data\"", "\"dta\"")),
+            Err(SpecError::UnknownFaultTarget("dta".to_string()))
+        );
+        assert_eq!(
+            CampaignSpec::from_json(&valid.replace("\"full\"", "\"fulll\"")),
+            Err(SpecError::UnknownModeKind("fulll".to_string()))
+        );
+        assert_eq!(
+            CampaignSpec::from_json(
+                &valid.replace("\"fault_interval\": 1000", "\"fault_interval\": \"x\"")
+            ),
+            Err(SpecError::InvalidField("fault_interval"))
+        );
+        assert_eq!(
+            CampaignSpec::from_json("{\"version\": 2}"),
+            Err(SpecError::MissingField("schemes"))
+        );
+    }
+}

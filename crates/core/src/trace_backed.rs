@@ -48,8 +48,8 @@ use laec_workloads::Workload;
 
 use crate::campaign::{
     assemble_report, cell_from_result, default_threads, fnv1a, job_injection_seed,
-    registers_fingerprint, run_job, run_pool, scheme_from_label, scheme_label, CampaignCell,
-    CampaignReport, CampaignSpec, Job, PlatformVariant,
+    registers_fingerprint, run_job, run_pool, CampaignCell, CampaignReport, CampaignSpec, Job,
+    PlatformVariant,
 };
 
 /// Execution counters of one trace-backed campaign.
@@ -119,8 +119,8 @@ pub fn record_cell(
     let config = platform_config(scheme, platform);
     let context = TraceContext::new(
         workload.name.clone(),
-        scheme_label(scheme),
-        platform.label(),
+        scheme.to_string(),
+        platform.to_string(),
         cell_fingerprint(spec, scheme, platform),
     );
     let shared = SharedSink::new(TraceRecorder::with_detail(context, detail));
@@ -181,9 +181,14 @@ pub fn replay_cell_events(
     if header.workload != workload.name {
         return Err(corrupt("trace belongs to a different workload"));
     }
-    let scheme = scheme_from_label(&header.scheme).ok_or(corrupt("unknown scheme label"))?;
-    let platform =
-        PlatformVariant::from_label(&header.platform).ok_or(corrupt("unknown platform label"))?;
+    let scheme: EccScheme = header
+        .scheme
+        .parse()
+        .map_err(|_| corrupt("unknown scheme label"))?;
+    let platform: PlatformVariant = header
+        .platform
+        .parse()
+        .map_err(|_| corrupt("unknown platform label"))?;
     if header.context_fingerprint != cell_fingerprint(spec, scheme, platform) {
         return Err(corrupt(
             "trace was recorded under a different configuration",
@@ -288,8 +293,8 @@ pub(crate) fn obtain_recording(
 ) -> (CampaignCell, Trace, Vec<TraceEvent>, Origin) {
     let file_name = trace_file_name(
         &workload.name,
-        &scheme_label(scheme),
-        &platform.label(),
+        &scheme.to_string(),
+        &platform.to_string(),
         cell_fingerprint(spec, scheme, platform),
     );
     if let Some(dir) = cache_dir {
@@ -321,13 +326,28 @@ pub(crate) fn obtain_recording(
 /// (or loaded from `cache_dir`) once per workload × platform × scheme and
 /// recorded; faulty cells replay the recording per fault seed, falling
 /// back to full simulation on divergence.  The report is byte-identical to
-/// [`crate::campaign::run_campaign`] with the same spec.
+/// the full-simulation engine with the same spec.
 ///
 /// # Panics
 ///
 /// Panics if a worker thread panics.
+#[deprecated(
+    note = "build a `laec_core::spec::CampaignSpec` with `ExecutionMode::TraceBacked` and use \
+            `laec_core::spec::Campaign::run` (reports are byte-identical)"
+)]
 #[must_use]
 pub fn run_campaign_trace_backed(
+    spec: &CampaignSpec,
+    threads: usize,
+    cache_dir: Option<&Path>,
+) -> TracedCampaign {
+    execute_trace_backed(spec, threads, cache_dir)
+}
+
+/// The record-once/replay-per-seed engine behind [`run_campaign_trace_backed`]
+/// and [`crate::spec::TraceBackedEngine`].
+#[must_use]
+pub(crate) fn execute_trace_backed(
     spec: &CampaignSpec,
     threads: usize,
     cache_dir: Option<&Path>,

@@ -4,7 +4,7 @@
 //! deterministic single/double flips at chosen positions (for directed tests
 //! of the correction logic) and randomised flips following a configurable
 //! single/double error mix (for statistical campaigns).  Both operate on a
-//! [`Codeword`](crate::Codeword)-shaped view: a flip targets either the data
+//! [`Codeword`]-shaped view: a flip targets either the data
 //! array or the check (ECC) array, exactly like a particle strike would.
 
 use crate::code::Codeword;

@@ -13,9 +13,9 @@
 //!   (fault-injection campaigns can check architectural state bit-for-bit),
 //! * a fixed 32-bit binary [`encoding`] (so instruction caches hold real
 //!   bytes and the encode/decode path is testable),
-//! * a text [`assembler`] and a typed [`ProgramBuilder`](program::ProgramBuilder)
+//! * a text [`assembler`] and a typed [`ProgramBuilder`]
 //!   for writing workloads, and
-//! * [`Program`](program::Program), the unit the simulator executes.
+//! * [`Program`], the unit the simulator executes.
 //!
 //! # Example
 //!

@@ -1,7 +1,7 @@
 //! Set-associative cache with per-word ECC protection.
 //!
 //! The cache stores real data: every 32-bit word is kept as a
-//! [`Codeword`](laec_ecc::Codeword) (data + check bits of the configured
+//! [`Codeword`] (data + check bits of the configured
 //! code), exactly like the data array + ECC array pair of a hardware cache.
 //! Reads run the decoder, record the outcome, and scrub correctable errors in
 //! place.  The timing of *when* the check happens (same cycle, extra cycle,

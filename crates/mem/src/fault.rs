@@ -94,11 +94,46 @@ impl FaultTarget {
     /// Parses a CLI label.
     #[must_use]
     pub fn from_label(label: &str) -> Option<Self> {
+        label.parse().ok()
+    }
+}
+
+impl core::fmt::Display for FaultTarget {
+    /// The canonical label ([`FaultTarget::label`]); round-trips through
+    /// the [`FromStr`](core::str::FromStr) impl.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The error of [`FaultTarget`]'s `FromStr`: the offending label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultTargetError {
+    /// The label that named no fault target.
+    pub label: String,
+}
+
+impl core::fmt::Display for ParseFaultTargetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unknown fault target `{}`", self.label)
+    }
+}
+
+impl std::error::Error for ParseFaultTargetError {}
+
+impl std::str::FromStr for FaultTarget {
+    type Err = ParseFaultTargetError;
+
+    /// Parses a canonical target label (`data`, `state`, `tag`); `mesi` is
+    /// accepted as an alias for `state`.
+    fn from_str(label: &str) -> Result<Self, Self::Err> {
         match label {
-            "data" => Some(FaultTarget::Data),
-            "state" | "mesi" => Some(FaultTarget::State),
-            "tag" => Some(FaultTarget::Tag),
-            _ => None,
+            "data" => Ok(FaultTarget::Data),
+            "state" | "mesi" => Ok(FaultTarget::State),
+            "tag" => Ok(FaultTarget::Tag),
+            _ => Err(ParseFaultTargetError {
+                label: label.to_string(),
+            }),
         }
     }
 }
@@ -174,7 +209,7 @@ pub struct FaultCampaignReport {
     pub skipped_empty: u64,
 }
 
-/// Drives periodic fault injection into a [`MemorySystem`].
+/// Drives periodic fault injection into a [`MemorySystem`](crate::MemorySystem).
 #[derive(Debug)]
 pub struct FaultCampaign {
     config: FaultCampaignConfig,

@@ -9,7 +9,7 @@
 //!
 //! Only one core executes a task in the paper's evaluation (§IV); the other
 //! cores' bus traffic can be represented with
-//! [`Interference`](crate::bus::Interference) for the contention-oriented
+//! [`Interference`] for the contention-oriented
 //! ablation.
 
 use laec_ecc::{ErrorInjector, FlipPlan, Outcome};

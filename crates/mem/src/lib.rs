@@ -59,6 +59,7 @@ pub use coherence::{MesiState, SnoopResult};
 pub use config::{AllocatePolicy, CacheConfig, HierarchyConfig, WritePolicy};
 pub use fault::{
     FaultCampaign, FaultCampaignConfig, FaultCampaignReport, FaultPattern, FaultTarget,
+    ParseFaultTargetError,
 };
 pub use hierarchy::{inject_random_cache_fault, LoadResponse, MemorySystem, StoreResponse};
 pub use memory::MainMemory;

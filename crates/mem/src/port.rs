@@ -2,7 +2,7 @@
 //!
 //! `laec_pipeline::Simulator` talks to its data memory exclusively through
 //! this trait, so the same pipeline model runs against the uniprocessor
-//! [`MemorySystem`](crate::hierarchy::MemorySystem) *and* against one core's
+//! [`MemorySystem`] *and* against one core's
 //! port of the MESI-coherent multi-core hierarchy in `laec_smp` — the
 //! coherent port mirrors the uniprocessor's timing and statistics exactly
 //! when no other core shares the system, which is what makes single-core SMP

@@ -54,7 +54,7 @@ pub mod stats;
 pub use chronogram::{Chronogram, TraceEntry};
 pub use config::PipelineConfig;
 pub use hazards::{decide_lookahead, LookaheadBlock, LookaheadDecision, PreviousInstruction};
-pub use scheme::EccScheme;
+pub use scheme::{EccScheme, ParseSchemeError};
 pub use simulator::{SimResult, Simulator};
 pub use stage::Stage;
 pub use stats::PipelineStats;

@@ -100,12 +100,54 @@ impl EccScheme {
 }
 
 impl fmt::Display for EccScheme {
+    /// The scheme's canonical label — the exact string reports, traces and
+    /// the CLI use (`no-ecc`, `extra-cycle`, `extra-stage`, `laec`,
+    /// `speculate-flushN`).  The [`FromStr`](std::str::FromStr) impl parses it back, so
+    /// `Display`/`FromStr` round-trip for every variant.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EccScheme::SpeculateFlush { flush_penalty } => {
-                write!(f, "speculate-flush(penalty={flush_penalty})")
+                write!(f, "speculate-flush{flush_penalty}")
             }
             other => f.write_str(other.id()),
+        }
+    }
+}
+
+/// The error of [`EccScheme`]'s `FromStr`: the offending label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError {
+    /// The label that named no scheme.
+    pub label: String,
+}
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown scheme `{}`", self.label)
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl std::str::FromStr for EccScheme {
+    type Err = ParseSchemeError;
+
+    /// Parses a canonical scheme label (see the [`fmt::Display`] impl);
+    /// `speculate-flushN` selects an N-cycle flush penalty, and `noecc` is
+    /// accepted as an alias for `no-ecc`.
+    fn from_str(label: &str) -> Result<Self, Self::Err> {
+        match label {
+            "no-ecc" | "noecc" => Ok(EccScheme::NoEcc),
+            "extra-cycle" => Ok(EccScheme::ExtraCycle),
+            "extra-stage" => Ok(EccScheme::ExtraStage),
+            "laec" => Ok(EccScheme::Laec),
+            _ => label
+                .strip_prefix("speculate-flush")
+                .and_then(|n| n.parse().ok())
+                .map(|flush_penalty| EccScheme::SpeculateFlush { flush_penalty })
+                .ok_or_else(|| ParseSchemeError {
+                    label: label.to_string(),
+                }),
         }
     }
 }
@@ -153,7 +195,29 @@ mod tests {
         assert_eq!(EccScheme::Laec.to_string(), "laec");
         assert_eq!(
             EccScheme::SpeculateFlush { flush_penalty: 7 }.to_string(),
-            "speculate-flush(penalty=7)"
+            "speculate-flush7"
         );
+    }
+
+    /// Display and FromStr are inverses over every variant, including the
+    /// `speculate-flush0` payload edge; bad labels are typed errors.
+    #[test]
+    fn display_from_str_round_trips_every_variant() {
+        for scheme in [
+            EccScheme::NoEcc,
+            EccScheme::ExtraCycle,
+            EccScheme::ExtraStage,
+            EccScheme::Laec,
+            EccScheme::SpeculateFlush { flush_penalty: 0 },
+            EccScheme::SpeculateFlush {
+                flush_penalty: u32::MAX,
+            },
+        ] {
+            assert_eq!(scheme.to_string().parse(), Ok(scheme));
+        }
+        assert_eq!("noecc".parse(), Ok(EccScheme::NoEcc));
+        let error = "nope".parse::<EccScheme>().unwrap_err();
+        assert_eq!(error.label, "nope");
+        assert_eq!(error.to_string(), "unknown scheme `nope`");
     }
 }

@@ -104,7 +104,7 @@ struct RecentProducer {
 /// The simulator for one program under one configuration.
 ///
 /// Generic over its data-memory backend: the default
-/// [`MemorySystem`](laec_mem::MemorySystem) is the paper's uniprocessor
+/// [`MemorySystem`] is the paper's uniprocessor
 /// hierarchy; `laec_smp` plugs in one core's port of a MESI-coherent
 /// multi-core hierarchy instead.
 #[derive(Debug)]

@@ -32,7 +32,7 @@ use crate::varint;
 /// Current format version; readers reject anything newer.
 ///
 /// * v1 — single-core recordings: no core-id markers in the stream.
-/// * v2 — events carry a core id, run-length-encoded as an [`OP_CORE`]
+/// * v2 — events carry a core id, run-length-encoded as an `OP_CORE`
 ///   switch marker emitted only when the id changes.  v1 containers decode
 ///   unchanged with every event on core 0 (a v2 stream with no markers is
 ///   byte-identical to the v1 encoding of the same single-core events).

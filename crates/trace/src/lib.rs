@@ -14,7 +14,7 @@
 //! * [`event`] — the [`TraceEvent`] record model (fetch / mem-read /
 //!   mem-write / commit / stall / line-fill / writeback, with cycle stamps),
 //! * [`varint`] — the LEB128 + zigzag primitives of the binary format,
-//! * [`format`] — the versioned, delta-encoded binary container
+//! * [`format`](mod@format) — the versioned, delta-encoded binary container
 //!   ([`Trace`], [`TraceHeader`], [`TraceSummary`], iterator-based reader),
 //! * [`record`] — the capture side: the [`TraceSink`] trait that
 //!   `laec_pipeline::Simulator` and `laec_mem::MemorySystem` emit into

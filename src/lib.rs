@@ -31,6 +31,42 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The one-stop import for driving campaigns through the unified API.
+///
+/// Brings in the serializable [`CampaignSpec`](laec_core::spec::CampaignSpec)
+/// (v2: grid axes + execution mode), the typed
+/// [`CampaignBuilder`](laec_core::spec::CampaignBuilder), the
+/// [`Campaign`](laec_core::spec::Campaign) dispatcher and everything a spec
+/// is made of.
+///
+/// ```
+/// use laec::prelude::*;
+///
+/// let validated = CampaignBuilder::smoke()
+///     .named_workloads(["vector_sum"])
+///     .schemes([EccScheme::NoEcc, EccScheme::Laec])
+///     .validate()
+///     .expect("a valid spec");
+/// let outcome = Campaign::new(validated).run(2);
+/// assert!(outcome.architecturally_equivalent());
+/// ```
+pub mod prelude {
+    pub use laec_core::campaign::{
+        render_campaign, CampaignCell, CampaignReport, PlatformVariant, WorkloadSet,
+    };
+    pub use laec_core::sampling::{
+        render_sampled, SampleExecution, SampledReport, Sampler, SamplingPlan,
+    };
+    pub use laec_core::spec::{
+        engine_for, Campaign, CampaignBuilder, CampaignEngine, CampaignOutcome, CampaignSpec,
+        EngineCaps, ExecutionMode, SpecError, ValidatedSpec,
+    };
+    pub use laec_core::trace_backed::TraceBackedStats;
+    pub use laec_mem::FaultTarget;
+    pub use laec_pipeline::{EccScheme, PipelineConfig, Simulator};
+    pub use laec_workloads::GeneratorConfig;
+}
+
 pub use laec_core as core;
 pub use laec_ecc as ecc;
 pub use laec_isa as isa;

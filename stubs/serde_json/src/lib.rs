@@ -1,27 +1,424 @@
-//! Offline stand-in for `serde_json`: serialization only.
+//! Offline stand-in for `serde_json`.
 //!
-//! Backed by the streaming JSON writer in the vendored `serde` subset.
-//! Parsing (`from_str`) is intentionally absent — nothing in this workspace
-//! decodes JSON, and the offline `serde::Deserialize` is a marker trait.
+//! Serialization is backed by the streaming JSON writer in the vendored
+//! `serde` subset.  Parsing is provided through a self-describing [`Value`]
+//! tree ([`parse`] / [`Value::from_str`]) rather than derive-based
+//! deserialization: the offline `serde::Deserialize` is a marker trait, so
+//! consumers that decode JSON (e.g. the campaign spec loader) walk a
+//! [`Value`] explicitly.
 
 #![forbid(unsafe_code)]
 
+use std::str::FromStr;
+
 use serde::{Serialize, Serializer};
 
-/// Serialization error.
-///
-/// The offline writer is infallible (it writes to a `String`), so this type
-/// exists only to keep call sites source-compatible with upstream.
+/// Serialization or parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);
 
+impl Error {
+    fn parse(offset: usize, message: impl Into<String>) -> Self {
+        Error(format!("at byte {offset}: {}", message.into()))
+    }
+}
+
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON serialization error: {}", self.0)
+        write!(f, "JSON error: {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------------
+// Value tree + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON document.
+///
+/// Numbers keep their literal text so integer precision is never lost to an
+/// intermediate `f64` (campaign seeds are full-range `u64`s); object members
+/// preserve their source order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its literal token.
+    Number(String),
+    /// A string (escapes already resolved).
+    String(String),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// An object, as `(key, value)` members in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object (`None` for other shapes or missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value),
+            _ => None,
+        }
+    }
+
+    /// `true` for JSON `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(text) => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a number with an exact `u64` value.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(text) => text.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64`, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(text) => text.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(elements) => Some(elements),
+            _ => None,
+        }
+    }
+
+    /// The members in source order, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+impl FromStr for Value {
+    type Err = Error;
+
+    fn from_str(text: &str) -> Result<Self, Error> {
+        parse(text)
+    }
+}
+
+/// Parses one JSON document (surrounding whitespace allowed, nothing else).
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the byte offset of the first syntax problem.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::parse(parser.pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+/// Hard ceiling on array/object nesting: a corrupt or hostile document
+/// must come back as a parse [`Error`], not blow the call stack (upstream
+/// serde_json guards recursion the same way).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(
+                self.pos,
+                format!("expected `{}`", byte as char),
+            ))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(self.pos, format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(Error::parse(
+                self.pos,
+                format!("unexpected character `{}`", other as char),
+            )),
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(Error::parse(self.pos, "expected digits"));
+        }
+        // RFC 8259: no leading zeros — stay byte-compatible with every
+        // external JSON tool a committed spec may meet.
+        if self.bytes[digits_from] == b'0' && self.pos - digits_from > 1 {
+            return Err(Error::parse(digits_from, "leading zeros are not allowed"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(Error::parse(self.pos, "expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(Error::parse(self.pos, "expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are ASCII")
+            .to_string();
+        Ok(Value::Number(text))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| Error::parse(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex_unit()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: require the paired low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.hex_unit()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::parse(self.pos, "unpaired surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            out.push(
+                                c.ok_or_else(|| Error::parse(self.pos, "invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::parse(
+                                self.pos,
+                                format!("invalid escape `\\{}`", other as char),
+                            ));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one whole UTF-8 scalar from the source text.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::parse(self.pos, "invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peek saw a byte");
+                    if (c as u32) < 0x20 {
+                        return Err(Error::parse(self.pos, "unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex_unit(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::parse(self.pos, "truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::parse(self.pos, "invalid unicode escape"))?;
+        let unit = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::parse(self.pos, "invalid unicode escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::parse(
+                self.pos,
+                format!("structure nesting exceeds {MAX_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.enter()?;
+        let mut elements = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(elements));
+        }
+        loop {
+            self.skip_whitespace();
+            elements.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(elements));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        self.enter()?;
+        let mut members: Vec<(String, Value)> = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_whitespace();
+            let key_at = self.pos;
+            let key = self.string()?;
+            // A duplicate key is almost always a misplaced edit; silently
+            // keeping either copy would run a different document than the
+            // one the user believes they wrote.
+            if members.iter().any(|(name, _)| *name == key) {
+                return Err(Error::parse(key_at, format!("duplicate key `{key}`")));
+            }
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `}`")),
+            }
+        }
+    }
+}
 
 /// Serializes `value` as a compact JSON string.
 ///
@@ -81,6 +478,95 @@ mod tests {
     fn derived_enum_serializes_as_variant_name() {
         assert_eq!(super::to_string(&Kind::Alpha).unwrap(), "\"Alpha\"");
         assert_eq!(super::to_string(&Kind::Beta).unwrap(), "\"Beta\"");
+    }
+
+    #[test]
+    fn parser_round_trips_serializer_output() {
+        let sample = Sample {
+            name: "laec \"quoted\"\n".to_string(),
+            values: vec![1.0, 2.5, -3.25e2],
+            flag: true,
+            count: Some(u64::MAX),
+        };
+        for text in [
+            super::to_string(&sample).unwrap(),
+            super::to_string_pretty(&sample).unwrap(),
+        ] {
+            let value = super::parse(&text).expect("serializer output parses");
+            assert_eq!(
+                value.get("name").and_then(super::Value::as_str),
+                Some("laec \"quoted\"\n")
+            );
+            assert_eq!(
+                value.get("count").and_then(super::Value::as_u64),
+                Some(u64::MAX),
+                "u64 precision must survive (not round through f64)"
+            );
+            let values = value
+                .get("values")
+                .and_then(super::Value::as_array)
+                .unwrap();
+            assert_eq!(values[2].as_f64(), Some(-325.0));
+            assert_eq!(
+                value.get("flag").and_then(super::Value::as_bool),
+                Some(true)
+            );
+        }
+    }
+
+    #[test]
+    fn parser_accepts_standard_json_shapes() {
+        let value =
+            super::parse("  { \"a\" : [ null , true , \"\\u0041\\ud83d\\ude00\" ] , \"b\" : {} } ")
+                .unwrap();
+        let a = value.get("a").and_then(super::Value::as_array).unwrap();
+        assert!(a[0].is_null());
+        assert_eq!(a[2].as_str(), Some("A\u{1F600}"));
+        assert_eq!(
+            value.get("b").and_then(super::Value::as_object),
+            Some(&[][..])
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{'a':1}",
+            "[1] trailing",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "01x",
+            // RFC 8259 leading zeros — external tools reject these too.
+            "01",
+            "-01",
+            "[0123]",
+            // Duplicate keys silently drop one of the user's two values.
+            "{\"a\":1,\"a\":2}",
+        ] {
+            assert!(super::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+        // Lone zeros (and 0-prefixed fractions) remain fine.
+        assert!(super::parse("0").is_ok());
+        assert!(super::parse("[0, -0.5, 0.125e2]").is_ok());
+    }
+
+    #[test]
+    fn parser_bounds_nesting_depth_instead_of_overflowing_the_stack() {
+        let mut deep = "[".repeat(200_000);
+        deep.push_str(&"]".repeat(200_000));
+        assert!(super::parse(&deep).is_err(), "must error, not crash");
+        // 100 levels is comfortably inside the limit.
+        let mut fine = "[".repeat(100);
+        fine.push('1');
+        fine.push_str(&"]".repeat(100));
+        assert!(super::parse(&fine).is_ok());
     }
 
     #[test]

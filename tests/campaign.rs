@@ -2,9 +2,12 @@
 //! worker counts (the report must be byte-identical), and architectural
 //! equivalence across every cell of a multi-platform grid.
 
-use laec::core::campaign::{run_campaign, CampaignSpec, PlatformVariant, WorkloadSet};
+use laec::core::campaign::{CampaignSpec, PlatformVariant, WorkloadSet};
 use laec::pipeline::EccScheme;
 use laec::workloads::GeneratorConfig;
+
+mod common;
+use common::run_campaign;
 
 fn test_spec() -> CampaignSpec {
     CampaignSpec {

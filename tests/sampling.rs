@@ -3,11 +3,14 @@
 //! exhaustive grid's estimate), determinism across worker counts, and
 //! checkpoint/kill/resume byte-identity.
 
-use laec::core::campaign::{run_campaign, CampaignSpec, WorkloadSet};
+use laec::core::campaign::{CampaignSpec, WorkloadSet};
 use laec::core::sampling::{
-    run_campaign_sampled, SampleExecution, SampledReport, Sampler, SamplerCheckpoint, SamplingPlan,
+    SampleExecution, SampledReport, Sampler, SamplerCheckpoint, SamplingPlan,
 };
 use laec::pipeline::EccScheme;
+
+mod common;
+use common::{run_campaign, run_campaign_sampled};
 
 /// A grid small enough to sample exhaustively in-test but harsh enough
 /// (dense upsets on a tiny kernel) that failure rates are non-trivial.

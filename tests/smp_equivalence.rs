@@ -1,17 +1,19 @@
 //! The SMP equivalence anchor and the coherence-metadata fault classes.
 //!
 //! 1. A 1-core SMP system must be indistinguishable from the uniprocessor
-//!    engine: `run_campaign_smp` (which builds a real `laec_smp` system for
-//!    every cell) must serialize *byte-identically* to `run_campaign` over
-//!    the full workload × scheme grid — fault-free and fault-injecting,
-//!    write-back and write-through.
+//!    engine: `ExecutionMode::Smp` (which builds a real `laec_smp` system
+//!    for every cell) must serialize *byte-identically* to
+//!    `ExecutionMode::Full` over the full workload × scheme grid —
+//!    fault-free and fault-injecting, write-back and write-through.
 //! 2. Metadata strikes (MESI state / tag bits) must surface as their own
 //!    silent-data-corruption classes in the report.
 
-use laec::core::campaign::{run_campaign, CampaignSpec, PlatformVariant, WorkloadSet};
-use laec::core::run_campaign_smp;
+use laec::core::campaign::{CampaignSpec, PlatformVariant, WorkloadSet};
 use laec::mem::FaultTarget;
 use laec::pipeline::EccScheme;
+
+mod common;
+use common::{run_campaign, run_campaign_smp};
 
 fn anchor_spec() -> CampaignSpec {
     let mut spec = CampaignSpec::smoke();

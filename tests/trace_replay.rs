@@ -5,9 +5,11 @@
 
 use std::path::PathBuf;
 
-use laec::core::campaign::{run_campaign, CampaignSpec, PlatformVariant, WorkloadSet};
-use laec::core::trace_backed::run_campaign_trace_backed;
+use laec::core::campaign::{CampaignSpec, PlatformVariant, WorkloadSet};
 use laec::pipeline::EccScheme;
+
+mod common;
+use common::{run_campaign, run_campaign_trace_backed};
 
 /// Two workloads × two ECC schemes × fault seeds on the paper platform:
 /// the acceptance grid of the subsystem.
