@@ -37,7 +37,7 @@ use laec_core::{
     render_fault_campaign, render_figure8, render_hazard_breakdown, render_table1, render_table2,
     render_wt_vs_wb, table1_commercial_processors,
 };
-use laec_mem::{FaultCampaignConfig, FaultPattern, FaultTarget};
+use laec_mem::{FaultCampaignConfig, FaultPattern, FaultTarget, ProtocolKind};
 use laec_pipeline::{EccScheme, PipelineConfig};
 use laec_smp::{SmpSystem, StopPolicy};
 use laec_trace::{Trace, TraceDetail, TraceEvent};
@@ -91,6 +91,12 @@ campaign FLAGS:
                       to wb (a 1-core SMP system is the uniprocessor)
     --cores <N>       Shorthand: replace every wb platform with smpN (N >= 2;
                       N = 1 keeps the uniprocessor, which is byte-identical)
+    --protocol <P>    Coherence protocol for smpN platforms: mesi (default,
+                      invalidate-based), dragon (update-based: writes to
+                      shared lines broadcast the written bytes instead of
+                      invalidating) or moesi (Owned state: dirty lines are
+                      supplied cache-to-cache without a memory write).
+                      dragon/moesi require an all-smpN platform axis
     --fault-seeds <csv>
                       Fault-axis seeds; one faulty run per seed per cell
                       (default: none, fault-free grid only)
@@ -147,6 +153,7 @@ smp SUBCOMMANDS (laec-cli smp <run|list> [FLAGS]):
                             false_sharing (required)
         --cores <N>         Core count (default 2)
         --schemes <label>   Scheme for every core (default laec)
+        --protocol <P>      Coherence protocol: mesi (default), dragon, moesi
     list              List the shared-memory kernels
 
 trace SUBCOMMANDS (laec-cli trace <record|replay|info> [FLAGS]):
@@ -242,6 +249,7 @@ struct Flags {
     fault_seeds: Vec<u64>,
     pattern: FaultPattern,
     fault_target: Option<FaultTarget>,
+    protocol: Option<ProtocolKind>,
     cores: Option<u32>,
     kernel: Option<String>,
     trace_backed: bool,
@@ -277,6 +285,7 @@ impl Flags {
             fault_seeds: Vec::new(),
             pattern: FaultPattern::SingleBit,
             fault_target: None,
+            protocol: None,
             cores: None,
             kernel: None,
             trace_backed: false,
@@ -350,6 +359,11 @@ impl Flags {
                     let label = value("--fault-target")?;
                     flags.fault_target =
                         Some(label.parse::<FaultTarget>().map_err(|e| e.to_string())?);
+                }
+                "--protocol" => {
+                    let label = value("--protocol")?;
+                    flags.protocol =
+                        Some(label.parse::<ProtocolKind>().map_err(|e| e.to_string())?);
                 }
                 "--cores" => {
                     let cores = parse_u64(value("--cores")?)?;
@@ -487,6 +501,7 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
             ("--fault-seeds", !flags.fault_seeds.is_empty()),
             ("--fault-interval", flags.interval.is_some()),
             ("--fault-target", flags.fault_target.is_some()),
+            ("--protocol", flags.protocol.is_some()),
             ("--cores", flags.cores.is_some()),
             ("--trace-backed", flags.trace_backed),
             ("--trace-cache", flags.trace_cache.is_some()),
@@ -597,6 +612,9 @@ fn build_spec_from_flags(flags: &Flags) -> Result<SpecV2, String> {
     }
     if let Some(target) = flags.fault_target {
         builder = builder.fault_target(target);
+    }
+    if let Some(protocol) = flags.protocol {
+        builder = builder.protocol(protocol);
     }
     if let Some(cores) = flags.cores {
         if cores > 1 {
@@ -723,12 +741,14 @@ struct SmpRunSummary {
     kernel: String,
     cores: usize,
     scheme: String,
+    protocol: String,
     result_word: u32,
     expected: Option<u32>,
     snoop_lookups: u64,
     invalidations: u64,
     interventions: u64,
     upgrades: u64,
+    bus_updates: u64,
     per_core: Vec<SmpCoreRow>,
 }
 
@@ -751,8 +771,9 @@ fn cmd_smp_run(flags: &Flags) -> Result<(), String> {
         .iter()
         .map(|p| p.name().to_string())
         .collect();
+    let protocol = flags.protocol.unwrap_or(ProtocolKind::Mesi);
     let configs = vec![PipelineConfig::for_scheme(scheme); workload.programs.len()];
-    let mut system = SmpSystem::new(workload.programs, configs);
+    let mut system = SmpSystem::with_protocol(workload.programs, configs, protocol);
     let run = system.run(StopPolicy::AllHalt);
     let result_word = system
         .memory()
@@ -761,12 +782,14 @@ fn cmd_smp_run(flags: &Flags) -> Result<(), String> {
         kernel: name.clone(),
         cores: run.cores.len(),
         scheme: scheme.to_string(),
+        protocol: protocol.to_string(),
         result_word,
         expected,
         snoop_lookups: run.coherence.snoop_lookups,
         invalidations: run.coherence.invalidations,
         interventions: run.coherence.interventions,
         upgrades: run.coherence.upgrades,
+        bus_updates: run.coherence.bus_updates,
         per_core: run
             .cores
             .iter()
@@ -797,10 +820,11 @@ fn cmd_smp_run(flags: &Flags) -> Result<(), String> {
         );
     } else {
         println!(
-            "{} on {} core(s) under {}: result {:#x}{}",
+            "{} on {} core(s) under {} ({}): result {:#x}{}",
             summary.kernel,
             summary.cores,
             summary.scheme,
+            summary.protocol,
             summary.result_word,
             match expected {
                 Some(value) => format!(" (expected {value:#x}, OK)"),
@@ -808,8 +832,13 @@ fn cmd_smp_run(flags: &Flags) -> Result<(), String> {
             },
         );
         println!(
-            "coherence: {} snoop lookups, {} invalidations, {} interventions, {} upgrades",
-            summary.snoop_lookups, summary.invalidations, summary.interventions, summary.upgrades,
+            "coherence: {} snoop lookups, {} invalidations, {} interventions, {} upgrades, \
+             {} bus updates",
+            summary.snoop_lookups,
+            summary.invalidations,
+            summary.interventions,
+            summary.upgrades,
+            summary.bus_updates,
         );
         println!(
             "{:>4} {:<28} {:>10} {:>12} {:>8} {:>9} {:>8} {:>8}",

@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-use laec_mem::{FaultCampaignConfig, FaultTarget, HierarchyConfig, Interference};
+use laec_mem::{FaultCampaignConfig, FaultTarget, HierarchyConfig, Interference, ProtocolKind};
 use laec_pipeline::{EccScheme, PipelineConfig};
 use laec_workloads::{eembc_suite, kernel_suite, GeneratorConfig, Workload};
 use serde::{Deserialize, Serialize};
@@ -253,9 +253,14 @@ pub struct CampaignSpec {
     /// Mean cycles between injected single-bit upsets on faulty runs.
     pub fault_interval: u64,
     /// Which DL1 array faulty runs strike: the ECC-protected data array
-    /// (default) or the unprotected coherence metadata (MESI state bits or
+    /// (default) or the unprotected coherence metadata (state bits or
     /// address tags) — see [`FaultTarget`].
     pub fault_target: FaultTarget,
+    /// The coherence protocol governing [`PlatformVariant::Smp`] cells
+    /// (MESI by default; single-core platforms never take a
+    /// protocol-dependent transition, and the spec layer rejects non-MESI
+    /// protocols on grids without an SMP platform).
+    pub protocol: ProtocolKind,
     /// Master seed; every per-job injection seed derives from it and the
     /// job's grid coordinates only.
     pub seed: u64,
@@ -274,6 +279,7 @@ impl CampaignSpec {
             fault_seeds: Vec::new(),
             fault_interval: 5_000,
             fault_target: FaultTarget::Data,
+            protocol: ProtocolKind::Mesi,
             seed: 0x1AEC,
         }
     }
@@ -289,6 +295,7 @@ impl CampaignSpec {
             fault_seeds: Vec::new(),
             fault_interval: 1_000,
             fault_target: FaultTarget::Data,
+            protocol: ProtocolKind::Mesi,
             seed: 0x1AEC,
         }
     }
@@ -717,7 +724,7 @@ pub(crate) fn run_job(spec: &CampaignSpec, workloads: &[Workload], job: Job) -> 
     let config = job_config(spec, job);
     let fault_seed = job.fault.map(|index| spec.fault_seeds[index]);
     let result = if platform.cores() > 1 {
-        crate::smp_campaign::run_observed_core(workload, config, platform.cores())
+        crate::smp_campaign::run_observed_core(workload, config, platform.cores(), spec.protocol)
     } else {
         run_with_config(workload, config)
     };

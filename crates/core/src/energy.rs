@@ -32,6 +32,10 @@ pub struct EnergyModel {
     /// Energy of one remote-copy invalidation (the state-array write a
     /// successful write-intent snoop performs).
     pub invalidation_pj: f64,
+    /// Energy of one bus-update delivery into a remote copy (Dragon's
+    /// write-broadcast: a data-array write of the updated word, costlier
+    /// than flipping a state bit but far below a full line refill).
+    pub bus_update_pj: f64,
     /// Energy of one register-file read port access.
     pub register_read_pj: f64,
     /// Energy of one SECDED encode or check.
@@ -54,6 +58,7 @@ impl EnergyModel {
             // 16 KB data array); an invalidation adds one state-bit write.
             snoop_probe_pj: 1.8,
             invalidation_pj: 4.0,
+            bus_update_pj: 6.0,
             register_read_pj: 0.15,
             ecc_check_pj: 2.5,
             leakage_mw: 12.0,
@@ -78,7 +83,8 @@ pub struct EnergyBreakdown {
     /// Dynamic energy of bus transactions.
     pub bus_pj: f64,
     /// Dynamic energy of coherence traffic: remote snoop probes plus
-    /// invalidation state writes (0 on single-core runs).
+    /// invalidation state writes plus Dragon bus-update payload writes
+    /// (0 on single-core runs).
     pub snoop_pj: f64,
     /// Dynamic energy of register-file reads (including LAEC's extra ports).
     pub register_file_pj: f64,
@@ -140,7 +146,8 @@ impl EnergyModel {
             // Coherence traffic of the SMP bus: zero on single-core runs,
             // so uniprocessor energy numbers are unchanged by construction.
             snoop_pj: stats.mem.snoop_lookups as f64 * self.snoop_probe_pj
-                + stats.mem.invalidations_sent as f64 * self.invalidation_pj,
+                + stats.mem.invalidations_sent as f64 * self.invalidation_pj
+                + stats.mem.bus_updates_sent as f64 * self.bus_update_pj,
             register_file_pj: register_reads * self.register_read_pj,
             ecc_pj: ecc_events * self.ecc_check_pj,
             leakage_pj: self.leakage_mw * 1e-3 * seconds * 1e12,
@@ -265,8 +272,11 @@ mod tests {
         let mut smp = single;
         smp.mem.snoop_lookups = 3_000;
         smp.mem.invalidations_sent = 400;
+        smp.mem.bus_updates_sent = 250;
         let smp_breakdown = model.evaluate(EccScheme::Laec, &smp);
-        let expected = 3_000.0 * model.snoop_probe_pj + 400.0 * model.invalidation_pj;
+        let expected = 3_000.0 * model.snoop_probe_pj
+            + 400.0 * model.invalidation_pj
+            + 250.0 * model.bus_update_pj;
         assert!((smp_breakdown.snoop_pj - expected).abs() < 1e-9);
         assert!(
             (smp_breakdown.dynamic_pj() - single_breakdown.dynamic_pj() - expected).abs() < 1e-9,

@@ -17,6 +17,7 @@
 //!   uniprocessor engine byte-for-byte, which `tests/smp_equivalence.rs`
 //!   asserts over the full workload × scheme grid.
 
+use laec_mem::ProtocolKind;
 use laec_pipeline::{PipelineConfig, SimResult};
 use laec_smp::{SmpSystem, StopPolicy};
 use laec_workloads::{background_traffic, Workload};
@@ -36,16 +37,21 @@ const BACKGROUND_STRIDE: u32 = 0x0010_0000;
 /// keeps the shared bus and L2 busy.
 const BACKGROUND_LINES: u32 = 4096;
 
-/// Runs one cell's workload on core 0 of a `cores`-core system, with
-/// read-only background traffic on the remaining cores, until core 0
-/// halts.  Returns core 0's result with the system-wide final memory
-/// checksum.
+/// Runs one cell's workload on core 0 of a `cores`-core system coherent
+/// under `protocol`, with read-only background traffic on the remaining
+/// cores, until core 0 halts.  Returns core 0's result with the
+/// system-wide final memory checksum.
 ///
 /// # Panics
 ///
 /// Panics if `cores == 0`.
 #[must_use]
-pub fn run_observed_core(workload: &Workload, config: PipelineConfig, cores: u32) -> SimResult {
+pub fn run_observed_core(
+    workload: &Workload,
+    config: PipelineConfig,
+    cores: u32,
+    protocol: ProtocolKind,
+) -> SimResult {
     assert!(cores >= 1, "need at least the observed core");
     let mut programs = vec![workload.program.clone()];
     let mut configs = vec![config.clone()];
@@ -62,7 +68,7 @@ pub fn run_observed_core(workload: &Workload, config: PipelineConfig, cores: u32
             ..config.clone()
         });
     }
-    let mut system = SmpSystem::new(programs, configs);
+    let mut system = SmpSystem::with_protocol(programs, configs, protocol);
     let run = system.run(StopPolicy::ObservedCoreHalts);
     let mut result = run.cores.into_iter().next().expect("core 0 always exists");
     // The per-core checksum snapshot was taken when core 0 drained; the
@@ -126,7 +132,7 @@ pub(crate) fn execute_smp(spec: &CampaignSpec, threads: usize) -> CampaignReport
         let workload = &workloads[job.workload];
         let platform = spec.platforms[job.platform];
         let config = job_config(spec, job);
-        let result = run_observed_core(workload, config, platform.cores());
+        let result = run_observed_core(workload, config, platform.cores(), spec.protocol);
         cell_from_result(
             workload,
             spec.schemes[job.scheme],
@@ -151,8 +157,8 @@ mod tests {
             .find(|w| w.name == "cache_buster")
             .expect("miss-heavy kernel");
         let config = PipelineConfig::laec();
-        let alone = run_observed_core(&workload, config.clone(), 1);
-        let contended = run_observed_core(&workload, config, 4);
+        let alone = run_observed_core(&workload, config.clone(), 1, ProtocolKind::Mesi);
+        let contended = run_observed_core(&workload, config, 4, ProtocolKind::Mesi);
         assert_eq!(
             alone.registers, contended.registers,
             "background traffic never perturbs architecture"

@@ -50,7 +50,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
-use laec_mem::FaultTarget;
+use laec_mem::{FaultTarget, ProtocolKind};
 use laec_pipeline::EccScheme;
 use laec_workloads::GeneratorConfig;
 use serde::{Serialize, Serializer};
@@ -146,6 +146,8 @@ pub enum SpecError {
     UnknownPlatform(String),
     /// A fault-target label named no [`FaultTarget`].
     UnknownFaultTarget(String),
+    /// A protocol label named no [`ProtocolKind`].
+    UnknownProtocol(String),
     /// A workload-set `suite` tag named no [`WorkloadSet`] shape.
     UnknownWorkloadSet(String),
     /// A mode `kind` tag named no [`ExecutionMode`].
@@ -161,6 +163,17 @@ pub enum SpecError {
         /// The engine's capability name ([`EngineCaps::name`]).
         mode: &'static str,
         /// The offending platform's label.
+        platform: String,
+    },
+    /// A non-MESI coherence protocol was requested for a grid that
+    /// contains a single-core platform.  Dragon and MOESI only differ
+    /// from MESI when cores actually snoop each other, so running them
+    /// on `wb`/`wt`/`contendedN` would silently produce MESI-identical
+    /// numbers under a misleading label.
+    ProtocolNeedsSmp {
+        /// The requested protocol's label.
+        protocol: &'static str,
+        /// The first single-core platform's label.
         platform: String,
     },
     /// The spec carries fixed fault seeds *and* requests sampled
@@ -192,6 +205,9 @@ impl fmt::Display for SpecError {
             SpecError::UnknownScheme(label) => write!(f, "unknown scheme `{label}`"),
             SpecError::UnknownPlatform(label) => write!(f, "unknown platform `{label}`"),
             SpecError::UnknownFaultTarget(label) => write!(f, "unknown fault target `{label}`"),
+            SpecError::UnknownProtocol(label) => {
+                write!(f, "unknown coherence protocol `{label}`")
+            }
             SpecError::UnknownWorkloadSet(tag) => write!(f, "unknown workload suite `{tag}`"),
             SpecError::UnknownModeKind(tag) => write!(f, "unknown execution-mode kind `{tag}`"),
             SpecError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
@@ -199,6 +215,11 @@ impl fmt::Display for SpecError {
             SpecError::ModeIncompatiblePlatform { mode, platform } => write!(
                 f,
                 "{mode} execution does not support the multi-core `{platform}` platform"
+            ),
+            SpecError::ProtocolNeedsSmp { protocol, platform } => write!(
+                f,
+                "the `{protocol}` coherence protocol needs multi-core `smpN` platforms \
+                 (`{platform}` is single-core)"
             ),
             SpecError::FaultSeedsWithSampling => write!(
                 f,
@@ -252,6 +273,10 @@ pub struct CampaignSpec {
     pub fault_interval: u64,
     /// Which DL1 array faulty runs strike.
     pub fault_target: FaultTarget,
+    /// The coherence protocol governing multi-core cells (MESI by
+    /// default; Dragon and MOESI require an all-`smpN` platform axis —
+    /// see [`SpecError::ProtocolNeedsSmp`]).
+    pub protocol: ProtocolKind,
     /// Master seed; every derived seed is a pure function of it and grid
     /// coordinates.
     pub seed: u64,
@@ -271,6 +296,7 @@ impl CampaignSpec {
             fault_seeds: grid.fault_seeds.clone(),
             fault_interval: grid.fault_interval,
             fault_target: grid.fault_target,
+            protocol: grid.protocol,
             seed: grid.seed,
             mode,
         }
@@ -287,6 +313,7 @@ impl CampaignSpec {
             fault_seeds: self.fault_seeds.clone(),
             fault_interval: self.fault_interval,
             fault_target: self.fault_target,
+            protocol: self.protocol,
             seed: self.seed,
         }
     }
@@ -329,6 +356,8 @@ impl CampaignSpec {
     ///   suite,
     /// * [`SpecError::ModeIncompatiblePlatform`] — the mode's engine
     ///   cannot drive a platform in the grid (see [`EngineCaps`]),
+    /// * [`SpecError::ProtocolNeedsSmp`] — a non-MESI protocol with a
+    ///   single-core platform in the grid,
     /// * [`SpecError::FaultSeedsWithSampling`] — fixed fault seeds under
     ///   [`ExecutionMode::Sampled`],
     /// * [`SpecError::InvalidPlan`] — a structurally invalid sampling
@@ -358,6 +387,14 @@ impl CampaignSpec {
                 });
             }
         }
+        if self.protocol != ProtocolKind::Mesi {
+            if let Some(platform) = self.platforms.iter().find(|p| p.cores() <= 1) {
+                return Err(SpecError::ProtocolNeedsSmp {
+                    protocol: self.protocol.table().name(),
+                    platform: platform.to_string(),
+                });
+            }
+        }
         if !caps.fault_seed_axis && !self.fault_seeds.is_empty() {
             return Err(SpecError::FaultSeedsWithSampling);
         }
@@ -382,6 +419,7 @@ impl Serialize for CampaignSpec {
         serializer.field("fault_seeds", &self.fault_seeds);
         serializer.field("fault_interval", &self.fault_interval);
         serializer.field("fault_target", self.fault_target.label());
+        serializer.field("protocol", self.protocol.table().name());
         serializer.field("mode", &ModeJson(&self.mode));
         serializer.end_object();
     }
@@ -617,6 +655,7 @@ mod decode {
                 "fault_seeds",
                 "fault_interval",
                 "fault_target",
+                "protocol",
                 "mode",
             ],
         )?;
@@ -659,6 +698,17 @@ mod decode {
         let fault_target = fault_target_label
             .parse::<FaultTarget>()
             .map_err(|_| SpecError::UnknownFaultTarget(fault_target_label.to_string()))?;
+        // Optional for compatibility: specs written before the protocol
+        // axis existed (and hand-written MESI specs) omit it.
+        let protocol = match members.iter().find(|(name, _)| name == "protocol") {
+            None => ProtocolKind::Mesi,
+            Some((_, value)) => {
+                let label = str_of(value, "protocol")?;
+                label
+                    .parse::<ProtocolKind>()
+                    .map_err(|_| SpecError::UnknownProtocol(label.to_string()))?
+            }
+        };
         Ok(CampaignSpec {
             workloads: workloads(require(members, "workloads")?)?,
             generator: generator(require(members, "generator")?)?,
@@ -667,6 +717,7 @@ mod decode {
             fault_seeds: fault_seeds?,
             fault_interval: u64_of(require(members, "fault_interval")?, "fault_interval")?,
             fault_target,
+            protocol,
             seed: u64_of(require(members, "seed")?, "seed")?,
             mode: mode(require(members, "mode")?)?,
         })
@@ -862,6 +913,14 @@ impl CampaignBuilder {
     #[must_use]
     pub fn fault_target(mut self, target: FaultTarget) -> Self {
         self.base.fault_target = target;
+        self
+    }
+
+    /// Sets the coherence protocol governing multi-core cells (MESI by
+    /// default; Dragon and MOESI need an all-`smpN` platform axis).
+    #[must_use]
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.base.protocol = protocol;
         self
     }
 
@@ -1473,6 +1532,65 @@ mod tests {
     }
 
     #[test]
+    fn non_mesi_protocols_require_an_all_smp_platform_axis() {
+        // Smoke's default platform axis is the single-core `wb`.
+        for protocol in [ProtocolKind::Dragon, ProtocolKind::Moesi] {
+            assert_eq!(
+                CampaignBuilder::smoke().protocol(protocol).validate().err(),
+                Some(SpecError::ProtocolNeedsSmp {
+                    protocol: protocol.table().name(),
+                    platform: "wb".to_string(),
+                })
+            );
+        }
+        // A mixed axis reports the first single-core offender.
+        assert_eq!(
+            CampaignBuilder::smoke()
+                .platforms([PlatformVariant::smp(4), PlatformVariant::WriteThrough])
+                .protocol(ProtocolKind::Dragon)
+                .validate()
+                .err(),
+            Some(SpecError::ProtocolNeedsSmp {
+                protocol: "dragon",
+                platform: "wt".to_string(),
+            })
+        );
+        // All-SMP grids accept every protocol; MESI accepts every platform.
+        for protocol in ProtocolKind::ALL {
+            assert!(CampaignBuilder::smoke()
+                .platforms([PlatformVariant::smp(2), PlatformVariant::smp(4)])
+                .protocol(protocol)
+                .validate()
+                .is_ok());
+        }
+        assert!(CampaignBuilder::smoke()
+            .protocol(ProtocolKind::Mesi)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn protocol_round_trips_through_json_and_defaults_to_mesi_when_absent() {
+        for protocol in ProtocolKind::ALL {
+            let spec = CampaignBuilder::smoke()
+                .platforms([PlatformVariant::smp(2)])
+                .protocol(protocol)
+                .build()
+                .expect("well-formed");
+            let json = spec.to_json();
+            assert!(json.contains(&format!("\"protocol\": \"{protocol}\"")));
+            assert_eq!(CampaignSpec::from_json(&json), Ok(spec));
+        }
+        // A spec written before the protocol axis existed parses as MESI.
+        let modern = CampaignBuilder::smoke().build().unwrap().to_json();
+        let legacy = modern.replace("  \"protocol\": \"mesi\",\n", "");
+        assert_ne!(legacy, modern, "the protocol line must have been removed");
+        let parsed = CampaignSpec::from_json(&legacy).expect("legacy specs stay readable");
+        assert_eq!(parsed.protocol, ProtocolKind::Mesi);
+        assert_eq!(parsed, CampaignSpec::from_json(&modern).unwrap());
+    }
+
+    #[test]
     fn invalid_plans_are_typed_by_violation() {
         for (build, violation) in [
             (
@@ -1563,6 +1681,10 @@ mod tests {
         assert_eq!(
             CampaignSpec::from_json(&valid.replace("\"data\"", "\"dta\"")),
             Err(SpecError::UnknownFaultTarget("dta".to_string()))
+        );
+        assert_eq!(
+            CampaignSpec::from_json(&valid.replace("\"mesi\"", "\"mosi\"")),
+            Err(SpecError::UnknownProtocol("mosi".to_string()))
         );
         assert_eq!(
             CampaignSpec::from_json(&valid.replace("\"full\"", "\"fulll\"")),

@@ -10,17 +10,17 @@
 
 use laec_ecc::{Codeword, Decoded, EccCode, ErrorInjector, FlipPlan, Outcome};
 
-use crate::coherence::{MesiState, SnoopResult};
+use crate::coherence::{LineState, ProtocolKind, SnoopResult};
 use crate::config::{CacheConfig, WritePolicy};
 use crate::fault::FaultTarget;
 use crate::stats::CacheStats;
 
-/// One cache line: tag, MESI state and the protected words.
+/// One cache line: tag, coherence state and the protected words.
 #[derive(Debug, Clone)]
 struct Line {
     /// Coherence state; `Invalid` ⇔ the old "not valid", `Modified` ⇔ the
     /// old "valid + dirty".  Uniprocessor fills produce `Exclusive`.
-    mesi: MesiState,
+    state: LineState,
     tag: u32,
     words: Vec<Codeword>,
     /// Bit *i* set ⇔ `words[i]` was produced by `Codeword::encode` and has
@@ -40,7 +40,7 @@ impl Line {
     /// (~8k vectors per hierarchy) would dominate short runs.
     fn empty() -> Self {
         Line {
-            mesi: MesiState::Invalid,
+            state: LineState::Invalid,
             tag: 0,
             words: Vec::new(),
             pristine: 0,
@@ -128,9 +128,14 @@ pub struct Cache {
     set_mask: u32,
     way_count: usize,
     code: Box<dyn EccCode + Send + Sync>,
+    /// Which coherence decision table governs this cache's snoop responses
+    /// and the width of its state metadata.  Defaults to MESI; a
+    /// uniprocessor never takes a protocol-dependent transition, so the
+    /// field only matters once a coherence controller drives the cache.
+    protocol: ProtocolKind,
     stats: CacheStats,
     access_counter: u64,
-    /// Ground-truth records for lines whose metadata (MESI state or tag
+    /// Ground-truth records for lines whose metadata (coherence state or tag
     /// bits) was fault-flipped; empty on fault-free runs, so every check is
     /// a single `is_empty` branch.
     corrupted: Vec<MetaCorruption>,
@@ -164,6 +169,7 @@ impl Cache {
             set_mask: sets - 1,
             way_count: config.ways as usize,
             code: config.protection.instantiate(),
+            protocol: ProtocolKind::Mesi,
             stats: CacheStats::new(),
             access_counter: 0,
             corrupted: Vec::new(),
@@ -188,6 +194,18 @@ impl Cache {
     /// Resets the statistics (e.g. after a warm-up phase).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::new();
+    }
+
+    /// The coherence protocol governing this cache's snoop responses.
+    #[must_use]
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// Selects the coherence protocol (the SMP controller sets this on
+    /// every DL1 it builds; the default is [`ProtocolKind::Mesi`]).
+    pub fn set_protocol(&mut self, protocol: ProtocolKind) {
+        self.protocol = protocol;
     }
 
     fn offset_bits(&self) -> u32 {
@@ -230,7 +248,7 @@ impl Cache {
         let tag = self.tag(address);
         self.lines[self.set_range(set)]
             .iter()
-            .position(|line| line.mesi.is_valid() && line.tag == tag)
+            .position(|line| line.state.is_valid() && line.tag == tag)
     }
 
     /// `true` if the word at `address` is resident, without disturbing LRU or
@@ -292,7 +310,7 @@ impl Cache {
         Some(ReadHit {
             value: decoded.data as u32,
             outcome: decoded.outcome,
-            dirty: line.mesi.is_dirty(),
+            dirty: line.state.is_dirty(),
         })
     }
 
@@ -307,7 +325,7 @@ impl Cache {
             if range.contains(&record.index)
                 && record.true_tag == tag
                 && self.lines[record.index].tag != tag
-                && self.lines[record.index].mesi.is_valid()
+                && self.lines[record.index].state.is_valid()
                 && record.truly_dirty
             {
                 self.stale_reads += 1;
@@ -346,7 +364,7 @@ impl Cache {
         line.words[word] = Codeword::encode(self.code.as_ref(), u64::from(merged));
         line.pristine |= 1u64 << word;
         if dirty_on_write {
-            line.mesi = MesiState::Modified;
+            line.state = LineState::Modified;
             if !self.corrupted.is_empty() {
                 // A state-only corruption (tag intact) is healed by the
                 // write: the line is dirty again and will be written back.
@@ -422,7 +440,7 @@ impl Cache {
             let lines = &self.lines[self.set_range(set)];
             lines
                 .iter()
-                .position(|line| !line.mesi.is_valid())
+                .position(|line| !line.state.is_valid())
                 .unwrap_or_else(|| {
                     lines
                         .iter()
@@ -436,7 +454,7 @@ impl Cache {
         let index = set * self.ways() + way;
         let evicted = {
             let line = &self.lines[index];
-            if line.mesi.is_valid() {
+            if line.state.is_valid() {
                 let base = self.reconstruct_base(set, line.tag);
                 let mut words = Vec::with_capacity(line.words.len());
                 let mut uncorrectable = false;
@@ -450,7 +468,7 @@ impl Cache {
                 Some(EvictedLine {
                     base_address: base,
                     words,
-                    dirty: line.mesi.is_dirty(),
+                    dirty: line.state.is_dirty(),
                     uncorrectable,
                 })
             } else {
@@ -469,7 +487,7 @@ impl Cache {
 
         let code = self.code.as_ref();
         let line = &mut self.lines[index];
-        line.mesi = MesiState::Exclusive;
+        line.state = LineState::Exclusive;
         line.tag = tag;
         line.last_used = counter;
         // `clear` + `extend` keeps the allocation across refills (and makes
@@ -494,7 +512,7 @@ impl Cache {
             if !self.corrupted.is_empty() {
                 self.retire_corruption(index);
             }
-            self.lines[index].mesi = MesiState::Invalid;
+            self.lines[index].state = LineState::Invalid;
             true
         } else {
             false
@@ -508,7 +526,7 @@ impl Cache {
     /// went to the wrong address — that data is silently lost.
     fn retire_corruption(&mut self, index: usize) {
         let stored_tag = self.lines[index].tag;
-        let stored_dirty = self.lines[index].mesi.is_dirty();
+        let stored_dirty = self.lines[index].state.is_dirty();
         if let Some(position) = self.corrupted.iter().position(|r| r.index == index) {
             let record = self.corrupted.swap_remove(position);
             if record.truly_dirty && (!stored_dirty || record.true_tag != stored_tag) {
@@ -523,8 +541,8 @@ impl Cache {
         if let Some(way) = self.find_way(address) {
             let set = self.set_index(address);
             let index = set * self.ways() + way;
-            if self.lines[index].mesi.is_dirty() {
-                self.lines[index].mesi = MesiState::Exclusive;
+            if self.lines[index].state.is_dirty() {
+                self.lines[index].state = LineState::Exclusive;
             }
             true
         } else {
@@ -532,24 +550,24 @@ impl Cache {
         }
     }
 
-    /// The MESI state of the line containing `address` (`Invalid` when not
-    /// resident).  Does not disturb LRU state or statistics.
+    /// The coherence state of the line containing `address` (`Invalid` when
+    /// not resident).  Does not disturb LRU state or statistics.
     #[must_use]
-    pub fn coherence_state(&self, address: u32) -> MesiState {
+    pub fn coherence_state(&self, address: u32) -> LineState {
         match self.find_way(address) {
-            Some(way) => self.lines[self.set_index(address) * self.ways() + way].mesi,
-            None => MesiState::Invalid,
+            Some(way) => self.lines[self.set_index(address) * self.ways() + way].state,
+            None => LineState::Invalid,
         }
     }
 
-    /// Sets the MESI state of a resident line (the SMP coherence controller
+    /// Sets the coherence state of a resident line (the SMP coherence controller
     /// adjusts fill states and downgrades through this), returning `true`
     /// if the line was resident.  Use [`Cache::invalidate`] to drop a line.
-    pub fn set_coherence_state(&mut self, address: u32, state: MesiState) -> bool {
-        debug_assert_ne!(state, MesiState::Invalid, "use invalidate() to drop");
+    pub fn set_coherence_state(&mut self, address: u32, state: LineState) -> bool {
+        debug_assert_ne!(state, LineState::Invalid, "use invalidate() to drop");
         if let Some(way) = self.find_way(address) {
             let index = self.set_index(address) * self.ways() + way;
-            self.lines[index].mesi = state;
+            self.lines[index].state = state;
             true
         } else {
             false
@@ -557,9 +575,10 @@ impl Cache {
     }
 
     /// Services a remote bus transaction observed for the line containing
-    /// `address`: a remote read (`invalidate == false`) downgrades
-    /// `Modified`/`Exclusive` to `Shared`; a remote write intent
-    /// (`invalidate == true`) drops the line.  A `Modified` copy is decoded
+    /// `address`: a remote read (`invalidate == false`) moves the copy to
+    /// the protocol's `snooped_read_next` state (MESI/MOESI demote to
+    /// `Shared`/`Owned`; Dragon to `Sc`/`Sm`); a remote write intent
+    /// (`invalidate == true`) drops the line.  A dirty copy is decoded
     /// and supplied (cache-to-cache intervention) so the requester and the
     /// level below see the newest data.  Snoops touch neither LRU state nor
     /// hit/miss statistics — they are not processor accesses.
@@ -572,7 +591,7 @@ impl Cache {
         };
         let set = self.set_index(address);
         let index = set * self.ways() + way;
-        let was_modified = self.lines[index].mesi.is_dirty();
+        let was_modified = self.lines[index].state.is_dirty();
         let mut supplied = None;
         let mut uncorrectable = false;
         if was_modified {
@@ -591,9 +610,15 @@ impl Cache {
             if !self.corrupted.is_empty() {
                 self.retire_corruption(index);
             }
-            self.lines[index].mesi = MesiState::Invalid;
-        } else if self.lines[index].mesi != MesiState::Shared {
-            self.lines[index].mesi = MesiState::Shared;
+            self.lines[index].state = LineState::Invalid;
+        } else {
+            let next = self
+                .protocol
+                .table()
+                .snooped_read_next(self.lines[index].state);
+            if self.lines[index].state != next {
+                self.lines[index].state = next;
+            }
         }
         SnoopResult {
             had_line: true,
@@ -604,7 +629,47 @@ impl Cache {
         }
     }
 
-    /// Injects a metadata fault — a flipped MESI state bit or tag bit — into
+    /// Applies a remote bus update (Dragon's `BusUpd`) to the line
+    /// containing `address`, returning `true` if a copy was resident.  The
+    /// masked bytes of the written word are merged into the stored copy —
+    /// re-encoded under this cache's code — and the copy moves to `next`
+    /// (`SharedClean`: the broadcaster now owns the writeback obligation).
+    /// Like [`Cache::snoop`], an update is not a processor access: it
+    /// touches neither LRU state nor hit/miss statistics.
+    pub fn apply_update(
+        &mut self,
+        address: u32,
+        value: u32,
+        byte_mask: u8,
+        next: LineState,
+    ) -> bool {
+        let Some(way) = self.find_way(address) else {
+            return false;
+        };
+        let set = self.set_index(address);
+        let word = self.word_index(address);
+        let mask = expand_byte_mask(byte_mask);
+        let index = set * self.ways() + way;
+        let line = &mut self.lines[index];
+        let old = line.decode_word(word, self.code.as_ref()).data as u32;
+        let merged = (old & !mask) | (value & mask);
+        line.words[word] = Codeword::encode(self.code.as_ref(), u64::from(merged));
+        line.pristine |= 1u64 << word;
+        line.state = next;
+        if !self.corrupted.is_empty() {
+            // A state-only corruption is settled by the update: the
+            // broadcaster owns the writeback obligation from here on, so
+            // this copy is architecturally clean again.  A flipped tag
+            // keeps its record (the copy still answers for the wrong
+            // address).
+            let tag = self.lines[index].tag;
+            self.corrupted
+                .retain(|r| r.index != index || r.true_tag != tag);
+        }
+        true
+    }
+
+    /// Injects a metadata fault — a flipped coherence-state bit or tag bit — into
     /// a random resident line, picked with `injector`.  Returns the struck
     /// line's architecturally correct base address, or `None` when the cache
     /// is empty.  The flip changes only the stored metadata; a ground-truth
@@ -616,7 +681,7 @@ impl Cache {
         target: FaultTarget,
     ) -> Option<u32> {
         let resident: Vec<usize> = (0..self.lines.len())
-            .filter(|&i| self.lines[i].mesi.is_valid())
+            .filter(|&i| self.lines[i].state.is_valid())
             .collect();
         if resident.is_empty() {
             return None;
@@ -632,14 +697,18 @@ impl Cache {
             .corrupted
             .iter()
             .find(|r| r.index == index)
-            .map_or_else(|| self.lines[index].mesi.is_dirty(), |r| r.truly_dirty);
+            .map_or_else(|| self.lines[index].state.is_dirty(), |r| r.truly_dirty);
         let base = self.reconstruct_base(set_index, true_tag);
         match target {
             FaultTarget::Data => unreachable!("data strikes use inject_fault"),
             FaultTarget::State => {
-                let bit = injector.next_below(2) as u8;
-                let bits = self.lines[index].mesi.to_bits() ^ (1 << bit);
-                self.lines[index].mesi = MesiState::from_bits(bits);
+                // The strike surface is exactly as wide as the protocol's
+                // state metadata: 2 bits for MESI (keeping the historical
+                // injector stream), 3 for the Dragon/MOESI lattices.
+                let state_bits = u64::from(self.protocol.table().state_bits());
+                let bit = injector.next_below(state_bits) as u8;
+                let bits = self.lines[index].state.to_bits() ^ (1 << bit);
+                self.lines[index].state = LineState::from_bits(bits);
             }
             FaultTarget::Tag => {
                 let tag_bits = 32 - self.offset_bits - self.index_bits;
@@ -648,7 +717,7 @@ impl Cache {
             }
         }
         self.meta_faults_injected += 1;
-        if self.lines[index].mesi.is_valid() {
+        if self.lines[index].state.is_valid() {
             if !self.corrupted.iter().any(|r| r.index == index) {
                 self.corrupted.push(MetaCorruption {
                     index,
@@ -707,7 +776,7 @@ impl Cache {
         let mut out = Vec::new();
         for (set_index, set) in self.lines.chunks(self.ways()).enumerate() {
             for line in set {
-                if line.mesi.is_valid() {
+                if line.state.is_valid() {
                     let base = self.reconstruct_base(set_index, line.tag);
                     for word in 0..self.config.words_per_line() {
                         out.push(base + 4 * word);
@@ -723,7 +792,7 @@ impl Cache {
     pub fn dirty_lines(&self) -> usize {
         self.lines
             .iter()
-            .filter(|line| line.mesi.is_dirty())
+            .filter(|line| line.state.is_dirty())
             .count()
     }
 
@@ -732,7 +801,7 @@ impl Cache {
     pub fn valid_lines(&self) -> usize {
         self.lines
             .iter()
-            .filter(|line| line.mesi.is_valid())
+            .filter(|line| line.state.is_valid())
             .count()
     }
 
@@ -746,7 +815,7 @@ impl Cache {
             {
                 let (dirty, tag) = {
                     let line = &self.lines[index];
-                    (line.mesi.is_dirty(), line.tag)
+                    (line.state.is_dirty(), line.tag)
                 };
                 if dirty {
                     let base = self.reconstruct_base(set_index, tag);
@@ -759,7 +828,7 @@ impl Cache {
                         }
                         words.push(decoded.data as u32);
                     }
-                    self.lines[index].mesi = MesiState::Exclusive;
+                    self.lines[index].state = LineState::Exclusive;
                     self.stats.writebacks += 1;
                     out.push(EvictedLine {
                         base_address: base,

@@ -64,7 +64,7 @@ impl FaultPattern {
 /// Which physical array of the DL1 a campaign strikes.
 ///
 /// The data array is what the paper's ECC schemes protect; the metadata
-/// arrays (MESI state bits and address tags) are *not* covered by the
+/// arrays (coherence state bits and address tags) are *not* covered by the
 /// per-word code on the modelled platforms, so strikes there open failure
 /// modes no data-array code can see: a `Modified` line whose state bits read
 /// clean silently loses its writeback, and a flipped tag bit makes the line
@@ -74,7 +74,9 @@ pub enum FaultTarget {
     /// The ECC-protected data (+ check bit) array.
     #[default]
     Data,
-    /// The per-line MESI state bits (unprotected metadata).
+    /// The per-line coherence state bits (unprotected metadata); the
+    /// strike surface widens with the protocol's state lattice (2 bits
+    /// under MESI, 3 under Dragon/MOESI).
     State,
     /// The per-line address tag bits (unprotected metadata).
     Tag,

@@ -12,6 +12,8 @@
 //!
 //! * [`config`] — cache and hierarchy geometry/latency/protection parameters,
 //! * [`cache`] — the set-associative, LRU, ECC-protected cache array,
+//! * [`coherence`] — line states and the [`CoherenceProtocol`] decision
+//!   tables (MESI, Dragon, MOESI),
 //! * [`write_buffer`] — the NGMP store buffer with its
 //!   "stall until completely empty" backpressure,
 //! * [`bus`] — the shared bus with an interference model for unobserved cores,
@@ -55,7 +57,10 @@ pub mod write_buffer;
 
 pub use bus::{Bus, BusGrant, Interference};
 pub use cache::{Cache, EvictedLine, ReadHit};
-pub use coherence::{MesiState, SnoopResult};
+pub use coherence::{
+    CoherenceProtocol, Dragon, LineState, LocalWriteAction, Mesi, MesiState, Moesi,
+    ParseProtocolError, ProtocolKind, SnoopResult,
+};
 pub use config::{AllocatePolicy, CacheConfig, HierarchyConfig, WritePolicy};
 pub use fault::{
     FaultCampaign, FaultCampaignConfig, FaultCampaignReport, FaultPattern, FaultTarget,

@@ -136,6 +136,10 @@ pub struct MemStats {
     /// Dirty lines supplied cache-to-cache to this core's requests
     /// (Modified interventions).
     pub interventions: u64,
+    /// Bus-update payloads this core's writes broadcast into remote copies
+    /// (Dragon's `BusUpd`; always zero under the invalidate-based
+    /// protocols).
+    pub bus_updates_sent: u64,
     /// Cycles in which the write buffer was full and stalled a store.
     pub write_buffer_full_stalls: u64,
     /// Loads that had to wait for the write buffer to drain.

@@ -1,0 +1,65 @@
+//! Cross-protocol property: with a single core there is nobody to snoop,
+//! nobody to update and nobody to invalidate, so every coherence protocol
+//! must degenerate to the same machine.  A run under MESI, Dragon and MOESI
+//! on one core must be *identical in every observable* — cycles, registers,
+//! memory image, coherence counters, even the chronogram.
+//!
+//! This is the guarantee that makes the protocol a safe campaign axis: it
+//! can only change behaviour where coherence traffic actually exists.
+
+use laec_mem::ProtocolKind;
+use laec_pipeline::PipelineConfig;
+use laec_smp::{SmpSystem, StopPolicy};
+use laec_workloads::smp::{false_sharing, parallel_reduction, SmpWorkload};
+
+/// Runs `workload` on a 1-core system under `protocol` and returns the full
+/// debug rendering of the result — a byte-for-byte fingerprint of every
+/// field the run reports.
+fn fingerprint(workload: &SmpWorkload, protocol: ProtocolKind) -> String {
+    let configs = vec![PipelineConfig::laec(); workload.programs.len()];
+    let mut system = SmpSystem::with_protocol(workload.programs.clone(), configs, protocol);
+    let result = system.run(StopPolicy::AllHalt);
+    format!("{result:?}")
+}
+
+#[test]
+fn single_core_runs_are_identical_under_every_protocol() {
+    for (name, workload) in [
+        ("parallel_reduction", parallel_reduction(1, 64)),
+        ("false_sharing", false_sharing(1, 32)),
+    ] {
+        let mesi = fingerprint(&workload, ProtocolKind::Mesi);
+        for protocol in ProtocolKind::ALL {
+            assert_eq!(
+                fingerprint(&workload, protocol),
+                mesi,
+                "{name}: one core under {protocol} must be MESI, bit for bit"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_core_runs_agree_architecturally_but_differ_in_traffic() {
+    // The contrast that proves the axis is live: at 4 cores the protocols
+    // compute the same answer over different bus traffic.
+    let run = |protocol| {
+        let workload = parallel_reduction(4, 128);
+        let configs = vec![PipelineConfig::laec(); workload.programs.len()];
+        let mut system = SmpSystem::with_protocol(workload.programs, configs, protocol);
+        system.run(StopPolicy::AllHalt)
+    };
+    let mesi = run(ProtocolKind::Mesi);
+    let dragon = run(ProtocolKind::Dragon);
+    let moesi = run(ProtocolKind::Moesi);
+    assert_eq!(mesi.final_checksum, dragon.final_checksum);
+    assert_eq!(mesi.final_checksum, moesi.final_checksum);
+    assert!(mesi.coherence.invalidations > 0);
+    assert_eq!(
+        dragon.coherence.invalidations, 0,
+        "Dragon never invalidates"
+    );
+    assert!(dragon.coherence.bus_updates > 0);
+    assert_eq!(mesi.coherence.bus_updates, 0);
+    assert_eq!(moesi.coherence.bus_updates, 0);
+}

@@ -4,22 +4,24 @@
 //! core, representing the other cores' bus traffic with a synthetic
 //! interference generator.  This crate replaces that stand-in with the real
 //! thing: N cores, each running the existing cycle-accurate
-//! [`laec_pipeline::Simulator`] against a *private, MESI-coherent* DL1, all
+//! [`laec_pipeline::Simulator`] against a *private, coherent* DL1, all
 //! snooping one shared bus in front of the shared write-back L2 — the
-//! actual NGMP topology.
+//! actual NGMP topology.  Which coherence protocol governs the snoops is an
+//! axis: the [`laec_mem::CoherenceProtocol`] decision table (MESI by
+//! default; Dragon and MOESI via [`SmpSystem::with_protocol`]).
 //!
-//! * [`memory`] — [`CoherentMemory`]: per-core DL1s with MESI states, the
-//!   snoop machinery (downgrades, invalidations, `Modified` interventions),
-//!   per-core statistics and coherence counters.  Each core's
-//!   [`CorePort`] implements `laec_mem::MemoryPort` and mirrors the
+//! * [`memory`] — [`CoherentMemory`]: per-core DL1s with coherence states,
+//!   the snoop machinery (downgrades, invalidations, dirty interventions,
+//!   Dragon bus updates), per-core statistics and coherence counters.  Each
+//!   core's [`CorePort`] implements `laec_mem::MemoryPort` and mirrors the
 //!   uniprocessor `MemorySystem` exactly when no other core exists —
 //!   single-core SMP campaign reports are byte-identical to the
-//!   uniprocessor engine's.
+//!   uniprocessor engine's, under every protocol.
 //! * [`system`] — [`SmpSystem`]: one pipeline per core, advanced by a
 //!   deterministic lowest-local-clock scheduler (round-robin tie-break), so
 //!   multi-core runs are exactly reproducible.
 //!
-//! Coherence metadata (MESI state bits, tags) is *not* covered by the DL1's
+//! Coherence metadata (state bits, tags) is *not* covered by the DL1's
 //! ECC on the modelled platforms, which makes it a first-class fault
 //! surface: `laec_mem::FaultTarget::{State,Tag}` campaigns strike it, and
 //! the resulting silent-data-corruption classes (lost writebacks, stale

@@ -1,11 +1,22 @@
-//! The MESI-coherent multi-core memory system.
+//! The coherent multi-core memory system.
 //!
 //! N private DL1s in front of one shared bus, one shared write-back L2 and
 //! one main memory.  Every bus transaction a core issues snoops the other
-//! cores' DL1 tag arrays: remote reads downgrade `Modified`/`Exclusive`
-//! copies to `Shared` (a `Modified` owner supplies the line and refreshes
-//! the L2), remote write intents invalidate.  Stores to `Shared` lines
-//! first broadcast an upgrade (BusUpgr) that invalidates the other copies.
+//! cores' DL1 tag arrays; what the snooped copies *do* — downgrade, supply,
+//! invalidate, or absorb a broadcast update — is decided by the configured
+//! [`CoherenceProtocol`](laec_mem::CoherenceProtocol) table:
+//!
+//! * **MESI** (the default): remote reads downgrade `Modified`/`Exclusive`
+//!   copies to `Shared` (a `Modified` owner supplies the line and refreshes
+//!   the L2), remote write intents invalidate, and stores to `Shared` lines
+//!   first broadcast an upgrade (BusUpgr) that invalidates the other copies.
+//! * **Dragon**: update-based — stores to shared (`Sc`/`Sm`) lines
+//!   broadcast the written word (BusUpd) into the surviving remote copies
+//!   instead of invalidating them, and a dirty supplier keeps its writeback
+//!   obligation (`Sm`) rather than refreshing the L2.
+//! * **MOESI**: a `Modified` copy snooped by a remote read becomes `Owned` —
+//!   it supplies the line cache-to-cache and stays dirty, so the L2 and
+//!   memory remain stale until the owner evicts.
 //!
 //! # Byte-identity with the uniprocessor hierarchy
 //!
@@ -24,8 +35,8 @@ use std::rc::Rc;
 use laec_ecc::{ErrorInjector, Outcome};
 use laec_mem::{
     inject_random_cache_fault, AllocatePolicy, Cache, EvictedLine, FaultCampaignConfig,
-    HierarchyConfig, Interference, LoadResponse, MainMemory, MemStats, MemoryPort, MesiState,
-    StoreResponse, WritePolicy,
+    HierarchyConfig, Interference, LineState, LoadResponse, LocalWriteAction, MainMemory, MemStats,
+    MemoryPort, ProtocolKind, StoreResponse, WritePolicy,
 };
 
 /// System-wide coherence-protocol event counters.
@@ -36,10 +47,13 @@ pub struct CoherenceStats {
     /// Copies invalidated by remote write intents (BusRdX/BusUpgr and
     /// write-through propagation).
     pub invalidations: u64,
-    /// `Modified` lines supplied cache-to-cache (owner → requester).
+    /// Dirty lines supplied cache-to-cache (owner → requester).
     pub interventions: u64,
     /// Stores to `Shared` lines that had to broadcast an upgrade first.
     pub upgrades: u64,
+    /// Bus-update payloads delivered into remote copies (Dragon's BusUpd;
+    /// zero under the invalidate-based protocols).
+    pub bus_updates: u64,
 }
 
 /// Per-core bookkeeping mirrored from the uniprocessor `MemorySystem`.
@@ -54,6 +68,7 @@ struct CoreCounters {
 #[derive(Debug)]
 struct CoherentState {
     config: HierarchyConfig,
+    protocol: ProtocolKind,
     dl1s: Vec<Cache>,
     l2: Cache,
     bus: laec_mem::Bus,
@@ -64,11 +79,20 @@ struct CoherentState {
 
 impl CoherentState {
     /// Snoops every DL1 except `core` for `base` (a DL1-line base address).
-    /// A `Modified` owner supplies the line, which is reflected into the L2
-    /// so the requester's refill below reads fresh data.  Returns `true` if
-    /// any remote copy survives (the requester must fill `Shared`).
-    fn snoop_remote(&mut self, core: usize, base: u32, exclusive: bool) -> bool {
+    /// A dirty owner supplies the line: under MESI the supplied words are
+    /// reflected into the L2 so the requester's refill below reads fresh
+    /// data; under Dragon/MOESI the owner keeps the writeback obligation and
+    /// the words travel cache-to-cache only (returned to the caller, L2 and
+    /// memory stay stale).  Returns `(sharers, supplied)`: whether any
+    /// remote copy survives, and the directly-supplied line if any.
+    fn snoop_remote(
+        &mut self,
+        core: usize,
+        base: u32,
+        exclusive: bool,
+    ) -> (bool, Option<Vec<u32>>) {
         let mut sharers = false;
+        let mut supplied_direct = None;
         for j in 0..self.dl1s.len() {
             if j == core {
                 continue;
@@ -79,10 +103,15 @@ impl CoherentState {
             if !result.had_line {
                 continue;
             }
-            if let Some(words) = &result.supplied {
-                // Cache-to-cache intervention: the dirty owner refreshes the
-                // L2 on the same bus transaction (no extra arbitration).
-                self.reflect_into_l2(core, base, words);
+            if let Some(words) = result.supplied {
+                if self.protocol.table().supplies_through_l2() {
+                    // Cache-to-cache intervention: the dirty owner refreshes
+                    // the L2 on the same bus transaction (no extra
+                    // arbitration).
+                    self.reflect_into_l2(core, base, &words);
+                } else {
+                    supplied_direct = Some(words);
+                }
                 self.cores[core].stats.interventions += 1;
                 self.coherence.interventions += 1;
             }
@@ -94,7 +123,40 @@ impl CoherentState {
                 sharers = true;
             }
         }
-        sharers
+        (sharers, supplied_direct)
+    }
+
+    /// Broadcasts a Dragon bus update (BusUpd): one bus grant, then every
+    /// remote copy of the line merges the written bytes in place and moves
+    /// to `SharedClean` — the writer becomes the owner.  Returns the stall
+    /// cost and whether any remote copy absorbed the update (the writer
+    /// must then hold `SharedModified`, not `Modified`).
+    fn broadcast_update(
+        &mut self,
+        core: usize,
+        address: u32,
+        value: u32,
+        byte_mask: u8,
+        now: u64,
+    ) -> (u32, bool) {
+        let grant = self.bus.one_way(now);
+        self.cores[core].stats.bus_transactions += 1;
+        self.cores[core].stats.bus_wait_cycles += grant.wait_cycles;
+        let cost = self.config.bus_latency + u32::try_from(grant.wait_cycles).unwrap_or(u32::MAX);
+        let mut sharers = false;
+        for j in 0..self.dl1s.len() {
+            if j == core {
+                continue;
+            }
+            self.cores[core].stats.snoop_lookups += 1;
+            self.coherence.snoop_lookups += 1;
+            if self.dl1s[j].apply_update(address, value, byte_mask, LineState::SharedClean) {
+                sharers = true;
+                self.cores[core].stats.bus_updates_sent += 1;
+                self.coherence.bus_updates += 1;
+            }
+        }
+        (cost, sharers)
     }
 
     /// Writes an intervention-supplied DL1 line into the L2 (allocating the
@@ -133,7 +195,15 @@ impl CoherentState {
         let mut extra = 2 * self.config.bus_latency + self.config.l2_latency;
         extra += u32::try_from(grant.wait_cycles).unwrap_or(u32::MAX);
 
-        let sharers = self.snoop_remote(core, base, exclusive);
+        let (sharers, supplied) = self.snoop_remote(core, base, exclusive);
+
+        if let Some(line) = supplied {
+            // Dragon/MOESI cache-to-cache supply: the owner's copy travels
+            // directly on this transaction; the L2 and memory stay stale
+            // until the owner writes back.  No memory latency is paid.
+            self.cores[core].stats.l2 = *self.l2.stats();
+            return (line, extra, sharers);
+        }
 
         if !self.l2.probe(base) {
             // L2 miss: refill the L2 line from main memory first.
@@ -170,13 +240,13 @@ impl CoherentState {
     }
 
     /// Mirror of `MemorySystem::fill_dl1`, with an explicit fill state.
-    fn fill_dl1(&mut self, core: usize, address: u32, line: &[u32], now: u64, state: MesiState) {
+    fn fill_dl1(&mut self, core: usize, address: u32, line: &[u32], now: u64, state: LineState) {
         if let Some(evicted) = self.dl1s[core].fill(address, line) {
             if evicted.dirty {
                 self.writeback_to_l2(core, &evicted, now);
             }
         }
-        if state != MesiState::Exclusive {
+        if state != LineState::Exclusive {
             // `Cache::fill` installs Exclusive; downgrade when remote
             // copies survive.
             self.dl1s[core].set_coherence_state(address, state);
@@ -208,7 +278,10 @@ impl CoherentState {
     }
 
     /// Mirror of `MemorySystem::store_to_l2` (write-through / no-allocate
-    /// propagation), plus write-invalidation of remote copies.
+    /// propagation), plus write-invalidation of remote copies.  This path
+    /// stays invalidate-based under every protocol: the SMP platforms are
+    /// write-back, so only the MESI-locked write-through configurations
+    /// (used by the 1-core equivalence anchor) ever reach it.
     fn store_to_l2(
         &mut self,
         core: usize,
@@ -260,11 +333,7 @@ impl CoherentState {
                 let (line, extra, sharers) = self.fetch_line(core, base, now, false);
                 let word_index = ((address & (self.config.dl1.line_bytes - 1)) >> 2) as usize;
                 let value = line[word_index];
-                let state = if sharers {
-                    MesiState::Shared
-                } else {
-                    MesiState::Exclusive
-                };
+                let state = self.protocol.table().read_fill_state(sharers);
                 self.fill_dl1(core, address, &line, now, state);
                 return LoadResponse {
                     value,
@@ -285,11 +354,7 @@ impl CoherentState {
         let (line, extra, sharers) = self.fetch_line(core, base, now, false);
         let word_index = ((address & (self.config.dl1.line_bytes - 1)) >> 2) as usize;
         let value = line[word_index];
-        let state = if sharers {
-            MesiState::Shared
-        } else {
-            MesiState::Exclusive
-        };
+        let state = self.protocol.table().read_fill_state(sharers);
         self.fill_dl1(core, address, &line, now, state);
         LoadResponse {
             value,
@@ -300,7 +365,9 @@ impl CoherentState {
     }
 
     /// Mirror of `MemorySystem::store_word_masked` for one core, plus the
-    /// MESI upgrade path for stores to `Shared` lines.
+    /// protocol's shared-line write action: MESI/MOESI broadcast an
+    /// invalidating upgrade (BusUpgr), Dragon broadcasts the written word
+    /// (BusUpd) into the surviving copies.
     fn store_word_masked(
         &mut self,
         core: usize,
@@ -312,16 +379,42 @@ impl CoherentState {
         match self.config.dl1.write_policy {
             WritePolicy::WriteBack => {
                 let mut upgrade_extra = 0u32;
-                if self.dl1s[core].coherence_state(address) == MesiState::Shared {
-                    // BusUpgr: broadcast the write intent before modifying.
-                    let grant = self.bus.one_way(now);
-                    self.cores[core].stats.bus_transactions += 1;
-                    self.cores[core].stats.bus_wait_cycles += grant.wait_cycles;
-                    upgrade_extra = self.config.bus_latency
-                        + u32::try_from(grant.wait_cycles).unwrap_or(u32::MAX);
-                    let base = self.dl1s[core].line_base(address);
-                    self.snoop_remote(core, base, true);
-                    self.coherence.upgrades += 1;
+                let held = self.dl1s[core].coherence_state(address);
+                match self.protocol.table().local_write_action(held) {
+                    LocalWriteAction::Silent => {}
+                    LocalWriteAction::Invalidate => {
+                        // BusUpgr: broadcast the write intent before
+                        // modifying.  Any remote owner's copy is identical
+                        // to ours (it supplied us on our fill), so the
+                        // supplied words can be dropped.
+                        let grant = self.bus.one_way(now);
+                        self.cores[core].stats.bus_transactions += 1;
+                        self.cores[core].stats.bus_wait_cycles += grant.wait_cycles;
+                        upgrade_extra = self.config.bus_latency
+                            + u32::try_from(grant.wait_cycles).unwrap_or(u32::MAX);
+                        let base = self.dl1s[core].line_base(address);
+                        self.snoop_remote(core, base, true);
+                        self.coherence.upgrades += 1;
+                    }
+                    LocalWriteAction::Update => {
+                        // Dragon BusUpd: merge the written bytes into every
+                        // remote copy instead of invalidating it, then hold
+                        // the line dirty-shared (Sm) while copies remain.
+                        let (cost, still_shared) =
+                            self.broadcast_update(core, address, value, byte_mask, now);
+                        let wrote = self.dl1s[core].write_word_masked(address, value, byte_mask);
+                        debug_assert!(wrote, "an update action implies a resident copy");
+                        let next = if still_shared {
+                            LineState::SharedModified
+                        } else {
+                            LineState::Modified
+                        };
+                        self.dl1s[core].set_coherence_state(address, next);
+                        return StoreResponse {
+                            dl1_hit: true,
+                            extra_cycles: cost,
+                        };
+                    }
                 }
                 if self.dl1s[core].write_word_masked(address, value, byte_mask) {
                     return StoreResponse {
@@ -332,8 +425,13 @@ impl CoherentState {
                 match self.config.dl1.allocate_policy {
                     AllocatePolicy::WriteAllocate => {
                         let base = self.dl1s[core].line_base(address);
+                        if self.protocol.table().uses_update_bus() {
+                            return self.write_allocate_with_update(
+                                core, base, address, value, byte_mask, now,
+                            );
+                        }
                         let (line, extra, _) = self.fetch_line(core, base, now, true);
-                        self.fill_dl1(core, address, &line, now, MesiState::Exclusive);
+                        self.fill_dl1(core, address, &line, now, LineState::Exclusive);
                         let wrote = self.dl1s[core].write_word_masked(address, value, byte_mask);
                         debug_assert!(wrote, "line was just filled");
                         StoreResponse {
@@ -358,6 +456,42 @@ impl CoherentState {
                     extra_cycles: extra,
                 }
             }
+        }
+    }
+
+    /// The Dragon write-miss path: fetch the line with a plain read (no
+    /// invalidation — surviving copies move to `Sc`), fill, then broadcast
+    /// the written word into those copies and hold `Sm` (or `M` when the
+    /// miss found the line unshared).
+    fn write_allocate_with_update(
+        &mut self,
+        core: usize,
+        base: u32,
+        address: u32,
+        value: u32,
+        byte_mask: u8,
+        now: u64,
+    ) -> StoreResponse {
+        let (line, mut extra, sharers) = self.fetch_line(core, base, now, false);
+        let fill_state = self.protocol.table().read_fill_state(sharers);
+        self.fill_dl1(core, address, &line, now, fill_state);
+        let next = if sharers {
+            let (cost, still_shared) = self.broadcast_update(core, address, value, byte_mask, now);
+            extra += cost;
+            if still_shared {
+                LineState::SharedModified
+            } else {
+                LineState::Modified
+            }
+        } else {
+            LineState::Modified
+        };
+        let wrote = self.dl1s[core].write_word_masked(address, value, byte_mask);
+        debug_assert!(wrote, "line was just filled");
+        self.dl1s[core].set_coherence_state(address, next);
+        StoreResponse {
+            dl1_hit: false,
+            extra_cycles: extra,
         }
     }
 
@@ -392,16 +526,34 @@ pub struct CoherentMemory {
 }
 
 impl CoherentMemory {
-    /// Builds an empty coherent hierarchy for `cores` cores.
+    /// Builds an empty MESI-coherent hierarchy for `cores` cores.
     ///
     /// # Panics
     ///
     /// Panics if `cores == 0` or a cache configuration is invalid.
     #[must_use]
     pub fn new(config: HierarchyConfig, cores: usize) -> Self {
+        CoherentMemory::with_protocol(config, cores, ProtocolKind::Mesi)
+    }
+
+    /// Builds an empty coherent hierarchy for `cores` cores governed by
+    /// `protocol`'s decision table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or a cache configuration is invalid.
+    #[must_use]
+    pub fn with_protocol(config: HierarchyConfig, cores: usize, protocol: ProtocolKind) -> Self {
         assert!(cores >= 1, "an SMP system needs at least one core");
         let state = CoherentState {
-            dl1s: (0..cores).map(|_| Cache::new(config.dl1)).collect(),
+            protocol,
+            dl1s: (0..cores)
+                .map(|_| {
+                    let mut dl1 = Cache::new(config.dl1);
+                    dl1.set_protocol(protocol);
+                    dl1
+                })
+                .collect(),
             l2: Cache::new(config.l2),
             bus: laec_mem::Bus::new(config.bus_latency),
             memory: MainMemory::new(config.memory_latency),
@@ -412,6 +564,12 @@ impl CoherentMemory {
         CoherentMemory {
             shared: Rc::new(RefCell::new(state)),
         }
+    }
+
+    /// The coherence protocol governing this system.
+    #[must_use]
+    pub fn protocol(&self) -> ProtocolKind {
+        self.shared.borrow().protocol
     }
 
     /// Number of cores.
@@ -442,7 +600,7 @@ impl CoherentMemory {
     }
 
     /// The architecturally current value of the aligned word at `address`:
-    /// any `Modified` DL1 copy wins, then the L2, then memory.
+    /// any dirty DL1 copy (`M`/`Sm`/`O`) wins, then the L2, then memory.
     #[must_use]
     pub fn peek_coherent(&self, address: u32) -> u32 {
         let state = self.shared.borrow();
@@ -464,9 +622,9 @@ impl CoherentMemory {
         state.memory.peek_word(address)
     }
 
-    /// The MESI state of `address` in `core`'s DL1.
+    /// The coherence state of `address` in `core`'s DL1.
     #[must_use]
-    pub fn state(&self, core: usize, address: u32) -> MesiState {
+    pub fn state(&self, core: usize, address: u32) -> LineState {
         self.shared.borrow().dl1s[core].coherence_state(address)
     }
 

@@ -13,6 +13,7 @@
 //! producer it waits for is always scheduled.
 
 use laec_isa::Program;
+use laec_mem::ProtocolKind;
 use laec_pipeline::{PipelineConfig, SimResult, Simulator};
 use laec_trace::SharedSink;
 
@@ -65,6 +66,21 @@ impl SmpSystem {
     /// configurations' hierarchies disagree.
     #[must_use]
     pub fn new(programs: Vec<Program>, configs: Vec<PipelineConfig>) -> Self {
+        SmpSystem::with_protocol(programs, configs, ProtocolKind::Mesi)
+    }
+
+    /// [`SmpSystem::new`] with an explicit coherence protocol governing the
+    /// shared hierarchy (`new` is MESI).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SmpSystem::new`].
+    #[must_use]
+    pub fn with_protocol(
+        programs: Vec<Program>,
+        configs: Vec<PipelineConfig>,
+        protocol: ProtocolKind,
+    ) -> Self {
         assert!(!programs.is_empty(), "need at least one core");
         assert_eq!(programs.len(), configs.len(), "one config per core");
         let hierarchy = configs[0].hierarchy;
@@ -72,7 +88,7 @@ impl SmpSystem {
             configs.iter().all(|c| c.hierarchy == hierarchy),
             "all cores share one hierarchy"
         );
-        let memory = CoherentMemory::new(hierarchy, programs.len());
+        let memory = CoherentMemory::with_protocol(hierarchy, programs.len(), protocol);
         let words: usize = programs.iter().map(|p| p.data().len()).sum();
         memory.reserve_memory(words);
         for program in &programs {

@@ -34,6 +34,7 @@ fn test_spec() -> CampaignSpec {
         fault_seeds: vec![11, 22],
         fault_interval: 500,
         fault_target: laec::mem::FaultTarget::Data,
+        protocol: laec::mem::ProtocolKind::Mesi,
         seed: 0x5EED_1AEC,
     }
 }
