@@ -17,11 +17,16 @@
 //! * `faults`   — the §I–II upset safety campaign (single-bit or
 //!   adjacent-bit MBU patterns via `--pattern`),
 //! * `trace`    — record, replay and inspect access-stream traces
-//!   (`trace record|replay|info`, see `laec_trace`).
+//!   (`trace record|replay|info`, see `laec_trace`),
+//! * `stats`    — render a metrics dump written by `campaign
+//!   --metrics-out` (see `laec_obs`).
 //!
 //! Every subcommand accepts `--json` (machine-readable output), `--seed N`
 //! and `--smoke` (small workload shape for quick runs); `campaign` also
-//! accepts `--threads N` and the grid-axis flags documented in `--help`.
+//! accepts `--threads N`, the grid-axis flags documented in `--help`, and
+//! the observability flags `--metrics-out FILE` / `--progress` — both keep
+//! the stdout report byte-identical (metrics go to the file, progress
+//! events to stderr).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,14 +35,18 @@ use laec_core::campaign::{CampaignSpec, PlatformVariant, WorkloadSet};
 use laec_core::experiment::{
     characterization, fault_campaign_with_pattern, figure8, hazard_breakdown, wt_vs_wb,
 };
+use laec_core::observe::record_outcome_metrics;
 use laec_core::sampling::{render_sampled, SampleExecution, Sampler, SamplerCheckpoint};
-use laec_core::spec::{Campaign, CampaignBuilder, CampaignSpec as SpecV2, ValidatedSpec};
+use laec_core::spec::{
+    Campaign, CampaignBuilder, CampaignOutcome, CampaignSpec as SpecV2, ValidatedSpec,
+};
 use laec_core::trace_backed::{record_cell, replay_cell, trace_file_name};
 use laec_core::{
     render_fault_campaign, render_figure8, render_hazard_breakdown, render_table1, render_table2,
     render_wt_vs_wb, table1_commercial_processors,
 };
 use laec_mem::{FaultCampaignConfig, FaultPattern, FaultTarget, ProtocolKind};
+use laec_obs::{Histogram, JsonlSink, MetricsDump, Obs, Phase};
 use laec_pipeline::{EccScheme, PipelineConfig};
 use laec_smp::{SmpSystem, StopPolicy};
 use laec_trace::{Trace, TraceDetail, TraceEvent};
@@ -56,6 +65,7 @@ SUBCOMMANDS:
     faults      Soft-error campaign over the three DL1 designs
     smp         run | list: shared-memory kernels on the N-core system
     trace       record | replay | info: access-stream trace tooling
+    stats       Render a metrics dump written by campaign --metrics-out
     help        Print this message
 
 COMMON FLAGS:
@@ -141,6 +151,15 @@ campaign FLAGS:
     --shard-rounds <N>
                       Stop this invocation after N sampling rounds (requires
                       --checkpoint; resume later with --resume)
+    --metrics-out <FILE>
+                      Write a laec_obs metrics dump (JSON) to FILE after the
+                      campaign: deterministic counters/gauges/histograms
+                      projected from the report, engine counters, and a
+                      wall-clock self-profile.  The stdout report stays
+                      byte-identical; inspect FILE with `laec-cli stats`
+    --progress        Stream JSONL progress events (campaign_start, cell,
+                      round, campaign_end; each stamped with the spec
+                      fingerprint) to stderr while the campaign runs
 
 faults FLAGS:
     --interval <N>    Mean cycles between injected upsets (default 40)
@@ -167,11 +186,18 @@ trace SUBCOMMANDS (laec-cli trace <record|replay|info> [FLAGS]):
         --input <FILE>      Trace to replay (required)
         --fault-seed <N>    Inject under raw injector seed N
         --interval <N>      Injection interval for --fault-seed (default 5000)
-    info              Decode and summarise a trace file
+    info              Decode and summarise a trace file, including a
+                      per-core event-type histogram
         --input <FILE>      Trace to inspect (required)
 
     record/replay print the resulting campaign cell; a fault-free replay is
     byte-identical to the recording's cell (the determinism check CI runs).
+
+stats FLAGS (laec-cli stats <FILE> [FLAGS]):
+    --counters        Print only the deterministic counter section (the
+                      surface CI byte-compares across thread counts and
+                      shard/resume splits) instead of the rendered table
+    --json            Re-emit the full dump as normalised JSON
 ";
 
 fn main() -> ExitCode {
@@ -218,6 +244,13 @@ fn run(args: &[String]) -> Result<(), String> {
             "info" => cmd_trace_info(&flags),
             other => Err(format!("unknown trace action `{other}`")),
         };
+    }
+    if subcommand == "stats" {
+        let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            return Err("`stats` needs a metrics file: laec-cli stats <FILE>".to_string());
+        };
+        let flags = Flags::parse(&args[2..])?;
+        return cmd_stats(&PathBuf::from(file), &flags);
     }
     let flags = Flags::parse(&args[1..])?;
     match subcommand.as_str() {
@@ -268,6 +301,9 @@ struct Flags {
     shard_rounds: Option<u64>,
     spec: Option<PathBuf>,
     dump_spec: bool,
+    metrics_out: Option<PathBuf>,
+    progress: bool,
+    counters: bool,
 }
 
 impl Flags {
@@ -304,6 +340,9 @@ impl Flags {
             shard_rounds: None,
             spec: None,
             dump_spec: false,
+            metrics_out: None,
+            progress: false,
+            counters: false,
         };
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
@@ -396,6 +435,11 @@ impl Flags {
                 }
                 "--spec" => flags.spec = Some(PathBuf::from(value("--spec")?)),
                 "--dump-spec" => flags.dump_spec = true,
+                "--metrics-out" => {
+                    flags.metrics_out = Some(PathBuf::from(value("--metrics-out")?));
+                }
+                "--progress" => flags.progress = true,
+                "--counters" => flags.counters = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -532,6 +576,8 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
         return Ok(());
     }
 
+    let obs = build_obs(flags)?;
+
     // Checkpoint/resume/sharding are invocation concerns of the sampled
     // engine (where to park progress between shards), not part of the spec.
     if flags.checkpoint.is_some() || flags.resume || flags.shard_rounds.is_some() {
@@ -552,23 +598,55 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
             };
             return Err(format!("{flag} needs {fix}"));
         }
-        return cmd_campaign_sharded(flags, &validated);
+        return cmd_campaign_sharded(flags, &validated, &obs);
     }
 
-    let outcome = Campaign::new(validated).run(flags.threads);
+    let outcome = Campaign::new(validated).run_observed(flags.threads, &obs);
     if let Some(stats) = outcome.trace_stats() {
         eprintln!("{stats}");
     }
-    if flags.json {
-        println!("{}", outcome.to_json());
-    } else {
-        println!("{}", outcome.render());
-    }
+    // The rendered bytes are exactly what `Campaign::run` would print —
+    // observability must never perturb the report, only wrap it in a
+    // timing span and mirror it into the metrics file.
+    let rendered = {
+        let _span = obs.span(Phase::ReportRender);
+        if flags.json {
+            outcome.to_json()
+        } else {
+            outcome.render()
+        }
+    };
+    println!("{rendered}");
+    write_metrics(flags, &obs)?;
     if outcome.architecturally_equivalent() {
         Ok(())
     } else {
         Err("architectural equivalence FAILED for at least one grid cell".to_string())
     }
+}
+
+/// Builds the campaign's [`Obs`] handle from `--metrics-out`/`--progress`:
+/// disabled (zero-cost) when neither flag is given, otherwise enabled with
+/// a JSONL progress sink on stderr when `--progress` asked for one.
+fn build_obs(flags: &Flags) -> Result<Obs, String> {
+    if flags.metrics_out.is_none() && !flags.progress {
+        return Ok(Obs::disabled());
+    }
+    let obs = Obs::enabled();
+    if flags.progress {
+        obs.attach_progress(Box::new(JsonlSink::stderr()));
+    }
+    Ok(obs)
+}
+
+/// Writes the metrics dump to `--metrics-out FILE`, if requested.
+fn write_metrics(flags: &Flags, obs: &Obs) -> Result<(), String> {
+    let Some(path) = &flags.metrics_out else {
+        return Ok(());
+    };
+    let mut text = obs.dump().to_json();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 /// Maps the grid/mode flags onto a [`CampaignBuilder`] (base grid: the
@@ -662,7 +740,7 @@ fn build_spec_from_flags(flags: &Flags) -> Result<SpecV2, String> {
 /// The sampled campaign's sharded execution path: drive the [`Sampler`]
 /// directly so progress can be checkpointed between invocations.  The
 /// final report is byte-identical to an uninterrupted `Campaign::run`.
-fn cmd_campaign_sharded(flags: &Flags, validated: &ValidatedSpec) -> Result<(), String> {
+fn cmd_campaign_sharded(flags: &Flags, validated: &ValidatedSpec, obs: &Obs) -> Result<(), String> {
     let plan = *validated.plan().expect("caller checked: sampled mode");
     let execution = validated
         .sample_execution()
@@ -672,21 +750,32 @@ fn cmd_campaign_sharded(flags: &Flags, validated: &ValidatedSpec) -> Result<(), 
     if flags.shard_rounds.is_some() && flags.checkpoint.is_none() {
         return Err("--shard-rounds needs --checkpoint <FILE> to save progress".to_string());
     }
-
-    let mut sampler = if flags.resume {
-        let path = flags
-            .checkpoint
-            .as_ref()
-            .ok_or("--resume needs --checkpoint <FILE>")?;
-        let bytes =
-            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let checkpoint =
-            SamplerCheckpoint::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
-        Sampler::restore(&grid, &plan, &execution, flags.threads, &checkpoint)
-            .map_err(|e| e.to_string())?
-    } else {
-        Sampler::new(&grid, &plan, &execution, flags.threads)
+    // This path bypasses `Campaign::run_observed`, so it establishes the
+    // metrics context itself (the engine behind sampled mode is "sampled").
+    obs.set_context(&validated.fingerprint_hex(), "sampled");
+    let baseline_phase = match execution {
+        SampleExecution::FullSim => Phase::FullSim,
+        SampleExecution::TraceBacked { .. } => Phase::TraceRecord,
     };
+
+    let mut sampler = {
+        let _span = obs.span(baseline_phase);
+        if flags.resume {
+            let path = flags
+                .checkpoint
+                .as_ref()
+                .ok_or("--resume needs --checkpoint <FILE>")?;
+            let bytes =
+                std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let checkpoint = SamplerCheckpoint::decode(&bytes)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            Sampler::restore(&grid, &plan, &execution, flags.threads, &checkpoint)
+                .map_err(|e| e.to_string())?
+        } else {
+            Sampler::new(&grid, &plan, &execution, flags.threads)
+        }
+    };
+    sampler.attach_obs(obs);
 
     let complete = sampler.run_rounds(flags.threads, flags.shard_rounds);
     if let Some(path) = &flags.checkpoint {
@@ -695,6 +784,7 @@ fn cmd_campaign_sharded(flags: &Flags, validated: &ValidatedSpec) -> Result<(), 
         // The staging name appends to the full file name (".tmp" via
         // with_extension would collide for sibling checkpoints that differ
         // only in extension).
+        let _span = obs.span(Phase::CheckpointWrite);
         let mut staging = path.clone().into_os_string();
         staging.push(".tmp");
         let staging = PathBuf::from(staging);
@@ -711,15 +801,31 @@ fn cmd_campaign_sharded(flags: &Flags, validated: &ValidatedSpec) -> Result<(), 
             "campaign incomplete after {} round(s); checkpoint saved — continue with --resume",
             flags.shard_rounds.unwrap_or(0),
         );
-        return Ok(());
+        // The metrics dump of an incomplete shard carries the context and
+        // this shard's timings; the deterministic sections are projected
+        // only from a *finished* campaign, so they stay empty here and the
+        // comparison surface is never a partial-progress snapshot.
+        return write_metrics(flags, obs);
     }
     let report = sampler.report();
-    if flags.json {
-        println!("{}", report.to_json());
-    } else {
-        println!("{}", render_sampled(&report));
-    }
-    Ok(())
+    let trace_stats =
+        matches!(execution, SampleExecution::TraceBacked { .. }).then(|| sampler.trace_stats());
+    let outcome = CampaignOutcome::Sampled {
+        report,
+        trace_stats,
+    };
+    record_outcome_metrics(&outcome, obs);
+    let report = outcome.sampled().expect("built as sampled");
+    let rendered = {
+        let _span = obs.span(Phase::ReportRender);
+        if flags.json {
+            report.to_json()
+        } else {
+            render_sampled(report)
+        }
+    };
+    println!("{rendered}");
+    write_metrics(flags, obs)
 }
 
 /// Per-core row of the `smp run` output.
@@ -875,6 +981,24 @@ fn cmd_faults(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `laec-cli stats FILE`: load a metrics dump written by `campaign
+/// --metrics-out` and render it (default), re-emit it as normalised JSON
+/// (`--json`), or print only the deterministic counter section
+/// (`--counters`) — the byte-comparison surface CI uses.
+fn cmd_stats(path: &PathBuf, flags: &Flags) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let dump = MetricsDump::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if flags.counters {
+        println!("{}", dump.counter_section_json());
+    } else if flags.json {
+        println!("{}", dump.to_json());
+    } else {
+        println!("{}", dump.render());
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // trace record | replay | info
 // ---------------------------------------------------------------------------
@@ -1002,6 +1126,14 @@ fn cmd_trace_replay(flags: &Flags) -> Result<(), String> {
     print_cell(flags, &cell)
 }
 
+/// One core's event-type breakdown in the `trace info` output: an
+/// event-type → count histogram over the events that core produced.
+#[derive(serde::Serialize)]
+struct CoreEvents {
+    core: u8,
+    events: Histogram,
+}
+
 /// Decoded summary of a trace file (the `trace info` output).
 #[derive(serde::Serialize)]
 struct TraceInfo {
@@ -1026,6 +1158,7 @@ struct TraceInfo {
     stalls: u64,
     line_fills: u64,
     writebacks: u64,
+    per_core: Vec<CoreEvents>,
 }
 
 fn cmd_trace_info(flags: &Flags) -> Result<(), String> {
@@ -1052,18 +1185,53 @@ fn cmd_trace_info(flags: &Flags) -> Result<(), String> {
         stalls: 0,
         line_fills: 0,
         writebacks: 0,
+        per_core: Vec::new(),
     };
+    // Per-core event-type histograms: commits count retired instructions
+    // (run-length-merged records expand to their `count`), every other
+    // type counts events.  BTreeMap keeps the cores in id order.
+    let mut per_core: std::collections::BTreeMap<u8, Histogram> = std::collections::BTreeMap::new();
     for event in trace.events() {
-        match event.map_err(|e| e.to_string())? {
-            TraceEvent::Commit { count, .. } => info.commits += count,
-            TraceEvent::MemRead { .. } => info.mem_reads += 1,
-            TraceEvent::MemWrite { .. } => info.mem_writes += 1,
-            TraceEvent::Fetch { .. } => info.fetches += 1,
-            TraceEvent::Stall { .. } => info.stalls += 1,
-            TraceEvent::LineFill { .. } => info.line_fills += 1,
-            TraceEvent::Writeback { .. } => info.writebacks += 1,
-        }
+        let event = event.map_err(|e| e.to_string())?;
+        let (bucket, weight) = match event {
+            TraceEvent::Commit { count, .. } => {
+                info.commits += count;
+                ("commit", count)
+            }
+            TraceEvent::MemRead { .. } => {
+                info.mem_reads += 1;
+                ("mem_read", 1)
+            }
+            TraceEvent::MemWrite { .. } => {
+                info.mem_writes += 1;
+                ("mem_write", 1)
+            }
+            TraceEvent::Fetch { .. } => {
+                info.fetches += 1;
+                ("fetch", 1)
+            }
+            TraceEvent::Stall { .. } => {
+                info.stalls += 1;
+                ("stall", 1)
+            }
+            TraceEvent::LineFill { .. } => {
+                info.line_fills += 1;
+                ("line_fill", 1)
+            }
+            TraceEvent::Writeback { .. } => {
+                info.writebacks += 1;
+                ("writeback", 1)
+            }
+        };
+        per_core
+            .entry(event.core())
+            .or_default()
+            .add(bucket, weight);
     }
+    info.per_core = per_core
+        .into_iter()
+        .map(|(core, events)| CoreEvents { core, events })
+        .collect();
     if flags.json {
         println!(
             "{}",
@@ -1098,6 +1266,14 @@ fn cmd_trace_info(flags: &Flags) -> Result<(), String> {
             info.line_fills,
             info.writebacks,
         );
+        for row in &info.per_core {
+            let breakdown: Vec<String> = row
+                .events
+                .iter()
+                .map(|(bucket, count)| format!("{bucket}={count}"))
+                .collect();
+            println!("core {}: {}", row.core, breakdown.join(", "));
+        }
     }
     Ok(())
 }

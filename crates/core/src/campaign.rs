@@ -42,6 +42,7 @@ use std::sync::Mutex;
 use std::thread;
 
 use laec_mem::{FaultCampaignConfig, FaultTarget, HierarchyConfig, Interference, ProtocolKind};
+use laec_obs::{Obs, Phase, ProgressEvent};
 use laec_pipeline::{EccScheme, PipelineConfig};
 use laec_workloads::{eembc_suite, kernel_suite, GeneratorConfig, Workload};
 use serde::{Deserialize, Serialize};
@@ -566,13 +567,13 @@ pub fn default_threads() -> usize {
 )]
 #[must_use]
 pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignReport {
-    execute_full(spec, threads)
+    execute_full(spec, threads, &Obs::disabled())
 }
 
 /// The full-simulation grid engine behind [`run_campaign`] and
 /// [`crate::spec::FullSimEngine`].
 #[must_use]
-pub(crate) fn execute_full(spec: &CampaignSpec, threads: usize) -> CampaignReport {
+pub(crate) fn execute_full(spec: &CampaignSpec, threads: usize, obs: &Obs) -> CampaignReport {
     let workloads = spec.materialize_workloads();
     let threads = if threads == 0 {
         default_threads()
@@ -603,8 +604,37 @@ pub(crate) fn execute_full(spec: &CampaignSpec, threads: usize) -> CampaignRepor
         }
     }
 
+    obs.emit(&ProgressEvent::CampaignStart {
+        engine: "full",
+        jobs: jobs.len() as u64,
+    });
+    let total = jobs.len() as u64;
     let cells = run_pool(jobs.len(), threads, |index| {
-        run_job(spec, &workloads, jobs[index])
+        let job = jobs[index];
+        let phase = if job.fault.is_some() {
+            Phase::Inject
+        } else {
+            Phase::FullSim
+        };
+        let cell = {
+            let _span = obs.span(phase);
+            run_job(spec, &workloads, job)
+        };
+        obs.emit(&ProgressEvent::Cell {
+            index: index as u64,
+            total,
+            workload: &cell.workload,
+            scheme: &cell.scheme,
+            platform: &cell.platform,
+            fault_seed: cell.fault_seed,
+            cycles: cell.cycles,
+            phase: phase.label(),
+        });
+        cell
+    });
+    obs.emit(&ProgressEvent::CampaignEnd {
+        engine: "full",
+        executed: total,
     });
     assemble_report(spec, &workloads, cells)
 }
@@ -997,7 +1027,7 @@ mod tests {
         let mut spec = CampaignSpec::smoke();
         spec.workloads = WorkloadSet::Named(vec!["vector_sum".into(), "fir_filter".into()]);
         spec.fault_seeds = vec![1, 2];
-        let report = execute_full(&spec, 2);
+        let report = execute_full(&spec, 2, &Obs::disabled());
         // 2 workloads x 1 platform x 4 schemes x (1 fault-free + 2 faulty).
         assert_eq!(report.total_jobs, 2 * 4 * 3);
         assert_eq!(report.cells.len(), 24);
@@ -1009,7 +1039,7 @@ mod tests {
     fn slowdowns_are_normalised_to_no_ecc() {
         let mut spec = CampaignSpec::smoke();
         spec.workloads = WorkloadSet::Named(vec!["vector_sum".into()]);
-        let report = execute_full(&spec, 1);
+        let report = execute_full(&spec, 1, &Obs::disabled());
         let no_ecc = report
             .cells
             .iter()
@@ -1027,7 +1057,7 @@ mod tests {
         let mut spec = CampaignSpec::smoke();
         spec.workloads = WorkloadSet::Named(vec!["vector_sum".into()]);
         spec.schemes = vec![EccScheme::Laec, EccScheme::ExtraStage];
-        let report = execute_full(&spec, 1);
+        let report = execute_full(&spec, 1, &Obs::disabled());
         assert!(report.cells.iter().all(|c| c.slowdown.is_none()));
         assert!(report.slowdowns.averages.iter().all(Option::is_none));
     }
@@ -1039,7 +1069,7 @@ mod tests {
         spec.schemes = vec![EccScheme::Laec];
         spec.fault_seeds = vec![0xBEEF];
         spec.fault_interval = 50;
-        let report = execute_full(&spec, 2);
+        let report = execute_full(&spec, 2, &Obs::disabled());
         let faulty = report
             .cells
             .iter()

@@ -55,6 +55,7 @@
 pub mod campaign;
 pub mod energy;
 pub mod experiment;
+pub mod observe;
 pub mod report;
 pub mod runner;
 pub mod sampling;
@@ -66,6 +67,7 @@ pub use campaign::{
     render_campaign, CampaignCell, CampaignReport, CampaignSpec, EquivalenceCheck,
     ParsePlatformError, PlatformVariant, SlowdownMatrix, SlowdownRow, WorkloadSet,
 };
+pub use observe::record_outcome_metrics;
 pub use sampling::{
     render_sampled, CheckpointError, SampleExecution, SampledReport, Sampler, SamplerCheckpoint,
     SamplingPlan, StratumEstimate,

@@ -62,6 +62,7 @@
 use std::path::PathBuf;
 
 use laec_mem::FaultCampaignConfig;
+use laec_obs::{Obs, Phase, ProgressEvent};
 use laec_pipeline::PipelineConfig;
 use laec_trace::{varint, Trace, TraceEvent};
 use laec_workloads::Workload;
@@ -831,6 +832,8 @@ pub struct Sampler {
     traces: Option<Vec<(Trace, Vec<TraceEvent>)>>,
     states: Vec<StratumStats>,
     trace_stats: TraceBackedStats,
+    /// Instrumentation handle; disabled unless [`Sampler::attach_obs`] ran.
+    obs: Obs,
 }
 
 impl Sampler {
@@ -903,6 +906,7 @@ impl Sampler {
                         spec.schemes[coords.scheme],
                         spec.platforms[coords.platform],
                         cache_dir.as_deref(),
+                        &Obs::disabled(),
                     )
                 });
                 let mut baselines = Vec::with_capacity(recorded.len());
@@ -936,7 +940,15 @@ impl Sampler {
             traces,
             states,
             trace_stats,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an instrumentation handle: subsequent rounds record
+    /// [`Phase::SamplerRound`] spans and stream per-stratum convergence
+    /// events through it.  Observation never touches sampling results.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
     }
 
     /// [`Sampler::new`], then overlays the progress recorded in
@@ -1030,12 +1042,17 @@ impl Sampler {
             if max_rounds.is_some_and(|max| rounds >= max) {
                 return false;
             }
+            let round_span = self.obs.span(Phase::SamplerRound);
             let outcomes = run_pool(jobs.len(), threads, |index| {
                 let (stratum, sample) = jobs[index];
                 self.run_sample(stratum, sample)
             });
+            let mut touched: Vec<usize> = Vec::new();
             for (&(stratum, _), (outcome, replayed)) in jobs.iter().zip(&outcomes) {
                 self.states[stratum].absorb(&self.baselines[stratum], outcome);
+                if touched.last() != Some(&stratum) {
+                    touched.push(stratum);
+                }
                 if self.traces.is_some() {
                     if *replayed {
                         self.trace_stats.replayed += 1;
@@ -1049,7 +1066,36 @@ impl Sampler {
                     state.converged = self.plan.converged(state.failures, state.taken);
                 }
             }
+            drop(round_span);
+            if self.obs.is_enabled() {
+                self.emit_round_events(&touched);
+            }
             rounds += 1;
+        }
+    }
+
+    /// Streams one convergence event per stratum that drew samples this
+    /// round.  The round number is derived from the samples taken
+    /// (`ceil(taken / batch)`), so it continues correctly across
+    /// checkpoint/resume splits — rounds are not persisted.
+    fn emit_round_events(&self, touched: &[usize]) {
+        let z = self.plan.z();
+        for &stratum in touched {
+            let state = &self.states[stratum];
+            let coords = self.strata[stratum];
+            let (ci_low, ci_high) = wilson_interval(state.failures, state.taken, z);
+            self.obs.emit(&ProgressEvent::Round {
+                round: state.taken.div_ceil(self.plan.batch),
+                workload: &self.workloads[coords.workload].name,
+                scheme: &self.spec.schemes[coords.scheme].to_string(),
+                platform: &self.spec.platforms[coords.platform].to_string(),
+                samples: state.taken,
+                failures: state.failures,
+                ci_low,
+                ci_high,
+                width: ci_high - ci_low,
+                converged: state.converged,
+            });
         }
     }
 
@@ -1070,9 +1116,11 @@ impl Sampler {
         let workload = &self.workloads[coords.workload];
         if let Some(traces) = &self.traces {
             let (trace, events) = &traces[stratum];
-            if let Ok(cell) =
+            let replayed = {
+                let _span = self.obs.span(Phase::Replay);
                 replay_cell_events(&self.spec, trace, events, workload, Some(fault), None)
-            {
+            };
+            if let Ok(cell) = replayed {
                 return (
                     SampleOutcome {
                         cycles: cell.cycles,
@@ -1090,6 +1138,11 @@ impl Sampler {
         let config = self.spec.platforms[coords.platform]
             .apply_config(PipelineConfig::for_scheme(self.spec.schemes[coords.scheme]))
             .with_fault_campaign(fault);
+        let _span = self.obs.span(if self.traces.is_some() {
+            Phase::FullSimFallback
+        } else {
+            Phase::FullSim
+        });
         let result = run_with_config(workload, config);
         (
             SampleOutcome {
@@ -1193,7 +1246,7 @@ pub fn run_campaign_sampled(
     threads: usize,
     execution: &SampleExecution,
 ) -> SampledReport {
-    execute_sampled(spec, plan, threads, execution).0
+    execute_sampled(spec, plan, threads, execution, &Obs::disabled()).0
 }
 
 /// The stratified-sampling engine behind [`run_campaign_sampled`] and
@@ -1206,11 +1259,31 @@ pub(crate) fn execute_sampled(
     plan: &SamplingPlan,
     threads: usize,
     execution: &SampleExecution,
+    obs: &Obs,
 ) -> (SampledReport, TraceBackedStats) {
-    let mut sampler = Sampler::new(spec, plan, execution, threads);
+    // The baseline phase records (trace-backed) or fully simulates every
+    // stratum's fault-free reference; bill it to the matching phase.
+    let baseline_phase = match execution {
+        SampleExecution::FullSim => Phase::FullSim,
+        SampleExecution::TraceBacked { .. } => Phase::TraceRecord,
+    };
+    let mut sampler = {
+        let _span = obs.span(baseline_phase);
+        Sampler::new(spec, plan, execution, threads)
+    };
+    sampler.attach_obs(obs);
+    obs.emit(&ProgressEvent::CampaignStart {
+        engine: "sampled",
+        jobs: sampler.states.len() as u64,
+    });
     let complete = sampler.run_rounds(threads, None);
     debug_assert!(complete, "unbounded run_rounds always completes");
-    (sampler.report(), sampler.trace_stats())
+    let report = sampler.report();
+    obs.emit(&ProgressEvent::CampaignEnd {
+        engine: "sampled",
+        executed: report.total_samples,
+    });
+    (report, sampler.trace_stats())
 }
 
 #[cfg(test)]
@@ -1465,7 +1538,8 @@ mod tests {
     fn render_lists_every_stratum_and_the_totals() {
         let spec = tiny_spec();
         let plan = tiny_plan();
-        let (report, _) = execute_sampled(&spec, &plan, 2, &SampleExecution::FullSim);
+        let (report, _) =
+            execute_sampled(&spec, &plan, 2, &SampleExecution::FullSim, &Obs::disabled());
         let text = render_sampled(&report);
         assert!(text.contains("vector_sum"), "{text}");
         assert!(text.contains("totals:"), "{text}");

@@ -18,6 +18,7 @@
 //!   asserts over the full workload × scheme grid.
 
 use laec_mem::ProtocolKind;
+use laec_obs::{Obs, Phase, ProgressEvent};
 use laec_pipeline::{PipelineConfig, SimResult};
 use laec_smp::{SmpSystem, StopPolicy};
 use laec_workloads::{background_traffic, Workload};
@@ -93,13 +94,13 @@ pub fn run_observed_core(
 )]
 #[must_use]
 pub fn run_campaign_smp(spec: &CampaignSpec, threads: usize) -> CampaignReport {
-    execute_smp(spec, threads)
+    execute_smp(spec, threads, &Obs::disabled())
 }
 
 /// The forced-SMP grid engine behind [`run_campaign_smp`] and
 /// [`crate::spec::SmpEngine`].
 #[must_use]
-pub(crate) fn execute_smp(spec: &CampaignSpec, threads: usize) -> CampaignReport {
+pub(crate) fn execute_smp(spec: &CampaignSpec, threads: usize, obs: &Obs) -> CampaignReport {
     let workloads = spec.materialize_workloads();
     let threads = if threads == 0 {
         default_threads()
@@ -127,19 +128,47 @@ pub(crate) fn execute_smp(spec: &CampaignSpec, threads: usize) -> CampaignReport
             }
         }
     }
+    let total = jobs.len() as u64;
+    obs.emit(&ProgressEvent::CampaignStart {
+        engine: "smp",
+        jobs: total,
+    });
     let cells = run_pool(jobs.len(), threads, |index| {
         let job = jobs[index];
         let workload = &workloads[job.workload];
         let platform = spec.platforms[job.platform];
         let config = job_config(spec, job);
-        let result = run_observed_core(workload, config, platform.cores(), spec.protocol);
-        cell_from_result(
+        let phase = if job.fault.is_some() {
+            Phase::Inject
+        } else {
+            Phase::FullSim
+        };
+        let result = {
+            let _span = obs.span(phase);
+            run_observed_core(workload, config, platform.cores(), spec.protocol)
+        };
+        let cell = cell_from_result(
             workload,
             spec.schemes[job.scheme],
             platform,
             job.fault.map(|f| spec.fault_seeds[f]),
             &result,
-        )
+        );
+        obs.emit(&ProgressEvent::Cell {
+            index: index as u64,
+            total,
+            workload: &cell.workload,
+            scheme: &cell.scheme,
+            platform: &cell.platform,
+            fault_seed: cell.fault_seed,
+            cycles: cell.cycles,
+            phase: phase.label(),
+        });
+        cell
+    });
+    obs.emit(&ProgressEvent::CampaignEnd {
+        engine: "smp",
+        executed: total,
     });
     assemble_report(spec, &workloads, cells)
 }
@@ -180,8 +209,8 @@ mod tests {
         spec.platforms = vec![PlatformVariant::smp(2)];
         spec.fault_seeds = vec![7];
         spec.fault_interval = 500;
-        let one = execute_full(&spec, 1);
-        let four = execute_full(&spec, 4);
+        let one = execute_full(&spec, 1, &laec_obs::Obs::disabled());
+        let four = execute_full(&spec, 4, &laec_obs::Obs::disabled());
         assert_eq!(one.to_json(), four.to_json());
         assert!(one.architecturally_equivalent());
         assert_eq!(one.platforms, vec!["smp2"]);

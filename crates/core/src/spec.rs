@@ -51,6 +51,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 use laec_mem::{FaultTarget, ProtocolKind};
+use laec_obs::Obs;
 use laec_pipeline::EccScheme;
 use laec_workloads::GeneratorConfig;
 use serde::{Serialize, Serializer};
@@ -743,6 +744,22 @@ impl ValidatedSpec {
         &self.spec
     }
 
+    /// FNV-1a fingerprint of the spec's canonical JSON — the identity that
+    /// stamps metrics dumps and progress events (and, per ROADMAP, will
+    /// address fleet results).  Stable across processes for equal specs.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        campaign::fnv1a(self.spec.to_json().bytes())
+    }
+
+    /// [`ValidatedSpec::fingerprint`] as the `0x`-prefixed hex string used
+    /// in serialized artifacts (a string survives consumers that parse
+    /// JSON numbers as doubles).
+    #[must_use]
+    pub fn fingerprint_hex(&self) -> String {
+        format!("0x{:016x}", self.fingerprint())
+    }
+
     /// The execution mode.
     #[must_use]
     pub fn mode(&self) -> &ExecutionMode {
@@ -1103,8 +1120,10 @@ pub trait CampaignEngine {
     /// What this engine can drive.
     fn capabilities(&self) -> EngineCaps;
 
-    /// Executes a validated spec on `threads` workers (`0` = all cores).
-    fn execute(&self, spec: &ValidatedSpec, threads: usize) -> CampaignOutcome;
+    /// Executes a validated spec on `threads` workers (`0` = all cores),
+    /// observing through `obs` — pass [`Obs::disabled`] for the
+    /// uninstrumented path (the engines pay one branch per site).
+    fn execute(&self, spec: &ValidatedSpec, threads: usize, obs: &Obs) -> CampaignOutcome;
 }
 
 /// The reference engine: every cell is fully simulated
@@ -1122,9 +1141,9 @@ impl CampaignEngine for FullSimEngine {
         }
     }
 
-    fn execute(&self, spec: &ValidatedSpec, threads: usize) -> CampaignOutcome {
+    fn execute(&self, spec: &ValidatedSpec, threads: usize, obs: &Obs) -> CampaignOutcome {
         CampaignOutcome::Grid {
-            report: campaign::execute_full(&spec.grid(), threads),
+            report: campaign::execute_full(&spec.grid(), threads, obs),
             trace_stats: None,
         }
     }
@@ -1145,12 +1164,12 @@ impl CampaignEngine for TraceBackedEngine {
         }
     }
 
-    fn execute(&self, spec: &ValidatedSpec, threads: usize) -> CampaignOutcome {
+    fn execute(&self, spec: &ValidatedSpec, threads: usize, obs: &Obs) -> CampaignOutcome {
         let cache_dir = match spec.mode() {
             ExecutionMode::TraceBacked { cache_dir } => cache_dir.as_deref(),
             _ => None,
         };
-        let traced = trace_backed::execute_trace_backed(&spec.grid(), threads, cache_dir);
+        let traced = trace_backed::execute_trace_backed(&spec.grid(), threads, cache_dir, obs);
         CampaignOutcome::Grid {
             report: traced.report,
             trace_stats: Some(traced.stats),
@@ -1177,11 +1196,12 @@ impl CampaignEngine for SampledEngine {
     /// Panics if the spec's mode is not [`ExecutionMode::Sampled`] (there
     /// is no meaningful default budget); [`Campaign::run`] never routes
     /// such a spec here.
-    fn execute(&self, spec: &ValidatedSpec, threads: usize) -> CampaignOutcome {
+    fn execute(&self, spec: &ValidatedSpec, threads: usize, obs: &Obs) -> CampaignOutcome {
         let ExecutionMode::Sampled { plan, execution } = spec.mode() else {
             panic!("SampledEngine needs ExecutionMode::Sampled");
         };
-        let (report, stats) = sampling::execute_sampled(&spec.grid(), plan, threads, execution);
+        let (report, stats) =
+            sampling::execute_sampled(&spec.grid(), plan, threads, execution, obs);
         let trace_stats = matches!(execution, SampleExecution::TraceBacked { .. }).then_some(stats);
         CampaignOutcome::Sampled {
             report,
@@ -1205,9 +1225,9 @@ impl CampaignEngine for SmpEngine {
         }
     }
 
-    fn execute(&self, spec: &ValidatedSpec, threads: usize) -> CampaignOutcome {
+    fn execute(&self, spec: &ValidatedSpec, threads: usize, obs: &Obs) -> CampaignOutcome {
         CampaignOutcome::Grid {
-            report: smp_campaign::execute_smp(&spec.grid(), threads),
+            report: smp_campaign::execute_smp(&spec.grid(), threads, obs),
             trace_stats: None,
         }
     }
@@ -1370,7 +1390,24 @@ impl Campaign {
     /// legacy entry point of the spec's mode, for any thread count.
     #[must_use]
     pub fn run(&self, threads: usize) -> CampaignOutcome {
-        self.engine().execute(&self.spec, threads)
+        self.run_observed(threads, &Obs::disabled())
+    }
+
+    /// [`Campaign::run`] under instrumentation: stamps `obs` with the spec
+    /// fingerprint and engine name, streams progress events while the
+    /// engine executes, and projects the finished outcome into the
+    /// deterministic metric sections (see
+    /// [`crate::observe::record_outcome_metrics`]).
+    ///
+    /// The outcome — and therefore the report bytes — is identical to
+    /// [`Campaign::run`]: observation never touches results.
+    #[must_use]
+    pub fn run_observed(&self, threads: usize, obs: &Obs) -> CampaignOutcome {
+        let engine = self.engine();
+        obs.set_context(&self.spec.fingerprint_hex(), engine.capabilities().name);
+        let outcome = engine.execute(&self.spec, threads, obs);
+        crate::observe::record_outcome_metrics(&outcome, obs);
+        outcome
     }
 }
 

@@ -39,6 +39,7 @@ use std::fs;
 use std::path::Path;
 
 use laec_mem::{FaultCampaignConfig, ReplayMemory};
+use laec_obs::{Obs, Phase, ProgressEvent};
 use laec_pipeline::{EccScheme, PipelineConfig, Simulator};
 use laec_trace::{
     replay_events, Divergence, SharedSink, Trace, TraceContext, TraceDetail, TraceError,
@@ -290,6 +291,7 @@ pub(crate) fn obtain_recording(
     scheme: EccScheme,
     platform: PlatformVariant,
     cache_dir: Option<&Path>,
+    obs: &Obs,
 ) -> (CampaignCell, Trace, Vec<TraceEvent>, Origin) {
     let file_name = trace_file_name(
         &workload.name,
@@ -299,6 +301,7 @@ pub(crate) fn obtain_recording(
     );
     if let Some(dir) = cache_dir {
         if let Ok(bytes) = fs::read(dir.join(&file_name)) {
+            let _span = obs.span(Phase::TraceDecode);
             if let Ok(trace) = Trace::decode(&bytes) {
                 if let Ok(events) = trace.decode_events() {
                     if let Ok(cell) =
@@ -310,7 +313,10 @@ pub(crate) fn obtain_recording(
             }
         }
     }
-    let (cell, trace) = record_cell(spec, workload, scheme, platform, TraceDetail::Replay);
+    let (cell, trace) = {
+        let _span = obs.span(Phase::TraceRecord);
+        record_cell(spec, workload, scheme, platform, TraceDetail::Replay)
+    };
     let cache_write_failed = cache_dir.is_some_and(|dir| {
         fs::create_dir_all(dir)
             .and_then(|()| fs::write(dir.join(&file_name), trace.encode()))
@@ -341,7 +347,7 @@ pub fn run_campaign_trace_backed(
     threads: usize,
     cache_dir: Option<&Path>,
 ) -> TracedCampaign {
-    execute_trace_backed(spec, threads, cache_dir)
+    execute_trace_backed(spec, threads, cache_dir, &Obs::disabled())
 }
 
 /// The record-once/replay-per-seed engine behind [`run_campaign_trace_backed`]
@@ -351,6 +357,7 @@ pub(crate) fn execute_trace_backed(
     spec: &CampaignSpec,
     threads: usize,
     cache_dir: Option<&Path>,
+    obs: &Obs,
 ) -> TracedCampaign {
     assert!(
         spec.platforms.iter().all(|p| p.cores() == 1),
@@ -373,20 +380,43 @@ pub(crate) fn execute_trace_backed(
             }
         }
     }
+    let fault_count = spec.fault_seeds.len();
+    let total = (triples.len() * (1 + fault_count)) as u64;
+    obs.emit(&ProgressEvent::CampaignStart {
+        engine: "trace-backed",
+        jobs: total,
+    });
     type RecordedCell = (CampaignCell, Trace, Vec<TraceEvent>, Origin);
     let phase1: Vec<RecordedCell> = run_pool(triples.len(), threads, |index| {
         let (workload, platform, scheme) = triples[index];
-        obtain_recording(
+        let recorded = obtain_recording(
             spec,
             &workloads[workload],
             spec.schemes[scheme],
             spec.platforms[platform],
             cache_dir,
-        )
+            obs,
+        );
+        let phase = match recorded.3 {
+            Origin::CacheHit => Phase::TraceDecode,
+            Origin::Recorded { .. } => Phase::TraceRecord,
+        };
+        obs.emit(&ProgressEvent::Cell {
+            // The cell's position in the canonical grid order: fault-free
+            // cells lead their triple's block of 1 + fault_count cells.
+            index: (index * (1 + fault_count)) as u64,
+            total,
+            workload: &recorded.0.workload,
+            scheme: &recorded.0.scheme,
+            platform: &recorded.0.platform,
+            fault_seed: None,
+            cycles: recorded.0.cycles,
+            phase: phase.label(),
+        });
+        recorded
     });
 
     // Phase 2: replay every faulty cell from its triple's trace.
-    let fault_count = spec.fault_seeds.len();
     let phase2: Vec<(CampaignCell, bool)> =
         run_pool(triples.len() * fault_count, threads, |index| {
             let triple = index / fault_count;
@@ -406,18 +436,45 @@ pub(crate) fn execute_trace_backed(
             .with_target(spec.fault_target);
             let workload = &workloads[workload];
             let (_, trace, events, _) = &phase1[triple];
-            match replay_cell_events(
-                spec,
-                trace,
-                events,
-                workload,
-                Some(campaign),
-                Some(axis_seed),
-            ) {
+            let replayed = {
+                let _span = obs.span(Phase::Replay);
+                replay_cell_events(
+                    spec,
+                    trace,
+                    events,
+                    workload,
+                    Some(campaign),
+                    Some(axis_seed),
+                )
+            };
+            let (cell, replayed) = match replayed {
                 Ok(cell) => (cell, true),
-                Err(_divergence) => (run_job(spec, &workloads, job), false),
-            }
+                Err(_divergence) => {
+                    let _span = obs.span(Phase::FullSimFallback);
+                    (run_job(spec, &workloads, job), false)
+                }
+            };
+            let phase = if replayed {
+                Phase::Replay
+            } else {
+                Phase::FullSimFallback
+            };
+            obs.emit(&ProgressEvent::Cell {
+                index: (triple * (1 + fault_count) + 1 + fault) as u64,
+                total,
+                workload: &cell.workload,
+                scheme: &cell.scheme,
+                platform: &cell.platform,
+                fault_seed: cell.fault_seed,
+                cycles: cell.cycles,
+                phase: phase.label(),
+            });
+            (cell, replayed)
         });
+    obs.emit(&ProgressEvent::CampaignEnd {
+        engine: "trace-backed",
+        executed: total,
+    });
 
     // Interleave back into the canonical grid order and aggregate counters.
     let mut stats = TraceBackedStats::default();

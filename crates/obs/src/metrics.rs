@@ -1,0 +1,453 @@
+//! The metric value types and the serializable metrics dump.
+//!
+//! A [`MetricsDump`] is the end-of-campaign snapshot of the registry inside
+//! [`crate::Obs`].  Its layout enforces the crate's central contract: the
+//! deterministic sections (`counters`, `gauges`, `histograms`,
+//! `engine_counters`) are kept strictly separate from the wall-clock
+//! `timings` section, so the deterministic part can be `cmp`'d across
+//! thread counts, shard/resume splits and — for the engine-independent
+//! subset — across execution engines, while the timings remain free to
+//! vary run to run.
+
+use std::collections::BTreeMap;
+
+use serde::{Serialize, Serializer};
+use serde_json::Value;
+
+/// The metrics dump layout version.
+pub const METRICS_SCHEMA: u64 = 1;
+
+/// A labelled-bucket histogram: deterministic counts keyed by bucket name.
+///
+/// Buckets are kept sorted (a `BTreeMap`), so serialization order never
+/// depends on insertion order — the property that lets histograms live in
+/// the byte-compared section of a [`MetricsDump`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<String, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Adds `delta` observations to `bucket` (creating it at zero).
+    pub fn add(&mut self, bucket: &str, delta: u64) {
+        *self.buckets.entry(bucket.to_string()).or_insert(0) += delta;
+    }
+
+    /// The count in `bucket` (zero when absent).
+    #[must_use]
+    pub fn get(&self, bucket: &str) -> u64 {
+        self.buckets.get(bucket).copied().unwrap_or(0)
+    }
+
+    /// Total observations across all buckets.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+
+    /// `true` when no bucket has been touched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// The buckets in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.buckets
+            .iter()
+            .map(|(name, count)| (name.as_str(), *count))
+    }
+}
+
+impl Serialize for Histogram {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        for (bucket, count) in &self.buckets {
+            serializer.field(bucket, count);
+        }
+        serializer.end_object();
+    }
+}
+
+/// Accumulated wall-clock time of one instrumented phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed spans of this phase.
+    pub calls: u64,
+    /// Total time inside the phase, in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// One row of the self-profile table: a phase and its accumulated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase label (see [`crate::Phase::label`]).
+    pub phase: String,
+    /// Completed spans of the phase.
+    pub calls: u64,
+    /// Total wall-clock milliseconds inside the phase.
+    pub total_ms: f64,
+}
+
+impl Serialize for PhaseTiming {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        serializer.field("phase", self.phase.as_str());
+        serializer.field("calls", &self.calls);
+        serializer.field("total_ms", &self.total_ms);
+        serializer.end_object();
+    }
+}
+
+/// An end-of-campaign metrics snapshot.
+///
+/// Section contract (asserted by the workspace's determinism tests and CI):
+///
+/// * `counters`, `gauges`, `histograms` — pure projections of the
+///   byte-identical campaign report: identical across thread counts,
+///   shard/resume splits **and** execution engines driving the same spec.
+/// * `engine_counters` — deterministic for a given engine (identical
+///   across thread counts; the sampler's survive shard/resume splits).
+/// * `timings` — wall-clock self-profile, explicitly excluded from every
+///   byte comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsDump {
+    /// Layout version ([`METRICS_SCHEMA`]).
+    pub schema: u64,
+    /// FNV-1a fingerprint of the campaign spec's canonical JSON, as a
+    /// `0x`-prefixed hex string (a string survives consumers that parse
+    /// JSON numbers as doubles).
+    pub spec_fingerprint: String,
+    /// The engine that produced the campaign (`full`, `trace-backed`,
+    /// `sampled`, `smp`).
+    pub engine: String,
+    /// Deterministic, engine-independent counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Deterministic, engine-independent gauges (ratios and axis sizes).
+    pub gauges: BTreeMap<String, f64>,
+    /// Deterministic, engine-independent histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Deterministic counters specific to the engine that ran (`trace.*`,
+    /// `sampler.*`).
+    pub engine_counters: BTreeMap<String, u64>,
+    /// Wall-clock self-profile, sorted by phase label.
+    pub timings: Vec<PhaseTiming>,
+}
+
+fn counter_object(serializer: &mut Serializer, key: &str, map: &BTreeMap<String, u64>) {
+    serializer.field(key, &MapAsObject(map));
+}
+
+struct MapAsObject<'a, T>(&'a BTreeMap<String, T>);
+
+impl<T: Serialize> Serialize for MapAsObject<'_, T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        for (name, value) in self.0 {
+            serializer.field(name, value);
+        }
+        serializer.end_object();
+    }
+}
+
+impl MetricsDump {
+    /// The full dump (deterministic sections first, timings last) as
+    /// pretty-printed JSON — what `campaign --metrics-out FILE` writes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut serializer = Serializer::pretty();
+        serializer.begin_object();
+        serializer.field("schema", &self.schema);
+        serializer.field("spec_fingerprint", self.spec_fingerprint.as_str());
+        serializer.field("engine", self.engine.as_str());
+        counter_object(&mut serializer, "counters", &self.counters);
+        serializer.field("gauges", &MapAsObject(&self.gauges));
+        serializer.field("histograms", &MapAsObject(&self.histograms));
+        counter_object(&mut serializer, "engine_counters", &self.engine_counters);
+        serializer.field("timings", &self.timings);
+        serializer.end_object();
+        serializer.finish()
+    }
+
+    /// The byte-comparable counter section: everything deterministic,
+    /// nothing wall-clock.  Identical across thread counts and (for
+    /// sampled campaigns) shard/resume splits.
+    #[must_use]
+    pub fn counter_section_json(&self) -> String {
+        let mut serializer = Serializer::pretty();
+        serializer.begin_object();
+        serializer.field("spec_fingerprint", self.spec_fingerprint.as_str());
+        serializer.field("engine", self.engine.as_str());
+        counter_object(&mut serializer, "counters", &self.counters);
+        serializer.field("gauges", &MapAsObject(&self.gauges));
+        serializer.field("histograms", &MapAsObject(&self.histograms));
+        counter_object(&mut serializer, "engine_counters", &self.engine_counters);
+        serializer.end_object();
+        serializer.finish()
+    }
+
+    /// The engine-independent subset of the counter section: identical
+    /// even across execution engines (full simulation vs trace-backed
+    /// replay) driving the same grid, because every value is a projection
+    /// of the byte-identical report.  The spec fingerprint is deliberately
+    /// omitted — it covers the execution mode, which is exactly what this
+    /// section abstracts over.
+    #[must_use]
+    pub fn campaign_section_json(&self) -> String {
+        let mut serializer = Serializer::pretty();
+        serializer.begin_object();
+        counter_object(&mut serializer, "counters", &self.counters);
+        serializer.field("gauges", &MapAsObject(&self.gauges));
+        serializer.field("histograms", &MapAsObject(&self.histograms));
+        serializer.end_object();
+        serializer.finish()
+    }
+
+    /// Parses a dump previously written by [`MetricsDump::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed or missing element.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let root = serde_json::parse(text).map_err(|e| e.to_string())?;
+        let schema = require_u64(&root, "schema")?;
+        if schema != METRICS_SCHEMA {
+            return Err(format!("unsupported metrics schema {schema}"));
+        }
+        let spec_fingerprint = require_str(&root, "spec_fingerprint")?.to_string();
+        let engine = require_str(&root, "engine")?.to_string();
+        let counters = u64_map(&root, "counters")?;
+        let engine_counters = u64_map(&root, "engine_counters")?;
+        let mut gauges = BTreeMap::new();
+        for (name, value) in require_object(&root, "gauges")? {
+            let number = value
+                .as_f64()
+                .ok_or_else(|| format!("gauge `{name}` is not a number"))?;
+            gauges.insert(name.clone(), number);
+        }
+        let mut histograms = BTreeMap::new();
+        for (name, value) in require_object(&root, "histograms")? {
+            let mut histogram = Histogram::new();
+            for (bucket, count) in value
+                .as_object()
+                .ok_or_else(|| format!("histogram `{name}` is not an object"))?
+            {
+                let count = count
+                    .as_u64()
+                    .ok_or_else(|| format!("bucket `{name}.{bucket}` is not a count"))?;
+                histogram.add(bucket, count);
+            }
+            histograms.insert(name.clone(), histogram);
+        }
+        let mut timings = Vec::new();
+        for row in root
+            .get("timings")
+            .and_then(Value::as_array)
+            .ok_or("`timings` is not an array")?
+        {
+            timings.push(PhaseTiming {
+                phase: require_str(row, "phase")?.to_string(),
+                calls: require_u64(row, "calls")?,
+                total_ms: row
+                    .get("total_ms")
+                    .and_then(Value::as_f64)
+                    .ok_or("`total_ms` is not a number")?,
+            });
+        }
+        Ok(MetricsDump {
+            schema,
+            spec_fingerprint,
+            engine,
+            counters,
+            gauges,
+            histograms,
+            engine_counters,
+            timings,
+        })
+    }
+
+    /// Renders the dump as an aligned human-readable table (the
+    /// `laec-cli stats` output).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "metrics dump (schema {}, engine {}, spec {})",
+            self.schema, self.engine, self.spec_fingerprint,
+        );
+        let width = self
+            .counters
+            .keys()
+            .chain(self.engine_counters.keys())
+            .chain(self.gauges.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max(24);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters (deterministic):");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$} {value:>16}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges (deterministic):");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<width$} {value:>16.6}");
+            }
+        }
+        for (name, histogram) in &self.histograms {
+            let _ = writeln!(out, "\nhistogram {name} ({} total):", histogram.total());
+            for (bucket, count) in histogram.iter() {
+                let _ = writeln!(out, "  {bucket:<width$} {count:>16}");
+            }
+        }
+        if !self.engine_counters.is_empty() {
+            let _ = writeln!(out, "\nengine counters ({}):", self.engine);
+            for (name, value) in &self.engine_counters {
+                let _ = writeln!(out, "  {name:<width$} {value:>16}");
+            }
+        }
+        if !self.timings.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nself-profile (wall clock, excluded from determinism):"
+            );
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} {:>14} {:>12}",
+                "phase", "calls", "total_ms", "ms/call"
+            );
+            for row in &self.timings {
+                let per_call = if row.calls > 0 {
+                    row.total_ms / row.calls as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>10} {:>14.3} {:>12.4}",
+                    row.phase, row.calls, row.total_ms, per_call,
+                );
+            }
+        }
+        out
+    }
+}
+
+fn require_object<'a>(value: &'a Value, key: &str) -> Result<&'a [(String, Value)], String> {
+    value
+        .get(key)
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("`{key}` is not an object"))
+}
+
+fn require_u64(value: &Value, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("`{key}` is not an unsigned integer"))
+}
+
+fn require_str<'a>(value: &'a Value, key: &str) -> Result<&'a str, String> {
+    value
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("`{key}` is not a string"))
+}
+
+fn u64_map(value: &Value, key: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut map = BTreeMap::new();
+    for (name, entry) in require_object(value, key)? {
+        let count = entry
+            .as_u64()
+            .ok_or_else(|| format!("counter `{name}` is not an unsigned integer"))?;
+        map.insert(name.clone(), count);
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dump() -> MetricsDump {
+        let mut dump = MetricsDump {
+            schema: METRICS_SCHEMA,
+            spec_fingerprint: "0x00000000000004d2".to_string(),
+            engine: "full".to_string(),
+            ..MetricsDump::default()
+        };
+        dump.counters.insert("campaign.cells".into(), 24);
+        dump.counters.insert("campaign.faults_injected".into(), 7);
+        dump.gauges.insert("campaign.load_hit_rate".into(), 0.875);
+        let mut histogram = Histogram::new();
+        histogram.add("wb", 24);
+        dump.histograms
+            .insert("campaign.cells_by_platform".into(), histogram);
+        dump.engine_counters.insert("trace.replayed".into(), 16);
+        dump.timings.push(PhaseTiming {
+            phase: "replay".into(),
+            calls: 16,
+            total_ms: 1.25,
+        });
+        dump
+    }
+
+    #[test]
+    fn dump_round_trips_through_json() {
+        let dump = sample_dump();
+        let parsed = MetricsDump::from_json(&dump.to_json()).expect("round trip");
+        assert_eq!(parsed, dump);
+    }
+
+    #[test]
+    fn counter_section_excludes_wall_clock() {
+        let dump = sample_dump();
+        let section = dump.counter_section_json();
+        assert!(section.contains("campaign.cells"));
+        assert!(section.contains("trace.replayed"));
+        assert!(!section.contains("total_ms"));
+        assert!(!section.contains("timings"));
+    }
+
+    #[test]
+    fn campaign_section_excludes_engine_specifics() {
+        let dump = sample_dump();
+        let section = dump.campaign_section_json();
+        assert!(section.contains("campaign.cells"));
+        assert!(!section.contains("trace.replayed"));
+        assert!(!section.contains("\"engine\""));
+    }
+
+    #[test]
+    fn histogram_buckets_sort_and_sum() {
+        let mut histogram = Histogram::new();
+        histogram.add("zeta", 2);
+        histogram.add("alpha", 3);
+        histogram.add("zeta", 1);
+        assert_eq!(histogram.total(), 6);
+        assert_eq!(histogram.get("zeta"), 3);
+        assert_eq!(histogram.get("missing"), 0);
+        let order: Vec<&str> = histogram.iter().map(|(name, _)| name).collect();
+        assert_eq!(order, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let text = sample_dump().render();
+        assert!(text.contains("counters (deterministic):"));
+        assert!(text.contains("self-profile"));
+        assert!(text.contains("campaign.cells"));
+        assert!(text.contains("replay"));
+    }
+}

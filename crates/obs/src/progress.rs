@@ -1,0 +1,331 @@
+//! The streaming side: progress/convergence events and their sinks.
+//!
+//! Mirrors the `TraceSink` capture pattern: emitters call through
+//! [`crate::Obs`] unconditionally, the [`ProgressSink`] trait defaults
+//! every hook to a no-op, and a concrete sink ([`JsonlSink`]) turns the
+//! stream into machine-readable JSONL on stderr or a file.  Events are
+//! *progress*, not results: their arrival order may vary with the worker
+//! count, which is why the determinism contract lives in the metrics dump
+//! (see [`crate::MetricsDump`]) and never in the event stream.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serializer;
+
+/// One progress/convergence event.
+///
+/// Every serialized line is stamped with the campaign spec's fingerprint
+/// (`"spec"`), so interleaved streams from different campaigns can be
+/// separated after the fact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProgressEvent<'a> {
+    /// A campaign started: `jobs` cells (grid modes) or strata (sampled).
+    CampaignStart {
+        /// Engine name (`full`, `trace-backed`, `sampled`, `smp`).
+        engine: &'a str,
+        /// Total cells (grid modes) or strata (sampled mode).
+        jobs: u64,
+    },
+    /// One grid cell completed.
+    Cell {
+        /// Zero-based index in deterministic grid order.
+        index: u64,
+        /// Total cells in the grid.
+        total: u64,
+        /// Workload name.
+        workload: &'a str,
+        /// Scheme label.
+        scheme: &'a str,
+        /// Platform label.
+        platform: &'a str,
+        /// Fault-axis seed (`None` for the fault-free run).
+        fault_seed: Option<u64>,
+        /// Cycles the cell retired.
+        cycles: u64,
+        /// The phase that served the cell (see [`crate::Phase::label`]).
+        phase: &'a str,
+    },
+    /// One stratum's state after a sampling round folded — the Wilson
+    /// interval width is the convergence signal the stopping rule watches.
+    Round {
+        /// One-based round number (continues across shard/resume splits).
+        round: u64,
+        /// Workload name.
+        workload: &'a str,
+        /// Scheme label.
+        scheme: &'a str,
+        /// Platform label.
+        platform: &'a str,
+        /// Samples drawn so far.
+        samples: u64,
+        /// Failures observed so far.
+        failures: u64,
+        /// Wilson interval lower bound.
+        ci_low: f64,
+        /// Wilson interval upper bound.
+        ci_high: f64,
+        /// Interval width (`ci_high - ci_low`).
+        width: f64,
+        /// `true` once the stopping rule ended the stratum.
+        converged: bool,
+    },
+    /// The campaign finished; the final report follows on stdout.
+    CampaignEnd {
+        /// Engine name.
+        engine: &'a str,
+        /// Cells or samples executed in this invocation.
+        executed: u64,
+    },
+}
+
+impl ProgressEvent<'_> {
+    /// Encodes the event as one compact JSON line (no trailing newline),
+    /// stamped with the spec fingerprint.
+    #[must_use]
+    pub fn to_json_line(&self, spec_fingerprint: &str) -> String {
+        let mut s = Serializer::compact();
+        s.begin_object();
+        match self {
+            ProgressEvent::CampaignStart { engine, jobs } => {
+                s.field("event", "campaign_start");
+                s.field("spec", spec_fingerprint);
+                s.field("engine", *engine);
+                s.field("jobs", jobs);
+            }
+            ProgressEvent::Cell {
+                index,
+                total,
+                workload,
+                scheme,
+                platform,
+                fault_seed,
+                cycles,
+                phase,
+            } => {
+                s.field("event", "cell");
+                s.field("spec", spec_fingerprint);
+                s.field("index", index);
+                s.field("total", total);
+                s.field("workload", *workload);
+                s.field("scheme", *scheme);
+                s.field("platform", *platform);
+                s.field("fault_seed", fault_seed);
+                s.field("cycles", cycles);
+                s.field("phase", *phase);
+            }
+            ProgressEvent::Round {
+                round,
+                workload,
+                scheme,
+                platform,
+                samples,
+                failures,
+                ci_low,
+                ci_high,
+                width,
+                converged,
+            } => {
+                s.field("event", "round");
+                s.field("spec", spec_fingerprint);
+                s.field("round", round);
+                s.field("workload", *workload);
+                s.field("scheme", *scheme);
+                s.field("platform", *platform);
+                s.field("samples", samples);
+                s.field("failures", failures);
+                s.field("ci_low", ci_low);
+                s.field("ci_high", ci_high);
+                s.field("width", width);
+                s.field("converged", converged);
+            }
+            ProgressEvent::CampaignEnd { engine, executed } => {
+                s.field("event", "campaign_end");
+                s.field("spec", spec_fingerprint);
+                s.field("engine", *engine);
+                s.field("executed", executed);
+            }
+        }
+        s.end_object();
+        s.finish()
+    }
+}
+
+/// Receiver of progress events.
+///
+/// Every method defaults to a no-op so emitters can call unconditionally
+/// — attaching no sink (or a [`NullProgressSink`]) keeps streaming free.
+pub trait ProgressSink: fmt::Debug + Send {
+    /// One event, already stamped with the spec fingerprint by the caller.
+    fn emit(&mut self, _event: &ProgressEvent<'_>, _spec_fingerprint: &str) {}
+}
+
+/// A sink that drops everything (the default behaviour, spelled out).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProgressSink;
+
+impl ProgressSink for NullProgressSink {}
+
+/// Streams each event as one JSON line, flushing per event so progress is
+/// visible while the campaign runs.
+pub struct JsonlSink {
+    out: Box<dyn Write + Send>,
+    label: &'static str,
+}
+
+impl JsonlSink {
+    /// A sink writing to the process's stderr (never stdout: report bytes
+    /// stay untouched).
+    #[must_use]
+    pub fn stderr() -> Self {
+        JsonlSink {
+            out: Box::new(std::io::stderr()),
+            label: "stderr",
+        }
+    }
+
+    /// A sink writing to (and truncating) `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file cannot be created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            out: Box::new(std::fs::File::create(path)?),
+            label: "file",
+        })
+    }
+
+    /// A sink writing into any byte sink (used by tests).
+    #[must_use]
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out,
+            label: "writer",
+        }
+    }
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("out", &self.label)
+            .finish()
+    }
+}
+
+impl ProgressSink for JsonlSink {
+    fn emit(&mut self, event: &ProgressEvent<'_>, spec_fingerprint: &str) {
+        let line = event.to_json_line(spec_fingerprint);
+        // A broken pipe must not take the campaign down with it; progress
+        // is best-effort by design.
+        let _ = writeln!(self.out, "{line}");
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_encode_as_single_json_lines() {
+        let event = ProgressEvent::Cell {
+            index: 3,
+            total: 24,
+            workload: "vector_sum",
+            scheme: "laec",
+            platform: "wb",
+            fault_seed: Some(7),
+            cycles: 1234,
+            phase: "replay",
+        };
+        let line = event.to_json_line("0x1234");
+        assert!(!line.contains('\n'));
+        let value = serde_json::parse(&line).expect("valid JSON");
+        assert_eq!(value.get("event").and_then(|v| v.as_str()), Some("cell"));
+        assert_eq!(value.get("spec").and_then(|v| v.as_str()), Some("0x1234"));
+        assert_eq!(value.get("fault_seed").and_then(|v| v.as_u64()), Some(7));
+    }
+
+    #[test]
+    fn fault_free_cells_serialize_a_null_seed() {
+        let event = ProgressEvent::Cell {
+            index: 0,
+            total: 1,
+            workload: "w",
+            scheme: "s",
+            platform: "p",
+            fault_seed: None,
+            cycles: 1,
+            phase: "full_sim",
+        };
+        let value = serde_json::parse(&event.to_json_line("0x0")).expect("valid JSON");
+        assert!(value.get("fault_seed").expect("present").is_null());
+    }
+
+    #[test]
+    fn round_events_carry_the_wilson_interval() {
+        let event = ProgressEvent::Round {
+            round: 2,
+            workload: "w",
+            scheme: "s",
+            platform: "p",
+            samples: 32,
+            failures: 1,
+            ci_low: 0.001,
+            ci_high: 0.15,
+            width: 0.149,
+            converged: false,
+        };
+        let value = serde_json::parse(&event.to_json_line("0xff")).expect("valid JSON");
+        assert_eq!(value.get("round").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(
+            value.get("converged").and_then(|v| v.as_bool()),
+            Some(false)
+        );
+        assert!(value.get("width").and_then(|v| v.as_f64()).is_some());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("unpoisoned").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buffer = Shared(Arc::new(Mutex::new(Vec::new())));
+        let mut sink = JsonlSink::to_writer(Box::new(buffer.clone()));
+        sink.emit(
+            &ProgressEvent::CampaignStart {
+                engine: "full",
+                jobs: 8,
+            },
+            "0x1",
+        );
+        sink.emit(
+            &ProgressEvent::CampaignEnd {
+                engine: "full",
+                executed: 8,
+            },
+            "0x1",
+        );
+        let bytes = buffer.0.lock().expect("unpoisoned").clone();
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            serde_json::parse(line).expect("each line is standalone JSON");
+        }
+    }
+}

@@ -15,7 +15,10 @@
 //! * [`smp`] — the N-core system model: private MESI-coherent DL1s snooping
 //!   a shared bus in front of the shared L2,
 //! * [`core`] — experiment harness reproducing every table and figure,
-//!   including the trace-backed and multi-core campaign engines.
+//!   including the trace-backed and multi-core campaign engines,
+//! * [`obs`] — deterministic instrumentation: the metrics registry,
+//!   phase-timing spans and progress streaming behind
+//!   `laec-cli campaign --metrics-out/--progress`.
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@ pub mod prelude {
     pub use laec_core::campaign::{
         render_campaign, CampaignCell, CampaignReport, PlatformVariant, WorkloadSet,
     };
+    pub use laec_core::observe::record_outcome_metrics;
     pub use laec_core::sampling::{
         render_sampled, SampleExecution, SampledReport, Sampler, SamplingPlan,
     };
@@ -63,6 +67,7 @@ pub mod prelude {
     };
     pub use laec_core::trace_backed::TraceBackedStats;
     pub use laec_mem::FaultTarget;
+    pub use laec_obs::{MetricsDump, Obs};
     pub use laec_pipeline::{EccScheme, PipelineConfig, Simulator};
     pub use laec_workloads::GeneratorConfig;
 }
@@ -71,6 +76,7 @@ pub use laec_core as core;
 pub use laec_ecc as ecc;
 pub use laec_isa as isa;
 pub use laec_mem as mem;
+pub use laec_obs as obs;
 pub use laec_pipeline as pipeline;
 pub use laec_smp as smp;
 pub use laec_trace as trace;

@@ -11,9 +11,16 @@
 //! No statistical analysis, HTML reports or command-line filtering — the CI
 //! gate is `cargo bench --no-run` (compile only), and local `cargo bench`
 //! gives indicative numbers.
+//!
+//! When the `LAEC_BENCH_DIR` environment variable is set, each bench binary
+//! additionally writes a machine-readable artifact
+//! `$LAEC_BENCH_DIR/BENCH_<target>.json` on exit — one record per benchmark
+//! with its median and min/max nanoseconds per iteration — so CI can upload
+//! benchmark results without scraping stdout.
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 pub use std::hint::black_box;
@@ -99,6 +106,20 @@ impl Bencher {
     }
 }
 
+/// One finished benchmark, as recorded for the `BENCH_*.json` artifact.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    label: String,
+    samples: usize,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+/// Every benchmark the process has run, in execution order.  The artifact
+/// writer drains it once, at the end of `criterion_main!`.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
 fn run_benchmark<F>(label: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
@@ -115,6 +136,63 @@ where
     bencher.samples.sort_unstable();
     let median = bencher.samples[bencher.samples.len() / 2];
     println!("  {label} ... {} ns/iter (median of {sample_size})", median);
+    RESULTS
+        .lock()
+        .expect("bench results poisoned")
+        .push(BenchRecord {
+            label: label.to_string(),
+            samples: bencher.samples.len(),
+            median_ns: median,
+            min_ns: bencher.samples[0],
+            max_ns: bencher.samples[bencher.samples.len() - 1],
+        });
+}
+
+/// Writes the accumulated results as `$LAEC_BENCH_DIR/BENCH_<target>.json`
+/// (no-op when the variable is unset).  Called by `criterion_main!` with
+/// the bench target's crate name; not part of the upstream criterion API.
+pub fn write_artifact(target: &str) {
+    let Ok(dir) = std::env::var("LAEC_BENCH_DIR") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench results poisoned");
+    let mut json = String::from("{\n  \"schema\": 1,\n");
+    json.push_str(&format!("  \"target\": \"{}\",\n", escape(target)));
+    json.push_str("  \"results\": [");
+    for (index, record) in results.iter().enumerate() {
+        if index > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n    {{\"label\": \"{}\", \"samples\": {}, \"median_ns\": {}, \
+             \"min_ns\": {}, \"max_ns\": {}}}",
+            escape(&record.label),
+            record.samples,
+            record.median_ns,
+            record.min_ns,
+            record.max_ns,
+        ));
+    }
+    if !results.is_empty() {
+        json.push('\n');
+        json.push_str("  ");
+    }
+    json.push_str("]\n}\n");
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{target}.json"));
+    if let Err(error) = std::fs::write(&path, json) {
+        eprintln!("cannot write bench artifact {}: {error}", path.display());
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
@@ -129,11 +207,16 @@ macro_rules! criterion_group {
 }
 
 /// Declares the benchmark binary's `main`, mirroring `criterion::criterion_main!`.
+///
+/// On exit the stub's `main` also writes the `BENCH_<target>.json` artifact
+/// when `LAEC_BENCH_DIR` is set; `CARGO_CRATE_NAME` expands to the bench
+/// target's own crate name because the macro body is expanded there.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_artifact(env!("CARGO_CRATE_NAME"));
         }
     };
 }

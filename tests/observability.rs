@@ -1,0 +1,252 @@
+//! The observability layer's determinism contract:
+//!
+//! 1. **Zero perturbation** — a campaign run with an enabled [`Obs`] handle
+//!    produces byte-identical report JSON to the same campaign run with
+//!    observability disabled.
+//! 2. **Counter-section identity** — the deterministic sections of the
+//!    metrics dump (`counter_section_json`) are byte-identical across
+//!    worker-thread counts and across a fresh run versus a
+//!    checkpoint/resume shard split, because they are projected from the
+//!    final (byte-identical) reports, never incremented live.
+//! 3. **Cross-engine identity** — the engine-independent sections
+//!    (`campaign_section_json`) are byte-identical between the full-sim and
+//!    trace-backed engines on the same spec; only the engine name and
+//!    `engine_counters` may differ.
+//! 4. **Wall clock stays out** — timing fields appear in the full dump but
+//!    never in a compared section.
+//! 5. **Degenerate-baseline surfacing** — `degenerate_baselines` is present
+//!    in both report JSON documents (not just the rendered WARNING line)
+//!    and agrees with the projected metrics counter.
+
+use laec::core::sampling::{Sampler, SamplerCheckpoint};
+use laec::core::spec::ExecutionMode;
+use laec::prelude::*;
+
+/// A small fault grid: 1 workload x 2 schemes x 2 fault seeds.
+fn grid_spec(mode: ExecutionMode) -> ValidatedSpec {
+    let mut builder = CampaignBuilder::smoke()
+        .named_workloads(["vector_sum"])
+        .schemes([EccScheme::NoEcc, EccScheme::Laec])
+        .fault_seeds([1, 2])
+        .fault_interval(200);
+    if matches!(mode, ExecutionMode::TraceBacked { .. }) {
+        builder = builder.trace_backed();
+    }
+    builder.validate().expect("valid spec")
+}
+
+/// A small sampled campaign: 1 workload x 1 scheme, 16-sample budget.
+fn sampled_spec() -> ValidatedSpec {
+    CampaignBuilder::smoke()
+        .named_workloads(["vector_sum"])
+        .schemes([EccScheme::Laec])
+        .sampled(16)
+        .batch(8)
+        .min_samples(8)
+        .validate()
+        .expect("valid sampled spec")
+}
+
+#[test]
+fn observed_run_report_is_byte_identical_to_plain_run() {
+    let plain = Campaign::new(grid_spec(ExecutionMode::Full)).run(2);
+    let obs = Obs::enabled();
+    let observed = Campaign::new(grid_spec(ExecutionMode::Full)).run_observed(2, &obs);
+    assert_eq!(plain.to_json(), observed.to_json());
+    assert_eq!(plain.render(), observed.render());
+    // And the dump actually recorded the campaign.
+    assert_eq!(
+        obs.dump().counters["campaign.cells"],
+        plain.grid().expect("grid mode").cells.len() as u64
+    );
+}
+
+#[test]
+fn counter_section_is_thread_count_invariant() {
+    let one = Obs::enabled();
+    let eight = Obs::enabled();
+    let _ = Campaign::new(grid_spec(ExecutionMode::Full)).run_observed(1, &one);
+    let _ = Campaign::new(grid_spec(ExecutionMode::Full)).run_observed(8, &eight);
+    assert_eq!(
+        one.dump().counter_section_json(),
+        eight.dump().counter_section_json(),
+        "deterministic sections must not depend on worker count"
+    );
+}
+
+#[test]
+fn counter_section_survives_a_shard_resume_split() {
+    // Fresh, uninterrupted run through the engine dispatch.
+    let fresh_obs = Obs::enabled();
+    let _ = Campaign::new(sampled_spec()).run_observed(2, &fresh_obs);
+
+    // The same campaign driven as two shards with a checkpoint between
+    // them — the CLI's --checkpoint/--shard-rounds/--resume path.
+    let validated = sampled_spec();
+    let grid = validated.grid();
+    let plan = *validated.plan().expect("sampled mode");
+    let execution = validated.sample_execution().expect("sampled mode").clone();
+    let mut first = Sampler::new(&grid, &plan, &execution, 2);
+    assert!(
+        !first.run_rounds(2, Some(1)),
+        "one round must not complete a 16-sample budget in 8-sample batches"
+    );
+    let checkpoint =
+        SamplerCheckpoint::decode(&first.checkpoint().encode()).expect("checkpoint round-trips");
+    let mut resumed = Sampler::restore(&grid, &plan, &execution, 2, &checkpoint).expect("restores");
+    assert!(resumed.run_rounds(2, None));
+    let sharded_outcome = CampaignOutcome::Sampled {
+        report: resumed.report(),
+        trace_stats: None,
+    };
+    let sharded_obs = Obs::enabled();
+    sharded_obs.set_context(&validated.fingerprint_hex(), "sampled");
+    record_outcome_metrics(&sharded_outcome, &sharded_obs);
+
+    assert_eq!(
+        fresh_obs.dump().counter_section_json(),
+        sharded_obs.dump().counter_section_json(),
+        "a shard/resume split must project the same deterministic sections"
+    );
+}
+
+#[test]
+fn campaign_section_is_engine_invariant_between_full_and_trace_backed() {
+    let full = Obs::enabled();
+    let traced = Obs::enabled();
+    let _ = Campaign::new(grid_spec(ExecutionMode::Full)).run_observed(2, &full);
+    let _ = Campaign::new(grid_spec(ExecutionMode::TraceBacked { cache_dir: None }))
+        .run_observed(2, &traced);
+    // The engine-independent projection is identical because the reports
+    // are; the engine-specific sections legitimately differ.
+    assert_eq!(
+        full.dump().campaign_section_json(),
+        traced.dump().campaign_section_json()
+    );
+    let full_dump = full.dump();
+    let traced_dump = traced.dump();
+    assert_eq!(full_dump.engine, "full");
+    assert_eq!(traced_dump.engine, "trace-backed");
+    assert!(full_dump.engine_counters.is_empty());
+    assert!(traced_dump.engine_counters.contains_key("trace.recorded"));
+}
+
+#[test]
+fn wall_clock_timings_are_excluded_from_every_compared_section() {
+    let obs = Obs::enabled();
+    let _ = Campaign::new(grid_spec(ExecutionMode::Full)).run_observed(2, &obs);
+    let dump = obs.dump();
+    assert!(
+        !dump.timings.is_empty(),
+        "an observed full-sim campaign must record phase spans"
+    );
+    let full = dump.to_json();
+    assert!(full.contains("\"timings\""));
+    assert!(full.contains("total_ms"));
+    for section in [dump.counter_section_json(), dump.campaign_section_json()] {
+        assert!(!section.contains("timings"), "wall clock leaked: {section}");
+        assert!(
+            !section.contains("total_ms"),
+            "wall clock leaked: {section}"
+        );
+        assert!(!section.contains("_ns"), "wall clock leaked: {section}");
+    }
+}
+
+#[test]
+fn dump_round_trips_through_its_json_form() {
+    let obs = Obs::enabled();
+    let _ = Campaign::new(grid_spec(ExecutionMode::Full)).run_observed(2, &obs);
+    let dump = obs.dump();
+    let parsed = MetricsDump::from_json(&dump.to_json()).expect("dump parses");
+    assert_eq!(parsed, dump);
+    assert_eq!(parsed.counter_section_json(), dump.counter_section_json());
+}
+
+#[test]
+fn degenerate_baselines_is_surfaced_in_both_report_json_documents() {
+    // Grid report: the field is part of the serialized document, so JSON
+    // consumers see the warning condition without parsing rendered text.
+    let grid_outcome = Campaign::new(grid_spec(ExecutionMode::Full)).run(2);
+    let grid_json = grid_outcome.to_json();
+    assert!(
+        grid_json.contains("\"degenerate_baselines\": 0"),
+        "grid report JSON must carry the degenerate-baseline count"
+    );
+
+    // Sampled report: same field, same contract.
+    let obs = Obs::enabled();
+    let sampled_outcome = Campaign::new(sampled_spec()).run_observed(2, &obs);
+    let sampled_json = sampled_outcome.to_json();
+    assert!(
+        sampled_json.contains("\"degenerate_baselines\": 0"),
+        "sampled report JSON must carry the degenerate-baseline count"
+    );
+
+    // And the metrics projection agrees with the report field.
+    assert_eq!(
+        obs.dump().counters["campaign.degenerate_baselines"],
+        sampled_outcome
+            .sampled()
+            .expect("sampled mode")
+            .degenerate_baselines
+    );
+}
+
+#[test]
+fn sampled_progress_events_stream_per_stratum_convergence() {
+    use laec::obs::JsonlSink;
+    use std::sync::{Arc, Mutex};
+
+    /// Captures the emitted byte stream in memory for assertion.
+    #[derive(Debug, Clone)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("capture lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let captured = Arc::new(Mutex::new(Vec::new()));
+    let obs = Obs::enabled();
+    obs.attach_progress(Box::new(JsonlSink::to_writer(Box::new(Capture(
+        captured.clone(),
+    )))));
+    let _ = Campaign::new(sampled_spec()).run_observed(2, &obs);
+
+    let captured = captured.lock().expect("capture lock");
+    let text = String::from_utf8(captured.clone()).expect("UTF-8 JSONL");
+    let lines: Vec<&str> = text.lines().collect();
+    let fingerprint = sampled_spec().fingerprint_hex();
+    assert!(lines[0].contains("\"event\":\"campaign_start\""));
+    assert!(lines
+        .last()
+        .expect("events")
+        .contains("\"event\":\"campaign_end\""));
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"round\"") && l.contains("\"width\":")),
+        "sampled campaigns must stream per-stratum interval widths"
+    );
+    for line in lines.iter() {
+        assert!(
+            line.contains(&format!("\"spec\":\"{fingerprint}\"")),
+            "every event is stamped with the spec fingerprint: {line}"
+        );
+    }
+}
+
+#[test]
+fn execution_mode_never_changes_the_report_bytes_under_observation() {
+    // The cross-engine byte-identity oracle, now with observation enabled
+    // on both sides: full-sim and trace-backed replay agree bit-for-bit
+    // even while both are being instrumented.
+    let full = Campaign::new(grid_spec(ExecutionMode::Full)).run_observed(4, &Obs::enabled());
+    let traced = Campaign::new(grid_spec(ExecutionMode::TraceBacked { cache_dir: None }))
+        .run_observed(4, &Obs::enabled());
+    assert_eq!(full.to_json(), traced.to_json());
+}
