@@ -1,0 +1,240 @@
+//! `laec-lint` — the workspace's static-analysis front-end.
+//!
+//! ```text
+//! laec-lint [ROOT] [--json] [--deny all]   lint the workspace source
+//! laec-lint --protocols [--caches N] [--json]
+//!                                          model-check the coherence tables
+//! laec-lint --list                         print the lint catalogue
+//! ```
+//!
+//! Exit code 0 means clean; 1 means findings (any error-severity finding,
+//! or any finding at all under `--deny all`) or an unsafe protocol table;
+//! 2 means usage error.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use laec_analyze::diag::{json_string, render_json, render_text, Severity};
+use laec_analyze::protocols::{check_protocol, ProtocolReport};
+use laec_analyze::{lint_workspace, CATALOG};
+use laec_mem::ProtocolKind;
+
+const USAGE: &str = "\
+laec-lint — static analysis for the LAEC determinism contract
+
+USAGE:
+    laec-lint [ROOT] [FLAGS]
+
+FLAGS:
+    --json          Machine-readable output (the CI artifact format)
+    --deny all      Treat every finding as fatal (exit 1), warnings included
+    --protocols     Model-check the MESI/Dragon/MOESI decision tables over
+                    2..=N-cache single-line systems instead of linting
+    --caches <N>    Largest system size for --protocols (default 4, max 4)
+    --list          Print the lint catalogue and exit
+
+Suppressions are comment-based and must be justified:
+    // laec-lint: allow(<lint-id>) -- <why this exception is sound>
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    deny_all: bool,
+    protocols: bool,
+    caches: usize,
+    list: bool,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        root: PathBuf::from("."),
+        json: false,
+        deny_all: false,
+        protocols: false,
+        caches: 4,
+        list: false,
+    };
+    let mut root_set = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => options.json = true,
+            "--deny" => {
+                let value = iter.next().ok_or("--deny needs a value (all)")?;
+                if value != "all" {
+                    return Err(format!("--deny only understands `all`, got `{value}`"));
+                }
+                options.deny_all = true;
+            }
+            "--protocols" => options.protocols = true,
+            "--caches" => {
+                let value = iter.next().ok_or("--caches needs a value")?;
+                options.caches = value
+                    .parse()
+                    .map_err(|_| format!("--caches needs a number, got `{value}`"))?;
+                if !(1..=4).contains(&options.caches) {
+                    return Err("--caches must be in 1..=4 (the small-model bound)".to_string());
+                }
+            }
+            "--list" => options.list = true,
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && !root_set => {
+                options.root = PathBuf::from(other);
+                root_set = true;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let options = parse(args)?;
+    if options.list {
+        for lint in CATALOG {
+            println!(
+                "{:<22} {:<8} {}",
+                lint.id,
+                lint.severity.label(),
+                lint.summary
+            );
+        }
+        return Ok(true);
+    }
+    if options.protocols {
+        return Ok(run_protocols(&options));
+    }
+
+    let findings = lint_workspace(&options.root)
+        .map_err(|error| format!("cannot scan {}: {error}", options.root.display()))?;
+    if options.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_text(&findings));
+    }
+    let fatal = findings
+        .iter()
+        .any(|f| options.deny_all || f.severity == Severity::Error);
+    Ok(!fatal)
+}
+
+fn run_protocols(options: &Options) -> bool {
+    let mut reports = Vec::new();
+    for kind in ProtocolKind::ALL {
+        for caches in 2..=options.caches.max(2) {
+            reports.push(check_protocol(kind.table(), caches));
+        }
+    }
+    if options.json {
+        print!("{}", render_protocols_json(&reports));
+    } else {
+        print!("{}", render_protocols_text(&reports));
+    }
+    reports.iter().all(ProtocolReport::safe)
+}
+
+fn render_protocols_text(reports: &[ProtocolReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>10} {:>12} verdict",
+        "protocol", "caches", "reachable", "transitions"
+    );
+    for report in reports {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>10} {:>12} {}",
+            report.protocol,
+            report.caches,
+            report.reachable_states,
+            report.transitions,
+            if report.safe() { "safe" } else { "UNSAFE" },
+        );
+        for violation in &report.violations {
+            let _ = writeln!(
+                out,
+                "    violation: {} in state [{}]",
+                violation.invariant,
+                violation.state.join(", "),
+            );
+            let _ = writeln!(out, "        via: {}", violation.trace.join(" -> "));
+        }
+    }
+    let unsafe_count = reports.iter().filter(|r| !r.safe()).count();
+    let _ = writeln!(
+        out,
+        "{} table/size combination(s) checked, {unsafe_count} unsafe",
+        reports.len(),
+    );
+    out
+}
+
+fn render_protocols_json(reports: &[ProtocolReport]) -> String {
+    let mut out = String::from("{\n  \"protocols\": [");
+    for (index, report) in reports.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"protocol\": {}, \"caches\": {}, \"reachable\": {}, \
+             \"transitions\": {}, \"safe\": {}, \"violations\": [",
+            json_string(&report.protocol),
+            report.caches,
+            report.reachable_states,
+            report.transitions,
+            report.safe(),
+        );
+        for (v_index, violation) in report.violations.iter().enumerate() {
+            if v_index > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"invariant\": {}, \"state\": {}, \"trace\": {}}}",
+                json_string(&violation.invariant),
+                json_array(violation.state.iter().copied()),
+                json_array(violation.trace.iter().map(String::as_str)),
+            );
+        }
+        out.push_str("]}");
+    }
+    let unsafe_count = reports.iter().filter(|r| !r.safe()).count();
+    let _ = write!(out, "\n  ],\n  \"unsafe\": {unsafe_count}\n}}\n");
+    out
+}
+
+fn json_array<'a>(items: impl Iterator<Item = &'a str>) -> String {
+    let mut out = String::from("[");
+    for (index, item) in items.enumerate() {
+        if index > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(item));
+    }
+    out.push(']');
+    out
+}

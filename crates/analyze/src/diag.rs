@@ -1,0 +1,148 @@
+//! Findings and their renderers.
+//!
+//! A [`Finding`] pins one diagnostic to `file:line:col` with a lint id, a
+//! severity, a message and a suggestion.  Two renderers exist: an aligned
+//! text report for humans and a deterministic JSON document for the CI
+//! artifact (hand-written like every other JSON surface in this workspace —
+//! findings sorted by file, line, column, lint id, so two runs over the
+//! same tree emit identical bytes).
+
+use std::fmt::Write as _;
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/robustness: tolerated unless `--deny all`.
+    Warning,
+    /// A determinism-contract violation: fails the lint run by default.
+    Error,
+}
+
+impl Severity {
+    /// The stable lower-case label (`warning`, `error`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One diagnostic produced by a lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The lint's stable id (`wall-clock`, `nondet-iteration`, …).
+    pub lint: &'static str,
+    /// The finding's severity.
+    pub severity: Severity,
+    /// Workspace-relative path (forward slashes) of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What was found.
+    pub message: String,
+    /// How to fix (or legitimately suppress) it.
+    pub suggestion: String,
+}
+
+/// Sorts findings into the canonical (deterministic) report order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.lint).cmp(&(b.file.as_str(), b.line, b.col, b.lint))
+    });
+}
+
+/// Renders findings as an aligned human-readable report, one finding per
+/// paragraph, with a trailing summary line.
+#[must_use]
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for finding in findings {
+        let _ = writeln!(
+            out,
+            "{}: [{}] {} ({}:{}:{})",
+            finding.severity.label(),
+            finding.lint,
+            finding.message,
+            finding.file,
+            finding.line,
+            finding.col,
+        );
+        let _ = writeln!(out, "    = help: {}", finding.suggestion);
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+    let _ = writeln!(
+        out,
+        "{} finding(s): {errors} error(s), {warnings} warning(s)",
+        findings.len(),
+    );
+    out
+}
+
+/// Renders findings as a deterministic JSON document:
+/// `{"findings":[…],"errors":N,"warnings":N}`.
+#[must_use]
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (index, finding) in findings.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"lint\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+             \"message\": {}, \"suggestion\": {}",
+            json_string(finding.lint),
+            json_string(finding.severity.label()),
+            json_string(&finding.file),
+            finding.line,
+            finding.col,
+            json_string(&finding.message),
+            json_string(&finding.suggestion),
+        );
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let _ = write!(
+        out,
+        "],\n  \"errors\": {errors},\n  \"warnings\": {}\n}}\n",
+        findings.len() - errors,
+    );
+    out
+}
+
+/// Escapes `value` as a JSON string literal.
+#[must_use]
+pub fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

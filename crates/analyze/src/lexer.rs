@@ -1,0 +1,391 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The build environment has no crates.io access, so there is no `syn` or
+//! `proc-macro2` to lean on; the lints in this crate run on a token stream
+//! produced by this scanner instead of a full AST.  The scanner handles the
+//! parts of Rust's lexical grammar that matter for *not mis-firing*:
+//!
+//! * string literals with escapes (a `// comment` inside a string is text,
+//!   not a comment),
+//! * raw strings `r"…"` / `r#"…"#` (no escape processing, arbitrary `#`
+//!   fences) and their byte variants `b"…"` / `br#"…"#`,
+//! * raw identifiers `r#match`,
+//! * nested block comments `/* /* */ */` (Rust nests them; C does not),
+//! * the lifetime-vs-char-literal ambiguity: `'a` is a lifetime, `'a'` is a
+//!   char, `'\n'` is a char, `'_` is a lifetime,
+//! * line comments — kept in the stream (with their text) because the
+//!   suppression syntax lives in them.
+//!
+//! The scanner never fails: bytes it cannot classify become
+//! [`TokenKind::Unknown`] tokens so a lint run cannot crash on an
+//! in-progress source file.
+
+/// The classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers, with the `r#`
+    /// prefix stripped from [`Token::text`]'s classification purposes kept
+    /// verbatim in the text).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (leading quote included in the text).
+    Lifetime,
+    /// A character literal such as `'a'` or `'\u{1F600}'`.
+    CharLit,
+    /// A string literal (cooked or raw, text or byte).
+    StringLit,
+    /// An integer or float literal, including suffixes.
+    Number,
+    /// A `//` line comment, including doc comments (`///`, `//!`); the text
+    /// contains the full comment without the trailing newline.
+    LineComment,
+    /// A `/* … */` block comment (possibly nested), including doc variants.
+    BlockComment,
+    /// One punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// A byte the scanner could not classify.
+    Unknown,
+}
+
+impl TokenKind {
+    /// `true` for comment tokens (skipped by the significant-token view).
+    #[must_use]
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One scanned token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The classification.
+    pub kind: TokenKind,
+    /// The verbatim source text of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+struct Scanner<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        Scanner {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters.
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes bytes while `predicate` holds.
+    fn eat_while(&mut self, predicate: impl Fn(u8) -> bool) {
+        while let Some(byte) = self.peek(0) {
+            if predicate(byte) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a cooked (escaped) literal body up to an unescaped `quote`.
+    fn eat_cooked_until(&mut self, quote: u8) {
+        while let Some(byte) = self.peek(0) {
+            if byte == b'\\' {
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+            } else if byte == quote {
+                self.bump();
+                return;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a raw-string body opened with `fence` `#` characters,
+    /// stopping after `"` followed by that many `#`s.
+    fn eat_raw_until(&mut self, fence: usize) {
+        while let Some(byte) = self.peek(0) {
+            if byte == b'"' {
+                let mut matched = true;
+                for i in 0..fence {
+                    if self.peek(1 + i) != Some(b'#') {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    self.bump_n(1 + fence);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a (possibly nested) block comment; the leading `/*` is
+    /// already consumed.
+    fn eat_block_comment(&mut self) {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => return, // unterminated: tolerate
+            }
+        }
+    }
+
+    /// How many `#` characters follow `r`/`br` and whether a `"` follows
+    /// them (i.e. this really is a raw string start).
+    fn raw_fence(&self, after: usize) -> Option<usize> {
+        let mut fence = 0;
+        while self.peek(after + fence) == Some(b'#') {
+            fence += 1;
+        }
+        (self.peek(after + fence) == Some(b'"')).then_some(fence)
+    }
+}
+
+fn is_ident_start(byte: u8) -> bool {
+    byte.is_ascii_alphabetic() || byte == b'_' || byte >= 0x80
+}
+
+fn is_ident_continue(byte: u8) -> bool {
+    byte.is_ascii_alphanumeric() || byte == b'_' || byte >= 0x80
+}
+
+/// Scans `src` into a token stream.  Whitespace is dropped; comments are
+/// kept (the suppression syntax lives in line comments).  The scanner is
+/// total: unclassifiable bytes come back as [`TokenKind::Unknown`].
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut scanner = Scanner::new(src);
+    let mut tokens = Vec::new();
+    while let Some(byte) = scanner.peek(0) {
+        if byte.is_ascii_whitespace() {
+            scanner.bump();
+            continue;
+        }
+        let start = scanner.pos;
+        let line = scanner.line;
+        let col = scanner.col;
+        let kind = scan_one(&mut scanner, byte);
+        tokens.push(Token {
+            kind,
+            text: &scanner.src[start..scanner.pos],
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// Scans exactly one token starting at `byte`; advances the scanner past it.
+fn scan_one(scanner: &mut Scanner<'_>, byte: u8) -> TokenKind {
+    match byte {
+        b'/' if scanner.peek(1) == Some(b'/') => {
+            scanner.eat_while(|b| b != b'\n');
+            TokenKind::LineComment
+        }
+        b'/' if scanner.peek(1) == Some(b'*') => {
+            scanner.bump_n(2);
+            scanner.eat_block_comment();
+            TokenKind::BlockComment
+        }
+        b'"' => {
+            scanner.bump();
+            scanner.eat_cooked_until(b'"');
+            TokenKind::StringLit
+        }
+        b'\'' => scan_quote(scanner),
+        b'r' | b'b' if starts_prefixed_literal(scanner, byte) => scan_prefixed_literal(scanner),
+        _ if is_ident_start(byte) => {
+            scanner.eat_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        _ if byte.is_ascii_digit() => {
+            scan_number(scanner);
+            TokenKind::Number
+        }
+        _ if byte.is_ascii_punctuation() => {
+            scanner.bump();
+            TokenKind::Punct
+        }
+        _ => {
+            scanner.bump();
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// `true` when the `r`/`b` at the cursor opens a raw string, byte string,
+/// byte char, or raw identifier rather than a plain identifier.
+fn starts_prefixed_literal(scanner: &Scanner<'_>, byte: u8) -> bool {
+    match byte {
+        // r"…", r#"…"#, r#ident
+        b'r' => scanner.raw_fence(1).is_some() || scanner.peek(1) == Some(b'#'),
+        // b"…", b'…', br"…", br#"…"#
+        b'b' => match scanner.peek(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => scanner.raw_fence(2).is_some(),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scans `r`/`b`-prefixed literals (and raw identifiers).
+fn scan_prefixed_literal(scanner: &mut Scanner<'_>) -> TokenKind {
+    let first = scanner.peek(0);
+    if first == Some(b'r') {
+        if let Some(fence) = scanner.raw_fence(1) {
+            // r"…" / r#"…"#
+            scanner.bump_n(1 + fence + 1);
+            scanner.eat_raw_until(fence);
+            return TokenKind::StringLit;
+        }
+        // r#ident — a raw identifier.
+        scanner.bump_n(2);
+        scanner.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+    // b-prefixed forms.
+    match scanner.peek(1) {
+        Some(b'"') => {
+            scanner.bump_n(2);
+            scanner.eat_cooked_until(b'"');
+            TokenKind::StringLit
+        }
+        Some(b'\'') => {
+            scanner.bump_n(2);
+            scanner.eat_cooked_until(b'\'');
+            TokenKind::CharLit
+        }
+        Some(b'r') => {
+            let fence = scanner.raw_fence(2).unwrap_or(0);
+            scanner.bump_n(2 + fence + 1);
+            scanner.eat_raw_until(fence);
+            TokenKind::StringLit
+        }
+        _ => {
+            scanner.bump();
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// Disambiguates `'` between a lifetime (`'a`, `'_`, `'static`) and a char
+/// literal (`'a'`, `'\n'`, `'\u{1F600}'`).
+fn scan_quote(scanner: &mut Scanner<'_>) -> TokenKind {
+    match scanner.peek(1) {
+        // An escape can only open a char literal.
+        Some(b'\\') => {
+            scanner.bump();
+            scanner.eat_cooked_until(b'\'');
+            TokenKind::CharLit
+        }
+        Some(next) if is_ident_start(next) => {
+            // Scan the identifier run after the quote; a closing quote
+            // directly after it makes this a char literal ('a'), otherwise
+            // it is a lifetime ('a).  Multi-byte chars ('é') ride the same
+            // path because is_ident_start admits non-ASCII bytes.
+            let mut len = 1;
+            while scanner.peek(1 + len).is_some_and(is_ident_continue) {
+                len += 1;
+            }
+            if scanner.peek(1 + len) == Some(b'\'') {
+                scanner.bump_n(1 + len + 1);
+                TokenKind::CharLit
+            } else {
+                scanner.bump_n(1 + len);
+                TokenKind::Lifetime
+            }
+        }
+        // Any other single char: '+', ' ', '0' … must be a char literal.
+        Some(_) => {
+            scanner.bump();
+            scanner.eat_cooked_until(b'\'');
+            TokenKind::CharLit
+        }
+        None => {
+            scanner.bump();
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// Scans a numeric literal: decimal/hex/octal/binary integers, floats with
+/// exponents, `_` separators and type suffixes.  Careful with `0..10`: the
+/// first `.` of a range operator is not part of the number.
+fn scan_number(scanner: &mut Scanner<'_>) {
+    if scanner.peek(0) == Some(b'0')
+        && matches!(
+            scanner.peek(1),
+            Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+        )
+    {
+        scanner.bump_n(2);
+        scanner.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        return;
+    }
+    scanner.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    // Fractional part — but not `..` (range) and not `0.method()`.
+    if scanner.peek(0) == Some(b'.') && scanner.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        scanner.bump();
+        scanner.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    }
+    // Exponent.
+    if matches!(scanner.peek(0), Some(b'e' | b'E')) {
+        let mut offset = 1;
+        if matches!(scanner.peek(1), Some(b'+' | b'-')) {
+            offset = 2;
+        }
+        if scanner.peek(offset).is_some_and(|b| b.is_ascii_digit()) {
+            scanner.bump_n(offset);
+            scanner.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        }
+    }
+    // Type suffix (u32, f64, usize, …).
+    scanner.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+}

@@ -1,0 +1,39 @@
+//! `laec_analyze` — static analysis for the determinism contract.
+//!
+//! Everything this workspace claims rests on byte-identical campaign
+//! reports across thread counts, shard/resume splits and execution
+//! engines.  CI's `cmp` steps enforce that *dynamically* for the schedules
+//! they run; this crate enforces it *statically*, in two fronts:
+//!
+//! 1. **Determinism lints** ([`lints`]) — a pass framework over a
+//!    hand-rolled Rust token scanner ([`lexer`]; no crates.io access, so no
+//!    `syn`) that proves the absence of whole classes of violations at the
+//!    source level: unordered hash-collection iteration feeding reports,
+//!    wall-clock reads outside the sanctioned module, stray stdout writes,
+//!    ambient-parallelism queries, environment reads, and panics in
+//!    library code.  Exceptions are comment-based suppressions
+//!    ([`suppress`]) that *must* carry a justification — an unjustified or
+//!    stale suppression is itself a finding.
+//! 2. **Protocol model checking** ([`protocols`]) — exhaustive
+//!    exploration of each [`CoherenceProtocol`](laec_mem::CoherenceProtocol)
+//!    decision table over small systems (up to four caches on one line),
+//!    statically proving the single-writer / unique-owner / state-bit
+//!    invariants on every reachable state.
+//!
+//! The `laec-lint` binary fronts both: a plain run lints the workspace
+//! (`--deny all` gates CI), `--protocols` model-checks the tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod protocols;
+pub mod suppress;
+pub mod workspace;
+
+pub use diag::{render_json, render_text, Finding, Severity};
+pub use lints::{lint_file, CATALOG};
+pub use protocols::{check_protocol, ProtocolReport};
+pub use workspace::lint_workspace;

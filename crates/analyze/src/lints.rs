@@ -1,0 +1,451 @@
+//! The determinism lint catalogue and the pass framework.
+//!
+//! Every result this workspace produces rests on one invariant: campaign
+//! reports are **byte-identical** across thread counts, shard/resume splits
+//! and execution engines.  CI enforces that dynamically with `cmp` steps,
+//! but a `cmp` can only cover the schedules it runs.  These lints prove the
+//! *absence* of whole classes of violations at the source level:
+//!
+//! | lint | severity | fires on |
+//! |------|----------|----------|
+//! | `nondet-iteration` | error | iterating a `HashMap`/`HashSet` binding (order is randomized per process; anything it feeds can reach report bytes) |
+//! | `wall-clock` | error | `Instant::now` / `SystemTime` outside the sanctioned `laec_obs` wallclock module and the bench harness |
+//! | `stdout-bytes` | error | `print!`/`println!` outside the CLI render paths (stdout *is* the byte-compared report surface) |
+//! | `panic-in-library` | warning | `.unwrap()`/`.expect(…)`/`panic!` in non-test library code |
+//! | `ambient-parallelism` | error | `available_parallelism`/`thread::current` — results must not depend on where or how wide they run |
+//! | `env-read` | error | `std::env::var` outside cli/bench/stubs — ambient configuration must flow through the spec |
+//!
+//! Plus the two meta-lints from [`crate::suppress`]: `bare-suppression`
+//! (an `allow` without justification) and `unused-suppression` (a
+//! justified `allow` whose lint no longer fires).
+//!
+//! The passes run on the token stream of [`crate::lexer`] — there is no
+//! AST, so `nondet-iteration` is a *heuristic*: it tracks identifiers
+//! bound with an explicit `HashMap`/`HashSet` type annotation in the same
+//! file and flags iteration-shaped uses of them (`.iter()`, `.keys()`,
+//! `.values()`, `.drain()`, `.retain()`, `for … in &map`, …).  An
+//! un-annotated `collect()` escapes it; the lint is a tripwire for the
+//! common shapes, not a type checker.  Code under `#[cfg(test)]` is
+//! exempt from every lint: tests are exercised by tier-1, and they are not
+//! part of the shipped determinism surface.
+
+use std::collections::BTreeSet;
+
+use crate::diag::{Finding, Severity};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::suppress;
+
+/// One catalogue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct Lint {
+    /// Stable id, used in diagnostics and `allow(…)` suppressions.
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line description for `--list`.
+    pub summary: &'static str,
+}
+
+/// Every lint this crate knows, including the suppression meta-lints.
+pub const CATALOG: &[Lint] = &[
+    Lint {
+        id: "nondet-iteration",
+        severity: Severity::Error,
+        summary: "iterating a HashMap/HashSet binding — iteration order is \
+                  randomized per process and can reach report bytes",
+    },
+    Lint {
+        id: "wall-clock",
+        severity: Severity::Error,
+        summary: "Instant::now/SystemTime outside laec_obs::wallclock and the \
+                  bench harness — timings are excluded from byte comparison \
+                  only when they flow through the sanctioned module",
+    },
+    Lint {
+        id: "stdout-bytes",
+        severity: Severity::Error,
+        summary: "print!/println! outside the CLI render paths — stdout is \
+                  the byte-compared report surface",
+    },
+    Lint {
+        id: "panic-in-library",
+        severity: Severity::Warning,
+        summary: "unwrap/expect/panic! in non-test library code — campaign \
+                  engines must fail as values, not aborts",
+    },
+    Lint {
+        id: "ambient-parallelism",
+        severity: Severity::Error,
+        summary: "available_parallelism/thread::current in result-affecting \
+                  code — reports must not depend on where they run",
+    },
+    Lint {
+        id: "env-read",
+        severity: Severity::Error,
+        summary: "std::env::var outside cli/bench/stubs — configuration must \
+                  flow through the campaign spec",
+    },
+    Lint {
+        id: suppress::BARE_SUPPRESSION,
+        severity: Severity::Error,
+        summary: "a laec-lint allow(…) comment without `-- <justification>`",
+    },
+    Lint {
+        id: suppress::UNUSED_SUPPRESSION,
+        severity: Severity::Error,
+        summary: "a justified allow(…) whose lint no longer fires on its line",
+    },
+];
+
+/// Looks a lint up by id.
+#[must_use]
+pub fn lint(id: &str) -> Option<&'static Lint> {
+    CATALOG.iter().find(|lint| lint.id == id)
+}
+
+/// Path policy: is `lint_id` enforced in the file at workspace-relative
+/// `path` (forward slashes)?  The allowlists mirror the architecture:
+/// stdout belongs to the CLI front-ends, wall-clock to the observability
+/// crate's one sanctioned module and the bench harness, environment reads
+/// to the invocation layer.
+#[must_use]
+pub fn lint_enabled(lint_id: &str, path: &str) -> bool {
+    let any = |prefixes: &[&str]| prefixes.iter().any(|prefix| path.starts_with(prefix));
+    match lint_id {
+        "wall-clock" => !any(&[
+            "crates/obs/src/wallclock.rs",
+            "crates/bench/",
+            "stubs/criterion/",
+        ]),
+        "stdout-bytes" => !any(&[
+            "crates/cli/",
+            "crates/analyze/",
+            "crates/bench/",
+            "stubs/criterion/",
+        ]),
+        // The CLI front-ends are binaries, not libraries: a panic there is
+        // an exit code, not a corrupted embedding.  The bench harness is a
+        // dev-only driver (panicking on bad setup is the bench idiom), and a
+        // proc-macro panic surfaces as a compile error at the derive site —
+        // neither can ever abort a campaign run.
+        "panic-in-library" => !any(&[
+            "crates/cli/",
+            "crates/analyze/src/bin/",
+            "crates/bench/",
+            "stubs/serde_derive/",
+        ]),
+        "env-read" => !any(&["crates/cli/", "crates/bench/", "stubs/"]),
+        _ => true,
+    }
+}
+
+/// Iteration-shaped method names on hash collections.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Lints one file: lexes, runs every enabled pass, applies suppressions,
+/// and returns the surviving findings (sorted by the caller).
+#[must_use]
+pub fn lint_file(path: &str, source: &str) -> Vec<Finding> {
+    let tokens = lex(source);
+    let suppressions = suppress::collect(&tokens);
+    let code: Vec<&Token<'_>> = tokens.iter().filter(|t| !t.kind.is_comment()).collect();
+    let in_test = test_regions(&code);
+    let mut findings = Vec::new();
+
+    let mut emit = |lint_id: &'static str, token: &Token<'_>, message: String, suggestion: &str| {
+        let severity = lint(lint_id).map_or(Severity::Error, |l| l.severity);
+        findings.push(Finding {
+            lint: lint_id,
+            severity,
+            file: path.to_string(),
+            line: token.line,
+            col: token.col,
+            message,
+            suggestion: suggestion.to_string(),
+        });
+    };
+
+    let hash_bindings = hash_typed_bindings(&code);
+    for (i, token) in code.iter().enumerate() {
+        if in_test[i] || token.kind != TokenKind::Ident {
+            continue;
+        }
+        let next = |offset: usize| code.get(i + offset).map(|t| t.text);
+        let text = token.text;
+
+        if lint_enabled("wall-clock", path) {
+            if text == "Instant"
+                && next(1) == Some(":")
+                && next(2) == Some(":")
+                && next(3) == Some("now")
+            {
+                emit(
+                    "wall-clock",
+                    token,
+                    "wall-clock read (`Instant::now`) outside the sanctioned timing module".into(),
+                    "route timing through laec_obs::wallclock so it stays excluded from every \
+                     byte-comparison surface",
+                );
+            }
+            if text == "SystemTime" {
+                emit(
+                    "wall-clock",
+                    token,
+                    "wall-clock read (`SystemTime`) outside the sanctioned timing module".into(),
+                    "route timing through laec_obs::wallclock so it stays excluded from every \
+                     byte-comparison surface",
+                );
+            }
+        }
+
+        if lint_enabled("stdout-bytes", path)
+            && (text == "print" || text == "println")
+            && next(1) == Some("!")
+        {
+            emit(
+                "stdout-bytes",
+                token,
+                format!("`{text}!` writes to stdout outside the CLI render paths"),
+                "return a String (render_* idiom) or write to stderr; stdout is the \
+                 byte-compared report surface",
+            );
+        }
+
+        if lint_enabled("panic-in-library", path) {
+            let after_dot = i > 0 && code[i - 1].text == ".";
+            if (text == "unwrap" || text == "expect") && after_dot && next(1) == Some("(") {
+                emit(
+                    "panic-in-library",
+                    token,
+                    format!("`.{text}(…)` can abort library code"),
+                    "propagate a Result/Option, or suppress with a justification naming the \
+                     invariant that makes the panic unreachable",
+                );
+            }
+            if text == "panic" && next(1) == Some("!") {
+                emit(
+                    "panic-in-library",
+                    token,
+                    "`panic!` aborts library code".into(),
+                    "return a typed error, or suppress with a justification naming the \
+                     invariant that makes the panic unreachable",
+                );
+            }
+        }
+
+        if lint_enabled("ambient-parallelism", path) {
+            if text == "available_parallelism" {
+                emit(
+                    "ambient-parallelism",
+                    token,
+                    "`available_parallelism` queries the host — results must not depend on it"
+                        .into(),
+                    "take the width as an explicit parameter; only schedule-invariant code \
+                     (proven by the CI thread-count cmp) may suppress this",
+                );
+            }
+            if text == "thread"
+                && next(1) == Some(":")
+                && next(2) == Some(":")
+                && next(3) == Some("current")
+            {
+                emit(
+                    "ambient-parallelism",
+                    token,
+                    "`thread::current` leaks scheduler identity into the computation".into(),
+                    "pass an explicit worker index instead of asking the scheduler",
+                );
+            }
+        }
+
+        if lint_enabled("env-read", path)
+            && text == "env"
+            && next(1) == Some(":")
+            && next(2) == Some(":")
+            && matches!(next(3), Some("var" | "var_os" | "vars" | "vars_os"))
+        {
+            emit(
+                "env-read",
+                token,
+                "environment read outside the invocation layer".into(),
+                "thread the value through the campaign spec or a function parameter",
+            );
+        }
+
+        if lint_enabled("nondet-iteration", path) && hash_bindings.contains(text) {
+            // map.iter() / map.keys() / …
+            if next(1) == Some(".") {
+                if let Some(method) = next(2) {
+                    if ITER_METHODS.contains(&method) {
+                        emit(
+                            "nondet-iteration",
+                            token,
+                            format!(
+                                "`{text}.{method}()` iterates a hash collection in \
+                                 randomized order"
+                            ),
+                            "switch the binding to BTreeMap/BTreeSet, or suppress with a \
+                             justification proving order cannot reach output bytes",
+                        );
+                    }
+                }
+            }
+            // for … in [& [mut]] map { … }
+            if next(1) == Some("{") {
+                let mut j = i;
+                while j > 0 && matches!(code[j - 1].text, "&" | "mut") {
+                    j -= 1;
+                }
+                if j > 0 && code[j - 1].text == "in" {
+                    emit(
+                        "nondet-iteration",
+                        token,
+                        format!("`for … in {text}` iterates a hash collection in randomized order"),
+                        "switch the binding to BTreeMap/BTreeSet, or suppress with a \
+                         justification proving order cannot reach output bytes",
+                    );
+                }
+            }
+        }
+    }
+
+    suppress::apply(path, findings, &suppressions)
+}
+
+/// Collects the identifiers bound in this file with an explicit
+/// `HashMap`/`HashSet` type annotation: `let x: HashMap<…>`, struct fields
+/// and parameters `x: &mut HashMap<…>`, including `std::collections::`
+/// qualified paths.
+fn hash_typed_bindings(code: &[&Token<'_>]) -> BTreeSet<String> {
+    let mut bindings = BTreeSet::new();
+    for (i, token) in code.iter().enumerate() {
+        if token.kind != TokenKind::Ident || (token.text != "HashMap" && token.text != "HashSet") {
+            continue;
+        }
+        if let Some(name) = binding_before(code, i) {
+            bindings.insert(name.to_string());
+        }
+    }
+    bindings
+}
+
+/// Walks left from a `HashMap`/`HashSet` token across `&`/`mut` and
+/// `path::` segments to the `name :` introducing the annotation, if any.
+fn binding_before<'a>(code: &[&Token<'a>], hash_index: usize) -> Option<&'a str> {
+    let mut j = hash_index;
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        match code[j].text {
+            "&" | "mut" => {}
+            ":" if j > 0 && code[j - 1].text == ":" => {
+                // A `::` path separator: step over it and its segment.
+                if j < 2 || code[j - 2].kind != TokenKind::Ident {
+                    return None;
+                }
+                j -= 2;
+            }
+            ":" => {
+                // The single colon of `name: Type`.
+                return (j > 0 && code[j - 1].kind == TokenKind::Ident).then(|| code[j - 1].text);
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Marks every code token inside a `#[cfg(test)]`-gated item.  The scan
+/// understands both brace-bodied items (`mod tests { … }`, `fn t() { … }`)
+/// and semicolon-terminated ones (`use …;`).
+fn test_regions(code: &[&Token<'_>]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        let Some(attr_end) = match_cfg_test(code, i) else {
+            i += 1;
+            continue;
+        };
+        // Skip any further attributes between the cfg and the item.
+        let mut j = attr_end + 1;
+        while j < code.len() && code[j].text == "#" && code.get(j + 1).map(|t| t.text) == Some("[")
+        {
+            j = match_brackets(code, j + 1, "[", "]").map_or(code.len(), |end| end + 1);
+        }
+        // The gated item runs to its matching `}` or to a top-level `;`.
+        let mut depth = 0usize;
+        let mut end = code.len();
+        for (offset, token) in code.iter().enumerate().skip(j) {
+            match token.text {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = offset;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end = offset;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        for flag in in_test.iter_mut().take((end + 1).min(code.len())).skip(i) {
+            *flag = true;
+        }
+        i = end.min(code.len() - 1) + 1;
+    }
+    in_test
+}
+
+/// If `code[start]` opens a `#[cfg(test)]`-style attribute (any `cfg(…)`
+/// whose arguments mention `test`), returns the index of its closing `]`.
+fn match_cfg_test(code: &[&Token<'_>], start: usize) -> Option<usize> {
+    if code.get(start)?.text != "#" || code.get(start + 1)?.text != "[" {
+        return None;
+    }
+    let close = match_brackets(code, start + 1, "[", "]")?;
+    if code.get(start + 2)?.text != "cfg" || code.get(start + 3)?.text != "(" {
+        return None;
+    }
+    code[start + 4..close]
+        .iter()
+        .any(|token| token.text == "test")
+        .then_some(close)
+}
+
+/// Index of the bracket matching `code[open]` (which must be `open_text`).
+fn match_brackets(
+    code: &[&Token<'_>],
+    open: usize,
+    open_text: &str,
+    close_text: &str,
+) -> Option<usize> {
+    debug_assert_eq!(code[open].text, open_text);
+    let mut depth = 0usize;
+    for (offset, token) in code.iter().enumerate().skip(open) {
+        if token.text == open_text {
+            depth += 1;
+        } else if token.text == close_text {
+            depth -= 1;
+            if depth == 0 {
+                return Some(offset);
+            }
+        }
+    }
+    None
+}

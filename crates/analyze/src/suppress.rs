@@ -1,0 +1,150 @@
+//! Comment-based lint suppressions.
+//!
+//! The only sanctioned way to silence a finding is a justified comment:
+//!
+//! ```text
+//! // laec-lint: allow(nondet-iteration) -- checksum is commutative, order cannot reach bytes
+//! ```
+//!
+//! A suppression applies to the line it shares with code (a trailing
+//! comment) or, when it stands alone on its line, to the next line that
+//! carries code.  Policy is enforced by two meta-lints:
+//!
+//! * [`BARE_SUPPRESSION`]: an `allow(...)` without `-- <justification>`
+//!   text is itself a finding — the whole point is an auditable record of
+//!   *why* each exception is sound.
+//! * [`UNUSED_SUPPRESSION`]: an `allow(...)` whose lint no longer fires on
+//!   its target line is dead and must be removed, so the suppression set
+//!   can never drift away from the findings it was written for.
+
+use crate::diag::{Finding, Severity};
+use crate::lexer::Token;
+
+/// Lint id of the missing-justification meta-lint.
+pub const BARE_SUPPRESSION: &str = "bare-suppression";
+/// Lint id of the dead-suppression meta-lint.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// The comment prefix that opens a suppression.
+const MARKER: &str = "laec-lint:";
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The lint ids inside `allow(…)`.
+    pub lints: Vec<String>,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Column of the comment itself.
+    pub col: u32,
+    /// The code line the suppression governs.
+    pub target_line: u32,
+    /// `true` when a non-empty `-- justification` trails the `allow(…)`.
+    pub justified: bool,
+}
+
+/// Extracts every suppression from a token stream, resolving each to the
+/// code line it governs.
+#[must_use]
+pub fn collect(tokens: &[Token<'_>]) -> Vec<Suppression> {
+    let mut suppressions = Vec::new();
+    for (index, token) in tokens.iter().enumerate() {
+        if !token.kind.is_comment() {
+            continue;
+        }
+        let Some((lints, justified)) = parse_comment(token.text) else {
+            continue;
+        };
+        let trailing = tokens[..index]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == token.line)
+            .any(|t| !t.kind.is_comment());
+        let target_line = if trailing {
+            token.line
+        } else {
+            tokens[index + 1..]
+                .iter()
+                .find(|t| !t.kind.is_comment())
+                .map_or(token.line, |t| t.line)
+        };
+        suppressions.push(Suppression {
+            lints,
+            line: token.line,
+            col: token.col,
+            target_line,
+            justified,
+        });
+    }
+    suppressions
+}
+
+/// Parses one comment's text; `None` when it is not a suppression at all.
+fn parse_comment(text: &str) -> Option<(Vec<String>, bool)> {
+    let body = text.trim_start_matches('/').trim();
+    let rest = body.strip_prefix(MARKER)?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let lints: Vec<String> = rest[..close]
+        .split(',')
+        .map(|id| id.trim().to_string())
+        .filter(|id| !id.is_empty())
+        .collect();
+    let tail = rest[close + 1..].trim();
+    let justified = tail
+        .strip_prefix("--")
+        .is_some_and(|justification| !justification.trim().is_empty());
+    Some((lints, justified))
+}
+
+/// Applies `suppressions` to `findings`: drops suppressed findings and
+/// appends the meta-lint findings (bare suppressions, unused suppressions).
+#[must_use]
+pub fn apply(file: &str, findings: Vec<Finding>, suppressions: &[Suppression]) -> Vec<Finding> {
+    let mut used = vec![false; suppressions.len()];
+    let mut kept: Vec<Finding> = Vec::with_capacity(findings.len());
+    for finding in findings {
+        let matched = suppressions.iter().enumerate().find(|(_, s)| {
+            s.justified
+                && s.target_line == finding.line
+                && s.lints.iter().any(|lint| lint == finding.lint)
+        });
+        if let Some((index, _)) = matched {
+            used[index] = true;
+        } else {
+            kept.push(finding);
+        }
+    }
+    for (suppression, used) in suppressions.iter().zip(used) {
+        if !suppression.justified {
+            kept.push(Finding {
+                lint: BARE_SUPPRESSION,
+                severity: Severity::Error,
+                file: file.to_string(),
+                line: suppression.line,
+                col: suppression.col,
+                message: format!(
+                    "suppression of `{}` has no justification",
+                    suppression.lints.join(", "),
+                ),
+                suggestion: "append ` -- <why this exception is sound>` to the comment".to_string(),
+            });
+        } else if !used {
+            kept.push(Finding {
+                lint: UNUSED_SUPPRESSION,
+                severity: Severity::Error,
+                file: file.to_string(),
+                line: suppression.line,
+                col: suppression.col,
+                message: format!(
+                    "suppression of `{}` matches no finding on line {}",
+                    suppression.lints.join(", "),
+                    suppression.target_line,
+                ),
+                suggestion: "delete the stale suppression comment".to_string(),
+            });
+        }
+    }
+    kept
+}

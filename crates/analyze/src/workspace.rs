@@ -1,0 +1,90 @@
+//! Workspace discovery and the full-tree lint run.
+//!
+//! The scan surface is the *shipped* source: `src/`, every `crates/*/src/`
+//! and every `stubs/*/src/` (the vendored dependency stand-ins are our
+//! code too).  `tests/`, `benches/` and `examples/` directories never feed
+//! report bytes — they are exercised by tier-1 and excluded here, exactly
+//! like `#[cfg(test)]` modules inside scanned files.  Files are visited in
+//! sorted path order so two runs over the same tree produce identical
+//! reports.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{sort_findings, Finding};
+use crate::lints::lint_file;
+
+/// Collects the workspace-relative paths of every `.rs` file on the scan
+/// surface under `root`, sorted.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walks; a missing optional root
+/// (e.g. no `stubs/`) is skipped silently.
+pub fn scan_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut push_tree = |dir: PathBuf| -> io::Result<()> {
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+        Ok(())
+    };
+    push_tree(root.join("src"))?;
+    for parent in ["crates", "stubs"] {
+        let parent_dir = root.join(parent);
+        if !parent_dir.is_dir() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> = fs::read_dir(&parent_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|entry| entry.path())
+            .collect();
+        entries.sort();
+        for entry in entries {
+            push_tree(entry.join("src"))?;
+        }
+    }
+    let mut relative: Vec<PathBuf> = files
+        .into_iter()
+        .map(|file| {
+            file.strip_prefix(root)
+                .map(Path::to_path_buf)
+                .unwrap_or(file)
+        })
+        .collect();
+    relative.sort();
+    Ok(relative)
+}
+
+fn collect_rs(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, files)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every file on the scan surface under `root`, returning the sorted
+/// findings.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the walk or from reading a source file.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in scan_files(root)? {
+        let source = fs::read_to_string(root.join(&file))?;
+        let display = file
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        findings.extend(lint_file(&display, &source));
+    }
+    sort_findings(&mut findings);
+    Ok(findings)
+}

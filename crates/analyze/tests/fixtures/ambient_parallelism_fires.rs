@@ -1,0 +1,11 @@
+//! Fixture: querying the host's width or scheduler identity must fire
+//! `ambient-parallelism`.
+use std::thread;
+
+pub fn width() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+pub fn who_am_i() -> String {
+    format!("{:?}", thread::current().id())
+}

@@ -1,0 +1,4 @@
+//! Fixture: taking the width as an explicit parameter stays quiet.
+pub fn schedule(jobs: usize, threads: usize) -> usize {
+    jobs.div_ceil(threads.max(1))
+}

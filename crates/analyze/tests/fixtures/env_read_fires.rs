@@ -1,0 +1,10 @@
+//! Fixture: ambient environment reads must fire `env-read`.
+use std::env;
+
+pub fn cache_dir() -> Option<String> {
+    env::var("LAEC_CACHE_DIR").ok()
+}
+
+pub fn all_of_it() -> usize {
+    env::vars().count()
+}

@@ -1,0 +1,4 @@
+//! Fixture: configuration threaded through parameters stays quiet.
+pub fn cache_dir(configured: Option<&str>) -> Option<&str> {
+    configured
+}

@@ -1,0 +1,22 @@
+//! Fixture: iterating HashMap/HashSet bindings must fire `nondet-iteration`.
+use std::collections::{HashMap, HashSet};
+
+pub fn checksum(map: &HashMap<String, u64>) -> u64 {
+    let mut out = 0;
+    for value in map.values() {
+        out ^= value;
+    }
+    out
+}
+
+pub fn labels(seen: &HashSet<String>) -> Vec<String> {
+    seen.iter().cloned().collect()
+}
+
+pub fn render(table: HashMap<u32, u32>) -> String {
+    let mut out = String::new();
+    for (key, value) in &table {
+        out.push_str(&format!("{key}={value}\n"));
+    }
+    out
+}

@@ -1,0 +1,15 @@
+//! Fixture: ordered collections and non-iterating hash usage stay quiet.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn checksum(map: &BTreeMap<String, u64>) -> u64 {
+    let mut out = 0;
+    for value in map.values() {
+        out ^= value;
+    }
+    out
+}
+
+pub fn lookup(index: &HashMap<String, u64>, key: &str) -> Option<u64> {
+    // Point lookups are order-independent: only iteration is flagged.
+    index.get(key).copied()
+}

@@ -1,0 +1,14 @@
+//! Fixture: aborts in library code must fire `panic-in-library`.
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}
+
+pub fn parse(text: &str) -> u32 {
+    text.parse().expect("numeric input")
+}
+
+pub fn forbid(flag: bool) {
+    if flag {
+        panic!("flag must be false");
+    }
+}

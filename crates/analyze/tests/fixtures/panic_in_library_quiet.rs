@@ -1,0 +1,20 @@
+//! Fixture: propagated errors — and panics confined to test code — stay
+//! quiet.
+pub fn first(values: &[u32]) -> Option<u32> {
+    values.first().copied()
+}
+
+pub fn parse(text: &str) -> Result<u32, std::num::ParseIntError> {
+    text.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let values = [1u32];
+        assert_eq!(*values.first().unwrap(), 1);
+        let parsed: u32 = "7".parse().expect("numeric");
+        assert_eq!(parsed, 7);
+    }
+}

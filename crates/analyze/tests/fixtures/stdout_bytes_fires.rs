@@ -1,0 +1,5 @@
+//! Fixture: stdout writes in library code must fire `stdout-bytes`.
+pub fn announce(total: u64) {
+    println!("campaign finished: {total} jobs");
+    print!("done");
+}

@@ -1,0 +1,8 @@
+//! Fixture: the render-to-String idiom and stderr stay quiet.
+pub fn render(total: u64) -> String {
+    format!("campaign finished: {total} jobs\n")
+}
+
+pub fn warn(total: u64) {
+    eprintln!("campaign finished: {total} jobs");
+}

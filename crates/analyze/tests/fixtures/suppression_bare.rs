@@ -1,0 +1,6 @@
+//! Fixture: an allow(...) without `-- justification` is itself a finding,
+//! and does not silence the underlying one.
+pub fn first(values: &[u32]) -> u32 {
+    // laec-lint: allow(panic-in-library)
+    *values.first().unwrap()
+}

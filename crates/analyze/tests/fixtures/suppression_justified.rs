@@ -1,0 +1,10 @@
+//! Fixture: a justified suppression silences its finding — trailing and
+//! standalone forms both resolve to the right line.
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().unwrap() // laec-lint: allow(panic-in-library) -- caller guarantees non-empty
+}
+
+pub fn second(values: &[u32]) -> u32 {
+    // laec-lint: allow(panic-in-library) -- caller guarantees two elements
+    *values.get(1).unwrap()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a justified allow(...) whose lint no longer fires on its
+//! target line is dead and must be removed.
+pub fn first(values: &[u32]) -> Option<u32> {
+    // laec-lint: allow(panic-in-library) -- stale: the unwrap was removed
+    values.first().copied()
+}

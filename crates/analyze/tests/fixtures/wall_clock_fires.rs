@@ -1,0 +1,8 @@
+//! Fixture: raw clock reads in library code must fire `wall-clock`.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch_guess() -> std::time::SystemTime {
+    std::time::SystemTime::UNIX_EPOCH
+}

@@ -1,0 +1,146 @@
+//! Edge-case tests for the hand-rolled lexer: the constructs that break
+//! naive regex-based scanners must all tokenize correctly, because every
+//! lint (and every suppression) depends on the token stream being right.
+
+use laec_analyze::lexer::{lex, TokenKind};
+
+fn kinds(source: &str) -> Vec<(TokenKind, &str)> {
+    lex(source).into_iter().map(|t| (t.kind, t.text)).collect()
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_escapes() {
+    let tokens = kinds(r####"let s = r#"a "quoted" \n not-an-escape"#;"####);
+    let strings: Vec<&str> = tokens
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::StringLit)
+        .map(|(_, text)| *text)
+        .collect();
+    assert_eq!(strings, [r###"r#"a "quoted" \n not-an-escape"#"###]);
+}
+
+#[test]
+fn raw_string_fence_depth_is_respected() {
+    // The inner `"#` must not terminate an `r##"…"##` literal.
+    let source = r#####"let s = r##"contains "# inside"##; let x = 1;"#####;
+    let tokens = kinds(source);
+    assert!(tokens
+        .iter()
+        .any(|(k, text)| *k == TokenKind::StringLit && text.contains("contains")));
+    assert!(tokens.iter().any(|(_, text)| *text == "x"));
+}
+
+#[test]
+fn byte_and_raw_byte_strings_lex_as_strings() {
+    let tokens = kinds(r###"let a = b"bytes\n"; let b = br#"raw "bytes""#;"###);
+    let strings = tokens
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::StringLit)
+        .count();
+    assert_eq!(strings, 2);
+}
+
+#[test]
+fn nested_block_comments_close_at_matching_depth() {
+    let tokens = kinds("before /* outer /* inner */ still-comment */ after");
+    let comments: Vec<&str> = tokens
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::BlockComment)
+        .map(|(_, text)| *text)
+        .collect();
+    assert_eq!(comments, ["/* outer /* inner */ still-comment */"]);
+    let idents: Vec<&str> = tokens
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Ident)
+        .map(|(_, text)| *text)
+        .collect();
+    assert_eq!(idents, ["before", "after"]);
+}
+
+#[test]
+fn lifetimes_and_char_literals_disambiguate() {
+    let tokens = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+    let lifetimes = tokens
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Lifetime)
+        .count();
+    let chars: Vec<&str> = tokens
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::CharLit)
+        .map(|(_, text)| *text)
+        .collect();
+    assert_eq!(lifetimes, 2);
+    assert_eq!(chars, ["'a'"]);
+}
+
+#[test]
+fn escaped_char_literals_are_single_tokens() {
+    let tokens = kinds(r"let q = '\''; let n = '\n'; let u = '\u{1F600}';");
+    let chars: Vec<&str> = tokens
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::CharLit)
+        .map(|(_, text)| *text)
+        .collect();
+    assert_eq!(chars, [r"'\''", r"'\n'", r"'\u{1F600}'"]);
+}
+
+#[test]
+fn labels_lex_as_lifetimes_not_chars() {
+    let tokens = kinds("'outer: loop { break 'outer; }");
+    assert_eq!(
+        tokens
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count(),
+        2
+    );
+    assert_eq!(
+        tokens
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn raw_identifiers_lex_as_idents() {
+    let tokens = kinds("let r#fn = 1; let plain = r#fn;");
+    assert!(tokens
+        .iter()
+        .any(|(k, text)| *k == TokenKind::Ident && *text == "r#fn"));
+}
+
+#[test]
+fn strings_with_embedded_comment_openers_stay_strings() {
+    let tokens = kinds(r#"let s = "not /* a comment"; let t = 2;"#);
+    assert_eq!(
+        tokens
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::BlockComment)
+            .count(),
+        0
+    );
+    assert!(tokens.iter().any(|(_, text)| *text == "t"));
+}
+
+#[test]
+fn line_and_column_positions_are_one_based_and_accurate() {
+    let tokens = lex("let a = 1;\n  let b = 2;");
+    let b = tokens
+        .iter()
+        .find(|t| t.text == "b")
+        .expect("token b exists");
+    assert_eq!((b.line, b.col), (2, 7));
+}
+
+#[test]
+fn numbers_with_suffixes_ranges_and_exponents() {
+    let tokens = kinds("for i in 0..10u32 { let f = 1.5e-3f64; let h = 0xFF; }");
+    let numbers: Vec<&str> = tokens
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Number)
+        .map(|(_, text)| *text)
+        .collect();
+    assert_eq!(numbers, ["0", "10u32", "1.5e-3f64", "0xFF"]);
+}

@@ -1,0 +1,166 @@
+//! Fires / stays-quiet fixture pairs for every lint, plus the suppression
+//! meta-lints.  Each fixture lives under `tests/fixtures/` so the exact
+//! source the lint saw is reviewable next to this test.
+
+use laec_analyze::lints::lint_file;
+
+/// Lints a fixture as if it were library source (a path where every lint
+/// is enforced).
+fn lint_fixture(source: &str) -> Vec<laec_analyze::Finding> {
+    lint_file("crates/fixture/src/lib.rs", source)
+}
+
+fn ids(findings: &[laec_analyze::Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.lint).collect()
+}
+
+#[test]
+fn nondet_iteration_fires() {
+    let findings = lint_fixture(include_str!("fixtures/nondet_iteration_fires.rs"));
+    assert_eq!(
+        ids(&findings),
+        ["nondet-iteration", "nondet-iteration", "nondet-iteration"],
+        "{findings:#?}"
+    );
+    // `.values()`, `.iter()` and `for … in &map` are all caught.
+    assert!(findings.iter().any(|f| f.message.contains("map.values()")));
+    assert!(findings.iter().any(|f| f.message.contains("seen.iter()")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("for … in table")));
+}
+
+#[test]
+fn nondet_iteration_stays_quiet() {
+    let findings = lint_fixture(include_str!("fixtures/nondet_iteration_quiet.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn wall_clock_fires() {
+    let findings = lint_fixture(include_str!("fixtures/wall_clock_fires.rs"));
+    assert!(!findings.is_empty());
+    assert!(ids(&findings).iter().all(|id| *id == "wall-clock"));
+    assert!(findings.iter().any(|f| f.message.contains("Instant::now")));
+    assert!(findings.iter().any(|f| f.message.contains("SystemTime")));
+}
+
+#[test]
+fn wall_clock_stays_quiet() {
+    let findings = lint_fixture(include_str!("fixtures/wall_clock_quiet.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn wall_clock_allowlists_the_sanctioned_module() {
+    let source = include_str!("fixtures/wall_clock_fires.rs");
+    assert!(lint_file("crates/obs/src/wallclock.rs", source).is_empty());
+    assert!(lint_file("crates/bench/src/lib.rs", source).is_empty());
+}
+
+#[test]
+fn stdout_bytes_fires() {
+    let findings = lint_fixture(include_str!("fixtures/stdout_bytes_fires.rs"));
+    assert_eq!(ids(&findings), ["stdout-bytes", "stdout-bytes"]);
+}
+
+#[test]
+fn stdout_bytes_stays_quiet() {
+    let findings = lint_fixture(include_str!("fixtures/stdout_bytes_quiet.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn stdout_bytes_allowlists_the_cli() {
+    let source = include_str!("fixtures/stdout_bytes_fires.rs");
+    assert!(lint_file("crates/cli/src/main.rs", source).is_empty());
+}
+
+#[test]
+fn panic_in_library_fires() {
+    let findings = lint_fixture(include_str!("fixtures/panic_in_library_fires.rs"));
+    assert_eq!(
+        ids(&findings),
+        ["panic-in-library", "panic-in-library", "panic-in-library"]
+    );
+    assert!(findings
+        .iter()
+        .all(|f| f.severity == laec_analyze::Severity::Warning));
+}
+
+#[test]
+fn panic_in_library_stays_quiet_including_test_code() {
+    let findings = lint_fixture(include_str!("fixtures/panic_in_library_quiet.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn ambient_parallelism_fires() {
+    let findings = lint_fixture(include_str!("fixtures/ambient_parallelism_fires.rs"));
+    assert_eq!(
+        ids(&findings),
+        ["ambient-parallelism", "ambient-parallelism"]
+    );
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("available_parallelism")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("thread::current")));
+}
+
+#[test]
+fn ambient_parallelism_stays_quiet() {
+    let findings = lint_fixture(include_str!("fixtures/ambient_parallelism_quiet.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn env_read_fires() {
+    let findings = lint_fixture(include_str!("fixtures/env_read_fires.rs"));
+    assert_eq!(ids(&findings), ["env-read", "env-read"]);
+}
+
+#[test]
+fn env_read_stays_quiet() {
+    let findings = lint_fixture(include_str!("fixtures/env_read_quiet.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn env_read_allowlists_the_invocation_layer() {
+    let source = include_str!("fixtures/env_read_fires.rs");
+    assert!(lint_file("crates/cli/src/main.rs", source).is_empty());
+    assert!(lint_file("stubs/criterion/src/lib.rs", source).is_empty());
+}
+
+#[test]
+fn justified_suppressions_silence_their_findings() {
+    let findings = lint_fixture(include_str!("fixtures/suppression_justified.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn bare_suppression_is_a_finding_and_does_not_silence() {
+    let findings = lint_fixture(include_str!("fixtures/suppression_bare.rs"));
+    let mut found = ids(&findings);
+    found.sort_unstable();
+    assert_eq!(found, ["bare-suppression", "panic-in-library"]);
+}
+
+#[test]
+fn unused_suppression_is_a_finding() {
+    let findings = lint_fixture(include_str!("fixtures/suppression_unused.rs"));
+    assert_eq!(ids(&findings), ["unused-suppression"]);
+}
+
+#[test]
+fn findings_render_deterministically() {
+    let findings = lint_fixture(include_str!("fixtures/panic_in_library_fires.rs"));
+    let text = laec_analyze::diag::render_text(&findings);
+    assert!(text.contains("[panic-in-library]"));
+    assert!(text.ends_with("3 finding(s): 0 error(s), 3 warning(s)\n"));
+    let json = laec_analyze::diag::render_json(&findings);
+    assert!(json.contains("\"lint\": \"panic-in-library\""));
+    assert!(json.contains("\"warnings\": 3"));
+}

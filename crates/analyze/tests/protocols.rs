@@ -1,0 +1,151 @@
+//! Model-checker tests: the three shipped decision tables must be safe at
+//! every system size up to the small-model bound, and a deliberately
+//! broken table must be caught with a shortest counterexample trace.
+
+use laec_analyze::check_protocol;
+use laec_mem::{CoherenceProtocol, LineState, LocalWriteAction, ProtocolKind};
+
+#[test]
+fn all_shipped_tables_are_safe_up_to_four_caches() {
+    for kind in ProtocolKind::ALL {
+        for caches in 2..=4 {
+            let report = check_protocol(kind.table(), caches);
+            assert!(
+                report.safe(),
+                "{} unsafe at {caches} caches: {:#?}",
+                report.protocol,
+                report.violations
+            );
+            assert!(report.reachable_states > 1);
+            assert!(report.transitions > 0);
+        }
+    }
+}
+
+#[test]
+fn state_space_grows_with_system_size() {
+    let small = check_protocol(ProtocolKind::Mesi.table(), 2);
+    let large = check_protocol(ProtocolKind::Mesi.table(), 4);
+    assert!(large.reachable_states > small.reachable_states);
+}
+
+/// An MSI-like table with the classic silent-store bug: a write hitting a
+/// `Shared` copy skips the invalidation broadcast, so two caches can end
+/// up with one `M` and one stale-but-valid `S` copy of the same line.
+#[derive(Debug)]
+struct SilentSharedWrite;
+
+impl CoherenceProtocol for SilentSharedWrite {
+    fn name(&self) -> &'static str {
+        "silent-shared-write"
+    }
+
+    fn state_bits(&self) -> u32 {
+        2
+    }
+
+    fn read_fill_state(&self, _sharers: bool) -> LineState {
+        LineState::Shared
+    }
+
+    fn snooped_read_next(&self, _state: LineState) -> LineState {
+        LineState::Shared
+    }
+
+    fn local_write_action(&self, _state: LineState) -> LocalWriteAction {
+        LocalWriteAction::Silent // the bug: Shared should Invalidate
+    }
+
+    fn supplies_through_l2(&self) -> bool {
+        true
+    }
+
+    fn uses_update_bus(&self) -> bool {
+        false
+    }
+}
+
+#[test]
+fn silent_shared_write_bug_is_caught_with_a_shortest_trace() {
+    let report = check_protocol(&SilentSharedWrite, 2);
+    assert!(!report.safe());
+    let violation = &report.violations[0];
+    assert!(
+        violation.invariant.contains("M copy coexists"),
+        "unexpected invariant: {}",
+        violation.invariant
+    );
+    // Shortest reproduction: both caches read (S, S), then one writes.
+    assert_eq!(violation.trace.len(), 3, "trace: {:?}", violation.trace);
+    assert!(violation.state.contains(&"M"));
+    assert!(violation.state.contains(&"S"));
+}
+
+/// A table that under-declares its metadata width: it reaches `M`
+/// (encoding 0b011) while claiming a single state bit.
+#[derive(Debug)]
+struct UnderDeclaredBits;
+
+impl CoherenceProtocol for UnderDeclaredBits {
+    fn name(&self) -> &'static str {
+        "under-declared-bits"
+    }
+
+    fn state_bits(&self) -> u32 {
+        1
+    }
+
+    fn read_fill_state(&self, _sharers: bool) -> LineState {
+        LineState::Shared
+    }
+
+    fn snooped_read_next(&self, _state: LineState) -> LineState {
+        LineState::Shared
+    }
+
+    fn local_write_action(&self, state: LineState) -> LocalWriteAction {
+        match state {
+            LineState::Shared => LocalWriteAction::Invalidate,
+            _ => LocalWriteAction::Silent,
+        }
+    }
+
+    fn supplies_through_l2(&self) -> bool {
+        true
+    }
+
+    fn uses_update_bus(&self) -> bool {
+        false
+    }
+}
+
+#[test]
+fn state_bit_honesty_is_checked() {
+    let report = check_protocol(&UnderDeclaredBits, 2);
+    assert!(!report.safe());
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant.contains("state bit")),
+        "{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn traces_replay_to_the_violating_state() {
+    // Every violation trace must be non-empty (the all-Invalid start is
+    // trivially safe) and name a concrete actor and op.
+    let report = check_protocol(&SilentSharedWrite, 3);
+    assert!(!report.safe());
+    for violation in &report.violations {
+        assert!(!violation.trace.is_empty());
+        for step in &violation.trace {
+            assert!(
+                step.starts_with("cache") && step.contains(' '),
+                "malformed trace step {step}"
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The self-hosting gate: this repository's own source must lint clean
+//! (every finding fixed or carrying a justified suppression), and the
+//! shipped coherence tables must model-check safe.  This is the same bar
+//! CI enforces with `laec-lint --deny all` and `--protocols`; running it
+//! under tier-1 means a violating change cannot even pass `cargo test`.
+
+use std::path::PathBuf;
+
+use laec_analyze::{check_protocol, lint_workspace};
+use laec_mem::ProtocolKind;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let findings = lint_workspace(&repo_root()).expect("workspace scan succeeds");
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean under `laec-lint --deny all`; fix the \
+         finding or add a justified suppression:\n{}",
+        laec_analyze::render_text(&findings)
+    );
+}
+
+#[test]
+fn the_shipped_protocol_tables_model_check_safe() {
+    for kind in ProtocolKind::ALL {
+        for caches in 2..=4 {
+            let report = check_protocol(kind.table(), caches);
+            assert!(
+                report.safe(),
+                "{} at {caches} caches: {:#?}",
+                report.protocol,
+                report.violations
+            );
+        }
+    }
+}

@@ -36,7 +36,7 @@
 //! assert!(outcome.architecturally_equivalent());
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -351,6 +351,11 @@ impl CampaignSpec {
                             .cloned()
                             .or_else(|| laec_workloads::eembc_workload(name, &generator))
                             .unwrap_or_else(|| {
+                                // laec-lint: allow(panic-in-library) -- specs are
+                                // validated (CampaignSpec::validate rejects unknown
+                                // workload names) before materialization; reaching
+                                // here means a validation bypass, which must abort
+                                // rather than silently shrink the grid.
                                 panic!("unknown workload `{name}` in WorkloadSet::Named")
                             })
                     })
@@ -498,6 +503,10 @@ impl CampaignReport {
     /// worker count used to produce the report.
     #[must_use]
     pub fn to_json(&self) -> String {
+        // laec-lint: allow(panic-in-library) -- serialization of an in-memory
+        // report is infallible (no NaN floats: cpi/rates are finite by
+        // construction, slowdowns come from positive cycle counts); the
+        // Result only exists because serde's API is generic over writers.
         serde_json::to_string_pretty(self).expect("campaign report serializes")
     }
 }
@@ -551,6 +560,9 @@ pub(crate) fn job_injection_seed(spec: &CampaignSpec, job: Job, axis_seed: u64) 
 /// `0`: the machine's available parallelism.
 #[must_use]
 pub fn default_threads() -> usize {
+    // laec-lint: allow(ambient-parallelism) -- the worker count only picks how
+    // many threads drain the job queue; every report byte is independent of it
+    // (CI cmp's 8-thread vs 1-thread runs), so this is sanctioned ambience.
     thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
@@ -656,7 +668,9 @@ where
                     break;
                 }
                 let result = job(index);
-                *slots[index].lock().expect("unpoisoned slot") = Some(result);
+                *slots[index]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
             });
         }
     });
@@ -664,7 +678,11 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("unpoisoned slot")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // laec-lint: allow(panic-in-library) -- every slot is filled
+                // before `thread::scope` returns (the cursor hands out each
+                // index exactly once); an empty slot is a pool bug, and the
+                // documented panic is better than silently dropping a cell.
                 .expect("job ran")
         })
         .collect()
@@ -778,9 +796,11 @@ fn fill_slowdowns(spec: &CampaignSpec, cells: &mut [CampaignCell]) -> u64 {
         return 0;
     }
     // One pass to index every group's fault-free no-ECC baseline, rather
-    // than rescanning all cells per cell (O(n^2) on big grids).
+    // than rescanning all cells per cell (O(n^2) on big grids).  BTreeMap,
+    // not HashMap: the degenerate-baseline count below folds over iteration
+    // order, and everything that can reach report bytes must be ordered.
     let baseline = EccScheme::NoEcc.to_string();
-    let baselines: HashMap<(&str, &str), u64> = cells
+    let baselines: BTreeMap<(&str, &str), u64> = cells
         .iter()
         .filter(|c| c.scheme == baseline && c.fault_seed.is_none())
         .map(|c| ((c.workload.as_str(), c.platform.as_str()), c.cycles))
@@ -811,7 +831,7 @@ fn slowdown_matrix(
     let schemes: Vec<String> = spec.schemes.iter().map(ToString::to_string).collect();
     // Index the fault-free cells once; row assembly below is then a pure
     // lookup per (workload, platform, scheme).
-    let by_coordinates: HashMap<(&str, &str, &str), Option<f64>> = cells
+    let by_coordinates: BTreeMap<(&str, &str, &str), Option<f64>> = cells
         .iter()
         .filter(|c| c.fault_seed.is_none())
         .map(|c| {
@@ -878,7 +898,7 @@ fn equivalence_checks(
     // One pass over the cells: per group, remember the first fingerprint and
     // whether every later fault-free cell matched it.
     type Fingerprint = (u64, u64);
-    let mut groups: HashMap<(&str, &str), (Fingerprint, bool)> = HashMap::new();
+    let mut groups: BTreeMap<(&str, &str), (Fingerprint, bool)> = BTreeMap::new();
     for cell in cells.iter().filter(|c| c.fault_seed.is_none()) {
         let fingerprint = (cell.registers_fingerprint, cell.memory_checksum);
         groups

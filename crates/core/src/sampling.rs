@@ -738,6 +738,9 @@ impl SampledReport {
     /// any worker count and any checkpoint/resume split.
     #[must_use]
     pub fn to_json(&self) -> String {
+        // laec-lint: allow(panic-in-library) -- serialization of an in-memory
+        // report is infallible; the Result exists only because serde's API is
+        // generic over writers.
         serde_json::to_string_pretty(self).expect("sampled report serializes")
     }
 }
@@ -852,6 +855,9 @@ impl Sampler {
         execution: &SampleExecution,
         threads: usize,
     ) -> Self {
+        // laec-lint: allow(panic-in-library) -- documented precondition: the
+        // unified dispatch (`Campaign::run`) only constructs samplers from
+        // specs whose plan already passed `SamplingPlan::validate`.
         plan.validate().expect("valid sampling plan");
         assert!(
             spec.platforms.iter().all(|p| p.cores() == 1),

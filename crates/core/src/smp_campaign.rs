@@ -71,6 +71,9 @@ pub fn run_observed_core(
     }
     let mut system = SmpSystem::with_protocol(programs, configs, protocol);
     let run = system.run(StopPolicy::ObservedCoreHalts);
+    // laec-lint: allow(panic-in-library) -- `SmpSystem::with_protocol` is
+    // handed at least one program (the observed core), so `run.cores` is
+    // never empty.
     let mut result = run.cores.into_iter().next().expect("core 0 always exists");
     // The per-core checksum snapshot was taken when core 0 drained; the
     // system-wide value is the authoritative final state.  Background cores

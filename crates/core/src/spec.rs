@@ -1198,6 +1198,9 @@ impl CampaignEngine for SampledEngine {
     /// such a spec here.
     fn execute(&self, spec: &ValidatedSpec, threads: usize, obs: &Obs) -> CampaignOutcome {
         let ExecutionMode::Sampled { plan, execution } = spec.mode() else {
+            // laec-lint: allow(panic-in-library) -- documented panic: mode
+            // dispatch in `Campaign::run` routes only Sampled specs here, and
+            // there is no meaningful fallback budget for other modes.
             panic!("SampledEngine needs ExecutionMode::Sampled");
         };
         let (report, stats) =

@@ -136,6 +136,9 @@ pub fn record_cell(
     summary.registers_fingerprint = registers_fingerprint(&result.registers);
     let trace = shared
         .finish(summary)
+        // laec-lint: allow(panic-in-library) -- the simulator (the only other
+        // holder of the shared recorder) was dropped on the line above, so
+        // `finish` always has sole ownership here.
         .expect("simulator dropped, recorder has one owner");
     let cell = cell_from_result(workload, scheme, platform, None, &result);
     (cell, trace)
@@ -324,6 +327,9 @@ pub(crate) fn obtain_recording(
     });
     let events = trace
         .decode_events()
+        // laec-lint: allow(panic-in-library) -- the trace was encoded by this
+        // process one statement earlier; encode/decode round-tripping is
+        // covered by tier-1 tests, so a failure is memory corruption, not input.
         .expect("a just-recorded trace decodes");
     (cell, trace, events, Origin::Recorded { cache_write_failed })
 }
@@ -490,6 +496,9 @@ pub(crate) fn execute_trace_backed(
         }
         cells.push(cell);
         for _ in 0..fault_count {
+            // laec-lint: allow(panic-in-library) -- phase 2 produced exactly
+            // `fault_count` faulty cells per group (same grid expansion as
+            // this loop), so the iterator cannot run dry.
             let (cell, replayed) = faulty.next().expect("phase-2 grid is complete");
             if replayed {
                 stats.replayed += 1;

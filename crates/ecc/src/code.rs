@@ -99,6 +99,9 @@ impl CodeKind {
             CodeKind::EvenParity32 => Box::new(crate::parity::Parity::even32()),
             CodeKind::ByteParity32 => Box::new(crate::parity::ByteParity::even32()),
             CodeKind::Hamming39_32 => {
+                // laec-lint: allow(panic-in-library) -- Hamming::new only
+                // rejects unsupported widths; 32 is the canonical geometry
+                // and is covered by tier-1 construction tests.
                 Box::new(crate::hamming::Hamming::new(32).expect("canonical geometry"))
             }
             CodeKind::Hsiao39_32 => Box::new(crate::hsiao::Hsiao39_32::new()),

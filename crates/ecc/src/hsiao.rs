@@ -224,6 +224,9 @@ impl Hsiao39_32 {
     #[must_use]
     pub fn new() -> Self {
         Hsiao39_32 {
+            // laec-lint: allow(panic-in-library) -- (39,32) is a fixed,
+            // always-constructible geometry (7 check bits cover 32 data
+            // bits); construction is covered by tier-1 tests.
             inner: Hsiao::new(32, 7).expect("(39,32) Hsiao geometry is always constructible"),
         }
     }
@@ -275,6 +278,9 @@ impl Hsiao72_64 {
     #[must_use]
     pub fn new() -> Self {
         Hsiao72_64 {
+            // laec-lint: allow(panic-in-library) -- (72,64) is a fixed,
+            // always-constructible geometry (8 check bits cover 64 data
+            // bits); construction is covered by tier-1 tests.
             inner: Hsiao::new(64, 8).expect("(72,64) Hsiao geometry is always constructible"),
         }
     }

@@ -165,6 +165,9 @@ fn parse_line(
             let cond = *Cond::all()
                 .iter()
                 .find(|c| c.mnemonic() == m)
+                // laec-lint: allow(panic-in-library) -- the match guard on
+                // this arm just proved some condition has this mnemonic, so
+                // the second scan of the same static table cannot miss.
                 .expect("checked");
             Ok(Instruction::Branch {
                 cond,

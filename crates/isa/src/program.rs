@@ -437,11 +437,17 @@ impl ProgramBuilder {
     #[must_use]
     pub fn build(mut self) -> Program {
         for (index, label) in &self.patches {
+            // laec-lint: allow(panic-in-library) -- documented panic of
+            // `build`: an unbound label is a malformed program under
+            // construction, caught at build time rather than mis-executed.
             let target = self.labels[label.0].expect("label referenced but never bound");
             match &mut self.code[*index] {
                 Instruction::Branch { target: t, .. }
                 | Instruction::Jump { target: t }
                 | Instruction::Call { target: t, .. } => *t = target,
+                // laec-lint: allow(panic-in-library) -- patches are only ever
+                // recorded against control instructions (the builder's own
+                // branch/jump/call methods), so this arm is unreachable.
                 other => panic!("patch points at a non-control instruction {other}"),
             }
         }

@@ -158,6 +158,9 @@ impl Cache {
     /// Panics if the configuration fails [`CacheConfig::validate`].
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
+        // laec-lint: allow(panic-in-library) -- documented panic: geometry
+        // errors are construction-time configuration bugs, rejected before
+        // any simulation state exists.
         config.validate().expect("invalid cache geometry");
         let sets = config.sets();
         let lines = (0..sets * config.ways).map(|_| Line::empty()).collect();
@@ -447,6 +450,9 @@ impl Cache {
                         .enumerate()
                         .min_by_key(|(_, line)| line.last_used)
                         .map(|(w, _)| w)
+                        // laec-lint: allow(panic-in-library) -- `validate`
+                        // rejects zero-way geometries at construction, so a
+                        // set always has at least one line to victimize.
                         .expect("at least one way")
                 })
         };

@@ -102,6 +102,9 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (see [`CacheConfig::validate`]).
     #[must_use]
     pub fn sets(&self) -> u32 {
+        // laec-lint: allow(panic-in-library) -- documented panic: a geometry
+        // whose size/ways/line_bytes are inconsistent has no set count; the
+        // division below would silently produce one.
         self.validate().expect("invalid cache geometry");
         self.size_bytes / (self.ways * self.line_bytes)
     }

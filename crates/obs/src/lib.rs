@@ -26,6 +26,7 @@
 mod metrics;
 mod progress;
 mod span;
+pub mod wallclock;
 
 pub use metrics::{Histogram, MetricsDump, PhaseTiming, SpanStats, METRICS_SCHEMA};
 pub use progress::{JsonlSink, NullProgressSink, ProgressEvent, ProgressSink};
@@ -33,9 +34,23 @@ pub use span::{Phase, Span};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 pub(crate) use span::OpenSpan;
+
+/// Locks a registry mutex, recovering from poisoning.
+///
+/// A poisoned mutex means some *other* thread panicked while holding it.
+/// The observability layer must never amplify that into a second panic of
+/// its own (the `Obs` handle is threaded through library code, where
+/// `laec-lint` forbids panics): it takes the registry as-is.  The worst
+/// case is one torn self-profile entry — report bytes never flow through
+/// this registry, so the determinism contract is untouched.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The shared observability handle.
 ///
@@ -85,8 +100,8 @@ impl Obs {
     /// fingerprint (as a `0x`-prefixed hex string) and the engine name.
     pub fn set_context(&self, spec_fingerprint: &str, engine: &str) {
         if let Some(inner) = &self.inner {
-            *inner.spec_fingerprint.lock().expect("unpoisoned") = spec_fingerprint.to_string();
-            *inner.engine.lock().expect("unpoisoned") = engine.to_string();
+            *lock(&inner.spec_fingerprint) = spec_fingerprint.to_string();
+            *lock(&inner.engine) = engine.to_string();
         }
     }
 
@@ -94,44 +109,28 @@ impl Obs {
     /// re-running a projection cannot double-count).
     pub fn counter_set(&self, name: &str, value: u64) {
         if let Some(inner) = &self.inner {
-            inner
-                .counters
-                .lock()
-                .expect("unpoisoned")
-                .insert(name.to_string(), value);
+            lock(&inner.counters).insert(name.to_string(), value);
         }
     }
 
     /// Adds `delta` to a deterministic counter.
     pub fn counter_add(&self, name: &str, delta: u64) {
         if let Some(inner) = &self.inner {
-            *inner
-                .counters
-                .lock()
-                .expect("unpoisoned")
-                .entry(name.to_string())
-                .or_insert(0) += delta;
+            *lock(&inner.counters).entry(name.to_string()).or_insert(0) += delta;
         }
     }
 
     /// Sets a deterministic gauge.
     pub fn gauge_set(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
-            inner
-                .gauges
-                .lock()
-                .expect("unpoisoned")
-                .insert(name.to_string(), value);
+            lock(&inner.gauges).insert(name.to_string(), value);
         }
     }
 
     /// Adds `delta` observations to bucket `bucket` of histogram `name`.
     pub fn histogram_add(&self, name: &str, bucket: &str, delta: u64) {
         if let Some(inner) = &self.inner {
-            inner
-                .histograms
-                .lock()
-                .expect("unpoisoned")
+            lock(&inner.histograms)
                 .entry(name.to_string())
                 .or_default()
                 .add(bucket, delta);
@@ -142,11 +141,7 @@ impl Obs {
     /// `sampler.*`) to `value`.
     pub fn engine_counter_set(&self, name: &str, value: u64) {
         if let Some(inner) = &self.inner {
-            inner
-                .engine_counters
-                .lock()
-                .expect("unpoisoned")
-                .insert(name.to_string(), value);
+            lock(&inner.engine_counters).insert(name.to_string(), value);
         }
     }
 
@@ -157,7 +152,7 @@ impl Obs {
             active: self.inner.as_deref().map(|obs| OpenSpan {
                 obs,
                 phase,
-                started: std::time::Instant::now(),
+                started: wallclock::now(),
             }),
         }
     }
@@ -166,7 +161,7 @@ impl Obs {
     /// it.  Replaces any previously attached sink.
     pub fn attach_progress(&self, sink: Box<dyn ProgressSink>) {
         if let Some(inner) = &self.inner {
-            *inner.progress.lock().expect("unpoisoned") = Some(sink);
+            *lock(&inner.progress) = Some(sink);
             inner.has_progress.store(true, Ordering::Release);
         }
     }
@@ -179,8 +174,8 @@ impl Obs {
             if !inner.has_progress.load(Ordering::Acquire) {
                 return;
             }
-            let fingerprint = inner.spec_fingerprint.lock().expect("unpoisoned").clone();
-            if let Some(sink) = inner.progress.lock().expect("unpoisoned").as_mut() {
+            let fingerprint = lock(&inner.spec_fingerprint).clone();
+            if let Some(sink) = lock(&inner.progress).as_mut() {
                 sink.emit(event, &fingerprint);
             }
         }
@@ -198,10 +193,7 @@ impl Obs {
                 ..MetricsDump::default()
             };
         };
-        let timings = inner
-            .timings
-            .lock()
-            .expect("unpoisoned")
+        let timings = lock(&inner.timings)
             .iter()
             .map(|(phase, stats)| PhaseTiming {
                 phase: (*phase).to_string(),
@@ -211,12 +203,12 @@ impl Obs {
             .collect();
         MetricsDump {
             schema: METRICS_SCHEMA,
-            spec_fingerprint: inner.spec_fingerprint.lock().expect("unpoisoned").clone(),
-            engine: inner.engine.lock().expect("unpoisoned").clone(),
-            counters: inner.counters.lock().expect("unpoisoned").clone(),
-            gauges: inner.gauges.lock().expect("unpoisoned").clone(),
-            histograms: inner.histograms.lock().expect("unpoisoned").clone(),
-            engine_counters: inner.engine_counters.lock().expect("unpoisoned").clone(),
+            spec_fingerprint: lock(&inner.spec_fingerprint).clone(),
+            engine: lock(&inner.engine).clone(),
+            counters: lock(&inner.counters).clone(),
+            gauges: lock(&inner.gauges).clone(),
+            histograms: lock(&inner.histograms).clone(),
+            engine_counters: lock(&inner.engine_counters).clone(),
             timings,
         }
     }

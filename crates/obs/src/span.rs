@@ -69,7 +69,7 @@ impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(open) = self.active.take() {
             let elapsed = open.started.elapsed();
-            let mut timings = open.obs.timings.lock().expect("unpoisoned timings");
+            let mut timings = crate::lock(&open.obs.timings);
             let stats = timings.entry(open.phase.label()).or_default();
             stats.calls += 1;
             stats.total_ns += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);

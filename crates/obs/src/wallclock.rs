@@ -1,0 +1,27 @@
+//! The one sanctioned wall-clock source in the workspace.
+//!
+//! Determinism contract: campaign reports, metrics counter sections and
+//! progress events must be byte-identical across thread counts,
+//! shard/resume splits and execution engines — so nothing that feeds those
+//! surfaces may observe real time.  Wall-clock readings exist *only* for
+//! the self-profile (`timings`) section of a metrics dump, which is
+//! excluded from every byte comparison (CI strips it before `cmp`, and
+//! `laec-cli stats --counters` never prints it).
+//!
+//! `laec-lint`'s `wall-clock` lint allowlists exactly this module (plus the
+//! bench harness): any `Instant::now()` elsewhere in the workspace is a
+//! finding.  Route new timing needs through [`now`] so they inherit the
+//! excluded-from-comparison guarantee instead of silently widening the
+//! nondeterministic surface.
+
+pub use std::time::Instant;
+
+/// Reads the monotonic wall clock.
+///
+/// The returned [`Instant`] must only ever feed the self-profile timing
+/// table — never a counter, gauge, histogram, report field or progress
+/// payload, all of which are byte-compared by CI.
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -313,7 +313,7 @@ impl SharedSink {
         Arc::try_unwrap(self.recorder).ok().map(|mutex| {
             mutex
                 .into_inner()
-                .expect("unpoisoned recorder")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .finish(summary)
         })
     }
@@ -353,7 +353,11 @@ impl TraceSink for SharedSink {
 
 impl SharedSink {
     fn lock(&self) -> std::sync::MutexGuard<'_, TraceRecorder> {
-        self.recorder.lock().expect("unpoisoned recorder")
+        // Recover from poisoning instead of amplifying a worker panic: a
+        // half-recorded trace fails replay validation, never a report.
+        self.recorder
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

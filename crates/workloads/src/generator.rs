@@ -117,6 +117,10 @@ impl Group {
 /// Panics if the profile fails [`WorkloadProfile::validate`].
 #[must_use]
 pub fn generate(profile: &WorkloadProfile, config: &GeneratorConfig) -> Program {
+    // laec-lint: allow(panic-in-library) -- documented panic: the built-in
+    // EEMBC-like profiles all validate (tier-1 asserts it), and a custom
+    // profile with inconsistent mix weights must fail loudly before it
+    // silently skews a whole campaign.
     profile.validate().expect("invalid workload profile");
     let mut rng = StdRng::seed_from_u64(config.seed ^ hash_name(profile.name));
 

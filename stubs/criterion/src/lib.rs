@@ -138,7 +138,7 @@ where
     println!("  {label} ... {} ns/iter (median of {sample_size})", median);
     RESULTS
         .lock()
-        .expect("bench results poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .push(BenchRecord {
             label: label.to_string(),
             samples: bencher.samples.len(),
@@ -155,7 +155,9 @@ pub fn write_artifact(target: &str) {
     let Ok(dir) = std::env::var("LAEC_BENCH_DIR") else {
         return;
     };
-    let results = RESULTS.lock().expect("bench results poisoned");
+    let results = RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut json = String::from("{\n  \"schema\": 1,\n");
     json.push_str(&format!("  \"target\": \"{}\",\n", escape(target)));
     json.push_str("  \"results\": [");

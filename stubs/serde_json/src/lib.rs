@@ -180,7 +180,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), Error> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -259,13 +259,16 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            // laec-lint: allow(panic-in-library) -- the slice was matched
+            // byte-by-byte against `[-0-9.eE+]` just above, so it is ASCII
+            // and infallibly valid UTF-8.
             .expect("number tokens are ASCII")
             .to_string();
         Ok(Value::Number(text))
     }
 
     fn string(&mut self) -> Result<String, Error> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -293,8 +296,8 @@ impl Parser<'_> {
                             let unit = self.hex_unit()?;
                             let c = if (0xD800..0xDC00).contains(&unit) {
                                 // High surrogate: require the paired low half.
-                                self.expect(b'\\')?;
-                                self.expect(b'u')?;
+                                self.expect_byte(b'\\')?;
+                                self.expect_byte(b'u')?;
                                 let low = self.hex_unit()?;
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(Error::parse(self.pos, "unpaired surrogate"));
@@ -320,6 +323,9 @@ impl Parser<'_> {
                     // Consume one whole UTF-8 scalar from the source text.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| Error::parse(self.pos, "invalid UTF-8"))?;
+                    // laec-lint: allow(panic-in-library) -- `peek()` returned
+                    // `Some`, so the remainder is non-empty and validated
+                    // UTF-8: `chars().next()` cannot be `None`.
                     let c = rest.chars().next().expect("peek saw a byte");
                     if (c as u32) < 0x20 {
                         return Err(Error::parse(self.pos, "unescaped control character"));
@@ -356,7 +362,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, Error> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         self.enter()?;
         let mut elements = Vec::new();
         self.skip_whitespace();
@@ -382,7 +388,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, Error> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         self.enter()?;
         let mut members: Vec<(String, Value)> = Vec::new();
         self.skip_whitespace();
@@ -402,7 +408,7 @@ impl Parser<'_> {
                 return Err(Error::parse(key_at, format!("duplicate key `{key}`")));
             }
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.value()?;
             members.push((key, value));
