@@ -71,6 +71,20 @@ pub fn run_trace_backed(
     }
 }
 
+/// Full-simulation mode with per-fault lifecycle forensics enabled: the
+/// report is byte-identical to [`run_full`]; the second element is the
+/// assembled forensics document (see `laec_core::forensics`).
+#[must_use]
+pub fn run_full_forensic(
+    spec: &CampaignSpec,
+    threads: usize,
+) -> (CampaignReport, Option<laec_core::ForensicsReport>) {
+    let spec = laec_core::spec::CampaignSpec::from_grid(spec, ExecutionMode::Full);
+    let campaign = Campaign::new(spec.validate().expect("valid spec"));
+    let (outcome, forensics) = campaign.run_forensic(threads, &laec_obs::Obs::disabled());
+    (outcome.into_grid().expect("grid report"), forensics)
+}
+
 /// Sampled (stratified Monte-Carlo) mode.
 #[must_use]
 pub fn run_sampled(

@@ -18,8 +18,11 @@
 //!   adjacent-bit MBU patterns via `--pattern`),
 //! * `trace`    — record, replay and inspect access-stream traces
 //!   (`trace record|replay|info`, see `laec_trace`),
+//! * `forensics` — per-fault lifecycle tracing over a campaign grid
+//!   (strike → activation → outcome tables, detection-latency histograms,
+//!   Chrome-trace export; see `laec_core::forensics`),
 //! * `stats`    — render a metrics dump written by `campaign
-//!   --metrics-out` (see `laec_obs`).
+//!   --metrics-out` (see `laec_obs`), or diff two dumps (`--compare`).
 //!
 //! Every subcommand accepts `--json` (machine-readable output), `--seed N`
 //! and `--smoke` (small workload shape for quick runs); `campaign` also
@@ -35,10 +38,11 @@ use laec_core::campaign::{CampaignSpec, PlatformVariant, WorkloadSet};
 use laec_core::experiment::{
     characterization, fault_campaign_with_pattern, figure8, hazard_breakdown, wt_vs_wb,
 };
+use laec_core::forensics::ForensicsReport;
 use laec_core::observe::record_outcome_metrics;
 use laec_core::sampling::{render_sampled, SampleExecution, Sampler, SamplerCheckpoint};
 use laec_core::spec::{
-    Campaign, CampaignBuilder, CampaignOutcome, CampaignSpec as SpecV2, ValidatedSpec,
+    engine_for, Campaign, CampaignBuilder, CampaignOutcome, CampaignSpec as SpecV2, ValidatedSpec,
 };
 use laec_core::trace_backed::{record_cell, replay_cell, trace_file_name};
 use laec_core::{
@@ -51,6 +55,7 @@ use laec_pipeline::{EccScheme, PipelineConfig};
 use laec_smp::{SmpSystem, StopPolicy};
 use laec_trace::{Trace, TraceDetail, TraceEvent};
 use laec_workloads::GeneratorConfig;
+use serde::{Serialize, Serializer};
 
 const USAGE: &str = "\
 laec-cli — reproduce the LAEC (DATE'19) paper artefacts
@@ -65,6 +70,7 @@ SUBCOMMANDS:
     faults      Soft-error campaign over the three DL1 designs
     smp         run | list: shared-memory kernels on the N-core system
     trace       record | replay | info: access-stream trace tooling
+    forensics   Per-fault lifecycle tracing over a campaign grid
     stats       Render a metrics dump written by campaign --metrics-out
     help        Print this message
 
@@ -160,6 +166,17 @@ campaign FLAGS:
     --progress        Stream JSONL progress events (campaign_start, cell,
                       round, campaign_end; each stamped with the spec
                       fingerprint) to stderr while the campaign runs
+    --forensics       Trace every injected fault's lifecycle (strike ->
+                      activation -> outcome) and append the forensics
+                      summary after the text report.  The stdout report
+                      itself stays byte-identical; with --json only the
+                      unchanged report JSON is printed (use the `forensics`
+                      subcommand for the forensics document).  Full and
+                      trace-backed modes only
+    --chrome-trace <FILE>
+                      Write the fault lifecycles as Chrome trace-event JSON
+                      to FILE (open in chrome://tracing or Perfetto;
+                      implies --forensics)
 
 faults FLAGS:
     --interval <N>    Mean cycles between injected upsets (default 40)
@@ -193,11 +210,28 @@ trace SUBCOMMANDS (laec-cli trace <record|replay|info> [FLAGS]):
     record/replay print the resulting campaign cell; a fault-free replay is
     byte-identical to the recording's cell (the determinism check CI runs).
 
+forensics FLAGS (laec-cli forensics [FLAGS]):
+    Runs a campaign grid with per-fault lifecycle tracing and prints the
+    full forensics document: per-outcome totals, detection-latency and
+    latent-residency histograms, and per-record strike -> outcome tables.
+    Deterministic: the bytes are identical for any --threads value and for
+    the full-simulation and trace-backed engines (CI cmp's both).
+    Accepts the campaign grid/mode flags above (--spec, --workloads,
+    --schemes, --platforms, --fault-seeds, --fault-interval,
+    --fault-target, --protocol, --trace-backed, --trace-cache, --threads,
+    --seed, --smoke), plus:
+    --json            Emit the forensics document as JSON instead of text
+    --chrome-trace <FILE>
+                      Also write the Chrome trace-event export to FILE
+
 stats FLAGS (laec-cli stats <FILE> [FLAGS]):
     --counters        Print only the deterministic counter section (the
                       surface CI byte-compares across thread counts and
                       shard/resume splits) instead of the rendered table
     --json            Re-emit the full dump as normalised JSON
+    --compare <B>     Diff two metrics dumps: `laec-cli stats --compare A B`
+                      (or `laec-cli stats A --compare B`) prints a
+                      counter/gauge delta table, B relative to A
 ";
 
 fn main() -> ExitCode {
@@ -246,10 +280,22 @@ fn run(args: &[String]) -> Result<(), String> {
         };
     }
     if subcommand == "stats" {
+        // `stats --compare A B`: the two files follow the flag.
+        if args.get(1).is_some_and(|a| a == "--compare") {
+            let (Some(a), Some(b)) = (args.get(2), args.get(3)) else {
+                return Err("`stats --compare` needs two metrics files".to_string());
+            };
+            let flags = Flags::parse(&args[4..])?;
+            return cmd_stats_compare(&PathBuf::from(a), &PathBuf::from(b), &flags);
+        }
         let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
             return Err("`stats` needs a metrics file: laec-cli stats <FILE>".to_string());
         };
         let flags = Flags::parse(&args[2..])?;
+        // `stats A --compare B`: the baseline is positional.
+        if let Some(b) = &flags.compare {
+            return cmd_stats_compare(&PathBuf::from(file), b, &flags);
+        }
         return cmd_stats(&PathBuf::from(file), &flags);
     }
     let flags = Flags::parse(&args[1..])?;
@@ -257,6 +303,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "tables" => cmd_tables(&flags),
         "figure8" => cmd_figure8(&flags),
         "campaign" => cmd_campaign(&flags),
+        "forensics" => cmd_forensics(&flags),
         "faults" => cmd_faults(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -304,6 +351,9 @@ struct Flags {
     metrics_out: Option<PathBuf>,
     progress: bool,
     counters: bool,
+    forensics: bool,
+    chrome_trace: Option<PathBuf>,
+    compare: Option<PathBuf>,
 }
 
 impl Flags {
@@ -343,6 +393,9 @@ impl Flags {
             metrics_out: None,
             progress: false,
             counters: false,
+            forensics: false,
+            chrome_trace: None,
+            compare: None,
         };
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
@@ -440,6 +493,12 @@ impl Flags {
                 }
                 "--progress" => flags.progress = true,
                 "--counters" => flags.counters = true,
+                "--forensics" => flags.forensics = true,
+                "--chrome-trace" => {
+                    flags.chrome_trace = Some(PathBuf::from(value("--chrome-trace")?));
+                    flags.forensics = true;
+                }
+                "--compare" => flags.compare = Some(PathBuf::from(value("--compare")?)),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -578,6 +637,17 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
 
     let obs = build_obs(flags)?;
 
+    if flags.forensics {
+        check_forensics_mode(&validated)?;
+        if flags.checkpoint.is_some() || flags.resume || flags.shard_rounds.is_some() {
+            return Err(
+                "--forensics does not compose with --checkpoint/--resume/--shard-rounds \
+                 (sharded sampling has no lifecycle records)"
+                    .to_string(),
+            );
+        }
+    }
+
     // Checkpoint/resume/sharding are invocation concerns of the sampled
     // engine (where to park progress between shards), not part of the spec.
     if flags.checkpoint.is_some() || flags.resume || flags.shard_rounds.is_some() {
@@ -601,13 +671,20 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
         return cmd_campaign_sharded(flags, &validated, &obs);
     }
 
-    let outcome = Campaign::new(validated).run_observed(flags.threads, &obs);
+    let campaign = Campaign::new(validated);
+    let (outcome, forensics) = if flags.forensics {
+        campaign.run_forensic(flags.threads, &obs)
+    } else {
+        (campaign.run_observed(flags.threads, &obs), None)
+    };
     if let Some(stats) = outcome.trace_stats() {
         eprintln!("{stats}");
     }
     // The rendered bytes are exactly what `Campaign::run` would print —
     // observability must never perturb the report, only wrap it in a
-    // timing span and mirror it into the metrics file.
+    // timing span and mirror it into the metrics file.  The forensics
+    // summary is *appended* after the text report (and omitted entirely
+    // under --json), so the report surface CI byte-compares is untouched.
     let rendered = {
         let _span = obs.span(Phase::ReportRender);
         if flags.json {
@@ -617,12 +694,191 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
         }
     };
     println!("{rendered}");
+    if let Some(forensics) = &forensics {
+        if !flags.json {
+            println!("{}", forensics.render(false));
+        }
+        write_chrome_trace(flags, forensics)?;
+    }
     write_metrics(flags, &obs)?;
     if outcome.architecturally_equivalent() {
         Ok(())
     } else {
         Err("architectural equivalence FAILED for at least one grid cell".to_string())
     }
+}
+
+/// Rejects specs whose engine cannot trace fault lifecycles (sampled and
+/// forced-SMP modes).
+fn check_forensics_mode(validated: &ValidatedSpec) -> Result<(), String> {
+    let caps = engine_for(validated.mode()).capabilities();
+    if caps.forensics {
+        Ok(())
+    } else {
+        Err(format!(
+            "the {} engine cannot trace fault lifecycles; forensics needs the full or \
+             trace-backed mode",
+            caps.name
+        ))
+    }
+}
+
+/// Writes the Chrome trace-event export to `--chrome-trace FILE`, if
+/// requested.
+fn write_chrome_trace(flags: &Flags, forensics: &ForensicsReport) -> Result<(), String> {
+    let Some(path) = &flags.chrome_trace else {
+        return Ok(());
+    };
+    let mut text = forensics.chrome_trace_json();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// `laec-cli forensics`: run a campaign grid with per-fault lifecycle
+/// tracing and print the forensics document itself — strike → outcome
+/// tables with `--json` and `--chrome-trace FILE` variants.  The document
+/// is deterministic: byte-identical for any `--threads` value and for the
+/// full-simulation and trace-backed engines (the CI determinism gate
+/// `cmp`s both).
+fn cmd_forensics(flags: &Flags) -> Result<(), String> {
+    let spec = if let Some(path) = &flags.spec {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        SpecV2::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?
+    } else {
+        build_spec_from_flags(flags)?
+    };
+    let validated = spec.validate().map_err(|e| e.to_string())?;
+    check_forensics_mode(&validated)?;
+    let obs = build_obs(flags)?;
+    let (_, forensics) = Campaign::new(validated).run_forensic(flags.threads, &obs);
+    let forensics = forensics.expect("forensics-capable engine checked above");
+    if flags.json {
+        println!("{}", forensics.to_json());
+    } else {
+        println!("{}", forensics.render(true));
+    }
+    write_chrome_trace(flags, &forensics)?;
+    write_metrics(flags, &obs)
+}
+
+/// One `a`/`b`/`delta` triple of the `stats --compare` JSON output.
+struct DeltaRow<T: Serialize> {
+    a: T,
+    b: T,
+    delta: T,
+}
+
+impl<T: Serialize> Serialize for DeltaRow<T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        serializer.field("a", &self.a);
+        serializer.field("b", &self.b);
+        serializer.field("delta", &self.delta);
+        serializer.end_object();
+    }
+}
+
+/// A metric-name → [`DeltaRow`] object of the `stats --compare` JSON
+/// output.
+struct DeltaSection<'a, T: Serialize>(&'a [(&'a String, DeltaRow<T>)]);
+
+impl<T: Serialize> Serialize for DeltaSection<'_, T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        for (key, row) in self.0 {
+            serializer.field(key, row);
+        }
+        serializer.end_object();
+    }
+}
+
+/// `laec-cli stats --compare A B`: diff the deterministic counter and
+/// gauge sections of two metrics dumps (B relative to A).
+fn cmd_stats_compare(a: &PathBuf, b: &PathBuf, flags: &Flags) -> Result<(), String> {
+    let load = |path: &PathBuf| -> Result<MetricsDump, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        MetricsDump::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let (dump_a, dump_b) = (load(a)?, load(b)?);
+    let counter_keys: std::collections::BTreeSet<&String> = dump_a
+        .counters
+        .keys()
+        .chain(dump_b.counters.keys())
+        .chain(dump_a.engine_counters.keys())
+        .chain(dump_b.engine_counters.keys())
+        .collect();
+    let gauge_keys: std::collections::BTreeSet<&String> =
+        dump_a.gauges.keys().chain(dump_b.gauges.keys()).collect();
+    let counter_of = |dump: &MetricsDump, key: &String| -> i128 {
+        dump.counters
+            .get(key)
+            .or_else(|| dump.engine_counters.get(key))
+            .copied()
+            .map_or(0, i128::from)
+    };
+    if flags.json {
+        let counters: Vec<(&String, DeltaRow<i64>)> = counter_keys
+            .iter()
+            .map(|key| {
+                let (va, vb) = (counter_of(&dump_a, key), counter_of(&dump_b, key));
+                (
+                    *key,
+                    DeltaRow {
+                        a: va as i64,
+                        b: vb as i64,
+                        delta: (vb - va) as i64,
+                    },
+                )
+            })
+            .collect();
+        let gauges: Vec<(&String, DeltaRow<f64>)> = gauge_keys
+            .iter()
+            .map(|key| {
+                let va = dump_a.gauges.get(*key).copied().unwrap_or(0.0);
+                let vb = dump_b.gauges.get(*key).copied().unwrap_or(0.0);
+                (
+                    *key,
+                    DeltaRow {
+                        a: va,
+                        b: vb,
+                        delta: vb - va,
+                    },
+                )
+            })
+            .collect();
+        let mut s = Serializer::pretty();
+        s.begin_object();
+        s.field("a", dump_a.spec_fingerprint.as_str());
+        s.field("b", dump_b.spec_fingerprint.as_str());
+        s.field("counters", &DeltaSection(&counters));
+        s.field("gauges", &DeltaSection(&gauges));
+        s.end_object();
+        println!("{}", s.finish());
+        return Ok(());
+    }
+    println!("metrics delta  {} -> {}", a.display(), b.display());
+    if dump_a.spec_fingerprint != dump_b.spec_fingerprint {
+        println!(
+            "note: different campaigns ({} vs {})",
+            dump_a.spec_fingerprint, dump_b.spec_fingerprint
+        );
+    }
+    println!("{:<44} {:>14} {:>14} {:>14}", "counter", "a", "b", "delta");
+    for key in counter_keys {
+        let (va, vb) = (counter_of(&dump_a, key), counter_of(&dump_b, key));
+        println!("{key:<44} {va:>14} {vb:>14} {:>+14}", vb - va);
+    }
+    if !gauge_keys.is_empty() {
+        println!("{:<44} {:>14} {:>14} {:>14}", "gauge", "a", "b", "delta");
+        for key in gauge_keys {
+            let va = dump_a.gauges.get(key).copied().unwrap_or(0.0);
+            let vb = dump_b.gauges.get(key).copied().unwrap_or(0.0);
+            println!("{key:<44} {va:>14.6} {vb:>14.6} {:>+14.6}", vb - va);
+        }
+    }
+    Ok(())
 }
 
 /// Builds the campaign's [`Obs`] handle from `--metrics-out`/`--progress`:

@@ -41,13 +41,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-use laec_mem::{FaultCampaignConfig, FaultTarget, HierarchyConfig, Interference, ProtocolKind};
+use laec_mem::{
+    CellForensics, FaultCampaignConfig, FaultTarget, HierarchyConfig, Interference, ProtocolKind,
+};
 use laec_obs::{Obs, Phase, ProgressEvent};
 use laec_pipeline::{EccScheme, PipelineConfig};
 use laec_workloads::{eembc_suite, kernel_suite, GeneratorConfig, Workload};
 use serde::{Deserialize, Serialize};
 
-use crate::runner::run_with_config;
+use crate::runner::{run_with_config, run_with_config_forensic};
 
 // ---------------------------------------------------------------------------
 // Spec: the axes of the grid
@@ -586,6 +588,27 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignReport {
 /// [`crate::spec::FullSimEngine`].
 #[must_use]
 pub(crate) fn execute_full(spec: &CampaignSpec, threads: usize, obs: &Obs) -> CampaignReport {
+    execute_full_impl(spec, threads, obs, false).0
+}
+
+/// [`execute_full`] with per-fault lifecycle forensics: also returns one
+/// [`CellForensics`] per grid cell, in the report's cell order.  The report
+/// itself is byte-identical to [`execute_full`] — forensics only observes.
+#[must_use]
+pub(crate) fn execute_full_forensic(
+    spec: &CampaignSpec,
+    threads: usize,
+    obs: &Obs,
+) -> (CampaignReport, Vec<CellForensics>) {
+    execute_full_impl(spec, threads, obs, true)
+}
+
+fn execute_full_impl(
+    spec: &CampaignSpec,
+    threads: usize,
+    obs: &Obs,
+    forensic: bool,
+) -> (CampaignReport, Vec<CellForensics>) {
     let workloads = spec.materialize_workloads();
     let threads = if threads == 0 {
         default_threads()
@@ -621,17 +644,22 @@ pub(crate) fn execute_full(spec: &CampaignSpec, threads: usize, obs: &Obs) -> Ca
         jobs: jobs.len() as u64,
     });
     let total = jobs.len() as u64;
-    let cells = run_pool(jobs.len(), threads, |index| {
+    let results = run_pool(jobs.len(), threads, |index| {
         let job = jobs[index];
         let phase = if job.fault.is_some() {
             Phase::Inject
         } else {
             Phase::FullSim
         };
-        let cell = {
+        let (cell, forensics) = {
             let _span = obs.span(phase);
-            run_job(spec, &workloads, job)
+            if forensic {
+                run_job_forensic(spec, &workloads, job)
+            } else {
+                (run_job(spec, &workloads, job), CellForensics::default())
+            }
         };
+        let tallies = forensic.then(|| forensics.outcome_tallies());
         obs.emit(&ProgressEvent::Cell {
             index: index as u64,
             total,
@@ -641,14 +669,16 @@ pub(crate) fn execute_full(spec: &CampaignSpec, threads: usize, obs: &Obs) -> Ca
             fault_seed: cell.fault_seed,
             cycles: cell.cycles,
             phase: phase.label(),
+            outcomes: tallies.as_ref().map(|t| &t[..]),
         });
-        cell
+        (cell, forensics)
     });
     obs.emit(&ProgressEvent::CampaignEnd {
         engine: "full",
         executed: total,
     });
-    assemble_report(spec, &workloads, cells)
+    let (cells, forensics): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    (assemble_report(spec, &workloads, cells), forensics)
 }
 
 /// Executes `count` jobs on a scoped worker pool (one shared cursor, one
@@ -783,6 +813,34 @@ pub(crate) fn run_job(spec: &CampaignSpec, workloads: &[Workload], job: Job) -> 
         fault_seed,
         &result,
     )
+}
+
+/// [`run_job`] with per-fault lifecycle forensics.  Multi-core cells run
+/// unchanged — the coherent SMP port does not expose forensics — and
+/// contribute an empty record set.
+pub(crate) fn run_job_forensic(
+    spec: &CampaignSpec,
+    workloads: &[Workload],
+    job: Job,
+) -> (CampaignCell, CellForensics) {
+    let workload = &workloads[job.workload];
+    let platform = spec.platforms[job.platform];
+    let config = job_config(spec, job);
+    let fault_seed = job.fault.map(|index| spec.fault_seeds[index]);
+    let mut result = if platform.cores() > 1 {
+        crate::smp_campaign::run_observed_core(workload, config, platform.cores(), spec.protocol)
+    } else {
+        run_with_config_forensic(workload, config)
+    };
+    let forensics = result.forensics.take().unwrap_or_default();
+    let cell = cell_from_result(
+        workload,
+        spec.schemes[job.scheme],
+        platform,
+        fault_seed,
+        &result,
+    );
+    (cell, forensics)
 }
 
 /// Normalizes every cell to its group's fault-free no-ECC baseline.

@@ -55,6 +55,7 @@
 pub mod campaign;
 pub mod energy;
 pub mod experiment;
+pub mod forensics;
 pub mod observe;
 pub mod report;
 pub mod runner;
@@ -67,7 +68,8 @@ pub use campaign::{
     render_campaign, CampaignCell, CampaignReport, CampaignSpec, EquivalenceCheck,
     ParsePlatformError, PlatformVariant, SlowdownMatrix, SlowdownRow, WorkloadSet,
 };
-pub use observe::record_outcome_metrics;
+pub use forensics::{ForensicsCell, ForensicsRecord, ForensicsReport};
+pub use observe::{record_forensics_metrics, record_outcome_metrics};
 pub use sampling::{
     render_sampled, CheckpointError, SampleExecution, SampledReport, Sampler, SamplerCheckpoint,
     SamplingPlan, StratumEstimate,
@@ -79,8 +81,8 @@ pub use spec::{
     TraceBackedEngine, ValidatedSpec, SPEC_VERSION,
 };
 pub use trace_backed::{
-    cell_fingerprint, record_cell, replay_cell, replay_cell_events, trace_file_name,
-    TraceBackedStats, TracedCampaign,
+    cell_fingerprint, record_cell, replay_cell, replay_cell_events, replay_cell_events_forensic,
+    trace_file_name, TraceBackedStats, TracedCampaign,
 };
 
 // The four legacy entry points remain importable from the crate root; they

@@ -16,6 +16,7 @@
 use laec_obs::Obs;
 
 use crate::campaign::CampaignReport;
+use crate::forensics::{decade_bucket, ForensicsReport};
 use crate::sampling::SampledReport;
 use crate::spec::CampaignOutcome;
 use crate::trace_backed::TraceBackedStats;
@@ -180,6 +181,53 @@ fn record_sampled_metrics(report: &SampledReport, obs: &Obs) {
     obs.engine_counter_set("sampler.rounds", max_rounds);
     obs.engine_counter_set("sampler.samples", report.total_samples);
     obs.engine_counter_set("sampler.converged_strata", report.converged_strata);
+}
+
+/// Projects a finished [`ForensicsReport`] into `obs`'s deterministic
+/// metric sections: fault/activation totals, per-outcome and per-axis
+/// histograms, and the decade-bucketed detection-latency and
+/// latent-residency distributions.  Like every projection here it is a
+/// pure function of the (byte-identical) report, so the `forensics.*`
+/// sections inherit the determinism contract.  No-op when `obs` is
+/// disabled.
+///
+/// [`crate::spec::Campaign::run_forensic`] calls this automatically.
+pub fn record_forensics_metrics(report: &ForensicsReport, obs: &Obs) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter_set("forensics.faults", report.total_faults());
+    obs.counter_set("forensics.activated", report.activated());
+    obs.counter_set("forensics.cells_with_faults", report.cells.len() as u64);
+    for (outcome, count) in report.outcome_totals() {
+        obs.histogram_add("forensics.outcomes", outcome, count);
+    }
+    for cell in &report.cells {
+        for record in &cell.records {
+            obs.histogram_add(
+                "forensics.outcomes_by_axis",
+                &format!(
+                    "{}|{}|{}|{}",
+                    report.fault_target, cell.scheme, report.protocol, record.outcome
+                ),
+                1,
+            );
+            if let Some(latency) = record.latency {
+                obs.histogram_add(
+                    "forensics.latent_residency_cycles",
+                    decade_bucket(latency),
+                    1,
+                );
+                if record.outcome == "detected" || record.outcome == "corrected" {
+                    obs.histogram_add(
+                        "forensics.detection_latency_cycles",
+                        decade_bucket(latency),
+                        1,
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Trace-engine counters: deterministic for a given engine and spec, but

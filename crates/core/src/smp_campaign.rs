@@ -166,6 +166,7 @@ pub(crate) fn execute_smp(spec: &CampaignSpec, threads: usize, obs: &Obs) -> Cam
             fault_seed: cell.fault_seed,
             cycles: cell.cycles,
             phase: phase.label(),
+            outcomes: None,
         });
         cell
     });

@@ -50,7 +50,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
-use laec_mem::{FaultTarget, ProtocolKind};
+use laec_mem::{CellForensics, FaultTarget, ProtocolKind};
 use laec_obs::Obs;
 use laec_pipeline::EccScheme;
 use laec_workloads::GeneratorConfig;
@@ -58,6 +58,7 @@ use serde::{Serialize, Serializer};
 use serde_json::Value;
 
 use crate::campaign::{self, CampaignReport, PlatformVariant, WorkloadSet};
+use crate::forensics::ForensicsReport;
 use crate::sampling::{self, SampleExecution, SampledReport, SamplingPlan};
 use crate::smp_campaign;
 use crate::trace_backed::{self, TraceBackedStats};
@@ -1097,6 +1098,10 @@ pub struct EngineCaps {
     /// `true` if the engine produces a statistical ([`SampledReport`])
     /// rather than an exhaustive grid report.
     pub statistical: bool,
+    /// `true` if the engine can trace per-fault lifecycles
+    /// ([`CampaignEngine::execute_forensic`] returns record sets rather
+    /// than `None`).
+    pub forensics: bool,
 }
 
 /// One campaign execution engine.
@@ -1124,6 +1129,23 @@ pub trait CampaignEngine {
     /// observing through `obs` — pass [`Obs::disabled`] for the
     /// uninstrumented path (the engines pay one branch per site).
     fn execute(&self, spec: &ValidatedSpec, threads: usize, obs: &Obs) -> CampaignOutcome;
+
+    /// [`CampaignEngine::execute`] with per-fault lifecycle forensics: the
+    /// second element carries one [`CellForensics`] per grid cell, in the
+    /// report's cell order.  The outcome — and therefore the report bytes —
+    /// is identical to [`CampaignEngine::execute`]; the forensics hooks
+    /// only observe.
+    ///
+    /// The default implementation runs the plain path and returns `None` —
+    /// engines advertise support through [`EngineCaps::forensics`].
+    fn execute_forensic(
+        &self,
+        spec: &ValidatedSpec,
+        threads: usize,
+        obs: &Obs,
+    ) -> (CampaignOutcome, Option<Vec<CellForensics>>) {
+        (self.execute(spec, threads, obs), None)
+    }
 }
 
 /// The reference engine: every cell is fully simulated
@@ -1138,6 +1160,7 @@ impl CampaignEngine for FullSimEngine {
             multi_core: true,
             fault_seed_axis: true,
             statistical: false,
+            forensics: true,
         }
     }
 
@@ -1146,6 +1169,22 @@ impl CampaignEngine for FullSimEngine {
             report: campaign::execute_full(&spec.grid(), threads, obs),
             trace_stats: None,
         }
+    }
+
+    fn execute_forensic(
+        &self,
+        spec: &ValidatedSpec,
+        threads: usize,
+        obs: &Obs,
+    ) -> (CampaignOutcome, Option<Vec<CellForensics>>) {
+        let (report, forensics) = campaign::execute_full_forensic(&spec.grid(), threads, obs);
+        (
+            CampaignOutcome::Grid {
+                report,
+                trace_stats: None,
+            },
+            Some(forensics),
+        )
     }
 }
 
@@ -1161,6 +1200,7 @@ impl CampaignEngine for TraceBackedEngine {
             multi_core: false,
             fault_seed_axis: true,
             statistical: false,
+            forensics: true,
         }
     }
 
@@ -1175,6 +1215,27 @@ impl CampaignEngine for TraceBackedEngine {
             trace_stats: Some(traced.stats),
         }
     }
+
+    fn execute_forensic(
+        &self,
+        spec: &ValidatedSpec,
+        threads: usize,
+        obs: &Obs,
+    ) -> (CampaignOutcome, Option<Vec<CellForensics>>) {
+        let cache_dir = match spec.mode() {
+            ExecutionMode::TraceBacked { cache_dir } => cache_dir.as_deref(),
+            _ => None,
+        };
+        let (traced, forensics) =
+            trace_backed::execute_trace_backed_forensic(&spec.grid(), threads, cache_dir, obs);
+        (
+            CampaignOutcome::Grid {
+                report: traced.report,
+                trace_stats: Some(traced.stats),
+            },
+            Some(forensics),
+        )
+    }
 }
 
 /// The stratified Monte-Carlo engine ([`ExecutionMode::Sampled`]).
@@ -1188,6 +1249,7 @@ impl CampaignEngine for SampledEngine {
             multi_core: false,
             fault_seed_axis: false,
             statistical: true,
+            forensics: false,
         }
     }
 
@@ -1225,6 +1287,7 @@ impl CampaignEngine for SmpEngine {
             multi_core: true,
             fault_seed_axis: true,
             statistical: false,
+            forensics: false,
         }
     }
 
@@ -1411,6 +1474,41 @@ impl Campaign {
         let outcome = engine.execute(&self.spec, threads, obs);
         crate::observe::record_outcome_metrics(&outcome, obs);
         outcome
+    }
+
+    /// [`Campaign::run_observed`] with per-fault lifecycle forensics: also
+    /// returns a [`ForensicsReport`] assembling every injected fault's
+    /// strike → activation → outcome record, and projects it into the
+    /// `forensics.*` metric sections (see
+    /// [`crate::observe::record_forensics_metrics`]).
+    ///
+    /// The outcome — and therefore the campaign report bytes — is
+    /// identical to [`Campaign::run_observed`]: the forensics hooks only
+    /// observe.  The forensics report inherits the determinism contract
+    /// (same bytes for any `threads` and for the full-simulation and
+    /// trace-backed engines).
+    ///
+    /// Engines that cannot trace lifecycles
+    /// ([`EngineCaps::forensics`] `== false`) return `None`.
+    #[must_use]
+    pub fn run_forensic(
+        &self,
+        threads: usize,
+        obs: &Obs,
+    ) -> (CampaignOutcome, Option<ForensicsReport>) {
+        let engine = self.engine();
+        obs.set_context(&self.spec.fingerprint_hex(), engine.capabilities().name);
+        let (outcome, forensics) = engine.execute_forensic(&self.spec, threads, obs);
+        crate::observe::record_outcome_metrics(&outcome, obs);
+        let report = match (&outcome, forensics) {
+            (CampaignOutcome::Grid { report, .. }, Some(cells)) => {
+                let forensics = ForensicsReport::build(self.spec.spec(), report, &cells);
+                crate::observe::record_forensics_metrics(&forensics, obs);
+                Some(forensics)
+            }
+            _ => None,
+        };
+        (outcome, report)
     }
 }
 
@@ -1667,13 +1765,14 @@ mod tests {
 
     #[test]
     fn engine_capabilities_match_their_modes() {
-        for (mode, multi_core, fault_axis, statistical) in [
-            (ExecutionMode::Full, true, true, false),
+        for (mode, multi_core, fault_axis, statistical, forensics) in [
+            (ExecutionMode::Full, true, true, false, true),
             (
                 ExecutionMode::TraceBacked { cache_dir: None },
                 false,
                 true,
                 false,
+                true,
             ),
             (
                 ExecutionMode::Sampled {
@@ -1683,14 +1782,16 @@ mod tests {
                 false,
                 false,
                 true,
+                false,
             ),
-            (ExecutionMode::Smp, true, true, false),
+            (ExecutionMode::Smp, true, true, false, false),
         ] {
             let caps = engine_for(&mode).capabilities();
             assert_eq!(caps.name, mode.kind());
             assert_eq!(caps.multi_core, multi_core, "{}", caps.name);
             assert_eq!(caps.fault_seed_axis, fault_axis, "{}", caps.name);
             assert_eq!(caps.statistical, statistical, "{}", caps.name);
+            assert_eq!(caps.forensics, forensics, "{}", caps.name);
         }
     }
 

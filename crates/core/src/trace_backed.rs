@@ -38,7 +38,7 @@
 use std::fs;
 use std::path::Path;
 
-use laec_mem::{FaultCampaignConfig, ReplayMemory};
+use laec_mem::{CellForensics, FaultCampaignConfig, ReplayMemory};
 use laec_obs::{Obs, Phase, ProgressEvent};
 use laec_pipeline::{EccScheme, PipelineConfig, Simulator};
 use laec_trace::{
@@ -49,8 +49,8 @@ use laec_workloads::Workload;
 
 use crate::campaign::{
     assemble_report, cell_from_result, default_threads, fnv1a, job_injection_seed,
-    registers_fingerprint, run_job, run_pool, CampaignCell, CampaignReport, CampaignSpec, Job,
-    PlatformVariant,
+    registers_fingerprint, run_job, run_job_forensic, run_pool, CampaignCell, CampaignReport,
+    CampaignSpec, Job, PlatformVariant,
 };
 
 /// Execution counters of one trace-backed campaign.
@@ -180,6 +180,40 @@ pub fn replay_cell_events(
     fault: Option<FaultCampaignConfig>,
     fault_axis_seed: Option<u64>,
 ) -> Result<CampaignCell, Divergence> {
+    replay_cell_events_impl(spec, trace, events, workload, fault, fault_axis_seed, false)
+        .map(|(cell, _)| cell)
+}
+
+/// [`replay_cell_events`] with per-fault lifecycle forensics enabled on the
+/// replayed hierarchy.  The cell is byte-identical to the non-forensic
+/// replay; the forensics records are byte-identical to a full simulation of
+/// the same grid coordinates (the replay re-issues the recorded
+/// (event, cycle) stream).
+///
+/// # Errors
+///
+/// See [`replay_cell`].
+pub fn replay_cell_events_forensic(
+    spec: &CampaignSpec,
+    trace: &Trace,
+    events: &[TraceEvent],
+    workload: &Workload,
+    fault: Option<FaultCampaignConfig>,
+    fault_axis_seed: Option<u64>,
+) -> Result<(CampaignCell, CellForensics), Divergence> {
+    replay_cell_events_impl(spec, trace, events, workload, fault, fault_axis_seed, true)
+}
+
+#[allow(clippy::too_many_lines)]
+fn replay_cell_events_impl(
+    spec: &CampaignSpec,
+    trace: &Trace,
+    events: &[TraceEvent],
+    workload: &Workload,
+    fault: Option<FaultCampaignConfig>,
+    fault_axis_seed: Option<u64>,
+    forensic: bool,
+) -> Result<(CampaignCell, CellForensics), Divergence> {
     let header = &trace.header;
     let corrupt = |what: &'static str| Divergence::Trace(TraceError::Corrupt(what));
     if header.workload != workload.name {
@@ -201,7 +235,8 @@ pub fn replay_cell_events(
 
     let config = platform_config(scheme, platform);
     let mut target = ReplayMemory::new(config.hierarchy)
-        .with_flush_on_error(matches!(scheme, EccScheme::SpeculateFlush { .. }));
+        .with_flush_on_error(matches!(scheme, EccScheme::SpeculateFlush { .. }))
+        .with_forensics(forensic);
     if let Some(interference) = config.bus_interference {
         target = target.with_bus_interference(interference);
     }
@@ -233,11 +268,14 @@ pub fn replay_cell_events(
     let meta_faults_injected = target.system().dl1().meta_faults_injected();
     let lost_writebacks = target.system().dl1().lost_writebacks();
     let stale_metadata_reads = target.system().dl1().stale_reads();
+    // Like `Simulator::finalize`: the forensics set closes only after the
+    // drain has settled every pending lifecycle.
+    let forensics = target.take_forensics().unwrap_or_default();
     if fault.is_none() && memory_checksum != summary.memory_checksum {
         return Err(corrupt("fault-free replay did not reproduce the checksum"));
     }
 
-    Ok(CampaignCell {
+    let cell = CampaignCell {
         workload: workload.name.clone(),
         scheme: header.scheme.clone(),
         platform: header.platform.clone(),
@@ -274,7 +312,8 @@ pub fn replay_cell_events(
         registers_fingerprint: summary.registers_fingerprint,
         memory_checksum,
         slowdown: None,
-    })
+    };
+    Ok((cell, forensics))
 }
 
 /// How one fault-free cell was obtained.
@@ -365,6 +404,32 @@ pub(crate) fn execute_trace_backed(
     cache_dir: Option<&Path>,
     obs: &Obs,
 ) -> TracedCampaign {
+    execute_trace_backed_impl(spec, threads, cache_dir, obs, false).0
+}
+
+/// [`execute_trace_backed`] with per-fault lifecycle forensics: also
+/// returns one [`CellForensics`] per grid cell, in the report's cell order.
+/// Fault-free cells carry no faults, so their record sets are empty; faulty
+/// cells' records are byte-identical to the full-simulation engine's (the
+/// determinism tests `cmp` the two).
+#[must_use]
+pub(crate) fn execute_trace_backed_forensic(
+    spec: &CampaignSpec,
+    threads: usize,
+    cache_dir: Option<&Path>,
+    obs: &Obs,
+) -> (TracedCampaign, Vec<CellForensics>) {
+    execute_trace_backed_impl(spec, threads, cache_dir, obs, true)
+}
+
+#[allow(clippy::too_many_lines)]
+fn execute_trace_backed_impl(
+    spec: &CampaignSpec,
+    threads: usize,
+    cache_dir: Option<&Path>,
+    obs: &Obs,
+    forensic: bool,
+) -> (TracedCampaign, Vec<CellForensics>) {
     assert!(
         spec.platforms.iter().all(|p| p.cores() == 1),
         "trace-backed campaigns do not support multi-core (smpN) platforms \
@@ -407,6 +472,9 @@ pub(crate) fn execute_trace_backed(
             Origin::CacheHit => Phase::TraceDecode,
             Origin::Recorded { .. } => Phase::TraceRecord,
         };
+        // Fault-free cells inject nothing: their forensic tallies are all
+        // zero by construction.
+        let tallies = forensic.then(|| CellForensics::default().outcome_tallies());
         obs.emit(&ProgressEvent::Cell {
             // The cell's position in the canonical grid order: fault-free
             // cells lead their triple's block of 1 + fault_count cells.
@@ -418,12 +486,13 @@ pub(crate) fn execute_trace_backed(
             fault_seed: None,
             cycles: recorded.0.cycles,
             phase: phase.label(),
+            outcomes: tallies.as_ref().map(|t| &t[..]),
         });
         recorded
     });
 
     // Phase 2: replay every faulty cell from its triple's trace.
-    let phase2: Vec<(CampaignCell, bool)> =
+    let phase2: Vec<(CampaignCell, bool, CellForensics)> =
         run_pool(triples.len() * fault_count, threads, |index| {
             let triple = index / fault_count;
             let fault = index % fault_count;
@@ -444,20 +513,26 @@ pub(crate) fn execute_trace_backed(
             let (_, trace, events, _) = &phase1[triple];
             let replayed = {
                 let _span = obs.span(Phase::Replay);
-                replay_cell_events(
+                replay_cell_events_impl(
                     spec,
                     trace,
                     events,
                     workload,
                     Some(campaign),
                     Some(axis_seed),
+                    forensic,
                 )
             };
-            let (cell, replayed) = match replayed {
-                Ok(cell) => (cell, true),
+            let (cell, replayed, forensics) = match replayed {
+                Ok((cell, forensics)) => (cell, true, forensics),
                 Err(_divergence) => {
                     let _span = obs.span(Phase::FullSimFallback);
-                    (run_job(spec, &workloads, job), false)
+                    let (cell, forensics) = if forensic {
+                        run_job_forensic(spec, &workloads, job)
+                    } else {
+                        (run_job(spec, &workloads, job), CellForensics::default())
+                    };
+                    (cell, false, forensics)
                 }
             };
             let phase = if replayed {
@@ -465,6 +540,7 @@ pub(crate) fn execute_trace_backed(
             } else {
                 Phase::FullSimFallback
             };
+            let tallies = forensic.then(|| forensics.outcome_tallies());
             obs.emit(&ProgressEvent::Cell {
                 index: (triple * (1 + fault_count) + 1 + fault) as u64,
                 total,
@@ -474,8 +550,9 @@ pub(crate) fn execute_trace_backed(
                 fault_seed: cell.fault_seed,
                 cycles: cell.cycles,
                 phase: phase.label(),
+                outcomes: tallies.as_ref().map(|t| &t[..]),
             });
-            (cell, replayed)
+            (cell, replayed, forensics)
         });
     obs.emit(&ProgressEvent::CampaignEnd {
         engine: "trace-backed",
@@ -485,6 +562,7 @@ pub(crate) fn execute_trace_backed(
     // Interleave back into the canonical grid order and aggregate counters.
     let mut stats = TraceBackedStats::default();
     let mut cells = Vec::with_capacity(triples.len() * (1 + fault_count));
+    let mut forensics = Vec::with_capacity(cells.capacity());
     let mut faulty = phase2.into_iter();
     for (cell, _trace, _events, origin) in phase1 {
         match origin {
@@ -495,24 +573,27 @@ pub(crate) fn execute_trace_backed(
             Origin::CacheHit => stats.cache_loads += 1,
         }
         cells.push(cell);
+        forensics.push(CellForensics::default());
         for _ in 0..fault_count {
             // laec-lint: allow(panic-in-library) -- phase 2 produced exactly
             // `fault_count` faulty cells per group (same grid expansion as
             // this loop), so the iterator cannot run dry.
-            let (cell, replayed) = faulty.next().expect("phase-2 grid is complete");
+            let (cell, replayed, cell_forensics) = faulty.next().expect("phase-2 grid is complete");
             if replayed {
                 stats.replayed += 1;
             } else {
                 stats.fallbacks += 1;
             }
             cells.push(cell);
+            forensics.push(cell_forensics);
         }
     }
 
-    TracedCampaign {
+    let traced = TracedCampaign {
         report: assemble_report(spec, &workloads, cells),
         stats,
-    }
+    };
+    (traced, forensics)
 }
 
 #[cfg(test)]

@@ -226,6 +226,17 @@ impl Outcome {
         !matches!(self, Outcome::Clean)
     }
 
+    /// `true` when the decoder repaired an error and the data is usable —
+    /// the scrub-eligible outcomes, and the "corrected" class of the fault
+    /// forensics tables.
+    #[must_use]
+    pub fn is_corrected(self) -> bool {
+        matches!(
+            self,
+            Outcome::CorrectedSingle { .. } | Outcome::CorrectedCheckBit { .. }
+        )
+    }
+
     /// `true` when the error is detected but not correctable.
     #[must_use]
     pub fn is_uncorrectable(self) -> bool {

@@ -13,6 +13,7 @@ use laec_ecc::{Codeword, Decoded, EccCode, ErrorInjector, FlipPlan, Outcome};
 use crate::coherence::{LineState, ProtocolKind, SnoopResult};
 use crate::config::{CacheConfig, WritePolicy};
 use crate::fault::FaultTarget;
+use crate::forensics::{ActivationKind, CacheEvent, FaultOutcome};
 use crate::stats::CacheStats;
 
 /// One cache line: tag, coherence state and the protected words.
@@ -148,6 +149,12 @@ pub struct Cache {
     /// tag-hit, or a refetch of stale lower-level data while the newest copy
     /// was hidden by the corruption (silent data corruption).
     stale_reads: u64,
+    /// Forensics journal: strike and consequence events in program order,
+    /// drained by the owning `MemorySystem` after every access.  Only
+    /// populated when `journal_enabled` (set by forensics); every push site
+    /// is behind that flag so disabled runs pay a single branch.
+    journal: Vec<CacheEvent>,
+    journal_enabled: bool,
 }
 
 impl Cache {
@@ -179,7 +186,20 @@ impl Cache {
             meta_faults_injected: 0,
             lost_writebacks: 0,
             stale_reads: 0,
+            journal: Vec::new(),
+            journal_enabled: false,
         }
+    }
+
+    /// Turns on the forensics event journal (irreversible for the cache's
+    /// lifetime; campaigns construct a fresh hierarchy per cell).
+    pub(crate) fn enable_journal(&mut self) {
+        self.journal_enabled = true;
+    }
+
+    /// Takes the journalled events accumulated since the last drain.
+    pub(crate) fn drain_journal(&mut self) -> Vec<CacheEvent> {
+        std::mem::take(&mut self.journal)
     }
 
     /// The cache's configuration.
@@ -265,11 +285,39 @@ impl Cache {
     /// statistics or scrubbing — a debug/result-checking view.
     #[must_use]
     pub fn peek_word(&self, address: u32) -> Option<u32> {
+        self.probe_decoded(address).map(|(value, _)| value)
+    }
+
+    /// Decoded value and ECC outcome of the word at `address`, without
+    /// disturbing LRU state, statistics or scrubbing.  The forensics layer
+    /// uses this to observe a struck word exactly as the next access would,
+    /// before a destructive operation (store merge, eviction) consumes it.
+    #[must_use]
+    pub fn probe_decoded(&self, address: u32) -> Option<(u32, Outcome)> {
         let way = self.find_way(address)?;
         let set = self.set_index(address);
         let word = self.word_index(address);
         let decoded = self.lines[set * self.ways() + way].decode_word(word, self.code.as_ref());
-        Some(decoded.data as u32)
+        Some((decoded.data as u32, decoded.outcome))
+    }
+
+    /// Base address of the valid line a [`Cache::fill`] at `address` would
+    /// displace, or `None` when an invalid way absorbs the fill.  Read-only
+    /// twin of the victim selection inside `fill` (keep the two in sync);
+    /// lets the forensics layer classify faults in the victim *before* the
+    /// eviction decodes and discards it.
+    #[must_use]
+    pub fn victim_probe(&self, address: u32) -> Option<u32> {
+        let set = self.set_index(address);
+        let lines = &self.lines[self.set_range(set)];
+        if lines.iter().any(|line| !line.state.is_valid()) {
+            return None;
+        }
+        lines
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, line)| line.last_used)
+            .map(|(way, _)| self.reconstruct_base(set, lines[way].tag))
     }
 
     /// Reads the aligned 32-bit word at `address`.
@@ -294,6 +342,14 @@ impl Cache {
                     // The hit only happened because the stored tag was
                     // flipped onto this address: the data belongs elsewhere.
                     self.stale_reads += 1;
+                    if self.journal_enabled {
+                        let base = self.reconstruct_base(set, record.true_tag);
+                        self.journal.push(CacheEvent::MetaOutcome {
+                            base,
+                            outcome: FaultOutcome::StaleMetadataRead,
+                            activation: Some(ActivationKind::Read),
+                        });
+                    }
                 }
             }
         }
@@ -305,7 +361,7 @@ impl Cache {
         line.last_used = counter;
         let decoded = line.decode_word(word, self.code.as_ref());
         self.stats.ecc.record(decoded.outcome);
-        if decoded.outcome.is_usable() && decoded.outcome.is_error() {
+        if decoded.outcome.is_corrected() {
             // Scrub: rewrite the corrected word so the error does not linger.
             line.words[word] = Codeword::encode(self.code.as_ref(), decoded.data);
             line.pristine |= 1u64 << word;
@@ -332,6 +388,14 @@ impl Cache {
                 && record.truly_dirty
             {
                 self.stale_reads += 1;
+                if self.journal_enabled {
+                    let base = self.reconstruct_base(set, record.true_tag);
+                    self.journal.push(CacheEvent::MetaOutcome {
+                        base,
+                        outcome: FaultOutcome::StaleMetadataRead,
+                        activation: Some(ActivationKind::Read),
+                    });
+                }
                 return;
             }
         }
@@ -372,6 +436,19 @@ impl Cache {
                 // A state-only corruption (tag intact) is healed by the
                 // write: the line is dirty again and will be written back.
                 let tag = self.lines[index].tag;
+                if self.journal_enabled {
+                    let ways = self.ways();
+                    for record in &self.corrupted {
+                        if record.index == index && record.true_tag == tag {
+                            let base = self.reconstruct_base(record.index / ways, record.true_tag);
+                            self.journal.push(CacheEvent::MetaOutcome {
+                                base,
+                                outcome: FaultOutcome::Masked,
+                                activation: None,
+                            });
+                        }
+                    }
+                }
                 self.corrupted
                     .retain(|r| r.index != index || r.true_tag != tag);
             }
@@ -409,7 +486,7 @@ impl Cache {
         for word in first..first + count as usize {
             let decoded = line.decode_word(word, code);
             self.stats.ecc.record(decoded.outcome);
-            if decoded.outcome.is_usable() && decoded.outcome.is_error() {
+            if decoded.outcome.is_corrected() {
                 line.words[word] = Codeword::encode(code, decoded.data);
                 line.pristine |= 1u64 << word;
             }
@@ -535,8 +612,27 @@ impl Cache {
         let stored_dirty = self.lines[index].state.is_dirty();
         if let Some(position) = self.corrupted.iter().position(|r| r.index == index) {
             let record = self.corrupted.swap_remove(position);
-            if record.truly_dirty && (!stored_dirty || record.true_tag != stored_tag) {
+            let lost = record.truly_dirty && (!stored_dirty || record.true_tag != stored_tag);
+            if lost {
                 self.lost_writebacks += 1;
+            }
+            if self.journal_enabled {
+                let base = self.reconstruct_base(index / self.ways(), record.true_tag);
+                let (outcome, activation) = if lost {
+                    // The eviction/flush that retired the record is the
+                    // moment the dirty data missed its writeback.
+                    (
+                        FaultOutcome::LostWriteback,
+                        Some(ActivationKind::WritebackDrain),
+                    )
+                } else {
+                    (FaultOutcome::Masked, None)
+                };
+                self.journal.push(CacheEvent::MetaOutcome {
+                    base,
+                    outcome,
+                    activation,
+                });
             }
         }
     }
@@ -669,6 +765,19 @@ impl Cache {
             // keeps its record (the copy still answers for the wrong
             // address).
             let tag = self.lines[index].tag;
+            if self.journal_enabled {
+                let ways = self.ways();
+                for record in &self.corrupted {
+                    if record.index == index && record.true_tag == tag {
+                        let base = self.reconstruct_base(record.index / ways, record.true_tag);
+                        self.journal.push(CacheEvent::MetaOutcome {
+                            base,
+                            outcome: FaultOutcome::Masked,
+                            activation: None,
+                        });
+                    }
+                }
+            }
             self.corrupted
                 .retain(|r| r.index != index || r.true_tag != tag);
         }
@@ -705,6 +814,9 @@ impl Cache {
             .find(|r| r.index == index)
             .map_or_else(|| self.lines[index].state.is_dirty(), |r| r.truly_dirty);
         let base = self.reconstruct_base(set_index, true_tag);
+        if self.journal_enabled {
+            self.journal.push(CacheEvent::MetaStrike { base, target });
+        }
         match target {
             FaultTarget::Data => unreachable!("data strikes use inject_fault"),
             FaultTarget::State => {
@@ -736,6 +848,23 @@ impl Cache {
             self.corrupted.retain(|r| r.index != index);
             if truly_dirty {
                 self.lost_writebacks += 1;
+            }
+            if self.journal_enabled {
+                let (outcome, activation) = if truly_dirty {
+                    // Zero-latency loss: the strike itself destroyed the
+                    // only dirty copy.
+                    (
+                        FaultOutcome::LostWriteback,
+                        Some(ActivationKind::WritebackDrain),
+                    )
+                } else {
+                    (FaultOutcome::Masked, None)
+                };
+                self.journal.push(CacheEvent::MetaOutcome {
+                    base,
+                    outcome,
+                    activation,
+                });
             }
         }
         Some(base)
@@ -770,6 +899,21 @@ impl Cache {
         let set = self.set_index(address);
         let word = self.word_index(address);
         let index = set * self.ways() + way;
+        if self.journal_enabled {
+            // Ground truth for SDC classification: the decoded value before
+            // the strike (unknowable only when the word was already
+            // undecodable from an earlier unresolved strike).
+            let decoded = self.lines[index].decode_word(word, self.code.as_ref());
+            let true_value = if decoded.outcome.is_usable() {
+                Some(decoded.data as u32)
+            } else {
+                None
+            };
+            self.journal.push(CacheEvent::DataStrike {
+                address,
+                true_value,
+            });
+        }
         plan.apply(&mut self.lines[index].words[word]);
         self.lines[index].pristine &= !(1u64 << word);
         true

@@ -19,6 +19,7 @@ use crate::bus::{Bus, Interference};
 use crate::cache::{Cache, EvictedLine};
 use crate::config::{AllocatePolicy, HierarchyConfig, WritePolicy};
 use crate::fault::{FaultCampaignConfig, FaultPattern, FaultTarget};
+use crate::forensics::{ActivationKind, CellForensics, DataObservation, ForensicsLog};
 use crate::memory::MainMemory;
 use crate::stats::MemStats;
 
@@ -93,6 +94,9 @@ pub struct MemorySystem {
     /// Optional capture hook for hierarchy-level trace events (line fills,
     /// writebacks).  `None` by default: emission is a single branch.
     sink: Option<Box<dyn TraceSink>>,
+    /// Optional per-fault lifecycle log (see [`crate::forensics`]).  `None`
+    /// by default: every hook is a single branch on the disabled path.
+    forensics: Option<Box<ForensicsLog>>,
 }
 
 impl MemorySystem {
@@ -112,7 +116,166 @@ impl MemorySystem {
             unrecoverable_errors: 0,
             recovered_by_refetch: 0,
             sink: None,
+            forensics: None,
             config,
+        }
+    }
+
+    /// Turns on fault forensics: every injected fault gets a lifecycle
+    /// record (strike → latent residency → first activation → outcome),
+    /// stamped with simulation cycles.  Enabling forensics changes no
+    /// architectural or timing behaviour — only observation.
+    pub fn enable_forensics(&mut self) {
+        if self.forensics.is_none() {
+            self.forensics = Some(Box::default());
+        }
+        self.dl1.enable_journal();
+    }
+
+    /// Closes all still-latent fault records and takes the cell's forensics,
+    /// or `None` when forensics was never enabled.  Call after
+    /// [`MemorySystem::drain_to_memory`] so end-of-run flush activations are
+    /// included.
+    pub fn take_forensics(&mut self) -> Option<CellForensics> {
+        self.forensics_drain_journal();
+        self.forensics.as_deref_mut().map(ForensicsLog::finish)
+    }
+
+    fn forensics_tick(&mut self, now: u64) {
+        if let Some(log) = self.forensics.as_deref_mut() {
+            log.tick(now);
+        }
+    }
+
+    /// Moves journalled cache events (strikes, metadata consequences) into
+    /// the forensics log.  Called after every access and injection so event
+    /// activation cycles equal the triggering access's memory clock.
+    fn forensics_drain_journal(&mut self) {
+        if let Some(log) = self.forensics.as_deref_mut() {
+            for event in self.dl1.drain_journal() {
+                log.apply(event);
+            }
+        }
+    }
+
+    /// Classifies pending data faults at `address` against the decode a load
+    /// observed (first-activation-wins).
+    fn forensics_read(&mut self, address: u32, value: u32, outcome: Outcome) {
+        if let Some(log) = self.forensics.as_deref_mut() {
+            if log.pending_at(address) {
+                log.activate_data(
+                    address,
+                    ActivationKind::Read,
+                    DataObservation {
+                        value,
+                        uncorrectable: outcome.is_uncorrectable(),
+                        corrected: outcome.is_corrected(),
+                        kept_mask: 0xF,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Classifies pending data faults a store is about to merge into, using
+    /// a non-destructive probe of the word *before* the write re-encodes it.
+    /// Bytes the store overwrites cannot carry SDC; a full-word overwrite
+    /// masks the fault outright.
+    fn forensics_store_probe(&mut self, address: u32, byte_mask: u8) {
+        let Some(log) = self.forensics.as_deref_mut() else {
+            return;
+        };
+        if !log.pending_at(address) {
+            return;
+        }
+        let Some((value, outcome)) = self.dl1.probe_decoded(address) else {
+            // Not resident: the store miss path (allocate or forward) never
+            // touches the struck copy; the fill hook settles the record.
+            return;
+        };
+        let kept_mask = !byte_mask & 0xF;
+        let observation = if kept_mask == 0 {
+            DataObservation {
+                value,
+                uncorrectable: false,
+                corrected: false,
+                kept_mask: 0,
+            }
+        } else {
+            DataObservation {
+                value,
+                uncorrectable: outcome.is_uncorrectable(),
+                corrected: outcome.is_corrected(),
+                kept_mask,
+            }
+        };
+        log.activate_data(address, ActivationKind::Write, observation);
+    }
+
+    /// Settles pending data faults a DL1 fill is about to displace: faults in
+    /// a dirty victim activate on the writeback drain (probed *before* the
+    /// eviction decodes and discards the line); faults in a clean victim
+    /// evaporate; stale records inside the filled line's range (their struck
+    /// incarnation left the cache clean earlier) are masked by the fresh
+    /// data.
+    fn forensics_evict_probe(&mut self, address: u32) {
+        let line_bytes = self.config.dl1.line_bytes;
+        let fill_base = self.dl1.line_base(address);
+        let Some(log) = self.forensics.as_deref_mut() else {
+            return;
+        };
+        if !log.has_pending_data() {
+            return;
+        }
+        if let Some(victim_base) = self.dl1.victim_probe(address) {
+            let dirty = self.dl1.coherence_state(victim_base).is_dirty();
+            for pending_address in log.pending_in_line(victim_base, line_bytes) {
+                if !dirty {
+                    log.evaporate_data(pending_address);
+                    continue;
+                }
+                if let Some((value, outcome)) = self.dl1.probe_decoded(pending_address) {
+                    log.activate_data(
+                        pending_address,
+                        ActivationKind::WritebackDrain,
+                        DataObservation {
+                            value,
+                            uncorrectable: outcome.is_uncorrectable(),
+                            corrected: outcome.is_corrected(),
+                            kept_mask: 0xF,
+                        },
+                    );
+                }
+            }
+        }
+        for pending_address in log.pending_in_line(fill_base, line_bytes) {
+            log.evaporate_data(pending_address);
+        }
+    }
+
+    /// Classifies pending data faults in dirty lines the end-of-run flush is
+    /// about to drain.  Faults in clean or non-resident locations stay
+    /// latent and close as masked when the log finishes.
+    fn forensics_flush_probe(&mut self) {
+        let Some(log) = self.forensics.as_deref_mut() else {
+            return;
+        };
+        for pending_address in log.pending_data_addresses() {
+            if !self.dl1.coherence_state(pending_address).is_dirty() {
+                continue;
+            }
+            if let Some((value, outcome)) = self.dl1.probe_decoded(pending_address) {
+                log.activate_data(
+                    pending_address,
+                    ActivationKind::WritebackDrain,
+                    DataObservation {
+                        value,
+                        uncorrectable: outcome.is_uncorrectable(),
+                        corrected: outcome.is_corrected(),
+                        kept_mask: 0xF,
+                    },
+                );
+            }
         }
     }
 
@@ -172,14 +335,33 @@ impl MemorySystem {
     /// Performs a load of the aligned word containing `address` at cycle
     /// `now`.
     pub fn load_word(&mut self, address: u32, now: u64) -> LoadResponse {
+        if self.forensics.is_some() {
+            self.forensics_tick(now);
+        }
+        let response = self.load_word_inner(address, now);
+        if self.forensics.is_some() {
+            self.forensics_drain_journal();
+        }
+        response
+    }
+
+    fn load_word_inner(&mut self, address: u32, now: u64) -> LoadResponse {
         if let Some(hit) = self.dl1.read_word(address) {
             if hit.outcome.is_usable() {
+                if self.forensics.is_some() {
+                    self.forensics_read(address, hit.value, hit.outcome);
+                }
                 return LoadResponse {
                     value: hit.value,
                     dl1_hit: true,
                     extra_cycles: 0,
                     outcome: hit.outcome,
                 };
+            }
+            // The load observed the uncorrectable word: classify before the
+            // recovery path invalidates and refills the line.
+            if self.forensics.is_some() {
+                self.forensics_read(address, hit.value, hit.outcome);
             }
             // Uncorrectable error in the DL1.  Clean lines (always the case in
             // a write-through DL1, and any unmodified line in a write-back
@@ -224,6 +406,24 @@ impl MemorySystem {
     /// Performs a store of `value` (bytes selected by `byte_mask`) to the
     /// aligned word containing `address` at cycle `now`.
     pub fn store_word_masked(
+        &mut self,
+        address: u32,
+        value: u32,
+        byte_mask: u8,
+        now: u64,
+    ) -> StoreResponse {
+        if self.forensics.is_some() {
+            self.forensics_tick(now);
+            self.forensics_store_probe(address, byte_mask);
+        }
+        let response = self.store_word_masked_inner(address, value, byte_mask, now);
+        if self.forensics.is_some() {
+            self.forensics_drain_journal();
+        }
+        response
+    }
+
+    fn store_word_masked_inner(
         &mut self,
         address: u32,
         value: u32,
@@ -330,6 +530,9 @@ impl MemorySystem {
     /// Installs a fetched line in the DL1, writing back any dirty victim to
     /// the L2 (posted, so it does not add to the requesting load's latency).
     fn fill_dl1(&mut self, address: u32, line: &[u32], now: u64) {
+        if self.forensics.is_some() {
+            self.forensics_evict_probe(address);
+        }
         if let Some(sink) = &mut self.sink {
             sink.record_line_fill(MemLevel::Dl1, self.dl1.line_base(address));
         }
@@ -397,6 +600,9 @@ impl MemorySystem {
     /// Flushes all dirty state (DL1 → L2 → memory) so the memory image holds
     /// the final architectural values, and returns that image's checksum.
     pub fn drain_to_memory(&mut self) -> u64 {
+        if self.forensics.is_some() {
+            self.forensics_flush_probe();
+        }
         let dirty_dl1 = self.dl1.flush_dirty();
         for line in &dirty_dl1 {
             self.writeback_to_l2(line, 0);
@@ -409,12 +615,19 @@ impl MemorySystem {
         }
         self.stats.dl1 = *self.dl1.stats();
         self.stats.l2 = *self.l2.stats();
+        if self.forensics.is_some() {
+            self.forensics_drain_journal();
+        }
         self.memory.checksum()
     }
 
     /// Injects a bit-flip plan into the DL1 word at `address`, if resident.
     pub fn inject_dl1_fault_at(&mut self, address: u32, plan: &FlipPlan) -> bool {
-        self.dl1.inject_fault(address, plan)
+        let struck = self.dl1.inject_fault(address, plan);
+        if self.forensics.is_some() {
+            self.forensics_drain_journal();
+        }
+        struck
     }
 
     /// Injects a random fault into the DL1 following the campaign's target
@@ -427,7 +640,11 @@ impl MemorySystem {
         injector: &mut ErrorInjector,
         config: &FaultCampaignConfig,
     ) -> Option<u32> {
-        inject_random_cache_fault(&mut self.dl1, injector, config)
+        let struck = inject_random_cache_fault(&mut self.dl1, injector, config);
+        if self.forensics.is_some() {
+            self.forensics_drain_journal();
+        }
+        struck
     }
 
     /// Accumulated statistics.

@@ -21,6 +21,9 @@
 //! * [`hierarchy`] — [`MemorySystem`], the per-core façade the pipeline talks to,
 //! * [`fault`] — periodic soft-error injection campaigns (single-bit and
 //!   adjacent-bit MBU patterns),
+//! * [`forensics`] — per-fault lifecycle records (strike → latent residency →
+//!   first activation → classified outcome), `Option`-gated and
+//!   simulation-cycle-stamped,
 //! * [`replay`] — the trace-replay adapter ([`ReplayMemory`]) that re-drives
 //!   the hierarchy from a recorded `laec_trace` stream,
 //! * [`stats`] — hit/miss/traffic counters.
@@ -48,6 +51,7 @@ pub mod cache;
 pub mod coherence;
 pub mod config;
 pub mod fault;
+pub mod forensics;
 pub mod hierarchy;
 pub mod memory;
 pub mod port;
@@ -66,6 +70,7 @@ pub use fault::{
     FaultCampaign, FaultCampaignConfig, FaultCampaignReport, FaultPattern, FaultTarget,
     ParseFaultTargetError,
 };
+pub use forensics::{ActivationKind, CellForensics, FaultOutcome, FaultRecord};
 pub use hierarchy::{inject_random_cache_fault, LoadResponse, MemorySystem, StoreResponse};
 pub use memory::MainMemory;
 pub use port::MemoryPort;

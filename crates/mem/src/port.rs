@@ -11,6 +11,7 @@
 use laec_ecc::ErrorInjector;
 
 use crate::fault::FaultCampaignConfig;
+use crate::forensics::CellForensics;
 use crate::hierarchy::{LoadResponse, MemorySystem, StoreResponse};
 use crate::stats::MemStats;
 
@@ -69,6 +70,19 @@ pub trait MemoryPort {
         injector: &mut ErrorInjector,
         config: &FaultCampaignConfig,
     ) -> Option<u32>;
+
+    /// Turns on per-fault lifecycle forensics, if the port supports it.
+    /// Ports without forensics (e.g. the coherent SMP port) silently ignore
+    /// the request and keep returning `None` from
+    /// [`MemoryPort::take_forensics`].
+    fn enable_forensics(&mut self) {}
+
+    /// Takes the closed forensics record set, or `None` when forensics was
+    /// never enabled (or is unsupported).  Call after
+    /// [`MemoryPort::drain_to_memory`].
+    fn take_forensics(&mut self) -> Option<CellForensics> {
+        None
+    }
 }
 
 impl MemoryPort for MemorySystem {
@@ -120,5 +134,13 @@ impl MemoryPort for MemorySystem {
         config: &FaultCampaignConfig,
     ) -> Option<u32> {
         self.inject_random_dl1_fault(injector, config)
+    }
+
+    fn enable_forensics(&mut self) {
+        MemorySystem::enable_forensics(self);
+    }
+
+    fn take_forensics(&mut self) -> Option<CellForensics> {
+        MemorySystem::take_forensics(self)
     }
 }

@@ -14,6 +14,7 @@ use laec_trace::{ReplayLoad, ReplayTarget};
 use crate::bus::Interference;
 use crate::config::HierarchyConfig;
 use crate::fault::{FaultCampaign, FaultCampaignConfig, FaultCampaignReport};
+use crate::forensics::CellForensics;
 use crate::hierarchy::MemorySystem;
 use crate::stats::MemStats;
 
@@ -60,6 +61,25 @@ impl ReplayMemory {
     pub fn with_flush_on_error(mut self, flush_on_error: bool) -> Self {
         self.flush_on_error = flush_on_error;
         self
+    }
+
+    /// Turns on per-fault lifecycle forensics on the replayed system
+    /// (builder style).  Replay re-issues the recorded (event, cycle)
+    /// stream, so an enabled replay produces byte-identical records to the
+    /// full simulation it was recorded from.
+    #[must_use]
+    pub fn with_forensics(mut self, enabled: bool) -> Self {
+        if enabled {
+            self.system.enable_forensics();
+        }
+        self
+    }
+
+    /// Takes the closed forensics record set (see
+    /// [`MemorySystem::take_forensics`]); call after
+    /// [`ReplayMemory::drain_to_memory`].
+    pub fn take_forensics(&mut self) -> Option<CellForensics> {
+        self.system.take_forensics()
     }
 
     /// Pre-sizes main memory for a data image of about `words` words.

@@ -8,6 +8,13 @@
 //! empty."*  This module models exactly that structure; the pipeline decides
 //! when to drain it (one entry per cycle when the DL1 port is otherwise
 //! idle).
+//!
+//! Timing note for observers: a buffered store reaches the DL1 at its
+//! *drain* cycle, not its issue cycle.  The pipeline therefore stamps the
+//! hierarchy access (and any fault-forensics `Write` activation it triggers
+//! — see `crate::forensics`) with the drain cycle, which is also the cycle
+//! recorded into traces, keeping full simulation and trace replay on the
+//! same clock.
 
 use std::collections::VecDeque;
 

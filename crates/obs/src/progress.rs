@@ -12,7 +12,7 @@ use std::fmt;
 use std::io::Write;
 use std::path::Path;
 
-use serde::Serializer;
+use serde::{Serialize, Serializer};
 
 /// One progress/convergence event.
 ///
@@ -46,6 +46,11 @@ pub enum ProgressEvent<'a> {
         cycles: u64,
         /// The phase that served the cell (see [`crate::Phase::label`]).
         phase: &'a str,
+        /// Per-outcome fault-forensics tallies (label → count), present
+        /// only when the campaign runs with forensics enabled.  `None`
+        /// serializes no `"outcomes"` member at all, so forensics-off
+        /// streams keep their historical bytes.
+        outcomes: Option<&'a [(&'static str, u64)]>,
     },
     /// One stratum's state after a sampling round folded — the Wilson
     /// interval width is the convergence signal the stopping rule watches.
@@ -103,6 +108,7 @@ impl ProgressEvent<'_> {
                 fault_seed,
                 cycles,
                 phase,
+                outcomes,
             } => {
                 s.field("event", "cell");
                 s.field("spec", spec_fingerprint);
@@ -114,6 +120,9 @@ impl ProgressEvent<'_> {
                 s.field("fault_seed", fault_seed);
                 s.field("cycles", cycles);
                 s.field("phase", *phase);
+                if let Some(outcomes) = outcomes {
+                    s.field("outcomes", &OutcomesJson(outcomes));
+                }
             }
             ProgressEvent::Round {
                 round,
@@ -149,6 +158,20 @@ impl ProgressEvent<'_> {
         }
         s.end_object();
         s.finish()
+    }
+}
+
+/// The `"outcomes"` member of a forensic cell event: one JSON object in
+/// the tallies' canonical (fixed) order.
+struct OutcomesJson<'a>(&'a [(&'static str, u64)]);
+
+impl Serialize for OutcomesJson<'_> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        for (label, count) in self.0 {
+            serializer.field(label, count);
+        }
+        serializer.end_object();
     }
 }
 
@@ -240,13 +263,38 @@ mod tests {
             fault_seed: Some(7),
             cycles: 1234,
             phase: "replay",
+            outcomes: None,
         };
         let line = event.to_json_line("0x1234");
         assert!(!line.contains('\n'));
+        assert!(
+            !line.contains("outcomes"),
+            "no forensics, no outcomes member"
+        );
         let value = serde_json::parse(&line).expect("valid JSON");
         assert_eq!(value.get("event").and_then(|v| v.as_str()), Some("cell"));
         assert_eq!(value.get("spec").and_then(|v| v.as_str()), Some("0x1234"));
         assert_eq!(value.get("fault_seed").and_then(|v| v.as_u64()), Some(7));
+    }
+
+    #[test]
+    fn forensic_cells_carry_outcome_tallies() {
+        let tallies = [("masked", 2u64), ("sdc", 1u64)];
+        let event = ProgressEvent::Cell {
+            index: 1,
+            total: 4,
+            workload: "vector_sum",
+            scheme: "no-ecc",
+            platform: "wb",
+            fault_seed: Some(3),
+            cycles: 99,
+            phase: "inject",
+            outcomes: Some(&tallies),
+        };
+        let value = serde_json::parse(&event.to_json_line("0x2")).expect("valid JSON");
+        let outcomes = value.get("outcomes").expect("outcomes member");
+        assert_eq!(outcomes.get("masked").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(outcomes.get("sdc").and_then(|v| v.as_u64()), Some(1));
     }
 
     #[test]
@@ -260,6 +308,7 @@ mod tests {
             fault_seed: None,
             cycles: 1,
             phase: "full_sim",
+            outcomes: None,
         };
         let value = serde_json::parse(&event.to_json_line("0x0")).expect("valid JSON");
         assert!(value.get("fault_seed").expect("present").is_null());

@@ -64,6 +64,9 @@ pub struct SimResult {
     pub stale_metadata_reads: u64,
     /// Metadata (state/tag) faults injected during the run.
     pub meta_faults_injected: u64,
+    /// Per-fault lifecycle records (strike → activation → outcome), present
+    /// only when [`Simulator::enable_forensics`] was called before the run.
+    pub forensics: Option<laec_mem::CellForensics>,
 }
 
 impl SimResult {
@@ -202,6 +205,13 @@ impl<M: MemoryPort> Simulator<M> {
         self.sink = Some(sink);
     }
 
+    /// Turns on per-fault lifecycle forensics on the memory port (a no-op
+    /// for ports that do not support it).  Call before the run; the records
+    /// come back in [`SimResult::forensics`].
+    pub fn enable_forensics(&mut self) {
+        self.mem.enable_forensics();
+    }
+
     /// Pre-fills the DL1 with the lines containing `addresses` (without
     /// counting the accesses), so short chronogram examples start from a warm
     /// cache like the paper's figures assume.
@@ -262,10 +272,13 @@ impl<M: MemoryPort> Simulator<M> {
         stats.cycles = self.last_retire;
         stats.mem = self.mem.stats();
         stats.mem.write_buffer_enqueues = baseline_mem.max(stats.stores);
+        // Drain before taking forensics so end-of-run flush activations are
+        // part of the record set.
+        let memory_checksum = self.drain_memory_checksum();
         SimResult {
             stats,
             registers: self.regs.snapshot(),
-            memory_checksum: self.drain_memory_checksum(),
+            memory_checksum,
             chronogram: self.chronogram.clone(),
             hit_instruction_limit: self.hit_instruction_limit,
             unrecoverable_errors: self.mem.unrecoverable_errors(),
@@ -273,6 +286,7 @@ impl<M: MemoryPort> Simulator<M> {
             lost_writebacks: self.mem.lost_writebacks(),
             stale_metadata_reads: self.mem.stale_metadata_reads(),
             meta_faults_injected: self.mem.meta_faults_injected(),
+            forensics: self.mem.take_forensics(),
         }
     }
 
