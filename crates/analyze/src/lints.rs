@@ -106,14 +106,17 @@ pub fn lint(id: &str) -> Option<&'static Lint> {
 /// Path policy: is `lint_id` enforced in the file at workspace-relative
 /// `path` (forward slashes)?  The allowlists mirror the architecture:
 /// stdout belongs to the CLI front-ends, wall-clock to the observability
-/// crate's one sanctioned module and the bench harness, environment reads
-/// to the invocation layer.
+/// crate's one sanctioned module, the fleet service's heartbeat clock
+/// (worker staleness is wall-clock by nature and never touches a report
+/// byte) and the bench harness, environment reads to the invocation
+/// layer.
 #[must_use]
 pub fn lint_enabled(lint_id: &str, path: &str) -> bool {
     let any = |prefixes: &[&str]| prefixes.iter().any(|prefix| path.starts_with(prefix));
     match lint_id {
         "wall-clock" => !any(&[
             "crates/obs/src/wallclock.rs",
+            "crates/fleet/src/clock.rs",
             "crates/bench/",
             "stubs/criterion/",
         ]),

@@ -49,6 +49,7 @@ use laec_core::{
     render_fault_campaign, render_figure8, render_hazard_breakdown, render_table1, render_table2,
     render_wt_vs_wb, table1_commercial_processors,
 };
+use laec_fleet::{FleetPaths, Server, ServerConfig, WorkerConfig};
 use laec_mem::{FaultCampaignConfig, FaultPattern, FaultTarget, ProtocolKind};
 use laec_obs::{Histogram, JsonlSink, MetricsDump, Obs, Phase};
 use laec_pipeline::{EccScheme, PipelineConfig};
@@ -72,6 +73,9 @@ SUBCOMMANDS:
     trace       record | replay | info: access-stream trace tooling
     forensics   Per-fault lifecycle tracing over a campaign grid
     stats       Render a metrics dump written by campaign --metrics-out
+    submit      Queue a campaign spec with the fleet service
+    serve       Run the fleet server: drain the queue across worker processes
+    fleet       status | worker | stop: fleet service tooling
     help        Print this message
 
 COMMON FLAGS:
@@ -224,6 +228,40 @@ forensics FLAGS (laec-cli forensics [FLAGS]):
     --chrome-trace <FILE>
                       Also write the Chrome trace-event export to FILE
 
+fleet service (laec-cli submit | serve | fleet <status|worker|stop>):
+    The fleet is a long-running campaign service rooted in a directory
+    (default .laec-fleet): `submit` journals a spec into a persistent
+    priority queue, `serve` drains it across worker processes with
+    work-stealing shard recovery, and results land in a spec-addressed
+    store — a repeated submission is answered from the store without
+    executing anything.  Every artifact is byte-identical to the
+    single-process `campaign --spec <FILE> --json` run.
+
+    submit --spec <FILE>  Queue the campaign spec in FILE (required)
+        --priority <N>    Queue priority digit, 0 most urgent .. 9
+                          (default 5)
+        --json            Print the submission receipt as JSON
+    serve                 Serve the fleet root until stopped
+        --workers <N>     Worker processes to spawn (default 1; 0 executes
+                          shards inline in the server)
+        --shards <N>      Shards per sampled job (default: one per worker)
+        --threads <N>     Threads for the merge/render pass (default all)
+        --drain           Exit once the queue is empty instead of waiting
+        --poll-ms <N>     Queue/task poll interval (default 50)
+        --stall-timeout-ms <N>
+                          Reassign a claimed shard when its worker's
+                          heartbeat is older than this (default 10000)
+        --progress        Mirror the job-event JSONL stream to stderr
+                          (it is always appended to <root>/events.jsonl)
+        --json            Print the drain summary as JSON
+    fleet status          Snapshot the queue, store and job records
+        --json            Emit the snapshot as JSON
+    fleet worker          Run one worker process against the fleet root
+        --worker-id <ID>  Worker name used in claims and events
+        --max-tasks <N>   Exit after N tasks (default: run until stopped)
+    fleet stop            Ask the server and its workers to exit
+    All fleet subcommands accept --fleet-dir <DIR> to choose the root.
+
 stats FLAGS (laec-cli stats <FILE> [FLAGS]):
     --counters        Print only the deterministic counter section (the
                       surface CI byte-compares across thread counts and
@@ -279,6 +317,18 @@ fn run(args: &[String]) -> Result<(), String> {
             other => Err(format!("unknown trace action `{other}`")),
         };
     }
+    if subcommand == "fleet" {
+        let Some(action) = args.get(1) else {
+            return Err("`fleet` needs an action: status, worker or stop".to_string());
+        };
+        let flags = Flags::parse(&args[2..])?;
+        return match action.as_str() {
+            "status" => cmd_fleet_status(&flags),
+            "worker" => cmd_fleet_worker(&flags),
+            "stop" => cmd_fleet_stop(&flags),
+            other => Err(format!("unknown fleet action `{other}`")),
+        };
+    }
     if subcommand == "stats" {
         // `stats --compare A B`: the two files follow the flag.
         if args.get(1).is_some_and(|a| a == "--compare") {
@@ -303,6 +353,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "tables" => cmd_tables(&flags),
         "figure8" => cmd_figure8(&flags),
         "campaign" => cmd_campaign(&flags),
+        "submit" => cmd_submit(&flags),
+        "serve" => cmd_serve(&flags),
         "forensics" => cmd_forensics(&flags),
         "faults" => cmd_faults(&flags),
         "help" | "--help" | "-h" => {
@@ -354,6 +406,15 @@ struct Flags {
     forensics: bool,
     chrome_trace: Option<PathBuf>,
     compare: Option<PathBuf>,
+    fleet_dir: Option<PathBuf>,
+    priority: Option<u8>,
+    workers: Option<usize>,
+    shards: Option<usize>,
+    drain: bool,
+    poll_ms: Option<u64>,
+    stall_timeout_ms: Option<u64>,
+    worker_id: Option<String>,
+    max_tasks: Option<u64>,
 }
 
 impl Flags {
@@ -396,6 +457,15 @@ impl Flags {
             forensics: false,
             chrome_trace: None,
             compare: None,
+            fleet_dir: None,
+            priority: None,
+            workers: None,
+            shards: None,
+            drain: false,
+            poll_ms: None,
+            stall_timeout_ms: None,
+            worker_id: None,
+            max_tasks: None,
         };
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
@@ -499,6 +569,23 @@ impl Flags {
                     flags.forensics = true;
                 }
                 "--compare" => flags.compare = Some(PathBuf::from(value("--compare")?)),
+                "--fleet-dir" => flags.fleet_dir = Some(PathBuf::from(value("--fleet-dir")?)),
+                "--priority" => {
+                    let priority = parse_u64(value("--priority")?)?;
+                    flags.priority = Some(
+                        u8::try_from(priority)
+                            .map_err(|_| "--priority must be a digit 0..=9".to_string())?,
+                    );
+                }
+                "--workers" => flags.workers = Some(parse_u64(value("--workers")?)? as usize),
+                "--shards" => flags.shards = Some(parse_u64(value("--shards")?)? as usize),
+                "--drain" => flags.drain = true,
+                "--poll-ms" => flags.poll_ms = Some(parse_u64(value("--poll-ms")?)?),
+                "--stall-timeout-ms" => {
+                    flags.stall_timeout_ms = Some(parse_u64(value("--stall-timeout-ms")?)?);
+                }
+                "--worker-id" => flags.worker_id = Some(value("--worker-id")?.to_string()),
+                "--max-tasks" => flags.max_tasks = Some(parse_u64(value("--max-tasks")?)?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -1531,5 +1618,131 @@ fn cmd_trace_info(flags: &Flags) -> Result<(), String> {
             println!("core {}: {}", row.core, breakdown.join(", "));
         }
     }
+    Ok(())
+}
+
+/// The fleet root chosen by `--fleet-dir` (default `.laec-fleet`).
+fn fleet_paths(flags: &Flags) -> FleetPaths {
+    FleetPaths::new(
+        flags
+            .fleet_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(".laec-fleet")),
+    )
+}
+
+fn cmd_submit(flags: &Flags) -> Result<(), String> {
+    let spec_path = flags
+        .spec
+        .as_ref()
+        .ok_or("`submit` needs a campaign spec: laec-cli submit --spec <FILE>")?;
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|error| format!("read {}: {error}", spec_path.display()))?;
+    let priority = flags.priority.unwrap_or(laec_fleet::DEFAULT_PRIORITY);
+    let paths = fleet_paths(flags);
+    let submission = laec_fleet::submit(&paths, &text, priority).map_err(|e| e.to_string())?;
+    if flags.json {
+        let mut s = Serializer::compact();
+        s.begin_object();
+        s.field("job", &submission.id);
+        s.field("priority", &submission.priority);
+        s.field("store_key", &submission.store_key);
+        s.field("cached", &submission.cached);
+        s.end_object();
+        println!("{}", s.finish());
+    } else if submission.cached {
+        println!(
+            "job {} answered from the store (key {})",
+            submission.id, submission.store_key
+        );
+    } else {
+        println!(
+            "job {} queued at priority {} (key {})",
+            submission.id, submission.priority, submission.store_key
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let paths = fleet_paths(flags);
+    let workers = flags.workers.unwrap_or(1);
+    let poll_ms = flags.poll_ms.unwrap_or(50);
+    let worker_command = if workers > 0 {
+        let exe = std::env::current_exe()
+            .map_err(|error| format!("locate the laec-cli executable: {error}"))?;
+        Some(vec![
+            exe.to_string_lossy().into_owned(),
+            "fleet".to_string(),
+            "worker".to_string(),
+            "--fleet-dir".to_string(),
+            paths.root().to_string_lossy().into_owned(),
+            "--poll-ms".to_string(),
+            poll_ms.to_string(),
+        ])
+    } else {
+        None
+    };
+    let config = ServerConfig {
+        workers,
+        shards: flags.shards.unwrap_or(0),
+        threads: flags.threads,
+        poll: std::time::Duration::from_millis(poll_ms),
+        stall_timeout: std::time::Duration::from_millis(flags.stall_timeout_ms.unwrap_or(10_000)),
+        drain: flags.drain,
+        worker_command,
+        mirror_events: flags.progress,
+    };
+    let mut server = Server::new(paths, config).map_err(|e| e.to_string())?;
+    let summary = server.run().map_err(|e| e.to_string())?;
+    if flags.json {
+        let mut s = Serializer::compact();
+        s.begin_object();
+        s.field("jobs_run", &summary.jobs_run);
+        s.field("jobs_cached", &summary.jobs_cached);
+        s.field("jobs_failed", &summary.jobs_failed);
+        s.end_object();
+        println!("{}", s.finish());
+    } else {
+        println!(
+            "served: {} job(s) run, {} cached, {} failed",
+            summary.jobs_run, summary.jobs_cached, summary.jobs_failed
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fleet_status(flags: &Flags) -> Result<(), String> {
+    let report = laec_fleet::status(&fleet_paths(flags)).map_err(|e| e.to_string())?;
+    if flags.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(())
+}
+
+fn cmd_fleet_worker(flags: &Flags) -> Result<(), String> {
+    let paths = fleet_paths(flags);
+    let config = WorkerConfig {
+        id: flags
+            .worker_id
+            .clone()
+            .unwrap_or_else(|| format!("w{}", std::process::id())),
+        poll: std::time::Duration::from_millis(flags.poll_ms.unwrap_or(50)),
+        max_tasks: flags.max_tasks,
+    };
+    let executed = laec_fleet::run_worker(&paths, &config).map_err(|e| e.to_string())?;
+    // Narrate on stderr: a worker's stdout carries no artifact bytes.
+    eprintln!("worker {}: {} task(s) executed", config.id, executed);
+    Ok(())
+}
+
+fn cmd_fleet_stop(flags: &Flags) -> Result<(), String> {
+    let paths = fleet_paths(flags);
+    paths.init().map_err(|e| e.to_string())?;
+    std::fs::write(paths.stop_file(), b"stop\n")
+        .map_err(|error| format!("write {}: {error}", paths.stop_file().display()))?;
+    println!("stop requested");
     Ok(())
 }

@@ -319,6 +319,21 @@ impl CampaignSpec {
         names
     }
 
+    /// Workloads the spec's set will materialise into, without generating
+    /// any programs.  Cheap — fleet servers use it to plan stratum shards
+    /// before any worker touches the grid.
+    #[must_use]
+    pub fn workload_count(&self) -> usize {
+        match &self.workloads {
+            WorkloadSet::Eembc => laec_workloads::eembc_profiles().len(),
+            WorkloadSet::Kernels => laec_workloads::KERNEL_NAMES.len(),
+            WorkloadSet::Both => {
+                laec_workloads::eembc_profiles().len() + laec_workloads::KERNEL_NAMES.len()
+            }
+            WorkloadSet::Named(names) => names.len(),
+        }
+    }
+
     /// Materialises the workload axis.
     ///
     /// # Panics

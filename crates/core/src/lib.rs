@@ -55,6 +55,7 @@
 pub mod campaign;
 pub mod energy;
 pub mod experiment;
+pub mod fingerprint;
 pub mod forensics;
 pub mod observe;
 pub mod report;
@@ -68,11 +69,12 @@ pub use campaign::{
     render_campaign, CampaignCell, CampaignReport, CampaignSpec, EquivalenceCheck,
     ParsePlatformError, PlatformVariant, SlowdownMatrix, SlowdownRow, WorkloadSet,
 };
+pub use fingerprint::hash128;
 pub use forensics::{ForensicsCell, ForensicsRecord, ForensicsReport};
 pub use observe::{record_forensics_metrics, record_outcome_metrics};
 pub use sampling::{
-    render_sampled, CheckpointError, SampleExecution, SampledReport, Sampler, SamplerCheckpoint,
-    SamplingPlan, StratumEstimate,
+    render_sampled, sampler_fingerprint, stratum_count, CheckpointError, SampleExecution,
+    SampledReport, Sampler, SamplerCheckpoint, SamplingPlan, StratumEstimate,
 };
 pub use smp_campaign::run_observed_core;
 pub use spec::{

@@ -465,8 +465,14 @@ pub(crate) fn sample_injection_seed(
 // Checkpoint container
 // ---------------------------------------------------------------------------
 
-/// Current checkpoint format version; readers reject anything newer.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Current checkpoint format version; readers accept exactly this version.
+///
+/// v2 widened the identity fingerprint from 64-bit FNV-1a to the 128-bit
+/// content hash of [`crate::fingerprint::hash128`] (shared with the fleet
+/// result store).  v1 checkpoints are rejected with
+/// [`CheckpointError::UnsupportedVersion`] — the identity function changed,
+/// so a v1 fingerprint can never be checked against a v2 spec.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 const CHECKPOINT_MAGIC: &[u8; 8] = b"LAECSMP\0";
 
@@ -475,7 +481,7 @@ const CHECKPOINT_MAGIC: &[u8; 8] = b"LAECSMP\0";
 pub enum CheckpointError {
     /// The file does not start with the checkpoint magic.
     BadMagic,
-    /// The file was written by a newer format version.
+    /// The file was written by a different format version.
     UnsupportedVersion(u64),
     /// The file ended before the structure it promised.
     Truncated,
@@ -515,16 +521,16 @@ impl std::error::Error for CheckpointError {}
 #[derive(Debug, Clone, PartialEq)]
 pub struct SamplerCheckpoint {
     /// Fingerprint of the spec + plan the snapshot belongs to.
-    pub fingerprint: u64,
+    pub fingerprint: u128,
     strata: Vec<StratumStats>,
 }
 
 /// Fingerprint binding a checkpoint to its spec and plan: resuming under a
 /// different grid, seed or statistical contract is rejected up front.
 #[must_use]
-pub fn sampler_fingerprint(spec: &CampaignSpec, plan: &SamplingPlan) -> u64 {
+pub fn sampler_fingerprint(spec: &CampaignSpec, plan: &SamplingPlan) -> u128 {
     let description = format!("laec-sampler-v{CHECKPOINT_VERSION}|{spec:?}|{plan:?}");
-    crate::campaign::fnv1a(description.bytes())
+    crate::fingerprint::hash128(description.as_bytes())
 }
 
 impl SamplerCheckpoint {
@@ -559,8 +565,8 @@ impl SamplerCheckpoint {
     /// # Errors
     ///
     /// Returns a [`CheckpointError`] when the bytes are not a checkpoint,
-    /// were written by a newer version, are truncated, or fail the
-    /// checksum.
+    /// were written by a different format version, are truncated, or fail
+    /// the checksum.
     pub fn decode(bytes: &[u8]) -> Result<SamplerCheckpoint, CheckpointError> {
         if bytes.len() < CHECKPOINT_MAGIC.len()
             || &bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC
@@ -581,10 +587,10 @@ impl SamplerCheckpoint {
         let read =
             |cursor: &mut usize| varint::read_u64(body, cursor).ok_or(CheckpointError::Truncated);
         let version = read(&mut cursor)?;
-        if version > CHECKPOINT_VERSION {
+        if version != CHECKPOINT_VERSION {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
-        let fingerprint = read_u64_le(body, &mut cursor)?;
+        let fingerprint = read_u128_le(body, &mut cursor)?;
         let count = read(&mut cursor)?;
         let mut strata = Vec::new();
         for _ in 0..count {
@@ -632,6 +638,83 @@ impl SamplerCheckpoint {
             strata,
         })
     }
+
+    /// An all-zero aggregate over `strata` strata — the merge-on-arrival
+    /// accumulator fleet sharding folds shard checkpoints into.
+    #[must_use]
+    pub fn empty(fingerprint: u128, strata: usize) -> SamplerCheckpoint {
+        SamplerCheckpoint {
+            fingerprint,
+            strata: vec![StratumStats::default(); strata],
+        }
+    }
+
+    /// Overlays `shard`'s progress onto this aggregate.
+    ///
+    /// Shards must partition the strata: a stratum may carry samples in at
+    /// most one merged shard.  Because per-stratum injection seeds are pure
+    /// functions of (spec seed, stratum coordinates, sample index), the
+    /// union of disjoint shard checkpoints is exactly the checkpoint an
+    /// uninterrupted run would have produced — the property that keeps
+    /// fleet-sharded reports byte-identical to single-process runs.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::SpecMismatch`] when the fingerprints differ,
+    /// [`CheckpointError::Corrupt`] on a strata-length mismatch or when a
+    /// stratum carries samples on both sides (overlapping shards).
+    pub fn merge_shard(&mut self, shard: &SamplerCheckpoint) -> Result<(), CheckpointError> {
+        fn occupied(stats: &StratumStats) -> bool {
+            stats.taken > 0 || stats.converged
+        }
+        if shard.fingerprint != self.fingerprint {
+            return Err(CheckpointError::SpecMismatch);
+        }
+        if shard.strata.len() != self.strata.len() {
+            return Err(CheckpointError::Corrupt("shard strata length"));
+        }
+        if self
+            .strata
+            .iter()
+            .zip(&shard.strata)
+            .any(|(mine, theirs)| occupied(mine) && occupied(theirs))
+        {
+            return Err(CheckpointError::Corrupt("overlapping shard strata"));
+        }
+        for (mine, theirs) in self.strata.iter_mut().zip(&shard.strata) {
+            if occupied(theirs) {
+                *mine = *theirs;
+            }
+        }
+        Ok(())
+    }
+
+    /// Strata (out of the grid total) that carry progress — fleet servers
+    /// use this to tell a complete aggregate from one still missing shards.
+    #[must_use]
+    pub fn occupied_strata(&self) -> usize {
+        self.strata
+            .iter()
+            .filter(|stats| stats.taken > 0 || stats.converged)
+            .count()
+    }
+
+    /// Total strata the container describes.
+    #[must_use]
+    pub fn strata_len(&self) -> usize {
+        self.strata.len()
+    }
+}
+
+fn read_u128_le(bytes: &[u8], cursor: &mut usize) -> Result<u128, CheckpointError> {
+    let end = cursor
+        .checked_add(16)
+        .filter(|&end| end <= bytes.len())
+        .ok_or(CheckpointError::Truncated)?;
+    let mut raw = [0u8; 16];
+    raw.copy_from_slice(&bytes[*cursor..end]);
+    *cursor = end;
+    Ok(u128::from_le_bytes(raw))
 }
 
 fn read_u64_le(bytes: &[u8], cursor: &mut usize) -> Result<u64, CheckpointError> {
@@ -835,8 +918,21 @@ pub struct Sampler {
     traces: Option<Vec<(Trace, Vec<TraceEvent>)>>,
     states: Vec<StratumStats>,
     trace_stats: TraceBackedStats,
+    /// Grid index of `strata[0]` — non-zero only for restricted samplers.
+    first_stratum: usize,
+    /// Strata in the whole grid (checkpoints always span the full grid).
+    grid_strata: usize,
     /// Instrumentation handle; disabled unless [`Sampler::attach_obs`] ran.
     obs: Obs,
+}
+
+/// Strata a sampled campaign over `spec` stratifies into (workload ×
+/// platform × scheme), without materialising any workload.  This is the
+/// length of every checkpoint over the spec and the index space
+/// [`Sampler::new_restricted`] restricts.
+#[must_use]
+pub fn stratum_count(spec: &CampaignSpec) -> usize {
+    spec.workload_count() * spec.platforms.len() * spec.schemes.len()
 }
 
 impl Sampler {
@@ -854,6 +950,32 @@ impl Sampler {
         plan: &SamplingPlan,
         execution: &SampleExecution,
         threads: usize,
+    ) -> Self {
+        Sampler::new_restricted(spec, plan, execution, threads, 0..stratum_count(spec))
+    }
+
+    /// [`Sampler::new`] restricted to the strata whose grid indices fall in
+    /// `range` — the unit of fleet sharding.
+    ///
+    /// Only the in-range strata are baselined (and recorded, in
+    /// trace-backed mode) and sampled; [`Sampler::checkpoint`] still spans
+    /// the full grid, with out-of-range strata left at zero, so disjoint
+    /// restricted checkpoints can be
+    /// [merged](SamplerCheckpoint::merge_shard) into the checkpoint of an
+    /// uninterrupted run.  Per-stratum injection seeds depend only on
+    /// absolute grid coordinates, never on the restriction.
+    ///
+    /// # Panics
+    ///
+    /// As [`Sampler::new`]; additionally if `range` falls outside the
+    /// grid's `0..stratum_count(spec)`.
+    #[must_use]
+    pub fn new_restricted(
+        spec: &CampaignSpec,
+        plan: &SamplingPlan,
+        execution: &SampleExecution,
+        threads: usize,
+        range: std::ops::Range<usize>,
     ) -> Self {
         // laec-lint: allow(panic-in-library) -- documented precondition: the
         // unified dispatch (`Campaign::run`) only constructs samplers from
@@ -884,6 +1006,13 @@ impl Sampler {
                 }
             }
         }
+        let grid_strata = strata.len();
+        assert!(
+            range.start <= range.end && range.end <= grid_strata,
+            "stratum range {range:?} outside grid of {grid_strata}"
+        );
+        let first_stratum = range.start;
+        let strata: Vec<StratumCoords> = strata[range].to_vec();
 
         let mut trace_stats = TraceBackedStats::default();
         let (baselines, traces) = match execution {
@@ -946,6 +1075,8 @@ impl Sampler {
             traces,
             states,
             trace_stats,
+            first_stratum,
+            grid_strata,
             obs: Obs::disabled(),
         }
     }
@@ -989,11 +1120,18 @@ impl Sampler {
     }
 
     /// Snapshots the campaign's progress for [`Sampler::restore`].
+    ///
+    /// Always spans the full grid: a restricted sampler reports zeros for
+    /// the strata outside its range, so its snapshot drops straight into
+    /// [`SamplerCheckpoint::merge_shard`].
     #[must_use]
     pub fn checkpoint(&self) -> SamplerCheckpoint {
+        let mut strata = vec![StratumStats::default(); self.grid_strata];
+        strata[self.first_stratum..self.first_stratum + self.states.len()]
+            .copy_from_slice(&self.states);
         SamplerCheckpoint {
             fingerprint: sampler_fingerprint(&self.spec, &self.plan),
-            strata: self.states.clone(),
+            strata,
         }
     }
 
@@ -1522,6 +1660,46 @@ mod tests {
         let finished = resumed.report();
         assert!(finished.total_samples >= 8);
         assert!(finished.strata[0].converged || finished.strata[0].samples == plan.max_samples);
+    }
+
+    #[test]
+    fn restricted_shards_merge_into_the_uninterrupted_checkpoint() {
+        let mut spec = tiny_spec();
+        spec.workloads = WorkloadSet::Named(vec!["vector_sum".into(), "fir_filter".into()]);
+        let plan = tiny_plan();
+        let total = stratum_count(&spec);
+        assert!(total >= 2, "need at least two strata to shard");
+
+        let mut full = Sampler::new(&spec, &plan, &SampleExecution::FullSim, 2);
+        assert!(full.run_rounds(2, None));
+        let reference = full.checkpoint();
+
+        let mut merged = SamplerCheckpoint::empty(sampler_fingerprint(&spec, &plan), total);
+        assert_eq!(merged.occupied_strata(), 0);
+        for range in [0..1, 1..total] {
+            let mut shard =
+                Sampler::new_restricted(&spec, &plan, &SampleExecution::FullSim, 1, range);
+            assert!(shard.run_rounds(1, None));
+            merged.merge_shard(&shard.checkpoint()).expect("disjoint");
+        }
+        assert_eq!(merged.occupied_strata(), total);
+        assert_eq!(merged, reference, "shard union == uninterrupted run");
+
+        let restored = Sampler::restore(&spec, &plan, &SampleExecution::FullSim, 2, &merged)
+            .expect("merged checkpoint restores");
+        assert_eq!(restored.report(), full.report());
+
+        // Overlapping shards and foreign fingerprints are rejected.
+        let mut overlapping = merged.clone();
+        assert_eq!(
+            overlapping.merge_shard(&reference),
+            Err(CheckpointError::Corrupt("overlapping shard strata"))
+        );
+        let mut foreign = SamplerCheckpoint::empty(1, total);
+        assert_eq!(
+            foreign.merge_shard(&reference),
+            Err(CheckpointError::SpecMismatch)
+        );
     }
 
     #[test]

@@ -745,12 +745,13 @@ impl ValidatedSpec {
         &self.spec
     }
 
-    /// FNV-1a fingerprint of the spec's canonical JSON — the identity that
-    /// stamps metrics dumps and progress events (and, per ROADMAP, will
-    /// address fleet results).  Stable across processes for equal specs.
+    /// 128-bit content hash ([`crate::fingerprint::hash128`]) of the
+    /// spec's canonical JSON — the identity that stamps metrics dumps and
+    /// progress events, and keys the fleet result store.  Stable across
+    /// processes for equal specs.
     #[must_use]
-    pub fn fingerprint(&self) -> u64 {
-        campaign::fnv1a(self.spec.to_json().bytes())
+    pub fn fingerprint(&self) -> u128 {
+        crate::fingerprint::hash128(self.spec.to_json().as_bytes())
     }
 
     /// [`ValidatedSpec::fingerprint`] as the `0x`-prefixed hex string used
@@ -758,7 +759,7 @@ impl ValidatedSpec {
     /// JSON numbers as doubles).
     #[must_use]
     pub fn fingerprint_hex(&self) -> String {
-        format!("0x{:016x}", self.fingerprint())
+        format!("0x{:032x}", self.fingerprint())
     }
 
     /// The execution mode.

@@ -1,0 +1,97 @@
+//! Pins the sampler checkpoint container across format versions.
+//!
+//! `fixtures/sampler_v2.ckpt` is the byte-exact checkpoint of a known
+//! deterministic run (one 8-sample round of the fixture campaign below).
+//! It locks three things at once: the v2 container layout, the 128-bit
+//! sampler identity fingerprint, and the determinism of the run that
+//! produced it.  v1 containers (64-bit FNV identity) are rejected by
+//! version — the identity function changed, so a v1 fingerprint can never
+//! be validated against a v2 spec, and half-reading one under the wrong
+//! layout must be impossible.
+
+use laec_core::campaign::{CampaignSpec, WorkloadSet};
+use laec_core::sampling::{
+    sampler_fingerprint, CheckpointError, SampleExecution, Sampler, SamplerCheckpoint,
+    SamplingPlan, CHECKPOINT_VERSION,
+};
+use laec_pipeline::EccScheme;
+
+const V2_FIXTURE: &[u8] = include_bytes!("fixtures/sampler_v2.ckpt");
+
+fn fixture_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::smoke();
+    spec.workloads = WorkloadSet::Named(vec!["vector_sum".into()]);
+    spec.schemes = vec![EccScheme::Laec];
+    spec.fault_interval = 200;
+    spec
+}
+
+fn fixture_plan() -> SamplingPlan {
+    let mut plan = SamplingPlan::new(16);
+    plan.min_samples = 8;
+    plan.batch = 8;
+    plan
+}
+
+fn fixture_checkpoint() -> SamplerCheckpoint {
+    let spec = fixture_spec();
+    let plan = fixture_plan();
+    let mut sampler = Sampler::new(&spec, &plan, &SampleExecution::FullSim, 1);
+    let complete = sampler.run_rounds(1, Some(1));
+    assert!(!complete, "one 8-sample round cannot satisfy a 16 budget");
+    sampler.checkpoint()
+}
+
+#[test]
+fn current_version_is_two() {
+    assert_eq!(CHECKPOINT_VERSION, 2);
+}
+
+#[test]
+fn v2_fixture_decodes_and_reencodes_byte_identically() {
+    let decoded = SamplerCheckpoint::decode(V2_FIXTURE).expect("committed v2 fixture decodes");
+    assert_eq!(
+        decoded.fingerprint,
+        sampler_fingerprint(&fixture_spec(), &fixture_plan()),
+        "identity fingerprint drifted: bump CHECKPOINT_VERSION"
+    );
+    assert_eq!(decoded.encode(), V2_FIXTURE, "container layout drifted");
+}
+
+#[test]
+fn a_fresh_run_reproduces_the_committed_fixture() {
+    assert_eq!(
+        fixture_checkpoint().encode(),
+        V2_FIXTURE,
+        "one deterministic round no longer produces the committed bytes"
+    );
+}
+
+#[test]
+fn v1_containers_are_rejected_by_version() {
+    // A structurally perfect v1 container, handcrafted exactly as the old
+    // writer laid it out: magic, varint version 1, 64-bit FNV fingerprint,
+    // zero strata, trailing FNV-1a checksum.  The checksum is valid on
+    // purpose — rejection must come from the version check, not from bit
+    // rot detection.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"LAECSMP\0");
+    bytes.push(1); // varint version = 1
+    bytes.extend_from_slice(&0xDEAD_BEEF_u64.to_le_bytes());
+    bytes.push(0); // varint stratum count = 0
+    let checksum = fnv1a(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    assert_eq!(
+        SamplerCheckpoint::decode(&bytes),
+        Err(CheckpointError::UnsupportedVersion(1))
+    );
+}
+
+// The workspace FNV-1a (crates/core/src/campaign.rs) restated byte for
+// byte: the handcrafted v1 container's checksum must be computed exactly
+// as the old writer computed it.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |hash, &byte| {
+        (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3)
+    })
+}

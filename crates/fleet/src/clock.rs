@@ -1,0 +1,43 @@
+//! The fleet's one sanctioned wall-clock module.
+//!
+//! Work stealing needs real time for exactly one judgment: "has this
+//! claim's heartbeat gone quiet?".  That read is quarantined here and
+//! policy-exempted from the `wall-clock` lint (see the laec-lint path
+//! policy), the same arrangement as `laec_obs::wallclock`.  Nothing
+//! derived from it ever reaches a byte-compared surface — a stale claim
+//! only changes *who* executes a shard, and shard results are
+//! byte-identical no matter who runs them.
+
+use std::path::Path;
+use std::time::{Duration, SystemTime};
+
+/// Age of `path`'s last modification, or `None` when the file vanished
+/// or the filesystem cannot say (both read as "not provably stale").
+#[must_use]
+pub fn mtime_age(path: &Path) -> Option<Duration> {
+    let modified = std::fs::metadata(path).ok()?.modified().ok()?;
+    SystemTime::now().duration_since(modified).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_files_have_no_age() {
+        assert_eq!(mtime_age(Path::new("/nonexistent/fleet/claim")), None);
+    }
+
+    #[test]
+    fn fresh_files_are_young() {
+        let path = std::env::temp_dir().join(format!(
+            "laec-fleet-clock-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, b"x").expect("write probe file");
+        let age = mtime_age(&path).expect("a fresh file has an age");
+        assert!(age < Duration::from_secs(3600), "age {age:?} is absurd");
+        let _ = std::fs::remove_file(&path);
+    }
+}

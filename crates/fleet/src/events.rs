@@ -1,0 +1,112 @@
+//! The fleet event log: the PR 7 JSONL progress schema, job-scoped.
+//!
+//! The server narrates every job lifecycle (`job_queued`, `job_start`,
+//! `shard_done`, `job_cached`, `job_end`) into `<root>/events.jsonl`.
+//! Lines reuse [`laec_obs::JsonlSink`], so they carry the same envelope
+//! as `campaign --progress` — a monotone `seq` plus a `"spec"` stamp —
+//! except the stamp is the job's *store key*: one server's interleaved
+//! stream separates per job exactly like campaign streams separate per
+//! spec.  The sink appends, seeding `seq` from the lines already on
+//! disk, so numbering stays monotone across server restarts — which is
+//! how the crash-recovery tests distinguish "resumed" from "started
+//! over".
+
+use laec_obs::{JsonlSink, ProgressEvent, ProgressSink};
+
+use crate::paths::FleetPaths;
+use crate::{io_err, FleetError};
+
+/// The server's append-only event stream, optionally mirrored to stderr.
+#[derive(Debug)]
+pub struct EventLog {
+    file: JsonlSink,
+    mirror: Option<JsonlSink>,
+}
+
+impl EventLog {
+    /// Opens (appending) the fleet's `events.jsonl`.  With `mirror` the
+    /// stream is also copied to stderr, each sink numbering its own
+    /// lines.
+    pub fn open(paths: &FleetPaths, mirror: bool) -> Result<EventLog, FleetError> {
+        let path = paths.events_file();
+        let file = JsonlSink::append(&path)
+            .map_err(|error| io_err(format!("open {}", path.display()), error))?;
+        Ok(EventLog {
+            file,
+            mirror: mirror.then(JsonlSink::stderr),
+        })
+    }
+
+    /// Emits one event stamped with `store_key` (32 hex digits; the
+    /// stamp is written `0x`-prefixed, matching campaign fingerprints).
+    pub fn emit(&mut self, event: &ProgressEvent<'_>, store_key: &str) {
+        let stamp = format!("0x{store_key}");
+        self.file.emit(event, &stamp);
+        if let Some(mirror) = &mut self.mirror {
+            mirror.emit(event, &stamp);
+        }
+    }
+
+    /// The `seq` the next file line will carry.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.file.next_seq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn scratch_root(tag: &str) -> FleetPaths {
+        let root = std::env::temp_dir().join(format!(
+            "laec-fleet-events-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let paths = FleetPaths::new(&root);
+        paths.init().expect("init fleet root");
+        paths
+    }
+
+    #[test]
+    fn reopened_logs_continue_the_sequence() {
+        let paths = scratch_root("reopen");
+        {
+            let mut log = EventLog::open(&paths, false).expect("open log");
+            log.emit(
+                &ProgressEvent::JobQueued {
+                    job: 1,
+                    priority: 5,
+                },
+                "ab",
+            );
+            log.emit(&ProgressEvent::JobStart { job: 1, shards: 2 }, "ab");
+        }
+        {
+            let mut log = EventLog::open(&paths, false).expect("reopen log");
+            assert_eq!(log.next_seq(), 2, "seq must resume, not restart");
+            log.emit(
+                &ProgressEvent::JobEnd {
+                    job: 1,
+                    cached: false,
+                },
+                "ab",
+            );
+        }
+        let text = fs::read_to_string(paths.events_file()).expect("read events");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (index, line) in lines.iter().enumerate() {
+            assert!(
+                line.contains(&format!("\"seq\":{index}")),
+                "line {index} lost its seq: {line}"
+            );
+            assert!(line.contains("\"spec\":\"0xab\""), "missing stamp: {line}");
+        }
+        assert!(lines[2].contains("\"event\":\"job_end\""));
+        let _ = fs::remove_dir_all(paths.root());
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-job lifecycle records under `jobs/`.
+//!
+//! One small JSON file per job id.  The record is the durable answer to
+//! `fleet status`: it survives server restarts and is rewritten
+//! atomically at every state transition, so a crash can lose at most the
+//! latest transition — never corrupt the file.
+
+use serde::Serializer;
+
+use crate::paths::{read_text, write_atomic, FleetPaths};
+use crate::FleetError;
+
+/// Where a job is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Journaled in `queue/`, not yet picked up.
+    Queued,
+    /// The server is executing it (its entry lives in `active/`).
+    Running,
+    /// Artifacts published in the store.
+    Done,
+    /// Rejected (invalid spec) or executed with a failed invariant.
+    Failed,
+}
+
+impl JobState {
+    /// The wire name of the state.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire name back into a state.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<JobState> {
+        match text {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// The durable record of one submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Server-assigned monotone job id.
+    pub id: u64,
+    /// Queue priority digit (`0` most urgent … `9` least; default `5`).
+    pub priority: u8,
+    /// The spec's store key (32 hex digits of its 128-bit content hash).
+    pub store_key: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// `true` when the store answered without executing anything.
+    pub cached: bool,
+    /// Shards the job was split into (`0` until it starts running).
+    pub shards: u64,
+    /// The failure diagnostic, for [`JobState::Failed`] jobs.
+    pub error: Option<String>,
+}
+
+impl JobRecord {
+    /// A freshly queued record.
+    #[must_use]
+    pub fn new(id: u64, priority: u8, store_key: String) -> Self {
+        JobRecord {
+            id,
+            priority,
+            store_key,
+            state: JobState::Queued,
+            cached: false,
+            shards: 0,
+            error: None,
+        }
+    }
+
+    /// Encodes the record as compact JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = Serializer::compact();
+        self.serialize_into(&mut s);
+        s.finish()
+    }
+
+    /// Writes the record as one JSON object into an open serializer (so
+    /// `fleet status` can embed records in its own document).
+    pub(crate) fn serialize_into(&self, s: &mut Serializer) {
+        s.begin_object();
+        s.field("id", &self.id);
+        s.field("priority", &self.priority);
+        s.field("store_key", &self.store_key);
+        s.field("state", self.state.as_str());
+        s.field("cached", &self.cached);
+        s.field("shards", &self.shards);
+        if let Some(error) = &self.error {
+            s.field("error", error);
+        }
+        s.end_object();
+    }
+
+    /// Decodes a record; the error names the missing or malformed field.
+    pub fn from_json(text: &str) -> Result<JobRecord, String> {
+        let value = serde_json::parse(text).map_err(|error| error.to_string())?;
+        let field_u64 = |key: &str| {
+            value
+                .get(key)
+                .and_then(serde_json::Value::as_u64)
+                .ok_or_else(|| format!("missing `{key}`"))
+        };
+        let state_text = value
+            .get("state")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| "missing `state`".to_string())?;
+        Ok(JobRecord {
+            id: field_u64("id")?,
+            priority: u8::try_from(field_u64("priority")?).map_err(|_| "priority out of range")?,
+            store_key: value
+                .get("store_key")
+                .and_then(serde_json::Value::as_str)
+                .ok_or_else(|| "missing `store_key`".to_string())?
+                .to_string(),
+            state: JobState::parse(state_text)
+                .ok_or_else(|| format!("unknown state `{state_text}`"))?,
+            cached: value
+                .get("cached")
+                .and_then(serde_json::Value::as_bool)
+                .ok_or_else(|| "missing `cached`".to_string())?,
+            shards: field_u64("shards")?,
+            error: value
+                .get("error")
+                .and_then(serde_json::Value::as_str)
+                .map(str::to_string),
+        })
+    }
+
+    /// Loads the record for `id` from `jobs/`.
+    pub fn load(paths: &FleetPaths, id: u64) -> Result<JobRecord, FleetError> {
+        let path = paths.job_file(id);
+        let text = read_text(&path)?;
+        JobRecord::from_json(&text).map_err(|what| FleetError::Malformed { path, what })
+    }
+
+    /// Atomically rewrites the record in `jobs/`.
+    pub fn save(&self, paths: &FleetPaths) -> Result<(), FleetError> {
+        let mut line = self.to_json();
+        line.push('\n');
+        write_atomic(&paths.job_file(self.id), line.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let mut record = JobRecord::new(42, 3, "aa".repeat(16));
+        record.state = JobState::Failed;
+        record.shards = 4;
+        record.error = Some("spec said \"no\"\nreally".to_string());
+        let decoded = JobRecord::from_json(&record.to_json()).expect("round trip");
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn missing_fields_are_named() {
+        let error = JobRecord::from_json("{\"id\":1}").expect_err("incomplete record");
+        assert!(error.contains("state"), "unhelpful error: {error}");
+    }
+}

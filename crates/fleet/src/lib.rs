@@ -1,0 +1,134 @@
+//! `laec_fleet` — the campaign fleet service behind `laec-cli serve` /
+//! `submit` / `fleet`.
+//!
+//! The fleet turns the one-shot campaign CLI into a long-running service
+//! built from three pieces, all of them plain files under one *fleet
+//! root* directory (no sockets, no daemons, no new dependencies):
+//!
+//! * **A persistent job queue** ([`queue`]) — `submit` journals the
+//!   spec's canonical JSON to `queue/` (atomically, staging file +
+//!   rename), named so a lexicographic directory listing *is* the
+//!   priority-then-FIFO order.  A killed server finds the queue intact
+//!   on restart.
+//! * **A spec-addressed result store** ([`store`]) — results live under
+//!   `store/<hash>/` where `<hash>` is the 128-bit content hash of the
+//!   spec's canonical bytes ([`laec_core::spec::ValidatedSpec::fingerprint`]).
+//!   Determinism makes the spec a complete address: a repeated
+//!   submission is answered from the store without executing anything,
+//!   and the cached `report.json` is byte-identical to what
+//!   `laec-cli campaign --spec … --json` prints.
+//! * **Work-stealing sharding** ([`task`], [`worker`], [`server`]) —
+//!   sampled jobs split into contiguous stratum-range shards executed by
+//!   worker *processes* that claim task files by atomic rename.  Because
+//!   per-stratum injection seeds are pure functions of absolute grid
+//!   coordinates, the merged shard checkpoints reproduce the
+//!   uninterrupted run's checkpoint exactly, so the final report is
+//!   byte-identical to a single-process run no matter how shards were
+//!   split, stolen or recovered.  A worker that dies or stalls has its
+//!   claim renamed back into the task pool (detected by heartbeat age or
+//!   a dead pid) and the shard is re-run by whoever grabs it next.
+//!
+//! Everything the server does is narrated on the PR 7 JSONL progress
+//! schema ([`events`]): `job_queued`, `job_start`, `shard_done`,
+//! `job_cached`, `job_end`, every line carrying a monotone `seq` and the
+//! job's store key as its `"spec"` stamp.
+//!
+//! Wall-clock time is quarantined in [`clock`] (staleness detection
+//! only); nothing time-dependent ever reaches a byte-compared surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod events;
+pub mod job;
+pub mod paths;
+pub mod queue;
+pub mod server;
+pub mod status;
+pub mod store;
+pub mod task;
+pub mod worker;
+
+pub use events::EventLog;
+pub use job::{JobRecord, JobState};
+pub use paths::FleetPaths;
+pub use queue::{submit, QueueEntry, Submission, DEFAULT_PRIORITY};
+pub use server::{Server, ServerConfig, ServerSummary};
+pub use status::{status, StatusReport};
+pub use store::store_key;
+pub use task::{plan_shards, Task, TaskKind};
+pub use worker::{run_worker, WorkerConfig};
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong inside the fleet service.
+#[derive(Debug)]
+pub enum FleetError {
+    /// An I/O operation failed; `context` names the operation and path.
+    Io {
+        /// What the fleet was doing, e.g. `"write queue/j5-0000000001.json"`.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A submitted spec failed to parse or validate.
+    Spec {
+        /// The spec layer's own diagnostic.
+        message: String,
+    },
+    /// A fleet state file held bytes the protocol cannot interpret.
+    Malformed {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong with it.
+        what: String,
+    },
+    /// A shard checkpoint could not be decoded or merged.
+    Checkpoint(laec_core::sampling::CheckpointError),
+    /// A job executed but its result failed the campaign's own invariants.
+    JobFailed {
+        /// The job id.
+        job: u64,
+        /// Why the result was rejected.
+        message: String,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Io { context, source } => write!(f, "{context}: {source}"),
+            FleetError::Spec { message } => write!(f, "invalid spec: {message}"),
+            FleetError::Malformed { path, what } => {
+                write!(f, "malformed fleet file {}: {what}", path.display())
+            }
+            FleetError::Checkpoint(error) => write!(f, "shard checkpoint: {error}"),
+            FleetError::JobFailed { job, message } => write!(f, "job {job} failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<laec_core::sampling::CheckpointError> for FleetError {
+    fn from(error: laec_core::sampling::CheckpointError) -> Self {
+        FleetError::Checkpoint(error)
+    }
+}
+
+/// Wraps an I/O error with the operation that hit it.
+pub(crate) fn io_err(context: impl Into<String>, source: std::io::Error) -> FleetError {
+    FleetError::Io {
+        context: context.into(),
+        source,
+    }
+}

@@ -1,0 +1,239 @@
+//! The on-disk layout of a fleet root, plus the atomic-write primitive
+//! every fleet file goes through.
+//!
+//! ```text
+//! <root>/
+//!   queue/    j<priority>-<id>.json   canonical spec bytes, FIFO+priority
+//!   active/   j<priority>-<id>.json   the job the server is executing
+//!   jobs/     <id>.json               per-job lifecycle records
+//!   store/    <hash>/…                spec-addressed result artifacts
+//!   tasks/    t<id>-<shard>.json      shard tasks awaiting a worker
+//!   claims/   t<id>-<shard>.<worker>.<pid>  a worker's in-flight claim
+//!   results/  t<id>-<shard>.<worker>.{ckpt,json}  durable shard results
+//!   events.jsonl                      the server's progress stream
+//!   stop                              presence asks workers to exit
+//! ```
+//!
+//! Queue entries sort by name: the priority digit first, then the
+//! zero-padded job id — a lexicographic directory listing *is* the
+//! dispatch order, so the queue survives any crash that the filesystem
+//! survives.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{io_err, FleetError};
+
+/// Distinguishes staging files written concurrently by threads of one
+/// process (worker pools in tests); the pid distinguishes processes.
+static STAGING_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Resolves every fleet file from one root directory.
+#[derive(Debug, Clone)]
+pub struct FleetPaths {
+    root: PathBuf,
+}
+
+impl FleetPaths {
+    /// A fleet rooted at `root` (created lazily by [`FleetPaths::init`]).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        FleetPaths { root: root.into() }
+    }
+
+    /// The fleet root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Creates the whole directory skeleton (idempotent).
+    pub fn init(&self) -> Result<(), FleetError> {
+        for dir in [
+            self.queue_dir(),
+            self.active_dir(),
+            self.jobs_dir(),
+            self.store_dir(),
+            self.tasks_dir(),
+            self.claims_dir(),
+            self.results_dir(),
+        ] {
+            fs::create_dir_all(&dir)
+                .map_err(|error| io_err(format!("create {}", dir.display()), error))?;
+        }
+        Ok(())
+    }
+
+    /// `queue/` — pending submissions, named in dispatch order.
+    #[must_use]
+    pub fn queue_dir(&self) -> PathBuf {
+        self.root.join("queue")
+    }
+
+    /// `active/` — the queue entry the server is currently executing.
+    #[must_use]
+    pub fn active_dir(&self) -> PathBuf {
+        self.root.join("active")
+    }
+
+    /// `jobs/` — per-job lifecycle records.
+    #[must_use]
+    pub fn jobs_dir(&self) -> PathBuf {
+        self.root.join("jobs")
+    }
+
+    /// `store/` — the spec-addressed result store.
+    #[must_use]
+    pub fn store_dir(&self) -> PathBuf {
+        self.root.join("store")
+    }
+
+    /// `tasks/` — shard tasks awaiting a worker.
+    #[must_use]
+    pub fn tasks_dir(&self) -> PathBuf {
+        self.root.join("tasks")
+    }
+
+    /// `claims/` — tasks a worker has claimed (by atomic rename).
+    #[must_use]
+    pub fn claims_dir(&self) -> PathBuf {
+        self.root.join("claims")
+    }
+
+    /// `results/` — durable shard results awaiting the server's merge.
+    #[must_use]
+    pub fn results_dir(&self) -> PathBuf {
+        self.root.join("results")
+    }
+
+    /// `events.jsonl` — the server's JSONL progress stream.
+    #[must_use]
+    pub fn events_file(&self) -> PathBuf {
+        self.root.join("events.jsonl")
+    }
+
+    /// `stop` — its presence asks every worker (and the server loop) to
+    /// exit after the current task.
+    #[must_use]
+    pub fn stop_file(&self) -> PathBuf {
+        self.root.join("stop")
+    }
+
+    /// The queue entry name for a job: `j<priority>-<id>.json`.
+    #[must_use]
+    pub fn queue_name(priority: u8, id: u64) -> String {
+        format!("j{priority}-{id:010}.json")
+    }
+
+    /// Parses a queue entry name back into `(priority, id)`.
+    #[must_use]
+    pub fn parse_queue_name(name: &str) -> Option<(u8, u64)> {
+        let rest = name.strip_prefix('j')?.strip_suffix(".json")?;
+        let (priority, id) = rest.split_once('-')?;
+        Some((priority.parse().ok()?, id.parse().ok()?))
+    }
+
+    /// The queue entry path for a job.
+    #[must_use]
+    pub fn queue_entry(&self, priority: u8, id: u64) -> PathBuf {
+        self.queue_dir().join(Self::queue_name(priority, id))
+    }
+
+    /// The job record path for a job id.
+    #[must_use]
+    pub fn job_file(&self, id: u64) -> PathBuf {
+        self.jobs_dir().join(format!("{id:010}.json"))
+    }
+
+    /// The store directory for a store key (32 hex digits).
+    #[must_use]
+    pub fn store_entry(&self, key: &str) -> PathBuf {
+        self.store_dir().join(key)
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a staging file in the same
+/// directory, then a rename.  Readers only ever see complete files.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), FleetError> {
+    let staging = staging_path(path);
+    fs::write(&staging, bytes)
+        .map_err(|error| io_err(format!("write {}", staging.display()), error))?;
+    fs::rename(&staging, path).map_err(|error| {
+        let _ = fs::remove_file(&staging);
+        io_err(format!("publish {}", path.display()), error)
+    })
+}
+
+/// A staging sibling of `path`, unique per process and per call.
+pub(crate) fn staging_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    let seq = STAGING_SEQ.fetch_add(1, Ordering::Relaxed);
+    path.with_file_name(format!(".{name}.tmp-{pid}-{seq}", pid = std::process::id()))
+}
+
+/// Reads a file to a string, wrapping the error with the path.
+pub fn read_text(path: &Path) -> Result<String, FleetError> {
+    fs::read_to_string(path).map_err(|error| io_err(format!("read {}", path.display()), error))
+}
+
+/// Reads a file's bytes, wrapping the error with the path.
+pub fn read_bytes(path: &Path) -> Result<Vec<u8>, FleetError> {
+    fs::read(path).map_err(|error| io_err(format!("read {}", path.display()), error))
+}
+
+/// Sorted file names in `dir` (a missing directory reads as empty, so
+/// `fleet status` works on a root that was never served).
+pub fn sorted_dir(dir: &Path) -> Result<Vec<String>, FleetError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(error) if error.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(error) => return Err(io_err(format!("list {}", dir.display()), error)),
+    };
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|error| io_err(format!("list {}", dir.display()), error))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        // Staging files are torn by definition; no reader wants them.
+        if !name.starts_with('.') {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_names_sort_in_dispatch_order() {
+        let mut names = vec![
+            FleetPaths::queue_name(5, 2),
+            FleetPaths::queue_name(0, 9),
+            FleetPaths::queue_name(5, 1),
+            FleetPaths::queue_name(9, 0),
+        ];
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "j0-0000000009.json",
+                "j5-0000000001.json",
+                "j5-0000000002.json",
+                "j9-0000000000.json",
+            ]
+        );
+    }
+
+    #[test]
+    fn queue_names_round_trip() {
+        let name = FleetPaths::queue_name(3, 42);
+        assert_eq!(FleetPaths::parse_queue_name(&name), Some((3, 42)));
+        assert_eq!(FleetPaths::parse_queue_name("notaqueue.json"), None);
+        assert_eq!(FleetPaths::parse_queue_name("j5-12"), None);
+    }
+}

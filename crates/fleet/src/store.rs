@@ -1,0 +1,182 @@
+//! The spec-addressed result store under `store/`.
+//!
+//! Determinism is what makes this cache sound: a campaign's report is a
+//! pure function of its canonical spec bytes, so the 128-bit content
+//! hash of those bytes ([`laec_core::spec::ValidatedSpec::fingerprint`])
+//! is a *complete* address for the result.  Two submissions with the
+//! same key would have produced byte-identical artifacts; serving the
+//! second from disk is indistinguishable from running it.
+//!
+//! Each entry is a directory `store/<32 hex digits>/` holding:
+//!
+//! * `spec.json`   — the canonical spec bytes the key hashes,
+//! * `report.json` — exactly what `laec-cli campaign --spec … --json`
+//!   prints (trailing newline included), so `cmp` against a redirected
+//!   flag-driven run passes,
+//! * `report.txt`  — the rendered text report,
+//! * `meta.json`   — provenance (job id, engine, shard count); written
+//!   last, its presence is the publication marker.
+//!
+//! Publication stages the whole directory and renames it into place: a
+//! reader never observes a partial entry, and the losing side of a
+//! concurrent publish race simply discards its staging copy (the bytes
+//! were identical anyway — that is the whole point of the key).
+
+use std::fs;
+use std::path::PathBuf;
+
+use laec_core::spec::ValidatedSpec;
+
+use crate::paths::{sorted_dir, staging_path, FleetPaths};
+use crate::{io_err, FleetError};
+
+/// The store key of a validated spec: 32 lowercase hex digits of the
+/// 128-bit content hash of its canonical JSON.
+#[must_use]
+pub fn store_key(validated: &ValidatedSpec) -> String {
+    format!("{:032x}", validated.fingerprint())
+}
+
+/// The published entry directory for `key`, if it exists.
+///
+/// `meta.json` is written into the staged directory before the rename
+/// and therefore can only be observed inside a complete entry.
+#[must_use]
+pub fn lookup(paths: &FleetPaths, key: &str) -> Option<PathBuf> {
+    let dir = paths.store_entry(key);
+    dir.join("meta.json").is_file().then_some(dir)
+}
+
+/// The artifact set one publication writes.
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    /// Canonical spec bytes (what the key hashes), newline-terminated.
+    pub spec_json: String,
+    /// The campaign's JSON report, byte-identical to the CLI's stdout.
+    pub report_json: String,
+    /// The campaign's rendered text report.
+    pub report_txt: String,
+    /// Provenance (job id, engine, shards) — the publication marker.
+    pub meta_json: String,
+}
+
+/// Publishes `artifacts` under `key`.  Idempotent: an already-published
+/// entry (including one that won a concurrent race) is left untouched,
+/// because equal keys imply equal bytes.
+pub fn publish(
+    paths: &FleetPaths,
+    key: &str,
+    artifacts: &Artifacts,
+) -> Result<PathBuf, FleetError> {
+    let dir = paths.store_entry(key);
+    if lookup(paths, key).is_some() {
+        return Ok(dir);
+    }
+    let stage = staging_path(&dir);
+    fs::create_dir_all(&stage)
+        .map_err(|error| io_err(format!("create {}", stage.display()), error))?;
+    let files = [
+        ("spec.json", artifacts.spec_json.as_str()),
+        ("report.json", artifacts.report_json.as_str()),
+        ("report.txt", artifacts.report_txt.as_str()),
+        // Written last: see the module docs — presence marks completion.
+        ("meta.json", artifacts.meta_json.as_str()),
+    ];
+    for (name, contents) in files {
+        let path = stage.join(name);
+        fs::write(&path, contents)
+            .map_err(|error| io_err(format!("write {}", path.display()), error))?;
+    }
+    match fs::rename(&stage, &dir) {
+        Ok(()) => Ok(dir),
+        Err(error) => {
+            // Lost a publish race: the winner's bytes are ours, byte for
+            // byte.  Anything else is a real error.
+            let _ = fs::remove_dir_all(&stage);
+            if lookup(paths, key).is_some() {
+                Ok(dir)
+            } else {
+                Err(io_err(format!("publish {}", dir.display()), error))
+            }
+        }
+    }
+}
+
+/// Number of published entries in the store.
+pub fn count(paths: &FleetPaths) -> Result<u64, FleetError> {
+    let mut published = 0;
+    for name in sorted_dir(&paths.store_dir())? {
+        if lookup(paths, &name).is_some() {
+            published += 1;
+        }
+    }
+    Ok(published)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_root(tag: &str) -> FleetPaths {
+        let root = std::env::temp_dir().join(format!(
+            "laec-fleet-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let paths = FleetPaths::new(&root);
+        paths.init().expect("init fleet root");
+        paths
+    }
+
+    fn artifacts() -> Artifacts {
+        Artifacts {
+            spec_json: "{\"v\":2}\n".to_string(),
+            report_json: "{\"report\":true}\n".to_string(),
+            report_txt: "REPORT\n".to_string(),
+            meta_json: "{\"job\":1}\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn publish_then_lookup_round_trips_the_artifacts() {
+        let paths = scratch_root("roundtrip");
+        let key = "ab".repeat(16);
+        assert!(lookup(&paths, &key).is_none());
+        let dir = publish(&paths, &key, &artifacts()).expect("publish");
+        assert_eq!(lookup(&paths, &key), Some(dir.clone()));
+        let report = fs::read_to_string(dir.join("report.json")).expect("read report");
+        assert_eq!(report, "{\"report\":true}\n");
+        assert_eq!(count(&paths).expect("count"), 1);
+        let _ = fs::remove_dir_all(paths.root());
+    }
+
+    #[test]
+    fn publish_is_idempotent() {
+        let paths = scratch_root("idempotent");
+        let key = "cd".repeat(16);
+        publish(&paths, &key, &artifacts()).expect("first publish");
+        let mut second = artifacts();
+        second.report_json = "{\"other\":1}\n".to_string();
+        // The second publish is a no-op: equal keys imply equal bytes, so
+        // the first copy stands.
+        publish(&paths, &key, &second).expect("second publish");
+        let report =
+            fs::read_to_string(paths.store_entry(&key).join("report.json")).expect("read report");
+        assert_eq!(report, "{\"report\":true}\n");
+        let _ = fs::remove_dir_all(paths.root());
+    }
+
+    #[test]
+    fn half_published_entries_are_invisible() {
+        let paths = scratch_root("torn");
+        let key = "ef".repeat(16);
+        let dir = paths.store_entry(&key);
+        fs::create_dir_all(&dir).expect("create torn entry");
+        fs::write(dir.join("report.json"), "{}").expect("write torn report");
+        // No meta.json: the entry must read as absent.
+        assert!(lookup(&paths, &key).is_none());
+        assert_eq!(count(&paths).expect("count"), 0);
+        let _ = fs::remove_dir_all(paths.root());
+    }
+}

@@ -279,10 +279,9 @@ mod tests {
         struct Capture(Arc<Mutex<Vec<String>>>);
         impl ProgressSink for Capture {
             fn emit(&mut self, event: &ProgressEvent<'_>, spec_fingerprint: &str) {
-                self.0
-                    .lock()
-                    .expect("unpoisoned")
-                    .push(event.to_json_line(spec_fingerprint));
+                let mut lines = self.0.lock().expect("unpoisoned");
+                let seq = lines.len() as u64;
+                lines.push(event.to_json_line(spec_fingerprint, seq));
             }
         }
 

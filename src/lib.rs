@@ -18,7 +18,10 @@
 //!   including the trace-backed and multi-core campaign engines,
 //! * [`obs`] — deterministic instrumentation: the metrics registry,
 //!   phase-timing spans and progress streaming behind
-//!   `laec-cli campaign --metrics-out/--progress`.
+//!   `laec-cli campaign --metrics-out/--progress`,
+//! * [`fleet`] — the campaign fleet service: persistent job queue,
+//!   spec-addressed result store and work-stealing multi-process sharding
+//!   behind `laec-cli serve`/`submit`/`fleet`.
 //!
 //! # Quickstart
 //!
@@ -74,6 +77,7 @@ pub mod prelude {
 
 pub use laec_core as core;
 pub use laec_ecc as ecc;
+pub use laec_fleet as fleet;
 pub use laec_isa as isa;
 pub use laec_mem as mem;
 pub use laec_obs as obs;
